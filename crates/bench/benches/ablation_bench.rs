@@ -1,0 +1,143 @@
+//! Ablation benches for the DESIGN.md design choices: replication factor,
+//! SR target, pre-warm pool size, and the auto-scaler multiplier `f`.
+//!
+//! These are Criterion benchmarks over full (compact) platform runs; the
+//! interesting output is both the wall-clock cost and the printed
+//! GPU-hour/interactivity effect per configuration, emitted once per
+//! configuration before measurement.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use notebookos_core::{Platform, PlatformConfig, PolicyKind};
+use notebookos_trace::{generate, SyntheticConfig, WorkloadTrace};
+
+fn ablation_trace() -> WorkloadTrace {
+    let config = SyntheticConfig {
+        sessions: 30,
+        span_s: 4.0 * 3600.0,
+        gpu_active_fraction: 0.6,
+        long_lived_fraction: 0.95,
+        gpu_demand: vec![(1, 0.5), (2, 0.3), (4, 0.2)],
+    };
+    generate(&config, 7)
+}
+
+fn report(tag: &str, config: &PlatformConfig, trace: &WorkloadTrace) {
+    let mut metrics = Platform::run(config.clone(), trace.clone());
+    eprintln!(
+        "[ablation {tag}] provisioned={:.1} GPU-h, interactivity p50={:.1} ms, migrations={}",
+        metrics.provisioned_gpu_hours(),
+        metrics.interactivity_ms.percentile(50.0),
+        metrics.counters.migrations,
+    );
+}
+
+fn bench_replication_factor(c: &mut Criterion) {
+    let trace = ablation_trace();
+    let mut group = c.benchmark_group("ablation/replication_factor");
+    group.sample_size(10);
+    for r in [1u32, 3, 5] {
+        let mut config = PlatformConfig::evaluation(PolicyKind::NotebookOs);
+        config.replication_factor = r;
+        report(&format!("R={r}"), &config, &trace);
+        group.bench_function(format!("R{r}"), |b| {
+            b.iter_batched(
+                || (config.clone(), trace.clone()),
+                |(config, trace)| Platform::run(config, trace),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_sr_target(c: &mut Criterion) {
+    let trace = ablation_trace();
+    let mut group = c.benchmark_group("ablation/sr_target");
+    group.sample_size(10);
+    for (tag, sr) in [("fixed1", Some(1.0)), ("default1.6", Some(1.6)), ("off", None)] {
+        let mut config = PlatformConfig::evaluation(PolicyKind::NotebookOs);
+        config.autoscale.sr_target = sr;
+        report(&format!("sr_target={tag}"), &config, &trace);
+        group.bench_function(tag.to_string(), |b| {
+            b.iter_batched(
+                || (config.clone(), trace.clone()),
+                |(config, trace)| Platform::run(config, trace),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_prewarm_pool(c: &mut Criterion) {
+    let trace = ablation_trace();
+    let mut group = c.benchmark_group("ablation/prewarm_pool");
+    group.sample_size(10);
+    for pool in [0u32, 1, 6] {
+        let mut config = PlatformConfig::evaluation(PolicyKind::NotebookOs);
+        config.prewarm_min_per_host = pool;
+        report(&format!("pool={pool}"), &config, &trace);
+        group.bench_function(format!("pool{pool}"), |b| {
+            b.iter_batched(
+                || (config.clone(), trace.clone()),
+                |(config, trace)| Platform::run(config, trace),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_autoscale_multiplier(c: &mut Criterion) {
+    let trace = ablation_trace();
+    let mut group = c.benchmark_group("ablation/autoscale_f");
+    group.sample_size(10);
+    for f in [1.0f64, 1.05, 1.5] {
+        let mut config = PlatformConfig::evaluation(PolicyKind::NotebookOs);
+        config.autoscale.multiplier = f;
+        report(&format!("f={f}"), &config, &trace);
+        group.bench_function(format!("f{f}"), |b| {
+            b.iter_batched(
+                || (config.clone(), trace.clone()),
+                |(config, trace)| Platform::run(config, trace),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_placement_policy(c: &mut Criterion) {
+    use notebookos_core::PlacementKind;
+    let trace = ablation_trace();
+    let mut group = c.benchmark_group("ablation/placement");
+    group.sample_size(10);
+    for kind in [
+        PlacementKind::LeastLoaded,
+        PlacementKind::RoundRobin,
+        PlacementKind::BinPacking,
+        PlacementKind::Random,
+    ] {
+        let mut config = PlatformConfig::evaluation(PolicyKind::NotebookOs);
+        config.placement = kind;
+        report(&format!("placement={kind}"), &config, &trace);
+        group.bench_function(kind.to_string(), |b| {
+            b.iter_batched(
+                || (config.clone(), trace.clone()),
+                |(config, trace)| Platform::run(config, trace),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_replication_factor,
+    bench_sr_target,
+    bench_prewarm_pool,
+    bench_autoscale_multiplier,
+    bench_placement_policy
+);
+criterion_main!(benches);

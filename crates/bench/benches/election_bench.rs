@@ -1,0 +1,58 @@
+//! Criterion benches for the executor-election protocol (§3.2.2): the real
+//! Raft-backed protocol harness against the calibrated round model used in
+//! the platform simulation. The comparison validates the DESIGN.md
+//! substitution: both paths produce elections completing in virtual
+//! milliseconds, with the harness additionally measuring wall-clock cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use notebookos_core::{Designation, ElectionModel, KernelProtocolHarness, Proposal};
+use notebookos_des::SimRng;
+
+fn bench_protocol_harness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("election");
+    group.sample_size(20);
+    group.bench_function("real_raft_single_lead", |b| {
+        let mut seed = 0u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                KernelProtocolHarness::new(seed)
+            },
+            |mut h| {
+                let result = h.run_election(&[Proposal::Lead, Proposal::Yield, Proposal::Yield]);
+                assert_eq!(result.winner, Some(0));
+                h
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("real_raft_contested", |b| {
+        let mut seed = 1000u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                KernelProtocolHarness::new(seed)
+            },
+            |mut h| {
+                let result = h.run_election(&[Proposal::Lead, Proposal::Lead, Proposal::Lead]);
+                assert!(result.winner.is_some());
+                h
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_round_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("election");
+    group.bench_function("round_model_sample", |b| {
+        let model = ElectionModel::new();
+        let mut rng = SimRng::seed(7);
+        b.iter(|| model.designation_latency(Designation::Elected, &mut rng));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol_harness, bench_round_model);
+criterion_main!(benches);

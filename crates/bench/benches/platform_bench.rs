@@ -1,0 +1,45 @@
+//! Criterion benches for the platform simulation: full-policy runs over a
+//! compact workload, and the placement hot path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use notebookos_cluster::{Cluster, ResourceBundle, ResourceRequest};
+use notebookos_core::{Platform, PlatformConfig, PolicyKind};
+use notebookos_trace::{generate, SyntheticConfig};
+
+fn bench_policy_runs(c: &mut Criterion) {
+    let trace = generate(&SyntheticConfig::smoke(), 99);
+    let mut group = c.benchmark_group("platform");
+    group.sample_size(10);
+    for policy in PolicyKind::ALL {
+        group.bench_function(format!("smoke_{policy}"), |b| {
+            b.iter_batched(
+                || (PlatformConfig::evaluation(policy), trace.clone()),
+                |(config, trace)| Platform::run(config, trace),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("platform");
+    group.bench_function("subscription_candidates_128_hosts", |b| {
+        let mut cluster = Cluster::with_hosts(128, ResourceBundle::p3_16xlarge());
+        // Pre-load with uneven subscriptions.
+        for i in 0..128 {
+            for _ in 0..(i % 7) {
+                cluster
+                    .host_mut(i as u64)
+                    .expect("host")
+                    .subscribe(&ResourceRequest::one_gpu());
+            }
+        }
+        let req = ResourceRequest::one_gpu();
+        b.iter(|| cluster.subscription_candidates(&req, 3, 1.0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_runs, bench_placement);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benches for the Raft substrate: leader election and commit
+//! throughput on the deterministic network harness.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use notebookos_raft::harness::Network;
+
+fn bench_leader_election(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raft");
+    group.sample_size(20);
+    group.bench_function("elect_leader_3_nodes", |b| {
+        let mut seed = 0u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                Network::<u64>::new(3, seed)
+            },
+            |mut net| {
+                net.run_until_leader();
+                net
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_commit_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raft");
+    group.sample_size(20);
+    group.bench_function("commit_100_entries_3_nodes", |b| {
+        let mut seed = 100u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                let mut net = Network::<u64>::new(3, seed);
+                let leader = net.run_until_leader();
+                (net, leader)
+            },
+            |(mut net, leader)| {
+                for i in 0..100u64 {
+                    net.propose(leader, i).expect("leader accepts");
+                }
+                let last = net.node(leader).log().last_index();
+                assert!(net.run_until_applied_everywhere(last, 60_000_000));
+                net
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_leader_election, bench_commit_throughput);
+criterion_main!(benches);

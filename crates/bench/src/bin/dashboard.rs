@@ -1,0 +1,123 @@
+//! A text analogue of the NotebookOS administrative dashboard (§5.1.2,
+//! artifact [77]): runs the 17.5-hour evaluation workload under one policy
+//! and prints the full run report.
+//!
+//! ```text
+//! cargo run --release -p notebookos-bench --bin dashboard [policy] [seed]
+//! ```
+//!
+//! `policy` ∈ {reservation, batch, notebookos, lcp} (default: notebookos).
+
+use notebookos_bench::{excerpt_trace, EVAL_SEED};
+use notebookos_core::{Platform, PlatformConfig, PolicyKind};
+use notebookos_metrics::Table;
+use notebookos_trace::{generate, SyntheticConfig};
+
+fn parse_policy(arg: Option<&str>) -> PolicyKind {
+    match arg.unwrap_or("notebookos") {
+        "reservation" => PolicyKind::Reservation,
+        "batch" => PolicyKind::Batch,
+        "lcp" => PolicyKind::NotebookOsLcp,
+        _ => PolicyKind::NotebookOs,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let policy = parse_policy(args.get(1).map(String::as_str));
+    let seed: u64 = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(EVAL_SEED);
+
+    let trace = if seed == EVAL_SEED {
+        excerpt_trace()
+    } else {
+        generate(&SyntheticConfig::excerpt_17_5h(), seed)
+    };
+    let span = trace.span_s();
+    println!(
+        "workload: {} sessions, {} events, {:.1} h (seed {seed})",
+        trace.sessions.len(),
+        trace.total_events(),
+        span / 3600.0
+    );
+
+    let mut config = PlatformConfig::evaluation(policy);
+    config.seed = seed;
+    let m = Platform::run(config, trace);
+
+    let mut events = Table::new(format!("{policy} — scheduler events"), &["event", "count"]);
+    let c = m.counters;
+    events.row_owned(vec!["executions completed".into(), c.executions.to_string()]);
+    events.row_owned(vec!["executions aborted".into(), c.aborted.to_string()]);
+    events.row_owned(vec!["kernel creations".into(), c.kernel_creations.to_string()]);
+    events.row_owned(vec!["migrations".into(), c.migrations.to_string()]);
+    events.row_owned(vec!["scale-outs / scale-ins".into(), format!("{} / {}", c.scale_outs, c.scale_ins)]);
+    events.row_owned(vec!["cold starts / warm hits".into(), format!("{} / {}", c.cold_starts, c.warm_hits)]);
+    events.row_owned(vec![
+        "immediate GPU commits".into(),
+        format!("{:.2}%", c.immediate_commit_rate() * 100.0),
+    ]);
+    events.row_owned(vec![
+        "executor reuse".into(),
+        format!("{:.2}%", c.executor_reuse_rate() * 100.0),
+    ]);
+    println!("{events}");
+
+    let mut latency = Table::new(
+        format!("{policy} — latency summary (ms)"),
+        &["metric", "p50", "p90", "p99", "max"],
+    );
+    for (name, cdf) in [("interactivity", &m.interactivity_ms), ("TCT", &m.tct_ms), ("raft sync", &m.sync_ms)] {
+        let mut c = cdf.clone();
+        if c.is_empty() {
+            continue;
+        }
+        latency.row_owned(vec![
+            name.to_string(),
+            format!("{:.1}", c.percentile(50.0)),
+            format!("{:.1}", c.percentile(90.0)),
+            format!("{:.1}", c.percentile(99.0)),
+            format!("{:.1}", c.max()),
+        ]);
+    }
+    println!("{latency}");
+
+    let mut resources = Table::new(format!("{policy} — resources & billing"), &["metric", "value"]);
+    resources.row_owned(vec![
+        "provisioned GPU-hours".into(),
+        format!("{:.1}", m.provisioned_gpu_hours()),
+    ]);
+    resources.row_owned(vec![
+        "reservation-equivalent GPU-hours".into(),
+        format!("{:.1}", m.reserved_gpu_hours()),
+    ]);
+    resources.row_owned(vec![
+        "GPU-hours saved vs Reservation".into(),
+        format!("{:.1}", m.gpu_hours_saved_vs_reservation()),
+    ]);
+    resources.row_owned(vec![
+        "peak provisioned GPUs".into(),
+        format!("{:.0}", m.provisioned_gpus.max_value()),
+    ]);
+    resources.row_owned(vec![
+        "mean GPU utilization".into(),
+        format!(
+            "{:.1}%",
+            m.committed_gpus.integral(0.0, span) / m.provisioned_gpus.integral(0.0, span).max(1e-9)
+                * 100.0
+        ),
+    ]);
+    if let Some((cost, revenue)) = m.final_billing() {
+        resources.row_owned(vec!["provider cost".into(), format!("${cost:.0}")]);
+        resources.row_owned(vec!["revenue".into(), format!("${revenue:.0}")]);
+        if revenue > 0.0 {
+            resources.row_owned(vec![
+                "profit margin".into(),
+                format!("{:.1}%", (revenue - cost) / revenue * 100.0),
+            ]);
+        }
+    }
+    println!("{resources}");
+}

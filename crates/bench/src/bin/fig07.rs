@@ -1,0 +1,37 @@
+//! Fig. 7 — number of active user-submitted training tasks and active user
+//! sessions during the 17.5-hour AdobeTrace excerpt.
+
+use notebookos_bench::{excerpt_trace, fmt0};
+use notebookos_metrics::Table;
+
+fn main() {
+    let trace = excerpt_trace();
+    let sessions = trace.active_sessions_timeline();
+    let trainings = trace.active_trainings_timeline();
+    let span = trace.span_s();
+
+    let mut table = Table::new(
+        "Fig 7 — active trainings (left axis) and sessions (right axis)",
+        &["hour", "active trainings", "active sessions"],
+    );
+    for half_hour in 0..=35 {
+        let t = half_hour as f64 * 1800.0;
+        table.row_owned(vec![
+            format!("{:.1}", t / 3600.0),
+            fmt0(trainings.value_at(t)),
+            fmt0(sessions.value_at(t)),
+        ]);
+    }
+    println!("{table}");
+
+    let mut summary = Table::new(
+        "Fig 7 — summary (paper: sessions ramp 0->87, max 90; mean/median trainings 19.5/19, max 34)",
+        &["metric", "value"],
+    );
+    summary.row_owned(vec!["sessions at end".into(), format!("{:.0}", sessions.value_at(span * 0.999))]);
+    summary.row_owned(vec!["max sessions".into(), format!("{:.0}", sessions.max_value())]);
+    summary.row_owned(vec!["mean trainings".into(), format!("{:.1}", trainings.time_mean(0.0, span))]);
+    summary.row_owned(vec!["max trainings".into(), format!("{:.0}", trainings.max_value())]);
+    summary.row_owned(vec!["trainings at end".into(), format!("{:.0}", trainings.value_at(span * 0.999))]);
+    println!("{summary}");
+}

@@ -1,0 +1,53 @@
+//! Fig. 8 — Provisioned-GPU timelines: Batch / NotebookOS / NotebookOS
+//! (LCP) against the Oracle and Reservation curves, plus the GPU-hours
+//! saved relative to Reservation.
+
+use notebookos_bench::{excerpt_trace, run_all_policies, fmt0};
+use notebookos_core::PolicyKind;
+use notebookos_metrics::Table;
+
+fn main() {
+    let trace = excerpt_trace();
+    let span = trace.span_s();
+    let oracle = trace.oracle_gpu_timeline();
+    let runs = run_all_policies(&trace);
+
+    // Timeline series sampled hourly, as the figure plots them.
+    let mut series = Table::new(
+        "Fig 8 — provisioned GPUs over the 17.5-hour excerpt",
+        &["hour", "oracle", "reservation", "batch", "notebookos", "lcp"],
+    );
+    let reservation = &runs
+        .iter()
+        .find(|(p, _)| *p == PolicyKind::Reservation)
+        .expect("reservation run")
+        .1;
+    let pick = |p: PolicyKind| &runs.iter().find(|(q, _)| *q == p).expect("run").1;
+    for hour in 0..=17 {
+        let t = (hour as f64) * 3600.0;
+        series.row_owned(vec![
+            hour.to_string(),
+            fmt0(oracle.value_at(t)),
+            fmt0(reservation.provisioned_gpus.value_at(t)),
+            fmt0(pick(PolicyKind::Batch).provisioned_gpus.value_at(t)),
+            fmt0(pick(PolicyKind::NotebookOs).provisioned_gpus.value_at(t)),
+            fmt0(pick(PolicyKind::NotebookOsLcp).provisioned_gpus.value_at(t)),
+        ]);
+    }
+    println!("{series}");
+
+    let mut summary = Table::new(
+        "Fig 8 — GPU-hour totals (paper: NotebookOS saves ~1187.66, LCP ~1662.53 vs Reservation)",
+        &["policy", "provisioned GPU-hours", "saved vs Reservation"],
+    );
+    let reserved_hours = reservation.provisioned_gpus.integral(0.0, span) / 3600.0;
+    for (policy, m) in &runs {
+        let provisioned = m.provisioned_gpus.integral(0.0, span) / 3600.0;
+        summary.row_owned(vec![
+            policy.to_string(),
+            format!("{provisioned:.2}"),
+            format!("{:.2}", reserved_hours - provisioned),
+        ]);
+    }
+    println!("{summary}");
+}

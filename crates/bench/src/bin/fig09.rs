@@ -1,0 +1,69 @@
+//! Fig. 9 — CDFs of (a) interactivity delays and (b) task completion times
+//! across the four scheduling policies, plus the §5.3.2 headline rates.
+
+use notebookos_bench::{excerpt_trace, run_all_policies};
+use notebookos_core::PolicyKind;
+use notebookos_metrics::Table;
+
+fn main() {
+    let trace = excerpt_trace();
+    let runs = run_all_policies(&trace);
+
+    let mut delay = Table::new(
+        "Fig 9(a) — interactivity delay CDF (seconds)",
+        &["policy", "p25", "p50", "p75", "p90", "p99", "max"],
+    );
+    let mut tct = Table::new(
+        "Fig 9(b) — task completion time CDF (seconds)",
+        &["policy", "p25", "p50", "p75", "p90", "p99", "max"],
+    );
+    for (policy, m) in &runs {
+        let mut d = m.interactivity_ms.clone();
+        let mut t = m.tct_ms.clone();
+        let row = |c: &mut notebookos_metrics::Cdf| {
+            vec![
+                format!("{:.3}", c.percentile(25.0) / 1e3),
+                format!("{:.3}", c.percentile(50.0) / 1e3),
+                format!("{:.3}", c.percentile(75.0) / 1e3),
+                format!("{:.3}", c.percentile(90.0) / 1e3),
+                format!("{:.3}", c.percentile(99.0) / 1e3),
+                format!("{:.3}", c.max() / 1e3),
+            ]
+        };
+        let mut cells = vec![policy.to_string()];
+        cells.extend(row(&mut d));
+        delay.row_owned(cells);
+        let mut cells = vec![policy.to_string()];
+        cells.extend(row(&mut t));
+        tct.row_owned(cells);
+    }
+    println!("{delay}");
+    println!("{tct}");
+
+    let nbos = &runs
+        .iter()
+        .find(|(p, _)| *p == PolicyKind::NotebookOs)
+        .expect("notebookos run")
+        .1;
+    let mut rates = Table::new(
+        "§5.3.2 headline rates (paper: immediate commit 89.6 %, executor reuse 89.45 %)",
+        &["metric", "value"],
+    );
+    rates.row_owned(vec![
+        "GPUs committed immediately on request".into(),
+        format!("{:.2}%", nbos.counters.immediate_commit_rate() * 100.0),
+    ]);
+    rates.row_owned(vec![
+        "same executor reused for consecutive requests".into(),
+        format!("{:.2}%", nbos.counters.executor_reuse_rate() * 100.0),
+    ]);
+    rates.row_owned(vec![
+        "migrations".into(),
+        nbos.counters.migrations.to_string(),
+    ]);
+    rates.row_owned(vec![
+        "aborted executions".into(),
+        nbos.counters.aborted.to_string(),
+    ]);
+    println!("{rates}");
+}

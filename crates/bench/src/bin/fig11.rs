@@ -1,0 +1,60 @@
+//! Fig. 11 — CDFs of large-object read/write latency and Raft small-state
+//! synchronization latency, against the workload's event IATs.
+
+use notebookos_bench::{excerpt_trace, run_policy};
+use notebookos_core::PolicyKind;
+use notebookos_metrics::{Cdf, Table};
+
+fn main() {
+    let trace = excerpt_trace();
+    let m = run_policy(PolicyKind::NotebookOs, &trace);
+
+    let mut iat = trace.iat_cdf("event IATs");
+    let mut table = Table::new(
+        "Fig 11 — object synchronization latencies (milliseconds; log-scale in the paper)",
+        &["series", "n", "p50", "p90", "p95", "p99"],
+    );
+    let mut push = |name: &str, cdf: &Cdf| {
+        let mut c = cdf.clone();
+        if c.is_empty() {
+            return;
+        }
+        table.row_owned(vec![
+            name.to_string(),
+            c.len().to_string(),
+            format!("{:.2}", c.percentile(50.0)),
+            format!("{:.2}", c.percentile(90.0)),
+            format!("{:.2}", c.percentile(95.0)),
+            format!("{:.2}", c.percentile(99.0)),
+        ]);
+    };
+    push("Writes (large objects)", &m.write_ms);
+    push("Reads (large objects)", &m.read_ms);
+    push("Sync (Raft small state)", &m.sync_ms);
+    // IATs are recorded in seconds; present in ms for a common axis.
+    table.row_owned(vec![
+        "Event IATs".to_string(),
+        iat.len().to_string(),
+        format!("{:.0}", iat.percentile(50.0) * 1e3),
+        format!("{:.0}", iat.percentile(90.0) * 1e3),
+        format!("{:.0}", iat.percentile(95.0) * 1e3),
+        format!("{:.0}", iat.percentile(99.0) * 1e3),
+    ]);
+    println!("{table}");
+
+    println!(
+        "Paper anchors: Sync p90/p95/p99 = 54.79/66.69/268.25 ms; 99% of reads <= ~3950 ms, \
+         writes <= ~7070 ms; the shortest event IAT is 240000 ms, so object traffic hides \
+         inside think time."
+    );
+    let mut read = m.read_ms.clone();
+    let mut write = m.write_ms.clone();
+    if !read.is_empty() && !write.is_empty() {
+        let hidden = read.percentile(99.0).max(write.percentile(99.0)) < 240_000.0;
+        println!(
+            "Check: p99 object latency {} the minimum IAT -> overhead {} hidden from users.",
+            if hidden { "is below" } else { "EXCEEDS" },
+            if hidden { "is" } else { "is NOT" }
+        );
+    }
+}

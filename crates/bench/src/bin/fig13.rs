@@ -1,0 +1,39 @@
+//! Fig. 13 — GPU-hours saved by NotebookOS by avoiding cell re-execution
+//! after idle session reclamations, for five reclamation intervals over the
+//! 90-day trace.
+
+use notebookos_bench::summer_trace;
+use notebookos_core::fig13_sweep;
+use notebookos_metrics::Table;
+
+fn main() {
+    let trace = summer_trace();
+    let sweep = fig13_sweep(&trace);
+
+    let mut table = Table::new(
+        "Fig 13 — cumulative GPU-hours saved by state persistence",
+        &["day", "15-min", "30-min", "60-min", "90-min", "120-min"],
+    );
+    for day in (0..=90).step_by(15) {
+        let t = day as f64 * 86_400.0;
+        let mut cells = vec![day.to_string()];
+        for s in &sweep {
+            cells.push(format!("{:.0}", s.saved_timeline.value_at(t)));
+        }
+        table.row_owned(cells);
+    }
+    println!("{table}");
+
+    let mut totals = Table::new(
+        "Fig 13 — totals (paper: shorter intervals reclaim more, saving more GPU-hours)",
+        &["reclamation interval", "reclamations", "GPU-hours saved"],
+    );
+    for s in &sweep {
+        totals.row_owned(vec![
+            format!("{} min", s.interval_min),
+            s.reclamations.to_string(),
+            format!("{:.0}", s.total_gpu_hours_saved),
+        ]);
+    }
+    println!("{totals}");
+}

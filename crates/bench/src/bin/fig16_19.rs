@@ -1,0 +1,16 @@
+//! Figs. 16–19 — detailed end-to-end latency breakdown of execute-request
+//! messages for each of the four policies (the appendix box plots).
+
+use notebookos_bench::{excerpt_trace, run_all_policies};
+
+fn main() {
+    let trace = excerpt_trace();
+    for (_, m) in run_all_policies(&trace) {
+        println!("{}", m.breakdown.to_table());
+    }
+    println!(
+        "Paper shape: Reservation/NotebookOS dominated by K Exec (8); Batch dominated by \
+         GS P Rq (1) (queuing + cold containers); NotebookOS uniquely pays K PRP (6) \
+         (executor election, tens of milliseconds); step 9 is asynchronous in NotebookOS."
+    );
+}

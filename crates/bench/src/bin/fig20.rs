@@ -1,0 +1,50 @@
+//! Fig. 20 — active user-submitted trainings and active user sessions over
+//! the full 90-day "summer" trace.
+
+use notebookos_bench::{fmt0, summer_trace};
+use notebookos_metrics::Table;
+
+fn main() {
+    let trace = summer_trace();
+    let sessions = trace.active_sessions_timeline();
+    let trainings = trace.active_trainings_timeline();
+    let span = trace.span_s();
+
+    let mut table = Table::new(
+        "Fig 20 — active trainings (left axis) and sessions (right axis)",
+        &["day", "active trainings", "active sessions"],
+    );
+    for day in (0..=90).step_by(5) {
+        let t = day as f64 * 86_400.0;
+        table.row_owned(vec![
+            day.to_string(),
+            fmt0(trainings.value_at(t)),
+            fmt0(sessions.value_at(t)),
+        ]);
+    }
+    println!("{table}");
+
+    let month = 30.0 * 86_400.0;
+    let mut summary = Table::new(
+        "Fig 20 — summary (paper: sessions 206/312/397 by month end, max 433; mean trainings 31/65/105 per month, max 141)",
+        &["metric", "June", "July", "August"],
+    );
+    summary.row_owned(vec![
+        "sessions at month end".into(),
+        format!("{:.0}", sessions.value_at(month)),
+        format!("{:.0}", sessions.value_at(2.0 * month)),
+        format!("{:.0}", sessions.value_at((3.0 * month).min(span * 0.999))),
+    ]);
+    summary.row_owned(vec![
+        "mean active trainings".into(),
+        format!("{:.1}", trainings.time_mean(0.0, month)),
+        format!("{:.1}", trainings.time_mean(month, 2.0 * month)),
+        format!("{:.1}", trainings.time_mean(2.0 * month, span)),
+    ]);
+    println!("{summary}");
+    println!(
+        "Max sessions: {:.0} (paper 433); max trainings: {:.0} (paper 141).",
+        sessions.max_value(),
+        trainings.max_value()
+    );
+}

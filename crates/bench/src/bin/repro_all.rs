@@ -1,0 +1,29 @@
+//! Runs every table/figure regenerator in sequence — the one-shot
+//! reproduction of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p notebookos-bench --bin repro_all
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let binaries = [
+        "table1", "fig02", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
+        "fig14", "fig16_19", "fig20",
+    ];
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("bin directory");
+    for bin in binaries {
+        println!("\n################ {bin} ################\n");
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nAll evaluation artifacts regenerated.");
+}

@@ -1,0 +1,22 @@
+//! Table 1 — models and datasets used in the evaluation, with their
+//! application domains (and the state sizes the checkpoint traffic uses).
+
+use notebookos_metrics::Table;
+use notebookos_trace::table1_rows;
+
+fn main() {
+    let mut table = Table::new(
+        "Table 1 — models and datasets per application domain",
+        &["app domain", "dataset", "dataset MB", "model", "params MB"],
+    );
+    for (domain, dataset, model) in table1_rows() {
+        table.row_owned(vec![
+            domain.to_string(),
+            dataset.name.to_string(),
+            (dataset.size_bytes / 1_000_000).to_string(),
+            model.name.to_string(),
+            (model.param_bytes / 1_000_000).to_string(),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,76 @@
+//! Shared support for the figure-regeneration binaries and Criterion
+//! benches.
+//!
+//! Each `fig*`/`table*` binary regenerates one evaluation artifact:
+//!
+//! ```text
+//! cargo run --release -p notebookos-bench --bin fig08
+//! ```
+//!
+//! `repro_all` runs every artifact in sequence. The Criterion benches
+//! (`cargo bench`) measure protocol and scheduling hot paths plus the
+//! DESIGN.md ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use notebookos_core::{Platform, PlatformConfig, PolicyKind, RunMetrics};
+use notebookos_trace::{generate, SyntheticConfig, WorkloadTrace};
+
+/// The seed every figure uses, so artifacts are mutually consistent.
+pub const EVAL_SEED: u64 = 2026;
+
+/// The 17.5-hour AdobeTrace excerpt (§5.2's prototype workload).
+pub fn excerpt_trace() -> WorkloadTrace {
+    generate(&SyntheticConfig::excerpt_17_5h(), EVAL_SEED)
+}
+
+/// The 90-day summer workload (§5.5's simulation study).
+pub fn summer_trace() -> WorkloadTrace {
+    generate(&SyntheticConfig::summer_90d(), EVAL_SEED)
+}
+
+/// Runs one policy over a trace with the evaluation configuration.
+pub fn run_policy(policy: PolicyKind, trace: &WorkloadTrace) -> RunMetrics {
+    let mut config = PlatformConfig::evaluation(policy);
+    config.seed = EVAL_SEED;
+    Platform::run(config, trace.clone())
+}
+
+/// Runs all four policies over a trace (Reservation, Batch, NotebookOS,
+/// LCP — the paper's comparison set).
+pub fn run_all_policies(trace: &WorkloadTrace) -> Vec<(PolicyKind, RunMetrics)> {
+    PolicyKind::ALL
+        .iter()
+        .map(|&p| (p, run_policy(p, trace)))
+        .collect()
+}
+
+/// Formats a float for table cells.
+pub fn fmt(v: f64) -> String {
+    notebookos_metrics::fmt_num(v)
+}
+
+/// Formats a gauge value with zero decimals, normalizing `-0`.
+pub fn fmt0(v: f64) -> String {
+    let v = if v.abs() < 1e-9 { 0.0 } else { v };
+    format!("{v:.0}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn excerpt_trace_is_reproducible() {
+        assert_eq!(excerpt_trace(), excerpt_trace());
+        assert!(excerpt_trace().total_events() > 300);
+    }
+
+    #[test]
+    fn run_policy_produces_metrics() {
+        let trace = generate(&SyntheticConfig::smoke(), EVAL_SEED);
+        let m = run_policy(PolicyKind::NotebookOs, &trace);
+        assert!(m.counters.executions > 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! The cluster: a collection of hosts plus the cluster-wide accounting the
+//! scheduler and autoscaler read.
+
+use crate::host::{Host, HostId};
+use crate::resources::{ResourceBundle, ResourceRequest};
+
+/// The fleet of GPU servers.
+#[derive(Debug, Clone, Default)]
+pub struct Cluster {
+    hosts: Vec<Host>,
+    next_host_id: HostId,
+}
+
+impl Cluster {
+    /// Creates an empty cluster.
+    pub fn new() -> Self {
+        Cluster::default()
+    }
+
+    /// Creates a cluster of `n` identical hosts.
+    pub fn with_hosts(n: usize, capacity: ResourceBundle) -> Self {
+        let mut c = Cluster::new();
+        for _ in 0..n {
+            c.add_host(capacity);
+        }
+        c
+    }
+
+    /// Adds a host, returning its id.
+    pub fn add_host(&mut self, capacity: ResourceBundle) -> HostId {
+        let id = self.next_host_id;
+        self.next_host_id += 1;
+        self.hosts.push(Host::new(id, capacity));
+        id
+    }
+
+    /// Removes a host (only sensible when it is idle; the autoscaler drains
+    /// first). Returns the host if it existed.
+    pub fn remove_host(&mut self, id: HostId) -> Option<Host> {
+        let idx = self.hosts.iter().position(|h| h.id() == id)?;
+        Some(self.hosts.remove(idx))
+    }
+
+    /// All hosts.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// Mutable host lookup.
+    pub fn host_mut(&mut self, id: HostId) -> Option<&mut Host> {
+        self.hosts.iter_mut().find(|h| h.id() == id)
+    }
+
+    /// Shared host lookup.
+    pub fn host(&self, id: HostId) -> Option<&Host> {
+        self.hosts.iter().find(|h| h.id() == id)
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Whether the cluster has no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Total GPUs across all hosts (`ΣG`).
+    pub fn total_gpus(&self) -> u64 {
+        self.hosts.iter().map(|h| u64::from(h.capacity().gpus)).sum()
+    }
+
+    /// Total subscribed GPUs across all hosts (`ΣS`).
+    pub fn total_subscribed_gpus(&self) -> u64 {
+        self.hosts.iter().map(Host::subscribed_gpus).sum()
+    }
+
+    /// Total GPUs exclusively committed to actively-executing replicas
+    /// (`ΣC` in the autoscaler, §3.4.2).
+    pub fn total_committed_gpus(&self) -> u64 {
+        self.hosts.iter().map(|h| u64::from(h.committed_gpus())).sum()
+    }
+
+    /// The dynamic cluster-wide SR limit `ΣS / (ΣG · R)` (§3.4.1).
+    ///
+    /// Returns infinity for an empty/GPU-less cluster so that placement
+    /// decisions degrade to capacity checks only.
+    pub fn sr_limit(&self, replication_factor: u32) -> f64 {
+        let denom = self.total_gpus() * u64::from(replication_factor.max(1));
+        if denom == 0 {
+            return f64::INFINITY;
+        }
+        self.total_subscribed_gpus() as f64 / denom as f64
+    }
+
+    /// Hosts that could host a new replica subscription of `request`,
+    /// ranked by §3.4.1's default policy: hosts whose post-placement SR
+    /// stays within `sr_cap` come first (most idle GPUs, then lowest SR),
+    /// followed by over-cap hosts ordered by ascending SR. The SR cap is a
+    /// *preference* — "the server is rejected in favor of another" — so
+    /// when demand outruns supply the cluster oversubscribes beyond the cap
+    /// (Fig. 10 shows the cluster-wide SR reaching 3.0) while the
+    /// auto-scaler catches up.
+    ///
+    /// `sr_cap` is typically `max(cluster sr_limit, 1.0)` so an empty
+    /// cluster can still accept its first kernels.
+    pub fn subscription_candidates(
+        &self,
+        request: &ResourceRequest,
+        replication_factor: u32,
+        sr_cap: f64,
+    ) -> Vec<HostId> {
+        let post_sr = |h: &Host| {
+            (h.subscribed_gpus() + u64::from(request.gpus)) as f64
+                / (u64::from(h.capacity().gpus.max(1)) * u64::from(replication_factor.max(1)))
+                    as f64
+        };
+        let mut candidates: Vec<&Host> = self
+            .hosts
+            .iter()
+            .filter(|h| !h.is_draining())
+            .filter(|h| h.capacity().covers(&ResourceBundle::from_request(request)))
+            .collect();
+        candidates.sort_by(|a, b| {
+            let a_over = request.gpus > 0 && post_sr(a) > sr_cap;
+            let b_over = request.gpus > 0 && post_sr(b) > sr_cap;
+            a_over
+                .cmp(&b_over)
+                .then(b.idle_gpus().cmp(&a.idle_gpus()))
+                .then(
+                    a.subscription_ratio(replication_factor)
+                        .partial_cmp(&b.subscription_ratio(replication_factor))
+                        .expect("SR is finite"),
+                )
+                .then(a.id().cmp(&b.id()))
+        });
+        candidates.into_iter().map(Host::id).collect()
+    }
+
+    /// Hosts with zero replicas and zero commitments — candidates for
+    /// scale-in (§3.4.2: "idle servers are those with no active training
+    /// kernel replicas").
+    pub fn idle_hosts(&self) -> Vec<HostId> {
+        self.hosts
+            .iter()
+            .filter(|h| h.replica_count() == 0 && h.active_commitments() == 0)
+            .map(Host::id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu_req(gpus: u32) -> ResourceRequest {
+        ResourceRequest::new(4000, 16_384, gpus, 16)
+    }
+
+    #[test]
+    fn add_and_remove_hosts() {
+        let mut c = Cluster::with_hosts(3, ResourceBundle::p3_16xlarge());
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.total_gpus(), 24);
+        let removed = c.remove_host(1).unwrap();
+        assert_eq!(removed.id(), 1);
+        assert_eq!(c.len(), 2);
+        assert!(c.remove_host(99).is_none());
+        // Ids are never reused.
+        let id = c.add_host(ResourceBundle::p3_16xlarge());
+        assert_eq!(id, 3);
+    }
+
+    #[test]
+    fn totals_track_subscriptions_and_commits() {
+        let mut c = Cluster::with_hosts(2, ResourceBundle::p3_16xlarge());
+        c.host_mut(0).unwrap().subscribe(&gpu_req(4));
+        c.host_mut(1).unwrap().subscribe(&gpu_req(2));
+        assert_eq!(c.total_subscribed_gpus(), 6);
+        c.host_mut(0).unwrap().commit(7, &gpu_req(4)).unwrap();
+        assert_eq!(c.total_committed_gpus(), 4);
+        // SR limit: 6 / (16 * 3).
+        assert!((c.sr_limit(3) - 6.0 / 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cluster_sr_limit_is_infinite() {
+        let c = Cluster::new();
+        assert!(c.sr_limit(3).is_infinite());
+    }
+
+    #[test]
+    fn candidates_prefer_least_loaded() {
+        let mut c = Cluster::with_hosts(3, ResourceBundle::p3_16xlarge());
+        // Host 0 busiest, host 2 idle.
+        c.host_mut(0).unwrap().commit(1, &gpu_req(6)).unwrap();
+        c.host_mut(1).unwrap().commit(2, &gpu_req(3)).unwrap();
+        let ranked = c.subscription_candidates(&gpu_req(1), 3, 1.0);
+        assert_eq!(ranked, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn candidates_prefer_hosts_within_sr_cap() {
+        let mut c = Cluster::with_hosts(2, ResourceBundle::p3_16xlarge());
+        // Host 0 heavily subscribed: S = 24 → SR = 1.0 at R = 3, so another
+        // 4-GPU subscription would push it over the cap.
+        for _ in 0..6 {
+            c.host_mut(0).unwrap().subscribe(&gpu_req(4));
+        }
+        let ranked = c.subscription_candidates(&gpu_req(4), 3, 1.0);
+        assert_eq!(ranked, vec![1, 0], "saturated host ranked last, not dropped");
+        // CPU-only kernels are exempt from the SR ordering.
+        let cpu = ResourceRequest::new(1000, 1024, 0, 0);
+        assert_eq!(c.subscription_candidates(&cpu, 3, 1.0).len(), 2);
+    }
+
+    #[test]
+    fn draining_hosts_excluded() {
+        let mut c = Cluster::with_hosts(2, ResourceBundle::p3_16xlarge());
+        c.host_mut(0).unwrap().set_draining(true);
+        let ranked = c.subscription_candidates(&gpu_req(1), 3, 1.0);
+        assert_eq!(ranked, vec![1]);
+    }
+
+    #[test]
+    fn oversized_requests_have_no_candidates() {
+        let c = Cluster::with_hosts(2, ResourceBundle::p3_16xlarge());
+        let giant = ResourceRequest::new(1000, 1024, 9, 16);
+        assert!(c.subscription_candidates(&giant, 3, 10.0).is_empty());
+    }
+
+    #[test]
+    fn idle_host_detection() {
+        let mut c = Cluster::with_hosts(2, ResourceBundle::p3_16xlarge());
+        c.host_mut(0).unwrap().subscribe(&gpu_req(1));
+        assert_eq!(c.idle_hosts(), vec![1]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Container lifecycle state machine.
+//!
+//! Kernel replicas run in containers whose lifecycle the Local Scheduler
+//! manages (§3.1): provisioning → warm (pre-warmed pool) or registering →
+//! running → terminated. Transitions are checked so accounting bugs
+//! (double-starting a container, running a terminated one) fail loudly.
+
+use crate::host::HostId;
+
+/// Lifecycle states of a kernel-replica container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContainerState {
+    /// Image pull + runtime start in progress.
+    Provisioning,
+    /// Started with a pre-initialized runtime, parked in the pre-warm pool.
+    Warm,
+    /// Registering with its Local Scheduler (Fig. 4 step 4).
+    Registering,
+    /// Hosting a live kernel replica.
+    Running,
+    /// Terminated; resources reclaimed.
+    Terminated,
+}
+
+impl std::fmt::Display for ContainerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContainerState::Provisioning => write!(f, "provisioning"),
+            ContainerState::Warm => write!(f, "warm"),
+            ContainerState::Registering => write!(f, "registering"),
+            ContainerState::Running => write!(f, "running"),
+            ContainerState::Terminated => write!(f, "terminated"),
+        }
+    }
+}
+
+/// An invalid lifecycle transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitionError {
+    /// State the container was in.
+    pub from: ContainerState,
+    /// State the caller requested.
+    pub to: ContainerState,
+}
+
+impl std::fmt::Display for TransitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid container transition {} -> {}", self.from, self.to)
+    }
+}
+
+impl std::error::Error for TransitionError {}
+
+/// A kernel-replica container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Container {
+    id: u64,
+    host: HostId,
+    state: ContainerState,
+    /// Creation time (µs of virtual time), for age-based pool policies.
+    created_us: u64,
+}
+
+impl Container {
+    /// Starts provisioning a container on `host` at `now_us`.
+    pub fn provision(id: u64, host: HostId, now_us: u64) -> Self {
+        Container {
+            id,
+            host,
+            state: ContainerState::Provisioning,
+            created_us: now_us,
+        }
+    }
+
+    /// Container id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Hosting server.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> ContainerState {
+        self.state
+    }
+
+    /// Creation time in microseconds.
+    pub fn created_us(&self) -> u64 {
+        self.created_us
+    }
+
+    /// Age at `now_us`.
+    pub fn age_us(&self, now_us: u64) -> u64 {
+        now_us.saturating_sub(self.created_us)
+    }
+
+    fn transition(&mut self, to: ContainerState, allowed_from: &[ContainerState]) -> Result<(), TransitionError> {
+        if allowed_from.contains(&self.state) {
+            self.state = to;
+            Ok(())
+        } else {
+            Err(TransitionError {
+                from: self.state,
+                to,
+            })
+        }
+    }
+
+    /// Provisioning finished into the pre-warm pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionError`] unless currently `Provisioning`.
+    pub fn into_warm_pool(&mut self) -> Result<(), TransitionError> {
+        self.transition(ContainerState::Warm, &[ContainerState::Provisioning])
+    }
+
+    /// Assigned to a kernel replica: begins registration with the Local
+    /// Scheduler. Valid from `Provisioning` (cold path) or `Warm`
+    /// (pool hit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionError`] from any other state.
+    pub fn begin_registration(&mut self) -> Result<(), TransitionError> {
+        self.transition(
+            ContainerState::Registering,
+            &[ContainerState::Provisioning, ContainerState::Warm],
+        )
+    }
+
+    /// Registration acknowledged; the replica is live.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionError`] unless currently `Registering`.
+    pub fn mark_running(&mut self) -> Result<(), TransitionError> {
+        self.transition(ContainerState::Running, &[ContainerState::Registering])
+    }
+
+    /// Returns a finished container to the pool (the LCP baseline reuses
+    /// containers instead of terminating them).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionError`] unless currently `Running`.
+    pub fn return_to_pool(&mut self) -> Result<(), TransitionError> {
+        self.transition(ContainerState::Warm, &[ContainerState::Running])
+    }
+
+    /// Terminates the container. Valid from every state except
+    /// `Terminated` (termination is idempotent-hostile by design: a double
+    /// terminate is an accounting bug).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionError`] if already terminated.
+    pub fn terminate(&mut self) -> Result<(), TransitionError> {
+        self.transition(
+            ContainerState::Terminated,
+            &[
+                ContainerState::Provisioning,
+                ContainerState::Warm,
+                ContainerState::Registering,
+                ContainerState::Running,
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_path_lifecycle() {
+        let mut c = Container::provision(1, 7, 1000);
+        assert_eq!(c.state(), ContainerState::Provisioning);
+        assert_eq!(c.host(), 7);
+        c.begin_registration().unwrap();
+        c.mark_running().unwrap();
+        assert_eq!(c.state(), ContainerState::Running);
+        c.terminate().unwrap();
+        assert_eq!(c.state(), ContainerState::Terminated);
+    }
+
+    #[test]
+    fn warm_path_lifecycle() {
+        let mut c = Container::provision(2, 7, 0);
+        c.into_warm_pool().unwrap();
+        assert_eq!(c.state(), ContainerState::Warm);
+        c.begin_registration().unwrap();
+        c.mark_running().unwrap();
+        // LCP: back to the pool after the cell.
+        c.return_to_pool().unwrap();
+        assert_eq!(c.state(), ContainerState::Warm);
+    }
+
+    #[test]
+    fn invalid_transitions_rejected() {
+        let mut c = Container::provision(3, 7, 0);
+        assert!(c.mark_running().is_err());
+        assert!(c.return_to_pool().is_err());
+        c.begin_registration().unwrap();
+        assert!(c.into_warm_pool().is_err());
+        c.mark_running().unwrap();
+        c.terminate().unwrap();
+        let err = c.terminate().unwrap_err();
+        assert_eq!(err.from, ContainerState::Terminated);
+        assert!(err.to_string().contains("terminated"));
+    }
+
+    #[test]
+    fn age_tracking() {
+        let c = Container::provision(4, 7, 1_000_000);
+        assert_eq!(c.age_us(2_500_000), 1_500_000);
+        assert_eq!(c.age_us(500_000), 0);
+        assert_eq!(c.created_us(), 1_000_000);
+        assert_eq!(c.id(), 4);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ContainerState::Warm.to_string(), "warm");
+        assert_eq!(ContainerState::Running.to_string(), "running");
+    }
+}

@@ -1,0 +1,350 @@
+//! A GPU server: device-level GPU binding plus the two-level resource
+//! accounting NotebookOS relies on.
+//!
+//! Each host tracks resources at two levels (§3.2.1):
+//!
+//! * **Subscribed** — what the kernel replicas placed on this host have
+//!   *requested*. Subscriptions deliberately oversubscribe the host; the
+//!   subscription ratio (SR) keeps this bounded.
+//! * **Committed** — what is *exclusively bound* right now, i.e. the
+//!   resources of replicas actively executing a cell. Committed resources
+//!   can never exceed capacity.
+
+use std::collections::HashMap;
+
+use crate::resources::{ResourceBundle, ResourceRequest};
+
+/// Identifier of a GPU server.
+pub type HostId = u64;
+
+/// Opaque identifier of whoever holds a commitment (a kernel-replica id in
+/// the platform).
+pub type OwnerId = u64;
+
+/// Why a commit attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitError {
+    /// Not enough uncommitted capacity in some dimension.
+    Insufficient {
+        /// What was requested.
+        requested: ResourceBundle,
+        /// What remains uncommitted.
+        available: ResourceBundle,
+    },
+    /// The owner already holds a commitment on this host.
+    AlreadyCommitted(OwnerId),
+}
+
+impl std::fmt::Display for CommitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommitError::Insufficient { requested, available } => {
+                write!(f, "requested {requested} but only {available} available")
+            }
+            CommitError::AlreadyCommitted(owner) => {
+                write!(f, "owner {owner} already holds a commitment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommitError {}
+
+/// A GPU server in the NotebookOS cluster.
+#[derive(Debug, Clone)]
+pub struct Host {
+    id: HostId,
+    capacity: ResourceBundle,
+    /// Device-level GPU ownership: `gpu_owner[d] == Some(owner)` while
+    /// device `d` is exclusively bound.
+    gpu_owner: Vec<Option<OwnerId>>,
+    /// Exclusively bound resources (never exceeds capacity).
+    committed: ResourceBundle,
+    /// Live commitments by owner.
+    commitments: HashMap<OwnerId, ResourceBundle>,
+    /// Sum of GPU requests of all replicas scheduled here (the `S` in the
+    /// SR formula), including idle replicas.
+    subscribed_gpus: u64,
+    /// Number of kernel-replica containers scheduled here.
+    replica_count: u32,
+    /// Set when the autoscaler is draining this host for scale-in.
+    draining: bool,
+}
+
+impl Host {
+    /// Creates a host with the given capacity.
+    pub fn new(id: HostId, capacity: ResourceBundle) -> Self {
+        Host {
+            id,
+            capacity,
+            gpu_owner: vec![None; capacity.gpus as usize],
+            committed: ResourceBundle::default(),
+            commitments: HashMap::new(),
+            subscribed_gpus: 0,
+            replica_count: 0,
+            draining: false,
+        }
+    }
+
+    /// An 8-GPU server matching the evaluation's EC2 instances.
+    pub fn p3_16xlarge(id: HostId) -> Self {
+        Host::new(id, ResourceBundle::p3_16xlarge())
+    }
+
+    /// The host id.
+    pub fn id(&self) -> HostId {
+        self.id
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> ResourceBundle {
+        self.capacity
+    }
+
+    /// Currently committed (exclusively bound) resources.
+    pub fn committed(&self) -> ResourceBundle {
+        self.committed
+    }
+
+    /// Capacity minus committed.
+    pub fn available(&self) -> ResourceBundle {
+        self.capacity.saturating_sub(&self.committed)
+    }
+
+    /// Number of GPUs not exclusively bound right now.
+    pub fn idle_gpus(&self) -> u32 {
+        self.capacity.gpus - self.committed.gpus
+    }
+
+    /// Number of GPUs exclusively bound right now (the `C` of §3.4.2).
+    pub fn committed_gpus(&self) -> u32 {
+        self.committed.gpus
+    }
+
+    /// Sum of GPU requests subscribed by replicas on this host (`S`).
+    pub fn subscribed_gpus(&self) -> u64 {
+        self.subscribed_gpus
+    }
+
+    /// Number of replica containers scheduled here.
+    pub fn replica_count(&self) -> u32 {
+        self.replica_count
+    }
+
+    /// Whether the host is being drained for scale-in.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Marks/unmarks the host as draining.
+    pub fn set_draining(&mut self, draining: bool) {
+        self.draining = draining;
+    }
+
+    /// The subscription ratio `S / (G · R)` (§3.4.1), where `R` is the
+    /// replication factor. Returns 0 for GPU-less hosts.
+    pub fn subscription_ratio(&self, replication_factor: u32) -> f64 {
+        let denom = u64::from(self.capacity.gpus) * u64::from(replication_factor.max(1));
+        if denom == 0 {
+            return 0.0;
+        }
+        self.subscribed_gpus as f64 / denom as f64
+    }
+
+    /// Registers a kernel replica's subscription (does **not** commit
+    /// resources).
+    pub fn subscribe(&mut self, request: &ResourceRequest) {
+        self.subscribed_gpus += u64::from(request.gpus);
+        self.replica_count += 1;
+    }
+
+    /// Removes a kernel replica's subscription.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no matching subscription exists (accounting bug).
+    pub fn unsubscribe(&mut self, request: &ResourceRequest) {
+        assert!(
+            self.subscribed_gpus >= u64::from(request.gpus) && self.replica_count > 0,
+            "unsubscribe without subscription on host {}",
+            self.id
+        );
+        self.subscribed_gpus -= u64::from(request.gpus);
+        self.replica_count -= 1;
+    }
+
+    /// Whether `request` could be committed right now.
+    pub fn can_commit(&self, request: &ResourceRequest) -> bool {
+        self.available().covers(&ResourceBundle::from_request(request))
+    }
+
+    /// Exclusively binds `request` for `owner`, returning the GPU device ids
+    /// bound (§3.3: the Global Scheduler embeds these into the request
+    /// metadata).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommitError::Insufficient`] when capacity is lacking and
+    /// [`CommitError::AlreadyCommitted`] when `owner` already holds a
+    /// commitment here.
+    pub fn commit(&mut self, owner: OwnerId, request: &ResourceRequest) -> Result<Vec<u32>, CommitError> {
+        if self.commitments.contains_key(&owner) {
+            return Err(CommitError::AlreadyCommitted(owner));
+        }
+        let bundle = ResourceBundle::from_request(request);
+        if !self.available().covers(&bundle) {
+            return Err(CommitError::Insufficient {
+                requested: bundle,
+                available: self.available(),
+            });
+        }
+        let mut devices = Vec::with_capacity(request.gpus as usize);
+        for (device, slot) in self.gpu_owner.iter_mut().enumerate() {
+            if devices.len() == request.gpus as usize {
+                break;
+            }
+            if slot.is_none() {
+                *slot = Some(owner);
+                devices.push(device as u32);
+            }
+        }
+        debug_assert_eq!(devices.len(), request.gpus as usize, "device accounting drift");
+        self.committed += bundle;
+        self.commitments.insert(owner, bundle);
+        Ok(devices)
+    }
+
+    /// Releases `owner`'s commitment, returning the freed bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner` holds no commitment (accounting bug).
+    pub fn release(&mut self, owner: OwnerId) -> ResourceBundle {
+        let bundle = self
+            .commitments
+            .remove(&owner)
+            .unwrap_or_else(|| panic!("owner {owner} holds no commitment on host {}", self.id));
+        for slot in &mut self.gpu_owner {
+            if *slot == Some(owner) {
+                *slot = None;
+            }
+        }
+        self.committed -= bundle;
+        bundle
+    }
+
+    /// Whether `owner` currently holds a commitment here.
+    pub fn has_commitment(&self, owner: OwnerId) -> bool {
+        self.commitments.contains_key(&owner)
+    }
+
+    /// Number of live commitments (actively executing replicas).
+    pub fn active_commitments(&self) -> usize {
+        self.commitments.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu_req(gpus: u32) -> ResourceRequest {
+        ResourceRequest::new(4000, 16_384, gpus, 16)
+    }
+
+    #[test]
+    fn commit_binds_distinct_devices() {
+        let mut h = Host::p3_16xlarge(1);
+        let d1 = h.commit(10, &gpu_req(4)).unwrap();
+        let d2 = h.commit(11, &gpu_req(4)).unwrap();
+        assert_eq!(d1, vec![0, 1, 2, 3]);
+        assert_eq!(d2, vec![4, 5, 6, 7]);
+        assert_eq!(h.idle_gpus(), 0);
+        assert_eq!(h.active_commitments(), 2);
+    }
+
+    #[test]
+    fn commit_rejects_over_capacity() {
+        let mut h = Host::p3_16xlarge(1);
+        h.commit(10, &gpu_req(6)).unwrap();
+        let err = h.commit(11, &gpu_req(4)).unwrap_err();
+        assert!(matches!(err, CommitError::Insufficient { .. }));
+        assert!(h.can_commit(&gpu_req(2)));
+        assert!(!h.can_commit(&gpu_req(3)));
+    }
+
+    #[test]
+    fn double_commit_rejected() {
+        let mut h = Host::p3_16xlarge(1);
+        h.commit(10, &gpu_req(1)).unwrap();
+        assert_eq!(
+            h.commit(10, &gpu_req(1)).unwrap_err(),
+            CommitError::AlreadyCommitted(10)
+        );
+    }
+
+    #[test]
+    fn release_returns_devices() {
+        let mut h = Host::p3_16xlarge(1);
+        h.commit(10, &gpu_req(8)).unwrap();
+        assert!(h.has_commitment(10));
+        let freed = h.release(10);
+        assert_eq!(freed.gpus, 8);
+        assert_eq!(h.idle_gpus(), 8);
+        assert!(!h.has_commitment(10));
+        // Devices are reusable afterwards.
+        let d = h.commit(11, &gpu_req(2)).unwrap();
+        assert_eq!(d, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "holds no commitment")]
+    fn release_without_commit_panics() {
+        let mut h = Host::p3_16xlarge(1);
+        h.release(99);
+    }
+
+    #[test]
+    fn subscription_ratio_matches_paper_example() {
+        // §3.4.1: 8-GPU host serving 4 kernel containers each requiring 4
+        // GPUs → S = 16, SR = 16 / (8·3) = 0.667.
+        let mut h = Host::p3_16xlarge(1);
+        for _ in 0..4 {
+            h.subscribe(&gpu_req(4));
+        }
+        assert!((h.subscription_ratio(3) - 16.0 / 24.0).abs() < 1e-9);
+        assert_eq!(h.subscribed_gpus(), 16);
+        assert_eq!(h.replica_count(), 4);
+        h.unsubscribe(&gpu_req(4));
+        assert_eq!(h.subscribed_gpus(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsubscribe without subscription")]
+    fn unsubscribe_underflow_panics() {
+        let mut h = Host::p3_16xlarge(1);
+        h.unsubscribe(&gpu_req(1));
+    }
+
+    #[test]
+    fn cpu_only_commit_needs_no_devices() {
+        let mut h = Host::p3_16xlarge(1);
+        let devices = h.commit(1, &ResourceRequest::new(1000, 1024, 0, 0)).unwrap();
+        assert!(devices.is_empty());
+        assert_eq!(h.idle_gpus(), 8);
+    }
+
+    #[test]
+    fn draining_flag() {
+        let mut h = Host::p3_16xlarge(1);
+        assert!(!h.is_draining());
+        h.set_draining(true);
+        assert!(h.is_draining());
+    }
+
+    #[test]
+    fn gpu_less_host_sr_is_zero() {
+        let h = Host::new(1, ResourceBundle::new(1000, 1000, 0));
+        assert_eq!(h.subscription_ratio(3), 0.0);
+    }
+}

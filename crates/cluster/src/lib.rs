@@ -1,0 +1,42 @@
+//! GPU cluster substrate for the NotebookOS reproduction.
+//!
+//! Models the fleet of GPU servers the platform schedules onto: per-host
+//! device-level GPU binding, the two-level (subscribed vs committed)
+//! resource accounting behind the paper's subscription-ratio mechanism
+//! (§3.4.1), the pre-warmed container pool (§3.2.3), and calibrated
+//! provisioning-latency models.
+//!
+//! # Example
+//!
+//! ```
+//! use notebookos_cluster::{Cluster, ResourceBundle, ResourceRequest};
+//!
+//! let mut cluster = Cluster::with_hosts(30, ResourceBundle::p3_16xlarge());
+//! assert_eq!(cluster.total_gpus(), 240);
+//!
+//! // Subscribe a replica, then exclusively commit during a cell execution.
+//! let req = ResourceRequest::one_gpu();
+//! let host_id = cluster.subscription_candidates(&req, 3, 1.0)[0];
+//! let host = cluster.host_mut(host_id).unwrap();
+//! host.subscribe(&req);
+//! let devices = host.commit(7, &req)?;
+//! assert_eq!(devices.len(), 1);
+//! # Ok::<(), notebookos_cluster::CommitError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod container;
+pub mod host;
+pub mod pool;
+pub mod provisioning;
+pub mod resources;
+
+pub use cluster::Cluster;
+pub use container::{Container, ContainerState, TransitionError};
+pub use host::{CommitError, Host, HostId, OwnerId};
+pub use pool::{MinPerHost, PrewarmPolicy, PrewarmPool};
+pub use provisioning::ProvisioningModel;
+pub use resources::{ResourceBundle, ResourceRequest};

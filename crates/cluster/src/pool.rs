@@ -1,0 +1,144 @@
+//! The pre-warmed container pool (§3.2.3, "Pre-warmed Container Pool").
+//!
+//! The Container Prewarmer maintains warm containers per host so that
+//! replica migrations (and, under the LCP baseline, ordinary cell requests)
+//! skip cold container provisioning. Policies are pluggable; the default
+//! keeps a minimum number of warm containers on every host.
+
+use std::collections::HashMap;
+
+use crate::host::HostId;
+
+/// Pluggable policy deciding how many warm containers each host should hold.
+pub trait PrewarmPolicy {
+    /// Target number of warm containers for `host` given the current pool
+    /// size on that host.
+    fn target_for(&self, host: HostId, current: u32) -> u32;
+}
+
+/// The default policy: a fixed minimum per host (§3.2.3: "the Container
+/// Prewarmer ensures that each server has a specified, minimum number of
+/// pre-warmed containers available").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinPerHost(pub u32);
+
+impl PrewarmPolicy for MinPerHost {
+    fn target_for(&self, _host: HostId, _current: u32) -> u32 {
+        self.0
+    }
+}
+
+/// Tracks warm containers per host.
+#[derive(Debug, Default)]
+pub struct PrewarmPool {
+    warm: HashMap<HostId, u32>,
+    /// Totals for instrumentation.
+    acquired: u64,
+    missed: u64,
+}
+
+impl PrewarmPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        PrewarmPool::default()
+    }
+
+    /// Number of warm containers on `host`.
+    pub fn warm_on(&self, host: HostId) -> u32 {
+        self.warm.get(&host).copied().unwrap_or(0)
+    }
+
+    /// Total warm containers across the cluster.
+    pub fn total_warm(&self) -> u32 {
+        self.warm.values().sum()
+    }
+
+    /// Takes a warm container from `host` if one is available. Returns
+    /// whether the acquisition hit the pool (miss = cold start needed).
+    pub fn acquire(&mut self, host: HostId) -> bool {
+        match self.warm.get_mut(&host) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                self.acquired += 1;
+                true
+            }
+            _ => {
+                self.missed += 1;
+                false
+            }
+        }
+    }
+
+    /// Returns a container to `host`'s pool (LCP returns containers after
+    /// execution instead of terminating them).
+    pub fn put(&mut self, host: HostId) {
+        *self.warm.entry(host).or_insert(0) += 1;
+    }
+
+    /// Registers that a host left the cluster; its warm containers vanish.
+    pub fn forget_host(&mut self, host: HostId) {
+        self.warm.remove(&host);
+    }
+
+    /// Computes the warm-container deficit per host under `policy` for the
+    /// given host set: `(host, missing_count)` pairs, sorted by host id.
+    /// The caller provisions that many containers (asynchronously) and calls
+    /// [`PrewarmPool::put`] as each becomes warm.
+    pub fn deficits<P: PrewarmPolicy>(&self, hosts: &[HostId], policy: &P) -> Vec<(HostId, u32)> {
+        let mut out: Vec<(HostId, u32)> = hosts
+            .iter()
+            .filter_map(|&h| {
+                let current = self.warm_on(h);
+                let target = policy.target_for(h, current);
+                (target > current).then(|| (h, target - current))
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// `(pool hits, pool misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.acquired, self.missed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_hits_and_misses() {
+        let mut pool = PrewarmPool::new();
+        pool.put(1);
+        assert!(pool.acquire(1));
+        assert!(!pool.acquire(1));
+        assert!(!pool.acquire(2));
+        assert_eq!(pool.stats(), (1, 2));
+    }
+
+    #[test]
+    fn totals() {
+        let mut pool = PrewarmPool::new();
+        pool.put(1);
+        pool.put(1);
+        pool.put(2);
+        assert_eq!(pool.warm_on(1), 2);
+        assert_eq!(pool.total_warm(), 3);
+        pool.forget_host(1);
+        assert_eq!(pool.total_warm(), 1);
+    }
+
+    #[test]
+    fn deficits_follow_policy() {
+        let mut pool = PrewarmPool::new();
+        pool.put(2);
+        pool.put(2);
+        let d = pool.deficits(&[1, 2, 3], &MinPerHost(2));
+        assert_eq!(d, vec![(1, 2), (3, 2)]);
+        // Satisfied hosts are omitted.
+        assert!(pool.deficits(&[2], &MinPerHost(2)).is_empty());
+        // Zero-minimum policy never asks for containers.
+        assert!(pool.deficits(&[1, 2, 3], &MinPerHost(0)).is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! The billing model of the simulation study (§5.5.1).
+//!
+//! The provider pays for provisioned EC2 hosts; users pay 1.15× the
+//! provider's rate in proportion to the resources they use. Standby
+//! distributed-kernel replicas are charged 12.5 % of the base rate. The
+//! paper's worked example: with an 8-GPU VM at $10/hour, a standby replica
+//! bills $1.44/hour (10 × 1.15 × 0.125) and a replica training on 4 GPUs
+//! bills $5.75/hour (10 × 1.15 × 4/8).
+
+use crate::config::BillingConfig;
+
+/// Streaming revenue/cost meter for one platform run.
+#[derive(Debug, Clone)]
+pub struct BillingMeter {
+    config: BillingConfig,
+    host_gpus: u32,
+    last_time_s: f64,
+    cost_usd: f64,
+    revenue_usd: f64,
+    // Current rates (per hour), updated on every state change.
+    hosts: u32,
+    standby_replicas: u32,
+    active_gpus: u64,
+    reserved_gpus: u64,
+}
+
+impl BillingMeter {
+    /// Creates a meter for hosts with `host_gpus` GPUs each.
+    pub fn new(config: BillingConfig, host_gpus: u32) -> Self {
+        BillingMeter {
+            config,
+            host_gpus: host_gpus.max(1),
+            last_time_s: 0.0,
+            cost_usd: 0.0,
+            revenue_usd: 0.0,
+            hosts: 0,
+            standby_replicas: 0,
+            active_gpus: 0,
+            reserved_gpus: 0,
+        }
+    }
+
+    fn accrue(&mut self, now_s: f64) {
+        debug_assert!(now_s >= self.last_time_s, "billing went backwards");
+        let hours = (now_s - self.last_time_s) / 3600.0;
+        self.last_time_s = now_s;
+        let base = self.config.host_hourly_usd;
+        let user = base * self.config.user_multiplier;
+
+        // Provider cost: every provisioned host, all the time.
+        self.cost_usd += f64::from(self.hosts) * base * hours;
+
+        // Revenue: standby replicas at the standby fraction, actively
+        // training replicas in proportion to GPUs used, and (Reservation)
+        // reserved GPUs in proportion to the reservation.
+        self.revenue_usd += f64::from(self.standby_replicas) * user * self.config.standby_fraction * hours;
+        self.revenue_usd += self.active_gpus as f64 / f64::from(self.host_gpus) * user * hours;
+        self.revenue_usd += self.reserved_gpus as f64 / f64::from(self.host_gpus) * user * hours;
+    }
+
+    /// Updates the number of provisioned hosts at `now_s`.
+    pub fn set_hosts(&mut self, now_s: f64, hosts: u32) {
+        self.accrue(now_s);
+        self.hosts = hosts;
+    }
+
+    /// Updates the number of standby (idle) kernel replicas at `now_s`.
+    pub fn set_standby_replicas(&mut self, now_s: f64, replicas: u32) {
+        self.accrue(now_s);
+        self.standby_replicas = replicas;
+    }
+
+    /// Updates the number of GPUs actively used by executing replicas.
+    pub fn set_active_gpus(&mut self, now_s: f64, gpus: u64) {
+        self.accrue(now_s);
+        self.active_gpus = gpus;
+    }
+
+    /// Updates the number of GPUs held by full-lifetime reservations
+    /// (Reservation baseline only).
+    pub fn set_reserved_gpus(&mut self, now_s: f64, gpus: u64) {
+        self.accrue(now_s);
+        self.reserved_gpus = gpus;
+    }
+
+    /// Accrues up to `now_s` and reports `(provider_cost, revenue)` in USD.
+    pub fn totals(&mut self, now_s: f64) -> (f64, f64) {
+        self.accrue(now_s);
+        (self.cost_usd, self.revenue_usd)
+    }
+
+    /// Profit margin `(revenue - cost) / revenue` at `now_s`, in percent.
+    /// Returns 0 with zero revenue.
+    pub fn profit_margin_pct(&mut self, now_s: f64) -> f64 {
+        let (cost, revenue) = self.totals(now_s);
+        if revenue <= 0.0 {
+            0.0
+        } else {
+            (revenue - cost) / revenue * 100.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meter() -> BillingMeter {
+        BillingMeter::new(BillingConfig::default(), 8)
+    }
+
+    #[test]
+    fn paper_worked_example_standby() {
+        // One standby replica for one hour → $1.44.
+        let mut m = meter();
+        m.set_standby_replicas(0.0, 1);
+        let (_, revenue) = m.totals(3600.0);
+        assert!((revenue - 1.4375).abs() < 1e-9, "revenue {revenue}");
+    }
+
+    #[test]
+    fn paper_worked_example_active() {
+        // Training on 4 of 8 GPUs for one hour → $5.75.
+        let mut m = meter();
+        m.set_active_gpus(0.0, 4);
+        let (_, revenue) = m.totals(3600.0);
+        assert!((revenue - 5.75).abs() < 1e-9, "revenue {revenue}");
+    }
+
+    #[test]
+    fn provider_cost_tracks_hosts() {
+        let mut m = meter();
+        m.set_hosts(0.0, 3);
+        m.set_hosts(1800.0, 1); // 3 hosts for 30 min, then 1 host
+        let (cost, _) = m.totals(3600.0);
+        // 3×10×0.5 + 1×10×0.5 = 20.
+        assert!((cost - 20.0).abs() < 1e-9, "cost {cost}");
+    }
+
+    #[test]
+    fn reservation_revenue_proportional() {
+        let mut m = meter();
+        m.set_reserved_gpus(0.0, 8);
+        let (_, revenue) = m.totals(3600.0);
+        assert!((revenue - 11.5).abs() < 1e-9, "revenue {revenue}");
+    }
+
+    #[test]
+    fn profit_margin() {
+        let mut m = meter();
+        m.set_hosts(0.0, 1);
+        m.set_reserved_gpus(0.0, 8);
+        // Revenue 11.5/h, cost 10/h → margin (1.5/11.5) ≈ 13.04 %.
+        let margin = m.profit_margin_pct(3600.0);
+        assert!((margin - 13.043).abs() < 0.01, "margin {margin}");
+        // Zero revenue → zero margin, not NaN.
+        let mut empty = meter();
+        assert_eq!(empty.profit_margin_pct(100.0), 0.0);
+    }
+
+    #[test]
+    fn mixed_accrual_is_piecewise() {
+        let mut m = meter();
+        m.set_hosts(0.0, 2);
+        m.set_active_gpus(3600.0, 8);
+        let (cost, revenue) = m.totals(7200.0);
+        assert!((cost - 40.0).abs() < 1e-9);
+        assert!((revenue - 11.5).abs() < 1e-9);
+    }
+}

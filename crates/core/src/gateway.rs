@@ -1,0 +1,306 @@
+//! The Fig. 4 kernel-creation control plane: Jupyter Server →
+//! `GatewayProvisioner` → Global Scheduler → Local Schedulers → replicas.
+//!
+//! NotebookOS integrates with vanilla Jupyter through a custom kernel
+//! provisioner (§4): creating a kernel issues a `StartKernel` RPC to the
+//! Global Scheduler, which picks R candidate hosts and issues
+//! `StartKernelReplica` RPCs to their Local Schedulers; each replica
+//! registers back and the connection info flows to the Jupyter Server.
+//! This module implements that sequence as typed RPCs over the in-memory
+//! control plane, and exposes it behind the standard
+//! [`KernelProvisioner`] trait so any Jupyter-compatible front end works.
+
+use std::collections::HashMap;
+
+use notebookos_cluster::{Cluster, HostId, ResourceRequest};
+use notebookos_jupyter::{ConnectionInfo, KernelProvisioner, KernelResourceSpec, ProvisionError};
+
+use crate::policy::{PlacementContext, PlacementPolicy};
+use crate::types::ReplicaId;
+
+/// The control-plane RPCs of Fig. 4, recorded for observability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlRpc {
+    /// Step 1: Jupyter Server asks the Global Scheduler for a new kernel.
+    StartKernel {
+        /// The new kernel's id.
+        kernel_id: String,
+        /// The user's resource request.
+        spec: KernelResourceSpec,
+    },
+    /// Step 2: Global Scheduler asks a Local Scheduler for one replica.
+    StartKernelReplica {
+        /// The replica being created.
+        replica: ReplicaId,
+        /// The target host.
+        host: HostId,
+    },
+    /// Step 4: the replica registered with its Local Scheduler.
+    ReplicaRegistered {
+        /// The registered replica.
+        replica: ReplicaId,
+        /// Its endpoint, as reported back to the Global Scheduler.
+        endpoint: String,
+    },
+    /// Step 5 (completion): the kernel's connection info returned to the
+    /// Jupyter Server.
+    KernelReady {
+        /// The kernel's id.
+        kernel_id: String,
+    },
+}
+
+/// A created distributed kernel's placement record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelPlacement {
+    /// Numeric kernel id used for resource-owner tokens.
+    pub kernel_seq: u64,
+    /// Host of each replica (index = replica index).
+    pub replica_hosts: Vec<HostId>,
+    /// The original resource request.
+    pub request: ResourceRequest,
+}
+
+/// The Global Scheduler's kernel-creation front end.
+///
+/// Owns kernel bookkeeping over a borrowed cluster view; the DES platform
+/// embeds the same logic inline for performance, and this type exposes it
+/// to external (Jupyter-facing) callers plus the tests.
+#[derive(Debug)]
+pub struct GatewayProvisioner<P: PlacementPolicy> {
+    cluster: Cluster,
+    policy: P,
+    replication_factor: u32,
+    kernels: HashMap<String, KernelPlacement>,
+    next_seq: u64,
+    /// Every control RPC issued, in order (Fig. 4's arrows).
+    rpc_log: Vec<ControlRpc>,
+    signing_key: Vec<u8>,
+}
+
+impl<P: PlacementPolicy> GatewayProvisioner<P> {
+    /// Creates a provisioner over `cluster` with the given policy.
+    pub fn new(cluster: Cluster, policy: P, replication_factor: u32) -> Self {
+        GatewayProvisioner {
+            cluster,
+            policy,
+            replication_factor,
+            kernels: HashMap::new(),
+            next_seq: 0,
+            rpc_log: Vec::new(),
+            signing_key: b"notebookos-gateway".to_vec(),
+        }
+    }
+
+    /// The recorded control-plane traffic.
+    pub fn rpc_log(&self) -> &[ControlRpc] {
+        &self.rpc_log
+    }
+
+    /// Placement of `kernel_id`, if it exists.
+    pub fn placement(&self, kernel_id: &str) -> Option<&KernelPlacement> {
+        self.kernels.get(kernel_id)
+    }
+
+    /// The cluster view (for assertions and scheduling decisions).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Live kernel count.
+    pub fn kernel_count(&self) -> usize {
+        self.kernels.len()
+    }
+
+    fn request_of(spec: &KernelResourceSpec) -> ResourceRequest {
+        ResourceRequest::new(
+            u64::from(spec.millicpus),
+            u64::from(spec.memory_mb),
+            spec.gpus,
+            spec.vram_gb,
+        )
+    }
+}
+
+impl<P: PlacementPolicy> KernelProvisioner for GatewayProvisioner<P> {
+    fn launch(
+        &mut self,
+        kernel_id: &str,
+        spec: KernelResourceSpec,
+    ) -> Result<ConnectionInfo, ProvisionError> {
+        if self.kernels.contains_key(kernel_id) {
+            return Err(ProvisionError::InsufficientResources(format!(
+                "kernel `{kernel_id}` already exists"
+            )));
+        }
+        self.rpc_log.push(ControlRpc::StartKernel {
+            kernel_id: kernel_id.to_string(),
+            spec,
+        });
+
+        let request = Self::request_of(&spec);
+        let ranked = self.policy.rank(&PlacementContext {
+            cluster: &self.cluster,
+            request: &request,
+            replication_factor: self.replication_factor,
+        });
+        if (ranked.len() as u32) < self.replication_factor {
+            // §3.2.1: without R viable candidates the Global Scheduler
+            // invokes the scale-out handler; at this API layer the caller
+            // owns scale-out, so report the shortfall.
+            return Err(ProvisionError::InsufficientResources(format!(
+                "need {} candidate hosts, found {}",
+                self.replication_factor,
+                ranked.len()
+            )));
+        }
+
+        let kernel_seq = self.next_seq;
+        self.next_seq += 1;
+        let chosen: Vec<HostId> = ranked.into_iter().take(self.replication_factor as usize).collect();
+        let mut endpoints = Vec::with_capacity(chosen.len());
+        for (index, &host) in chosen.iter().enumerate() {
+            let replica = ReplicaId::new(kernel_seq, index as u32);
+            self.rpc_log.push(ControlRpc::StartKernelReplica { replica, host });
+            self.cluster
+                .host_mut(host)
+                .expect("ranked host exists")
+                .subscribe(&request);
+            let endpoint = format!("host-{host}:59{index}1");
+            self.rpc_log.push(ControlRpc::ReplicaRegistered {
+                replica,
+                endpoint: endpoint.clone(),
+            });
+            endpoints.push(endpoint);
+        }
+        self.kernels.insert(
+            kernel_id.to_string(),
+            KernelPlacement {
+                kernel_seq,
+                replica_hosts: chosen,
+                request,
+            },
+        );
+        self.rpc_log.push(ControlRpc::KernelReady {
+            kernel_id: kernel_id.to_string(),
+        });
+        Ok(ConnectionInfo {
+            kernel_id: kernel_id.to_string(),
+            endpoints,
+            key: self.signing_key.clone(),
+        })
+    }
+
+    fn shutdown(&mut self, kernel_id: &str) -> Result<(), ProvisionError> {
+        let placement = self
+            .kernels
+            .remove(kernel_id)
+            .ok_or_else(|| ProvisionError::UnknownKernel(kernel_id.to_string()))?;
+        for host in placement.replica_hosts {
+            if let Some(h) = self.cluster.host_mut(host) {
+                h.unsubscribe(&placement.request);
+            }
+        }
+        Ok(())
+    }
+
+    fn is_alive(&self, kernel_id: &str) -> bool {
+        self.kernels.contains_key(kernel_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BinPacking, LeastLoaded};
+    use notebookos_cluster::ResourceBundle;
+
+    fn spec() -> KernelResourceSpec {
+        KernelResourceSpec {
+            millicpus: 4000,
+            memory_mb: 16_384,
+            gpus: 2,
+            vram_gb: 16,
+        }
+    }
+
+    fn gateway() -> GatewayProvisioner<LeastLoaded> {
+        let cluster = Cluster::with_hosts(4, ResourceBundle::p3_16xlarge());
+        GatewayProvisioner::new(cluster, LeastLoaded, 3)
+    }
+
+    #[test]
+    fn launch_follows_fig4_sequence() {
+        let mut g = gateway();
+        let info = g.launch("kernel-1", spec()).expect("launches");
+        assert_eq!(info.endpoints.len(), 3);
+        assert!(g.is_alive("kernel-1"));
+        // RPC order: StartKernel, then (StartKernelReplica,
+        // ReplicaRegistered) × 3, then KernelReady.
+        assert_eq!(g.rpc_log().len(), 1 + 3 * 2 + 1);
+        assert!(matches!(g.rpc_log()[0], ControlRpc::StartKernel { .. }));
+        assert!(matches!(g.rpc_log().last(), Some(ControlRpc::KernelReady { .. })));
+        // Replicas land on distinct hosts.
+        let placement = g.placement("kernel-1").expect("placed");
+        let mut hosts = placement.replica_hosts.clone();
+        hosts.sort_unstable();
+        hosts.dedup();
+        assert_eq!(hosts.len(), 3, "replicas on distinct hosts");
+        // Subscriptions recorded.
+        assert_eq!(g.cluster().total_subscribed_gpus(), 6);
+    }
+
+    #[test]
+    fn shutdown_releases_subscriptions() {
+        let mut g = gateway();
+        g.launch("kernel-1", spec()).expect("launches");
+        g.shutdown("kernel-1").expect("shuts down");
+        assert!(!g.is_alive("kernel-1"));
+        assert_eq!(g.cluster().total_subscribed_gpus(), 0);
+        assert!(matches!(
+            g.shutdown("kernel-1"),
+            Err(ProvisionError::UnknownKernel(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_kernel_ids_rejected() {
+        let mut g = gateway();
+        g.launch("kernel-1", spec()).expect("launches");
+        assert!(g.launch("kernel-1", spec()).is_err());
+        assert_eq!(g.kernel_count(), 1);
+    }
+
+    #[test]
+    fn shortfall_reports_insufficient_resources() {
+        let cluster = Cluster::with_hosts(2, ResourceBundle::p3_16xlarge());
+        let mut g = GatewayProvisioner::new(cluster, LeastLoaded, 3);
+        // Only 2 candidate hosts for R = 3.
+        let err = g.launch("kernel-1", spec()).unwrap_err();
+        assert!(matches!(err, ProvisionError::InsufficientResources(_)));
+        assert_eq!(g.kernel_count(), 0);
+        assert_eq!(g.cluster().total_subscribed_gpus(), 0, "no partial placement");
+    }
+
+    #[test]
+    fn many_kernels_spread_subscriptions() {
+        let mut g = gateway();
+        for i in 0..8 {
+            g.launch(&format!("kernel-{i}"), spec()).expect("launches");
+        }
+        assert_eq!(g.kernel_count(), 8);
+        assert_eq!(g.cluster().total_subscribed_gpus(), 8 * 3 * 2);
+        // Least-loaded spreads: every host hosts some replicas.
+        for host in g.cluster().hosts() {
+            assert!(host.replica_count() > 0, "host {} unused", host.id());
+        }
+    }
+
+    #[test]
+    fn works_with_alternative_policies() {
+        let cluster = Cluster::with_hosts(4, ResourceBundle::p3_16xlarge());
+        let mut g = GatewayProvisioner::new(cluster, BinPacking, 3);
+        g.launch("kernel-1", spec()).expect("launches under bin-packing");
+        assert_eq!(g.placement("kernel-1").unwrap().replica_hosts.len(), 3);
+    }
+}

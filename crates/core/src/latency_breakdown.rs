@@ -1,0 +1,178 @@
+//! Per-step critical-path latency accounting (Fig. 15 and Figs. 16–19).
+//!
+//! The appendix decomposes every execution request into numbered steps.
+//! The steps with non-negligible latency — the ones the figures plot — are
+//! modelled here; pure forwarding steps are omitted exactly as the paper
+//! omits them ("their latency is near zero for all baselines").
+
+use notebookos_metrics::{Cdf, Table};
+
+/// The measured critical-path steps (Fig. 15 numbering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Step {
+    /// Step 1 — Global Scheduler request processing: queuing, on-demand
+    /// container provisioning, placement decisions.
+    GlobalSchedulerRequest,
+    /// Step 5 — kernel replica pre-processing (metadata extraction).
+    KernelPreprocess,
+    /// Step 6 — executor-replica selection protocol (NotebookOS only).
+    PrimaryReplicaProtocol,
+    /// Step 7 — intermediary interval between selection and execution
+    /// (GPU binding + model load to GPU).
+    IntermediaryInterval,
+    /// Step 8 — the user code's execution itself.
+    Execute,
+    /// Step 9 — kernel post-processing (state sync / large-object writes;
+    /// asynchronous in NotebookOS, on the critical path in the baselines).
+    KernelPostprocess,
+    /// Step 10 — reply hop from the kernel back to the Local Scheduler.
+    ReplyToLocalScheduler,
+}
+
+impl Step {
+    /// All measured steps in figure order.
+    pub const ALL: [Step; 7] = [
+        Step::GlobalSchedulerRequest,
+        Step::KernelPreprocess,
+        Step::PrimaryReplicaProtocol,
+        Step::IntermediaryInterval,
+        Step::Execute,
+        Step::KernelPostprocess,
+        Step::ReplyToLocalScheduler,
+    ];
+
+    /// The figure's axis label for this step.
+    pub fn label(self) -> &'static str {
+        match self {
+            Step::GlobalSchedulerRequest => "GS P Rq (1)",
+            Step::KernelPreprocess => "K PP Rq (5)",
+            Step::PrimaryReplicaProtocol => "K PRP (6)",
+            Step::IntermediaryInterval => "K PRP Exec (7)",
+            Step::Execute => "K Exec (8)",
+            Step::KernelPostprocess => "K P Rsp (9)",
+            Step::ReplyToLocalScheduler => "LS<-K (10)",
+        }
+    }
+}
+
+/// Collects per-step latency CDFs plus the end-to-end total for one policy.
+#[derive(Debug, Clone)]
+pub struct BreakdownRecorder {
+    policy: String,
+    end_to_end: Cdf,
+    steps: Vec<(Step, Cdf)>,
+}
+
+impl BreakdownRecorder {
+    /// Creates a recorder labelled with the policy name.
+    pub fn new(policy: impl Into<String>) -> Self {
+        let policy = policy.into();
+        BreakdownRecorder {
+            end_to_end: Cdf::new(format!("{policy}/E2E")),
+            steps: Step::ALL
+                .iter()
+                .map(|&s| (s, Cdf::new(format!("{policy}/{}", s.label()))))
+                .collect(),
+            policy,
+        }
+    }
+
+    /// Records one step's latency (milliseconds) for one request.
+    pub fn record_step(&mut self, step: Step, millis: f64) {
+        let (_, cdf) = self
+            .steps
+            .iter_mut()
+            .find(|(s, _)| *s == step)
+            .expect("all steps pre-registered");
+        cdf.record(millis);
+    }
+
+    /// Records a request's end-to-end latency (milliseconds).
+    pub fn record_end_to_end(&mut self, millis: f64) {
+        self.end_to_end.record(millis);
+    }
+
+    /// The policy label.
+    pub fn policy(&self) -> &str {
+        &self.policy
+    }
+
+    /// Read access to a step's CDF.
+    pub fn step_cdf(&self, step: Step) -> &Cdf {
+        &self
+            .steps
+            .iter()
+            .find(|(s, _)| *s == step)
+            .expect("all steps pre-registered")
+            .1
+    }
+
+    /// Read access to the end-to-end CDF.
+    pub fn end_to_end_cdf(&self) -> &Cdf {
+        &self.end_to_end
+    }
+
+    /// Renders the Figs. 16–19 row set: one row per step with the
+    /// percentile spread in milliseconds.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            format!("Latency breakdown — {}", self.policy),
+            &["step", "n", "p50 (ms)", "p90 (ms)", "p99 (ms)", "max (ms)"],
+        );
+        let mut rows: Vec<(String, Cdf)> = vec![("E2E".to_string(), self.end_to_end.clone())];
+        rows.extend(
+            self.steps
+                .iter()
+                .map(|(s, c)| (s.label().to_string(), c.clone())),
+        );
+        for (label, mut cdf) in rows {
+            if cdf.is_empty() {
+                table.row_owned(vec![label, "0".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            } else {
+                table.row_owned(vec![
+                    label,
+                    cdf.len().to_string(),
+                    format!("{:.2}", cdf.percentile(50.0)),
+                    format!("{:.2}", cdf.percentile(90.0)),
+                    format!("{:.2}", cdf.percentile(99.0)),
+                    format!("{:.2}", cdf.max()),
+                ]);
+            }
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_the_right_step() {
+        let mut r = BreakdownRecorder::new("NotebookOS");
+        r.record_step(Step::Execute, 120_000.0);
+        r.record_step(Step::PrimaryReplicaProtocol, 25.0);
+        r.record_end_to_end(120_050.0);
+        assert_eq!(r.step_cdf(Step::Execute).len(), 1);
+        assert_eq!(r.step_cdf(Step::PrimaryReplicaProtocol).len(), 1);
+        assert_eq!(r.step_cdf(Step::KernelPreprocess).len(), 0);
+        assert_eq!(r.end_to_end_cdf().len(), 1);
+    }
+
+    #[test]
+    fn table_has_a_row_per_step_plus_e2e() {
+        let mut r = BreakdownRecorder::new("Batch");
+        r.record_step(Step::GlobalSchedulerRequest, 18_000.0);
+        let t = r.to_table();
+        assert_eq!(t.len(), Step::ALL.len() + 1);
+        let rendered = t.to_string();
+        assert!(rendered.contains("GS P Rq (1)"));
+        assert!(rendered.contains("Batch"));
+    }
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(Step::Execute.label(), "K Exec (8)");
+        assert_eq!(Step::ALL.len(), 7);
+    }
+}

@@ -1,0 +1,1264 @@
+//! The NotebookOS platform simulation: Global/Local Scheduler behaviour,
+//! distributed kernels with dynamic GPU binding, migration, auto-scaling,
+//! and the three baselines, all driven through the discrete-event core.
+//!
+//! One [`Platform`] instance replays one [`WorkloadTrace`] under one
+//! [`PolicyKind`] and produces the [`RunMetrics`] every evaluation figure
+//! consumes. The protocol-heavy pieces (Raft, executor elections) run for
+//! real in [`crate::smr`]; inside this trace-scale simulation their latency
+//! comes from the calibrated [`ElectionModel`] (see that module's docs for
+//! why).
+
+use std::collections::VecDeque;
+
+use notebookos_cluster::{Cluster, HostId, PrewarmPool, ProvisioningModel, ResourceRequest};
+use notebookos_datastore::DataStore;
+use notebookos_des::{EventQueue, SimRng, SimTime, Simulation, World};
+use notebookos_trace::WorkloadTrace;
+
+use crate::config::{PlacementKind, PlatformConfig, PolicyKind};
+use crate::billing::BillingMeter;
+use crate::policy::{BinPacking, LeastLoaded, PlacementContext, PlacementPolicy, RandomPlacement, RoundRobin};
+use crate::election::{Designation, ElectionModel};
+use crate::latency_breakdown::Step;
+use crate::results::RunMetrics;
+use crate::types::ReplicaId;
+
+/// Events driving the platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings documented on each variant
+pub enum Ev {
+    /// A user session (notebook) starts.
+    SessionStart(usize),
+    /// A user session terminates.
+    SessionEnd(usize),
+    /// The client submits cell `e` of session `s`. `submit_us` is the
+    /// original submission instant for retried/queued requests.
+    CellSubmit { s: usize, e: usize, submit_us: u64 },
+    /// A cell execution finishes on `host`.
+    ExecFinish { s: usize, e: usize, host: HostId, submit_us: u64, start_us: u64 },
+    /// Retry a failed migration (§3.2.3).
+    MigrationRetry { s: usize, e: usize, submit_us: u64 },
+    /// A scale-out completes: one new host joins.
+    HostReady,
+    /// Periodic auto-scaler evaluation (§3.4.2).
+    AutoscaleTick,
+    /// Periodic billing/metrics snapshot.
+    MetricsTick,
+    /// An injected fail-stop failure of one kernel replica (§3.2.5).
+    ReplicaFailure,
+}
+
+/// Runtime state of one session.
+#[derive(Debug, Clone)]
+struct SessionRt {
+    req: ResourceRequest,
+    checkpoint_bytes: u64,
+    dataset_bytes: u64,
+    active: bool,
+    /// Reservation baseline: the host exclusively holding this session's
+    /// resources for its whole lifetime.
+    reserved_host: Option<HostId>,
+    /// NotebookOS: hosts of the kernel's replicas (length R once created).
+    replica_hosts: Vec<HostId>,
+    /// When the distributed kernel finished bootstrapping.
+    kernel_ready_us: u64,
+    /// The replica that executed the previous cell.
+    last_executor: Option<usize>,
+    /// Post-execution state replication in flight until this instant;
+    /// §3.2.4: submissions during replication are enqueued.
+    replicating_until_us: u64,
+    /// Whether a cell is currently executing (or being placed).
+    busy: bool,
+    /// Cells waiting because the session was busy.
+    waiting: VecDeque<(usize, u64)>,
+    /// Migration retries consumed by the currently pending execution.
+    migration_retries: u32,
+    /// Whether this session's kernel creation is waiting for scale-out.
+    kernel_pending: bool,
+}
+
+/// The platform world.
+#[derive(Debug)]
+pub struct Platform {
+    config: PlatformConfig,
+    trace: WorkloadTrace,
+    cluster: Cluster,
+    pool: PrewarmPool,
+    store: DataStore,
+    provisioning: ProvisioningModel,
+    election: ElectionModel,
+    rng: SimRng,
+    sessions: Vec<SessionRt>,
+    /// FCFS queue of (session, event, submit_us) for the Batch baseline.
+    batch_queue: VecDeque<(usize, usize, u64)>,
+    /// Sessions whose kernel creation awaits capacity.
+    pending_kernels: VecDeque<usize>,
+    /// Hosts currently being provisioned by scale-out.
+    hosts_in_flight: u32,
+    placement: Box<dyn PlacementPolicy + Send>,
+    billing: BillingMeter,
+    standby_replicas: i64,
+    /// GPUs belonging to cells that are actively executing right now — the
+    /// "utilized" series of Figs. 2(d) and 14(b). Differs from the
+    /// cluster's committed GPUs under Reservation, where commitments span
+    /// whole sessions.
+    training_gpus: i64,
+    metrics: RunMetrics,
+    horizon_us: u64,
+}
+
+impl Platform {
+    /// Builds a platform for `config` over `trace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: PlatformConfig, trace: WorkloadTrace) -> Self {
+        config.validate().expect("invalid platform config");
+        let cluster = Cluster::with_hosts(config.initial_hosts as usize, config.host_shape);
+        let mut rng = SimRng::seed(config.seed);
+        let policy_name = config.policy.to_string();
+        let sessions = trace
+            .sessions
+            .iter()
+            .map(|s| SessionRt {
+                req: ResourceRequest::new(s.millicpus, s.memory_mb, s.gpus, s.vram_gb),
+                checkpoint_bytes: s.profile.checkpoint_bytes(),
+                dataset_bytes: s.profile.dataset.size_bytes,
+                active: false,
+                reserved_host: None,
+                replica_hosts: Vec::new(),
+                kernel_ready_us: 0,
+                last_executor: None,
+                replicating_until_us: 0,
+                busy: false,
+                waiting: VecDeque::new(),
+                migration_retries: 0,
+                kernel_pending: false,
+            })
+            .collect();
+        let horizon_us = (trace.span_s() * 1e6) as u64;
+        let billing = BillingMeter::new(config.billing, config.host_shape.gpus);
+        let placement: Box<dyn PlacementPolicy + Send> = match config.placement {
+            PlacementKind::LeastLoaded => Box::new(LeastLoaded),
+            PlacementKind::RoundRobin => Box::new(RoundRobin::default()),
+            PlacementKind::BinPacking => Box::new(BinPacking),
+            PlacementKind::Random => Box::new(RandomPlacement::new(config.seed ^ 0xFACE)),
+        };
+        let mut platform = Platform {
+            placement,
+            pool: PrewarmPool::new(),
+            store: DataStore::new(config.datastore),
+            provisioning: ProvisioningModel::new(),
+            election: ElectionModel::new(),
+            rng: rng.fork(0),
+            sessions,
+            batch_queue: VecDeque::new(),
+            pending_kernels: VecDeque::new(),
+            hosts_in_flight: 0,
+            billing,
+            standby_replicas: 0,
+            training_gpus: 0,
+            metrics: RunMetrics::new(&policy_name),
+            horizon_us,
+            cluster,
+            config,
+            trace,
+        };
+        platform.billing.set_hosts(0.0, platform.cluster.len() as u32);
+        platform.refresh_provisioned_gauge(0.0);
+        platform.seed_prewarm_pool();
+        platform
+    }
+
+    /// Runs the full trace and returns the collected metrics.
+    pub fn run(config: PlatformConfig, trace: WorkloadTrace) -> RunMetrics {
+        let mut platform = Platform::new(config, trace);
+        let mut queue = EventQueue::new();
+        platform.schedule_initial(&mut queue);
+        let horizon = SimTime::from_micros(platform.horizon_us + 60_000_000);
+        let mut sim = Simulation::new(platform);
+        std::mem::swap(sim.queue_mut(), &mut queue);
+        sim.run_until(horizon);
+        let end = sim.now();
+        let world = sim.into_world();
+        world.finish(end)
+    }
+
+    fn schedule_initial(&mut self, queue: &mut EventQueue<Ev>) {
+        for (s, session) in self.trace.sessions.iter().enumerate() {
+            queue.schedule(SimTime::from_secs_f64(session.start_s), Ev::SessionStart(s));
+            queue.schedule(SimTime::from_secs_f64(session.end_s), Ev::SessionEnd(s));
+            for (e, event) in session.events.iter().enumerate() {
+                queue.schedule(
+                    SimTime::from_secs_f64(event.submit_s),
+                    Ev::CellSubmit {
+                        s,
+                        e,
+                        submit_us: (event.submit_s * 1e6) as u64,
+                    },
+                );
+            }
+        }
+        if self.config.autoscale.enabled {
+            queue.schedule(
+                SimTime::from_secs_f64(self.config.autoscale.interval_s),
+                Ev::AutoscaleTick,
+            );
+        }
+        queue.schedule(SimTime::from_secs(3600), Ev::MetricsTick);
+        if self.config.replica_mtbf_hours.is_some() {
+            let delay = self.next_failure_delay();
+            queue.schedule(delay, Ev::ReplicaFailure);
+        }
+    }
+
+    /// Exponential inter-failure time from the configured MTBF.
+    fn next_failure_delay(&mut self) -> SimTime {
+        let mtbf_h = self.config.replica_mtbf_hours.expect("injection enabled");
+        let hours = -self.rng.next_f64_open().ln() * mtbf_h;
+        SimTime::from_secs_f64(hours * 3600.0)
+    }
+
+    /// Injected fail-stop failure of one random kernel replica (§3.2.5).
+    ///
+    /// With quorum intact (single failure of an R = 3 kernel), the Global
+    /// Scheduler recreates the replica on the same host and it rejoins by
+    /// replaying the Raft log from its peers — all off any execution's
+    /// critical path, so the only observable cost is a container start.
+    fn on_replica_failure(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
+        let candidates: Vec<usize> = self
+            .sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.active && !s.replica_hosts.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        if !candidates.is_empty() {
+            let s = candidates[self.rng.index(candidates.len())];
+            let replica = self.rng.index(self.sessions[s].replica_hosts.len());
+            let host = self.sessions[s].replica_hosts[replica];
+            let failed = crate::types::ReplicaId::new(s as u64, replica as u32);
+            match crate::failure::recovery_action(&[failed], self.config.replication_factor) {
+                crate::failure::RecoveryAction::RecreateReplica(_) => {
+                    // Container restart (pre-warmed if available) + log
+                    // replay; the subscription stays on the host.
+                    if self.pool.acquire(host) {
+                        self.metrics.counters.warm_hits += 1;
+                    } else {
+                        self.metrics.counters.cold_starts += 1;
+                    }
+                    let replay = self.election.sync_latency(&mut self.rng);
+                    self.metrics.sync_ms.record(replay.as_millis_f64());
+                    self.metrics.counters.replica_failures += 1;
+                }
+                _ => {
+                    // Quorum loss cannot happen from a single injected
+                    // failure at R >= 3; with R = 1 the kernel rebuilds
+                    // from the data store.
+                    let _ = self.data_read(s, false);
+                    self.metrics.counters.replica_failures += 1;
+                }
+            }
+        }
+        if now.as_micros() < self.horizon_us {
+            let delay = self.next_failure_delay();
+            queue.schedule_in(now, delay, Ev::ReplicaFailure);
+        }
+    }
+
+    fn finish(mut self, end: SimTime) -> RunMetrics {
+        let end_s = end.as_secs_f64();
+        self.metrics.end_s = end_s;
+        let (cost, revenue) = self.billing.totals(end_s);
+        self.metrics.billing_samples.push((end_s, cost, revenue));
+        self.metrics
+    }
+
+    // ------------------------------------------------------------------
+    // Gauges and shared bookkeeping
+    // ------------------------------------------------------------------
+
+    fn refresh_provisioned_gauge(&mut self, now_s: f64) {
+        let provisioned = match self.config.policy {
+            PolicyKind::Reservation => self
+                .sessions
+                .iter()
+                .filter(|s| s.active && s.reserved_host.is_some())
+                .map(|s| f64::from(s.req.gpus))
+                .sum(),
+            PolicyKind::Batch => self.cluster.total_committed_gpus() as f64,
+            PolicyKind::NotebookOs | PolicyKind::NotebookOsLcp => self.cluster.total_gpus() as f64,
+        };
+        self.metrics.provisioned_gpus.set(now_s, provisioned);
+    }
+
+    fn refresh_committed_gauge(&mut self, now_s: f64) {
+        let committed = self.cluster.total_committed_gpus();
+        self.metrics
+            .committed_gpus
+            .set(now_s, self.training_gpus.max(0) as f64);
+        // Under Reservation the cluster's commitments *are* the lifetime
+        // reservations, which the reserved-GPU meter already bills.
+        if self.config.policy != PolicyKind::Reservation {
+            self.billing.set_active_gpus(now_s, committed);
+        }
+        if self.config.policy == PolicyKind::Batch {
+            self.refresh_provisioned_gauge(now_s);
+        }
+    }
+
+    fn refresh_sr_gauge(&mut self, now_s: f64) {
+        let sr = self.cluster.sr_limit(self.config.replication_factor);
+        if sr.is_finite() {
+            self.metrics.subscription_ratio.set(now_s, sr);
+        }
+    }
+
+    fn refresh_reserved_gauge(&mut self, now_s: f64) {
+        let reserved: f64 = self
+            .sessions
+            .iter()
+            .filter(|s| s.active)
+            .map(|s| f64::from(s.req.gpus))
+            .sum();
+        self.metrics.reserved_gpus.set(now_s, reserved);
+        if self.config.policy == PolicyKind::Reservation {
+            self.billing.set_reserved_gpus(now_s, reserved as u64);
+        }
+    }
+
+    fn set_standby(&mut self, now_s: f64, delta: i64) {
+        self.standby_replicas = (self.standby_replicas + delta).max(0);
+        self.billing
+            .set_standby_replicas(now_s, self.standby_replicas as u32);
+    }
+
+    fn seed_prewarm_pool(&mut self) {
+        let hosts: Vec<HostId> = self.cluster.hosts().iter().map(|h| h.id()).collect();
+        for host in hosts {
+            for _ in 0..self.config.prewarm_min_per_host {
+                self.pool.put(host);
+            }
+        }
+    }
+
+    fn route_hops(&mut self, hops: u32) -> SimTime {
+        let mut total = SimTime::ZERO;
+        for _ in 0..hops {
+            total += self.provisioning.network_hop(&mut self.rng);
+        }
+        total
+    }
+
+    /// Commits `req` on `host` for `owner`, updating gauges.
+    fn commit_on(&mut self, now_s: f64, host: HostId, owner: u64, req: &ResourceRequest) -> bool {
+        let Some(h) = self.cluster.host_mut(host) else { return false };
+        if h.commit(owner, req).is_err() {
+            return false;
+        }
+        self.refresh_committed_gauge(now_s);
+        true
+    }
+
+    fn release_on(&mut self, now_s: f64, host: HostId, owner: u64) {
+        if let Some(h) = self.cluster.host_mut(host) {
+            if h.has_commitment(owner) {
+                h.release(owner);
+            }
+        }
+        self.refresh_committed_gauge(now_s);
+    }
+
+    // ------------------------------------------------------------------
+    // Session lifecycle
+    // ------------------------------------------------------------------
+
+    fn on_session_start(&mut self, now: SimTime, s: usize, queue: &mut EventQueue<Ev>) {
+        let now_s = now.as_secs_f64();
+        self.sessions[s].active = true;
+        self.refresh_reserved_gauge(now_s);
+        match self.config.policy {
+            PolicyKind::Reservation => self.reservation_reserve(now, s),
+            PolicyKind::Batch | PolicyKind::NotebookOsLcp => {}
+            PolicyKind::NotebookOs => self.create_distributed_kernel(now, s, queue),
+        }
+        self.refresh_provisioned_gauge(now_s);
+    }
+
+    fn on_session_end(&mut self, now: SimTime, s: usize) {
+        let now_s = now.as_secs_f64();
+        let session = &mut self.sessions[s];
+        if !session.active {
+            return;
+        }
+        session.active = false;
+        if let Some(host) = session.reserved_host.take() {
+            let owner = reservation_owner(s);
+            self.release_on(now_s, host, owner);
+        }
+        let replica_hosts = std::mem::take(&mut self.sessions[s].replica_hosts);
+        if !replica_hosts.is_empty() {
+            let req = self.sessions[s].req;
+            for host in replica_hosts {
+                if let Some(h) = self.cluster.host_mut(host) {
+                    h.unsubscribe(&req);
+                }
+            }
+            let executing = self.sessions[s].busy;
+            let r = i64::from(self.config.replication_factor);
+            self.set_standby(now_s, -(r - i64::from(executing)));
+            self.refresh_sr_gauge(now_s);
+        }
+        self.refresh_reserved_gauge(now_s);
+        self.refresh_provisioned_gauge(now_s);
+    }
+
+    /// Reservation baseline: exclusively commit for the session's lifetime,
+    /// growing the cluster if the fixed fleet is full (the provider must
+    /// provision to meet reservations).
+    fn reservation_reserve(&mut self, now: SimTime, s: usize) {
+        let now_s = now.as_secs_f64();
+        let req = self.sessions[s].req;
+        let owner = reservation_owner(s);
+        let host = self
+            .cluster
+            .hosts()
+            .iter()
+            .filter(|h| h.can_commit(&req))
+            .map(|h| (h.idle_gpus(), h.id()))
+            .max()
+            .map(|(_, id)| id)
+            .unwrap_or_else(|| {
+                let id = self.cluster.add_host(self.config.host_shape);
+                self.billing.set_hosts(now_s, self.cluster.len() as u32);
+                id
+            });
+        let committed = self.commit_on(now_s, host, owner, &req);
+        debug_assert!(committed, "fresh host must fit a session reservation");
+        self.sessions[s].reserved_host = Some(host);
+    }
+
+    /// NotebookOS: place R replica subscriptions (§3.2.1); on shortfall,
+    /// trigger scale-out and park the creation (§3.4.2).
+    fn create_distributed_kernel(&mut self, now: SimTime, s: usize, queue: &mut EventQueue<Ev>) {
+        let now_s = now.as_secs_f64();
+        let req = self.sessions[s].req;
+        let r = self.config.replication_factor;
+        let candidates = self.placement.rank(&PlacementContext {
+            cluster: &self.cluster,
+            request: &req,
+            replication_factor: r,
+        });
+        if (candidates.len() as u32) < r {
+            let shortfall = r - candidates.len() as u32;
+            self.sessions[s].kernel_pending = true;
+            if !self.pending_kernels.contains(&s) {
+                self.pending_kernels.push_back(s);
+            }
+            self.trigger_scale_out(now, shortfall, queue);
+            return;
+        }
+        let chosen: Vec<HostId> = candidates.into_iter().take(r as usize).collect();
+        for &host in &chosen {
+            self.cluster
+                .host_mut(host)
+                .expect("candidate exists")
+                .subscribe(&req);
+        }
+        // Kernel bootstrap: container provisioning (prefer pre-warmed) +
+        // registration + Raft cluster establishment — off the critical path
+        // of any cell, but the first cell waits if it arrives earlier.
+        let mut boot = SimTime::ZERO;
+        for &host in &chosen {
+            let container = if self.pool.acquire(host) {
+                self.metrics.counters.warm_hits += 1;
+                self.provisioning.warm_container_start(&mut self.rng)
+            } else {
+                self.metrics.counters.cold_starts += 1;
+                self.provisioning.cold_container_start(&mut self.rng)
+            };
+            boot = boot.max(container);
+        }
+        boot += self.provisioning.registration(&mut self.rng);
+        boot += self.election.sync_latency(&mut self.rng); // Raft group formation
+        let session = &mut self.sessions[s];
+        session.replica_hosts = chosen;
+        session.kernel_ready_us = now.as_micros() + boot.as_micros();
+        session.kernel_pending = false;
+        self.metrics.counters.kernel_creations += 1;
+        self.metrics.kernel_creation_times_s.push(now_s);
+        self.set_standby(now_s, i64::from(r));
+        self.refresh_sr_gauge(now_s);
+    }
+
+    // ------------------------------------------------------------------
+    // Cell submission
+    // ------------------------------------------------------------------
+
+    fn on_cell_submit(&mut self, now: SimTime, s: usize, e: usize, submit_us: u64, queue: &mut EventQueue<Ev>) {
+        if !self.sessions[s].active {
+            return; // session ended before the queued cell ran
+        }
+        if self.sessions[s].busy {
+            self.sessions[s].waiting.push_back((e, submit_us));
+            return;
+        }
+        // §3.2.4: requests during state replication wait for it to finish.
+        let repl_until = self.sessions[s].replicating_until_us;
+        if now.as_micros() < repl_until {
+            queue.schedule(SimTime::from_micros(repl_until), Ev::CellSubmit { s, e, submit_us });
+            return;
+        }
+        self.sessions[s].busy = true;
+        self.sessions[s].migration_retries = 0;
+        match self.config.policy {
+            PolicyKind::Reservation => self.submit_reservation(now, s, e, submit_us, queue),
+            PolicyKind::Batch => {
+                self.batch_queue.push_back((s, e, submit_us));
+                self.serve_batch_queue(now, queue);
+            }
+            PolicyKind::NotebookOs => self.submit_notebookos(now, s, e, submit_us, queue),
+            PolicyKind::NotebookOsLcp => self.submit_lcp(now, s, e, submit_us, queue),
+        }
+    }
+
+    fn schedule_exec(
+        &mut self,
+        now: SimTime,
+        s: usize,
+        e: usize,
+        submit_us: u64,
+        host: HostId,
+        pre_exec_delay: SimTime,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let start = now + pre_exec_delay;
+        let interactivity_ms = (start.as_micros().saturating_sub(submit_us)) as f64 / 1e3;
+        self.metrics.interactivity_ms.record(interactivity_ms);
+        self.training_gpus += i64::from(self.sessions[s].req.gpus);
+        self.refresh_committed_gauge(now.as_secs_f64());
+        let duration = SimTime::from_secs_f64(self.trace.sessions[s].events[e].duration_s);
+        queue.schedule(
+            start + duration,
+            Ev::ExecFinish {
+                s,
+                e,
+                host,
+                submit_us,
+                start_us: start.as_micros(),
+            },
+        );
+        self.metrics
+            .breakdown
+            .record_step(Step::Execute, duration.as_millis_f64());
+    }
+
+    /// Reservation: GPUs are already bound; only routing and preprocessing
+    /// sit before execution.
+    fn submit_reservation(&mut self, now: SimTime, s: usize, e: usize, submit_us: u64, queue: &mut EventQueue<Ev>) {
+        let host = self.sessions[s].reserved_host.expect("reserved at start");
+        let gs = self.route_hops(2);
+        let pre = self.route_hops(2) + SimTime::from_millis(1);
+        let load = self.provisioning.gpu_model_load(&mut self.rng);
+        self.metrics
+            .breakdown
+            .record_step(Step::GlobalSchedulerRequest, gs.as_millis_f64());
+        self.metrics
+            .breakdown
+            .record_step(Step::KernelPreprocess, pre.as_millis_f64());
+        self.metrics
+            .breakdown
+            .record_step(Step::IntermediaryInterval, load.as_millis_f64());
+        self.schedule_exec(now, s, e, submit_us, host, gs + pre + load, queue);
+    }
+
+    /// Batch (FCFS): serve the queue head whenever capacity exists.
+    fn serve_batch_queue(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
+        let now_s = now.as_secs_f64();
+        while let Some(&(s, e, submit_us)) = self.batch_queue.front() {
+            let req = self.sessions[s].req;
+            let owner = batch_owner(s);
+            let host = self
+                .cluster
+                .hosts()
+                .iter()
+                .filter(|h| h.can_commit(&req))
+                .map(|h| (h.idle_gpus(), h.id()))
+                .max()
+                .map(|(_, id)| id);
+            let Some(host) = host else { break };
+            if !self.commit_on(now_s, host, owner, &req) {
+                break;
+            }
+            self.batch_queue.pop_front();
+            // Cold container + mandatory input fetch, all on the critical
+            // path (§5.3.3).
+            let pre = self.route_hops(2) + SimTime::from_millis(1);
+            self.metrics
+                .breakdown
+                .record_step(Step::KernelPreprocess, pre.as_millis_f64());
+            let cold = self.provisioning.cold_container_start(&mut self.rng);
+            self.metrics.counters.cold_starts += 1;
+            let queue_wait_ms = (now.as_micros().saturating_sub(submit_us)) as f64 / 1e3;
+            self.metrics
+                .breakdown
+                .record_step(Step::GlobalSchedulerRequest, queue_wait_ms + cold.as_millis_f64());
+            let fetch = self.data_read(s, true);
+            let load = self.provisioning.gpu_model_load(&mut self.rng);
+            self.metrics
+                .breakdown
+                .record_step(Step::IntermediaryInterval, (fetch + load).as_millis_f64());
+            self.schedule_exec(now, s, e, submit_us, host, pre + cold + fetch + load, queue);
+        }
+    }
+
+    /// NotebookOS: the Global Scheduler designates an executor replica if
+    /// any replica host can commit the GPUs right now; otherwise every
+    /// replica yields and a migration begins (§3.2.2–§3.2.3).
+    fn submit_notebookos(&mut self, now: SimTime, s: usize, e: usize, submit_us: u64, queue: &mut EventQueue<Ev>) {
+        // Wait for kernel bootstrap if the first cell beat it.
+        let ready = self.sessions[s].kernel_ready_us;
+        if self.sessions[s].kernel_pending || self.sessions[s].replica_hosts.is_empty() {
+            // Kernel creation is waiting on scale-out; retry shortly.
+            self.sessions[s].busy = false;
+            queue.schedule_in(now, SimTime::from_secs(5), Ev::CellSubmit { s, e, submit_us });
+            return;
+        }
+        if now.as_micros() < ready {
+            self.sessions[s].busy = false;
+            queue.schedule(SimTime::from_micros(ready), Ev::CellSubmit { s, e, submit_us });
+            return;
+        }
+
+        let gs = self.route_hops(2);
+        let pre = self.route_hops(2) + SimTime::from_millis(1);
+        self.metrics
+            .breakdown
+            .record_step(Step::GlobalSchedulerRequest, gs.as_millis_f64());
+        self.metrics
+            .breakdown
+            .record_step(Step::KernelPreprocess, pre.as_millis_f64());
+
+        let req = self.sessions[s].req;
+        // Preference order: last executor first (§5.3.2 reports 89.45 %
+        // executor reuse), then replicas on the most-idle hosts.
+        let hosts = self.sessions[s].replica_hosts.clone();
+        let mut order: Vec<usize> = (0..hosts.len()).collect();
+        order.sort_by_key(|&i| {
+            let idle = self
+                .cluster
+                .host(hosts[i])
+                .map(|h| h.idle_gpus())
+                .unwrap_or(0);
+            let reuse_bonus = if Some(i) == self.sessions[s].last_executor { 1 } else { 0 };
+            std::cmp::Reverse((reuse_bonus, idle))
+        });
+        let now_s = now.as_secs_f64();
+        let chosen = order.into_iter().find(|&i| {
+            self.cluster
+                .host(hosts[i])
+                .map(|h| h.can_commit(&req))
+                .unwrap_or(false)
+        });
+
+        match chosen {
+            Some(replica_idx) => {
+                let host = hosts[replica_idx];
+                let owner = ReplicaId::new(s as u64, replica_idx as u32).owner_token();
+                let ok = self.commit_on(now_s, host, owner, &req);
+                debug_assert!(ok, "can_commit checked above");
+                if self.sessions[s].last_executor == Some(replica_idx) {
+                    self.metrics.counters.executor_reuse += 1;
+                } else if self.sessions[s].last_executor.is_some() {
+                    // Executor switch: the new executor prefetches the
+                    // checkpointed large objects from the data store —
+                    // asynchronously, off the critical path (§3.2.4), but
+                    // the read latency is part of Fig. 11's "Reads" series.
+                    let _ = self.data_read(s, false);
+                }
+                self.sessions[s].last_executor = Some(replica_idx);
+                self.set_standby(now_s, -1);
+
+                // §3.2.2: with sufficient resource information the GS
+                // bypasses the Raft LEAD/YIELD phase and commits GPUs
+                // immediately at routing time; otherwise the replicas run
+                // the two-round election and the commit lands after it. The
+                // GS's view is fresh except around concurrent placements,
+                // matching the paper's 89.6 % immediate-commit rate.
+                let designation = if self.rng.chance(0.9) {
+                    self.metrics.counters.immediate_commits += 1;
+                    Designation::Bypassed
+                } else {
+                    Designation::Elected
+                };
+                let election = self.election.designation_latency(designation, &mut self.rng);
+                self.metrics
+                    .breakdown
+                    .record_step(Step::PrimaryReplicaProtocol, election.as_millis_f64());
+                let load = self.provisioning.gpu_model_load(&mut self.rng);
+                self.metrics
+                    .breakdown
+                    .record_step(Step::IntermediaryInterval, load.as_millis_f64());
+                self.schedule_exec(now, s, e, submit_us, host, gs + pre + election + load, queue);
+            }
+            None => {
+                // Failed election: all replicas yield (one sync round), then
+                // migrate (§3.2.3).
+                let yield_round = self
+                    .election
+                    .designation_latency(Designation::AllYielded, &mut self.rng);
+                self.metrics
+                    .breakdown
+                    .record_step(Step::PrimaryReplicaProtocol, yield_round.as_millis_f64());
+                // The migration starts once the all-yield round commits;
+                // route through the queue so virtual time stays monotone.
+                queue.schedule(now + yield_round, Ev::MigrationRetry { s, e, submit_us });
+            }
+        }
+    }
+
+    /// Migration of one kernel replica to a host with idle resources
+    /// (§3.2.3), retried periodically and aborted after the configured
+    /// number of attempts.
+    fn start_migration(&mut self, now: SimTime, s: usize, e: usize, submit_us: u64, queue: &mut EventQueue<Ev>) {
+        let now_s = now.as_secs_f64();
+        let req = self.sessions[s].req;
+        let hosts = self.sessions[s].replica_hosts.clone();
+        // Target: any host (not already hosting a replica of this kernel)
+        // that can immediately and exclusively bind the required GPUs.
+        let target = self
+            .cluster
+            .hosts()
+            .iter()
+            .filter(|h| !hosts.contains(&h.id()) && !h.is_draining() && h.can_commit(&req))
+            .map(|h| (h.idle_gpus(), h.id()))
+            .max()
+            .map(|(_, id)| id);
+
+        let Some(target) = target else {
+            self.sessions[s].migration_retries += 1;
+            if self.sessions[s].migration_retries > self.config.migration_max_retries {
+                // Aborted: an execute_reply with an error goes back (§3.2.3).
+                self.metrics.counters.aborted += 1;
+                self.finish_cell(now, s, queue);
+                return;
+            }
+            // Placement failure triggers scale-out (§3.4.2).
+            self.trigger_scale_out(now, 1, queue);
+            queue.schedule_in(
+                now,
+                SimTime::from_secs_f64(self.config.migration_retry_interval_s),
+                Ev::MigrationRetry { s, e, submit_us },
+            );
+            return;
+        };
+
+        // Pick the replica to move: the one on the host with the fewest
+        // idle GPUs (most contended).
+        let victim = (0..hosts.len())
+            .min_by_key(|&i| {
+                self.cluster
+                    .host(hosts[i])
+                    .map(|h| h.idle_gpus())
+                    .unwrap_or(u32::MAX)
+            })
+            .expect("kernel has replicas");
+        let old_host = hosts[victim];
+
+        // Costs on this execution's critical path: persist state, start the
+        // replacement container (pre-warmed if possible), reconfigure Raft,
+        // replay the log / read state back, then re-submit.
+        let (_, persist) = self.store.write(
+            format!("kernel-{s}/state"),
+            self.sessions[s].checkpoint_bytes,
+            &mut self.rng,
+        );
+        self.metrics.write_ms.record(persist.as_millis_f64());
+        let container = if self.pool.acquire(target) {
+            self.metrics.counters.warm_hits += 1;
+            self.provisioning.warm_container_start(&mut self.rng)
+        } else {
+            self.metrics.counters.cold_starts += 1;
+            self.provisioning.cold_container_start(&mut self.rng)
+        };
+        let reconfig = self.election.sync_latency(&mut self.rng)
+            + self.election.sync_latency(&mut self.rng);
+        let read_back = self.data_read(s, false);
+        let resubmit = self.route_hops(2);
+
+        // Re-home the subscription.
+        if let Some(h) = self.cluster.host_mut(old_host) {
+            h.unsubscribe(&req);
+        }
+        self.cluster
+            .host_mut(target)
+            .expect("target exists")
+            .subscribe(&req);
+        self.sessions[s].replica_hosts[victim] = target;
+        self.sessions[s].last_executor = Some(victim);
+        self.metrics.counters.migrations += 1;
+        self.metrics.migration_times_s.push(now_s);
+        self.refresh_sr_gauge(now_s);
+
+        let owner = ReplicaId::new(s as u64, victim as u32).owner_token();
+        let delay = persist + container + reconfig + read_back + resubmit;
+        // Commit now (the target's idle GPUs are held for exactly this
+        // migration); execution starts after the migration delay.
+        let ok = self.commit_on(now_s, target, owner, &req);
+        if !ok {
+            // The window closed while we migrated; retry.
+            queue.schedule_in(
+                now,
+                SimTime::from_secs_f64(self.config.migration_retry_interval_s),
+                Ev::MigrationRetry { s, e, submit_us },
+            );
+            return;
+        }
+        self.set_standby(now_s, -1);
+        let load = self.provisioning.gpu_model_load(&mut self.rng);
+        self.metrics
+            .breakdown
+            .record_step(Step::IntermediaryInterval, (delay + load).as_millis_f64());
+        self.schedule_exec(now, s, e, submit_us, target, delay + load, queue);
+    }
+
+    /// NotebookOS (LCP): a warm container from the pool serves the request
+    /// directly; inputs are fetched on the critical path (§5.3.3).
+    fn submit_lcp(&mut self, now: SimTime, s: usize, e: usize, submit_us: u64, queue: &mut EventQueue<Ev>) {
+        let now_s = now.as_secs_f64();
+        let req = self.sessions[s].req;
+        let owner = batch_owner(s);
+        let host = self
+            .cluster
+            .hosts()
+            .iter()
+            .filter(|h| h.can_commit(&req))
+            .map(|h| (self.pool.warm_on(h.id()).min(1), h.idle_gpus(), h.id()))
+            .max()
+            .map(|(_, _, id)| id);
+        let Some(host) = host else {
+            // No capacity: queue like a batch system and trigger scale-out.
+            self.trigger_scale_out(now, 1, queue);
+            self.sessions[s].busy = false;
+            queue.schedule_in(now, SimTime::from_secs(10), Ev::CellSubmit { s, e, submit_us });
+            return;
+        };
+        let ok = self.commit_on(now_s, host, owner, &req);
+        debug_assert!(ok);
+        let container = if self.pool.acquire(host) {
+            self.metrics.counters.warm_hits += 1;
+            self.provisioning.warm_container_start(&mut self.rng)
+        } else {
+            self.metrics.counters.cold_starts += 1;
+            self.provisioning.cold_container_start(&mut self.rng)
+        };
+        self.metrics
+            .breakdown
+            .record_step(Step::GlobalSchedulerRequest, container.as_millis_f64());
+        // Warm-up: download model parameters and dataset (§5.3.3: "a
+        // submitted cell request triggered a warming-up operation").
+        let fetch = self.data_read(s, true);
+        let load = self.provisioning.gpu_model_load(&mut self.rng);
+        self.metrics
+            .breakdown
+            .record_step(Step::IntermediaryInterval, (fetch + load).as_millis_f64());
+        self.schedule_exec(now, s, e, submit_us, host, container + fetch + load, queue);
+    }
+
+    /// Reads this session's inputs from the data store: parameters, plus
+    /// the dataset when `with_dataset`.
+    fn data_read(&mut self, s: usize, with_dataset: bool) -> SimTime {
+        let bytes = self.sessions[s].checkpoint_bytes
+            + if with_dataset { self.sessions[s].dataset_bytes } else { 0 };
+        let key = format!("kernel-{s}/inputs");
+        if !self.store.contains(&key) {
+            let (_, _) = self.store.write(key.clone(), bytes, &mut self.rng);
+        }
+        let pointer = notebookos_datastore::ObjectPointer {
+            key,
+            size_bytes: bytes,
+            backend: self.store.backend(),
+        };
+        let latency = self.store.read(&pointer, &mut self.rng).expect("just written");
+        self.metrics.read_ms.record(latency.as_millis_f64());
+        latency
+    }
+
+    // ------------------------------------------------------------------
+    // Completion
+    // ------------------------------------------------------------------
+
+    fn on_exec_finish(
+        &mut self,
+        now: SimTime,
+        s: usize,
+        e: usize,
+        host: HostId,
+        submit_us: u64,
+        start_us: u64,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let _ = start_us;
+        let _ = e;
+        let now_s = now.as_secs_f64();
+        self.training_gpus -= i64::from(self.sessions[s].req.gpus);
+        self.refresh_committed_gauge(now_s);
+        match self.config.policy {
+            PolicyKind::Reservation => {
+                // GPUs stay bound; persist state on the critical path.
+                let (_, persist) = self.store.write(
+                    format!("kernel-{s}/state"),
+                    self.sessions[s].checkpoint_bytes,
+                    &mut self.rng,
+                );
+                self.metrics.write_ms.record(persist.as_millis_f64());
+                self.metrics
+                    .breakdown
+                    .record_step(Step::KernelPostprocess, persist.as_millis_f64());
+                let reply = self.route_hops(1);
+                self.metrics
+                    .breakdown
+                    .record_step(Step::ReplyToLocalScheduler, reply.as_millis_f64());
+                let done = now + persist + reply;
+                self.record_tct(done, submit_us);
+            }
+            PolicyKind::Batch => {
+                // Write results back, then tear the container down.
+                let (_, persist) = self.store.write(
+                    format!("kernel-{s}/state"),
+                    self.sessions[s].checkpoint_bytes,
+                    &mut self.rng,
+                );
+                self.metrics.write_ms.record(persist.as_millis_f64());
+                self.metrics
+                    .breakdown
+                    .record_step(Step::KernelPostprocess, persist.as_millis_f64());
+                let reply = self.route_hops(1);
+                self.metrics
+                    .breakdown
+                    .record_step(Step::ReplyToLocalScheduler, reply.as_millis_f64());
+                let done = now + persist + reply;
+                self.record_tct(done, submit_us);
+                self.release_on(now_s, host, batch_owner(s));
+                self.serve_batch_queue(now, queue);
+            }
+            PolicyKind::NotebookOs => {
+                // GPUs release immediately; state replication is
+                // asynchronous (§3.2.4) — it only delays *future* submits.
+                let reply = self.route_hops(1);
+                self.metrics
+                    .breakdown
+                    .record_step(Step::ReplyToLocalScheduler, reply.as_millis_f64());
+                let replica = self.sessions[s].last_executor.unwrap_or(0);
+                self.release_on(now_s, host, ReplicaId::new(s as u64, replica as u32).owner_token());
+                self.set_standby(now_s, 1);
+                let done = now + reply;
+                self.record_tct(done, submit_us);
+
+                let sync = self.election.sync_latency(&mut self.rng);
+                self.metrics.sync_ms.record(sync.as_millis_f64());
+                let (_, write) = self.store.write(
+                    format!("kernel-{s}/state"),
+                    self.sessions[s].checkpoint_bytes,
+                    &mut self.rng,
+                );
+                self.metrics.write_ms.record(write.as_millis_f64());
+                self.metrics
+                    .breakdown
+                    .record_step(Step::KernelPostprocess, (sync + write).as_millis_f64());
+                self.sessions[s].replicating_until_us = (now + sync + write).as_micros();
+            }
+            PolicyKind::NotebookOsLcp => {
+                let reply = self.route_hops(1);
+                self.metrics
+                    .breakdown
+                    .record_step(Step::ReplyToLocalScheduler, reply.as_millis_f64());
+                let (_, persist) = self.store.write(
+                    format!("kernel-{s}/state"),
+                    self.sessions[s].checkpoint_bytes,
+                    &mut self.rng,
+                );
+                self.metrics.write_ms.record(persist.as_millis_f64());
+                self.metrics
+                    .breakdown
+                    .record_step(Step::KernelPostprocess, persist.as_millis_f64());
+                let done = now + persist + reply;
+                self.record_tct(done, submit_us);
+                self.release_on(now_s, host, batch_owner(s));
+                // The container returns to the pool instead of terminating.
+                self.pool.put(host);
+            }
+        }
+        self.metrics.counters.executions += 1;
+        self.finish_cell(now, s, queue);
+    }
+
+    fn record_tct(&mut self, done: SimTime, submit_us: u64) {
+        let tct_ms = (done.as_micros().saturating_sub(submit_us)) as f64 / 1e3;
+        self.metrics.tct_ms.record(tct_ms);
+        self.metrics.breakdown.record_end_to_end(tct_ms);
+    }
+
+    /// Marks the session idle and serves any queued submission.
+    fn finish_cell(&mut self, now: SimTime, s: usize, queue: &mut EventQueue<Ev>) {
+        self.sessions[s].busy = false;
+        if let Some((e, submit_us)) = self.sessions[s].waiting.pop_front() {
+            queue.schedule_in(now, SimTime::from_millis(1), Ev::CellSubmit { s, e, submit_us });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scaling
+    // ------------------------------------------------------------------
+
+    fn trigger_scale_out(&mut self, now: SimTime, hosts: u32, queue: &mut EventQueue<Ev>) {
+        if !self.config.autoscale.enabled {
+            return;
+        }
+        self.metrics.counters.scale_outs += 1;
+        self.metrics.scale_out_times_s.push(now.as_secs_f64());
+        for _ in 0..hosts {
+            self.hosts_in_flight += 1;
+            let latency = self.provisioning.vm_scale_out(&mut self.rng);
+            queue.schedule_in(now, latency, Ev::HostReady);
+        }
+    }
+
+    fn on_host_ready(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
+        let now_s = now.as_secs_f64();
+        self.hosts_in_flight = self.hosts_in_flight.saturating_sub(1);
+        let id = self.cluster.add_host(self.config.host_shape);
+        for _ in 0..self.config.prewarm_min_per_host {
+            self.pool.put(id);
+        }
+        self.billing.set_hosts(now_s, self.cluster.len() as u32);
+        self.refresh_provisioned_gauge(now_s);
+        self.refresh_sr_gauge(now_s);
+        // Resume parked kernel creations (§3.4.2: "resources are
+        // immediately reserved for the paused kernel replicas").
+        let parked: Vec<usize> = self.pending_kernels.drain(..).collect();
+        for s in parked {
+            if self.sessions[s].active {
+                self.create_distributed_kernel(now, s, queue);
+            }
+        }
+    }
+
+    fn on_autoscale_tick(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
+        let now_s = now.as_secs_f64();
+        let cfg = self.config.autoscale;
+        let committed = self.cluster.total_committed_gpus() as f64;
+        let per_host = f64::from(self.config.host_shape.gpus.max(1));
+        let mut target_hosts =
+            ((cfg.multiplier * committed / per_host).ceil() as u32 + cfg.scaling_buffer_hosts).max(cfg.min_hosts);
+        if let Some(sr_target) = cfg.sr_target {
+            // Keep enough hosts to back the standing replica subscriptions
+            // at the configured SR.
+            let subscribed = self.cluster.total_subscribed_gpus() as f64;
+            let r = f64::from(self.config.replication_factor.max(1));
+            let sr_hosts = (subscribed / (per_host * r * sr_target)).ceil() as u32;
+            target_hosts = target_hosts.max(sr_hosts);
+        }
+        let current = self.cluster.len() as u32 + self.hosts_in_flight;
+
+        if current < target_hosts {
+            self.trigger_scale_out(now, target_hosts - current, queue);
+        } else if current > target_hosts {
+            let surplus = current - target_hosts;
+            let idle = self.cluster.idle_hosts();
+            let releasable = surplus
+                .min(cfg.max_release_per_step)
+                .min(idle.len() as u32)
+                .min((self.cluster.len() as u32).saturating_sub(cfg.min_hosts));
+            for &host in idle.iter().take(releasable as usize) {
+                self.pool.forget_host(host);
+                self.cluster.remove_host(host);
+                self.metrics.counters.scale_ins += 1;
+            }
+            if releasable > 0 {
+                self.billing.set_hosts(now_s, self.cluster.len() as u32);
+                self.refresh_provisioned_gauge(now_s);
+                self.refresh_sr_gauge(now_s);
+            }
+            // §3.4.2 releases *idle* servers only (no kernel replicas at
+            // all): draining hosts that still hold replica subscriptions
+            // would block placements and ratchet the fleet upward, since
+            // subscriptions live as long as their notebook sessions.
+        }
+        if now.as_micros() < self.horizon_us {
+            queue.schedule_in(now, SimTime::from_secs_f64(cfg.interval_s), Ev::AutoscaleTick);
+        }
+    }
+
+    fn on_metrics_tick(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
+        let now_s = now.as_secs_f64();
+        let (cost, revenue) = self.billing.totals(now_s);
+        self.metrics.billing_samples.push((now_s, cost, revenue));
+        if now.as_micros() < self.horizon_us {
+            queue.schedule_in(now, SimTime::from_secs(3600), Ev::MetricsTick);
+        }
+    }
+
+    /// Read access to the collected metrics (for inspection mid-run).
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Read access to the cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+}
+
+/// Owner token for a session-lifetime reservation.
+fn reservation_owner(s: usize) -> u64 {
+    0x4000_0000_0000_0000 + s as u64
+}
+
+/// Owner token for a per-cell container (Batch / LCP).
+fn batch_owner(s: usize) -> u64 {
+    0x2000_0000_0000_0000 + s as u64
+}
+
+impl World for Platform {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {
+        match event {
+            Ev::SessionStart(s) => self.on_session_start(now, s, queue),
+            Ev::SessionEnd(s) => self.on_session_end(now, s),
+            Ev::CellSubmit { s, e, submit_us } => self.on_cell_submit(now, s, e, submit_us, queue),
+            Ev::ExecFinish {
+                s,
+                e,
+                host,
+                submit_us,
+                start_us,
+            } => self.on_exec_finish(now, s, e, host, submit_us, start_us, queue),
+            Ev::MigrationRetry { s, e, submit_us } => {
+                if self.sessions[s].active {
+                    self.start_migration(now, s, e, submit_us, queue)
+                }
+            }
+            Ev::HostReady => self.on_host_ready(now, queue),
+            Ev::AutoscaleTick => self.on_autoscale_tick(now, queue),
+            Ev::MetricsTick => self.on_metrics_tick(now, queue),
+            Ev::ReplicaFailure => self.on_replica_failure(now, queue),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use notebookos_trace::{generate, SyntheticConfig};
+
+    fn smoke_trace(seed: u64) -> WorkloadTrace {
+        generate(&SyntheticConfig::smoke(), seed)
+    }
+
+    fn run(policy: PolicyKind, seed: u64) -> RunMetrics {
+        let mut config = PlatformConfig::evaluation(policy);
+        config.seed = seed;
+        Platform::run(config, smoke_trace(seed))
+    }
+
+    #[test]
+    fn all_policies_complete_the_smoke_trace() {
+        let trace = smoke_trace(1);
+        let expected = trace.total_events() as u64;
+        for policy in PolicyKind::ALL {
+            let m = run(policy, 1);
+            assert!(
+                m.counters.executions + m.counters.aborted >= expected.saturating_sub(2),
+                "{policy}: {} of {expected} executions",
+                m.counters.executions
+            );
+            assert!(m.end_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn reservation_has_best_interactivity() {
+        let mut res = run(PolicyKind::Reservation, 2);
+        let mut batch = run(PolicyKind::Batch, 2);
+        assert!(
+            res.interactivity_ms.percentile(50.0) < batch.interactivity_ms.percentile(50.0) / 10.0,
+            "reservation {} vs batch {}",
+            res.interactivity_ms.percentile(50.0),
+            batch.interactivity_ms.percentile(50.0)
+        );
+    }
+
+    #[test]
+    fn notebookos_interactivity_is_sub_second_at_median() {
+        let mut m = run(PolicyKind::NotebookOs, 3);
+        let p50 = m.interactivity_ms.percentile(50.0);
+        assert!(p50 < 2_000.0, "median interactivity {p50} ms");
+        assert!(m.counters.immediate_commit_rate() > 0.6);
+    }
+
+    #[test]
+    fn batch_pays_cold_starts() {
+        let m = run(PolicyKind::Batch, 4);
+        assert!(m.counters.cold_starts >= m.counters.executions);
+        let mut m = m;
+        assert!(m.interactivity_ms.percentile(50.0) > 10_000.0);
+    }
+
+    #[test]
+    fn notebookos_provisions_fewer_gpu_hours_than_reservation() {
+        // The smoke trace is tiny, so shrink the floor the auto-scaler
+        // keeps; at evaluation scale (90 sessions) the default floor is
+        // negligible — see the fig08 integration test.
+        let mut config = PlatformConfig::evaluation(PolicyKind::NotebookOs);
+        config.seed = 5;
+        config.initial_hosts = 2;
+        config.autoscale.min_hosts = 2;
+        config.autoscale.scaling_buffer_hosts = 0;
+        let workload = SyntheticConfig {
+            sessions: 40,
+            span_s: 4.0 * 3600.0,
+            gpu_active_fraction: 0.3,
+            long_lived_fraction: 0.95,
+            gpu_demand: vec![(2, 1.0)],
+        };
+        let m = Platform::run(config, generate(&workload, 5));
+        assert!(
+            m.gpu_hours_saved_vs_reservation() > 0.0,
+            "saved {}",
+            m.gpu_hours_saved_vs_reservation()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(PolicyKind::NotebookOs, 6);
+        let b = run(PolicyKind::NotebookOs, 6);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.end_s, b.end_s);
+        assert_eq!(a.provisioned_gpus.points(), b.provisioned_gpus.points());
+    }
+
+    #[test]
+    fn injected_replica_failures_are_recovered() {
+        let mut config = PlatformConfig::evaluation(PolicyKind::NotebookOs);
+        config.seed = 9;
+        config.replica_mtbf_hours = Some(0.05); // ~20 failures/hour
+        let m = Platform::run(config, smoke_trace(9));
+        assert!(m.counters.replica_failures > 0, "failures were injected");
+        // Recovery is off the critical path: every cell still completes.
+        let expected = smoke_trace(9).total_events() as u64;
+        assert_eq!(m.counters.executions + m.counters.aborted, expected);
+    }
+
+    #[test]
+    fn billing_accumulates() {
+        let m = run(PolicyKind::Reservation, 7);
+        let (cost, revenue) = m.final_billing().expect("billing samples");
+        assert!(cost > 0.0);
+        assert!(revenue > 0.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Pluggable replica-placement policies (§3.4.1).
+//!
+//! "NotebookOS is designed to be highly modular. The system can support
+//! arbitrary resource scheduling policies, and implementing support for a
+//! new policy is accomplished by implementing a simple interface." This is
+//! that interface, plus four implementations: the paper's default
+//! (least-loaded with the dynamic SR cap), round-robin, bin-packing, and
+//! seeded-random.
+
+use notebookos_cluster::{Cluster, HostId, ResourceBundle, ResourceRequest};
+use notebookos_des::SimRng;
+
+/// Context handed to a placement decision.
+#[derive(Debug)]
+pub struct PlacementContext<'a> {
+    /// The cluster as the Global Scheduler sees it.
+    pub cluster: &'a Cluster,
+    /// The kernel's resource request.
+    pub request: &'a ResourceRequest,
+    /// Replicas per kernel (`R`).
+    pub replication_factor: u32,
+}
+
+/// A replica-placement policy: ranks candidate hosts for one replica
+/// subscription. The scheduler takes the first `R` distinct hosts.
+pub trait PlacementPolicy: std::fmt::Debug {
+    /// Human-readable policy name.
+    fn name(&self) -> &'static str;
+
+    /// Hosts able to take the subscription, best first. Implementations
+    /// must only return hosts whose *capacity* covers the request;
+    /// subscription pressure (SR) is policy-specific.
+    fn rank(&mut self, ctx: &PlacementContext<'_>) -> Vec<HostId>;
+}
+
+/// The paper's default: most idle GPUs first, dynamic cluster-wide SR cap
+/// as a soft preference (§3.4.1).
+#[derive(Debug, Default)]
+pub struct LeastLoaded;
+
+impl PlacementPolicy for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn rank(&mut self, ctx: &PlacementContext<'_>) -> Vec<HostId> {
+        let sr_cap = ctx.cluster.sr_limit(ctx.replication_factor).max(1.0);
+        ctx.cluster
+            .subscription_candidates(ctx.request, ctx.replication_factor, sr_cap)
+    }
+}
+
+/// Round-robin over host ids, skipping hosts without capacity.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl PlacementPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn rank(&mut self, ctx: &PlacementContext<'_>) -> Vec<HostId> {
+        let viable: Vec<HostId> = ctx
+            .cluster
+            .hosts()
+            .iter()
+            .filter(|h| !h.is_draining())
+            .filter(|h| h.capacity().covers(&ResourceBundle::from_request(ctx.request)))
+            .map(|h| h.id())
+            .collect();
+        if viable.is_empty() {
+            return viable;
+        }
+        let start = self.cursor % viable.len();
+        self.cursor = self.cursor.wrapping_add(1);
+        let mut out = Vec::with_capacity(viable.len());
+        out.extend_from_slice(&viable[start..]);
+        out.extend_from_slice(&viable[..start]);
+        out
+    }
+}
+
+/// Bin-packing: most-subscribed viable host first, consolidating kernels
+/// onto few servers (frees whole hosts for scale-in, at the cost of
+/// contention).
+#[derive(Debug, Default)]
+pub struct BinPacking;
+
+impl PlacementPolicy for BinPacking {
+    fn name(&self) -> &'static str {
+        "bin-packing"
+    }
+
+    fn rank(&mut self, ctx: &PlacementContext<'_>) -> Vec<HostId> {
+        let mut viable: Vec<(u64, u64, HostId)> = ctx
+            .cluster
+            .hosts()
+            .iter()
+            .filter(|h| !h.is_draining())
+            .filter(|h| h.capacity().covers(&ResourceBundle::from_request(ctx.request)))
+            .map(|h| (h.subscribed_gpus(), u64::from(h.committed_gpus()), h.id()))
+            .collect();
+        viable.sort_by(|a, b| b.cmp(a)); // most subscribed first
+        viable.into_iter().map(|(_, _, id)| id).collect()
+    }
+}
+
+/// Uniformly random viable host order (a sanity baseline for ablations).
+#[derive(Debug)]
+pub struct RandomPlacement {
+    rng: SimRng,
+}
+
+impl RandomPlacement {
+    /// Creates a seeded random policy.
+    pub fn new(seed: u64) -> Self {
+        RandomPlacement {
+            rng: SimRng::seed(seed),
+        }
+    }
+}
+
+impl PlacementPolicy for RandomPlacement {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn rank(&mut self, ctx: &PlacementContext<'_>) -> Vec<HostId> {
+        let mut viable: Vec<HostId> = ctx
+            .cluster
+            .hosts()
+            .iter()
+            .filter(|h| !h.is_draining())
+            .filter(|h| h.capacity().covers(&ResourceBundle::from_request(ctx.request)))
+            .map(|h| h.id())
+            .collect();
+        // Fisher–Yates with the policy's own stream.
+        for i in (1..viable.len()).rev() {
+            let j = self.rng.index(i + 1);
+            viable.swap(i, j);
+        }
+        viable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use notebookos_cluster::ResourceBundle;
+
+    fn cluster() -> Cluster {
+        let mut c = Cluster::with_hosts(4, ResourceBundle::p3_16xlarge());
+        // Host 0 heavily subscribed, host 3 untouched.
+        for _ in 0..5 {
+            c.host_mut(0).unwrap().subscribe(&ResourceRequest::one_gpu());
+        }
+        c.host_mut(1).unwrap().subscribe(&ResourceRequest::one_gpu());
+        c.host_mut(2)
+            .unwrap()
+            .commit(9, &ResourceRequest::new(1000, 1024, 4, 16))
+            .unwrap();
+        c
+    }
+
+    fn ctx<'a>(c: &'a Cluster, req: &'a ResourceRequest) -> PlacementContext<'a> {
+        PlacementContext {
+            cluster: c,
+            request: req,
+            replication_factor: 3,
+        }
+    }
+
+    #[test]
+    fn least_loaded_prefers_idle_hosts() {
+        let c = cluster();
+        let req = ResourceRequest::one_gpu();
+        let ranked = LeastLoaded.rank(&ctx(&c, &req));
+        // Hosts 0, 1, 3 all have 8 idle GPUs; host 2 has 4 committed.
+        assert_eq!(*ranked.last().unwrap(), 2);
+        assert_eq!(ranked.len(), 4);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let c = cluster();
+        let req = ResourceRequest::one_gpu();
+        let mut rr = RoundRobin::default();
+        let first = rr.rank(&ctx(&c, &req))[0];
+        let second = rr.rank(&ctx(&c, &req))[0];
+        assert_ne!(first, second, "cursor advances");
+        // Four calls cycle back.
+        rr.rank(&ctx(&c, &req));
+        let fourth_start = rr.rank(&ctx(&c, &req))[0];
+        let fifth_start = rr.rank(&ctx(&c, &req))[0];
+        assert_eq!(first, fifth_start);
+        assert_ne!(fourth_start, fifth_start);
+    }
+
+    #[test]
+    fn bin_packing_prefers_most_subscribed() {
+        let c = cluster();
+        let req = ResourceRequest::one_gpu();
+        let ranked = BinPacking.rank(&ctx(&c, &req));
+        assert_eq!(ranked[0], 0, "most subscribed host first");
+    }
+
+    #[test]
+    fn random_is_seed_deterministic_and_complete() {
+        let c = cluster();
+        let req = ResourceRequest::one_gpu();
+        let a = RandomPlacement::new(5).rank(&ctx(&c, &req));
+        let b = RandomPlacement::new(5).rank(&ctx(&c, &req));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn oversized_requests_yield_no_hosts() {
+        let c = cluster();
+        let req = ResourceRequest::new(1000, 1024, 99, 16);
+        assert!(LeastLoaded.rank(&ctx(&c, &req)).is_empty());
+        assert!(RoundRobin::default().rank(&ctx(&c, &req)).is_empty());
+        assert!(BinPacking.rank(&ctx(&c, &req)).is_empty());
+        assert!(RandomPlacement::new(1).rank(&ctx(&c, &req)).is_empty());
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(LeastLoaded.name(), "least-loaded");
+        assert_eq!(RoundRobin::default().name(), "round-robin");
+        assert_eq!(BinPacking.name(), "bin-packing");
+        assert_eq!(RandomPlacement::new(0).name(), "random");
+    }
+}

@@ -1,0 +1,54 @@
+//! Core identifiers.
+
+use notebookos_cluster::OwnerId;
+
+/// Identifier of a logical (distributed) kernel — one per notebook session.
+pub type KernelId = u64;
+
+/// Identifier of one replica of a distributed kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReplicaId {
+    /// The distributed kernel this replica belongs to.
+    pub kernel: KernelId,
+    /// Replica index within the kernel (0-based, `< R`).
+    pub index: u32,
+}
+
+impl ReplicaId {
+    /// Creates a replica id.
+    pub fn new(kernel: KernelId, index: u32) -> Self {
+        ReplicaId { kernel, index }
+    }
+
+    /// The owner token used for host resource commitments: unique per
+    /// replica across the platform.
+    pub fn owner_token(&self) -> OwnerId {
+        self.kernel * 16 + u64::from(self.index)
+    }
+}
+
+impl std::fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "kernel-{}/replica-{}", self.kernel, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_tokens_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for kernel in 0..100 {
+            for index in 0..3 {
+                assert!(seen.insert(ReplicaId::new(kernel, index).owner_token()));
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(ReplicaId::new(4, 2).to_string(), "kernel-4/replica-2");
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests for the AST-based state analyzer (§3.2.4).
+
+use proptest::prelude::*;
+
+use notebookos_core::ast::analyze_cell;
+
+fn arb_identifier() -> impl Strategy<Value = String> {
+    "[a-z_][a-z0-9_]{0,10}".prop_map(|s| s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The analyzer is total: arbitrary text never panics.
+    #[test]
+    fn analyzer_is_total(code in "\\PC{0,400}") {
+        let _ = analyze_cell(&code);
+    }
+
+    /// Every reported binding is a valid identifier, reported exactly once,
+    /// and never in both classes.
+    #[test]
+    fn bindings_are_unique_identifiers(code in "\\PC{0,400}") {
+        let update = analyze_cell(&code);
+        let mut all: Vec<&String> = update.small.iter().chain(&update.large).collect();
+        let before = all.len();
+        all.sort();
+        all.dedup();
+        prop_assert_eq!(all.len(), before, "duplicate binding reported");
+        for name in &all {
+            prop_assert!(!name.is_empty());
+            let mut chars = name.chars();
+            let first = chars.next().expect("non-empty");
+            prop_assert!(first.is_ascii_alphabetic() || first == '_');
+            prop_assert!(chars.all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    /// A plain scalar assignment is always detected as small state.
+    #[test]
+    fn scalar_assignment_detected(name in arb_identifier(), value in 0u32..1000) {
+        prop_assume!(!name.contains("model") && !name.contains("net") && !name.contains("corpus"));
+        let code = format!("{name} = {value}\n");
+        let update = analyze_cell(&code);
+        prop_assert!(update.small.contains(&name), "{code:?} → {update:?}");
+        prop_assert!(update.large.is_empty());
+    }
+
+    /// Model-flavoured names are classified as large regardless of RHS.
+    #[test]
+    fn model_names_are_large(suffix in "[a-z0-9_]{0,6}", value in 0u32..1000) {
+        let name = format!("model{suffix}");
+        let code = format!("{name} = {value}\n");
+        let update = analyze_cell(&code);
+        prop_assert!(update.large.contains(&name));
+    }
+
+    /// Indented code binds nothing at the kernel-namespace level.
+    #[test]
+    fn indented_lines_ignored(name in arb_identifier(), value in 0u32..1000) {
+        let code = format!("    {name} = {value}\n\t{name}2 = {value}\n");
+        prop_assert!(analyze_cell(&code).is_empty());
+    }
+
+    /// Analysis is deterministic.
+    #[test]
+    fn analysis_deterministic(code in "\\PC{0,300}") {
+        prop_assert_eq!(analyze_cell(&code), analyze_cell(&code));
+    }
+}

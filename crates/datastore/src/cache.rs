@@ -1,0 +1,188 @@
+//! Node-level object cache (§3.2.4: "NotebookOS also employs a simple
+//! node-level cache to limit storage and memory costs").
+//!
+//! A byte-capacity LRU: hitting the cache spares a read from the remote
+//! data store when a standby replica becomes the executor on a host that
+//! recently held the object.
+
+use std::collections::HashMap;
+
+/// A byte-bounded LRU cache of object keys.
+#[derive(Debug)]
+pub struct NodeCache {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    /// key → (size, last-use tick)
+    entries: HashMap<String, (u64, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl NodeCache {
+    /// Creates a cache bounded to `capacity_bytes`.
+    pub fn new(capacity_bytes: u64) -> Self {
+        NodeCache {
+            capacity_bytes,
+            used_bytes: 0,
+            entries: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks `key` up, refreshing recency. Returns whether it was cached.
+    pub fn get(&mut self, key: &str) -> bool {
+        self.tick += 1;
+        if let Some(entry) = self.entries.get_mut(key) {
+            entry.1 = self.tick;
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Inserts `key` with `size_bytes`, evicting LRU entries as needed.
+    /// Objects larger than the whole cache are not admitted.
+    pub fn put(&mut self, key: impl Into<String>, size_bytes: u64) {
+        let key = key.into();
+        if size_bytes > self.capacity_bytes {
+            return;
+        }
+        self.tick += 1;
+        if let Some((old, _)) = self.entries.remove(&key) {
+            self.used_bytes -= old;
+        }
+        while self.used_bytes + size_bytes > self.capacity_bytes {
+            let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, &(_, t))| t)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            let (sz, _) = self.entries.remove(&victim).expect("victim exists");
+            self.used_bytes -= sz;
+        }
+        self.entries.insert(key, (size_bytes, self.tick));
+        self.used_bytes += size_bytes;
+    }
+
+    /// Removes a key, returning whether it was present.
+    pub fn invalidate(&mut self, key: &str) -> bool {
+        if let Some((sz, _)) = self.entries.remove(key) {
+            self.used_bytes -= sz;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Bytes in use.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Hit rate in `[0, 1]` (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = NodeCache::new(1000);
+        assert!(!c.get("a"));
+        c.put("a", 100);
+        assert!(c.get("a"));
+        assert_eq!(c.stats(), (1, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = NodeCache::new(300);
+        c.put("a", 100);
+        c.put("b", 100);
+        c.put("c", 100);
+        // Touch `a` so `b` is the LRU victim.
+        assert!(c.get("a"));
+        c.put("d", 100);
+        assert!(c.get("a"));
+        assert!(!c.get("b"));
+        assert!(c.get("c"));
+        assert!(c.get("d"));
+        assert_eq!(c.used_bytes(), 300);
+    }
+
+    #[test]
+    fn oversized_objects_not_admitted() {
+        let mut c = NodeCache::new(100);
+        c.put("huge", 1000);
+        assert!(c.is_empty());
+        assert!(!c.get("huge"));
+    }
+
+    #[test]
+    fn overwrite_updates_size() {
+        let mut c = NodeCache::new(1000);
+        c.put("a", 100);
+        c.put("a", 600);
+        assert_eq!(c.used_bytes(), 600);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_frees_space() {
+        let mut c = NodeCache::new(1000);
+        c.put("a", 400);
+        assert!(c.invalidate("a"));
+        assert!(!c.invalidate("a"));
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn eviction_cascades_for_large_inserts() {
+        let mut c = NodeCache::new(300);
+        c.put("a", 100);
+        c.put("b", 100);
+        c.put("c", 100);
+        c.put("big", 250);
+        assert!(c.get("big"));
+        assert!(c.used_bytes() <= 300);
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! The Distributed Data Store: object metadata plus sampled operation
+//! latencies.
+//!
+//! The store holds the *metadata* of checkpointed large objects (model
+//! parameters, datasets); actual bytes never exist in the simulation. Raft
+//! log entries carry [`ObjectPointer`]s that encode retrieval (§3.2.4:
+//! "Pointers in the Raft log encode data retrieval").
+
+use std::collections::HashMap;
+
+use notebookos_des::{SimRng, SimTime};
+
+use crate::backend::{BackendKind, BackendModel};
+
+/// A pointer to a large object persisted in the data store — what the
+/// executor replica appends to the Raft log instead of the object bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ObjectPointer {
+    /// Namespaced object key, e.g. `"kernel-42/model"`.
+    pub key: String,
+    /// Object size in bytes.
+    pub size_bytes: u64,
+    /// Which backend holds it.
+    pub backend: BackendKind,
+}
+
+/// Errors from store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The key does not exist.
+    NotFound(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::NotFound(k) => write!(f, "object `{k}` not found"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Aggregate operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Completed writes.
+    pub writes: u64,
+    /// Completed reads.
+    pub reads: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+}
+
+/// The distributed data store.
+#[derive(Debug, Clone)]
+pub struct DataStore {
+    model: BackendModel,
+    objects: HashMap<String, u64>,
+    stats: StoreStats,
+}
+
+impl DataStore {
+    /// Creates a store on the given backend.
+    pub fn new(kind: BackendKind) -> Self {
+        DataStore {
+            model: BackendModel::new(kind),
+            objects: HashMap::new(),
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// The backend kind.
+    pub fn backend(&self) -> BackendKind {
+        self.model.kind()
+    }
+
+    /// Writes (or overwrites) an object, returning the pointer and the
+    /// sampled operation latency.
+    pub fn write(&mut self, key: impl Into<String>, size_bytes: u64, rng: &mut SimRng) -> (ObjectPointer, SimTime) {
+        let key = key.into();
+        let latency = self.model.write_latency(size_bytes, rng);
+        self.objects.insert(key.clone(), size_bytes);
+        self.stats.writes += 1;
+        self.stats.bytes_written += size_bytes;
+        (
+            ObjectPointer {
+                key,
+                size_bytes,
+                backend: self.model.kind(),
+            },
+            latency,
+        )
+    }
+
+    /// Reads an object by pointer, returning the sampled latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::NotFound`] for unknown keys.
+    pub fn read(&mut self, pointer: &ObjectPointer, rng: &mut SimRng) -> Result<SimTime, StoreError> {
+        let size = *self
+            .objects
+            .get(&pointer.key)
+            .ok_or_else(|| StoreError::NotFound(pointer.key.clone()))?;
+        self.stats.reads += 1;
+        self.stats.bytes_read += size;
+        Ok(self.model.read_latency(size, rng))
+    }
+
+    /// Deletes an object. Returns whether it existed.
+    pub fn delete(&mut self, key: &str) -> bool {
+        self.objects.remove(key).is_some()
+    }
+
+    /// Whether `key` exists.
+    pub fn contains(&self, key: &str) -> bool {
+        self.objects.contains_key(key)
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Total stored bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.values().sum()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read() {
+        let mut store = DataStore::new(BackendKind::S3);
+        let mut rng = SimRng::seed(1);
+        let (ptr, w) = store.write("k1/model", 100_000_000, &mut rng);
+        assert!(w > SimTime::ZERO);
+        assert_eq!(ptr.backend, BackendKind::S3);
+        let r = store.read(&ptr, &mut rng).unwrap();
+        assert!(r > SimTime::ZERO);
+        assert_eq!(store.stats().writes, 1);
+        assert_eq!(store.stats().reads, 1);
+        assert_eq!(store.stats().bytes_written, 100_000_000);
+    }
+
+    #[test]
+    fn read_missing_fails() {
+        let mut store = DataStore::new(BackendKind::Redis);
+        let mut rng = SimRng::seed(2);
+        let ptr = ObjectPointer {
+            key: "ghost".into(),
+            size_bytes: 1,
+            backend: BackendKind::Redis,
+        };
+        assert_eq!(store.read(&ptr, &mut rng), Err(StoreError::NotFound("ghost".into())));
+    }
+
+    #[test]
+    fn overwrite_replaces_size() {
+        let mut store = DataStore::new(BackendKind::Hdfs);
+        let mut rng = SimRng::seed(3);
+        store.write("k", 100, &mut rng);
+        store.write("k", 200, &mut rng);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.total_bytes(), 200);
+    }
+
+    #[test]
+    fn delete_and_contains() {
+        let mut store = DataStore::new(BackendKind::S3);
+        let mut rng = SimRng::seed(4);
+        store.write("k", 10, &mut rng);
+        assert!(store.contains("k"));
+        assert!(store.delete("k"));
+        assert!(!store.delete("k"));
+        assert!(store.is_empty());
+    }
+}

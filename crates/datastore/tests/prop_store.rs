@@ -1,0 +1,76 @@
+//! Property tests for the data store and node cache.
+
+use proptest::prelude::*;
+
+use notebookos_datastore::{BackendKind, DataStore, NodeCache};
+use notebookos_des::SimRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cache never exceeds its byte capacity, and `used_bytes` always
+    /// equals the sum of resident entries.
+    #[test]
+    fn cache_capacity_invariant(capacity in 64u64..4096, ops in proptest::collection::vec((0u8..16, 1u64..2048), 1..80)) {
+        let mut cache = NodeCache::new(capacity);
+        for (key, size) in ops {
+            cache.put(format!("obj-{key}"), size);
+            prop_assert!(cache.used_bytes() <= cache.capacity_bytes());
+        }
+    }
+
+    /// Recently used entries survive while the cache holds enough spare
+    /// capacity for the subsequent inserts.
+    #[test]
+    fn cache_get_after_put_within_capacity(sizes in proptest::collection::vec(1u64..100, 1..10)) {
+        let total: u64 = sizes.iter().sum();
+        let mut cache = NodeCache::new(total);
+        for (i, &size) in sizes.iter().enumerate() {
+            cache.put(format!("obj-{i}"), size);
+        }
+        // Everything fits, so everything hits.
+        for i in 0..sizes.len() {
+            prop_assert!(cache.get(&format!("obj-{i}")), "obj-{i} evicted early");
+        }
+    }
+
+    /// Store accounting: total bytes equal the sum of live objects,
+    /// overwrites replace rather than accumulate.
+    #[test]
+    fn store_accounting(ops in proptest::collection::vec((0u8..8, 1u64..1_000_000, any::<bool>()), 1..60)) {
+        let mut store = DataStore::new(BackendKind::Redis);
+        let mut rng = SimRng::seed(1);
+        let mut live: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+        for (key, size, delete) in ops {
+            let key = format!("k{key}");
+            if delete {
+                let existed = store.delete(&key);
+                prop_assert_eq!(existed, live.remove(&key).is_some());
+            } else {
+                store.write(key.clone(), size, &mut rng);
+                live.insert(key, size);
+            }
+            prop_assert_eq!(store.len(), live.len());
+            prop_assert_eq!(store.total_bytes(), live.values().sum::<u64>());
+        }
+    }
+
+    /// Read latency is monotone-ish in object size on every backend:
+    /// reading 100× more bytes takes strictly longer on average.
+    #[test]
+    fn latency_grows_with_size(seed in any::<u64>()) {
+        for kind in [BackendKind::Redis, BackendKind::S3, BackendKind::Hdfs] {
+            let mut store = DataStore::new(kind);
+            let mut rng = SimRng::seed(seed);
+            let (small_ptr, _) = store.write("small", 1_000_000, &mut rng);
+            let (big_ptr, _) = store.write("big", 100_000_000, &mut rng);
+            let small: f64 = (0..50)
+                .map(|_| store.read(&small_ptr, &mut rng).unwrap().as_secs_f64())
+                .sum();
+            let big: f64 = (0..50)
+                .map(|_| store.read(&big_ptr, &mut rng).unwrap().as_secs_f64())
+                .sum();
+            prop_assert!(big > small, "{kind}: big {big} <= small {small}");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The simulation driver: pops events and dispatches them to a [`World`].
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// A simulated system: owns all state and reacts to events.
+///
+/// Implementations receive the current virtual time, the event, and the
+/// queue (so a handler can schedule follow-up events). The driver guarantees
+/// that `handle` is called in non-decreasing time order.
+pub trait World {
+    /// The event alphabet of this world.
+    type Event: Eq;
+
+    /// Reacts to `event` firing at `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Drives a [`World`] until the event queue drains (or a horizon/step budget
+/// is hit).
+///
+/// # Example
+///
+/// See the crate-level documentation for a complete runnable example.
+#[derive(Debug)]
+pub struct Simulation<W: World> {
+    world: W,
+    queue: EventQueue<W::Event>,
+    now: SimTime,
+    steps: u64,
+}
+
+impl<W: World> Simulation<W> {
+    /// Creates a simulation around `world` with an empty queue at time zero.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            steps: 0,
+        }
+    }
+
+    /// Current virtual time (the firing time of the last dispatched event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Exclusive access to the event queue (for seeding initial events).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<W::Event> {
+        &mut self.queue
+    }
+
+    /// Consumes the simulation, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Dispatches a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((time, event)) => {
+                debug_assert!(time >= self.now, "event queue went backwards in time");
+                self.now = time;
+                self.steps += 1;
+                self.world.handle(time, event, &mut self.queue);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue drains. Returns the final virtual time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Runs until the queue drains or the next event would fire strictly
+    /// after `horizon`. Events at exactly `horizon` are dispatched.
+    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        while let Some(next) = self.queue.peek_time() {
+            if next > horizon {
+                break;
+            }
+            self.step();
+        }
+        self.now
+    }
+
+    /// Runs at most `budget` additional events; returns how many fired.
+    pub fn run_steps(&mut self, budget: u64) -> u64 {
+        let mut fired = 0;
+        while fired < budget && self.step() {
+            fired += 1;
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A world that re-schedules itself `remaining` times at 1 s spacing.
+    struct Relay {
+        remaining: u32,
+        log: Vec<SimTime>,
+    }
+
+    impl World for Relay {
+        type Event = ();
+
+        fn handle(&mut self, now: SimTime, _event: (), queue: &mut EventQueue<()>) {
+            self.log.push(now);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                queue.schedule_in(now, SimTime::from_secs(1), ());
+            }
+        }
+    }
+
+    fn relay(n: u32) -> Simulation<Relay> {
+        let mut sim = Simulation::new(Relay {
+            remaining: n,
+            log: Vec::new(),
+        });
+        sim.queue_mut().schedule(SimTime::ZERO, ());
+        sim
+    }
+
+    #[test]
+    fn run_drains_queue() {
+        let mut sim = relay(4);
+        let end = sim.run();
+        assert_eq!(end, SimTime::from_secs(4));
+        assert_eq!(sim.steps(), 5);
+        assert_eq!(sim.world().log.len(), 5);
+    }
+
+    #[test]
+    fn run_until_respects_horizon_inclusively() {
+        let mut sim = relay(10);
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+        assert_eq!(sim.world().log.len(), 4);
+        // Remaining events still pending.
+        assert!(!sim.queue_mut().is_empty());
+    }
+
+    #[test]
+    fn run_steps_respects_budget() {
+        let mut sim = relay(10);
+        assert_eq!(sim.run_steps(3), 3);
+        assert_eq!(sim.steps(), 3);
+        assert_eq!(sim.run_steps(100), 8);
+    }
+
+    #[test]
+    fn step_on_empty_queue_is_false() {
+        let mut sim = Simulation::new(Relay {
+            remaining: 0,
+            log: Vec::new(),
+        });
+        assert!(!sim.step());
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+}

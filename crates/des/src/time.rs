@@ -1,0 +1,266 @@
+//! Virtual simulation time.
+//!
+//! [`SimTime`] is an integer number of microseconds since the start of the
+//! simulation. Integer time makes event ordering exact and the whole engine
+//! reproducible across platforms; microsecond resolution is comfortably finer
+//! than any latency the NotebookOS evaluation reports (the finest is
+//! sub-millisecond Raft message latency).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) virtual time, measured in microseconds.
+///
+/// `SimTime` is used both as an *instant* (time since simulation start) and
+/// as a *duration*; the arithmetic is the same and the evaluation code reads
+/// more naturally without a second newtype threading through every signature.
+///
+/// # Example
+///
+/// ```
+/// use notebookos_des::SimTime;
+///
+/// let t = SimTime::from_secs(2) + SimTime::from_millis(500);
+/// assert_eq!(t.as_micros(), 2_500_000);
+/// assert_eq!(t.as_secs_f64(), 2.5);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The instant at which every simulation starts.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from whole microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Creates a time from whole milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000)
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000)
+    }
+
+    /// Creates a time from whole minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimTime(mins * 60 * 1_000_000)
+    }
+
+    /// Creates a time from whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimTime(hours * 3_600 * 1_000_000)
+    }
+
+    /// Creates a time from whole days.
+    pub const fn from_days(days: u64) -> Self {
+        SimTime(days * 24 * 3_600 * 1_000_000)
+    }
+
+    /// Creates a time from fractional seconds, saturating at zero for
+    /// negative or non-finite input.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((secs * 1e6).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// Creates a time from fractional milliseconds, saturating at zero for
+    /// negative or non-finite input.
+    pub fn from_millis_f64(millis: f64) -> Self {
+        Self::from_secs_f64(millis / 1e3)
+    }
+
+    /// Returns the raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time in whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the time in whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Returns the time in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the time in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Returns the time in fractional hours.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3.6e9
+    }
+
+    /// Returns the time in fractional days.
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / 8.64e10
+    }
+
+    /// Saturating subtraction: `self - other`, clamped at zero.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(other.0))
+    }
+
+    /// Returns the earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns true for the zero instant/duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let micros = self.0;
+        if micros < 1_000 {
+            write!(f, "{micros}us")
+        } else if micros < 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if micros < 3_600_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else {
+            write!(f, "{:.3}h", self.as_hours_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_round_trip() {
+        assert_eq!(SimTime::from_secs(1).as_micros(), 1_000_000);
+        assert_eq!(SimTime::from_millis(1).as_micros(), 1_000);
+        assert_eq!(SimTime::from_mins(2).as_secs(), 120);
+        assert_eq!(SimTime::from_hours(1).as_secs(), 3_600);
+        assert_eq!(SimTime::from_days(1).as_hours_f64(), 24.0);
+    }
+
+    #[test]
+    fn fractional_constructors_saturate() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(0.5).as_micros(), 500_000);
+        assert_eq!(SimTime::from_millis_f64(1.5).as_micros(), 1_500);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = SimTime::from_secs(3);
+        let b = SimTime::from_secs(1);
+        assert_eq!(a + b, SimTime::from_secs(4));
+        assert_eq!(a - b, SimTime::from_secs(2));
+        assert_eq!(a * 2, SimTime::from_secs(6));
+        assert_eq!(a / 3, SimTime::from_secs(1));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(SimTime::MAX.saturating_add(b), SimTime::MAX);
+    }
+
+    #[test]
+    fn min_max_and_sum() {
+        let a = SimTime::from_secs(3);
+        let b = SimTime::from_secs(1);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+        let total: SimTime = [a, b].into_iter().sum();
+        assert_eq!(total, SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", SimTime::from_micros(10)), "10us");
+        assert_eq!(format!("{}", SimTime::from_millis(5)), "5.000ms");
+        assert_eq!(format!("{}", SimTime::from_secs(5)), "5.000s");
+        assert_eq!(format!("{}", SimTime::from_hours(2)), "2.000h");
+    }
+}

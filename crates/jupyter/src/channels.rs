@@ -1,0 +1,160 @@
+//! The Jupyter channel taxonomy and kernel status signalling.
+//!
+//! The IPython messaging protocol multiplexes five ZMQ sockets per kernel;
+//! NotebookOS's schedulers route each message type over its proper channel
+//! (execute traffic on SHELL, status broadcasts on IOPUB, liveness on
+//! HEARTBEAT — the §3.2.5 failure detector's evidence stream).
+
+use crate::message::{Header, JupyterMessage, MsgType};
+use crate::json::Json;
+
+/// The five sockets of the Jupyter kernel wire protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Channel {
+    /// Request/reply for code execution and introspection.
+    Shell,
+    /// Broadcast of side effects: status, streams, display data.
+    IoPub,
+    /// High-priority request/reply (shutdown, debug).
+    Control,
+    /// Kernel-initiated input requests.
+    Stdin,
+    /// Liveness echo.
+    Heartbeat,
+}
+
+impl Channel {
+    /// All channels.
+    pub const ALL: [Channel; 5] = [
+        Channel::Shell,
+        Channel::IoPub,
+        Channel::Control,
+        Channel::Stdin,
+        Channel::Heartbeat,
+    ];
+
+    /// The channel a message type travels on.
+    pub fn for_msg_type(msg_type: MsgType) -> Channel {
+        match msg_type {
+            MsgType::ExecuteRequest
+            | MsgType::ExecuteReply
+            | MsgType::YieldRequest
+            | MsgType::KernelInfoRequest
+            | MsgType::KernelInfoReply => Channel::Shell,
+            MsgType::Status | MsgType::Stream => Channel::IoPub,
+            MsgType::ShutdownRequest | MsgType::ShutdownReply => Channel::Control,
+        }
+    }
+}
+
+impl std::fmt::Display for Channel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Channel::Shell => write!(f, "shell"),
+            Channel::IoPub => write!(f, "iopub"),
+            Channel::Control => write!(f, "control"),
+            Channel::Stdin => write!(f, "stdin"),
+            Channel::Heartbeat => write!(f, "hb"),
+        }
+    }
+}
+
+/// Kernel execution states broadcast on IOPUB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelStatus {
+    /// Kernel is starting up.
+    Starting,
+    /// Idle, awaiting requests.
+    Idle,
+    /// Executing a cell.
+    Busy,
+}
+
+impl KernelStatus {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelStatus::Starting => "starting",
+            KernelStatus::Idle => "idle",
+            KernelStatus::Busy => "busy",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_str(s: &str) -> Option<KernelStatus> {
+        Some(match s {
+            "starting" => KernelStatus::Starting,
+            "idle" => KernelStatus::Idle,
+            "busy" => KernelStatus::Busy,
+            _ => return None,
+        })
+    }
+}
+
+/// Builds the IOPUB `status` broadcast a kernel emits around an execution.
+pub fn status_message(
+    msg_id: impl Into<String>,
+    session: impl Into<String>,
+    parent: Option<&Header>,
+    status: KernelStatus,
+    date_us: u64,
+) -> JupyterMessage {
+    JupyterMessage {
+        header: Header::new(msg_id, session, MsgType::Status, date_us),
+        parent: parent.cloned(),
+        metadata: Json::object(),
+        content: Json::object().with("execution_state", status.as_str()),
+    }
+}
+
+/// Extracts the kernel status from a `status` message, if well-formed.
+pub fn status_of(message: &JupyterMessage) -> Option<KernelStatus> {
+    if message.header.msg_type != MsgType::Status {
+        return None;
+    }
+    message
+        .content
+        .get("execution_state")
+        .and_then(Json::as_str)
+        .and_then(KernelStatus::from_str)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_assignment_matches_protocol() {
+        assert_eq!(Channel::for_msg_type(MsgType::ExecuteRequest), Channel::Shell);
+        assert_eq!(Channel::for_msg_type(MsgType::ExecuteReply), Channel::Shell);
+        assert_eq!(Channel::for_msg_type(MsgType::YieldRequest), Channel::Shell);
+        assert_eq!(Channel::for_msg_type(MsgType::Status), Channel::IoPub);
+        assert_eq!(Channel::for_msg_type(MsgType::Stream), Channel::IoPub);
+        assert_eq!(Channel::for_msg_type(MsgType::ShutdownRequest), Channel::Control);
+        assert_eq!(Channel::ALL.len(), 5);
+    }
+
+    #[test]
+    fn status_round_trips() {
+        for status in [KernelStatus::Starting, KernelStatus::Idle, KernelStatus::Busy] {
+            assert_eq!(KernelStatus::from_str(status.as_str()), Some(status));
+        }
+        assert_eq!(KernelStatus::from_str("nope"), None);
+    }
+
+    #[test]
+    fn status_message_round_trips() {
+        let request = JupyterMessage::execute_request("m1", "sess", "x=1", 5);
+        let busy = status_message("m2", "sess", Some(&request.header), KernelStatus::Busy, 6);
+        assert_eq!(status_of(&busy), Some(KernelStatus::Busy));
+        assert_eq!(busy.parent.as_ref().unwrap().msg_id, "m1");
+        // Non-status messages yield None.
+        assert_eq!(status_of(&request), None);
+    }
+
+    #[test]
+    fn channel_display_names() {
+        assert_eq!(Channel::Heartbeat.to_string(), "hb");
+        assert_eq!(Channel::IoPub.to_string(), "iopub");
+    }
+}

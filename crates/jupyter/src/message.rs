@@ -1,0 +1,397 @@
+//! Jupyter messaging-protocol message types.
+//!
+//! NotebookOS reuses the IPython messaging protocol so that any Jupyter
+//! client works unmodified (§4). This module models the protocol subset the
+//! platform routes: `execute_request` / `execute_reply`, the
+//! NotebookOS-specific `yield_request` conversion (§3.2.2), kernel-info and
+//! shutdown messages, and status updates.
+
+use std::fmt;
+
+use crate::json::Json;
+
+/// Protocol version stamped into every header.
+pub const PROTOCOL_VERSION: &str = "5.4";
+
+/// The message types NotebookOS routes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgType {
+    /// Client-submitted cell execution.
+    ExecuteRequest,
+    /// Kernel reply to an execution.
+    ExecuteReply,
+    /// NotebookOS conversion of `execute_request`: tells a replica to defer
+    /// to the scheduler-designated executor instead of proposing `LEAD`.
+    YieldRequest,
+    /// Kernel busy/idle status broadcast.
+    Status,
+    /// Kernel-info handshake request.
+    KernelInfoRequest,
+    /// Kernel-info handshake reply.
+    KernelInfoReply,
+    /// Shutdown request.
+    ShutdownRequest,
+    /// Shutdown acknowledgement.
+    ShutdownReply,
+    /// stdout/stderr stream output.
+    Stream,
+}
+
+impl MsgType {
+    /// The protocol's wire name for this type.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MsgType::ExecuteRequest => "execute_request",
+            MsgType::ExecuteReply => "execute_reply",
+            MsgType::YieldRequest => "yield_request",
+            MsgType::Status => "status",
+            MsgType::KernelInfoRequest => "kernel_info_request",
+            MsgType::KernelInfoReply => "kernel_info_reply",
+            MsgType::ShutdownRequest => "shutdown_request",
+            MsgType::ShutdownReply => "shutdown_reply",
+            MsgType::Stream => "stream",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_str(s: &str) -> Option<MsgType> {
+        Some(match s {
+            "execute_request" => MsgType::ExecuteRequest,
+            "execute_reply" => MsgType::ExecuteReply,
+            "yield_request" => MsgType::YieldRequest,
+            "status" => MsgType::Status,
+            "kernel_info_request" => MsgType::KernelInfoRequest,
+            "kernel_info_reply" => MsgType::KernelInfoReply,
+            "shutdown_request" => MsgType::ShutdownRequest,
+            "shutdown_reply" => MsgType::ShutdownReply,
+            "stream" => MsgType::Stream,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for MsgType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// A message header (the protocol's `header` / `parent_header` dict).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Header {
+    /// Unique message id.
+    pub msg_id: String,
+    /// The client session that produced the message.
+    pub session: String,
+    /// Originating user.
+    pub username: String,
+    /// Message type.
+    pub msg_type: MsgType,
+    /// Protocol version.
+    pub version: String,
+    /// Send timestamp in microseconds of virtual time (the protocol uses an
+    /// ISO date; a numeric stamp keeps the simulator exact).
+    pub date_us: u64,
+}
+
+impl Header {
+    /// Creates a header.
+    pub fn new(msg_id: impl Into<String>, session: impl Into<String>, msg_type: MsgType, date_us: u64) -> Self {
+        Header {
+            msg_id: msg_id.into(),
+            session: session.into(),
+            username: "notebookos".to_string(),
+            msg_type,
+            version: PROTOCOL_VERSION.to_string(),
+            date_us,
+        }
+    }
+
+    /// Serializes to the protocol's JSON dict.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("msg_id", self.msg_id.as_str())
+            .with("session", self.session.as_str())
+            .with("username", self.username.as_str())
+            .with("msg_type", self.msg_type.as_str())
+            .with("version", self.version.as_str())
+            .with("date", self.date_us)
+    }
+
+    /// Parses from the protocol's JSON dict.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the missing/invalid field.
+    pub fn from_json(v: &Json) -> Result<Header, String> {
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("header missing `{k}`"))
+        };
+        let msg_type_raw = field("msg_type")?;
+        Ok(Header {
+            msg_id: field("msg_id")?,
+            session: field("session")?,
+            username: field("username")?,
+            msg_type: MsgType::from_str(&msg_type_raw)
+                .ok_or_else(|| format!("unknown msg_type `{msg_type_raw}`"))?,
+            version: field("version")?,
+            date_us: v.get("date").and_then(Json::as_u64).unwrap_or(0),
+        })
+    }
+}
+
+/// A full Jupyter message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JupyterMessage {
+    /// This message's header.
+    pub header: Header,
+    /// The request this message replies to, if any.
+    pub parent: Option<Header>,
+    /// Free-form metadata (NotebookOS stores GPU device ids and the target
+    /// kernel here).
+    pub metadata: Json,
+    /// Type-specific content.
+    pub content: Json,
+}
+
+impl JupyterMessage {
+    /// Builds an `execute_request` carrying `code`.
+    pub fn execute_request(
+        msg_id: impl Into<String>,
+        session: impl Into<String>,
+        code: impl Into<String>,
+        date_us: u64,
+    ) -> Self {
+        JupyterMessage {
+            header: Header::new(msg_id, session, MsgType::ExecuteRequest, date_us),
+            parent: None,
+            metadata: Json::object(),
+            content: Json::object()
+                .with("code", code.into())
+                .with("silent", false)
+                .with("store_history", true)
+                .with("stop_on_error", true),
+        }
+    }
+
+    /// The Global Scheduler's §3.2.2 conversion: rewrites an
+    /// `execute_request` into a `yield_request`, signalling the receiving
+    /// replica to skip the `LEAD` proposal and defer to the designated
+    /// executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message is not an `execute_request`.
+    pub fn to_yield_request(&self) -> JupyterMessage {
+        assert_eq!(
+            self.header.msg_type,
+            MsgType::ExecuteRequest,
+            "only execute_request can be converted to yield_request"
+        );
+        let mut converted = self.clone();
+        converted.header.msg_type = MsgType::YieldRequest;
+        converted
+    }
+
+    /// Builds the `execute_reply` for this request.
+    ///
+    /// `executed` records whether the replying replica was the executor
+    /// (the Global Scheduler aggregates one reply per replica and keeps the
+    /// executor's).
+    pub fn execute_reply(&self, msg_id: impl Into<String>, status: ReplyStatus, execution_count: u64, executed: bool, date_us: u64) -> JupyterMessage {
+        JupyterMessage {
+            header: Header::new(msg_id, self.header.session.clone(), MsgType::ExecuteReply, date_us),
+            parent: Some(self.header.clone()),
+            metadata: Json::object().with("executed", executed),
+            content: Json::object()
+                .with("status", status.as_str())
+                .with("execution_count", execution_count),
+        }
+    }
+
+    /// The code payload, for execute/yield requests.
+    pub fn code(&self) -> Option<&str> {
+        self.content.get("code").and_then(Json::as_str)
+    }
+
+    /// Sets the destination kernel id in metadata (used for routing).
+    pub fn with_destination(mut self, kernel_id: &str) -> Self {
+        self.metadata = self.metadata.with("kernel_id", kernel_id);
+        self
+    }
+
+    /// The destination kernel id, if present.
+    pub fn destination(&self) -> Option<&str> {
+        self.metadata.get("kernel_id").and_then(Json::as_str)
+    }
+
+    /// Attaches the GPU device ids allocated for this execution (§3.3: the
+    /// Global Scheduler embeds device ids in the request metadata).
+    pub fn with_gpu_device_ids(mut self, ids: &[u32]) -> Self {
+        let arr: Vec<Json> = ids.iter().map(|&i| Json::from(i)).collect();
+        self.metadata = self.metadata.with("gpu_device_ids", Json::Arr(arr));
+        self
+    }
+
+    /// The GPU device ids embedded in the metadata, if any.
+    pub fn gpu_device_ids(&self) -> Vec<u32> {
+        self.metadata
+            .get("gpu_device_ids")
+            .and_then(Json::as_arr)
+            .map(|a| a.iter().filter_map(|v| v.as_u64().map(|n| n as u32)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether this message reports success (for replies).
+    pub fn is_ok_reply(&self) -> bool {
+        self.header.msg_type == MsgType::ExecuteReply
+            && self.content.get("status").and_then(Json::as_str) == Some("ok")
+    }
+}
+
+/// Status carried by an `execute_reply`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplyStatus {
+    /// Execution succeeded.
+    Ok,
+    /// Execution raised.
+    Error,
+    /// Execution was aborted (e.g. migration gave up).
+    Aborted,
+}
+
+impl ReplyStatus {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReplyStatus::Ok => "ok",
+            ReplyStatus::Error => "error",
+            ReplyStatus::Aborted => "aborted",
+        }
+    }
+}
+
+/// Merges the per-replica `execute_reply` messages into the single reply
+/// forwarded to the client (§3.2.2 step 9: "messages are aggregated and
+/// merged together by the Global Scheduler").
+///
+/// Preference order: the executor's reply (metadata `executed: true`), then
+/// any successful reply, then the first reply.
+///
+/// Returns `None` when `replies` is empty.
+pub fn merge_replies(replies: &[JupyterMessage]) -> Option<JupyterMessage> {
+    replies
+        .iter()
+        .find(|r| r.metadata.get("executed").and_then(Json::as_bool) == Some(true))
+        .or_else(|| replies.iter().find(|r| r.is_ok_reply()))
+        .or_else(|| replies.first())
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> JupyterMessage {
+        JupyterMessage::execute_request("m1", "sess-1", "model.fit()", 123)
+    }
+
+    #[test]
+    fn msg_type_round_trips() {
+        for t in [
+            MsgType::ExecuteRequest,
+            MsgType::ExecuteReply,
+            MsgType::YieldRequest,
+            MsgType::Status,
+            MsgType::KernelInfoRequest,
+            MsgType::KernelInfoReply,
+            MsgType::ShutdownRequest,
+            MsgType::ShutdownReply,
+            MsgType::Stream,
+        ] {
+            assert_eq!(MsgType::from_str(t.as_str()), Some(t));
+        }
+        assert_eq!(MsgType::from_str("bogus"), None);
+    }
+
+    #[test]
+    fn header_json_round_trips() {
+        let h = Header::new("m1", "s1", MsgType::ExecuteRequest, 42);
+        let parsed = Header::from_json(&h.to_json()).unwrap();
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn header_json_rejects_missing_fields() {
+        let bad = Json::object().with("msg_id", "x");
+        assert!(Header::from_json(&bad).is_err());
+        let bad_type = Header::new("m", "s", MsgType::Status, 0)
+            .to_json()
+            .with("msg_type", "nope");
+        assert!(Header::from_json(&bad_type).is_err());
+    }
+
+    #[test]
+    fn execute_request_carries_code() {
+        let m = request();
+        assert_eq!(m.code(), Some("model.fit()"));
+        assert_eq!(m.header.msg_type, MsgType::ExecuteRequest);
+        assert!(m.parent.is_none());
+    }
+
+    #[test]
+    fn yield_conversion_preserves_payload() {
+        let m = request().with_destination("kernel-9");
+        let y = m.to_yield_request();
+        assert_eq!(y.header.msg_type, MsgType::YieldRequest);
+        assert_eq!(y.code(), m.code());
+        assert_eq!(y.destination(), Some("kernel-9"));
+        assert_eq!(y.header.msg_id, m.header.msg_id);
+    }
+
+    #[test]
+    #[should_panic(expected = "only execute_request")]
+    fn yield_conversion_rejects_replies() {
+        let m = request();
+        let r = m.execute_reply("m2", ReplyStatus::Ok, 1, true, 200);
+        let _ = r.to_yield_request();
+    }
+
+    #[test]
+    fn reply_links_parent() {
+        let m = request();
+        let r = m.execute_reply("m2", ReplyStatus::Ok, 3, true, 200);
+        assert_eq!(r.parent.as_ref().unwrap().msg_id, "m1");
+        assert!(r.is_ok_reply());
+        let e = m.execute_reply("m3", ReplyStatus::Error, 3, false, 300);
+        assert!(!e.is_ok_reply());
+    }
+
+    #[test]
+    fn gpu_device_ids_round_trip() {
+        let m = request().with_gpu_device_ids(&[0, 3, 5]);
+        assert_eq!(m.gpu_device_ids(), vec![0, 3, 5]);
+        assert_eq!(request().gpu_device_ids(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn merge_prefers_executor_reply() {
+        let m = request();
+        let standby1 = m.execute_reply("r1", ReplyStatus::Ok, 1, false, 10);
+        let executor = m.execute_reply("r2", ReplyStatus::Ok, 1, true, 11);
+        let standby2 = m.execute_reply("r3", ReplyStatus::Ok, 1, false, 12);
+        let merged = merge_replies(&[standby1.clone(), executor.clone(), standby2]).unwrap();
+        assert_eq!(merged.header.msg_id, "r2");
+        // Without an executor flag, falls back to any ok reply.
+        let err = m.execute_reply("r4", ReplyStatus::Error, 1, false, 13);
+        let merged = merge_replies(&[err.clone(), standby1.clone()]).unwrap();
+        assert_eq!(merged.header.msg_id, "r1");
+        // All errors: first wins.
+        let merged = merge_replies(&[err.clone()]).unwrap();
+        assert_eq!(merged.header.msg_id, "r4");
+        assert!(merge_replies(&[]).is_none());
+    }
+}

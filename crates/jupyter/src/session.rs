@@ -1,0 +1,203 @@
+//! Notebook sessions and deterministic message-id generation.
+
+use std::collections::HashMap;
+
+/// A persistent notebook session: the long-lived working instance whose
+/// kernel maintains variables, imports, and other execution context (§2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Session {
+    /// The session's unique id.
+    pub id: String,
+    /// The backing (distributed) kernel's id.
+    pub kernel_id: String,
+    /// Number of cell executions completed so far.
+    pub execution_count: u64,
+    /// Creation time (µs of virtual time).
+    pub created_us: u64,
+    /// Last client activity (µs of virtual time).
+    pub last_activity_us: u64,
+}
+
+impl Session {
+    /// Time since last activity at `now_us` (zero if activity is in the
+    /// future).
+    pub fn idle_for_us(&self, now_us: u64) -> u64 {
+        now_us.saturating_sub(self.last_activity_us)
+    }
+}
+
+/// Tracks the set of live sessions for a Jupyter Server.
+#[derive(Debug, Default)]
+pub struct SessionManager {
+    sessions: HashMap<String, Session>,
+}
+
+impl SessionManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        SessionManager::default()
+    }
+
+    /// Registers a session bound to `kernel_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session id is already registered.
+    pub fn create(&mut self, id: impl Into<String>, kernel_id: impl Into<String>, now_us: u64) -> &Session {
+        let id = id.into();
+        assert!(
+            !self.sessions.contains_key(&id),
+            "session `{id}` already exists"
+        );
+        let session = Session {
+            id: id.clone(),
+            kernel_id: kernel_id.into(),
+            execution_count: 0,
+            created_us: now_us,
+            last_activity_us: now_us,
+        };
+        self.sessions.insert(id.clone(), session);
+        &self.sessions[&id]
+    }
+
+    /// Looks up a session.
+    pub fn get(&self, id: &str) -> Option<&Session> {
+        self.sessions.get(id)
+    }
+
+    /// Records client activity (a cell submission) and bumps the execution
+    /// count. Returns the new count, or `None` for unknown sessions.
+    pub fn record_execution(&mut self, id: &str, now_us: u64) -> Option<u64> {
+        let s = self.sessions.get_mut(id)?;
+        s.last_activity_us = now_us;
+        s.execution_count += 1;
+        Some(s.execution_count)
+    }
+
+    /// Removes a session, returning it if it existed.
+    pub fn remove(&mut self, id: &str) -> Option<Session> {
+        self.sessions.remove(id)
+    }
+
+    /// Sessions idle for at least `threshold_us` at `now_us` (candidates
+    /// for idle reclamation — the behaviour Fig. 13 quantifies).
+    pub fn idle_sessions(&self, now_us: u64, threshold_us: u64) -> Vec<&Session> {
+        let mut idle: Vec<&Session> = self
+            .sessions
+            .values()
+            .filter(|s| s.idle_for_us(now_us) >= threshold_us)
+            .collect();
+        idle.sort_by(|a, b| a.id.cmp(&b.id));
+        idle
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+}
+
+/// Deterministic message-id generator.
+///
+/// Real Jupyter uses random UUIDs; the simulator needs reproducibility, so
+/// ids are `"{prefix}-{counter}"`.
+#[derive(Debug, Clone)]
+pub struct MsgIdGen {
+    prefix: String,
+    counter: u64,
+}
+
+impl MsgIdGen {
+    /// Creates a generator with the given prefix.
+    pub fn new(prefix: impl Into<String>) -> Self {
+        MsgIdGen {
+            prefix: prefix.into(),
+            counter: 0,
+        }
+    }
+
+    /// Produces the next unique id.
+    pub fn next_id(&mut self) -> String {
+        self.counter += 1;
+        format!("{}-{}", self.prefix, self.counter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_lookup() {
+        let mut m = SessionManager::new();
+        m.create("s1", "k1", 100);
+        assert_eq!(m.get("s1").unwrap().kernel_id, "k1");
+        assert_eq!(m.len(), 1);
+        assert!(m.get("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_session_panics() {
+        let mut m = SessionManager::new();
+        m.create("s1", "k1", 0);
+        m.create("s1", "k2", 0);
+    }
+
+    #[test]
+    fn execution_bumps_activity() {
+        let mut m = SessionManager::new();
+        m.create("s1", "k1", 0);
+        assert_eq!(m.record_execution("s1", 500), Some(1));
+        assert_eq!(m.record_execution("s1", 900), Some(2));
+        assert_eq!(m.get("s1").unwrap().last_activity_us, 900);
+        assert_eq!(m.record_execution("ghost", 900), None);
+    }
+
+    #[test]
+    fn idle_detection() {
+        let mut m = SessionManager::new();
+        m.create("a", "k1", 0);
+        m.create("b", "k2", 0);
+        m.record_execution("b", 1_000_000);
+        let idle = m.idle_sessions(2_000_000, 1_500_000);
+        assert_eq!(idle.len(), 1);
+        assert_eq!(idle[0].id, "a");
+    }
+
+    #[test]
+    fn remove_returns_session() {
+        let mut m = SessionManager::new();
+        m.create("s1", "k1", 0);
+        assert!(m.remove("s1").is_some());
+        assert!(m.remove("s1").is_none());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn msg_ids_are_unique_and_deterministic() {
+        let mut g = MsgIdGen::new("cli");
+        assert_eq!(g.next_id(), "cli-1");
+        assert_eq!(g.next_id(), "cli-2");
+        let mut h = MsgIdGen::new("cli");
+        assert_eq!(h.next_id(), "cli-1");
+    }
+
+    #[test]
+    fn idle_for_saturates() {
+        let s = Session {
+            id: "s".into(),
+            kernel_id: "k".into(),
+            execution_count: 0,
+            created_us: 100,
+            last_activity_us: 100,
+        };
+        assert_eq!(s.idle_for_us(50), 0);
+        assert_eq!(s.idle_for_us(150), 50);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests for the JSON codec: arbitrary nested values round-trip.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use notebookos_jupyter::Json;
+
+/// Strategy for arbitrary JSON values up to depth 4.
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        (-1.0e9f64..1.0e9).prop_map(Json::Num),
+        "\\PC{0,24}".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Json::Arr),
+            proptest::collection::btree_map("[a-zA-Z_][a-zA-Z0-9_]{0,8}", inner, 0..6)
+                .prop_map(|m| Json::Obj(m.into_iter().collect::<BTreeMap<_, _>>())),
+        ]
+    })
+}
+
+fn approx_eq(a: &Json, b: &Json) -> bool {
+    match (a, b) {
+        (Json::Num(x), Json::Num(y)) => (x - y).abs() <= x.abs().max(y.abs()) * 1e-12 + 1e-9,
+        (Json::Arr(x), Json::Arr(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(a, b)| approx_eq(a, b))
+        }
+        (Json::Obj(x), Json::Obj(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y)
+                    .all(|((ka, va), (kb, vb))| ka == kb && approx_eq(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn any_value_round_trips(v in arb_json()) {
+        let text = v.encode();
+        let parsed = Json::parse(&text).expect("own encoding parses");
+        prop_assert!(approx_eq(&parsed, &v), "{text}");
+    }
+
+    /// Encoding is canonical: parse → encode is a fixed point.
+    #[test]
+    fn encoding_is_canonical(v in arb_json()) {
+        let once = v.encode();
+        let twice = Json::parse(&once).expect("parses").encode();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The parser never panics on arbitrary input bytes.
+    #[test]
+    fn parser_is_total(s in "\\PC{0,120}") {
+        let _ = Json::parse(&s);
+    }
+}

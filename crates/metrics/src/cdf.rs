@@ -1,0 +1,273 @@
+//! Cumulative-distribution collectors.
+
+use std::fmt;
+
+/// Collects samples and answers percentile/mean/CDF queries.
+///
+/// Samples are cached unsorted and sorted lazily on the first query after an
+/// insert, so recording stays O(1) on the hot path of a simulation.
+///
+/// # Example
+///
+/// ```
+/// use notebookos_metrics::Cdf;
+///
+/// let mut cdf = Cdf::new("latency-ms");
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     cdf.record(v);
+/// }
+/// assert_eq!(cdf.percentile(50.0), 2.5);
+/// assert_eq!(cdf.fraction_at_most(2.0), 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    name: String,
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// Creates an empty collector labelled `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Cdf {
+            name: name.into(),
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// The collector's label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records one sample. Non-finite samples are ignored (they would poison
+    /// every percentile).
+    pub fn record(&mut self, value: f64) {
+        if value.is_finite() {
+            self.samples.push(value);
+            self.sorted = false;
+        }
+    }
+
+    /// Records many samples.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.record(v);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+            self.sorted = true;
+        }
+    }
+
+    /// Linearly-interpolated percentile `p` in `[0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collector is empty or `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        assert!(!self.is_empty(), "percentile of empty CDF `{}`", self.name);
+        self.ensure_sorted();
+        let n = self.samples.len();
+        if n == 1 {
+            return self.samples[0];
+        }
+        let rank = p / 100.0 * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.samples[lo] + frac * (self.samples[hi] - self.samples[lo])
+    }
+
+    /// Arithmetic mean of the samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collector is empty.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.is_empty(), "mean of empty CDF `{}`", self.name);
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Smallest recorded sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collector is empty.
+    pub fn min(&mut self) -> f64 {
+        self.ensure_sorted();
+        *self.samples.first().expect("min of empty CDF")
+    }
+
+    /// Largest recorded sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collector is empty.
+    pub fn max(&mut self) -> f64 {
+        self.ensure_sorted();
+        *self.samples.last().expect("max of empty CDF")
+    }
+
+    /// Fraction of samples `<= value`, in `[0, 1]`. Returns 0 for an empty
+    /// collector.
+    pub fn fraction_at_most(&mut self, value: f64) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let count = self.samples.partition_point(|&s| s <= value);
+        count as f64 / self.samples.len() as f64
+    }
+
+    /// Evenly spaced `(value, cumulative_fraction)` points suitable for
+    /// plotting; `points` must be at least 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collector is empty or `points < 2`.
+    pub fn curve(&mut self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least two curve points");
+        (0..points)
+            .map(|i| {
+                let p = i as f64 / (points - 1) as f64 * 100.0;
+                (self.percentile(p), p / 100.0)
+            })
+            .collect()
+    }
+
+    /// The conventional summary row used throughout EXPERIMENTS.md:
+    /// `(p50, p75, p90, p95, p99)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collector is empty.
+    pub fn summary(&mut self) -> [f64; 5] {
+        [
+            self.percentile(50.0),
+            self.percentile(75.0),
+            self.percentile(90.0),
+            self.percentile(95.0),
+            self.percentile(99.0),
+        ]
+    }
+}
+
+impl fmt::Display for Cdf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut copy = self.clone();
+        if copy.is_empty() {
+            return write!(f, "{}: (empty)", self.name);
+        }
+        let [p50, p75, p90, p95, p99] = copy.summary();
+        write!(
+            f,
+            "{}: n={} mean={:.3} p50={:.3} p75={:.3} p90={:.3} p95={:.3} p99={:.3} max={:.3}",
+            self.name,
+            copy.len(),
+            copy.mean(),
+            p50,
+            p75,
+            p90,
+            p95,
+            p99,
+            copy.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled() -> Cdf {
+        let mut c = Cdf::new("t");
+        c.record_all((1..=100).map(|i| i as f64));
+        c
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let mut c = filled();
+        assert_eq!(c.percentile(0.0), 1.0);
+        assert_eq!(c.percentile(100.0), 100.0);
+        assert!((c.percentile(50.0) - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let mut c = filled();
+        assert!((c.mean() - 50.5).abs() < 1e-9);
+        assert_eq!(c.min(), 1.0);
+        assert_eq!(c.max(), 100.0);
+    }
+
+    #[test]
+    fn fraction_at_most_counts_inclusive() {
+        let mut c = filled();
+        assert!((c.fraction_at_most(50.0) - 0.5).abs() < 1e-9);
+        assert_eq!(c.fraction_at_most(0.0), 0.0);
+        assert_eq!(c.fraction_at_most(1000.0), 1.0);
+        assert_eq!(Cdf::new("e").fraction_at_most(1.0), 0.0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        let mut c = Cdf::new("t");
+        c.record(f64::NAN);
+        c.record(f64::INFINITY);
+        c.record(1.0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let mut c = filled();
+        let curve = c.curve(11);
+        assert_eq!(curve.len(), 11);
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(curve[0].1, 0.0);
+        assert_eq!(curve[10].1, 1.0);
+    }
+
+    #[test]
+    fn single_sample_percentile() {
+        let mut c = Cdf::new("one");
+        c.record(7.0);
+        assert_eq!(c.percentile(0.0), 7.0);
+        assert_eq!(c.percentile(99.0), 7.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let c = Cdf::new("empty");
+        assert!(format!("{c}").contains("empty"));
+        let f = filled();
+        assert!(format!("{f}").contains("n=100"));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty")]
+    fn empty_percentile_panics() {
+        Cdf::new("e").percentile(50.0);
+    }
+}

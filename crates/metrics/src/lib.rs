@@ -1,0 +1,21 @@
+//! Measurement primitives shared by every NotebookOS experiment.
+//!
+//! The paper's evaluation reports three shapes of data, and this crate
+//! provides one collector for each:
+//!
+//! * CDFs of latencies/durations (Figs. 2, 9, 11, 16–19) — [`Cdf`]
+//! * Gauge timelines integrated over virtual time (Figs. 7, 8, 10, 12, 14,
+//!   20) — [`Timeline`] and the area-under-gauge integrator
+//!   [`GaugeIntegrator`] used for GPU-hour accounting
+//! * Row-oriented summary tables rendered to the terminal — [`Table`]
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod table;
+pub mod timeline;
+
+pub use cdf::Cdf;
+pub use table::{fmt_num, Table};
+pub use timeline::{GaugeIntegrator, Timeline};

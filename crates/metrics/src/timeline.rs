@@ -1,0 +1,327 @@
+//! Gauge timelines and time-integrated accounting.
+//!
+//! The evaluation's timeline figures (provisioned GPUs over 17.5 hours,
+//! active sessions over 90 days, ...) are step functions of virtual time.
+//! [`Timeline`] records the step changes; [`GaugeIntegrator`] integrates the
+//! area under a gauge (the basis of GPU-hour and dollar-cost accounting).
+
+/// Seconds-denominated virtual timestamp used by the collectors.
+///
+/// The collectors deliberately take plain `f64` seconds rather than a
+/// simulator time type so that this crate stays dependency-free and usable
+/// from both the DES and offline analysis.
+pub type Seconds = f64;
+
+/// A step-function gauge sampled against virtual time.
+///
+/// # Example
+///
+/// ```
+/// use notebookos_metrics::Timeline;
+///
+/// let mut gpus = Timeline::new("provisioned-gpus");
+/// gpus.set(0.0, 8.0);
+/// gpus.set(3600.0, 16.0);
+/// assert_eq!(gpus.value_at(1800.0), 8.0);
+/// assert_eq!(gpus.value_at(7200.0), 16.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    name: String,
+    /// `(time, value)` change points, non-decreasing in time.
+    points: Vec<(Seconds, f64)>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline labelled `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Timeline {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The timeline's label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records that the gauge changed to `value` at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the previous change point.
+    pub fn set(&mut self, at: Seconds, value: f64) {
+        if let Some(&(last, prev)) = self.points.last() {
+            assert!(at >= last, "timeline `{}` went backwards", self.name);
+            if value == prev {
+                return; // no-op change; keep the series compact
+            }
+            if at == last {
+                // Same-instant update supersedes the previous one.
+                self.points.pop();
+            }
+        }
+        self.points.push((at, value));
+    }
+
+    /// Adds `delta` to the gauge's current value at time `at`.
+    pub fn add(&mut self, at: Seconds, delta: f64) {
+        let cur = self.points.last().map_or(0.0, |&(_, v)| v);
+        self.set(at, cur + delta);
+    }
+
+    /// The gauge value in effect at time `at` (0 before the first point).
+    pub fn value_at(&self, at: Seconds) -> f64 {
+        match self.points.partition_point(|&(t, _)| t <= at) {
+            0 => 0.0,
+            idx => self.points[idx - 1].1,
+        }
+    }
+
+    /// Latest recorded value (0 if empty).
+    pub fn last_value(&self) -> f64 {
+        self.points.last().map_or(0.0, |&(_, v)| v)
+    }
+
+    /// Maximum value ever recorded (0 if empty).
+    pub fn max_value(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Raw change points.
+    pub fn points(&self) -> &[(Seconds, f64)] {
+        &self.points
+    }
+
+    /// Number of change points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the timeline has no change points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Samples the step function at `n` evenly spaced instants across
+    /// `[start, end]`, returning `(time, value)` pairs — the series a plot
+    /// of the figure would use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `end < start`.
+    pub fn resample(&self, start: Seconds, end: Seconds, n: usize) -> Vec<(Seconds, f64)> {
+        assert!(n >= 2 && end >= start);
+        (0..n)
+            .map(|i| {
+                let t = start + (end - start) * i as f64 / (n - 1) as f64;
+                (t, self.value_at(t))
+            })
+            .collect()
+    }
+
+    /// Integrates the gauge over `[start, end]` (units: value-seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn integral(&self, start: Seconds, end: Seconds) -> f64 {
+        assert!(end >= start);
+        let mut area = 0.0;
+        let mut t = start;
+        let mut v = self.value_at(start);
+        for &(pt, pv) in &self.points {
+            if pt <= start {
+                continue;
+            }
+            if pt >= end {
+                break;
+            }
+            area += v * (pt - t);
+            t = pt;
+            v = pv;
+        }
+        area + v * (end - t)
+    }
+
+    /// Time-weighted mean of the gauge over `[start, end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn time_mean(&self, start: Seconds, end: Seconds) -> f64 {
+        assert!(end > start);
+        self.integral(start, end) / (end - start)
+    }
+}
+
+/// Streaming integrator for a gauge: accumulates area as the gauge changes,
+/// without storing the series. This is the GPU-hour and billing meter.
+///
+/// # Example
+///
+/// ```
+/// use notebookos_metrics::GaugeIntegrator;
+///
+/// let mut meter = GaugeIntegrator::new();
+/// meter.set(0.0, 4.0);        // 4 GPUs from t=0
+/// meter.set(1800.0, 8.0);     // 8 GPUs from t=1800s
+/// let gpu_seconds = meter.finish(3600.0);
+/// assert_eq!(gpu_seconds, 4.0 * 1800.0 + 8.0 * 1800.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GaugeIntegrator {
+    area: f64,
+    last_time: Seconds,
+    value: f64,
+    started: bool,
+}
+
+impl GaugeIntegrator {
+    /// Creates a meter at value 0, time 0.
+    pub fn new() -> Self {
+        GaugeIntegrator::default()
+    }
+
+    /// Sets the gauge to `value` at time `at`, accumulating the area under
+    /// the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the previous update.
+    pub fn set(&mut self, at: Seconds, value: f64) {
+        if self.started {
+            assert!(at >= self.last_time, "integrator went backwards");
+            self.area += self.value * (at - self.last_time);
+        }
+        self.started = true;
+        self.last_time = at;
+        self.value = value;
+    }
+
+    /// Adds `delta` to the gauge at time `at`.
+    pub fn add(&mut self, at: Seconds, delta: f64) {
+        let v = self.value;
+        self.set(at, v + delta);
+    }
+
+    /// Current gauge value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Area accumulated so far (not including time since the last update).
+    pub fn area_so_far(&self) -> f64 {
+        self.area
+    }
+
+    /// Closes the meter at time `end` and returns the total area
+    /// (value-seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` precedes the last update.
+    pub fn finish(mut self, end: Seconds) -> f64 {
+        let v = self.value;
+        self.set(end, v);
+        self.area
+    }
+}
+
+/// Converts value-seconds into value-hours (e.g. GPU-seconds → GPU-hours).
+pub fn seconds_to_hours(value_seconds: f64) -> f64 {
+    value_seconds / 3600.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_at_steps() {
+        let mut t = Timeline::new("g");
+        assert_eq!(t.value_at(5.0), 0.0);
+        t.set(10.0, 3.0);
+        t.set(20.0, 5.0);
+        assert_eq!(t.value_at(9.9), 0.0);
+        assert_eq!(t.value_at(10.0), 3.0);
+        assert_eq!(t.value_at(15.0), 3.0);
+        assert_eq!(t.value_at(20.0), 5.0);
+        assert_eq!(t.value_at(1e9), 5.0);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut t = Timeline::new("g");
+        t.add(0.0, 2.0);
+        t.add(10.0, 3.0);
+        t.add(20.0, -1.0);
+        assert_eq!(t.last_value(), 4.0);
+        assert_eq!(t.max_value(), 5.0);
+    }
+
+    #[test]
+    fn same_instant_update_supersedes() {
+        let mut t = Timeline::new("g");
+        t.set(10.0, 1.0);
+        t.set(10.0, 2.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.value_at(10.0), 2.0);
+    }
+
+    #[test]
+    fn noop_changes_are_compacted() {
+        let mut t = Timeline::new("g");
+        t.set(0.0, 1.0);
+        t.set(5.0, 1.0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn integral_matches_hand_computation() {
+        let mut t = Timeline::new("g");
+        t.set(0.0, 2.0);
+        t.set(10.0, 4.0);
+        t.set(30.0, 0.0);
+        // [0,10): 2*10=20; [10,30): 4*20=80; [30,40): 0.
+        assert_eq!(t.integral(0.0, 40.0), 100.0);
+        // Partial window [5, 15): 2*5 + 4*5 = 30.
+        assert_eq!(t.integral(5.0, 15.0), 30.0);
+        assert_eq!(t.time_mean(0.0, 40.0), 2.5);
+    }
+
+    #[test]
+    fn resample_spans_window() {
+        let mut t = Timeline::new("g");
+        t.set(0.0, 1.0);
+        t.set(50.0, 2.0);
+        let samples = t.resample(0.0, 100.0, 5);
+        assert_eq!(samples.len(), 5);
+        assert_eq!(samples[0], (0.0, 1.0));
+        assert_eq!(samples[4], (100.0, 2.0));
+    }
+
+    #[test]
+    fn integrator_matches_timeline() {
+        let mut m = GaugeIntegrator::new();
+        m.set(0.0, 2.0);
+        m.set(10.0, 4.0);
+        m.add(30.0, -4.0);
+        assert_eq!(m.value(), 0.0);
+        assert_eq!(m.finish(40.0), 100.0);
+    }
+
+    #[test]
+    fn hours_conversion() {
+        assert_eq!(seconds_to_hours(7200.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn timeline_rejects_time_travel() {
+        let mut t = Timeline::new("g");
+        t.set(10.0, 1.0);
+        t.set(5.0, 2.0);
+    }
+}

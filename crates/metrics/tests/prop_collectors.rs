@@ -1,0 +1,79 @@
+//! Property tests for the metric collectors.
+
+use proptest::prelude::*;
+
+use notebookos_metrics::{Cdf, GaugeIntegrator, Timeline};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Percentiles are monotone in `p` and bounded by min/max.
+    #[test]
+    fn cdf_percentiles_monotone(samples in proptest::collection::vec(-1.0e6f64..1.0e6, 1..300)) {
+        let mut cdf = Cdf::new("prop");
+        cdf.record_all(samples.iter().copied());
+        let mut prev = cdf.percentile(0.0);
+        prop_assert_eq!(prev, cdf.min());
+        for p in 1..=100 {
+            let v = cdf.percentile(p as f64);
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+        prop_assert_eq!(prev, cdf.max());
+        // fraction_at_most is consistent with percentile.
+        let p50 = cdf.percentile(50.0);
+        prop_assert!(cdf.fraction_at_most(p50) >= 0.5 - 1.0 / samples.len() as f64);
+    }
+
+    /// A timeline's integral is additive over adjacent windows.
+    #[test]
+    fn timeline_integral_additive(points in proptest::collection::vec((0u32..10_000, 0.0f64..100.0), 1..60), split in 0u32..10_000) {
+        let mut sorted = points.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut timeline = Timeline::new("prop");
+        for (t, v) in sorted {
+            timeline.set(f64::from(t), v);
+        }
+        let end = 10_000.0;
+        let mid = f64::from(split).min(end);
+        let whole = timeline.integral(0.0, end);
+        let parts = timeline.integral(0.0, mid) + timeline.integral(mid, end);
+        prop_assert!((whole - parts).abs() < 1e-6 * whole.abs().max(1.0));
+    }
+
+    /// The streaming integrator agrees with the stored timeline.
+    #[test]
+    fn integrator_matches_timeline(points in proptest::collection::vec((0u32..10_000, 0.0f64..100.0), 1..60)) {
+        let mut sorted = points.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut timeline = Timeline::new("prop");
+        let mut meter = GaugeIntegrator::new();
+        meter.set(0.0, 0.0);
+        for (t, v) in sorted {
+            timeline.set(f64::from(t), v);
+            meter.set(f64::from(t), v);
+        }
+        let end = 20_000.0;
+        let a = timeline.integral(0.0, end);
+        let b = meter.finish(end);
+        prop_assert!((a - b).abs() < 1e-6 * a.abs().max(1.0), "{a} vs {b}");
+    }
+
+    /// `value_at` returns the most recent change point's value.
+    #[test]
+    fn timeline_value_at_is_last_change(updates in proptest::collection::vec((0u32..1000, -50.0f64..50.0), 1..40), query in 0u32..1000) {
+        let mut sorted = updates.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut timeline = Timeline::new("prop");
+        for &(t, v) in &sorted {
+            timeline.set(f64::from(t), v);
+        }
+        let expected = sorted
+            .iter()
+            .rev()
+            .find(|&&(t, _)| f64::from(t) <= f64::from(query))
+            .map(|&(_, v)| v)
+            .unwrap_or(0.0);
+        prop_assert_eq!(timeline.value_at(f64::from(query)), expected);
+    }
+}

@@ -1,0 +1,91 @@
+//! Raft timing configuration.
+
+/// Timing parameters for a Raft node, in microseconds of virtual (or wall)
+/// time.
+///
+/// Defaults follow the ratios recommended by the Raft paper scaled to a
+/// datacenter network: heartbeats every 50 ms, election timeouts randomized
+/// in `[150 ms, 300 ms)`. NotebookOS kernel replicas run inside one cluster,
+/// so these are comfortable margins over the sub-millisecond message
+/// latencies the network model produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaftConfig {
+    /// Lower bound (inclusive) of the randomized election timeout.
+    pub election_timeout_min_us: u64,
+    /// Upper bound (exclusive) of the randomized election timeout.
+    pub election_timeout_max_us: u64,
+    /// Interval between leader heartbeats.
+    pub heartbeat_interval_us: u64,
+    /// Maximum number of entries shipped per AppendEntries message.
+    pub max_entries_per_append: usize,
+}
+
+impl RaftConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint if the election
+    /// timeout window is empty, the heartbeat is not shorter than the minimum
+    /// election timeout, or the append batch size is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.election_timeout_min_us >= self.election_timeout_max_us {
+            return Err("election timeout window is empty".to_string());
+        }
+        if self.heartbeat_interval_us >= self.election_timeout_min_us {
+            return Err("heartbeat interval must be below the election timeout".to_string());
+        }
+        if self.max_entries_per_append == 0 {
+            return Err("append batch size must be positive".to_string());
+        }
+        Ok(())
+    }
+
+    /// A configuration with fast timeouts for unit tests (10 ms heartbeats,
+    /// 30–60 ms elections).
+    pub fn fast() -> Self {
+        RaftConfig {
+            election_timeout_min_us: 30_000,
+            election_timeout_max_us: 60_000,
+            heartbeat_interval_us: 10_000,
+            max_entries_per_append: 64,
+        }
+    }
+}
+
+impl Default for RaftConfig {
+    fn default() -> Self {
+        RaftConfig {
+            election_timeout_min_us: 150_000,
+            election_timeout_max_us: 300_000,
+            heartbeat_interval_us: 50_000,
+            max_entries_per_append: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(RaftConfig::default().validate().is_ok());
+        assert!(RaftConfig::fast().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_windows_are_rejected() {
+        let mut c = RaftConfig::default();
+        c.election_timeout_max_us = c.election_timeout_min_us;
+        assert!(c.validate().is_err());
+
+        let mut c = RaftConfig::default();
+        c.heartbeat_interval_us = c.election_timeout_min_us;
+        assert!(c.validate().is_err());
+
+        let mut c = RaftConfig::default();
+        c.max_entries_per_append = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,437 @@
+//! Deterministic simulated-network harness for Raft clusters.
+//!
+//! Drives a set of [`RaftNode`]s over the DES event queue with a
+//! configurable message-latency model, message drops, and per-node
+//! disconnects. Used by the test suite, the property tests, and the
+//! Criterion benches that calibrate the round-accurate election model used
+//! in the full-platform simulation.
+
+use std::collections::HashMap;
+
+use notebookos_des::{EventQueue, SimRng, SimTime};
+
+use crate::config::RaftConfig;
+use crate::message::Message;
+use crate::node::{Output, ProposeError, RaftNode, Role};
+use crate::types::{EntryPayload, LogIndex, Membership, NodeId};
+
+/// Events flowing through the harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum NetEvent<C> {
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        message: Message<C>,
+    },
+    Tick(NodeId),
+}
+
+/// A deterministic in-memory network of Raft nodes.
+///
+/// See the crate-level example. All timing is virtual; `run_micros` advances
+/// the cluster by a fixed budget of virtual time.
+#[derive(Debug)]
+pub struct Network<C: Clone + Eq> {
+    nodes: HashMap<NodeId, RaftNode<C>>,
+    queue: EventQueue<NetEvent<C>>,
+    now: SimTime,
+    rng: SimRng,
+    /// Applied commands per node, in application order.
+    applied: HashMap<NodeId, Vec<C>>,
+    /// Scheduled tick deadline per node (to avoid flooding the queue).
+    tick_at: HashMap<NodeId, u64>,
+    /// Nodes currently cut off from the network.
+    disconnected: HashMap<NodeId, bool>,
+    /// Probability that any individual message is dropped.
+    drop_rate: f64,
+    /// Message latency bounds (uniform), in microseconds.
+    latency_min_us: u64,
+    latency_max_us: u64,
+    /// Count of messages delivered (for instrumentation).
+    delivered: u64,
+}
+
+impl<C: Clone + Eq> Network<C> {
+    /// Creates a cluster of `n` nodes (ids `1..=n`) with [`RaftConfig::fast`]
+    /// timeouts and a 100–800 µs uniform message latency.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Self::with_config(n, seed, RaftConfig::fast())
+    }
+
+    /// Creates a cluster with an explicit Raft configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_config(n: usize, seed: u64, config: RaftConfig) -> Self {
+        assert!(n > 0, "cluster must have at least one node");
+        let ids: Vec<NodeId> = (1..=n as NodeId).collect();
+        let membership = Membership::new(ids.clone());
+        let mut rng = SimRng::seed(seed);
+        let mut nodes = HashMap::new();
+        for &id in &ids {
+            nodes.insert(
+                id,
+                RaftNode::new(id, membership.clone(), config, rng.next_u64(), 0),
+            );
+        }
+        let mut net = Network {
+            nodes,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng,
+            applied: ids.iter().map(|&id| (id, Vec::new())).collect(),
+            tick_at: HashMap::new(),
+            disconnected: HashMap::new(),
+            drop_rate: 0.0,
+            latency_min_us: 100,
+            latency_max_us: 800,
+            delivered: 0,
+        };
+        for &id in &ids {
+            net.schedule_tick(id);
+        }
+        net
+    }
+
+    /// Sets the per-message drop probability.
+    pub fn set_drop_rate(&mut self, p: f64) {
+        self.drop_rate = p.clamp(0.0, 1.0);
+    }
+
+    /// Sets the uniform message-latency bounds in microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or `max` is zero.
+    pub fn set_latency_us(&mut self, min: u64, max: u64) {
+        assert!(min <= max && max > 0);
+        self.latency_min_us = min;
+        self.latency_max_us = max;
+    }
+
+    /// Cuts `node` off from the network (messages to and from it vanish).
+    pub fn disconnect(&mut self, node: NodeId) {
+        self.disconnected.insert(node, true);
+    }
+
+    /// Reconnects a previously disconnected node.
+    pub fn reconnect(&mut self, node: NodeId) {
+        self.disconnected.insert(node, false);
+        self.schedule_tick(node);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// The current leader, if exactly the highest-term node claims
+    /// leadership.
+    pub fn leader(&self) -> Option<NodeId> {
+        self.nodes
+            .values()
+            .filter(|n| n.role() == Role::Leader && !self.is_disconnected(n.id()))
+            .max_by_key(|n| n.term())
+            .map(|n| n.id())
+    }
+
+    /// Read-only access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn node(&self, id: NodeId) -> &RaftNode<C> {
+        &self.nodes[&id]
+    }
+
+    /// Commands applied by `node`, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn applied_by(&self, id: NodeId) -> &[C] {
+        &self.applied[&id]
+    }
+
+    /// Whether every connected node has applied exactly `expect` (in order).
+    pub fn all_applied(&self, expect: &[C]) -> bool {
+        self.nodes.keys().all(|&id| {
+            self.is_disconnected(id) || self.applied[&id].as_slice() == expect
+        })
+    }
+
+    /// Proposes `command` on `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProposeError`] if `node` is not the leader.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is unknown.
+    pub fn propose(&mut self, node: NodeId, command: C) -> Result<LogIndex, ProposeError> {
+        let mut out = Vec::new();
+        let result = self
+            .nodes
+            .get_mut(&node)
+            .expect("unknown node")
+            .propose(command, &mut out);
+        self.process_outputs(node, out);
+        result
+    }
+
+    /// Proposes a membership change on `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProposeError`] if `node` is not the leader.
+    pub fn propose_membership(
+        &mut self,
+        node: NodeId,
+        membership: Membership,
+    ) -> Result<LogIndex, ProposeError> {
+        let mut out = Vec::new();
+        let result = self
+            .nodes
+            .get_mut(&node)
+            .expect("unknown node")
+            .propose_membership(membership, &mut out);
+        self.process_outputs(node, out);
+        result
+    }
+
+    /// Adds a fresh node to the harness (it must then be added to the
+    /// membership via [`Network::propose_membership`]).
+    pub fn spawn_node(&mut self, id: NodeId, config: RaftConfig) {
+        let membership = Membership::new(vec![id]);
+        // The new node bootstraps with a solitary membership but will adopt
+        // the cluster's config entry as soon as the leader replicates to it.
+        let seed = self.rng.next_u64();
+        let node = RaftNode::new(id, membership, config, seed, self.now.as_micros());
+        self.nodes.insert(id, node);
+        self.applied.insert(id, Vec::new());
+        // Deliberately do NOT schedule a tick: a joining node must not call
+        // elections before it learns the real membership.
+    }
+
+    /// Runs for `budget_us` of virtual time.
+    pub fn run_micros(&mut self, budget_us: u64) {
+        let horizon = self.now.saturating_add(SimTime::from_micros(budget_us));
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (time, event) = self.queue.pop().expect("peeked");
+            self.now = time;
+            self.dispatch(event);
+        }
+        self.now = horizon;
+    }
+
+    /// Runs until some node is leader (or the step budget runs out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no leader emerges within ~10 simulated seconds — with fast
+    /// timeouts that means the protocol is broken.
+    pub fn run_until_leader(&mut self) -> NodeId {
+        for _ in 0..10_000 {
+            if let Some(l) = self.leader() {
+                return l;
+            }
+            self.run_micros(1_000);
+        }
+        panic!("no leader elected within the budget");
+    }
+
+    /// Runs until every connected node has applied an entry at `index`, or
+    /// the time budget elapses. Returns whether the condition was reached.
+    pub fn run_until_applied_everywhere(&mut self, index: LogIndex, budget_us: u64) -> bool {
+        let deadline = self.now.saturating_add(SimTime::from_micros(budget_us));
+        while self.now < deadline {
+            let done = self
+                .nodes
+                .values()
+                .filter(|n| !self.is_disconnected(n.id()))
+                .all(|n| n.commit_index() >= index);
+            if done {
+                return true;
+            }
+            self.run_micros(1_000);
+        }
+        false
+    }
+
+    fn is_disconnected(&self, id: NodeId) -> bool {
+        self.disconnected.get(&id).copied().unwrap_or(false)
+    }
+
+    fn dispatch(&mut self, event: NetEvent<C>) {
+        match event {
+            NetEvent::Deliver { from, to, message } => {
+                if self.is_disconnected(to) || self.is_disconnected(from) {
+                    return;
+                }
+                if !self.nodes.contains_key(&to) {
+                    return;
+                }
+                self.delivered += 1;
+                let mut out = Vec::new();
+                let now = self.now.as_micros();
+                self.nodes
+                    .get_mut(&to)
+                    .expect("checked")
+                    .receive(now, from, message, &mut out);
+                self.process_outputs(to, out);
+            }
+            NetEvent::Tick(id) => {
+                self.tick_at.remove(&id);
+                if self.is_disconnected(id) || !self.nodes.contains_key(&id) {
+                    return;
+                }
+                let mut out = Vec::new();
+                let now = self.now.as_micros();
+                self.nodes
+                    .get_mut(&id)
+                    .expect("checked")
+                    .tick(now, &mut out);
+                self.process_outputs(id, out);
+            }
+        }
+    }
+
+    fn process_outputs(&mut self, from: NodeId, outputs: Vec<Output<C>>) {
+        for output in outputs {
+            match output {
+                Output::Send { to, message } => {
+                    if self.drop_rate > 0.0 && self.rng.chance(self.drop_rate) {
+                        continue;
+                    }
+                    let latency = self
+                        .rng
+                        .below(self.latency_max_us - self.latency_min_us + 1)
+                        + self.latency_min_us;
+                    self.queue.schedule_in(
+                        self.now,
+                        SimTime::from_micros(latency),
+                        NetEvent::Deliver { from, to, message },
+                    );
+                }
+                Output::Apply(entry) => {
+                    if let EntryPayload::Command(c) = entry.payload {
+                        self.applied.get_mut(&from).expect("known node").push(c);
+                    }
+                }
+                Output::RoleChanged { .. } => {}
+            }
+        }
+        self.schedule_tick(from);
+    }
+
+    fn schedule_tick(&mut self, id: NodeId) {
+        let Some(node) = self.nodes.get(&id) else { return };
+        let deadline = node.next_deadline_us();
+        if deadline == u64::MAX {
+            return;
+        }
+        let already = self.tick_at.get(&id).copied().unwrap_or(u64::MAX);
+        if deadline < already {
+            self.tick_at.insert(id, deadline);
+            self.queue
+                .schedule(SimTime::from_micros(deadline.max(self.now.as_micros())), NetEvent::Tick(id));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elects_a_leader() {
+        let mut net: Network<String> = Network::new(3, 1);
+        let leader = net.run_until_leader();
+        assert!(net.node(leader).is_leader());
+    }
+
+    #[test]
+    fn replicates_commands_everywhere() {
+        let mut net: Network<String> = Network::new(3, 2);
+        let leader = net.run_until_leader();
+        net.propose(leader, "a".into()).unwrap();
+        net.propose(leader, "b".into()).unwrap();
+        net.run_micros(500_000);
+        assert!(net.all_applied(&["a".into(), "b".into()]));
+    }
+
+    #[test]
+    fn survives_leader_disconnect() {
+        let mut net: Network<String> = Network::new(3, 3);
+        let old = net.run_until_leader();
+        net.propose(old, "pre".into()).unwrap();
+        net.run_micros(300_000);
+        net.disconnect(old);
+        // A new leader must emerge among the remaining two.
+        let mut new_leader = None;
+        for _ in 0..200 {
+            net.run_micros(10_000);
+            if let Some(l) = net.leader() {
+                if l != old {
+                    new_leader = Some(l);
+                    break;
+                }
+            }
+        }
+        let new_leader = new_leader.expect("failover leader");
+        net.propose(new_leader, "post".into()).unwrap();
+        net.run_micros(500_000);
+        assert_eq!(net.applied_by(new_leader), &["pre".to_string(), "post".to_string()]);
+
+        // Old leader reconnects and catches up.
+        net.reconnect(old);
+        net.run_micros(1_000_000);
+        assert_eq!(net.applied_by(old), &["pre".to_string(), "post".to_string()]);
+    }
+
+    #[test]
+    fn tolerates_message_drops() {
+        let mut net: Network<String> = Network::new(3, 4);
+        net.set_drop_rate(0.2);
+        let leader = net.run_until_leader();
+        net.propose(leader, "x".into()).unwrap();
+        // Retries via heartbeats should eventually push it through.
+        assert!(net.run_until_applied_everywhere(1, 5_000_000));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut net: Network<String> = Network::new(3, seed);
+            let leader = net.run_until_leader();
+            (leader, net.now().as_micros())
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn membership_change_adds_learner() {
+        let mut net: Network<String> = Network::new(3, 5);
+        let leader = net.run_until_leader();
+        net.propose(leader, "seed".into()).unwrap();
+        net.run_micros(300_000);
+
+        net.spawn_node(4, RaftConfig::fast());
+        let grown = net.node(leader).membership().with_added(4);
+        net.propose_membership(leader, grown).unwrap();
+        net.run_micros(1_000_000);
+        // The new node learns the log, including the pre-change command.
+        assert_eq!(net.applied_by(4), &["seed".to_string()]);
+        assert!(net.node(4).membership().contains(4));
+    }
+}

@@ -1,0 +1,57 @@
+//! A from-scratch, sans-io implementation of the Raft consensus protocol
+//! (Ongaro & Ousterhout, USENIX ATC '14) — the replication substrate under
+//! NotebookOS's distributed kernels (§3.2.2 and §3.2.4 of the paper).
+//!
+//! NotebookOS replicates each Jupyter kernel across three replicas. The
+//! replicas use Raft for (a) state-machine replication of small CPU state and
+//! (b) the executor-election protocol that designates which replica runs each
+//! submitted cell. This crate provides exactly what those protocols need:
+//!
+//! * leader election with randomized timeouts,
+//! * log replication with the Raft commit rule,
+//! * single-server membership change (used when a kernel replica is migrated
+//!   to a different GPU server),
+//! * a deterministic simulated-network harness ([`harness::Network`]) for
+//!   tests and latency calibration, and
+//! * a threaded live harness ([`live::LiveCluster`]) proving the node logic
+//!   is transport-agnostic.
+//!
+//! # Design: sans-io
+//!
+//! [`RaftNode`] performs no I/O and reads no clock. Callers feed it inputs —
+//! `tick(now)`, `receive(now, from, msg)`, `propose(cmd)` — and it pushes
+//! [`Output`]s (messages to send, committed entries to apply, role changes)
+//! into a caller-supplied buffer. This makes the protocol equally usable from
+//! the discrete-event simulator, from the threaded harness, and from unit
+//! tests that drive pathological schedules by hand.
+//!
+//! # Example
+//!
+//! ```
+//! use notebookos_raft::harness::Network;
+//!
+//! // Three replicas of a notebook kernel; elect a leader and replicate.
+//! let mut net = Network::new(3, 42);
+//! net.run_until_leader();
+//! let leader = net.leader().expect("leader elected");
+//! net.propose(leader, "x = 1".to_string()).unwrap();
+//! net.run_micros(200_000);
+//! assert!(net.all_applied(&["x = 1".to_string()]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod harness;
+pub mod live;
+pub mod log;
+pub mod message;
+pub mod node;
+pub mod types;
+
+pub use config::RaftConfig;
+pub use log::RaftLog;
+pub use message::Message;
+pub use node::{Output, ProposeError, RaftNode, Role};
+pub use types::{Entry, EntryPayload, LogIndex, Membership, NodeId, Term};

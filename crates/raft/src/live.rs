@@ -1,0 +1,272 @@
+//! A threaded, wall-clock harness: one OS thread per Raft node, crossbeam
+//! channels as the transport.
+//!
+//! This exists to demonstrate that [`RaftNode`](crate::RaftNode) is genuinely
+//! transport-agnostic: the same state machine that runs under the
+//! deterministic simulator also runs live. The `raft_cluster` example and a
+//! handful of integration tests use it.
+
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::config::RaftConfig;
+use crate::message::Message;
+use crate::node::{Output, ProposeError, RaftNode};
+use crate::types::{LogIndex, Membership, NodeId};
+
+/// Inputs accepted by a node thread.
+enum Input<C> {
+    Peer(NodeId, Message<C>),
+    Propose(C, Sender<Result<LogIndex, ProposeError>>),
+    Shutdown,
+}
+
+/// A committed command observed by some node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Applied<C> {
+    /// The node that applied the entry.
+    pub node: NodeId,
+    /// Log position of the entry.
+    pub index: LogIndex,
+    /// The command.
+    pub command: C,
+}
+
+/// A live, threaded Raft cluster.
+///
+/// # Example
+///
+/// ```
+/// use notebookos_raft::live::LiveCluster;
+///
+/// let cluster = LiveCluster::<String>::start(3);
+/// let idx = cluster.propose_blocking("state-delta".to_string(), std::time::Duration::from_secs(5)).unwrap();
+/// assert!(idx >= 1);
+/// cluster.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct LiveCluster<C: Clone + Eq + Send + 'static> {
+    inputs: Vec<(NodeId, Sender<Input<C>>)>,
+    applied_rx: Receiver<Applied<C>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<C: Clone + Eq + Send + 'static> LiveCluster<C> {
+    /// Starts `n` node threads with fast timeouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn start(n: usize) -> Self {
+        assert!(n > 0);
+        let ids: Vec<NodeId> = (1..=n as NodeId).collect();
+        let membership = Membership::new(ids.clone());
+        let config = RaftConfig::fast();
+
+        let channels: Vec<(NodeId, Sender<Input<C>>, Receiver<Input<C>>)> = ids
+            .iter()
+            .map(|&id| {
+                let (tx, rx) = unbounded();
+                (id, tx, rx)
+            })
+            .collect();
+        let senders: Vec<(NodeId, Sender<Input<C>>)> =
+            channels.iter().map(|(id, tx, _)| (*id, tx.clone())).collect();
+        let (applied_tx, applied_rx) = unbounded();
+
+        let epoch = Instant::now();
+        let mut handles = Vec::new();
+        for (id, _, rx) in channels {
+            let peers = senders.clone();
+            let applied_tx = applied_tx.clone();
+            let membership = membership.clone();
+            let handle = thread::Builder::new()
+                .name(format!("raft-node-{id}"))
+                .spawn(move || {
+                    node_loop(id, membership, config, rx, peers, applied_tx, epoch)
+                })
+                .expect("spawn raft node thread");
+            handles.push(handle);
+        }
+
+        LiveCluster {
+            inputs: senders,
+            applied_rx,
+            handles,
+        }
+    }
+
+    /// Proposes `command`, retrying across nodes until the leader accepts or
+    /// `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProposeError`] if no leader accepted within the timeout.
+    pub fn propose_blocking(&self, command: C, timeout: Duration) -> Result<LogIndex, ProposeError> {
+        let deadline = Instant::now() + timeout;
+        let mut target = 0usize;
+        loop {
+            if Instant::now() >= deadline {
+                return Err(ProposeError { leader_hint: None });
+            }
+            let (_, tx) = &self.inputs[target % self.inputs.len()];
+            let (reply_tx, reply_rx) = bounded(1);
+            if tx.send(Input::Propose(command.clone(), reply_tx)).is_err() {
+                target += 1;
+                continue;
+            }
+            match reply_rx.recv_timeout(Duration::from_millis(200)) {
+                Ok(Ok(index)) => return Ok(index),
+                Ok(Err(e)) => {
+                    // Follow the leader hint if we have one.
+                    if let Some(hint) = e.leader_hint {
+                        if let Some(pos) = self.inputs.iter().position(|(id, _)| *id == hint) {
+                            target = pos;
+                            thread::sleep(Duration::from_millis(5));
+                            continue;
+                        }
+                    }
+                    target += 1;
+                    thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => {
+                    target += 1;
+                }
+            }
+        }
+    }
+
+    /// Blocks until `count` applications (across all nodes) are observed or
+    /// `timeout` elapses; returns what was observed.
+    pub fn wait_for_applied(&self, count: usize, timeout: Duration) -> Vec<Applied<C>> {
+        let deadline = Instant::now() + timeout;
+        let mut seen = Vec::new();
+        while seen.len() < count {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.applied_rx.recv_timeout(deadline - now) {
+                Ok(a) => seen.push(a),
+                Err(_) => break,
+            }
+        }
+        seen
+    }
+
+    /// Stops all node threads and waits for them to exit.
+    pub fn shutdown(self) {
+        for (_, tx) in &self.inputs {
+            let _ = tx.send(Input::Shutdown);
+        }
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn node_loop<C: Clone + Eq + Send + 'static>(
+    id: NodeId,
+    membership: Membership,
+    config: RaftConfig,
+    rx: Receiver<Input<C>>,
+    peers: Vec<(NodeId, Sender<Input<C>>)>,
+    applied_tx: Sender<Applied<C>>,
+    epoch: Instant,
+) {
+    let now_us = |e: Instant| e.elapsed().as_micros() as u64;
+    let mut node: RaftNode<C> = RaftNode::new(id, membership, config, id.wrapping_mul(0xA5A5) + 1, now_us(epoch));
+    let mut out: Vec<Output<C>> = Vec::new();
+    loop {
+        let now = now_us(epoch);
+        node.tick(now, &mut out);
+        flush(&mut out, id, &peers, &applied_tx);
+
+        let deadline = node.next_deadline_us();
+        let wait = Duration::from_micros(deadline.saturating_sub(now_us(epoch)).min(50_000));
+        match rx.recv_timeout(wait) {
+            Ok(Input::Peer(from, msg)) => {
+                node.receive(now_us(epoch), from, msg, &mut out);
+                flush(&mut out, id, &peers, &applied_tx);
+            }
+            Ok(Input::Propose(cmd, reply)) => {
+                let result = node.propose(cmd, &mut out);
+                let _ = reply.send(result);
+                flush(&mut out, id, &peers, &applied_tx);
+            }
+            Ok(Input::Shutdown) => return,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn flush<C: Clone + Eq + Send>(
+    out: &mut Vec<Output<C>>,
+    id: NodeId,
+    peers: &[(NodeId, Sender<Input<C>>)],
+    applied_tx: &Sender<Applied<C>>,
+) {
+    for output in out.drain(..) {
+        match output {
+            Output::Send { to, message } => {
+                if let Some((_, tx)) = peers.iter().find(|(pid, _)| *pid == to) {
+                    let _ = tx.send(Input::Peer(id, message));
+                }
+            }
+            Output::Apply(entry) => {
+                if let Some(c) = entry.command() {
+                    let _ = applied_tx.send(Applied {
+                        node: id,
+                        index: entry.index,
+                        command: c.clone(),
+                    });
+                }
+            }
+            Output::RoleChanged { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_cluster_commits() {
+        let cluster = LiveCluster::<u32>::start(3);
+        let idx = cluster
+            .propose_blocking(7, Duration::from_secs(10))
+            .expect("proposal accepted");
+        assert!(idx >= 1);
+        // All three replicas should apply it.
+        let applied = cluster.wait_for_applied(3, Duration::from_secs(10));
+        assert_eq!(applied.len(), 3);
+        assert!(applied.iter().all(|a| a.command == 7));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn live_cluster_serializes_multiple_proposals() {
+        let cluster = LiveCluster::<u32>::start(3);
+        for v in 0..5u32 {
+            cluster
+                .propose_blocking(v, Duration::from_secs(10))
+                .expect("proposal accepted");
+        }
+        let applied = cluster.wait_for_applied(15, Duration::from_secs(10));
+        assert_eq!(applied.len(), 15);
+        // Per-node application order must be 0..5.
+        for node in 1..=3u64 {
+            let mine: Vec<u32> = applied
+                .iter()
+                .filter(|a| a.node == node)
+                .map(|a| a.command)
+                .collect();
+            assert_eq!(mine, vec![0, 1, 2, 3, 4], "node {node} order");
+        }
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,240 @@
+//! The in-memory replicated log.
+
+use crate::types::{Entry, EntryPayload, LogIndex, Membership, Term};
+
+/// An in-memory Raft log with 1-based indexing.
+///
+/// Kernel-replica logs in NotebookOS are short-lived (one per notebook
+/// session) and small (SMR deltas are pointers plus scalars), so an
+/// in-memory `Vec` is the honest representation; snapshotting/compaction is
+/// out of scope for what the paper's protocols exercise.
+#[derive(Debug, Clone)]
+pub struct RaftLog<C> {
+    entries: Vec<Entry<C>>,
+}
+
+impl<C: Clone> RaftLog<C> {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        RaftLog { entries: Vec::new() }
+    }
+
+    /// Index of the last entry (0 when empty).
+    pub fn last_index(&self) -> LogIndex {
+        self.entries.len() as LogIndex
+    }
+
+    /// Term of the last entry (0 when empty).
+    pub fn last_term(&self) -> Term {
+        self.entries.last().map_or(0, |e| e.term)
+    }
+
+    /// The entry at 1-based `index`, if present.
+    pub fn get(&self, index: LogIndex) -> Option<&Entry<C>> {
+        if index == 0 {
+            return None;
+        }
+        self.entries.get(index as usize - 1)
+    }
+
+    /// Term of the entry at `index`; 0 for index 0; `None` if out of range.
+    pub fn term_at(&self, index: LogIndex) -> Option<Term> {
+        if index == 0 {
+            return Some(0);
+        }
+        self.get(index).map(|e| e.term)
+    }
+
+    /// Appends a new entry created by a leader in `term`, returning its
+    /// index.
+    pub fn append(&mut self, term: Term, payload: EntryPayload<C>) -> LogIndex {
+        let index = self.last_index() + 1;
+        self.entries.push(Entry { term, index, payload });
+        index
+    }
+
+    /// Entries in `[from, to]` (1-based, inclusive), capped at `limit`.
+    pub fn slice(&self, from: LogIndex, to: LogIndex, limit: usize) -> Vec<Entry<C>> {
+        if from == 0 || from > to || from > self.last_index() {
+            return Vec::new();
+        }
+        let to = to.min(self.last_index());
+        self.entries[(from as usize - 1)..(to as usize)]
+            .iter()
+            .take(limit)
+            .cloned()
+            .collect()
+    }
+
+    /// Truncates the log so that `last_index() == index` (entries after
+    /// `index` are discarded). Truncating to 0 clears the log.
+    pub fn truncate_to(&mut self, index: LogIndex) {
+        self.entries.truncate(index as usize);
+    }
+
+    /// Follower-side merge of entries received via AppendEntries.
+    ///
+    /// Assumes the `prev_log` consistency check already passed. Entries that
+    /// match (same index and term) are kept; on the first conflict the local
+    /// suffix is truncated and the remote suffix appended. Returns the index
+    /// of the last entry covered by the merge.
+    pub fn merge(&mut self, incoming: &[Entry<C>]) -> LogIndex {
+        let mut last = incoming.first().map_or(self.last_index(), |e| e.index - 1);
+        for entry in incoming {
+            match self.term_at(entry.index) {
+                Some(t) if t == entry.term => {
+                    last = entry.index; // already have it
+                }
+                _ => {
+                    self.truncate_to(entry.index - 1);
+                    self.entries.push(entry.clone());
+                    last = entry.index;
+                }
+            }
+        }
+        last
+    }
+
+    /// The latest membership recorded in the log up to and including
+    /// `index`, if any `Config` entry exists in that prefix.
+    pub fn membership_at(&self, index: LogIndex) -> Option<&Membership> {
+        self.entries[..(index.min(self.last_index()) as usize)]
+            .iter()
+            .rev()
+            .find_map(|e| match &e.payload {
+                EntryPayload::Config(m) => Some(m),
+                _ => None,
+            })
+    }
+
+    /// Whether a candidate whose log ends at `(last_term, last_index)` is at
+    /// least as up-to-date as this log (the Raft §5.4.1 voting check).
+    pub fn candidate_is_up_to_date(&self, last_term: Term, last_index: LogIndex) -> bool {
+        (last_term, last_index) >= (self.last_term(), self.last_index())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all entries in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Entry<C>> {
+        self.entries.iter()
+    }
+}
+
+impl<C: Clone> Default for RaftLog<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_with(terms: &[Term]) -> RaftLog<u32> {
+        let mut log = RaftLog::new();
+        for (i, &t) in terms.iter().enumerate() {
+            log.append(t, EntryPayload::Command(i as u32));
+        }
+        log
+    }
+
+    #[test]
+    fn append_assigns_indices() {
+        let mut log = RaftLog::new();
+        assert_eq!(log.append(1, EntryPayload::Command(10u32)), 1);
+        assert_eq!(log.append(1, EntryPayload::Command(11)), 2);
+        assert_eq!(log.last_index(), 2);
+        assert_eq!(log.last_term(), 1);
+        assert_eq!(log.get(1).unwrap().command(), Some(&10));
+        assert!(log.get(0).is_none());
+        assert!(log.get(3).is_none());
+    }
+
+    #[test]
+    fn term_at_handles_sentinel() {
+        let log = log_with(&[1, 1, 2]);
+        assert_eq!(log.term_at(0), Some(0));
+        assert_eq!(log.term_at(3), Some(2));
+        assert_eq!(log.term_at(4), None);
+    }
+
+    #[test]
+    fn slice_respects_bounds_and_limit() {
+        let log = log_with(&[1, 1, 1, 1, 1]);
+        assert_eq!(log.slice(2, 4, 100).len(), 3);
+        assert_eq!(log.slice(2, 4, 2).len(), 2);
+        assert_eq!(log.slice(6, 9, 10).len(), 0);
+        assert_eq!(log.slice(0, 3, 10).len(), 0);
+        assert_eq!(log.slice(4, 100, 10).len(), 2);
+    }
+
+    #[test]
+    fn merge_keeps_matching_prefix() {
+        let mut log = log_with(&[1, 1, 2]);
+        // Incoming duplicates entry 3 and extends with 4.
+        let incoming = vec![
+            Entry { term: 2, index: 3, payload: EntryPayload::Command(99u32) },
+            Entry { term: 2, index: 4, payload: EntryPayload::Command(100) },
+        ];
+        // Entry 3 matches by (index, term) so it is kept as-is.
+        let last = log.merge(&incoming);
+        assert_eq!(last, 4);
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.get(3).unwrap().command(), Some(&2));
+        assert_eq!(log.get(4).unwrap().command(), Some(&100));
+    }
+
+    #[test]
+    fn merge_truncates_conflicts() {
+        let mut log = log_with(&[1, 1, 1, 1]);
+        let incoming = vec![Entry {
+            term: 2,
+            index: 3,
+            payload: EntryPayload::Command(42u32),
+        }];
+        log.merge(&incoming);
+        assert_eq!(log.last_index(), 3);
+        assert_eq!(log.get(3).unwrap().term, 2);
+    }
+
+    #[test]
+    fn empty_merge_is_noop() {
+        let mut log = log_with(&[1, 2]);
+        let last = log.merge(&[]);
+        assert_eq!(last, 2);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn membership_lookup_scans_prefix() {
+        let mut log: RaftLog<u32> = RaftLog::new();
+        log.append(1, EntryPayload::Noop);
+        log.append(1, EntryPayload::Config(Membership::new(vec![1, 2, 3])));
+        log.append(2, EntryPayload::Config(Membership::new(vec![1, 2, 4])));
+        assert_eq!(log.membership_at(1), None);
+        assert_eq!(log.membership_at(2).unwrap().voters(), &[1, 2, 3]);
+        assert_eq!(log.membership_at(3).unwrap().voters(), &[1, 2, 4]);
+        assert_eq!(log.membership_at(99).unwrap().voters(), &[1, 2, 4]);
+    }
+
+    #[test]
+    fn up_to_date_check() {
+        let log = log_with(&[1, 2, 2]);
+        // Higher last term wins regardless of length.
+        assert!(log.candidate_is_up_to_date(3, 1));
+        // Same term, longer or equal log wins.
+        assert!(log.candidate_is_up_to_date(2, 3));
+        assert!(log.candidate_is_up_to_date(2, 4));
+        assert!(!log.candidate_is_up_to_date(2, 2));
+        assert!(!log.candidate_is_up_to_date(1, 99));
+    }
+}

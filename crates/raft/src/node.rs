@@ -1,0 +1,878 @@
+//! The sans-io Raft node state machine.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::config::RaftConfig;
+use crate::log::RaftLog;
+use crate::message::Message;
+use crate::types::{Entry, EntryPayload, LogIndex, Membership, NodeId, Term};
+
+/// The three Raft roles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Passive replica, replicating from the leader.
+    Follower,
+    /// Soliciting votes for leadership.
+    Candidate,
+    /// The replica currently in charge of the log.
+    Leader,
+}
+
+impl std::fmt::Display for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Role::Follower => write!(f, "follower"),
+            Role::Candidate => write!(f, "candidate"),
+            Role::Leader => write!(f, "leader"),
+        }
+    }
+}
+
+/// Effects a node asks its driver to perform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Output<C> {
+    /// Send `message` to peer `to`.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// Message to deliver.
+        message: Message<C>,
+    },
+    /// `entry` is committed; apply it to the state machine.
+    Apply(Entry<C>),
+    /// The node's role changed (useful for instrumentation and for the
+    /// NotebookOS election protocol, which watches for leadership).
+    RoleChanged {
+        /// The new role.
+        role: Role,
+        /// The term in which the change happened.
+        term: Term,
+    },
+}
+
+/// Error returned by [`RaftNode::propose`] on a non-leader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProposeError {
+    /// Where the proposer should retry, if known.
+    pub leader_hint: Option<NodeId>,
+}
+
+impl std::fmt::Display for ProposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.leader_hint {
+            Some(l) => write!(f, "not the leader; try node {l}"),
+            None => write!(f, "not the leader; leader unknown"),
+        }
+    }
+}
+
+impl std::error::Error for ProposeError {}
+
+/// A single Raft participant, driven entirely by explicit inputs.
+///
+/// See the crate-level docs for the sans-io contract. All time parameters
+/// are microseconds on whatever clock the driver uses (virtual time in the
+/// simulator, `Instant`-derived in the live harness).
+#[derive(Debug, Clone)]
+pub struct RaftNode<C: Clone> {
+    id: NodeId,
+    config: RaftConfig,
+    initial_membership: Membership,
+    term: Term,
+    voted_for: Option<NodeId>,
+    log: RaftLog<C>,
+    commit_index: LogIndex,
+    last_applied: LogIndex,
+    role: Role,
+    leader_hint: Option<NodeId>,
+    votes: HashSet<NodeId>,
+    next_index: HashMap<NodeId, LogIndex>,
+    match_index: HashMap<NodeId, LogIndex>,
+    election_deadline_us: u64,
+    heartbeat_deadline_us: u64,
+    rng_state: u64,
+}
+
+impl<C: Clone> RaftNode<C> {
+    /// Creates a follower at time `now_us`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `id` is not a member.
+    pub fn new(id: NodeId, membership: Membership, config: RaftConfig, seed: u64, now_us: u64) -> Self {
+        config.validate().expect("invalid raft config");
+        assert!(membership.contains(id), "node {id} not in membership");
+        let mut node = RaftNode {
+            id,
+            config,
+            initial_membership: membership,
+            term: 0,
+            voted_for: None,
+            log: RaftLog::new(),
+            commit_index: 0,
+            last_applied: 0,
+            role: Role::Follower,
+            leader_hint: None,
+            votes: HashSet::new(),
+            next_index: HashMap::new(),
+            match_index: HashMap::new(),
+            election_deadline_us: 0,
+            heartbeat_deadline_us: u64::MAX,
+            rng_state: seed ^ (id.wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1,
+        };
+        node.reset_election_deadline(now_us);
+        node
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current term.
+    pub fn term(&self) -> Term {
+        self.term
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Whether this node currently believes it is the leader.
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    /// Most recent leader this node has heard from (or itself when leading).
+    pub fn leader_hint(&self) -> Option<NodeId> {
+        self.leader_hint
+    }
+
+    /// Highest committed log index.
+    pub fn commit_index(&self) -> LogIndex {
+        self.commit_index
+    }
+
+    /// The replicated log (read-only).
+    pub fn log(&self) -> &RaftLog<C> {
+        &self.log
+    }
+
+    /// The membership currently in effect (latest `Config` entry in the
+    /// log, falling back to the bootstrap membership).
+    pub fn membership(&self) -> Membership {
+        self.log
+            .membership_at(self.log.last_index())
+            .cloned()
+            .unwrap_or_else(|| self.initial_membership.clone())
+    }
+
+    /// The next instant at which the driver must call [`RaftNode::tick`].
+    pub fn next_deadline_us(&self) -> u64 {
+        match self.role {
+            Role::Leader => self.heartbeat_deadline_us,
+            _ => self.election_deadline_us,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Inputs
+    // ------------------------------------------------------------------
+
+    /// Advances timers to `now_us`: may start an election or emit
+    /// heartbeats.
+    pub fn tick(&mut self, now_us: u64, out: &mut Vec<Output<C>>) {
+        match self.role {
+            Role::Leader => {
+                if now_us >= self.heartbeat_deadline_us {
+                    self.broadcast_appends(out);
+                    self.heartbeat_deadline_us = now_us + self.config.heartbeat_interval_us;
+                }
+            }
+            Role::Follower | Role::Candidate => {
+                if now_us >= self.election_deadline_us {
+                    self.start_election(now_us, out);
+                }
+            }
+        }
+    }
+
+    /// Handles a message from peer `from` arriving at `now_us`.
+    pub fn receive(&mut self, now_us: u64, from: NodeId, message: Message<C>, out: &mut Vec<Output<C>>) {
+        if message.term() > self.term {
+            self.become_follower(message.term(), now_us, out);
+        }
+        match message {
+            Message::RequestVote {
+                term,
+                candidate,
+                last_log_index,
+                last_log_term,
+            } => self.on_request_vote(now_us, term, candidate, last_log_index, last_log_term, out),
+            Message::RequestVoteResponse { term, granted } => {
+                self.on_vote_response(now_us, from, term, granted, out)
+            }
+            Message::AppendEntries {
+                term,
+                leader,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit,
+            } => self.on_append_entries(
+                now_us,
+                term,
+                leader,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit,
+                out,
+            ),
+            Message::AppendEntriesResponse {
+                term,
+                success,
+                match_index,
+            } => self.on_append_response(from, term, success, match_index, out),
+        }
+    }
+
+    /// Proposes a command. Only the leader accepts proposals.
+    ///
+    /// On success the entry is appended locally, replication begins
+    /// immediately, and the assigned log index is returned (commitment is
+    /// signalled later via [`Output::Apply`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProposeError`] with a leader hint when this node is not the
+    /// leader.
+    pub fn propose(&mut self, command: C, out: &mut Vec<Output<C>>) -> Result<LogIndex, ProposeError> {
+        self.propose_payload(EntryPayload::Command(command), out)
+    }
+
+    /// Proposes a membership change (single-server add/remove composed by
+    /// the caller).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProposeError`] when this node is not the leader.
+    pub fn propose_membership(
+        &mut self,
+        membership: Membership,
+        out: &mut Vec<Output<C>>,
+    ) -> Result<LogIndex, ProposeError> {
+        self.propose_payload(EntryPayload::Config(membership), out)
+    }
+
+    fn propose_payload(
+        &mut self,
+        payload: EntryPayload<C>,
+        out: &mut Vec<Output<C>>,
+    ) -> Result<LogIndex, ProposeError> {
+        if self.role != Role::Leader {
+            return Err(ProposeError {
+                leader_hint: self.leader_hint,
+            });
+        }
+        let index = self.log.append(self.term, payload);
+        self.match_index.insert(self.id, index);
+        self.broadcast_appends(out);
+        self.try_advance_commit(out);
+        Ok(index)
+    }
+
+    // ------------------------------------------------------------------
+    // Elections
+    // ------------------------------------------------------------------
+
+    fn start_election(&mut self, now_us: u64, out: &mut Vec<Output<C>>) {
+        let membership = self.membership();
+        if !membership.contains(self.id) {
+            // Removed from the cluster (e.g. a migrated-away kernel
+            // replica): stay quiet.
+            self.reset_election_deadline(now_us);
+            return;
+        }
+        self.term += 1;
+        self.role = Role::Candidate;
+        self.voted_for = Some(self.id);
+        self.leader_hint = None;
+        self.votes.clear();
+        self.votes.insert(self.id);
+        self.reset_election_deadline(now_us);
+        out.push(Output::RoleChanged {
+            role: Role::Candidate,
+            term: self.term,
+        });
+        if self.votes.len() >= membership.quorum() {
+            // Single-node cluster: win immediately.
+            self.become_leader(now_us, out);
+            return;
+        }
+        for &peer in membership.voters() {
+            if peer == self.id {
+                continue;
+            }
+            out.push(Output::Send {
+                to: peer,
+                message: Message::RequestVote {
+                    term: self.term,
+                    candidate: self.id,
+                    last_log_index: self.log.last_index(),
+                    last_log_term: self.log.last_term(),
+                },
+            });
+        }
+    }
+
+    fn on_request_vote(
+        &mut self,
+        now_us: u64,
+        term: Term,
+        candidate: NodeId,
+        last_log_index: LogIndex,
+        last_log_term: Term,
+        out: &mut Vec<Output<C>>,
+    ) {
+        let grant = term == self.term
+            && self.role == Role::Follower
+            && (self.voted_for.is_none() || self.voted_for == Some(candidate))
+            && self.log.candidate_is_up_to_date(last_log_term, last_log_index);
+        if grant {
+            self.voted_for = Some(candidate);
+            self.reset_election_deadline(now_us);
+        }
+        out.push(Output::Send {
+            to: candidate,
+            message: Message::RequestVoteResponse {
+                term: self.term,
+                granted: grant,
+            },
+        });
+    }
+
+    fn on_vote_response(
+        &mut self,
+        now_us: u64,
+        from: NodeId,
+        term: Term,
+        granted: bool,
+        out: &mut Vec<Output<C>>,
+    ) {
+        if self.role != Role::Candidate || term != self.term || !granted {
+            return;
+        }
+        self.votes.insert(from);
+        if self.votes.len() >= self.membership().quorum() {
+            self.become_leader(now_us, out);
+        }
+    }
+
+    fn become_leader(&mut self, now_us: u64, out: &mut Vec<Output<C>>) {
+        self.role = Role::Leader;
+        self.leader_hint = Some(self.id);
+        self.next_index.clear();
+        self.match_index.clear();
+        let next = self.log.last_index() + 1;
+        for &peer in self.membership().voters() {
+            self.next_index.insert(peer, next);
+            self.match_index.insert(peer, 0);
+        }
+        out.push(Output::RoleChanged {
+            role: Role::Leader,
+            term: self.term,
+        });
+        // Leader-completeness no-op: lets the new leader commit entries
+        // from prior terms.
+        let index = self.log.append(self.term, EntryPayload::Noop);
+        self.match_index.insert(self.id, index);
+        self.heartbeat_deadline_us = now_us + self.config.heartbeat_interval_us;
+        self.broadcast_appends(out);
+        self.try_advance_commit(out);
+    }
+
+    fn become_follower(&mut self, term: Term, now_us: u64, out: &mut Vec<Output<C>>) {
+        let was = self.role;
+        self.term = term;
+        self.role = Role::Follower;
+        self.voted_for = None;
+        self.votes.clear();
+        self.heartbeat_deadline_us = u64::MAX;
+        self.reset_election_deadline(now_us);
+        if was != Role::Follower {
+            out.push(Output::RoleChanged {
+                role: Role::Follower,
+                term: self.term,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Log replication
+    // ------------------------------------------------------------------
+
+    fn broadcast_appends(&mut self, out: &mut Vec<Output<C>>) {
+        let membership = self.membership();
+        for &peer in membership.voters() {
+            if peer != self.id {
+                self.send_append(peer, out);
+            }
+        }
+    }
+
+    fn send_append(&mut self, peer: NodeId, out: &mut Vec<Output<C>>) {
+        let next = *self.next_index.entry(peer).or_insert(1);
+        let prev_log_index = next - 1;
+        let prev_log_term = self.log.term_at(prev_log_index).unwrap_or(0);
+        let entries = self
+            .log
+            .slice(next, self.log.last_index(), self.config.max_entries_per_append);
+        out.push(Output::Send {
+            to: peer,
+            message: Message::AppendEntries {
+                term: self.term,
+                leader: self.id,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit: self.commit_index,
+            },
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_append_entries(
+        &mut self,
+        now_us: u64,
+        term: Term,
+        leader: NodeId,
+        prev_log_index: LogIndex,
+        prev_log_term: Term,
+        entries: Vec<Entry<C>>,
+        leader_commit: LogIndex,
+        out: &mut Vec<Output<C>>,
+    ) {
+        if term < self.term {
+            out.push(Output::Send {
+                to: leader,
+                message: Message::AppendEntriesResponse {
+                    term: self.term,
+                    success: false,
+                    match_index: 0,
+                },
+            });
+            return;
+        }
+        // Valid leader for our term.
+        if self.role != Role::Follower {
+            self.become_follower(term, now_us, out);
+        }
+        self.leader_hint = Some(leader);
+        self.reset_election_deadline(now_us);
+
+        let consistent = self.log.term_at(prev_log_index) == Some(prev_log_term);
+        if !consistent {
+            // Conflict hint: ask the leader to back up to our log end (or
+            // one before the probe point, whichever is smaller).
+            let hint = self.log.last_index().min(prev_log_index.saturating_sub(1));
+            out.push(Output::Send {
+                to: leader,
+                message: Message::AppendEntriesResponse {
+                    term: self.term,
+                    success: false,
+                    match_index: hint,
+                },
+            });
+            return;
+        }
+        let last_new = if entries.is_empty() {
+            prev_log_index
+        } else {
+            self.log.merge(&entries)
+        };
+        if leader_commit > self.commit_index {
+            self.commit_index = leader_commit.min(last_new);
+            self.apply_committed(out);
+        }
+        out.push(Output::Send {
+            to: leader,
+            message: Message::AppendEntriesResponse {
+                term: self.term,
+                success: true,
+                match_index: last_new,
+            },
+        });
+    }
+
+    fn on_append_response(
+        &mut self,
+        from: NodeId,
+        term: Term,
+        success: bool,
+        match_index: LogIndex,
+        out: &mut Vec<Output<C>>,
+    ) {
+        if self.role != Role::Leader || term != self.term {
+            return;
+        }
+        if success {
+            let entry = self.match_index.entry(from).or_insert(0);
+            *entry = (*entry).max(match_index);
+            self.next_index.insert(from, *entry + 1);
+            self.try_advance_commit(out);
+            // Keep streaming if the follower is still behind.
+            if *self.next_index.get(&from).unwrap_or(&1) <= self.log.last_index() {
+                self.send_append(from, out);
+            }
+        } else {
+            let next = self.next_index.entry(from).or_insert(1);
+            *next = (*next - 1).max(1).min(match_index + 1).max(1);
+            self.send_append(from, out);
+        }
+    }
+
+    fn try_advance_commit(&mut self, out: &mut Vec<Output<C>>) {
+        let membership = self.membership();
+        let last = self.log.last_index();
+        let mut new_commit = self.commit_index;
+        for n in (self.commit_index + 1)..=last {
+            if self.log.term_at(n) != Some(self.term) {
+                continue;
+            }
+            let replicated = membership
+                .voters()
+                .iter()
+                .filter(|&&v| self.match_index.get(&v).copied().unwrap_or(0) >= n)
+                .count();
+            if replicated >= membership.quorum() {
+                new_commit = n;
+            }
+        }
+        if new_commit > self.commit_index {
+            self.commit_index = new_commit;
+            self.apply_committed(out);
+        }
+    }
+
+    fn apply_committed(&mut self, out: &mut Vec<Output<C>>) {
+        while self.last_applied < self.commit_index {
+            self.last_applied += 1;
+            if let Some(entry) = self.log.get(self.last_applied) {
+                out.push(Output::Apply(entry.clone()));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timing
+    // ------------------------------------------------------------------
+
+    fn reset_election_deadline(&mut self, now_us: u64) {
+        let window = self.config.election_timeout_max_us - self.config.election_timeout_min_us;
+        let jitter = self.next_rand() % window;
+        self.election_deadline_us = now_us + self.config.election_timeout_min_us + jitter;
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*: deterministic per-node jitter stream.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Node = RaftNode<String>;
+
+    fn trio() -> (Node, Node, Node) {
+        let m = Membership::new(vec![1, 2, 3]);
+        let cfg = RaftConfig::fast();
+        (
+            RaftNode::new(1, m.clone(), cfg, 7, 0),
+            RaftNode::new(2, m.clone(), cfg, 8, 0),
+            RaftNode::new(3, m, cfg, 9, 0),
+        )
+    }
+
+    /// Forces `node` to start an election by ticking past its deadline.
+    fn force_election(node: &mut Node, out: &mut Vec<Output<String>>) {
+        let deadline = node.next_deadline_us();
+        node.tick(deadline, out);
+        assert_eq!(node.role(), Role::Candidate);
+    }
+
+    fn sends(out: &[Output<String>]) -> Vec<(NodeId, Message<String>)> {
+        out.iter()
+            .filter_map(|o| match o {
+                Output::Send { to, message } => Some((*to, message.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn follower_becomes_candidate_on_timeout() {
+        let (mut n1, _, _) = trio();
+        let mut out = Vec::new();
+        force_election(&mut n1, &mut out);
+        assert_eq!(n1.term(), 1);
+        let reqs = sends(&out);
+        assert_eq!(reqs.len(), 2); // to peers 2 and 3
+        assert!(matches!(reqs[0].1, Message::RequestVote { .. }));
+    }
+
+    #[test]
+    fn candidate_wins_with_quorum() {
+        let (mut n1, mut n2, _) = trio();
+        let mut out1 = Vec::new();
+        force_election(&mut n1, &mut out1);
+
+        // Node 2 grants the vote.
+        let mut out2 = Vec::new();
+        let vote_req = sends(&out1)
+            .into_iter()
+            .find(|(to, _)| *to == 2)
+            .unwrap()
+            .1;
+        n2.receive(100, 1, vote_req, &mut out2);
+        let (_, resp) = sends(&out2).into_iter().next().unwrap();
+        assert!(matches!(resp, Message::RequestVoteResponse { granted: true, .. }));
+
+        let mut out3 = Vec::new();
+        n1.receive(200, 2, resp, &mut out3);
+        assert!(n1.is_leader());
+        assert_eq!(n1.leader_hint(), Some(1));
+        // First leader action is the no-op append broadcast.
+        assert!(sends(&out3)
+            .iter()
+            .any(|(_, m)| matches!(m, Message::AppendEntries { .. })));
+    }
+
+    #[test]
+    fn votes_are_single_use_per_term() {
+        let (_, mut n2, _) = trio();
+        let mut out = Vec::new();
+        n2.receive(
+            0,
+            1,
+            Message::RequestVote {
+                term: 1,
+                candidate: 1,
+                last_log_index: 0,
+                last_log_term: 0,
+            },
+            &mut out,
+        );
+        out.clear();
+        // Second candidate in the same term is refused.
+        n2.receive(
+            0,
+            3,
+            Message::RequestVote {
+                term: 1,
+                candidate: 3,
+                last_log_index: 0,
+                last_log_term: 0,
+            },
+            &mut out,
+        );
+        let (_, resp) = sends(&out).into_iter().next().unwrap();
+        assert!(matches!(resp, Message::RequestVoteResponse { granted: false, .. }));
+    }
+
+    #[test]
+    fn stale_candidate_is_refused_on_log() {
+        let (_, mut n2, _) = trio();
+        // Give n2 a log entry at term 1 (simulating prior replication).
+        let mut out = Vec::new();
+        n2.receive(
+            0,
+            1,
+            Message::AppendEntries {
+                term: 1,
+                leader: 1,
+                prev_log_index: 0,
+                prev_log_term: 0,
+                entries: vec![Entry {
+                    term: 1,
+                    index: 1,
+                    payload: EntryPayload::Command("a".to_string()),
+                }],
+                leader_commit: 0,
+            },
+            &mut out,
+        );
+        out.clear();
+        // Candidate with an empty log at a later term: refused (log check).
+        n2.receive(
+            10,
+            3,
+            Message::RequestVote {
+                term: 2,
+                candidate: 3,
+                last_log_index: 0,
+                last_log_term: 0,
+            },
+            &mut out,
+        );
+        let granted = sends(&out)
+            .iter()
+            .any(|(_, m)| matches!(m, Message::RequestVoteResponse { granted: true, .. }));
+        assert!(!granted);
+    }
+
+    #[test]
+    fn higher_term_forces_step_down() {
+        let (mut n1, _, _) = trio();
+        let mut out = Vec::new();
+        force_election(&mut n1, &mut out);
+        out.clear();
+        n1.receive(
+            50,
+            2,
+            Message::AppendEntries {
+                term: 99,
+                leader: 2,
+                prev_log_index: 0,
+                prev_log_term: 0,
+                entries: vec![],
+                leader_commit: 0,
+            },
+            &mut out,
+        );
+        assert_eq!(n1.role(), Role::Follower);
+        assert_eq!(n1.term(), 99);
+        assert_eq!(n1.leader_hint(), Some(2));
+    }
+
+    #[test]
+    fn propose_on_follower_fails_with_hint() {
+        let (mut n1, _, _) = trio();
+        let mut out = Vec::new();
+        n1.receive(
+            0,
+            2,
+            Message::AppendEntries {
+                term: 1,
+                leader: 2,
+                prev_log_index: 0,
+                prev_log_term: 0,
+                entries: vec![],
+                leader_commit: 0,
+            },
+            &mut out,
+        );
+        let err = n1.propose("x".to_string(), &mut out).unwrap_err();
+        assert_eq!(err.leader_hint, Some(2));
+    }
+
+    #[test]
+    fn single_node_cluster_self_elects_and_commits() {
+        let m = Membership::new(vec![1]);
+        let mut n: Node = RaftNode::new(1, m, RaftConfig::fast(), 1, 0);
+        let mut out = Vec::new();
+        n.tick(n.next_deadline_us(), &mut out);
+        assert!(n.is_leader());
+        out.clear();
+        let idx = n.propose("solo".to_string(), &mut out).unwrap();
+        assert!(out.iter().any(|o| matches!(o, Output::Apply(e) if e.index == idx)));
+        assert_eq!(n.commit_index(), idx);
+    }
+
+    #[test]
+    fn append_entries_rejects_on_gap_with_hint() {
+        let (mut n1, _, _) = trio();
+        let mut out = Vec::new();
+        n1.receive(
+            0,
+            2,
+            Message::AppendEntries {
+                term: 1,
+                leader: 2,
+                prev_log_index: 5,
+                prev_log_term: 1,
+                entries: vec![],
+                leader_commit: 0,
+            },
+            &mut out,
+        );
+        let resp = sends(&out)
+            .into_iter()
+            .find_map(|(_, m)| match m {
+                Message::AppendEntriesResponse {
+                    success,
+                    match_index,
+                    ..
+                } => Some((success, match_index)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(resp, (false, 0));
+    }
+
+    #[test]
+    fn removed_node_stays_quiet() {
+        let m = Membership::new(vec![1, 2, 3]);
+        let mut n: Node = RaftNode::new(1, m, RaftConfig::fast(), 1, 0);
+        let mut out = Vec::new();
+        // Learn (via replication) that the membership no longer includes us.
+        n.receive(
+            0,
+            2,
+            Message::AppendEntries {
+                term: 1,
+                leader: 2,
+                prev_log_index: 0,
+                prev_log_term: 0,
+                entries: vec![Entry {
+                    term: 1,
+                    index: 1,
+                    payload: EntryPayload::Config(Membership::new(vec![2, 3, 4])),
+                }],
+                leader_commit: 1,
+            },
+            &mut out,
+        );
+        out.clear();
+        n.tick(n.next_deadline_us(), &mut out);
+        assert_eq!(n.role(), Role::Follower);
+        assert!(sends(&out).is_empty());
+    }
+
+    #[test]
+    fn membership_accessor_tracks_config_entries() {
+        let (mut n1, _, _) = trio();
+        assert_eq!(n1.membership().voters(), &[1, 2, 3]);
+        let mut out = Vec::new();
+        n1.receive(
+            0,
+            2,
+            Message::AppendEntries {
+                term: 1,
+                leader: 2,
+                prev_log_index: 0,
+                prev_log_term: 0,
+                entries: vec![Entry {
+                    term: 1,
+                    index: 1,
+                    payload: EntryPayload::Config(Membership::new(vec![1, 2, 4])),
+                }],
+                leader_commit: 0,
+            },
+            &mut out,
+        );
+        assert_eq!(n1.membership().voters(), &[1, 2, 4]);
+    }
+}

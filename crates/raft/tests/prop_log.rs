@@ -1,0 +1,87 @@
+//! Property tests for the replicated log's merge semantics.
+
+use proptest::prelude::*;
+
+use notebookos_raft::{Entry, EntryPayload, RaftLog};
+
+fn entries_from(terms: &[u64], start: u64) -> Vec<Entry<u32>> {
+    terms
+        .iter()
+        .enumerate()
+        .map(|(i, &term)| Entry {
+            term,
+            index: start + i as u64,
+            payload: EntryPayload::Command((start + i as u64) as u32),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Merging the same batch twice is idempotent.
+    #[test]
+    fn merge_is_idempotent(local in proptest::collection::vec(1u64..4, 0..20),
+                           remote in proptest::collection::vec(1u64..4, 1..20),
+                           offset in 0usize..10) {
+        let mut log: RaftLog<u32> = RaftLog::new();
+        for &t in &local {
+            log.append(t, EntryPayload::Command(0));
+        }
+        let start = (offset.min(local.len()) + 1) as u64;
+        let batch = entries_from(&remote, start);
+        let mut once = log.clone();
+        once.merge(&batch);
+        let mut twice = once.clone();
+        twice.merge(&batch);
+        prop_assert_eq!(once.last_index(), twice.last_index());
+        for i in 1..=once.last_index() {
+            prop_assert_eq!(once.get(i), twice.get(i));
+        }
+    }
+
+    /// After a merge, the log exactly matches the remote batch over the
+    /// batch's range.
+    #[test]
+    fn merge_adopts_remote_suffix(local in proptest::collection::vec(1u64..4, 0..20),
+                                  remote in proptest::collection::vec(4u64..8, 1..20),
+                                  offset in 0usize..10) {
+        let mut log: RaftLog<u32> = RaftLog::new();
+        for &t in &local {
+            log.append(t, EntryPayload::Command(0));
+        }
+        let start = (offset.min(local.len()) + 1) as u64;
+        let batch = entries_from(&remote, start);
+        let last = log.merge(&batch);
+        prop_assert_eq!(last, start + remote.len() as u64 - 1);
+        for e in &batch {
+            let stored = log.get(e.index).expect("merged entry present");
+            prop_assert_eq!(stored.term, e.term);
+        }
+        // Nothing beyond the merged range survives a conflicting merge
+        // (remote terms differ from local's range, so truncation applies).
+        prop_assert!(log.last_index() <= start + remote.len() as u64 - 1 || log.last_index() == local.len() as u64);
+    }
+
+    /// `term_at`/`get` agree, and slices respect their bounds.
+    #[test]
+    fn accessors_are_consistent(terms in proptest::collection::vec(1u64..6, 1..30),
+                                from in 1u64..35, to in 1u64..35, limit in 0usize..40) {
+        let mut log: RaftLog<u32> = RaftLog::new();
+        for &t in &terms {
+            log.append(t, EntryPayload::Command(0));
+        }
+        for i in 1..=log.last_index() {
+            prop_assert_eq!(log.term_at(i), log.get(i).map(|e| e.term));
+        }
+        let slice = log.slice(from, to, limit.max(1));
+        prop_assert!(slice.len() <= limit.max(1));
+        for e in &slice {
+            prop_assert!(e.index >= from && e.index <= to);
+        }
+        // Slice entries are contiguous and ascending.
+        for w in slice.windows(2) {
+            prop_assert_eq!(w[1].index, w[0].index + 1);
+        }
+    }
+}

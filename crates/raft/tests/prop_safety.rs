@@ -1,0 +1,85 @@
+//! Property-based safety tests for the Raft implementation: election
+//! safety, log matching, and leader completeness under randomized faults.
+
+use proptest::prelude::*;
+
+use notebookos_raft::harness::Network;
+use notebookos_raft::{RaftConfig, Role};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Election safety: after the dust settles, at most one node believes
+    /// it leads the highest term.
+    #[test]
+    fn at_most_one_leader_per_term(seed in 0u64..10_000, n in 3usize..6) {
+        let mut net: Network<u32> = Network::new(n, seed);
+        net.run_until_leader();
+        net.run_micros(500_000);
+        let max_term = (1..=n as u64).map(|id| net.node(id).term()).max().unwrap();
+        let leaders_at_max = (1..=n as u64)
+            .filter(|&id| net.node(id).role() == Role::Leader && net.node(id).term() == max_term)
+            .count();
+        prop_assert!(leaders_at_max <= 1, "{leaders_at_max} leaders at term {max_term}");
+    }
+
+    /// Log matching: committed prefixes agree pairwise even when the leader
+    /// is partitioned away mid-replication.
+    #[test]
+    fn log_matching_across_leader_partition(seed in 0u64..10_000, cut_after in 1usize..8) {
+        let mut net: Network<u32> = Network::new(3, seed);
+        let first = net.run_until_leader();
+        for i in 0..cut_after as u32 {
+            net.propose(first, i).expect("stable leader");
+            net.run_micros(30_000);
+        }
+        net.disconnect(first);
+        // A new leader emerges and appends more entries.
+        let mut second = None;
+        for _ in 0..300 {
+            net.run_micros(10_000);
+            if let Some(l) = net.leader() {
+                if l != first {
+                    second = Some(l);
+                    break;
+                }
+            }
+        }
+        if let Some(second) = second {
+            for i in 100..105u32 {
+                let _ = net.propose(second, i);
+                net.run_micros(30_000);
+            }
+        }
+        net.reconnect(first);
+        net.run_micros(2_000_000);
+
+        let logs: Vec<Vec<u32>> = (1..=3).map(|id| net.applied_by(id).to_vec()).collect();
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                let common = logs[a].len().min(logs[b].len());
+                prop_assert_eq!(&logs[a][..common], &logs[b][..common]);
+            }
+        }
+    }
+
+    /// Commitment durability: once an entry is applied anywhere while the
+    /// cluster is healthy, it survives any subsequent single-node outage.
+    #[test]
+    fn committed_entries_survive_single_failure(seed in 0u64..10_000, victim in 1u64..4) {
+        let mut net: Network<u32> = Network::with_config(3, seed, RaftConfig::fast());
+        let leader = net.run_until_leader();
+        net.propose(leader, 42).expect("leader accepts");
+        prop_assert!(net.run_until_applied_everywhere(net.node(leader).log().last_index(), 5_000_000));
+
+        net.disconnect(victim);
+        net.run_micros(1_000_000);
+        // The surviving majority still exposes the entry.
+        for id in (1..=3u64).filter(|&id| id != victim) {
+            prop_assert!(
+                net.applied_by(id).contains(&42),
+                "node {id} lost a committed entry"
+            );
+        }
+    }
+}

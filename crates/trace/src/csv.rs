@@ -1,0 +1,210 @@
+//! CSV serialization of workload traces.
+//!
+//! Lets generated workloads be saved, inspected, and replayed byte-for-byte.
+//! The format is two record kinds:
+//!
+//! ```text
+//! S,<id>,<start_s>,<end_s>,<gpus>,<vram_gb>,<millicpus>,<memory_mb>,<domain>,<dataset>,<model>
+//! E,<session_id>,<submit_s>,<duration_s>
+//! ```
+
+use crate::models::{datasets_for, models_for, AppDomain};
+use crate::workload::{SessionTrace, TrainingEvent, WorkloadTrace};
+
+/// Errors parsing a trace CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace csv error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn domain_tag(d: AppDomain) -> &'static str {
+    match d {
+        AppDomain::ComputerVision => "cv",
+        AppDomain::Nlp => "nlp",
+        AppDomain::SpeechRecognition => "speech",
+    }
+}
+
+fn domain_from_tag(tag: &str) -> Option<AppDomain> {
+    Some(match tag {
+        "cv" => AppDomain::ComputerVision,
+        "nlp" => AppDomain::Nlp,
+        "speech" => AppDomain::SpeechRecognition,
+        _ => return None,
+    })
+}
+
+/// Serializes a trace to CSV text.
+pub fn to_csv(trace: &WorkloadTrace) -> String {
+    let mut out = String::new();
+    for s in &trace.sessions {
+        out.push_str(&format!(
+            "S,{},{:.3},{:.3},{},{},{},{},{},{},{}\n",
+            s.id,
+            s.start_s,
+            s.end_s,
+            s.gpus,
+            s.vram_gb,
+            s.millicpus,
+            s.memory_mb,
+            domain_tag(s.profile.domain),
+            s.profile.dataset.name,
+            s.profile.model.name,
+        ));
+        for e in &s.events {
+            out.push_str(&format!("E,{},{:.3},{:.3}\n", s.id, e.submit_s, e.duration_s));
+        }
+    }
+    out
+}
+
+/// Parses a trace from CSV text.
+///
+/// # Errors
+///
+/// Returns a [`CsvError`] naming the offending line.
+pub fn from_csv(text: &str) -> Result<WorkloadTrace, CsvError> {
+    let mut trace = WorkloadTrace::default();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |m: &str| CsvError {
+            line: lineno,
+            message: m.to_string(),
+        };
+        let fields: Vec<&str> = line.split(',').collect();
+        match fields.first().copied() {
+            Some("S") => {
+                if fields.len() != 11 {
+                    return Err(err("session record needs 11 fields"));
+                }
+                let parse_u64 = |s: &str, what: &str| {
+                    s.parse::<u64>().map_err(|_| err(&format!("bad {what}")))
+                };
+                let parse_f64 = |s: &str, what: &str| {
+                    s.parse::<f64>().map_err(|_| err(&format!("bad {what}")))
+                };
+                let domain =
+                    domain_from_tag(fields[8]).ok_or_else(|| err("unknown domain tag"))?;
+                let dataset = datasets_for(domain)
+                    .iter()
+                    .find(|d| d.name == fields[9])
+                    .copied()
+                    .ok_or_else(|| err("unknown dataset"))?;
+                let model = models_for(domain)
+                    .iter()
+                    .find(|m| m.name == fields[10])
+                    .copied()
+                    .ok_or_else(|| err("unknown model"))?;
+                trace.sessions.push(SessionTrace {
+                    id: parse_u64(fields[1], "session id")?,
+                    start_s: parse_f64(fields[2], "start")?,
+                    end_s: parse_f64(fields[3], "end")?,
+                    gpus: parse_u64(fields[4], "gpus")? as u32,
+                    vram_gb: parse_u64(fields[5], "vram")? as u32,
+                    millicpus: parse_u64(fields[6], "millicpus")?,
+                    memory_mb: parse_u64(fields[7], "memory")?,
+                    profile: crate::models::WorkloadProfile {
+                        domain,
+                        dataset,
+                        model,
+                    },
+                    events: Vec::new(),
+                });
+            }
+            Some("E") => {
+                if fields.len() != 4 {
+                    return Err(err("event record needs 4 fields"));
+                }
+                let session_id: u64 = fields[1]
+                    .parse()
+                    .map_err(|_| err("bad event session id"))?;
+                let submit_s: f64 = fields[2].parse().map_err(|_| err("bad submit"))?;
+                let duration_s: f64 = fields[3].parse().map_err(|_| err("bad duration"))?;
+                let session = trace
+                    .sessions
+                    .iter_mut()
+                    .rev()
+                    .find(|s| s.id == session_id)
+                    .ok_or_else(|| err("event references unknown session"))?;
+                session.events.push(TrainingEvent {
+                    submit_s,
+                    duration_s,
+                });
+            }
+            _ => return Err(err("unknown record kind")),
+        }
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, SyntheticConfig};
+
+    #[test]
+    fn round_trips_generated_trace() {
+        let trace = generate(&SyntheticConfig::smoke(), 11);
+        let text = to_csv(&trace);
+        let parsed = from_csv(&text).unwrap();
+        assert_eq!(parsed.sessions.len(), trace.sessions.len());
+        assert_eq!(parsed.total_events(), trace.total_events());
+        for (a, b) in trace.sessions.iter().zip(&parsed.sessions) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.gpus, b.gpus);
+            assert_eq!(a.profile, b.profile);
+            assert_eq!(a.events.len(), b.events.len());
+            assert!((a.start_s - b.start_s).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let parsed = from_csv("# comment\n\n").unwrap();
+        assert!(parsed.sessions.is_empty());
+    }
+
+    #[test]
+    fn errors_name_lines() {
+        let e = from_csv("X,1,2").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("unknown record"));
+
+        let e = from_csv("E,0,1.0,2.0").unwrap_err();
+        assert!(e.message.contains("unknown session"));
+
+        let e = from_csv("S,1,2,3\n").unwrap_err();
+        assert!(e.message.contains("11 fields"));
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        let text = "S,x,0.0,1.0,1,16,4000,16384,cv,CIFAR-10,VGG-16";
+        assert!(from_csv(text).unwrap_err().message.contains("session id"));
+    }
+
+    #[test]
+    fn unknown_registry_entries_rejected() {
+        let text = "S,1,0.0,1.0,1,16,4000,16384,cv,NOPE,VGG-16";
+        assert!(from_csv(text).unwrap_err().message.contains("dataset"));
+        let text = "S,1,0.0,1.0,1,16,4000,16384,cv,CIFAR-10,NOPE";
+        assert!(from_csv(text).unwrap_err().message.contains("model"));
+        let text = "S,1,0.0,1.0,1,16,4000,16384,zzz,CIFAR-10,VGG-16";
+        assert!(from_csv(text).unwrap_err().message.contains("domain"));
+    }
+}

@@ -1,0 +1,37 @@
+//! IDLT workload substrate for the NotebookOS reproduction.
+//!
+//! The paper characterizes interactive deep-learning training (IDLT)
+//! workloads from a production Adobe trace (§2.3) and evaluates on a
+//! 17.5-hour excerpt plus a 90-day "summer" window. The production trace is
+//! proprietary, so this crate generates statistically equivalent workloads:
+//! every quantile the paper publishes (task durations, per-session IATs,
+//! session ramps, GPU busy fractions) anchors the generators, and
+//! Philly-/Alibaba-shaped profiles exist for the Fig. 2 comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use notebookos_trace::{generate, SyntheticConfig};
+//!
+//! let trace = generate(&SyntheticConfig::excerpt_17_5h(), 42);
+//! assert!(trace.validate().is_ok());
+//! let mut durations = trace.duration_cdf("adobe-durations");
+//! // §2.3.1: half of all IDLT tasks finish within ~2 minutes.
+//! assert!(durations.percentile(50.0) < 200.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod models;
+pub mod synthetic;
+pub mod workload;
+
+pub use csv::{from_csv, to_csv, CsvError};
+pub use models::{
+    assign_profile, datasets_for, models_for, table1_rows, AppDomain, DatasetSpec, ModelSpec,
+    WorkloadProfile,
+};
+pub use synthetic::{generate, generate_with_profile, sample_distributions, SyntheticConfig, TraceProfile};
+pub use workload::{SessionTrace, TrainingEvent, WorkloadTrace};

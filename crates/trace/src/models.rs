@@ -1,0 +1,183 @@
+//! The model/dataset registry of Table 1.
+//!
+//! The workload driver randomly assigns each client an application domain,
+//! then a dataset and model within it (§5.1.2). Model/dataset sizes drive
+//! the large-object checkpoint traffic measured in Fig. 11.
+
+use notebookos_des::SimRng;
+
+/// Application domains from Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppDomain {
+    /// Computer vision.
+    ComputerVision,
+    /// Natural language processing.
+    Nlp,
+    /// Speech recognition.
+    SpeechRecognition,
+}
+
+impl AppDomain {
+    /// All domains.
+    pub const ALL: [AppDomain; 3] = [
+        AppDomain::ComputerVision,
+        AppDomain::Nlp,
+        AppDomain::SpeechRecognition,
+    ];
+}
+
+impl std::fmt::Display for AppDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppDomain::ComputerVision => write!(f, "Computer Vision"),
+            AppDomain::Nlp => write!(f, "Natural Language Processing"),
+            AppDomain::SpeechRecognition => write!(f, "Speech Recognition"),
+        }
+    }
+}
+
+/// A deep-learning model with its parameter footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelSpec {
+    /// Model name.
+    pub name: &'static str,
+    /// Parameter-state size in bytes (fp32 checkpoints).
+    pub param_bytes: u64,
+}
+
+/// A dataset with its on-disk footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DatasetSpec {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Size in bytes.
+    pub size_bytes: u64,
+}
+
+/// A (domain, dataset, model) assignment for a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkloadProfile {
+    /// Application domain.
+    pub domain: AppDomain,
+    /// Assigned dataset.
+    pub dataset: DatasetSpec,
+    /// Assigned model.
+    pub model: ModelSpec,
+}
+
+impl WorkloadProfile {
+    /// Bytes checkpointed after a training task: model parameters (the
+    /// dataset is fetched once and cached).
+    pub fn checkpoint_bytes(&self) -> u64 {
+        self.model.param_bytes
+    }
+}
+
+const MB: u64 = 1_000_000;
+
+/// Models per domain (Table 1).
+pub fn models_for(domain: AppDomain) -> &'static [ModelSpec] {
+    match domain {
+        AppDomain::ComputerVision => &[
+            ModelSpec { name: "VGG-16", param_bytes: 528 * MB },
+            ModelSpec { name: "ResNet-18", param_bytes: 45 * MB },
+            ModelSpec { name: "Inception v3", param_bytes: 104 * MB },
+        ],
+        AppDomain::Nlp => &[
+            ModelSpec { name: "BERT", param_bytes: 440 * MB },
+            ModelSpec { name: "GPT-2", param_bytes: 548 * MB },
+        ],
+        AppDomain::SpeechRecognition => &[ModelSpec {
+            name: "Deep Speech 2",
+            param_bytes: 350 * MB,
+        }],
+    }
+}
+
+/// Datasets per domain (Table 1).
+pub fn datasets_for(domain: AppDomain) -> &'static [DatasetSpec] {
+    match domain {
+        AppDomain::ComputerVision => &[
+            DatasetSpec { name: "CIFAR-10", size_bytes: 170 * MB },
+            DatasetSpec { name: "CIFAR-100", size_bytes: 169 * MB },
+            DatasetSpec { name: "Tiny ImageNet", size_bytes: 237 * MB },
+        ],
+        AppDomain::Nlp => &[
+            DatasetSpec { name: "IMDb Large Movie Reviews", size_bytes: 80 * MB },
+            DatasetSpec { name: "CoLA", size_bytes: 1 * MB },
+        ],
+        AppDomain::SpeechRecognition => &[DatasetSpec {
+            name: "LibriSpeech",
+            size_bytes: 1_000 * MB,
+        }],
+    }
+}
+
+/// Randomly assigns a profile the way the workload driver does: uniform
+/// domain, then uniform dataset and model within it.
+pub fn assign_profile(rng: &mut SimRng) -> WorkloadProfile {
+    let domain = *rng.pick(&AppDomain::ALL);
+    let dataset = *rng.pick(datasets_for(domain));
+    let model = *rng.pick(models_for(domain));
+    WorkloadProfile {
+        domain,
+        dataset,
+        model,
+    }
+}
+
+/// All `(domain, dataset, model)` rows of Table 1, for the `table1` binary.
+pub fn table1_rows() -> Vec<(AppDomain, DatasetSpec, ModelSpec)> {
+    let mut rows = Vec::new();
+    for domain in AppDomain::ALL {
+        for &dataset in datasets_for(domain) {
+            for &model in models_for(domain) {
+                rows.push((domain, dataset, model));
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table1_counts() {
+        assert_eq!(models_for(AppDomain::ComputerVision).len(), 3);
+        assert_eq!(datasets_for(AppDomain::ComputerVision).len(), 3);
+        assert_eq!(models_for(AppDomain::Nlp).len(), 2);
+        assert_eq!(datasets_for(AppDomain::Nlp).len(), 2);
+        assert_eq!(models_for(AppDomain::SpeechRecognition).len(), 1);
+        assert_eq!(datasets_for(AppDomain::SpeechRecognition).len(), 1);
+        // 3×3 + 2×2 + 1×1 = 14 cross-product rows.
+        assert_eq!(table1_rows().len(), 14);
+    }
+
+    #[test]
+    fn assignment_stays_within_domain() {
+        let mut rng = SimRng::seed(1);
+        for _ in 0..200 {
+            let p = assign_profile(&mut rng);
+            assert!(models_for(p.domain).contains(&p.model));
+            assert!(datasets_for(p.domain).contains(&p.dataset));
+            assert!(p.checkpoint_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn assignment_covers_all_domains() {
+        let mut rng = SimRng::seed(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(assign_profile(&mut rng).domain);
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AppDomain::Nlp.to_string(), "Natural Language Processing");
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the workload generators and CSV codec.
+
+use proptest::prelude::*;
+
+use notebookos_trace::{from_csv, generate, to_csv, SyntheticConfig};
+
+fn arb_config() -> impl Strategy<Value = SyntheticConfig> {
+    (
+        1usize..40,
+        (1800.0f64..36_000.0),
+        (0.0f64..1.0),
+        (0.0f64..1.0),
+    )
+        .prop_map(|(sessions, span_s, gpu_active, long_lived)| SyntheticConfig {
+            sessions,
+            span_s,
+            gpu_active_fraction: gpu_active,
+            long_lived_fraction: long_lived,
+            gpu_demand: vec![(1, 0.5), (2, 0.3), (4, 0.15), (8, 0.05)],
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated trace is internally consistent: ordered events that
+    /// fit inside their sessions, positive durations.
+    #[test]
+    fn generated_traces_validate(config in arb_config(), seed in any::<u64>()) {
+        let trace = generate(&config, seed);
+        prop_assert_eq!(trace.sessions.len(), config.sessions);
+        prop_assert!(trace.validate().is_ok());
+        for s in &trace.sessions {
+            prop_assert!(s.start_s >= 0.0 && s.end_s <= config.span_s + 1e-6);
+            prop_assert!(matches!(s.gpus, 1 | 2 | 4 | 8));
+        }
+    }
+
+    /// Generation is a pure function of (config, seed).
+    #[test]
+    fn generation_deterministic(config in arb_config(), seed in any::<u64>()) {
+        prop_assert_eq!(generate(&config, seed), generate(&config, seed));
+    }
+
+    /// CSV round-trips preserve structure and timing to the written
+    /// precision (milliseconds).
+    #[test]
+    fn csv_round_trip(config in arb_config(), seed in any::<u64>()) {
+        let trace = generate(&config, seed);
+        let parsed = from_csv(&to_csv(&trace)).expect("own output parses");
+        prop_assert_eq!(parsed.sessions.len(), trace.sessions.len());
+        prop_assert_eq!(parsed.total_events(), trace.total_events());
+        for (a, b) in trace.sessions.iter().zip(&parsed.sessions) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.gpus, b.gpus);
+            prop_assert_eq!(&a.profile, &b.profile);
+            prop_assert!((a.start_s - b.start_s).abs() <= 0.001);
+            for (ea, eb) in a.events.iter().zip(&b.events) {
+                prop_assert!((ea.submit_s - eb.submit_s).abs() <= 0.001);
+                prop_assert!((ea.duration_s - eb.duration_s).abs() <= 0.001);
+            }
+        }
+    }
+
+    /// Busy fractions are valid fractions, and the timelines never go
+    /// negative.
+    #[test]
+    fn derived_series_are_sane(config in arb_config(), seed in any::<u64>()) {
+        let trace = generate(&config, seed);
+        for s in &trace.sessions {
+            let f = s.busy_fraction();
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+        for &(_, v) in trace.active_sessions_timeline().points() {
+            prop_assert!(v >= 0.0);
+        }
+        for &(_, v) in trace.active_trainings_timeline().points() {
+            prop_assert!(v >= 0.0);
+        }
+        for &(_, v) in trace.oracle_gpu_timeline().points() {
+            prop_assert!(v >= 0.0);
+        }
+    }
+}

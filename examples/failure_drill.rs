@@ -1,0 +1,63 @@
+//! Failure drill (§3.2.5): inject fail-stop replica failures while the
+//! platform replays an IDLT workload, and show that executions keep
+//! completing because each kernel's Raft quorum survives single-replica
+//! loss.
+//!
+//! ```text
+//! cargo run --release --example failure_drill
+//! ```
+
+use notebookos::core::{
+    recovery_action, FailureDetector, Platform, PlatformConfig, PolicyKind, RecoveryAction,
+    ReplicaId,
+};
+use notebookos::trace::{generate, SyntheticConfig};
+
+fn main() {
+    // --- Failure-detector micro-demo -----------------------------------
+    let mut detector = FailureDetector::new(2_000_000); // 2 s heartbeat window
+    for index in 0..3 {
+        detector.register(ReplicaId::new(1, index), 0);
+    }
+    detector.heartbeat(ReplicaId::new(1, 0), 1_500_000);
+    detector.heartbeat(ReplicaId::new(1, 2), 1_600_000);
+    let failed = detector.tick(2_500_000);
+    println!("heartbeat window expired: failed replicas = {failed:?}");
+    match recovery_action(&failed, 3) {
+        RecoveryAction::RecreateReplica(r) => {
+            println!("quorum intact → recreate {r} and replay the Raft log")
+        }
+        other => println!("unexpected action {other:?}"),
+    }
+
+    // --- Whole-platform drill -------------------------------------------
+    let trace = generate(&SyntheticConfig::smoke(), 11);
+    let expected = trace.total_events();
+
+    let healthy = Platform::run(PlatformConfig::evaluation(PolicyKind::NotebookOs), trace.clone());
+
+    let mut config = PlatformConfig::evaluation(PolicyKind::NotebookOs);
+    config.replica_mtbf_hours = Some(0.1); // a replica dies every ~6 minutes
+    let stressed = Platform::run(config, trace);
+
+    println!("\n{:>22} | {:>8} | {:>8}", "", "healthy", "stressed");
+    println!(
+        "{:>22} | {:>8} | {:>8}",
+        "replica failures", healthy.counters.replica_failures, stressed.counters.replica_failures
+    );
+    println!(
+        "{:>22} | {:>8} | {:>8}",
+        "executions completed", healthy.counters.executions, stressed.counters.executions
+    );
+    println!(
+        "{:>22} | {:>8} | {:>8}",
+        "executions expected", expected, expected
+    );
+    assert_eq!(stressed.counters.executions, expected as u64);
+    println!(
+        "\nEvery cell completed despite {} injected failures: single-replica\n\
+         loss never costs an execution, because the remaining two replicas\n\
+         hold quorum and the replacement replays the log (§3.2.5).",
+        stressed.counters.replica_failures
+    );
+}

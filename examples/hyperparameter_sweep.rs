@@ -1,0 +1,82 @@
+//! Domain scenario from the paper's introduction: a user iterating on
+//! hyper-parameters — many short trainings separated by think time — and
+//! what each scheduling policy costs them in waiting versus costs the
+//! provider in GPUs.
+//!
+//! ```text
+//! cargo run --release --example hyperparameter_sweep
+//! ```
+
+use notebookos::core::{Platform, PlatformConfig, PolicyKind};
+use notebookos::des::SimRng;
+use notebookos::trace::{
+    assign_profile, SessionTrace, TrainingEvent, WorkloadTrace,
+};
+
+/// Builds a sweep session: `trials` trainings of `duration_s` seconds with
+/// `think_s` of editing in between — the §2.2 hyper-parameter-tuning
+/// pattern.
+fn sweep_session(id: u64, trials: usize, duration_s: f64, think_s: f64, gpus: u32) -> SessionTrace {
+    let mut rng = SimRng::seed(id);
+    let mut events = Vec::new();
+    let mut t = 300.0; // initial notebook set-up time
+    for _ in 0..trials {
+        events.push(TrainingEvent {
+            submit_s: t,
+            duration_s,
+        });
+        t += duration_s + think_s;
+    }
+    SessionTrace {
+        id,
+        start_s: 0.0,
+        end_s: t + 600.0,
+        gpus,
+        vram_gb: 16,
+        millicpus: 8_000,
+        memory_mb: 32_768,
+        profile: assign_profile(&mut rng),
+        events,
+    }
+}
+
+fn main() {
+    // Eight users sweeping learning rates: 12 trials × 3 minutes with
+    // 6 minutes of analysis between trials, on 2 GPUs each.
+    let trace = WorkloadTrace {
+        sessions: (0..8)
+            .map(|i| sweep_session(i, 12, 180.0, 360.0, 2))
+            .collect(),
+    };
+    trace.validate().expect("well-formed scenario");
+    println!(
+        "scenario: {} users × 12 trials of 3 min (6 min think time) on 2 GPUs",
+        trace.sessions.len()
+    );
+
+    println!(
+        "\n{:>16} | {:>14} | {:>14} | {:>12} | {:>10}",
+        "policy", "delay p50 (s)", "delay p99 (s)", "TCT p50 (s)", "GPU-hours"
+    );
+    for policy in PolicyKind::ALL {
+        let mut m = Platform::run(PlatformConfig::evaluation(policy), trace.clone());
+        println!(
+            "{:>16} | {:>14.2} | {:>14.2} | {:>12.1} | {:>10.1}",
+            policy.to_string(),
+            m.interactivity_ms.percentile(50.0) / 1e3,
+            m.interactivity_ms.percentile(99.0) / 1e3,
+            m.tct_ms.percentile(50.0) / 1e3,
+            m.provisioned_gpu_hours(),
+        );
+    }
+
+    println!(
+        "\nBatch makes every trial wait ~18 s behind a cold container; LCP pays\n\
+         seconds of warm-up; NotebookOS matches Reservation's sub-second trial\n\
+         starts. The GPU-hour column shows the trade-off knobs: Reservation\n\
+         binds 16 GPUs for the whole sweep, Batch binds GPUs only during\n\
+         trials, and the NotebookOS variants sit in between (their autoscaled\n\
+         fleet floor dominates at this small scale — see fig08 for the\n\
+         evaluation-scale savings)."
+    );
+}

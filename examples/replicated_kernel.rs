@@ -1,0 +1,59 @@
+//! A distributed kernel up close: the real Raft-backed executor-election
+//! protocol (§3.2.2) and state replication (§3.2.4), first on the
+//! deterministic harness and then on live OS threads.
+//!
+//! ```text
+//! cargo run --release --example replicated_kernel
+//! ```
+
+use std::time::Duration;
+
+use notebookos::core::ast::analyze_cell;
+use notebookos::core::{KernelProtocolHarness, Proposal};
+use notebookos::raft::live::LiveCluster;
+
+fn main() {
+    // --- Deterministic protocol harness -------------------------------
+    let mut kernel = KernelProtocolHarness::new(7);
+
+    // Cell 1: replica 1's host has free GPUs, the others yield.
+    let result = kernel.run_election(&[Proposal::Yield, Proposal::Lead, Proposal::Yield]);
+    println!(
+        "cell 1: replica {:?} elected executor in {:.1} ms of virtual time",
+        result.winner,
+        result.latency_us as f64 / 1e3
+    );
+
+    // The executor analyzes the cell's code to decide what to replicate.
+    let code = "import torch\nmodel = VGG16()\nlr = 0.01\nloss = model.fit(train_data)\n";
+    let update = analyze_cell(code);
+    println!(
+        "cell 1: AST analysis → replicate {:?} via Raft, checkpoint {:?} to the data store",
+        update.small, update.large
+    );
+    kernel.complete_execution(
+        0,
+        update.small.clone(),
+        update.large.iter().map(|n| format!("kernel-7/{n}")).collect(),
+    );
+    println!("cell 1: state delta committed on all three replicas");
+
+    // Cell 2: everyone yields — the Global Scheduler must migrate (§3.2.3).
+    let failed = kernel.run_election(&[Proposal::Yield, Proposal::Yield, Proposal::Yield]);
+    assert_eq!(failed.winner, None);
+    println!("cell 2: all replicas yielded → election failed → migration path");
+
+    // --- Live threaded cluster -----------------------------------------
+    // The same sans-io Raft node, now on three OS threads with crossbeam
+    // channels as the transport.
+    let live = LiveCluster::<String>::start(3);
+    let idx = live
+        .propose_blocking("x = 1".to_string(), Duration::from_secs(10))
+        .expect("live cluster accepts the proposal");
+    let applied = live.wait_for_applied(3, Duration::from_secs(10));
+    println!(
+        "live cluster: committed log index {idx}; {} replicas applied the delta",
+        applied.len()
+    );
+    live.shutdown();
+}

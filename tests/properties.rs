@@ -1,0 +1,176 @@
+//! Cross-crate property-based tests: protocol safety, codec round-trips,
+//! and accounting invariants under randomized inputs.
+
+use proptest::prelude::*;
+
+use notebookos::cluster::{Host, ResourceBundle, ResourceRequest};
+use notebookos::des::{Distribution, Empirical, SimRng};
+use notebookos::jupyter::{wire, Json, JupyterMessage};
+use notebookos::raft::harness::Network;
+
+// ---------------------------------------------------------------------
+// Raft safety: state-machine prefix agreement under lossy networks.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whatever the drop rate and schedule, any two replicas' applied
+    /// command sequences must agree on their common prefix (Raft's
+    /// state-machine safety property).
+    #[test]
+    fn raft_applied_prefix_agreement(seed in 0u64..5000, drop in 0usize..30) {
+        let mut net: Network<u64> = Network::new(3, seed);
+        net.set_drop_rate(drop as f64 / 100.0);
+        let leader = net.run_until_leader();
+        for i in 0..20u64 {
+            // Leadership may move under drops; follow it.
+            let target = net.leader().unwrap_or(leader);
+            let _ = net.propose(target, i);
+            net.run_micros(20_000);
+        }
+        net.run_micros(2_000_000);
+        let logs: Vec<Vec<u64>> = (1..=3).map(|n| net.applied_by(n).to_vec()).collect();
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                let common = logs[a].len().min(logs[b].len());
+                prop_assert_eq!(
+                    &logs[a][..common],
+                    &logs[b][..common],
+                    "prefix divergence between replicas {} and {}",
+                    a + 1,
+                    b + 1
+                );
+            }
+        }
+    }
+
+    /// No committed command is ever applied twice by the same replica.
+    #[test]
+    fn raft_no_duplicate_application(seed in 0u64..5000) {
+        let mut net: Network<u64> = Network::new(3, seed);
+        let leader = net.run_until_leader();
+        for i in 0..15u64 {
+            net.propose(leader, i).expect("stable leader");
+        }
+        net.run_micros(2_000_000);
+        for n in 1..=3u64 {
+            let applied = net.applied_by(n);
+            let mut sorted = applied.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), applied.len(), "replica {} duplicated", n);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Jupyter wire protocol round-trips.
+// ---------------------------------------------------------------------
+
+fn arb_code() -> impl Strategy<Value = String> {
+    // Printable payloads including JSON-hostile characters.
+    proptest::string::string_regex("[ -~\n\t]{0,200}").expect("valid regex")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dates stay under 2^52 µs (~142 years of virtual time): the JSON
+    /// codec stores numbers as f64, which is exact in that range.
+    #[test]
+    fn wire_round_trip_any_code(code in arb_code(), session in "[a-z0-9-]{1,20}", date in 0u64..(1u64 << 52)) {
+        let msg = JupyterMessage::execute_request("m1", session, code, date)
+            .with_destination("kernel-π")
+            .with_gpu_device_ids(&[0, 7]);
+        let frames = wire::encode(&[], &msg, b"key");
+        let (_, decoded) = wire::decode(&frames, b"key").expect("round trip");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn json_round_trip_strings(s in "\\PC{0,80}") {
+        let v = Json::Str(s.clone());
+        let parsed = Json::parse(&v.encode()).expect("encoded JSON is valid");
+        prop_assert_eq!(parsed.as_str(), Some(s.as_str()));
+    }
+
+    #[test]
+    fn json_round_trip_numbers(n in -1.0e12f64..1.0e12) {
+        let parsed = Json::parse(&Json::Num(n).encode()).expect("valid");
+        let got = parsed.as_f64().expect("number");
+        prop_assert!((got - n).abs() <= n.abs() * 1e-12 + 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Host resource-accounting invariants under random commit/release.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn host_accounting_never_oversubscribes_exclusive_resources(ops in proptest::collection::vec((0u64..12, 1u32..5), 1..60)) {
+        let mut host = Host::p3_16xlarge(1);
+        let mut live: Vec<(u64, u32)> = Vec::new();
+        for (owner, gpus) in ops {
+            if let Some(pos) = live.iter().position(|&(o, _)| o == owner) {
+                let (o, _) = live.remove(pos);
+                host.release(o);
+            } else {
+                let req = ResourceRequest::new(1000, 4096, gpus, 16);
+                if host.commit(owner, &req).is_ok() {
+                    live.push((owner, gpus));
+                }
+            }
+            // Invariants after every operation.
+            let committed: u32 = live.iter().map(|&(_, g)| g).sum();
+            prop_assert_eq!(host.committed_gpus(), committed);
+            prop_assert!(host.committed_gpus() <= host.capacity().gpus);
+            prop_assert_eq!(host.idle_gpus(), host.capacity().gpus - committed);
+            prop_assert_eq!(host.active_commitments(), live.len());
+        }
+    }
+
+    #[test]
+    fn bundle_arithmetic_is_consistent(a_cpu in 0u64..1_000_000, a_mem in 0u64..1_000_000, a_gpu in 0u32..64,
+                                       b_cpu in 0u64..1_000_000, b_mem in 0u64..1_000_000, b_gpu in 0u32..64) {
+        let a = ResourceBundle::new(a_cpu, a_mem, a_gpu);
+        let b = ResourceBundle::new(b_cpu, b_mem, b_gpu);
+        let sum = a + b;
+        prop_assert!(sum.covers(&a) && sum.covers(&b));
+        prop_assert_eq!(sum - b, a);
+        prop_assert_eq!(sum.saturating_sub(&a), b);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Empirical distributions: quantile monotonicity and anchor fidelity.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn empirical_quantile_monotone(v1 in 1.0f64..100.0, scale2 in 1.01f64..10.0, scale3 in 1.01f64..10.0, seed in 0u64..1000) {
+        let v2 = v1 * scale2;
+        let v3 = v2 * scale3;
+        let dist = Empirical::from_quantiles(&[(0.25, v1), (0.5, v2), (0.9, v3)]).expect("valid anchors");
+        // Quantile function is monotone.
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let q = dist.quantile(i as f64 / 100.0);
+            prop_assert!(q >= prev);
+            prev = q;
+        }
+        // Anchors are hit exactly.
+        prop_assert!((dist.quantile(0.5) - v2).abs() < v2 * 1e-9);
+        // Samples are positive and finite.
+        let mut rng = SimRng::seed(seed);
+        for _ in 0..100 {
+            let s = dist.sample(&mut rng);
+            prop_assert!(s.is_finite() && s > 0.0);
+        }
+    }
+}
