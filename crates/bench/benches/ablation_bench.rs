@@ -54,7 +54,11 @@ fn bench_sr_target(c: &mut Criterion) {
     let trace = ablation_trace();
     let mut group = c.benchmark_group("ablation/sr_target");
     group.sample_size(10);
-    for (tag, sr) in [("fixed1", Some(1.0)), ("default1.6", Some(1.6)), ("off", None)] {
+    for (tag, sr) in [
+        ("fixed1", Some(1.0)),
+        ("default1.6", Some(1.6)),
+        ("off", None),
+    ] {
         let mut config = PlatformConfig::evaluation(PolicyKind::NotebookOs);
         config.autoscale.sr_target = sr;
         report(&format!("sr_target={tag}"), &config, &trace);

@@ -49,12 +49,24 @@ fn main() {
 
     let mut events = Table::new(format!("{policy} — scheduler events"), &["event", "count"]);
     let c = m.counters;
-    events.row_owned(vec!["executions completed".into(), c.executions.to_string()]);
+    events.row_owned(vec![
+        "executions completed".into(),
+        c.executions.to_string(),
+    ]);
     events.row_owned(vec!["executions aborted".into(), c.aborted.to_string()]);
-    events.row_owned(vec!["kernel creations".into(), c.kernel_creations.to_string()]);
+    events.row_owned(vec![
+        "kernel creations".into(),
+        c.kernel_creations.to_string(),
+    ]);
     events.row_owned(vec!["migrations".into(), c.migrations.to_string()]);
-    events.row_owned(vec!["scale-outs / scale-ins".into(), format!("{} / {}", c.scale_outs, c.scale_ins)]);
-    events.row_owned(vec!["cold starts / warm hits".into(), format!("{} / {}", c.cold_starts, c.warm_hits)]);
+    events.row_owned(vec![
+        "scale-outs / scale-ins".into(),
+        format!("{} / {}", c.scale_outs, c.scale_ins),
+    ]);
+    events.row_owned(vec![
+        "cold starts / warm hits".into(),
+        format!("{} / {}", c.cold_starts, c.warm_hits),
+    ]);
     events.row_owned(vec![
         "immediate GPU commits".into(),
         format!("{:.2}%", c.immediate_commit_rate() * 100.0),
@@ -69,7 +81,11 @@ fn main() {
         format!("{policy} — latency summary (ms)"),
         &["metric", "p50", "p90", "p99", "max"],
     );
-    for (name, cdf) in [("interactivity", &m.interactivity_ms), ("TCT", &m.tct_ms), ("raft sync", &m.sync_ms)] {
+    for (name, cdf) in [
+        ("interactivity", &m.interactivity_ms),
+        ("TCT", &m.tct_ms),
+        ("raft sync", &m.sync_ms),
+    ] {
         let mut c = cdf.clone();
         if c.is_empty() {
             continue;
@@ -84,7 +100,10 @@ fn main() {
     }
     println!("{latency}");
 
-    let mut resources = Table::new(format!("{policy} — resources & billing"), &["metric", "value"]);
+    let mut resources = Table::new(
+        format!("{policy} — resources & billing"),
+        &["metric", "value"],
+    );
     resources.row_owned(vec![
         "provisioned GPU-hours".into(),
         format!("{:.1}", m.provisioned_gpu_hours()),

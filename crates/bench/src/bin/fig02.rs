@@ -3,7 +3,7 @@
 //! CDFs for the Adobe-shaped trace, (d) reserved vs utilized GPUs/CPUs over
 //! the 90-day window.
 
-use notebookos_bench::{run_policy, summer_trace, EVAL_SEED, fmt0};
+use notebookos_bench::{fmt0, run_policy, summer_trace, EVAL_SEED};
 use notebookos_core::PolicyKind;
 use notebookos_metrics::{Cdf, Table};
 use notebookos_trace::{sample_distributions, TraceProfile};
@@ -11,7 +11,14 @@ use notebookos_trace::{sample_distributions, TraceProfile};
 fn cdf_rows(title: &str, unit: &str, mut cdfs: Vec<Cdf>) {
     let mut table = Table::new(
         title,
-        &["trace", &format!("p25 ({unit})"), &format!("p50 ({unit})"), &format!("p75 ({unit})"), &format!("p90 ({unit})"), &format!("p99 ({unit})")],
+        &[
+            "trace",
+            &format!("p25 ({unit})"),
+            &format!("p50 ({unit})"),
+            &format!("p75 ({unit})"),
+            &format!("p90 ({unit})"),
+            &format!("p99 ({unit})"),
+        ],
     );
     for cdf in &mut cdfs {
         table.row_owned(vec![
@@ -65,7 +72,10 @@ fn main() {
         &["percentile", "fraction of lifetime GPUs active"],
     );
     for p in [25.0, 50.0, 75.0, 90.0, 95.0, 99.0] {
-        table.row_owned(vec![format!("p{p:.0}"), format!("{:.4}", busy.percentile(p))]);
+        table.row_owned(vec![
+            format!("p{p:.0}"),
+            format!("{:.4}", busy.percentile(p)),
+        ]);
     }
     let zero_frac = busy.fraction_at_most(0.0);
     table.row_owned(vec![
@@ -84,7 +94,11 @@ fn main() {
         let t = day as f64 * 86_400.0;
         let reserved = metrics.reserved_gpus.value_at(t);
         let utilized = metrics.committed_gpus.value_at(t);
-        let pct = if reserved > 0.0 { utilized / reserved * 100.0 } else { 0.0 };
+        let pct = if reserved > 0.0 {
+            utilized / reserved * 100.0
+        } else {
+            0.0
+        };
         table.row_owned(vec![
             day.to_string(),
             fmt0(reserved),
@@ -123,7 +137,10 @@ fn main() {
             deltas_use.push((e.end_s(), -vcpus));
         }
     }
-    for (deltas, timeline) in [(&mut deltas_res, &mut reserved_cpu), (&mut deltas_use, &mut utilized_cpu)] {
+    for (deltas, timeline) in [
+        (&mut deltas_res, &mut reserved_cpu),
+        (&mut deltas_use, &mut utilized_cpu),
+    ] {
         deltas.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
         let mut level = 0.0;
         for &(t, d) in deltas.iter() {

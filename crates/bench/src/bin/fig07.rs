@@ -28,10 +28,25 @@ fn main() {
         "Fig 7 — summary (paper: sessions ramp 0->87, max 90; mean/median trainings 19.5/19, max 34)",
         &["metric", "value"],
     );
-    summary.row_owned(vec!["sessions at end".into(), format!("{:.0}", sessions.value_at(span * 0.999))]);
-    summary.row_owned(vec!["max sessions".into(), format!("{:.0}", sessions.max_value())]);
-    summary.row_owned(vec!["mean trainings".into(), format!("{:.1}", trainings.time_mean(0.0, span))]);
-    summary.row_owned(vec!["max trainings".into(), format!("{:.0}", trainings.max_value())]);
-    summary.row_owned(vec!["trainings at end".into(), format!("{:.0}", trainings.value_at(span * 0.999))]);
+    summary.row_owned(vec![
+        "sessions at end".into(),
+        format!("{:.0}", sessions.value_at(span * 0.999)),
+    ]);
+    summary.row_owned(vec![
+        "max sessions".into(),
+        format!("{:.0}", sessions.max_value()),
+    ]);
+    summary.row_owned(vec![
+        "mean trainings".into(),
+        format!("{:.1}", trainings.time_mean(0.0, span)),
+    ]);
+    summary.row_owned(vec![
+        "max trainings".into(),
+        format!("{:.0}", trainings.max_value()),
+    ]);
+    summary.row_owned(vec![
+        "trainings at end".into(),
+        format!("{:.0}", trainings.value_at(span * 0.999)),
+    ]);
     println!("{summary}");
 }

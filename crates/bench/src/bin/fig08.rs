@@ -2,7 +2,7 @@
 //! (LCP) against the Oracle and Reservation curves, plus the GPU-hours
 //! saved relative to Reservation.
 
-use notebookos_bench::{excerpt_trace, run_all_policies, fmt0};
+use notebookos_bench::{excerpt_trace, fmt0, run_all_policies};
 use notebookos_core::PolicyKind;
 use notebookos_metrics::Table;
 
@@ -15,7 +15,14 @@ fn main() {
     // Timeline series sampled hourly, as the figure plots them.
     let mut series = Table::new(
         "Fig 8 — provisioned GPUs over the 17.5-hour excerpt",
-        &["hour", "oracle", "reservation", "batch", "notebookos", "lcp"],
+        &[
+            "hour",
+            "oracle",
+            "reservation",
+            "batch",
+            "notebookos",
+            "lcp",
+        ],
     );
     let reservation = &runs
         .iter()

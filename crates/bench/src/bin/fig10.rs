@@ -11,13 +11,18 @@ fn main() {
     let m = run_policy(PolicyKind::NotebookOs, &trace);
     let span = trace.span_s();
 
-    let count_in = |times: &[f64], lo: f64, hi: f64| {
-        times.iter().filter(|&&t| t >= lo && t < hi).count()
-    };
+    let count_in =
+        |times: &[f64], lo: f64, hi: f64| times.iter().filter(|&&t| t >= lo && t < hi).count();
 
     let mut table = Table::new(
         "Fig 10 — events per hour and subscription ratio (NotebookOS)",
-        &["hour", "kernel creations", "migrations", "scale-outs", "SR at hour end"],
+        &[
+            "hour",
+            "kernel creations",
+            "migrations",
+            "scale-outs",
+            "SR at hour end",
+        ],
     );
     for hour in 0..18 {
         let lo = hour as f64 * 3600.0;
@@ -36,10 +41,22 @@ fn main() {
         "Fig 10 — totals (paper: SR spikes at kernel-creation bursts trigger scale-outs; migrations follow SR climbs)",
         &["metric", "value"],
     );
-    summary.row_owned(vec!["kernel creations".into(), m.counters.kernel_creations.to_string()]);
+    summary.row_owned(vec![
+        "kernel creations".into(),
+        m.counters.kernel_creations.to_string(),
+    ]);
     summary.row_owned(vec!["migrations".into(), m.counters.migrations.to_string()]);
-    summary.row_owned(vec!["scale-out operations".into(), m.counters.scale_outs.to_string()]);
-    summary.row_owned(vec!["scale-in operations".into(), m.counters.scale_ins.to_string()]);
-    summary.row_owned(vec!["peak SR".into(), format!("{:.3}", m.subscription_ratio.max_value())]);
+    summary.row_owned(vec![
+        "scale-out operations".into(),
+        m.counters.scale_outs.to_string(),
+    ]);
+    summary.row_owned(vec![
+        "scale-in operations".into(),
+        m.counters.scale_ins.to_string(),
+    ]);
+    summary.row_owned(vec![
+        "peak SR".into(),
+        format!("{:.3}", m.subscription_ratio.max_value()),
+    ]);
     println!("{summary}");
 }

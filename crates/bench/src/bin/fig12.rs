@@ -24,7 +24,13 @@ fn main() {
 
     let mut table = Table::new(
         "Fig 12(a) — provider cost and revenue, millions of USD",
-        &["day", "Res. cost", "Res. revenue", "NbOS cost", "NbOS revenue"],
+        &[
+            "day",
+            "Res. cost",
+            "Res. revenue",
+            "NbOS cost",
+            "NbOS revenue",
+        ],
     );
     for day in (0..=90).step_by(15) {
         let t = day as f64 * 86_400.0;

@@ -2,7 +2,7 @@
 //! per policy against Oracle and Reservation, (b) the ratio of allocatable
 //! GPUs actively utilized.
 
-use notebookos_bench::{run_all_policies, summer_trace, fmt0};
+use notebookos_bench::{fmt0, run_all_policies, summer_trace};
 use notebookos_metrics::Table;
 
 fn main() {
@@ -13,7 +13,14 @@ fn main() {
 
     let mut alloc = Table::new(
         "Fig 14(a) — allocatable GPUs over 90 days",
-        &["day", "oracle", "Reservation", "Batch", "NotebookOS", "NbOS (LCP)"],
+        &[
+            "day",
+            "oracle",
+            "Reservation",
+            "Batch",
+            "NotebookOS",
+            "NbOS (LCP)",
+        ],
     );
     for day in (0..=90).step_by(10) {
         let t = day as f64 * 86_400.0;

@@ -3,18 +3,42 @@
 //!
 //! ```text
 //! cargo run --release -p notebookos-bench --bin repro_all
+//! cargo run --release -p notebookos-bench --bin repro_all -- --smoke
 //! ```
+//!
+//! `--smoke` skips the long-running regenerators (`fig12` and `fig14`,
+//! which sweep multi-policy 90-day simulations) so CI can exercise the
+//! whole pipeline in about a second.
 
 use std::process::Command;
 
+const ALL: &[&str] = &[
+    "table1", "fig02", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig16_19", "fig20",
+];
+
+/// Regenerators skipped under `--smoke`.
+const SLOW: &[&str] = &["fig12", "fig14"];
+
 fn main() {
-    let binaries = [
-        "table1", "fig02", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
-        "fig14", "fig16_19", "fig20",
-    ];
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument {other:?}; usage: repro_all [--smoke]");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let me = std::env::current_exe().expect("current exe path");
     let dir = me.parent().expect("bin directory");
-    for bin in binaries {
+    for &bin in ALL {
+        if smoke && SLOW.contains(&bin) {
+            println!("\n################ {bin} (skipped in --smoke) ################");
+            continue;
+        }
         println!("\n################ {bin} ################\n");
         let path = dir.join(bin);
         let status = Command::new(&path)

@@ -54,7 +54,14 @@ fn main() {
             name.to_string(),
             format!("{mean:.2}"),
             format!("{std:.2}"),
-            format!("{:.1}", if mean.abs() > 1e-9 { std / mean.abs() * 100.0 } else { 0.0 }),
+            format!(
+                "{:.1}",
+                if mean.abs() > 1e-9 {
+                    std / mean.abs() * 100.0
+                } else {
+                    0.0
+                }
+            ),
         ]);
     }
     println!("{table}");

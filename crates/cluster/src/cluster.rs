@@ -68,7 +68,10 @@ impl Cluster {
 
     /// Total GPUs across all hosts (`ΣG`).
     pub fn total_gpus(&self) -> u64 {
-        self.hosts.iter().map(|h| u64::from(h.capacity().gpus)).sum()
+        self.hosts
+            .iter()
+            .map(|h| u64::from(h.capacity().gpus))
+            .sum()
     }
 
     /// Total subscribed GPUs across all hosts (`ΣS`).
@@ -79,7 +82,10 @@ impl Cluster {
     /// Total GPUs exclusively committed to actively-executing replicas
     /// (`ΣC` in the autoscaler, §3.4.2).
     pub fn total_committed_gpus(&self) -> u64 {
-        self.hosts.iter().map(|h| u64::from(h.committed_gpus())).sum()
+        self.hosts
+            .iter()
+            .map(|h| u64::from(h.committed_gpus()))
+            .sum()
     }
 
     /// The dynamic cluster-wide SR limit `ΣS / (ΣG · R)` (§3.4.1).
@@ -209,7 +215,11 @@ mod tests {
             c.host_mut(0).unwrap().subscribe(&gpu_req(4));
         }
         let ranked = c.subscription_candidates(&gpu_req(4), 3, 1.0);
-        assert_eq!(ranked, vec![1, 0], "saturated host ranked last, not dropped");
+        assert_eq!(
+            ranked,
+            vec![1, 0],
+            "saturated host ranked last, not dropped"
+        );
         // CPU-only kernels are exempt from the SR ordering.
         let cpu = ResourceRequest::new(1000, 1024, 0, 0);
         assert_eq!(c.subscription_candidates(&cpu, 3, 1.0).len(), 2);

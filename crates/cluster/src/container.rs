@@ -45,7 +45,11 @@ pub struct TransitionError {
 
 impl std::fmt::Display for TransitionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid container transition {} -> {}", self.from, self.to)
+        write!(
+            f,
+            "invalid container transition {} -> {}",
+            self.from, self.to
+        )
     }
 }
 
@@ -97,7 +101,11 @@ impl Container {
         now_us.saturating_sub(self.created_us)
     }
 
-    fn transition(&mut self, to: ContainerState, allowed_from: &[ContainerState]) -> Result<(), TransitionError> {
+    fn transition(
+        &mut self,
+        to: ContainerState,
+        allowed_from: &[ContainerState],
+    ) -> Result<(), TransitionError> {
         if allowed_from.contains(&self.state) {
             self.state = to;
             Ok(())

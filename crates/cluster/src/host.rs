@@ -38,7 +38,10 @@ pub enum CommitError {
 impl std::fmt::Display for CommitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CommitError::Insufficient { requested, available } => {
+            CommitError::Insufficient {
+                requested,
+                available,
+            } => {
                 write!(f, "requested {requested} but only {available} available")
             }
             CommitError::AlreadyCommitted(owner) => {
@@ -175,7 +178,8 @@ impl Host {
 
     /// Whether `request` could be committed right now.
     pub fn can_commit(&self, request: &ResourceRequest) -> bool {
-        self.available().covers(&ResourceBundle::from_request(request))
+        self.available()
+            .covers(&ResourceBundle::from_request(request))
     }
 
     /// Exclusively binds `request` for `owner`, returning the GPU device ids
@@ -187,7 +191,11 @@ impl Host {
     /// Returns [`CommitError::Insufficient`] when capacity is lacking and
     /// [`CommitError::AlreadyCommitted`] when `owner` already holds a
     /// commitment here.
-    pub fn commit(&mut self, owner: OwnerId, request: &ResourceRequest) -> Result<Vec<u32>, CommitError> {
+    pub fn commit(
+        &mut self,
+        owner: OwnerId,
+        request: &ResourceRequest,
+    ) -> Result<Vec<u32>, CommitError> {
         if self.commitments.contains_key(&owner) {
             return Err(CommitError::AlreadyCommitted(owner));
         }
@@ -208,7 +216,11 @@ impl Host {
                 devices.push(device as u32);
             }
         }
-        debug_assert_eq!(devices.len(), request.gpus as usize, "device accounting drift");
+        debug_assert_eq!(
+            devices.len(),
+            request.gpus as usize,
+            "device accounting drift"
+        );
         self.committed += bundle;
         self.commitments.insert(owner, bundle);
         Ok(devices)
@@ -329,7 +341,9 @@ mod tests {
     #[test]
     fn cpu_only_commit_needs_no_devices() {
         let mut h = Host::p3_16xlarge(1);
-        let devices = h.commit(1, &ResourceRequest::new(1000, 1024, 0, 0)).unwrap();
+        let devices = h
+            .commit(1, &ResourceRequest::new(1000, 1024, 0, 0))
+            .unwrap();
         assert!(devices.is_empty());
         assert_eq!(h.idle_gpus(), 8);
     }

@@ -109,7 +109,10 @@ mod tests {
             cold_med > 20.0 * warm_med,
             "cold {cold_med:.2}s vs warm {warm_med:.2}s"
         );
-        assert!((cold_med / 18.0 - 1.0).abs() < 0.15, "cold median {cold_med:.2}");
+        assert!(
+            (cold_med / 18.0 - 1.0).abs() < 0.15,
+            "cold median {cold_med:.2}"
+        );
     }
 
     #[test]

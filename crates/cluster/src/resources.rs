@@ -145,7 +145,11 @@ impl SubAssign for ResourceBundle {
 
 impl fmt::Display for ResourceBundle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}mcpu/{}MB/{}gpu", self.millicpus, self.memory_mb, self.gpus)
+        write!(
+            f,
+            "{}mcpu/{}MB/{}gpu",
+            self.millicpus, self.memory_mb, self.gpus
+        )
     }
 }
 

@@ -60,8 +60,16 @@ impl StateUpdate {
 /// runtime types; statically, the well-known training-loop names cover the
 /// models/datasets of Table 1.
 const LARGE_NAME_HINTS: [&str; 10] = [
-    "model", "net", "dataset", "train_data", "test_data", "weights", "checkpoint", "embeddings",
-    "corpus", "tokenizer",
+    "model",
+    "net",
+    "dataset",
+    "train_data",
+    "test_data",
+    "weights",
+    "checkpoint",
+    "embeddings",
+    "corpus",
+    "tokenizer",
 ];
 
 /// Calls whose results are large regardless of the target name.
@@ -215,7 +223,11 @@ fn find_assignment_eq(line: &str) -> Option<usize> {
             b')' | b']' | b'}' => depth -= 1,
             b'=' if depth == 0 => {
                 let prev = if i > 0 { bytes[i - 1] } else { b' ' };
-                let next = if i + 1 < bytes.len() { bytes[i + 1] } else { b' ' };
+                let next = if i + 1 < bytes.len() {
+                    bytes[i + 1]
+                } else {
+                    b' '
+                };
                 if next == b'=' {
                     i += 2;
                     continue;
@@ -265,7 +277,10 @@ mod tests {
         let u = analyze_cell(
             "import torch\nimport numpy as np\nfrom torch import nn, optim as opt\ndef train_step(b):\n    pass\nclass Trainer:\n    pass\n",
         );
-        assert_eq!(u.small, vec!["torch", "np", "nn", "opt", "train_step", "Trainer"]);
+        assert_eq!(
+            u.small,
+            vec!["torch", "np", "nn", "opt", "train_step", "Trainer"]
+        );
     }
 
     #[test]

@@ -53,7 +53,8 @@ impl BillingMeter {
         // Revenue: standby replicas at the standby fraction, actively
         // training replicas in proportion to GPUs used, and (Reservation)
         // reserved GPUs in proportion to the reservation.
-        self.revenue_usd += f64::from(self.standby_replicas) * user * self.config.standby_fraction * hours;
+        self.revenue_usd +=
+            f64::from(self.standby_replicas) * user * self.config.standby_fraction * hours;
         self.revenue_usd += self.active_gpus as f64 / f64::from(self.host_gpus) * user * hours;
         self.revenue_usd += self.reserved_gpus as f64 / f64::from(self.host_gpus) * user * hours;
     }

@@ -174,8 +174,16 @@ impl PlatformConfig {
             sr_target: matches!(policy, PolicyKind::NotebookOs).then_some(1.6),
             // LCP trades interactivity for cost: it keeps a leaner fleet
             // (no replica subscriptions to back, smaller burst buffer).
-            scaling_buffer_hosts: if policy == PolicyKind::NotebookOsLcp { 1 } else { 2 },
-            min_hosts: if policy == PolicyKind::NotebookOsLcp { 3 } else { 4 },
+            scaling_buffer_hosts: if policy == PolicyKind::NotebookOsLcp {
+                1
+            } else {
+                2
+            },
+            min_hosts: if policy == PolicyKind::NotebookOsLcp {
+                3
+            } else {
+                4
+            },
             ..AutoscaleConfig::default()
         };
         PlatformConfig {
@@ -238,9 +246,21 @@ mod tests {
 
     #[test]
     fn baselines_have_fixed_clusters() {
-        assert!(!PlatformConfig::evaluation(PolicyKind::Reservation).autoscale.enabled);
-        assert!(!PlatformConfig::evaluation(PolicyKind::Batch).autoscale.enabled);
-        assert!(PlatformConfig::evaluation(PolicyKind::NotebookOs).autoscale.enabled);
+        assert!(
+            !PlatformConfig::evaluation(PolicyKind::Reservation)
+                .autoscale
+                .enabled
+        );
+        assert!(
+            !PlatformConfig::evaluation(PolicyKind::Batch)
+                .autoscale
+                .enabled
+        );
+        assert!(
+            PlatformConfig::evaluation(PolicyKind::NotebookOs)
+                .autoscale
+                .enabled
+        );
         assert_eq!(
             PlatformConfig::evaluation(PolicyKind::Reservation).initial_hosts,
             30

@@ -48,7 +48,11 @@ impl ElectionModel {
                 (0.99, 0.268_25),
             ])
             .expect("static anchors")
-            .with_floor(0.004),
+            .with_floor(0.004)
+            // One commit round is physically bounded (the prototype's worst
+            // observed sync is ~0.27 s); without this cap the Pareto-like
+            // tail extrapolation makes latency *sums* diverge.
+            .with_ceiling(1.5),
         }
     }
 

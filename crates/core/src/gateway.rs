@@ -157,11 +157,15 @@ impl<P: PlacementPolicy> KernelProvisioner for GatewayProvisioner<P> {
 
         let kernel_seq = self.next_seq;
         self.next_seq += 1;
-        let chosen: Vec<HostId> = ranked.into_iter().take(self.replication_factor as usize).collect();
+        let chosen: Vec<HostId> = ranked
+            .into_iter()
+            .take(self.replication_factor as usize)
+            .collect();
         let mut endpoints = Vec::with_capacity(chosen.len());
         for (index, &host) in chosen.iter().enumerate() {
             let replica = ReplicaId::new(kernel_seq, index as u32);
-            self.rpc_log.push(ControlRpc::StartKernelReplica { replica, host });
+            self.rpc_log
+                .push(ControlRpc::StartKernelReplica { replica, host });
             self.cluster
                 .host_mut(host)
                 .expect("ranked host exists")
@@ -239,7 +243,10 @@ mod tests {
         // ReplicaRegistered) × 3, then KernelReady.
         assert_eq!(g.rpc_log().len(), 1 + 3 * 2 + 1);
         assert!(matches!(g.rpc_log()[0], ControlRpc::StartKernel { .. }));
-        assert!(matches!(g.rpc_log().last(), Some(ControlRpc::KernelReady { .. })));
+        assert!(matches!(
+            g.rpc_log().last(),
+            Some(ControlRpc::KernelReady { .. })
+        ));
         // Replicas land on distinct hosts.
         let placement = g.placement("kernel-1").expect("placed");
         let mut hosts = placement.replica_hosts.clone();
@@ -279,7 +286,11 @@ mod tests {
         let err = g.launch("kernel-1", spec()).unwrap_err();
         assert!(matches!(err, ProvisionError::InsufficientResources(_)));
         assert_eq!(g.kernel_count(), 0);
-        assert_eq!(g.cluster().total_subscribed_gpus(), 0, "no partial placement");
+        assert_eq!(
+            g.cluster().total_subscribed_gpus(),
+            0,
+            "no partial placement"
+        );
     }
 
     #[test]
@@ -300,7 +311,8 @@ mod tests {
     fn works_with_alternative_policies() {
         let cluster = Cluster::with_hosts(4, ResourceBundle::p3_16xlarge());
         let mut g = GatewayProvisioner::new(cluster, BinPacking, 3);
-        g.launch("kernel-1", spec()).expect("launches under bin-packing");
+        g.launch("kernel-1", spec())
+            .expect("launches under bin-packing");
         assert_eq!(g.placement("kernel-1").unwrap().replica_hosts.len(), 3);
     }
 }

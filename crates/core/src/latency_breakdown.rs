@@ -127,7 +127,14 @@ impl BreakdownRecorder {
         );
         for (label, mut cdf) in rows {
             if cdf.is_empty() {
-                table.row_owned(vec![label, "0".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+                table.row_owned(vec![
+                    label,
+                    "0".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
             } else {
                 table.row_owned(vec![
                     label,

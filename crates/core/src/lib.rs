@@ -53,12 +53,14 @@ pub mod types;
 
 pub use billing::BillingMeter;
 pub use config::{AutoscaleConfig, BillingConfig, PlacementKind, PlatformConfig, PolicyKind};
+pub use election::{Designation, ElectionModel};
 pub use failure::{recovery_action, FailureDetector, RecoveryAction};
 pub use gateway::{ControlRpc, GatewayProvisioner, KernelPlacement};
-pub use policy::{BinPacking, LeastLoaded, PlacementContext, PlacementPolicy, RandomPlacement, RoundRobin};
-pub use election::{Designation, ElectionModel};
 pub use latency_breakdown::{BreakdownRecorder, Step};
 pub use platform::Platform;
+pub use policy::{
+    BinPacking, LeastLoaded, PlacementContext, PlacementPolicy, RandomPlacement, RoundRobin,
+};
 pub use reclamation::{analyze as analyze_reclamation, fig13_sweep, ReclamationSavings};
 pub use results::{RunCounters, RunMetrics};
 pub use smr::{ElectionOutcome, ElectionTracker, KernelCommand, KernelProtocolHarness, Proposal};

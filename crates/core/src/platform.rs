@@ -16,11 +16,13 @@ use notebookos_datastore::DataStore;
 use notebookos_des::{EventQueue, SimRng, SimTime, Simulation, World};
 use notebookos_trace::WorkloadTrace;
 
-use crate::config::{PlacementKind, PlatformConfig, PolicyKind};
 use crate::billing::BillingMeter;
-use crate::policy::{BinPacking, LeastLoaded, PlacementContext, PlacementPolicy, RandomPlacement, RoundRobin};
+use crate::config::{PlacementKind, PlatformConfig, PolicyKind};
 use crate::election::{Designation, ElectionModel};
 use crate::latency_breakdown::Step;
+use crate::policy::{
+    BinPacking, LeastLoaded, PlacementContext, PlacementPolicy, RandomPlacement, RoundRobin,
+};
 use crate::results::RunMetrics;
 use crate::types::ReplicaId;
 
@@ -36,7 +38,13 @@ pub enum Ev {
     /// original submission instant for retried/queued requests.
     CellSubmit { s: usize, e: usize, submit_us: u64 },
     /// A cell execution finishes on `host`.
-    ExecFinish { s: usize, e: usize, host: HostId, submit_us: u64, start_us: u64 },
+    ExecFinish {
+        s: usize,
+        e: usize,
+        host: HostId,
+        submit_us: u64,
+        start_us: u64,
+    },
     /// Retry a failed migration (§3.2.3).
     MigrationRetry { s: usize, e: usize, submit_us: u64 },
     /// A scale-out completes: one new host joins.
@@ -166,7 +174,9 @@ impl Platform {
             config,
             trace,
         };
-        platform.billing.set_hosts(0.0, platform.cluster.len() as u32);
+        platform
+            .billing
+            .set_hosts(0.0, platform.cluster.len() as u32);
         platform.refresh_provisioned_gauge(0.0);
         platform.seed_prewarm_pool();
         platform
@@ -354,7 +364,9 @@ impl Platform {
 
     /// Commits `req` on `host` for `owner`, updating gauges.
     fn commit_on(&mut self, now_s: f64, host: HostId, owner: u64, req: &ResourceRequest) -> bool {
-        let Some(h) = self.cluster.host_mut(host) else { return false };
+        let Some(h) = self.cluster.host_mut(host) else {
+            return false;
+        };
         if h.commit(owner, req).is_err() {
             return false;
         }
@@ -497,7 +509,14 @@ impl Platform {
     // Cell submission
     // ------------------------------------------------------------------
 
-    fn on_cell_submit(&mut self, now: SimTime, s: usize, e: usize, submit_us: u64, queue: &mut EventQueue<Ev>) {
+    fn on_cell_submit(
+        &mut self,
+        now: SimTime,
+        s: usize,
+        e: usize,
+        submit_us: u64,
+        queue: &mut EventQueue<Ev>,
+    ) {
         if !self.sessions[s].active {
             return; // session ended before the queued cell ran
         }
@@ -508,7 +527,10 @@ impl Platform {
         // §3.2.4: requests during state replication wait for it to finish.
         let repl_until = self.sessions[s].replicating_until_us;
         if now.as_micros() < repl_until {
-            queue.schedule(SimTime::from_micros(repl_until), Ev::CellSubmit { s, e, submit_us });
+            queue.schedule(
+                SimTime::from_micros(repl_until),
+                Ev::CellSubmit { s, e, submit_us },
+            );
             return;
         }
         self.sessions[s].busy = true;
@@ -524,6 +546,7 @@ impl Platform {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn schedule_exec(
         &mut self,
         now: SimTime,
@@ -557,7 +580,14 @@ impl Platform {
 
     /// Reservation: GPUs are already bound; only routing and preprocessing
     /// sit before execution.
-    fn submit_reservation(&mut self, now: SimTime, s: usize, e: usize, submit_us: u64, queue: &mut EventQueue<Ev>) {
+    fn submit_reservation(
+        &mut self,
+        now: SimTime,
+        s: usize,
+        e: usize,
+        submit_us: u64,
+        queue: &mut EventQueue<Ev>,
+    ) {
         let host = self.sessions[s].reserved_host.expect("reserved at start");
         let gs = self.route_hops(2);
         let pre = self.route_hops(2) + SimTime::from_millis(1);
@@ -602,9 +632,10 @@ impl Platform {
             let cold = self.provisioning.cold_container_start(&mut self.rng);
             self.metrics.counters.cold_starts += 1;
             let queue_wait_ms = (now.as_micros().saturating_sub(submit_us)) as f64 / 1e3;
-            self.metrics
-                .breakdown
-                .record_step(Step::GlobalSchedulerRequest, queue_wait_ms + cold.as_millis_f64());
+            self.metrics.breakdown.record_step(
+                Step::GlobalSchedulerRequest,
+                queue_wait_ms + cold.as_millis_f64(),
+            );
             let fetch = self.data_read(s, true);
             let load = self.provisioning.gpu_model_load(&mut self.rng);
             self.metrics
@@ -617,18 +648,32 @@ impl Platform {
     /// NotebookOS: the Global Scheduler designates an executor replica if
     /// any replica host can commit the GPUs right now; otherwise every
     /// replica yields and a migration begins (§3.2.2–§3.2.3).
-    fn submit_notebookos(&mut self, now: SimTime, s: usize, e: usize, submit_us: u64, queue: &mut EventQueue<Ev>) {
+    fn submit_notebookos(
+        &mut self,
+        now: SimTime,
+        s: usize,
+        e: usize,
+        submit_us: u64,
+        queue: &mut EventQueue<Ev>,
+    ) {
         // Wait for kernel bootstrap if the first cell beat it.
         let ready = self.sessions[s].kernel_ready_us;
         if self.sessions[s].kernel_pending || self.sessions[s].replica_hosts.is_empty() {
             // Kernel creation is waiting on scale-out; retry shortly.
             self.sessions[s].busy = false;
-            queue.schedule_in(now, SimTime::from_secs(5), Ev::CellSubmit { s, e, submit_us });
+            queue.schedule_in(
+                now,
+                SimTime::from_secs(5),
+                Ev::CellSubmit { s, e, submit_us },
+            );
             return;
         }
         if now.as_micros() < ready {
             self.sessions[s].busy = false;
-            queue.schedule(SimTime::from_micros(ready), Ev::CellSubmit { s, e, submit_us });
+            queue.schedule(
+                SimTime::from_micros(ready),
+                Ev::CellSubmit { s, e, submit_us },
+            );
             return;
         }
 
@@ -652,7 +697,11 @@ impl Platform {
                 .host(hosts[i])
                 .map(|h| h.idle_gpus())
                 .unwrap_or(0);
-            let reuse_bonus = if Some(i) == self.sessions[s].last_executor { 1 } else { 0 };
+            let reuse_bonus = if Some(i) == self.sessions[s].last_executor {
+                1
+            } else {
+                0
+            };
             std::cmp::Reverse((reuse_bonus, idle))
         });
         let now_s = now.as_secs_f64();
@@ -693,7 +742,9 @@ impl Platform {
                 } else {
                     Designation::Elected
                 };
-                let election = self.election.designation_latency(designation, &mut self.rng);
+                let election = self
+                    .election
+                    .designation_latency(designation, &mut self.rng);
                 self.metrics
                     .breakdown
                     .record_step(Step::PrimaryReplicaProtocol, election.as_millis_f64());
@@ -701,7 +752,15 @@ impl Platform {
                 self.metrics
                     .breakdown
                     .record_step(Step::IntermediaryInterval, load.as_millis_f64());
-                self.schedule_exec(now, s, e, submit_us, host, gs + pre + election + load, queue);
+                self.schedule_exec(
+                    now,
+                    s,
+                    e,
+                    submit_us,
+                    host,
+                    gs + pre + election + load,
+                    queue,
+                );
             }
             None => {
                 // Failed election: all replicas yield (one sync round), then
@@ -722,7 +781,14 @@ impl Platform {
     /// Migration of one kernel replica to a host with idle resources
     /// (§3.2.3), retried periodically and aborted after the configured
     /// number of attempts.
-    fn start_migration(&mut self, now: SimTime, s: usize, e: usize, submit_us: u64, queue: &mut EventQueue<Ev>) {
+    fn start_migration(
+        &mut self,
+        now: SimTime,
+        s: usize,
+        e: usize,
+        submit_us: u64,
+        queue: &mut EventQueue<Ev>,
+    ) {
         let now_s = now.as_secs_f64();
         let req = self.sessions[s].req;
         let hosts = self.sessions[s].replica_hosts.clone();
@@ -783,8 +849,8 @@ impl Platform {
             self.metrics.counters.cold_starts += 1;
             self.provisioning.cold_container_start(&mut self.rng)
         };
-        let reconfig = self.election.sync_latency(&mut self.rng)
-            + self.election.sync_latency(&mut self.rng);
+        let reconfig =
+            self.election.sync_latency(&mut self.rng) + self.election.sync_latency(&mut self.rng);
         let read_back = self.data_read(s, false);
         let resubmit = self.route_hops(2);
 
@@ -826,7 +892,14 @@ impl Platform {
 
     /// NotebookOS (LCP): a warm container from the pool serves the request
     /// directly; inputs are fetched on the critical path (§5.3.3).
-    fn submit_lcp(&mut self, now: SimTime, s: usize, e: usize, submit_us: u64, queue: &mut EventQueue<Ev>) {
+    fn submit_lcp(
+        &mut self,
+        now: SimTime,
+        s: usize,
+        e: usize,
+        submit_us: u64,
+        queue: &mut EventQueue<Ev>,
+    ) {
         let now_s = now.as_secs_f64();
         let req = self.sessions[s].req;
         let owner = batch_owner(s);
@@ -842,7 +915,11 @@ impl Platform {
             // No capacity: queue like a batch system and trigger scale-out.
             self.trigger_scale_out(now, 1, queue);
             self.sessions[s].busy = false;
-            queue.schedule_in(now, SimTime::from_secs(10), Ev::CellSubmit { s, e, submit_us });
+            queue.schedule_in(
+                now,
+                SimTime::from_secs(10),
+                Ev::CellSubmit { s, e, submit_us },
+            );
             return;
         };
         let ok = self.commit_on(now_s, host, owner, &req);
@@ -871,7 +948,11 @@ impl Platform {
     /// the dataset when `with_dataset`.
     fn data_read(&mut self, s: usize, with_dataset: bool) -> SimTime {
         let bytes = self.sessions[s].checkpoint_bytes
-            + if with_dataset { self.sessions[s].dataset_bytes } else { 0 };
+            + if with_dataset {
+                self.sessions[s].dataset_bytes
+            } else {
+                0
+            };
         let key = format!("kernel-{s}/inputs");
         if !self.store.contains(&key) {
             let (_, _) = self.store.write(key.clone(), bytes, &mut self.rng);
@@ -881,7 +962,10 @@ impl Platform {
             size_bytes: bytes,
             backend: self.store.backend(),
         };
-        let latency = self.store.read(&pointer, &mut self.rng).expect("just written");
+        let latency = self
+            .store
+            .read(&pointer, &mut self.rng)
+            .expect("just written");
         self.metrics.read_ms.record(latency.as_millis_f64());
         latency
     }
@@ -890,6 +974,7 @@ impl Platform {
     // Completion
     // ------------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn on_exec_finish(
         &mut self,
         now: SimTime,
@@ -952,7 +1037,11 @@ impl Platform {
                     .breakdown
                     .record_step(Step::ReplyToLocalScheduler, reply.as_millis_f64());
                 let replica = self.sessions[s].last_executor.unwrap_or(0);
-                self.release_on(now_s, host, ReplicaId::new(s as u64, replica as u32).owner_token());
+                self.release_on(
+                    now_s,
+                    host,
+                    ReplicaId::new(s as u64, replica as u32).owner_token(),
+                );
                 self.set_standby(now_s, 1);
                 let done = now + reply;
                 self.record_tct(done, submit_us);
@@ -1005,7 +1094,11 @@ impl Platform {
     fn finish_cell(&mut self, now: SimTime, s: usize, queue: &mut EventQueue<Ev>) {
         self.sessions[s].busy = false;
         if let Some((e, submit_us)) = self.sessions[s].waiting.pop_front() {
-            queue.schedule_in(now, SimTime::from_millis(1), Ev::CellSubmit { s, e, submit_us });
+            queue.schedule_in(
+                now,
+                SimTime::from_millis(1),
+                Ev::CellSubmit { s, e, submit_us },
+            );
         }
     }
 
@@ -1051,8 +1144,9 @@ impl Platform {
         let cfg = self.config.autoscale;
         let committed = self.cluster.total_committed_gpus() as f64;
         let per_host = f64::from(self.config.host_shape.gpus.max(1));
-        let mut target_hosts =
-            ((cfg.multiplier * committed / per_host).ceil() as u32 + cfg.scaling_buffer_hosts).max(cfg.min_hosts);
+        let mut target_hosts = ((cfg.multiplier * committed / per_host).ceil() as u32
+            + cfg.scaling_buffer_hosts)
+            .max(cfg.min_hosts);
         if let Some(sr_target) = cfg.sr_target {
             // Keep enough hosts to back the standing replica subscriptions
             // at the configured SR.
@@ -1088,7 +1182,11 @@ impl Platform {
             // subscriptions live as long as their notebook sessions.
         }
         if now.as_micros() < self.horizon_us {
-            queue.schedule_in(now, SimTime::from_secs_f64(cfg.interval_s), Ev::AutoscaleTick);
+            queue.schedule_in(
+                now,
+                SimTime::from_secs_f64(cfg.interval_s),
+                Ev::AutoscaleTick,
+            );
         }
     }
 

@@ -67,7 +67,10 @@ impl PlacementPolicy for RoundRobin {
             .hosts()
             .iter()
             .filter(|h| !h.is_draining())
-            .filter(|h| h.capacity().covers(&ResourceBundle::from_request(ctx.request)))
+            .filter(|h| {
+                h.capacity()
+                    .covers(&ResourceBundle::from_request(ctx.request))
+            })
             .map(|h| h.id())
             .collect();
         if viable.is_empty() {
@@ -99,7 +102,10 @@ impl PlacementPolicy for BinPacking {
             .hosts()
             .iter()
             .filter(|h| !h.is_draining())
-            .filter(|h| h.capacity().covers(&ResourceBundle::from_request(ctx.request)))
+            .filter(|h| {
+                h.capacity()
+                    .covers(&ResourceBundle::from_request(ctx.request))
+            })
             .map(|h| (h.subscribed_gpus(), u64::from(h.committed_gpus()), h.id()))
             .collect();
         viable.sort_by(|a, b| b.cmp(a)); // most subscribed first
@@ -133,7 +139,10 @@ impl PlacementPolicy for RandomPlacement {
             .hosts()
             .iter()
             .filter(|h| !h.is_draining())
-            .filter(|h| h.capacity().covers(&ResourceBundle::from_request(ctx.request)))
+            .filter(|h| {
+                h.capacity()
+                    .covers(&ResourceBundle::from_request(ctx.request))
+            })
             .map(|h| h.id())
             .collect();
         // Fisher–Yates with the policy's own stream.
@@ -154,9 +163,13 @@ mod tests {
         let mut c = Cluster::with_hosts(4, ResourceBundle::p3_16xlarge());
         // Host 0 heavily subscribed, host 3 untouched.
         for _ in 0..5 {
-            c.host_mut(0).unwrap().subscribe(&ResourceRequest::one_gpu());
+            c.host_mut(0)
+                .unwrap()
+                .subscribe(&ResourceRequest::one_gpu());
         }
-        c.host_mut(1).unwrap().subscribe(&ResourceRequest::one_gpu());
+        c.host_mut(1)
+            .unwrap()
+            .subscribe(&ResourceRequest::one_gpu());
         c.host_mut(2)
             .unwrap()
             .commit(9, &ResourceRequest::new(1000, 1024, 4, 16))

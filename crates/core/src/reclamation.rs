@@ -87,8 +87,10 @@ pub fn fig13_sweep(trace: &WorkloadTrace) -> Vec<ReclamationSavings> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use notebookos_trace::{generate, SessionTrace, SyntheticConfig, TrainingEvent, WorkloadProfile};
     use notebookos_des::SimRng;
+    use notebookos_trace::{
+        generate, SessionTrace, SyntheticConfig, TrainingEvent, WorkloadProfile,
+    };
 
     fn profile() -> WorkloadProfile {
         let mut rng = SimRng::seed(1);
@@ -109,8 +111,14 @@ mod tests {
                 memory_mb: 16_384,
                 profile: profile(),
                 events: vec![
-                    TrainingEvent { submit_s: 0.0, duration_s: 1000.0 },
-                    TrainingEvent { submit_s: 8_200.0, duration_s: 500.0 },
+                    TrainingEvent {
+                        submit_s: 0.0,
+                        duration_s: 1000.0,
+                    },
+                    TrainingEvent {
+                        submit_s: 8_200.0,
+                        duration_s: 500.0,
+                    },
                 ],
             }],
         }

@@ -318,9 +318,9 @@ impl KernelProtocolHarness {
             self.wait_for(|cmds| {
                 let votes = cmds
                     .iter()
-                    .filter(|c| {
-                        matches!(c, KernelCommand::Vote { election: e, .. } if *e == election)
-                    })
+                    .filter(
+                        |c| matches!(c, KernelCommand::Vote { election: e, .. } if *e == election),
+                    )
                     .count();
                 (votes as u32 >= replicas).then_some(())
             });
@@ -395,16 +395,25 @@ mod tests {
     fn tracker_first_lead_wins() {
         let mut t = ElectionTracker::new(3);
         assert_eq!(
-            t.apply(&KernelCommand::Yield { election: 0, replica: 1 }),
+            t.apply(&KernelCommand::Yield {
+                election: 0,
+                replica: 1
+            }),
             ElectionOutcome::Pending
         );
         assert_eq!(
-            t.apply(&KernelCommand::Lead { election: 0, replica: 2 }),
+            t.apply(&KernelCommand::Lead {
+                election: 0,
+                replica: 2
+            }),
             ElectionOutcome::Won(2)
         );
         // A later LEAD does not displace the first committed one.
         assert_eq!(
-            t.apply(&KernelCommand::Lead { election: 0, replica: 0 }),
+            t.apply(&KernelCommand::Lead {
+                election: 0,
+                replica: 0
+            }),
             ElectionOutcome::Won(2)
         );
     }
@@ -413,7 +422,10 @@ mod tests {
     fn tracker_all_yield_fails() {
         let mut t = ElectionTracker::new(3);
         for r in 0..3 {
-            t.apply(&KernelCommand::Yield { election: 5, replica: r });
+            t.apply(&KernelCommand::Yield {
+                election: 5,
+                replica: r,
+            });
         }
         assert_eq!(t.outcome_of(5), ElectionOutcome::AllYielded);
     }
@@ -421,10 +433,17 @@ mod tests {
     #[test]
     fn tracker_votes_complete() {
         let mut t = ElectionTracker::new(3);
-        t.apply(&KernelCommand::Lead { election: 1, replica: 0 });
+        t.apply(&KernelCommand::Lead {
+            election: 1,
+            replica: 0,
+        });
         for voter in 0..3 {
             assert!(!t.votes_complete(1));
-            t.apply(&KernelCommand::Vote { election: 1, winner: 0, voter });
+            t.apply(&KernelCommand::Vote {
+                election: 1,
+                winner: 0,
+                voter,
+            });
         }
         assert!(t.votes_complete(1));
         assert!(!t.is_done(1));
@@ -435,9 +454,16 @@ mod tests {
     #[test]
     fn tracker_duplicate_votes_ignored() {
         let mut t = ElectionTracker::new(3);
-        t.apply(&KernelCommand::Lead { election: 0, replica: 1 });
+        t.apply(&KernelCommand::Lead {
+            election: 0,
+            replica: 1,
+        });
         for _ in 0..5 {
-            t.apply(&KernelCommand::Vote { election: 0, winner: 1, voter: 0 });
+            t.apply(&KernelCommand::Vote {
+                election: 0,
+                winner: 1,
+                voter: 0,
+            });
         }
         assert!(!t.votes_complete(0));
     }
@@ -445,7 +471,10 @@ mod tests {
     #[test]
     fn tracker_elections_are_independent() {
         let mut t = ElectionTracker::new(3);
-        t.apply(&KernelCommand::Lead { election: 0, replica: 0 });
+        t.apply(&KernelCommand::Lead {
+            election: 0,
+            replica: 0,
+        });
         assert_eq!(t.outcome_of(1), ElectionOutcome::Pending);
     }
 

@@ -25,9 +25,15 @@ fn harness_and_model_agree_on_round_structure() {
     let mut all_yield = Vec::new();
     for seed in 0..12u64 {
         let mut h = KernelProtocolHarness::new(1000 + seed);
-        contested.push(h.run_election(&[Proposal::Lead, Proposal::Lead, Proposal::Lead]).latency_us as f64);
+        contested.push(
+            h.run_election(&[Proposal::Lead, Proposal::Lead, Proposal::Lead])
+                .latency_us as f64,
+        );
         let mut h = KernelProtocolHarness::new(2000 + seed);
-        all_yield.push(h.run_election(&[Proposal::Yield, Proposal::Yield, Proposal::Yield]).latency_us as f64);
+        all_yield.push(
+            h.run_election(&[Proposal::Yield, Proposal::Yield, Proposal::Yield])
+                .latency_us as f64,
+        );
     }
     let harness_ratio = mean(&contested) / mean(&all_yield);
 
@@ -35,10 +41,18 @@ fn harness_and_model_agree_on_round_structure() {
     let model = ElectionModel::new();
     let mut rng = SimRng::seed(3);
     let elected: Vec<f64> = (0..4000)
-        .map(|_| model.designation_latency(Designation::Elected, &mut rng).as_secs_f64())
+        .map(|_| {
+            model
+                .designation_latency(Designation::Elected, &mut rng)
+                .as_secs_f64()
+        })
         .collect();
     let yielded: Vec<f64> = (0..4000)
-        .map(|_| model.designation_latency(Designation::AllYielded, &mut rng).as_secs_f64())
+        .map(|_| {
+            model
+                .designation_latency(Designation::AllYielded, &mut rng)
+                .as_secs_f64()
+        })
         .collect();
     let model_ratio = mean(&elected) / mean(&yielded);
 
@@ -65,11 +79,18 @@ fn both_layers_fit_the_papers_latency_envelope() {
     let model = ElectionModel::new();
     let mut rng = SimRng::seed(4);
     let mut samples: Vec<f64> = (0..2000)
-        .map(|_| model.designation_latency(Designation::Elected, &mut rng).as_millis_f64())
+        .map(|_| {
+            model
+                .designation_latency(Designation::Elected, &mut rng)
+                .as_millis_f64()
+        })
         .collect();
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let p50 = samples[1000];
-    assert!((5.0..120.0).contains(&p50), "model election p50 {p50:.2} ms");
+    assert!(
+        (5.0..120.0).contains(&p50),
+        "model election p50 {p50:.2} ms"
+    );
 }
 
 #[test]

@@ -120,7 +120,10 @@ mod tests {
         let redis = med(BackendKind::Redis);
         let hdfs = med(BackendKind::Hdfs);
         let s3 = med(BackendKind::S3);
-        assert!(redis < hdfs && hdfs < s3, "redis {redis} hdfs {hdfs} s3 {s3}");
+        assert!(
+            redis < hdfs && hdfs < s3,
+            "redis {redis} hdfs {hdfs} s3 {s3}"
+        );
     }
 
     #[test]

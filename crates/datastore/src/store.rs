@@ -79,7 +79,12 @@ impl DataStore {
 
     /// Writes (or overwrites) an object, returning the pointer and the
     /// sampled operation latency.
-    pub fn write(&mut self, key: impl Into<String>, size_bytes: u64, rng: &mut SimRng) -> (ObjectPointer, SimTime) {
+    pub fn write(
+        &mut self,
+        key: impl Into<String>,
+        size_bytes: u64,
+        rng: &mut SimRng,
+    ) -> (ObjectPointer, SimTime) {
         let key = key.into();
         let latency = self.model.write_latency(size_bytes, rng);
         self.objects.insert(key.clone(), size_bytes);
@@ -100,7 +105,11 @@ impl DataStore {
     /// # Errors
     ///
     /// Returns [`StoreError::NotFound`] for unknown keys.
-    pub fn read(&mut self, pointer: &ObjectPointer, rng: &mut SimRng) -> Result<SimTime, StoreError> {
+    pub fn read(
+        &mut self,
+        pointer: &ObjectPointer,
+        rng: &mut SimRng,
+    ) -> Result<SimTime, StoreError> {
         let size = *self
             .objects
             .get(&pointer.key)
@@ -168,7 +177,10 @@ mod tests {
             size_bytes: 1,
             backend: BackendKind::Redis,
         };
-        assert_eq!(store.read(&ptr, &mut rng), Err(StoreError::NotFound("ghost".into())));
+        assert_eq!(
+            store.read(&ptr, &mut rng),
+            Err(StoreError::NotFound("ghost".into()))
+        );
     }
 
     #[test]

@@ -174,7 +174,7 @@ pub fn standard_normal_quantile(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.38357751867269e+02,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -248,6 +248,8 @@ pub struct Empirical {
     anchors: Vec<(f64, f64)>,
     /// Lower bound (value of the 0th quantile).
     floor: f64,
+    /// Optional upper bound truncating the extrapolated tail.
+    ceiling: Option<f64>,
 }
 
 /// Error constructing an [`Empirical`] distribution.
@@ -265,7 +267,10 @@ impl std::fmt::Display for EmpiricalError {
         match self {
             EmpiricalError::TooFewAnchors => write!(f, "need at least two quantile anchors"),
             EmpiricalError::Malformed => {
-                write!(f, "anchors must be strictly increasing in (0, 1) with positive values")
+                write!(
+                    f,
+                    "anchors must be strictly increasing in (0, 1) with positive values"
+                )
             }
         }
     }
@@ -300,6 +305,7 @@ impl Empirical {
         Ok(Empirical {
             anchors: anchors.to_vec(),
             floor: floor.max(f64::MIN_POSITIVE),
+            ceiling: None,
         })
     }
 
@@ -311,6 +317,28 @@ impl Empirical {
     pub fn with_floor(mut self, floor: f64) -> Self {
         assert!(floor > 0.0 && floor <= self.anchors[0].1);
         self.floor = floor;
+        self
+    }
+
+    /// Truncates the extrapolated tail at `ceiling` (the 100th-percentile
+    /// anchor).
+    ///
+    /// Without a ceiling the Pareto-like extrapolation past the last anchor
+    /// has a tail index near 1 for steep published percentiles, so sample
+    /// *sums* are dominated by the single largest draw. Models of
+    /// physically bounded quantities (e.g. one Raft commit round) should
+    /// pin a ceiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ceiling` is below the last anchor value.
+    pub fn with_ceiling(mut self, ceiling: f64) -> Self {
+        let last = self.anchors[self.anchors.len() - 1].1;
+        assert!(
+            ceiling >= last,
+            "ceiling {ceiling} below last anchor {last}"
+        );
+        self.ceiling = Some(ceiling);
         self
     }
 
@@ -338,7 +366,11 @@ impl Empirical {
         let (qa, va) = self.anchors[self.anchors.len() - 2];
         let (qb, vb) = self.anchors[self.anchors.len() - 1];
         let slope = (vb.ln() - va.ln()) / (logit(qb) - logit(qa));
-        (vb.ln() + slope * (logit(p) - logit(qb))).exp()
+        let tail = (vb.ln() + slope * (logit(p) - logit(qb))).exp();
+        match self.ceiling {
+            Some(ceiling) => tail.min(ceiling),
+            None => tail,
+        }
     }
 
     /// The distribution's median (quantile at 0.5).
@@ -454,6 +486,29 @@ mod tests {
         for _ in 0..10_000 {
             assert!(d.sample(&mut rng) >= 15.0 - 1e-9);
         }
+    }
+
+    #[test]
+    fn empirical_ceiling_truncates_tail() {
+        let d = Empirical::from_quantiles(&[(0.5, 120.0), (0.9, 1020.0)])
+            .unwrap()
+            .with_ceiling(2000.0);
+        assert!(d.quantile(0.9999999) <= 2000.0);
+        // Anchors and the body are unaffected.
+        assert!((d.quantile(0.5) - 120.0).abs() < 1e-9);
+        assert!((d.quantile(0.9) - 1020.0).abs() < 1e-9);
+        let mut rng = SimRng::seed(11);
+        for _ in 0..50_000 {
+            assert!(d.sample(&mut rng) <= 2000.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below last anchor")]
+    fn empirical_ceiling_below_anchor_panics() {
+        let _ = Empirical::from_quantiles(&[(0.5, 120.0), (0.9, 1020.0)])
+            .unwrap()
+            .with_ceiling(100.0);
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! (execute traffic on SHELL, status broadcasts on IOPUB, liveness on
 //! HEARTBEAT — the §3.2.5 failure detector's evidence stream).
 
-use crate::message::{Header, JupyterMessage, MsgType};
 use crate::json::Json;
+use crate::message::{Header, JupyterMessage, MsgType};
 
 /// The five sockets of the Jupyter kernel wire protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -81,7 +81,7 @@ impl KernelStatus {
     }
 
     /// Parses a wire name.
-    pub fn from_str(s: &str) -> Option<KernelStatus> {
+    pub fn parse_wire(s: &str) -> Option<KernelStatus> {
         Some(match s {
             "starting" => KernelStatus::Starting,
             "idle" => KernelStatus::Idle,
@@ -116,7 +116,7 @@ pub fn status_of(message: &JupyterMessage) -> Option<KernelStatus> {
         .content
         .get("execution_state")
         .and_then(Json::as_str)
-        .and_then(KernelStatus::from_str)
+        .and_then(KernelStatus::parse_wire)
 }
 
 #[cfg(test)]
@@ -125,21 +125,31 @@ mod tests {
 
     #[test]
     fn channel_assignment_matches_protocol() {
-        assert_eq!(Channel::for_msg_type(MsgType::ExecuteRequest), Channel::Shell);
+        assert_eq!(
+            Channel::for_msg_type(MsgType::ExecuteRequest),
+            Channel::Shell
+        );
         assert_eq!(Channel::for_msg_type(MsgType::ExecuteReply), Channel::Shell);
         assert_eq!(Channel::for_msg_type(MsgType::YieldRequest), Channel::Shell);
         assert_eq!(Channel::for_msg_type(MsgType::Status), Channel::IoPub);
         assert_eq!(Channel::for_msg_type(MsgType::Stream), Channel::IoPub);
-        assert_eq!(Channel::for_msg_type(MsgType::ShutdownRequest), Channel::Control);
+        assert_eq!(
+            Channel::for_msg_type(MsgType::ShutdownRequest),
+            Channel::Control
+        );
         assert_eq!(Channel::ALL.len(), 5);
     }
 
     #[test]
     fn status_round_trips() {
-        for status in [KernelStatus::Starting, KernelStatus::Idle, KernelStatus::Busy] {
-            assert_eq!(KernelStatus::from_str(status.as_str()), Some(status));
+        for status in [
+            KernelStatus::Starting,
+            KernelStatus::Idle,
+            KernelStatus::Busy,
+        ] {
+            assert_eq!(KernelStatus::parse_wire(status.as_str()), Some(status));
         }
-        assert_eq!(KernelStatus::from_str("nope"), None);
+        assert_eq!(KernelStatus::parse_wire("nope"), None);
     }
 
     #[test]

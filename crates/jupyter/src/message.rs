@@ -54,7 +54,7 @@ impl MsgType {
     }
 
     /// Parses a wire name.
-    pub fn from_str(s: &str) -> Option<MsgType> {
+    pub fn parse_wire(s: &str) -> Option<MsgType> {
         Some(match s {
             "execute_request" => MsgType::ExecuteRequest,
             "execute_reply" => MsgType::ExecuteReply,
@@ -96,7 +96,12 @@ pub struct Header {
 
 impl Header {
     /// Creates a header.
-    pub fn new(msg_id: impl Into<String>, session: impl Into<String>, msg_type: MsgType, date_us: u64) -> Self {
+    pub fn new(
+        msg_id: impl Into<String>,
+        session: impl Into<String>,
+        msg_type: MsgType,
+        date_us: u64,
+    ) -> Self {
         Header {
             msg_id: msg_id.into(),
             session: session.into(),
@@ -135,7 +140,7 @@ impl Header {
             msg_id: field("msg_id")?,
             session: field("session")?,
             username: field("username")?,
-            msg_type: MsgType::from_str(&msg_type_raw)
+            msg_type: MsgType::parse_wire(&msg_type_raw)
                 .ok_or_else(|| format!("unknown msg_type `{msg_type_raw}`"))?,
             version: field("version")?,
             date_us: v.get("date").and_then(Json::as_u64).unwrap_or(0),
@@ -201,9 +206,21 @@ impl JupyterMessage {
     /// `executed` records whether the replying replica was the executor
     /// (the Global Scheduler aggregates one reply per replica and keeps the
     /// executor's).
-    pub fn execute_reply(&self, msg_id: impl Into<String>, status: ReplyStatus, execution_count: u64, executed: bool, date_us: u64) -> JupyterMessage {
+    pub fn execute_reply(
+        &self,
+        msg_id: impl Into<String>,
+        status: ReplyStatus,
+        execution_count: u64,
+        executed: bool,
+        date_us: u64,
+    ) -> JupyterMessage {
         JupyterMessage {
-            header: Header::new(msg_id, self.header.session.clone(), MsgType::ExecuteReply, date_us),
+            header: Header::new(
+                msg_id,
+                self.header.session.clone(),
+                MsgType::ExecuteReply,
+                date_us,
+            ),
             parent: Some(self.header.clone()),
             metadata: Json::object().with("executed", executed),
             content: Json::object()
@@ -241,7 +258,11 @@ impl JupyterMessage {
         self.metadata
             .get("gpu_device_ids")
             .and_then(Json::as_arr)
-            .map(|a| a.iter().filter_map(|v| v.as_u64().map(|n| n as u32)).collect())
+            .map(|a| {
+                a.iter()
+                    .filter_map(|v| v.as_u64().map(|n| n as u32))
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -312,9 +333,9 @@ mod tests {
             MsgType::ShutdownReply,
             MsgType::Stream,
         ] {
-            assert_eq!(MsgType::from_str(t.as_str()), Some(t));
+            assert_eq!(MsgType::parse_wire(t.as_str()), Some(t));
         }
-        assert_eq!(MsgType::from_str("bogus"), None);
+        assert_eq!(MsgType::parse_wire("bogus"), None);
     }
 
     #[test]
@@ -390,7 +411,7 @@ mod tests {
         let merged = merge_replies(&[err.clone(), standby1.clone()]).unwrap();
         assert_eq!(merged.header.msg_id, "r1");
         // All errors: first wins.
-        let merged = merge_replies(&[err.clone()]).unwrap();
+        let merged = merge_replies(std::slice::from_ref(&err)).unwrap();
         assert_eq!(merged.header.msg_id, "r4");
         assert!(merge_replies(&[]).is_none());
     }

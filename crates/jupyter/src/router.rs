@@ -183,7 +183,10 @@ impl Router {
     ///
     /// Returns [`RouteError::UnknownRequest`] for replies without a tracked
     /// parent.
-    pub fn accept_reply(&mut self, reply: JupyterMessage) -> Result<Option<JupyterMessage>, RouteError> {
+    pub fn accept_reply(
+        &mut self,
+        reply: JupyterMessage,
+    ) -> Result<Option<JupyterMessage>, RouteError> {
         let parent_id = reply
             .parent
             .as_ref()
@@ -236,7 +239,10 @@ mod tests {
         assert_eq!(copies[1].message.header.msg_type, MsgType::ExecuteRequest);
         assert_eq!(copies[0].message.header.msg_type, MsgType::YieldRequest);
         assert_eq!(copies[2].message.header.msg_type, MsgType::YieldRequest);
-        assert_eq!(copies.iter().map(|c| c.to).collect::<Vec<_>>(), vec![10, 20, 30]);
+        assert_eq!(
+            copies.iter().map(|c| c.to).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
         assert_eq!(r.pending_requests(), 1);
     }
 

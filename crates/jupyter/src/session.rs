@@ -43,7 +43,12 @@ impl SessionManager {
     /// # Panics
     ///
     /// Panics if the session id is already registered.
-    pub fn create(&mut self, id: impl Into<String>, kernel_id: impl Into<String>, now_us: u64) -> &Session {
+    pub fn create(
+        &mut self,
+        id: impl Into<String>,
+        kernel_id: impl Into<String>,
+        now_us: u64,
+    ) -> &Session {
         let id = id.into();
         assert!(
             !self.sessions.contains_key(&id),

@@ -53,7 +53,10 @@ fn sign(key: &[u8], parts: &[&[u8]]) -> String {
     // non-cryptographic in the module docs.
     let mut lanes = [0xcbf2_9ce4_8422_2325u64, 0x6c62_272e_07bb_0142u64];
     for (lane_idx, lane) in lanes.iter_mut().enumerate() {
-        for chunk in [key, &[lane_idx as u8][..]].into_iter().chain(parts.iter().copied()) {
+        for chunk in [key, &[lane_idx as u8][..]]
+            .into_iter()
+            .chain(parts.iter().copied())
+        {
             for &b in chunk {
                 *lane ^= b as u64;
                 *lane = lane.wrapping_mul(0x100_0000_01b3);
@@ -75,7 +78,12 @@ pub fn encode(identities: &[Bytes], message: &JupyterMessage, key: &[u8]) -> Vec
     let content = message.content.encode();
     let signature = sign(
         key,
-        &[header.as_bytes(), parent.as_bytes(), metadata.as_bytes(), content.as_bytes()],
+        &[
+            header.as_bytes(),
+            parent.as_bytes(),
+            metadata.as_bytes(),
+            content.as_bytes(),
+        ],
     );
 
     let mut frames = Vec::with_capacity(identities.len() + 6);
@@ -106,7 +114,10 @@ pub fn decode(frames: &[Bytes], key: &[u8]) -> Result<(Vec<Bytes>, JupyterMessag
     }
     let identities = frames[..delim].to_vec();
     let signature = &frames[delim + 1];
-    let body: Vec<&[u8]> = frames[delim + 2..delim + 6].iter().map(|b| b.as_ref()).collect();
+    let body: Vec<&[u8]> = frames[delim + 2..delim + 6]
+        .iter()
+        .map(|b| b.as_ref())
+        .collect();
     let expected = sign(key, &body);
     if signature.as_ref() != expected.as_bytes() {
         return Err(WireError::BadSignature);
@@ -172,7 +183,10 @@ mod tests {
     #[test]
     fn wrong_key_is_rejected() {
         let frames = encode(&[], &sample(), KEY);
-        assert_eq!(decode(&frames, b"other-key").unwrap_err(), WireError::BadSignature);
+        assert_eq!(
+            decode(&frames, b"other-key").unwrap_err(),
+            WireError::BadSignature
+        );
     }
 
     #[test]
@@ -187,7 +201,10 @@ mod tests {
     fn missing_delimiter_is_rejected() {
         let mut frames = encode(&[], &sample(), KEY);
         frames.remove(0);
-        assert_eq!(decode(&frames, KEY).unwrap_err(), WireError::MissingDelimiter);
+        assert_eq!(
+            decode(&frames, KEY).unwrap_err(),
+            WireError::MissingDelimiter
+        );
     }
 
     #[test]

@@ -47,7 +47,8 @@ impl Table {
             "row width mismatch in table `{}`",
             self.title
         );
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 

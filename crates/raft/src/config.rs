@@ -76,16 +76,23 @@ mod tests {
 
     #[test]
     fn invalid_windows_are_rejected() {
-        let mut c = RaftConfig::default();
-        c.election_timeout_max_us = c.election_timeout_min_us;
+        let base = RaftConfig::default();
+        let c = RaftConfig {
+            election_timeout_max_us: base.election_timeout_min_us,
+            ..base
+        };
         assert!(c.validate().is_err());
 
-        let mut c = RaftConfig::default();
-        c.heartbeat_interval_us = c.election_timeout_min_us;
+        let c = RaftConfig {
+            heartbeat_interval_us: base.election_timeout_min_us,
+            ..base
+        };
         assert!(c.validate().is_err());
 
-        let mut c = RaftConfig::default();
-        c.max_entries_per_append = 0;
+        let c = RaftConfig {
+            max_entries_per_append: 0,
+            ..base
+        };
         assert!(c.validate().is_err());
     }
 }

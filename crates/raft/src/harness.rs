@@ -161,9 +161,9 @@ impl<C: Clone + Eq> Network<C> {
 
     /// Whether every connected node has applied exactly `expect` (in order).
     pub fn all_applied(&self, expect: &[C]) -> bool {
-        self.nodes.keys().all(|&id| {
-            self.is_disconnected(id) || self.applied[&id].as_slice() == expect
-        })
+        self.nodes
+            .keys()
+            .all(|&id| self.is_disconnected(id) || self.applied[&id].as_slice() == expect)
     }
 
     /// Proposes `command` on `node`.
@@ -335,7 +335,9 @@ impl<C: Clone + Eq> Network<C> {
     }
 
     fn schedule_tick(&mut self, id: NodeId) {
-        let Some(node) = self.nodes.get(&id) else { return };
+        let Some(node) = self.nodes.get(&id) else {
+            return;
+        };
         let deadline = node.next_deadline_us();
         if deadline == u64::MAX {
             return;
@@ -343,8 +345,10 @@ impl<C: Clone + Eq> Network<C> {
         let already = self.tick_at.get(&id).copied().unwrap_or(u64::MAX);
         if deadline < already {
             self.tick_at.insert(id, deadline);
-            self.queue
-                .schedule(SimTime::from_micros(deadline.max(self.now.as_micros())), NetEvent::Tick(id));
+            self.queue.schedule(
+                SimTime::from_micros(deadline.max(self.now.as_micros())),
+                NetEvent::Tick(id),
+            );
         }
     }
 }
@@ -391,12 +395,18 @@ mod tests {
         let new_leader = new_leader.expect("failover leader");
         net.propose(new_leader, "post".into()).unwrap();
         net.run_micros(500_000);
-        assert_eq!(net.applied_by(new_leader), &["pre".to_string(), "post".to_string()]);
+        assert_eq!(
+            net.applied_by(new_leader),
+            &["pre".to_string(), "post".to_string()]
+        );
 
         // Old leader reconnects and catches up.
         net.reconnect(old);
         net.run_micros(1_000_000);
-        assert_eq!(net.applied_by(old), &["pre".to_string(), "post".to_string()]);
+        assert_eq!(
+            net.applied_by(old),
+            &["pre".to_string(), "post".to_string()]
+        );
     }
 
     #[test]

@@ -23,6 +23,9 @@ enum Input<C> {
     Shutdown,
 }
 
+/// One node's id plus both halves of its input channel.
+type NodeChannel<C> = (NodeId, Sender<Input<C>>, Receiver<Input<C>>);
+
 /// A committed command observed by some node.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Applied<C> {
@@ -65,15 +68,17 @@ impl<C: Clone + Eq + Send + 'static> LiveCluster<C> {
         let membership = Membership::new(ids.clone());
         let config = RaftConfig::fast();
 
-        let channels: Vec<(NodeId, Sender<Input<C>>, Receiver<Input<C>>)> = ids
+        let channels: Vec<NodeChannel<C>> = ids
             .iter()
             .map(|&id| {
                 let (tx, rx) = unbounded();
                 (id, tx, rx)
             })
             .collect();
-        let senders: Vec<(NodeId, Sender<Input<C>>)> =
-            channels.iter().map(|(id, tx, _)| (*id, tx.clone())).collect();
+        let senders: Vec<(NodeId, Sender<Input<C>>)> = channels
+            .iter()
+            .map(|(id, tx, _)| (*id, tx.clone()))
+            .collect();
         let (applied_tx, applied_rx) = unbounded();
 
         let epoch = Instant::now();
@@ -84,9 +89,7 @@ impl<C: Clone + Eq + Send + 'static> LiveCluster<C> {
             let membership = membership.clone();
             let handle = thread::Builder::new()
                 .name(format!("raft-node-{id}"))
-                .spawn(move || {
-                    node_loop(id, membership, config, rx, peers, applied_tx, epoch)
-                })
+                .spawn(move || node_loop(id, membership, config, rx, peers, applied_tx, epoch))
                 .expect("spawn raft node thread");
             handles.push(handle);
         }
@@ -104,7 +107,11 @@ impl<C: Clone + Eq + Send + 'static> LiveCluster<C> {
     /// # Errors
     ///
     /// Returns [`ProposeError`] if no leader accepted within the timeout.
-    pub fn propose_blocking(&self, command: C, timeout: Duration) -> Result<LogIndex, ProposeError> {
+    pub fn propose_blocking(
+        &self,
+        command: C,
+        timeout: Duration,
+    ) -> Result<LogIndex, ProposeError> {
         let deadline = Instant::now() + timeout;
         let mut target = 0usize;
         loop {
@@ -177,7 +184,13 @@ fn node_loop<C: Clone + Eq + Send + 'static>(
     epoch: Instant,
 ) {
     let now_us = |e: Instant| e.elapsed().as_micros() as u64;
-    let mut node: RaftNode<C> = RaftNode::new(id, membership, config, id.wrapping_mul(0xA5A5) + 1, now_us(epoch));
+    let mut node: RaftNode<C> = RaftNode::new(
+        id,
+        membership,
+        config,
+        id.wrapping_mul(0xA5A5) + 1,
+        now_us(epoch),
+    );
     let mut out: Vec<Output<C>> = Vec::new();
     loop {
         let now = now_us(epoch);

@@ -16,7 +16,9 @@ pub struct RaftLog<C> {
 impl<C: Clone> RaftLog<C> {
     /// Creates an empty log.
     pub fn new() -> Self {
-        RaftLog { entries: Vec::new() }
+        RaftLog {
+            entries: Vec::new(),
+        }
     }
 
     /// Index of the last entry (0 when empty).
@@ -49,7 +51,11 @@ impl<C: Clone> RaftLog<C> {
     /// index.
     pub fn append(&mut self, term: Term, payload: EntryPayload<C>) -> LogIndex {
         let index = self.last_index() + 1;
-        self.entries.push(Entry { term, index, payload });
+        self.entries.push(Entry {
+            term,
+            index,
+            payload,
+        });
         index
     }
 
@@ -182,8 +188,16 @@ mod tests {
         let mut log = log_with(&[1, 1, 2]);
         // Incoming duplicates entry 3 and extends with 4.
         let incoming = vec![
-            Entry { term: 2, index: 3, payload: EntryPayload::Command(99u32) },
-            Entry { term: 2, index: 4, payload: EntryPayload::Command(100) },
+            Entry {
+                term: 2,
+                index: 3,
+                payload: EntryPayload::Command(99u32),
+            },
+            Entry {
+                term: 2,
+                index: 4,
+                payload: EntryPayload::Command(100),
+            },
         ];
         // Entry 3 matches by (index, term) so it is kept as-is.
         let last = log.merge(&incoming);

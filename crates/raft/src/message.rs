@@ -84,7 +84,10 @@ mod tests {
                 last_log_index: 0,
                 last_log_term: 0,
             },
-            Message::RequestVoteResponse { term: 3, granted: true },
+            Message::RequestVoteResponse {
+                term: 3,
+                granted: true,
+            },
             Message::AppendEntries {
                 term: 3,
                 leader: 1,
@@ -115,7 +118,10 @@ mod tests {
             leader_commit: 0,
         };
         assert!(hb.is_heartbeat());
-        let vote: Message<u8> = Message::RequestVoteResponse { term: 1, granted: false };
+        let vote: Message<u8> = Message::RequestVoteResponse {
+            term: 1,
+            granted: false,
+        };
         assert!(!vote.is_heartbeat());
     }
 }

@@ -99,7 +99,13 @@ impl<C: Clone> RaftNode<C> {
     /// # Panics
     ///
     /// Panics if the configuration is invalid or `id` is not a member.
-    pub fn new(id: NodeId, membership: Membership, config: RaftConfig, seed: u64, now_us: u64) -> Self {
+    pub fn new(
+        id: NodeId,
+        membership: Membership,
+        config: RaftConfig,
+        seed: u64,
+        now_us: u64,
+    ) -> Self {
         config.validate().expect("invalid raft config");
         assert!(membership.contains(id), "node {id} not in membership");
         let mut node = RaftNode {
@@ -203,7 +209,13 @@ impl<C: Clone> RaftNode<C> {
     }
 
     /// Handles a message from peer `from` arriving at `now_us`.
-    pub fn receive(&mut self, now_us: u64, from: NodeId, message: Message<C>, out: &mut Vec<Output<C>>) {
+    pub fn receive(
+        &mut self,
+        now_us: u64,
+        from: NodeId,
+        message: Message<C>,
+        out: &mut Vec<Output<C>>,
+    ) {
         if message.term() > self.term {
             self.become_follower(message.term(), now_us, out);
         }
@@ -252,7 +264,11 @@ impl<C: Clone> RaftNode<C> {
     ///
     /// Returns [`ProposeError`] with a leader hint when this node is not the
     /// leader.
-    pub fn propose(&mut self, command: C, out: &mut Vec<Output<C>>) -> Result<LogIndex, ProposeError> {
+    pub fn propose(
+        &mut self,
+        command: C,
+        out: &mut Vec<Output<C>>,
+    ) -> Result<LogIndex, ProposeError> {
         self.propose_payload(EntryPayload::Command(command), out)
     }
 
@@ -343,7 +359,9 @@ impl<C: Clone> RaftNode<C> {
         let grant = term == self.term
             && self.role == Role::Follower
             && (self.voted_for.is_none() || self.voted_for == Some(candidate))
-            && self.log.candidate_is_up_to_date(last_log_term, last_log_index);
+            && self
+                .log
+                .candidate_is_up_to_date(last_log_term, last_log_index);
         if grant {
             self.voted_for = Some(candidate);
             self.reset_election_deadline(now_us);
@@ -430,9 +448,11 @@ impl<C: Clone> RaftNode<C> {
         let next = *self.next_index.entry(peer).or_insert(1);
         let prev_log_index = next - 1;
         let prev_log_term = self.log.term_at(prev_log_index).unwrap_or(0);
-        let entries = self
-            .log
-            .slice(next, self.log.last_index(), self.config.max_entries_per_append);
+        let entries = self.log.slice(
+            next,
+            self.log.last_index(),
+            self.config.max_entries_per_append,
+        );
         out.push(Output::Send {
             to: peer,
             message: Message::AppendEntries {
@@ -641,14 +661,13 @@ mod tests {
 
         // Node 2 grants the vote.
         let mut out2 = Vec::new();
-        let vote_req = sends(&out1)
-            .into_iter()
-            .find(|(to, _)| *to == 2)
-            .unwrap()
-            .1;
+        let vote_req = sends(&out1).into_iter().find(|(to, _)| *to == 2).unwrap().1;
         n2.receive(100, 1, vote_req, &mut out2);
         let (_, resp) = sends(&out2).into_iter().next().unwrap();
-        assert!(matches!(resp, Message::RequestVoteResponse { granted: true, .. }));
+        assert!(matches!(
+            resp,
+            Message::RequestVoteResponse { granted: true, .. }
+        ));
 
         let mut out3 = Vec::new();
         n1.receive(200, 2, resp, &mut out3);
@@ -689,7 +708,10 @@ mod tests {
             &mut out,
         );
         let (_, resp) = sends(&out).into_iter().next().unwrap();
-        assert!(matches!(resp, Message::RequestVoteResponse { granted: false, .. }));
+        assert!(matches!(
+            resp,
+            Message::RequestVoteResponse { granted: false, .. }
+        ));
     }
 
     #[test]
@@ -787,7 +809,9 @@ mod tests {
         assert!(n.is_leader());
         out.clear();
         let idx = n.propose("solo".to_string(), &mut out).unwrap();
-        assert!(out.iter().any(|o| matches!(o, Output::Apply(e) if e.index == idx)));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, Output::Apply(e) if e.index == idx)));
         assert_eq!(n.commit_index(), idx);
     }
 

@@ -63,7 +63,10 @@ pub fn to_csv(trace: &WorkloadTrace) -> String {
             s.profile.model.name,
         ));
         for e in &s.events {
-            out.push_str(&format!("E,{},{:.3},{:.3}\n", s.id, e.submit_s, e.duration_s));
+            out.push_str(&format!(
+                "E,{},{:.3},{:.3}\n",
+                s.id, e.submit_s, e.duration_s
+            ));
         }
     }
     out
@@ -92,14 +95,11 @@ pub fn from_csv(text: &str) -> Result<WorkloadTrace, CsvError> {
                 if fields.len() != 11 {
                     return Err(err("session record needs 11 fields"));
                 }
-                let parse_u64 = |s: &str, what: &str| {
-                    s.parse::<u64>().map_err(|_| err(&format!("bad {what}")))
-                };
-                let parse_f64 = |s: &str, what: &str| {
-                    s.parse::<f64>().map_err(|_| err(&format!("bad {what}")))
-                };
-                let domain =
-                    domain_from_tag(fields[8]).ok_or_else(|| err("unknown domain tag"))?;
+                let parse_u64 =
+                    |s: &str, what: &str| s.parse::<u64>().map_err(|_| err(&format!("bad {what}")));
+                let parse_f64 =
+                    |s: &str, what: &str| s.parse::<f64>().map_err(|_| err(&format!("bad {what}")));
+                let domain = domain_from_tag(fields[8]).ok_or_else(|| err("unknown domain tag"))?;
                 let dataset = datasets_for(domain)
                     .iter()
                     .find(|d| d.name == fields[9])
@@ -130,9 +130,7 @@ pub fn from_csv(text: &str) -> Result<WorkloadTrace, CsvError> {
                 if fields.len() != 4 {
                     return Err(err("event record needs 4 fields"));
                 }
-                let session_id: u64 = fields[1]
-                    .parse()
-                    .map_err(|_| err("bad event session id"))?;
+                let session_id: u64 = fields[1].parse().map_err(|_| err("bad event session id"))?;
                 let submit_s: f64 = fields[2].parse().map_err(|_| err("bad submit"))?;
                 let duration_s: f64 = fields[3].parse().map_err(|_| err("bad duration"))?;
                 let session = trace

@@ -33,5 +33,7 @@ pub use models::{
     assign_profile, datasets_for, models_for, table1_rows, AppDomain, DatasetSpec, ModelSpec,
     WorkloadProfile,
 };
-pub use synthetic::{generate, generate_with_profile, sample_distributions, SyntheticConfig, TraceProfile};
+pub use synthetic::{
+    generate, generate_with_profile, sample_distributions, SyntheticConfig, TraceProfile,
+};
 pub use workload::{SessionTrace, TrainingEvent, WorkloadTrace};

@@ -79,13 +79,28 @@ const MB: u64 = 1_000_000;
 pub fn models_for(domain: AppDomain) -> &'static [ModelSpec] {
     match domain {
         AppDomain::ComputerVision => &[
-            ModelSpec { name: "VGG-16", param_bytes: 528 * MB },
-            ModelSpec { name: "ResNet-18", param_bytes: 45 * MB },
-            ModelSpec { name: "Inception v3", param_bytes: 104 * MB },
+            ModelSpec {
+                name: "VGG-16",
+                param_bytes: 528 * MB,
+            },
+            ModelSpec {
+                name: "ResNet-18",
+                param_bytes: 45 * MB,
+            },
+            ModelSpec {
+                name: "Inception v3",
+                param_bytes: 104 * MB,
+            },
         ],
         AppDomain::Nlp => &[
-            ModelSpec { name: "BERT", param_bytes: 440 * MB },
-            ModelSpec { name: "GPT-2", param_bytes: 548 * MB },
+            ModelSpec {
+                name: "BERT",
+                param_bytes: 440 * MB,
+            },
+            ModelSpec {
+                name: "GPT-2",
+                param_bytes: 548 * MB,
+            },
         ],
         AppDomain::SpeechRecognition => &[ModelSpec {
             name: "Deep Speech 2",
@@ -98,13 +113,28 @@ pub fn models_for(domain: AppDomain) -> &'static [ModelSpec] {
 pub fn datasets_for(domain: AppDomain) -> &'static [DatasetSpec] {
     match domain {
         AppDomain::ComputerVision => &[
-            DatasetSpec { name: "CIFAR-10", size_bytes: 170 * MB },
-            DatasetSpec { name: "CIFAR-100", size_bytes: 169 * MB },
-            DatasetSpec { name: "Tiny ImageNet", size_bytes: 237 * MB },
+            DatasetSpec {
+                name: "CIFAR-10",
+                size_bytes: 170 * MB,
+            },
+            DatasetSpec {
+                name: "CIFAR-100",
+                size_bytes: 169 * MB,
+            },
+            DatasetSpec {
+                name: "Tiny ImageNet",
+                size_bytes: 237 * MB,
+            },
         ],
         AppDomain::Nlp => &[
-            DatasetSpec { name: "IMDb Large Movie Reviews", size_bytes: 80 * MB },
-            DatasetSpec { name: "CoLA", size_bytes: 1 * MB },
+            DatasetSpec {
+                name: "IMDb Large Movie Reviews",
+                size_bytes: 80 * MB,
+            },
+            DatasetSpec {
+                name: "CoLA",
+                size_bytes: MB,
+            },
         ],
         AppDomain::SpeechRecognition => &[DatasetSpec {
             name: "LibriSpeech",

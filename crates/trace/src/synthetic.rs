@@ -40,7 +40,11 @@ impl TraceProfile {
                 (0.99, 10_920.0),
             ])
             .expect("static anchors")
-            .with_floor(15.0),
+            .with_floor(15.0)
+            // Interactive tasks top out at a few hours; an unbounded
+            // Pareto tail (index ≈ 1 here) would let single draws dominate
+            // per-session busy-time sums.
+            .with_ceiling(14_400.0),
             iats: Empirical::from_quantiles(&[
                 (0.50, 300.0),
                 (0.75, 480.0),
@@ -65,7 +69,8 @@ impl TraceProfile {
                 (0.99, 172_800.0),
             ])
             .expect("static anchors")
-            .with_floor(10.0),
+            .with_floor(10.0)
+            .with_ceiling(518_400.0),
             iats: Empirical::from_quantiles(&[
                 (0.50, 44.0),
                 (0.75, 150.0),
@@ -88,7 +93,8 @@ impl TraceProfile {
                 (0.99, 259_200.0),
             ])
             .expect("static anchors")
-            .with_floor(10.0),
+            .with_floor(10.0)
+            .with_ceiling(777_600.0),
             iats: Empirical::from_quantiles(&[
                 (0.50, 38.0),
                 (0.75, 120.0),
@@ -157,6 +163,12 @@ impl SyntheticConfig {
     }
 }
 
+/// Probability that a user takes a long break after an iteration completes.
+const LONG_BREAK_PROBABILITY: f64 = 0.10;
+/// Long-break bounds in seconds (20 minutes to 2.5 hours).
+const LONG_BREAK_MIN_S: f64 = 1_200.0;
+const LONG_BREAK_MAX_S: f64 = 9_000.0;
+
 fn default_gpu_demand() -> Vec<(u32, f64)> {
     // Most notebooks request 1 GPU; a tail requests a half or full server.
     vec![(1, 0.60), (2, 0.20), (4, 0.12), (8, 0.08)]
@@ -220,6 +232,14 @@ pub fn generate_with_profile(
                 // §2.3.2: users iterate *after* a task completes, so the
                 // next submission follows completion plus think time.
                 t = t + duration + profile.iats.sample(&mut rng);
+                // §2.3.3: sessions spend most of their lifetime idle — on
+                // top of per-iteration think time, users step away for
+                // meals/meetings. Without these gaps every window-filling
+                // session's busy fraction converges to d̄/(d̄ + īat) ≈ 0.4,
+                // well above the published ~31 % p90.
+                if rng.chance(LONG_BREAK_PROBABILITY) {
+                    t += rng.range_f64(LONG_BREAK_MIN_S, LONG_BREAK_MAX_S);
+                }
             }
         }
 
@@ -285,7 +305,11 @@ mod tests {
         let trainings = trace.active_trainings_timeline();
         let mean = trainings.time_mean(0.0, span);
         assert!((7.0..35.0).contains(&mean), "mean trainings {mean}");
-        assert!(trainings.max_value() <= 60.0, "max trainings {}", trainings.max_value());
+        assert!(
+            trainings.max_value() <= 60.0,
+            "max trainings {}",
+            trainings.max_value()
+        );
     }
 
     #[test]

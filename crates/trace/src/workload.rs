@@ -203,7 +203,7 @@ fn build_delta_timeline(name: &str, mut deltas: Vec<(f64, f64)>) -> Timeline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::models::{assign_profile};
+    use crate::models::assign_profile;
     use notebookos_des::SimRng;
 
     fn session(id: u64, start: f64, end: f64, gpus: u32, events: Vec<(f64, f64)>) -> SessionTrace {
@@ -250,7 +250,7 @@ mod tests {
         let t = sample_trace();
         let mut cdf = t.busy_fraction_cdf("busy");
         assert_eq!(cdf.len(), 2); // CPU-only session excluded
-        // Session 1: 150/1000; session 2: 200/600.
+                                  // Session 1: 150/1000; session 2: 200/600.
         assert!((cdf.percentile(0.0) - 0.15).abs() < 1e-9);
         assert!((cdf.percentile(100.0) - 200.0 / 600.0).abs() < 1e-9);
     }

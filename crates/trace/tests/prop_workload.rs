@@ -11,13 +11,15 @@ fn arb_config() -> impl Strategy<Value = SyntheticConfig> {
         (0.0f64..1.0),
         (0.0f64..1.0),
     )
-        .prop_map(|(sessions, span_s, gpu_active, long_lived)| SyntheticConfig {
-            sessions,
-            span_s,
-            gpu_active_fraction: gpu_active,
-            long_lived_fraction: long_lived,
-            gpu_demand: vec![(1, 0.5), (2, 0.3), (4, 0.15), (8, 0.05)],
-        })
+        .prop_map(
+            |(sessions, span_s, gpu_active, long_lived)| SyntheticConfig {
+                sessions,
+                span_s,
+                gpu_active_fraction: gpu_active,
+                long_lived_fraction: long_lived,
+                gpu_demand: vec![(1, 0.5), (2, 0.3), (4, 0.15), (8, 0.05)],
+            },
+        )
 }
 
 proptest! {

@@ -34,7 +34,10 @@ fn main() {
     let trace = generate(&SyntheticConfig::smoke(), 11);
     let expected = trace.total_events();
 
-    let healthy = Platform::run(PlatformConfig::evaluation(PolicyKind::NotebookOs), trace.clone());
+    let healthy = Platform::run(
+        PlatformConfig::evaluation(PolicyKind::NotebookOs),
+        trace.clone(),
+    );
 
     let mut config = PlatformConfig::evaluation(PolicyKind::NotebookOs);
     config.replica_mtbf_hours = Some(0.1); // a replica dies every ~6 minutes

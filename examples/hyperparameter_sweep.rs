@@ -9,9 +9,7 @@
 
 use notebookos::core::{Platform, PlatformConfig, PolicyKind};
 use notebookos::des::SimRng;
-use notebookos::trace::{
-    assign_profile, SessionTrace, TrainingEvent, WorkloadTrace,
-};
+use notebookos::trace::{assign_profile, SessionTrace, TrainingEvent, WorkloadTrace};
 
 /// Builds a sweep session: `trials` trainings of `duration_s` seconds with
 /// `think_s` of editing in between — the §2.2 hyper-parameter-tuning

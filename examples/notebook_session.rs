@@ -10,7 +10,9 @@
 use notebookos::core::ast::analyze_cell;
 use notebookos::datastore::{BackendKind, DataStore};
 use notebookos::des::SimRng;
-use notebookos::jupyter::{merge_replies, wire, JupyterMessage, MsgIdGen, ReplyStatus, SessionManager};
+use notebookos::jupyter::{
+    merge_replies, wire, JupyterMessage, MsgIdGen, ReplyStatus, SessionManager,
+};
 
 fn main() {
     let key = b"notebookos-demo-key";

@@ -34,7 +34,11 @@ fn main() {
     kernel.complete_execution(
         0,
         update.small.clone(),
-        update.large.iter().map(|n| format!("kernel-7/{n}")).collect(),
+        update
+            .large
+            .iter()
+            .map(|n| format!("kernel-7/{n}"))
+            .collect(),
     );
     println!("cell 1: state delta committed on all three replicas");
 

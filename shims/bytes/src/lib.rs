@@ -1,0 +1,218 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! Provides a cheaply clonable, immutable byte buffer with the subset of
+//! the upstream [`Bytes`] API this workspace uses. Static slices are kept
+//! as references (no allocation); owned data is shared behind an `Arc`.
+
+#![forbid(unsafe_code)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable contiguous byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<[u8]>),
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub const fn new() -> Self {
+        Bytes {
+            repr: Repr::Static(&[]),
+        }
+    }
+
+    /// Wraps a static slice without copying.
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            repr: Repr::Static(bytes),
+        }
+    }
+
+    /// Copies a slice into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            repr: Repr::Shared(Arc::from(data)),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Returns a copy of this buffer as a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared(s) => s,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            repr: Repr::Shared(Arc::from(v)),
+        }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Bytes;
+
+    #[test]
+    fn static_and_owned_compare_equal() {
+        let a = Bytes::from_static(b"hello");
+        let b = Bytes::from(b"hello".to_vec());
+        assert_eq!(a, b);
+        assert_eq!(a.as_ref(), b"hello");
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let a = Bytes::from(String::from("payload"));
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.to_vec(), b"payload");
+    }
+
+    #[test]
+    fn empty_default() {
+        assert!(Bytes::default().is_empty());
+        assert_eq!(Bytes::new().len(), 0);
+    }
+
+    #[test]
+    fn debug_escapes() {
+        let b = Bytes::from_static(b"a\"\n");
+        assert_eq!(format!("{b:?}"), "b\"a\\\"\\n\"");
+    }
+}

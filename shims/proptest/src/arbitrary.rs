@@ -1,0 +1,131 @@
+//! The [`Arbitrary`] trait and `any::<T>()`, covering the primitive types
+//! this workspace draws without an explicit strategy.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Returns the canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Full-domain strategy for a primitive; see [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(std::marker::PhantomData)
+    }
+}
+
+impl Strategy for AnyPrimitive<char> {
+    type Value = char;
+
+    fn new_value(&self, rng: &mut TestRng) -> char {
+        crate::string::printable_char(rng)
+    }
+}
+
+impl Arbitrary for char {
+    type Strategy = AnyPrimitive<char>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(std::marker::PhantomData)
+    }
+}
+
+impl Strategy for AnyPrimitive<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range; no NaN/inf, which
+        // matches how the workspace uses float inputs.
+        let mantissa = rng.unit_f64() * 2.0 - 1.0;
+        let exp = (rng.below(61) as i32 - 30) as f64;
+        mantissa * exp.exp2()
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = AnyPrimitive<f64>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(std::marker::PhantomData)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_u64_varies() {
+        let mut rng = TestRng::deterministic("arbitrary", 0);
+        let strat = any::<u64>();
+        let a = strat.new_value(&mut rng);
+        let b = strat.new_value(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn any_bool_hits_both() {
+        let mut rng = TestRng::deterministic("arbitrary", 1);
+        let strat = any::<bool>();
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[strat.new_value(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+
+    #[test]
+    fn any_f64_finite() {
+        let mut rng = TestRng::deterministic("arbitrary", 2);
+        let strat = any::<f64>();
+        for _ in 0..1000 {
+            assert!(strat.new_value(&mut rng).is_finite());
+        }
+    }
+}

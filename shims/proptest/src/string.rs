@@ -1,0 +1,336 @@
+//! String strategies from regex-like patterns.
+//!
+//! Supports the pattern subset the workspace uses: literal characters,
+//! escapes (`\n`, `\t`, `\\`, ...), `.` and `\PC` (any printable
+//! character), character classes with ranges (`[a-zA-Z0-9_-]`,
+//! `[ -~\n\t]`), and the quantifiers `{n}`, `{m,n}`, `*`, `+`, `?`.
+
+use std::fmt;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Error from parsing an unsupported or malformed pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid string pattern: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// How one pattern atom generates a character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CharGen {
+    /// Any printable character (`.` / `\PC`): mostly ASCII with a sprinkle
+    /// of multi-byte code points to exercise UTF-8 paths.
+    Printable,
+    /// A set of inclusive character ranges; singletons are `(c, c)`.
+    Class(Vec<(char, char)>),
+}
+
+impl CharGen {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharGen::Printable => printable_char(rng),
+            CharGen::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| u64::from(hi as u32 - lo as u32 + 1))
+                    .sum();
+                let mut ticket = rng.below(total);
+                for &(lo, hi) in ranges {
+                    let span = u64::from(hi as u32 - lo as u32 + 1);
+                    if ticket < span {
+                        return char::from_u32(lo as u32 + ticket as u32)
+                            .expect("class ranges avoid surrogates");
+                    }
+                    ticket -= span;
+                }
+                unreachable!("ticket within class size")
+            }
+        }
+    }
+}
+
+/// Samples a printable character: mostly ASCII, with occasional Latin-1,
+/// Greek, CJK, and emoji code points.
+pub(crate) fn printable_char(rng: &mut TestRng) -> char {
+    match rng.below(16) {
+        0 => char::from_u32(0x00C0 + rng.below(0x17) as u32).expect("Latin-1 letters"),
+        1 => char::from_u32(0x03B1 + rng.below(25) as u32).expect("Greek lowercase"),
+        2 => char::from_u32(0x4E00 + rng.below(0x100) as u32).expect("CJK ideographs"),
+        3 => char::from_u32(0x1F600 + rng.below(0x30) as u32).expect("emoji block"),
+        _ => char::from_u32(0x20 + rng.below(0x5F) as u32).expect("printable ASCII"),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Atom {
+    gen: CharGen,
+    min: usize,
+    max: usize,
+}
+
+/// A strategy generating strings matching a parsed pattern.
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    atoms: Vec<Atom>,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let count = rng.usize_between(atom.min, atom.max);
+            for _ in 0..count {
+                out.push(atom.gen.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+/// Parses `pattern` into a string strategy.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the pattern uses syntax outside the supported
+/// subset (alternation, groups, anchors, negated classes, ...).
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let gen = match c {
+            '\\' => match chars.next() {
+                Some('P') => match chars.next() {
+                    Some('C') => CharGen::Printable,
+                    other => {
+                        return Err(Error(format!("unsupported \\P class: {other:?}")));
+                    }
+                },
+                Some(esc) => CharGen::Class(vec![single(unescape(esc))]),
+                None => return Err(Error("trailing backslash".into())),
+            },
+            '[' => parse_class(&mut chars)?,
+            '.' => CharGen::Printable,
+            '(' | ')' | '|' | '^' | '$' | '*' | '+' | '?' | '{' | '}' => {
+                return Err(Error(format!("unsupported metacharacter: {c:?}")));
+            }
+            literal => CharGen::Class(vec![single(literal)]),
+        };
+        let (min, max) = parse_quantifier(&mut chars)?;
+        atoms.push(Atom { gen, min, max });
+    }
+    Ok(RegexGeneratorStrategy { atoms })
+}
+
+fn single(c: char) -> (char, char) {
+    (c, c)
+}
+
+fn unescape(esc: char) -> char {
+    match esc {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<CharGen, Error> {
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    if chars.peek() == Some(&'^') {
+        return Err(Error("negated classes are unsupported".into()));
+    }
+    loop {
+        let c = match chars.next() {
+            None => return Err(Error("unterminated character class".into())),
+            Some(']') => break,
+            Some('\\') => match chars.next() {
+                None => return Err(Error("trailing backslash in class".into())),
+                Some(esc) => unescape(esc),
+            },
+            Some(other) => other,
+        };
+        // `c-d` is a range unless `-` is the last char before `]`.
+        if chars.peek() == Some(&'-') {
+            let mut ahead = chars.clone();
+            ahead.next();
+            match ahead.peek() {
+                Some(&']') | None => ranges.push(single(c)),
+                Some(_) => {
+                    chars.next();
+                    let end = match chars.next() {
+                        Some('\\') => chars
+                            .next()
+                            .map(unescape)
+                            .ok_or_else(|| Error("trailing backslash in class".into()))?,
+                        Some(d) => d,
+                        None => return Err(Error("unterminated range".into())),
+                    };
+                    if end < c {
+                        return Err(Error(format!("inverted range {c:?}-{end:?}")));
+                    }
+                    ranges.push((c, end));
+                }
+            }
+        } else {
+            ranges.push(single(c));
+        }
+    }
+    if ranges.is_empty() {
+        return Err(Error("empty character class".into()));
+    }
+    Ok(CharGen::Class(ranges))
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<(usize, usize), Error> {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    let parse = |s: &str| {
+                        s.parse::<usize>()
+                            .map_err(|_| Error(format!("bad repetition count {s:?}")))
+                    };
+                    return match body.split_once(',') {
+                        Some((lo, hi)) => {
+                            let (lo, hi) = (parse(lo)?, parse(hi)?);
+                            if hi < lo {
+                                return Err(Error(format!("inverted repetition {body:?}")));
+                            }
+                            Ok((lo, hi))
+                        }
+                        None => {
+                            let n = parse(&body)?;
+                            Ok((n, n))
+                        }
+                    };
+                }
+                body.push(c);
+            }
+            Err(Error("unterminated repetition".into()))
+        }
+        Some('*') => {
+            chars.next();
+            Ok((0, 8))
+        }
+        Some('+') => {
+            chars.next();
+            Ok((1, 8))
+        }
+        Some('?') => {
+            chars.next();
+            Ok((0, 1))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+/// String literals act as pattern strategies, as in upstream proptest.
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        string_regex(self)
+            .unwrap_or_else(|e| panic!("invalid pattern strategy {self:?}: {e}"))
+            .new_value(rng)
+    }
+}
+
+/// Owned strings act as pattern strategies too.
+impl Strategy for String {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        self.as_str().new_value(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string-tests", 0)
+    }
+
+    #[test]
+    fn class_with_ranges_and_literal_dash() {
+        let strat = string_regex("[a-z0-9-]{1,20}").unwrap();
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = strat.new_value(&mut rng);
+            assert!((1..=20).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range_with_escapes() {
+        let strat = string_regex("[ -~\n\t]{0,200}").unwrap();
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = strat.new_value(&mut rng);
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+        }
+    }
+
+    #[test]
+    fn concatenated_atoms() {
+        let strat = string_regex("[a-zA-Z_][a-zA-Z0-9_]{0,8}").unwrap();
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = strat.new_value(&mut rng);
+            let mut cs = s.chars();
+            let first = cs.next().expect("at least one char");
+            assert!(first.is_ascii_alphabetic() || first == '_');
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || c == '_'));
+            assert!(s.chars().count() <= 9);
+        }
+    }
+
+    #[test]
+    fn printable_pattern_lengths() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = Strategy::new_value(&"\\PC{0,24}", &mut rng);
+            assert!(s.chars().count() <= 24);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn exact_repetition_and_shorthand_quantifiers() {
+        let mut rng = rng();
+        assert_eq!(Strategy::new_value(&"[ab]{3}", &mut rng).len(), 3);
+        assert!(Strategy::new_value(&"x?", &mut rng).len() <= 1);
+        assert!(!Strategy::new_value(&"y+", &mut rng).is_empty());
+    }
+
+    #[test]
+    fn unsupported_syntax_is_rejected() {
+        assert!(string_regex("(group)").is_err());
+        assert!(string_regex("[^a]").is_err());
+        assert!(string_regex("a|b").is_err());
+        assert!(string_regex("[z-a]").is_err());
+        assert!(string_regex("[a").is_err());
+    }
+}

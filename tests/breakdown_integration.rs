@@ -61,10 +61,17 @@ fn only_notebookos_runs_the_election_step() {
     // Fig. 15: step 6 "only occurs while using NotebookOS".
     let nbos = run(PolicyKind::NotebookOs);
     assert!(
-        nbos.breakdown.step_cdf(Step::PrimaryReplicaProtocol).len() > 0,
+        !nbos
+            .breakdown
+            .step_cdf(Step::PrimaryReplicaProtocol)
+            .is_empty(),
         "NotebookOS records the election step"
     );
-    for policy in [PolicyKind::Reservation, PolicyKind::Batch, PolicyKind::NotebookOsLcp] {
+    for policy in [
+        PolicyKind::Reservation,
+        PolicyKind::Batch,
+        PolicyKind::NotebookOsLcp,
+    ] {
         let m = run(policy);
         assert_eq!(
             m.breakdown.step_cdf(Step::PrimaryReplicaProtocol).len(),

@@ -51,8 +51,16 @@ fn interactivity_ordering_matches_fig9a() {
     let mut batch = run(PolicyKind::Batch, &trace);
 
     let p50 = |m: &mut notebookos::core::RunMetrics| m.interactivity_ms.percentile(50.0);
-    let (r, n, l, b) = (p50(&mut res), p50(&mut nbos), p50(&mut lcp), p50(&mut batch));
-    assert!(n < 4.0 * r + 500.0, "NotebookOS ({n} ms) ~ Reservation ({r} ms)");
+    let (r, n, l, b) = (
+        p50(&mut res),
+        p50(&mut nbos),
+        p50(&mut lcp),
+        p50(&mut batch),
+    );
+    assert!(
+        n < 4.0 * r + 500.0,
+        "NotebookOS ({n} ms) ~ Reservation ({r} ms)"
+    );
     assert!(l > 3.0 * n, "LCP ({l} ms) well above NotebookOS ({n} ms)");
     assert!(b > 2.0 * l, "Batch ({b} ms) well above LCP ({l} ms)");
     assert!(b > 10_000.0, "Batch pays cold starts: {b} ms");
@@ -72,7 +80,10 @@ fn tct_ordering_matches_fig9b() {
         (nbos50 - res50).abs() / res50 < 0.25,
         "NotebookOS TCT {nbos50} within 25% of Reservation {res50}"
     );
-    assert!(batch50 > nbos50, "Batch TCT {batch50} > NotebookOS {nbos50}");
+    assert!(
+        batch50 > nbos50,
+        "Batch TCT {batch50} > NotebookOS {nbos50}"
+    );
 }
 
 #[test]

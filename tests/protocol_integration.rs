@@ -3,7 +3,9 @@
 //! working together — the paper's Fig. 5/Fig. 6 flows.
 
 use notebookos::core::ast::analyze_cell;
-use notebookos::core::{ElectionOutcome, ElectionTracker, KernelCommand, KernelProtocolHarness, Proposal};
+use notebookos::core::{
+    ElectionOutcome, ElectionTracker, KernelCommand, KernelProtocolHarness, Proposal,
+};
 use notebookos::datastore::{BackendKind, DataStore};
 use notebookos::des::SimRng;
 use notebookos::jupyter::{merge_replies, wire, JupyterMessage, ReplyStatus};
@@ -73,9 +75,7 @@ fn migration_via_membership_change_preserves_log() {
     let leader = net.leader().expect("leader persists");
     net.propose(leader, "z = 3".to_string()).unwrap();
     net.run_micros(1_000_000);
-    assert!(net
-        .applied_by(4)
-        .contains(&"z = 3".to_string()));
+    assert!(net.applied_by(4).contains(&"z = 3".to_string()));
 }
 
 #[test]
@@ -84,12 +84,33 @@ fn election_tracker_is_replica_order_independent_once_committed() {
     // replica's tracker must agree. Feed the same committed sequence to
     // three trackers and compare.
     let committed = vec![
-        KernelCommand::Yield { election: 0, replica: 0 },
-        KernelCommand::Lead { election: 0, replica: 1 },
-        KernelCommand::Lead { election: 0, replica: 2 },
-        KernelCommand::Vote { election: 0, winner: 1, voter: 0 },
-        KernelCommand::Vote { election: 0, winner: 1, voter: 1 },
-        KernelCommand::Vote { election: 0, winner: 1, voter: 2 },
+        KernelCommand::Yield {
+            election: 0,
+            replica: 0,
+        },
+        KernelCommand::Lead {
+            election: 0,
+            replica: 1,
+        },
+        KernelCommand::Lead {
+            election: 0,
+            replica: 2,
+        },
+        KernelCommand::Vote {
+            election: 0,
+            winner: 1,
+            voter: 0,
+        },
+        KernelCommand::Vote {
+            election: 0,
+            winner: 1,
+            voter: 1,
+        },
+        KernelCommand::Vote {
+            election: 0,
+            winner: 1,
+            voter: 2,
+        },
         KernelCommand::Done { election: 0 },
     ];
     let mut outcomes = Vec::new();
@@ -126,7 +147,8 @@ fn repeated_elections_under_message_drops() {
 #[test]
 fn wire_protocol_rejects_cross_kernel_tampering() {
     let key = b"k";
-    let request = JupyterMessage::execute_request("m1", "sess", "x=1", 0).with_destination("kernel-a");
+    let request =
+        JupyterMessage::execute_request("m1", "sess", "x=1", 0).with_destination("kernel-a");
     let mut frames = wire::encode(&[], &request, key);
     // Retarget the metadata frame at another kernel.
     let idx = frames.len() - 2;
