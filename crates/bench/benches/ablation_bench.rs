@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use notebookos_core::{Platform, PlatformConfig, PolicyKind};
-use notebookos_trace::{generate, SyntheticConfig, WorkloadTrace};
+use notebookos_trace::{generate, ArrivalPattern, SyntheticConfig, WorkloadTrace};
 
 fn ablation_trace() -> WorkloadTrace {
     let config = SyntheticConfig {
@@ -17,6 +17,7 @@ fn ablation_trace() -> WorkloadTrace {
         gpu_active_fraction: 0.6,
         long_lived_fraction: 0.95,
         gpu_demand: vec![(1, 0.5), (2, 0.3), (4, 0.2)],
+        arrival: ArrivalPattern::FrontLoaded,
     };
     generate(&config, 7)
 }

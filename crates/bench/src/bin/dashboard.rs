@@ -1,52 +1,31 @@
 //! A text analogue of the NotebookOS administrative dashboard (§5.1.2,
-//! artifact [77]): runs the 17.5-hour evaluation workload under one policy
-//! and prints the full run report.
+//! artifact [77]): replays the 17.5-hour evaluation workload through the
+//! sweep engine and prints the full run report.
 //!
 //! ```text
 //! cargo run --release -p notebookos-bench --bin dashboard [policy] [seed]
 //! ```
 //!
-//! `policy` ∈ {reservation, batch, notebookos, lcp} (default: notebookos).
+//! `policy` ∈ {reservation, batch, notebookos, lcp, all} (default:
+//! notebookos). `all` runs the whole comparison set in parallel on the
+//! worker pool and appends a cross-policy summary.
 
-use notebookos_bench::{excerpt_trace, EVAL_SEED};
-use notebookos_core::{Platform, PlatformConfig, PolicyKind};
+use notebookos_bench::EVAL_SEED;
+use notebookos_core::sweep::{self, Scenario, SweepJob};
+use notebookos_core::{PlatformConfig, PolicyKind, RunMetrics};
 use notebookos_metrics::Table;
-use notebookos_trace::{generate, SyntheticConfig};
 
-fn parse_policy(arg: Option<&str>) -> PolicyKind {
+fn parse_policies(arg: Option<&str>) -> Vec<PolicyKind> {
     match arg.unwrap_or("notebookos") {
-        "reservation" => PolicyKind::Reservation,
-        "batch" => PolicyKind::Batch,
-        "lcp" => PolicyKind::NotebookOsLcp,
-        _ => PolicyKind::NotebookOs,
+        "reservation" => vec![PolicyKind::Reservation],
+        "batch" => vec![PolicyKind::Batch],
+        "lcp" => vec![PolicyKind::NotebookOsLcp],
+        "all" => PolicyKind::ALL.to_vec(),
+        _ => vec![PolicyKind::NotebookOs],
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let policy = parse_policy(args.get(1).map(String::as_str));
-    let seed: u64 = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(EVAL_SEED);
-
-    let trace = if seed == EVAL_SEED {
-        excerpt_trace()
-    } else {
-        generate(&SyntheticConfig::excerpt_17_5h(), seed)
-    };
-    let span = trace.span_s();
-    println!(
-        "workload: {} sessions, {} events, {:.1} h (seed {seed})",
-        trace.sessions.len(),
-        trace.total_events(),
-        span / 3600.0
-    );
-
-    let mut config = PlatformConfig::evaluation(policy);
-    config.seed = seed;
-    let m = Platform::run(config, trace);
-
+fn print_run(policy: PolicyKind, m: &RunMetrics, span: f64) {
     let mut events = Table::new(format!("{policy} — scheduler events"), &["event", "count"]);
     let c = m.counters;
     events.row_owned(vec![
@@ -66,6 +45,10 @@ fn main() {
     events.row_owned(vec![
         "cold starts / warm hits".into(),
         format!("{} / {}", c.cold_starts, c.warm_hits),
+    ]);
+    events.row_owned(vec![
+        "pre-warms discarded at scale-in".into(),
+        c.prewarms_discarded.to_string(),
     ]);
     events.row_owned(vec![
         "immediate GPU commits".into(),
@@ -139,4 +122,65 @@ fn main() {
         }
     }
     println!("{resources}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let policies = parse_policies(args.get(1).map(String::as_str));
+    let seed: u64 = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(EVAL_SEED);
+
+    // Generate the workload once and share it across every policy's job.
+    let trace = std::sync::Arc::new(Scenario::excerpt().trace(seed));
+    let span = trace.span_s();
+    println!(
+        "workload: {} sessions, {} events, {:.1} h (seed {seed})",
+        trace.sessions.len(),
+        trace.total_events(),
+        span / 3600.0
+    );
+
+    let jobs: Vec<SweepJob> = policies
+        .iter()
+        .map(|&p| {
+            SweepJob::new(
+                p,
+                seed,
+                PlatformConfig::evaluation(p),
+                std::sync::Arc::clone(&trace),
+            )
+        })
+        .collect();
+    let runs: Vec<(PolicyKind, RunMetrics)> = policies
+        .iter()
+        .copied()
+        .zip(sweep::run_jobs(jobs, 0))
+        .collect();
+
+    for (policy, metrics) in &runs {
+        print_run(*policy, metrics, span);
+    }
+
+    if runs.len() > 1 {
+        let mut summary = Table::new(
+            "cross-policy summary",
+            &["policy", "delay p50 (ms)", "GPU-hours", "executions"],
+        );
+        for (policy, metrics) in &runs {
+            let mut delay = metrics.interactivity_ms.clone();
+            summary.row_owned(vec![
+                policy.to_string(),
+                if delay.is_empty() {
+                    "-".into()
+                } else {
+                    format!("{:.1}", delay.percentile(50.0))
+                },
+                format!("{:.1}", metrics.provisioned_gpu_hours()),
+                metrics.counters.executions.to_string(),
+            ]);
+        }
+        println!("{summary}");
+    }
 }

@@ -1,8 +1,9 @@
 //! Fig. 12 — provider cost, revenue, and profit margin over the 90-day
 //! simulation window: NotebookOS vs Reservation (§5.5.1).
 
-use notebookos_bench::{run_policy, summer_trace};
-use notebookos_core::PolicyKind;
+use notebookos_bench::{summer_trace, EVAL_SEED};
+use notebookos_core::sweep::{self, SweepJob};
+use notebookos_core::{PlatformConfig, PolicyKind};
 use notebookos_metrics::Table;
 
 fn sample_at(samples: &[(f64, f64, f64)], t: f64) -> (f64, f64) {
@@ -18,9 +19,19 @@ fn sample_at(samples: &[(f64, f64, f64)], t: f64) -> (f64, f64) {
 }
 
 fn main() {
-    let trace = summer_trace();
-    let reservation = run_policy(PolicyKind::Reservation, &trace);
-    let nbos = run_policy(PolicyKind::NotebookOs, &trace);
+    let trace = std::sync::Arc::new(summer_trace());
+    // Both 90-day simulations run concurrently on the sweep engine's pool.
+    let jobs = [PolicyKind::Reservation, PolicyKind::NotebookOs].map(|p| {
+        SweepJob::new(
+            p,
+            EVAL_SEED,
+            PlatformConfig::evaluation(p),
+            std::sync::Arc::clone(&trace),
+        )
+    });
+    let mut results = sweep::run_jobs(jobs.to_vec(), 0).into_iter();
+    let reservation = results.next().expect("reservation run");
+    let nbos = results.next().expect("notebookos run");
 
     let mut table = Table::new(
         "Fig 12(a) — provider cost and revenue, millions of USD",

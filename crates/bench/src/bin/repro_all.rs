@@ -1,16 +1,25 @@
-//! Runs every table/figure regenerator in sequence — the one-shot
-//! reproduction of the paper's evaluation section.
+//! Runs every table/figure regenerator — the one-shot reproduction of the
+//! paper's evaluation section — fanned out over the sweep engine's worker
+//! pool instead of the old one-at-a-time loop.
 //!
 //! ```text
 //! cargo run --release -p notebookos-bench --bin repro_all
 //! cargo run --release -p notebookos-bench --bin repro_all -- --smoke
+//! cargo run --release -p notebookos-bench --bin repro_all -- --workers 2
 //! ```
 //!
+//! Each regenerator runs as a child process with captured output; sections
+//! are printed in the canonical artifact order however the pool finishes
+//! them, so the transcript is deterministic. `--workers N` sizes the pool
+//! (default: `NOTEBOOKOS_SWEEP_WORKERS` or the machine's cores).
 //! `--smoke` skips the long-running regenerators (`fig12` and `fig14`,
 //! which sweep multi-policy 90-day simulations) so CI can exercise the
-//! whole pipeline in about a second.
+//! whole pipeline quickly.
 
 use std::process::Command;
+use std::time::Instant;
+
+use notebookos_core::sweep;
 
 const ALL: &[&str] = &[
     "table1", "fig02", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
@@ -20,34 +29,112 @@ const ALL: &[&str] = &[
 /// Regenerators skipped under `--smoke`.
 const SLOW: &[&str] = &["fig12", "fig14"];
 
+struct BinOutput {
+    bin: &'static str,
+    stdout: Vec<u8>,
+    stderr: Vec<u8>,
+    success: bool,
+}
+
 fn main() {
     let mut smoke = false;
-    for arg in std::env::args().skip(1) {
+    let mut workers = 0usize; // 0 = sweep::default_workers()
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--workers takes a positive integer");
+                        std::process::exit(2);
+                    });
+            }
             other => {
-                eprintln!("unknown argument {other:?}; usage: repro_all [--smoke]");
+                eprintln!("unknown argument {other:?}; usage: repro_all [--smoke] [--workers N]");
                 std::process::exit(2);
             }
         }
     }
 
     let me = std::env::current_exe().expect("current exe path");
-    let dir = me.parent().expect("bin directory");
+    let dir = me.parent().expect("bin directory").to_path_buf();
+    let bins: Vec<&'static str> = ALL
+        .iter()
+        .copied()
+        .filter(|bin| !(smoke && SLOW.contains(bin)))
+        .collect();
+
+    let started = Instant::now();
+    let total = bins.len();
+    // `--workers N` is the overall concurrency budget (default: the
+    // machine's cores). Children also parallelize internally
+    // (run_all_policies), so the budget is divided between the process
+    // pool and each child's thread pool: concurrent children × threads
+    // per child never exceeds the budget.
+    let budget = if workers == 0 {
+        sweep::default_workers()
+    } else {
+        workers
+    };
+    let pool_workers = budget.min(total).max(1);
+    let child_workers = (budget / pool_workers).max(1);
+    eprintln!("repro_all: {total} artifacts on {pool_workers} workers ({child_workers} per child)");
+    let outputs = sweep::parallel_map_indexed(
+        bins,
+        workers,
+        |_, bin| {
+            let path = dir.join(bin);
+            let out = Command::new(&path)
+                .env("NOTEBOOKOS_SWEEP_WORKERS", child_workers.to_string())
+                .output()
+                .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+            BinOutput {
+                bin,
+                stdout: out.stdout,
+                stderr: out.stderr,
+                success: out.status.success(),
+            }
+        },
+        |_, out: &BinOutput| {
+            eprintln!(
+                "  [{:6.1}s] {} {}",
+                started.elapsed().as_secs_f64(),
+                out.bin,
+                if out.success { "done" } else { "FAILED" }
+            );
+        },
+    );
+
+    // Canonical-order transcript, independent of completion order.
+    let mut failed = false;
     for &bin in ALL {
         if smoke && SLOW.contains(&bin) {
             println!("\n################ {bin} (skipped in --smoke) ################");
             continue;
         }
         println!("\n################ {bin} ################\n");
-        let path = dir.join(bin);
-        let status = Command::new(&path)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
-        if !status.success() {
-            eprintln!("{bin} exited with {status}");
-            std::process::exit(1);
+        let out = outputs
+            .iter()
+            .find(|o| o.bin == bin)
+            .expect("every bin ran");
+        print!("{}", String::from_utf8_lossy(&out.stdout));
+        if !out.success {
+            eprintln!("{bin} failed:\n{}", String::from_utf8_lossy(&out.stderr));
+            failed = true;
         }
     }
+    if failed {
+        std::process::exit(1);
+    }
+    // Timing goes to stderr so the stdout transcript is bit-identical
+    // whatever the worker count.
     println!("\nAll evaluation artifacts regenerated.");
+    eprintln!(
+        "repro_all: finished in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
 }

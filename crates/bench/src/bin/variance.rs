@@ -1,22 +1,18 @@
 //! Multi-seed variance study: §A.6 notes that re-running the workload
 //! yields "approximately the same results, with small differences resulting
 //! from scheduling decisions and other random factors". This binary
-//! quantifies that: it runs the 17.5-hour excerpt under NotebookOS across
-//! several seeds and reports mean ± stddev of the headline metrics.
+//! quantifies that through the sweep engine: the 17.5-hour excerpt runs
+//! under NotebookOS across several seeds in parallel and the report's
+//! aggregates give mean, stddev, CV, and a 95 % confidence interval for
+//! the headline metrics.
 //!
 //! ```text
 //! cargo run --release -p notebookos-bench --bin variance [n_seeds]
 //! ```
 
-use notebookos_core::{Platform, PlatformConfig, PolicyKind};
-use notebookos_metrics::Table;
-use notebookos_trace::{generate, SyntheticConfig};
-
-fn mean_std(values: &[f64]) -> (f64, f64) {
-    let mean = values.iter().sum::<f64>() / values.len() as f64;
-    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
-    (mean, var.sqrt())
-}
+use notebookos_core::sweep::{Scenario, SweepSpec};
+use notebookos_core::PolicyKind;
+use notebookos_metrics::{MeanCi, Table};
 
 fn main() {
     let n: u64 = std::env::args()
@@ -24,44 +20,33 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(5);
 
-    let mut saved = Vec::new();
-    let mut delay_p50 = Vec::new();
-    let mut immediate = Vec::new();
-    let mut migrations = Vec::new();
-    for seed in 0..n {
-        let trace = generate(&SyntheticConfig::excerpt_17_5h(), 3000 + seed);
-        let mut config = PlatformConfig::evaluation(PolicyKind::NotebookOs);
-        config.seed = 3000 + seed;
-        let mut m = Platform::run(config, trace);
-        saved.push(m.gpu_hours_saved_vs_reservation());
-        delay_p50.push(m.interactivity_ms.percentile(50.0));
-        immediate.push(m.counters.immediate_commit_rate() * 100.0);
-        migrations.push(m.counters.migrations as f64);
-    }
+    let scenario = Scenario::excerpt();
+    let report = SweepSpec::new()
+        .policies(vec![PolicyKind::NotebookOs])
+        .seeds((0..n).map(|seed| 3000 + seed).collect())
+        .scenarios(vec![scenario.clone()])
+        .run();
+    let agg = report
+        .aggregate(&scenario.name, PolicyKind::NotebookOs)
+        .expect("sweep produced runs");
 
     let mut table = Table::new(
         format!("NotebookOS across {n} seeds (17.5 h excerpt)"),
-        &["metric", "mean", "stddev", "cv %"],
+        &["metric", "mean", "stddev", "cv %", "95% CI"],
     );
-    for (name, values) in [
-        ("GPU-hours saved vs Reservation", &saved),
-        ("interactivity p50 (ms)", &delay_p50),
-        ("immediate commit rate (%)", &immediate),
-        ("migrations", &migrations),
-    ] {
-        let (mean, std) = mean_std(values);
+    let rows: [(&str, MeanCi); 4] = [
+        ("GPU-hours saved vs Reservation", agg.gpu_hours_saved),
+        ("interactivity p50 (ms)", agg.interactivity_p50_ms),
+        ("immediate commit rate (%)", agg.immediate_commit_pct),
+        ("migrations", agg.migrations),
+    ];
+    for (name, stat) in rows {
         table.row_owned(vec![
             name.to_string(),
-            format!("{mean:.2}"),
-            format!("{std:.2}"),
-            format!(
-                "{:.1}",
-                if mean.abs() > 1e-9 {
-                    std / mean.abs() * 100.0
-                } else {
-                    0.0
-                }
-            ),
+            format!("{:.2}", stat.mean),
+            format!("{:.2}", stat.stddev),
+            format!("{:.1}", stat.cv_percent()),
+            format!("[{:.2}, {:.2}]", stat.lo(), stat.hi()),
         ]);
     }
     println!("{table}");

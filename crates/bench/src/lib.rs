@@ -7,13 +7,14 @@
 //! cargo run --release -p notebookos-bench --bin fig08
 //! ```
 //!
-//! `repro_all` runs every artifact in sequence. The Criterion benches
-//! (`cargo bench`) measure protocol and scheduling hot paths plus the
-//! DESIGN.md ablations.
+//! `repro_all` regenerates every artifact, fanning the regenerators out on
+//! the sweep engine's worker pool. The Criterion benches (`cargo bench`)
+//! measure protocol and scheduling hot paths plus the DESIGN.md ablations.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use notebookos_core::sweep::{self, SweepJob};
 use notebookos_core::{Platform, PlatformConfig, PolicyKind, RunMetrics};
 use notebookos_trace::{generate, SyntheticConfig, WorkloadTrace};
 
@@ -38,12 +39,24 @@ pub fn run_policy(policy: PolicyKind, trace: &WorkloadTrace) -> RunMetrics {
 }
 
 /// Runs all four policies over a trace (Reservation, Batch, NotebookOS,
-/// LCP — the paper's comparison set).
+/// LCP — the paper's comparison set) in parallel on the sweep engine's
+/// worker pool. Per-policy results are identical to sequential
+/// [`run_policy`] calls; only wall-clock changes.
 pub fn run_all_policies(trace: &WorkloadTrace) -> Vec<(PolicyKind, RunMetrics)> {
-    PolicyKind::ALL
+    let shared = std::sync::Arc::new(trace.clone());
+    let jobs: Vec<SweepJob> = PolicyKind::ALL
         .iter()
-        .map(|&p| (p, run_policy(p, trace)))
-        .collect()
+        .map(|&p| {
+            SweepJob::new(
+                p,
+                EVAL_SEED,
+                PlatformConfig::evaluation(p),
+                std::sync::Arc::clone(&shared),
+            )
+        })
+        .collect();
+    let metrics = sweep::run_jobs(jobs, 0);
+    PolicyKind::ALL.into_iter().zip(metrics).collect()
 }
 
 /// Formats a float for table cells.
@@ -72,5 +85,17 @@ mod tests {
         let trace = generate(&SyntheticConfig::smoke(), EVAL_SEED);
         let m = run_policy(PolicyKind::NotebookOs, &trace);
         assert!(m.counters.executions > 0);
+    }
+
+    #[test]
+    fn parallel_policy_sweep_matches_sequential() {
+        let trace = generate(&SyntheticConfig::smoke(), EVAL_SEED);
+        for (policy, parallel) in run_all_policies(&trace) {
+            assert_eq!(
+                parallel,
+                run_policy(policy, &trace),
+                "{policy}: sweep-produced metrics must be bit-identical"
+            );
+        }
     }
 }

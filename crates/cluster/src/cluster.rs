@@ -4,6 +4,41 @@
 use crate::host::{Host, HostId};
 use crate::resources::{ResourceBundle, ResourceRequest};
 
+/// Placement candidates screened by one shared viability rule (capacity
+/// covers the request, host not draining), split by the dynamic SR cap
+/// (§3.4.1). The cap is a *preference*: `over_cap` hosts are still usable
+/// as a last resort — "the server is rejected in favor of another" — so
+/// every placement policy ranks `within_cap` hosts ahead of `over_cap`
+/// hosts and orders *within* each segment by its own criterion.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Viability {
+    /// Hosts whose post-placement SR stays at or below the cap, ascending
+    /// by host id.
+    pub within_cap: Vec<HostId>,
+    /// Hosts the SR cap forbids (usable only when nothing better exists),
+    /// ascending by host id.
+    pub over_cap: Vec<HostId>,
+}
+
+impl Viability {
+    /// Total viable hosts across both segments.
+    pub fn len(&self) -> usize {
+        self.within_cap.len() + self.over_cap.len()
+    }
+
+    /// Whether no host is viable at all.
+    pub fn is_empty(&self) -> bool {
+        self.within_cap.is_empty() && self.over_cap.is_empty()
+    }
+
+    /// All viable hosts, preferred segment first.
+    pub fn into_ranked(self) -> Vec<HostId> {
+        let mut out = self.within_cap;
+        out.extend(self.over_cap);
+        out
+    }
+}
+
 /// The fleet of GPU servers.
 #[derive(Debug, Clone, Default)]
 pub struct Cluster {
@@ -22,6 +57,19 @@ impl Cluster {
         let mut c = Cluster::new();
         for _ in 0..n {
             c.add_host(capacity);
+        }
+        c
+    }
+
+    /// Creates a heterogeneous cluster from `(shape, count)` pairs, in
+    /// order — e.g. a fleet mixing 8-GPU trainers with smaller 4-GPU
+    /// inference boxes. Host ids are assigned in pair order.
+    pub fn with_host_mix(mix: &[(ResourceBundle, u32)]) -> Self {
+        let mut c = Cluster::new();
+        for &(shape, count) in mix {
+            for _ in 0..count {
+                c.add_host(shape);
+            }
         }
         c
     }
@@ -117,31 +165,65 @@ impl Cluster {
         replication_factor: u32,
         sr_cap: f64,
     ) -> Vec<HostId> {
+        let viable = self.viable_hosts(request, replication_factor, sr_cap);
+        // Decorate each segment with its sort key via a one-pass index
+        // (linear host lookups inside the sort would be quadratic).
+        let by_id: std::collections::HashMap<HostId, &Host> =
+            self.hosts.iter().map(|h| (h.id(), h)).collect();
+        let least_loaded_first = |ids: Vec<HostId>| {
+            let mut keyed: Vec<(u32, f64, HostId)> = ids
+                .into_iter()
+                .map(|id| {
+                    let h = by_id[&id];
+                    (h.idle_gpus(), h.subscription_ratio(replication_factor), id)
+                })
+                .collect();
+            keyed.sort_by(|a, b| {
+                b.0.cmp(&a.0)
+                    .then(a.1.partial_cmp(&b.1).expect("SR is finite"))
+                    .then(a.2.cmp(&b.2))
+            });
+            keyed.into_iter().map(|(_, _, id)| id)
+        };
+        let Viability {
+            within_cap,
+            over_cap,
+        } = viable;
+        let mut out: Vec<HostId> = least_loaded_first(within_cap).collect();
+        out.extend(least_loaded_first(over_cap));
+        out
+    }
+
+    /// The single viability rule every placement policy shares: hosts whose
+    /// *capacity* covers the request and that are not draining, split into
+    /// those the SR cap allows and those it forbids (§3.4.1). CPU-only
+    /// requests never count against the cap. Segments are ascending by
+    /// host id; policies order within them.
+    pub fn viable_hosts(
+        &self,
+        request: &ResourceRequest,
+        replication_factor: u32,
+        sr_cap: f64,
+    ) -> Viability {
         let post_sr = |h: &Host| {
             (h.subscribed_gpus() + u64::from(request.gpus)) as f64
                 / (u64::from(h.capacity().gpus.max(1)) * u64::from(replication_factor.max(1)))
                     as f64
         };
-        let mut candidates: Vec<&Host> = self
-            .hosts
-            .iter()
-            .filter(|h| !h.is_draining())
-            .filter(|h| h.capacity().covers(&ResourceBundle::from_request(request)))
-            .collect();
-        candidates.sort_by(|a, b| {
-            let a_over = request.gpus > 0 && post_sr(a) > sr_cap;
-            let b_over = request.gpus > 0 && post_sr(b) > sr_cap;
-            a_over
-                .cmp(&b_over)
-                .then(b.idle_gpus().cmp(&a.idle_gpus()))
-                .then(
-                    a.subscription_ratio(replication_factor)
-                        .partial_cmp(&b.subscription_ratio(replication_factor))
-                        .expect("SR is finite"),
-                )
-                .then(a.id().cmp(&b.id()))
-        });
-        candidates.into_iter().map(Host::id).collect()
+        let mut viable = Viability::default();
+        for h in &self.hosts {
+            if h.is_draining() || !h.capacity().covers(&ResourceBundle::from_request(request)) {
+                continue;
+            }
+            if request.gpus > 0 && post_sr(h) > sr_cap {
+                viable.over_cap.push(h.id());
+            } else {
+                viable.within_cap.push(h.id());
+            }
+        }
+        // `hosts` is ascending by id (ids are never reused and grow
+        // monotonically), so the segments inherit that order.
+        viable
     }
 
     /// Hosts with zero replicas and zero commitments — candidates for
@@ -238,6 +320,37 @@ mod tests {
         let c = Cluster::with_hosts(2, ResourceBundle::p3_16xlarge());
         let giant = ResourceRequest::new(1000, 1024, 9, 16);
         assert!(c.subscription_candidates(&giant, 3, 10.0).is_empty());
+    }
+
+    #[test]
+    fn viable_hosts_splits_on_sr_cap() {
+        let mut c = Cluster::with_hosts(3, ResourceBundle::p3_16xlarge());
+        // Host 0: S = 24 → another 4-GPU subscription exceeds SR 1.0 at R=3.
+        for _ in 0..6 {
+            c.host_mut(0).unwrap().subscribe(&gpu_req(4));
+        }
+        c.host_mut(2).unwrap().set_draining(true);
+        let v = c.viable_hosts(&gpu_req(4), 3, 1.0);
+        assert_eq!(v.within_cap, vec![1]);
+        assert_eq!(v.over_cap, vec![0]);
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+        assert_eq!(v.into_ranked(), vec![1, 0]);
+        // CPU-only requests are exempt from the cap.
+        let cpu = ResourceRequest::new(1000, 1024, 0, 0);
+        let v = c.viable_hosts(&cpu, 3, 1.0);
+        assert_eq!(v.within_cap, vec![0, 1]);
+        assert!(v.over_cap.is_empty());
+    }
+
+    #[test]
+    fn heterogeneous_mix_builds_in_order() {
+        let small = ResourceBundle::new(32_000, 249_856, 4);
+        let c = Cluster::with_host_mix(&[(ResourceBundle::p3_16xlarge(), 2), (small, 3)]);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.total_gpus(), 2 * 8 + 3 * 4);
+        assert_eq!(c.host(0).unwrap().capacity().gpus, 8);
+        assert_eq!(c.host(4).unwrap().capacity().gpus, 4);
     }
 
     #[test]

@@ -34,9 +34,9 @@ pub mod pool;
 pub mod provisioning;
 pub mod resources;
 
-pub use cluster::Cluster;
+pub use cluster::{Cluster, Viability};
 pub use container::{Container, ContainerState, TransitionError};
 pub use host::{CommitError, Host, HostId, OwnerId};
-pub use pool::{MinPerHost, PrewarmPolicy, PrewarmPool};
+pub use pool::{ForgottenContainers, MinPerHost, PrewarmPolicy, PrewarmPool};
 pub use provisioning::ProvisioningModel;
 pub use resources::{ResourceBundle, ResourceRequest};

@@ -17,8 +17,9 @@ pub struct BillingMeter {
     last_time_s: f64,
     cost_usd: f64,
     revenue_usd: f64,
-    // Current rates (per hour), updated on every state change.
-    hosts: u32,
+    // Current rates (per hour), updated on every state change. Hosts are
+    // tracked in host-equivalents (fractional for heterogeneous fleets).
+    hosts: f64,
     standby_replicas: u32,
     active_gpus: u64,
     reserved_gpus: u64,
@@ -33,7 +34,7 @@ impl BillingMeter {
             last_time_s: 0.0,
             cost_usd: 0.0,
             revenue_usd: 0.0,
-            hosts: 0,
+            hosts: 0.0,
             standby_replicas: 0,
             active_gpus: 0,
             reserved_gpus: 0,
@@ -48,7 +49,7 @@ impl BillingMeter {
         let user = base * self.config.user_multiplier;
 
         // Provider cost: every provisioned host, all the time.
-        self.cost_usd += f64::from(self.hosts) * base * hours;
+        self.cost_usd += self.hosts * base * hours;
 
         // Revenue: standby replicas at the standby fraction, actively
         // training replicas in proportion to GPUs used, and (Reservation)
@@ -61,8 +62,17 @@ impl BillingMeter {
 
     /// Updates the number of provisioned hosts at `now_s`.
     pub fn set_hosts(&mut self, now_s: f64, hosts: u32) {
+        self.set_host_equivalents(now_s, f64::from(hosts));
+    }
+
+    /// Updates the provisioned fleet in *host-equivalents* — total fleet
+    /// GPUs divided by the reference host's GPUs — so heterogeneous
+    /// fleets bill in proportion to their capacity (a 4-GPU box costs
+    /// half an 8-GPU server). Equals the host count for homogeneous
+    /// fleets.
+    pub fn set_host_equivalents(&mut self, now_s: f64, equivalents: f64) {
         self.accrue(now_s);
-        self.hosts = hosts;
+        self.hosts = equivalents.max(0.0);
     }
 
     /// Updates the number of standby (idle) kernel replicas at `now_s`.
@@ -136,6 +146,16 @@ mod tests {
         let (cost, _) = m.totals(3600.0);
         // 3×10×0.5 + 1×10×0.5 = 20.
         assert!((cost - 20.0).abs() < 1e-9, "cost {cost}");
+    }
+
+    #[test]
+    fn fractional_host_equivalents_bill_proportionally() {
+        // A mixed fleet of one 8-GPU server and one 4-GPU box is 1.5
+        // host-equivalents: cost 1.5 × $10/h.
+        let mut m = meter();
+        m.set_host_equivalents(0.0, 1.5);
+        let (cost, _) = m.totals(3600.0);
+        assert!((cost - 15.0).abs() < 1e-9, "cost {cost}");
     }
 
     #[test]

@@ -138,8 +138,14 @@ pub struct PlatformConfig {
     pub replication_factor: u32,
     /// Hosts provisioned at time zero.
     pub initial_hosts: u32,
-    /// Shape of every host (default: 8-GPU p3.16xlarge).
+    /// Shape of every host (default: 8-GPU p3.16xlarge). Scale-out always
+    /// adds hosts of this shape.
     pub host_shape: ResourceBundle,
+    /// Optional heterogeneous initial fleet as `(shape, count)` pairs.
+    /// When non-empty it replaces the homogeneous
+    /// `initial_hosts × host_shape` fleet, modelling mixed-generation GPU
+    /// clusters (e.g. 8-GPU trainers alongside 4-GPU boxes).
+    pub host_mix: Vec<(ResourceBundle, u32)>,
     /// Backend of the Distributed Data Store.
     pub datastore: BackendKind,
     /// Minimum pre-warmed containers per host. NotebookOS keeps this small
@@ -191,6 +197,7 @@ impl PlatformConfig {
             replication_factor: 3,
             initial_hosts: if autoscale.enabled { 8 } else { 30 },
             host_shape: ResourceBundle::p3_16xlarge(),
+            host_mix: Vec::new(),
             datastore: BackendKind::S3,
             prewarm_min_per_host: match policy {
                 PolicyKind::NotebookOsLcp => 6,
@@ -224,6 +231,16 @@ impl PlatformConfig {
         }
         if self.host_shape.gpus == 0 && self.initial_hosts > 0 {
             return Err("hosts must have GPUs".into());
+        }
+        if self
+            .host_mix
+            .iter()
+            .any(|&(shape, count)| count > 0 && shape.gpus == 0)
+        {
+            return Err("host-mix entries must have GPUs".into());
+        }
+        if !self.host_mix.is_empty() && self.host_mix.iter().all(|&(_, count)| count == 0) {
+            return Err("host mix must contain at least one host".into());
         }
         if !(1.0..10.0).contains(&self.billing.user_multiplier) {
             return Err("user multiplier out of range".into());
@@ -279,6 +296,20 @@ mod tests {
         let mut cfg = PlatformConfig::evaluation(PolicyKind::NotebookOs);
         cfg.replication_factor = 2;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn host_mix_validation() {
+        let mut cfg = PlatformConfig::evaluation(PolicyKind::NotebookOs);
+        cfg.host_mix = vec![
+            (ResourceBundle::p3_16xlarge(), 4),
+            (ResourceBundle::new(32_000, 249_856, 4), 8),
+        ];
+        cfg.validate().expect("heterogeneous mix is valid");
+        cfg.host_mix = vec![(ResourceBundle::new(32_000, 249_856, 0), 2)];
+        assert!(cfg.validate().is_err(), "GPU-less mix entries rejected");
+        cfg.host_mix = vec![(ResourceBundle::p3_16xlarge(), 0)];
+        assert!(cfg.validate().is_err(), "empty fleet rejected");
     }
 
     #[test]

@@ -56,7 +56,7 @@ impl Step {
 }
 
 /// Collects per-step latency CDFs plus the end-to-end total for one policy.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BreakdownRecorder {
     policy: String,
     end_to_end: Cdf,

@@ -49,6 +49,7 @@ pub mod policy;
 pub mod reclamation;
 pub mod results;
 pub mod smr;
+pub mod sweep;
 pub mod types;
 
 pub use billing::BillingMeter;
@@ -64,4 +65,5 @@ pub use policy::{
 pub use reclamation::{analyze as analyze_reclamation, fig13_sweep, ReclamationSavings};
 pub use results::{RunCounters, RunMetrics};
 pub use smr::{ElectionOutcome, ElectionTracker, KernelCommand, KernelProtocolHarness, Proposal};
+pub use sweep::{Scenario, SweepAggregate, SweepJob, SweepReport, SweepRun, SweepSpec};
 pub use types::{KernelId, ReplicaId};

@@ -55,6 +55,8 @@ pub enum Ev {
     MetricsTick,
     /// An injected fail-stop failure of one kernel replica (§3.2.5).
     ReplicaFailure,
+    /// One pre-warm container provisioning finished on `host` (§3.2.3).
+    PrewarmReady(HostId),
 }
 
 /// Runtime state of one session.
@@ -124,7 +126,11 @@ impl Platform {
     /// Panics if the configuration is invalid.
     pub fn new(config: PlatformConfig, trace: WorkloadTrace) -> Self {
         config.validate().expect("invalid platform config");
-        let cluster = Cluster::with_hosts(config.initial_hosts as usize, config.host_shape);
+        let cluster = if config.host_mix.is_empty() {
+            Cluster::with_hosts(config.initial_hosts as usize, config.host_shape)
+        } else {
+            Cluster::with_host_mix(&config.host_mix)
+        };
         let mut rng = SimRng::seed(config.seed);
         let policy_name = config.policy.to_string();
         let sessions = trace
@@ -174,9 +180,7 @@ impl Platform {
             config,
             trace,
         };
-        platform
-            .billing
-            .set_hosts(0.0, platform.cluster.len() as u32);
+        platform.refresh_fleet_billing(0.0);
         platform.refresh_provisioned_gauge(0.0);
         platform.seed_prewarm_pool();
         platform
@@ -289,6 +293,19 @@ impl Platform {
     // ------------------------------------------------------------------
     // Gauges and shared bookkeeping
     // ------------------------------------------------------------------
+
+    /// The fleet in host-equivalents (total GPUs / reference host's GPUs):
+    /// equals the host count for homogeneous fleets and bills mixed fleets
+    /// in proportion to their capacity. Autoscaler scale-out targets are
+    /// computed in the same unit (it always adds `host_shape` hosts).
+    fn host_equivalents(&self) -> f64 {
+        self.cluster.total_gpus() as f64 / f64::from(self.config.host_shape.gpus.max(1))
+    }
+
+    fn refresh_fleet_billing(&mut self, now_s: f64) {
+        let equivalents = self.host_equivalents();
+        self.billing.set_host_equivalents(now_s, equivalents);
+    }
 
     fn refresh_provisioned_gauge(&mut self, now_s: f64) {
         let provisioned = match self.config.policy {
@@ -444,7 +461,7 @@ impl Platform {
             .map(|(_, id)| id)
             .unwrap_or_else(|| {
                 let id = self.cluster.add_host(self.config.host_shape);
-                self.billing.set_hosts(now_s, self.cluster.len() as u32);
+                self.refresh_fleet_billing(now_s);
                 id
             });
         let committed = self.commit_on(now_s, host, owner, &req);
@@ -1123,10 +1140,16 @@ impl Platform {
         let now_s = now.as_secs_f64();
         self.hosts_in_flight = self.hosts_in_flight.saturating_sub(1);
         let id = self.cluster.add_host(self.config.host_shape);
-        for _ in 0..self.config.prewarm_min_per_host {
-            self.pool.put(id);
+        // Pre-warm containers provision asynchronously (§3.2.3): the pool
+        // tracks them as in flight until each start completes, so a host
+        // scaled back in before then reconciles instead of leaking counts.
+        let deficit = self.config.prewarm_min_per_host;
+        self.pool.begin_provision(id, deficit);
+        for _ in 0..deficit {
+            let warm = self.provisioning.warm_container_start(&mut self.rng);
+            queue.schedule_in(now, warm, Ev::PrewarmReady(id));
         }
-        self.billing.set_hosts(now_s, self.cluster.len() as u32);
+        self.refresh_fleet_billing(now_s);
         self.refresh_provisioned_gauge(now_s);
         self.refresh_sr_gauge(now_s);
         // Resume parked kernel creations (§3.4.2: "resources are
@@ -1155,24 +1178,31 @@ impl Platform {
             let sr_hosts = (subscribed / (per_host * r * sr_target)).ceil() as u32;
             target_hosts = target_hosts.max(sr_hosts);
         }
-        let current = self.cluster.len() as u32 + self.hosts_in_flight;
+        // Targets are in units of `host_shape` (scale-out only adds that
+        // shape), so measure the fleet in the same host-equivalents; for
+        // homogeneous fleets this is exactly the host count.
+        let current = self.host_equivalents() + f64::from(self.hosts_in_flight);
+        let target = f64::from(target_hosts);
 
-        if current < target_hosts {
-            self.trigger_scale_out(now, target_hosts - current, queue);
-        } else if current > target_hosts {
-            let surplus = current - target_hosts;
+        if current + 1e-9 < target {
+            self.trigger_scale_out(now, (target - current).ceil() as u32, queue);
+        } else if current > target + 1e-9 {
+            let surplus = (current - target).floor() as u32;
             let idle = self.cluster.idle_hosts();
             let releasable = surplus
                 .min(cfg.max_release_per_step)
                 .min(idle.len() as u32)
                 .min((self.cluster.len() as u32).saturating_sub(cfg.min_hosts));
             for &host in idle.iter().take(releasable as usize) {
-                self.pool.forget_host(host);
+                // Reconcile the pool: warm containers vanish with the host
+                // and in-flight provisions are discarded on arrival.
+                let dropped = self.pool.forget_host(host);
+                self.metrics.counters.prewarms_discarded += u64::from(dropped.total());
                 self.cluster.remove_host(host);
                 self.metrics.counters.scale_ins += 1;
             }
             if releasable > 0 {
-                self.billing.set_hosts(now_s, self.cluster.len() as u32);
+                self.refresh_fleet_billing(now_s);
                 self.refresh_provisioned_gauge(now_s);
                 self.refresh_sr_gauge(now_s);
             }
@@ -1244,6 +1274,14 @@ impl World for Platform {
             Ev::AutoscaleTick => self.on_autoscale_tick(now, queue),
             Ev::MetricsTick => self.on_metrics_tick(now, queue),
             Ev::ReplicaFailure => self.on_replica_failure(now, queue),
+            Ev::PrewarmReady(host) => {
+                // A completion for a host that was scaled in mid-provision
+                // is dropped by the pool. The discard was already counted
+                // when forget_host reconciled the host (which also covers
+                // completions that would land past the horizon), so no
+                // second increment here.
+                let _ = self.pool.provision_complete(host);
+            }
         }
     }
 }
@@ -1322,6 +1360,7 @@ mod tests {
             gpu_active_fraction: 0.3,
             long_lived_fraction: 0.95,
             gpu_demand: vec![(2, 1.0)],
+            arrival: notebookos_trace::ArrivalPattern::FrontLoaded,
         };
         let m = Platform::run(config, generate(&workload, 5));
         assert!(

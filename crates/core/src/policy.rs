@@ -7,7 +7,7 @@
 //! (least-loaded with the dynamic SR cap), round-robin, bin-packing, and
 //! seeded-random.
 
-use notebookos_cluster::{Cluster, HostId, ResourceBundle, ResourceRequest};
+use notebookos_cluster::{Cluster, HostId, ResourceRequest, Viability};
 use notebookos_des::SimRng;
 
 /// Context handed to a placement decision.
@@ -21,6 +21,23 @@ pub struct PlacementContext<'a> {
     pub replication_factor: u32,
 }
 
+impl PlacementContext<'_> {
+    /// The effective SR cap every bundled policy screens against: the
+    /// dynamic cluster-wide limit, floored at 1.0 so an empty cluster can
+    /// still accept its first kernels (§3.4.1).
+    pub fn sr_cap(&self) -> f64 {
+        self.cluster.sr_limit(self.replication_factor).max(1.0)
+    }
+
+    /// The shared viability screen ([`Cluster::viable_hosts`]) under this
+    /// context's SR cap. All bundled policies rank from this same set so
+    /// no baseline prefers a host the SR cap forbids.
+    pub fn viable(&self) -> Viability {
+        self.cluster
+            .viable_hosts(self.request, self.replication_factor, self.sr_cap())
+    }
+}
+
 /// A replica-placement policy: ranks candidate hosts for one replica
 /// subscription. The scheduler takes the first `R` distinct hosts.
 pub trait PlacementPolicy: std::fmt::Debug {
@@ -28,8 +45,10 @@ pub trait PlacementPolicy: std::fmt::Debug {
     fn name(&self) -> &'static str;
 
     /// Hosts able to take the subscription, best first. Implementations
-    /// must only return hosts whose *capacity* covers the request;
-    /// subscription pressure (SR) is policy-specific.
+    /// must rank from the shared viability screen
+    /// ([`PlacementContext::viable`]): capacity covers the request, host
+    /// not draining, and SR-cap-forbidden hosts never ahead of allowed
+    /// ones.
     fn rank(&mut self, ctx: &PlacementContext<'_>) -> Vec<HostId>;
 }
 
@@ -44,16 +63,34 @@ impl PlacementPolicy for LeastLoaded {
     }
 
     fn rank(&mut self, ctx: &PlacementContext<'_>) -> Vec<HostId> {
-        let sr_cap = ctx.cluster.sr_limit(ctx.replication_factor).max(1.0);
         ctx.cluster
-            .subscription_candidates(ctx.request, ctx.replication_factor, sr_cap)
+            .subscription_candidates(ctx.request, ctx.replication_factor, ctx.sr_cap())
     }
 }
 
-/// Round-robin over host ids, skipping hosts without capacity.
+/// Round-robin over host ids, skipping hosts the shared viability screen
+/// rejects. The rotation point is the *last host id the policy started a
+/// placement at*, not a raw call counter, so it survives hosts joining,
+/// draining, or filling up without jumping arbitrarily.
 #[derive(Debug, Default)]
 pub struct RoundRobin {
-    cursor: usize,
+    /// The host id the previous ranking started at; the next ranking
+    /// resumes at the first viable id after it (wrapping).
+    last: Option<HostId>,
+}
+
+impl RoundRobin {
+    /// Rotates an ascending-id segment so it starts at the first id
+    /// strictly after `last` (wrapping to the lowest id).
+    fn resume_after(mut ids: Vec<HostId>, last: Option<HostId>) -> Vec<HostId> {
+        if let Some(last) = last {
+            if !ids.is_empty() {
+                let pivot = ids.partition_point(|&h| h <= last) % ids.len();
+                ids.rotate_left(pivot);
+            }
+        }
+        ids
+    }
 }
 
 impl PlacementPolicy for RoundRobin {
@@ -62,32 +99,19 @@ impl PlacementPolicy for RoundRobin {
     }
 
     fn rank(&mut self, ctx: &PlacementContext<'_>) -> Vec<HostId> {
-        let viable: Vec<HostId> = ctx
-            .cluster
-            .hosts()
-            .iter()
-            .filter(|h| !h.is_draining())
-            .filter(|h| {
-                h.capacity()
-                    .covers(&ResourceBundle::from_request(ctx.request))
-            })
-            .map(|h| h.id())
-            .collect();
-        if viable.is_empty() {
-            return viable;
+        let viable = ctx.viable();
+        let mut out = Self::resume_after(viable.within_cap, self.last);
+        out.extend(Self::resume_after(viable.over_cap, self.last));
+        if let Some(&first) = out.first() {
+            self.last = Some(first);
         }
-        let start = self.cursor % viable.len();
-        self.cursor = self.cursor.wrapping_add(1);
-        let mut out = Vec::with_capacity(viable.len());
-        out.extend_from_slice(&viable[start..]);
-        out.extend_from_slice(&viable[..start]);
         out
     }
 }
 
 /// Bin-packing: most-subscribed viable host first, consolidating kernels
 /// onto few servers (frees whole hosts for scale-in, at the cost of
-/// contention).
+/// contention). SR-cap-forbidden hosts still rank last.
 #[derive(Debug, Default)]
 pub struct BinPacking;
 
@@ -97,19 +121,29 @@ impl PlacementPolicy for BinPacking {
     }
 
     fn rank(&mut self, ctx: &PlacementContext<'_>) -> Vec<HostId> {
-        let mut viable: Vec<(u64, u64, HostId)> = ctx
+        let viable = ctx.viable();
+        // One-pass key index; linear host lookups per id would be
+        // quadratic on large fleets.
+        let keys: std::collections::HashMap<HostId, (u64, u64)> = ctx
             .cluster
             .hosts()
             .iter()
-            .filter(|h| !h.is_draining())
-            .filter(|h| {
-                h.capacity()
-                    .covers(&ResourceBundle::from_request(ctx.request))
-            })
-            .map(|h| (h.subscribed_gpus(), u64::from(h.committed_gpus()), h.id()))
+            .map(|h| (h.id(), (h.subscribed_gpus(), u64::from(h.committed_gpus()))))
             .collect();
-        viable.sort_by(|a, b| b.cmp(a)); // most subscribed first
-        viable.into_iter().map(|(_, _, id)| id).collect()
+        let most_subscribed_first = |ids: Vec<HostId>| {
+            let mut keyed: Vec<(u64, u64, HostId)> = ids
+                .into_iter()
+                .map(|id| {
+                    let (subscribed, committed) = keys[&id];
+                    (subscribed, committed, id)
+                })
+                .collect();
+            keyed.sort_by(|a, b| b.cmp(a));
+            keyed.into_iter().map(|(_, _, id)| id)
+        };
+        let mut out: Vec<HostId> = most_subscribed_first(viable.within_cap).collect();
+        out.extend(most_subscribed_first(viable.over_cap));
+        out
     }
 }
 
@@ -134,23 +168,19 @@ impl PlacementPolicy for RandomPlacement {
     }
 
     fn rank(&mut self, ctx: &PlacementContext<'_>) -> Vec<HostId> {
-        let mut viable: Vec<HostId> = ctx
-            .cluster
-            .hosts()
-            .iter()
-            .filter(|h| !h.is_draining())
-            .filter(|h| {
-                h.capacity()
-                    .covers(&ResourceBundle::from_request(ctx.request))
-            })
-            .map(|h| h.id())
-            .collect();
-        // Fisher–Yates with the policy's own stream.
-        for i in (1..viable.len()).rev() {
-            let j = self.rng.index(i + 1);
-            viable.swap(i, j);
-        }
-        viable
+        let viable = ctx.viable();
+        // Fisher–Yates per segment with the policy's own stream, keeping
+        // SR-cap-forbidden hosts behind allowed ones.
+        let mut shuffle = |mut ids: Vec<HostId>| {
+            for i in (1..ids.len()).rev() {
+                let j = self.rng.index(i + 1);
+                ids.swap(i, j);
+            }
+            ids
+        };
+        let mut out = shuffle(viable.within_cap);
+        out.extend(shuffle(viable.over_cap));
+        out
     }
 }
 
@@ -209,6 +239,63 @@ mod tests {
         let fifth_start = rr.rank(&ctx(&c, &req))[0];
         assert_eq!(first, fifth_start);
         assert_ne!(fourth_start, fifth_start);
+    }
+
+    #[test]
+    fn round_robin_resumes_after_last_host_despite_churn() {
+        let mut c = Cluster::with_hosts(4, ResourceBundle::p3_16xlarge());
+        let req = ResourceRequest::one_gpu();
+        let mut rr = RoundRobin::default();
+        assert_eq!(rr.rank(&ctx(&c, &req))[0], 0);
+        // Host 0 leaves: the rotation resumes at 1. (The old raw-cursor
+        // implementation computed `1 % 3` over [1, 2, 3] and jumped to 2,
+        // starving host 1.)
+        c.remove_host(0);
+        assert_eq!(rr.rank(&ctx(&c, &req))[0], 1);
+        // A host joins mid-rotation: id order continues unperturbed.
+        c.add_host(ResourceBundle::p3_16xlarge()); // id 4
+        assert_eq!(rr.rank(&ctx(&c, &req))[0], 2);
+        // A draining host is skipped but remembered ground is kept.
+        c.host_mut(3).unwrap().set_draining(true);
+        assert_eq!(rr.rank(&ctx(&c, &req))[0], 4);
+        c.host_mut(3).unwrap().set_draining(false);
+        // Wraps to the lowest id after the highest.
+        assert_eq!(rr.rank(&ctx(&c, &req))[0], 1);
+        assert_eq!(rr.rank(&ctx(&c, &req))[0], 2);
+        assert_eq!(rr.rank(&ctx(&c, &req))[0], 3);
+    }
+
+    #[test]
+    fn all_policies_rank_sr_capped_hosts_last() {
+        // Host 0 subscribed far beyond the SR cap; hosts 1 and 2 idle. The
+        // old RoundRobin/BinPacking ranked purely on total capacity and
+        // would happily put host 0 first.
+        let mut c = Cluster::with_hosts(3, ResourceBundle::p3_16xlarge());
+        for _ in 0..30 {
+            c.host_mut(0)
+                .unwrap()
+                .subscribe(&ResourceRequest::new(4000, 16_384, 4, 16));
+        }
+        let req = ResourceRequest::new(4000, 16_384, 4, 16);
+        let context = ctx(&c, &req);
+        let forbidden = context.viable().over_cap;
+        assert_eq!(forbidden, vec![0], "host 0 is over the cap");
+        let mut policies: Vec<Box<dyn PlacementPolicy>> = vec![
+            Box::new(LeastLoaded),
+            Box::new(RoundRobin::default()),
+            Box::new(BinPacking),
+            Box::new(RandomPlacement::new(3)),
+        ];
+        for policy in &mut policies {
+            let ranked = policy.rank(&context);
+            assert_eq!(ranked.len(), 3, "{}: all hosts stay usable", policy.name());
+            assert_eq!(
+                *ranked.last().unwrap(),
+                0,
+                "{}: the SR-capped host ranks last",
+                policy.name()
+            );
+        }
     }
 
     #[test]

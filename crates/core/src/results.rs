@@ -32,6 +32,9 @@ pub struct RunCounters {
     pub warm_hits: u64,
     /// Injected replica fail-stop failures recovered from (§3.2.5).
     pub replica_failures: u64,
+    /// Pre-warm containers discarded because their host left the cluster
+    /// while they were warm or still provisioning (§3.2.3 reconciliation).
+    pub prewarms_discarded: u64,
 }
 
 impl RunCounters {
@@ -55,7 +58,12 @@ impl RunCounters {
 }
 
 /// Full measurement record of one run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every collected sample bit-for-bit — the equality
+/// the sweep engine's determinism guarantee is stated in: a sweep-produced
+/// record equals the one a sequential [`crate::Platform::run`] with the
+/// same `(config, trace)` produces.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
     /// Interactivity delay per execution, milliseconds (Fig. 9(a)).
     pub interactivity_ms: Cdf,

@@ -1,0 +1,666 @@
+//! Thread-parallel sweep engine for the evaluation pipeline.
+//!
+//! Every evaluation artifact used to re-implement the same loop: run
+//! [`Platform::run`] once per `(policy, seed)` pair, sequentially, on one
+//! core. This module centralizes that loop behind a worker pool:
+//!
+//! * [`parallel_map_indexed`] — the deterministic, order-preserving
+//!   executor: a pool of worker threads drains a job channel and results
+//!   are collected by index, so the output order never depends on thread
+//!   scheduling.
+//! * [`SweepSpec`] — a matrix of policies × seeds × scenario variants,
+//!   expanded into [`SweepJob`]s and executed by the pool.
+//! * [`SweepReport`] — per-run [`RunMetrics`] plus cross-seed aggregation:
+//!   pooled CDFs, means, and 95 % confidence intervals
+//!   ([`SweepAggregate`]).
+//!
+//! # Determinism
+//!
+//! [`Platform::run`] is a pure function of `(config, trace)`; workers share
+//! nothing but the job queue. A sweep-produced [`RunMetrics`] is therefore
+//! identical to the record a sequential `Platform::run` with the same
+//! inputs produces, whatever the worker count — the
+//! `sweep_runs_equal_sequential_runs` property test in `tests/properties.rs`
+//! locks this in.
+//!
+//! # Example
+//!
+//! ```
+//! use notebookos_core::sweep::{Scenario, SweepSpec};
+//! use notebookos_core::PolicyKind;
+//! use notebookos_trace::SyntheticConfig;
+//!
+//! let report = SweepSpec::new()
+//!     .policies(vec![PolicyKind::NotebookOs])
+//!     .seeds(vec![1, 2])
+//!     .scenarios(vec![Scenario::new("smoke", SyntheticConfig::smoke())])
+//!     .workers(2)
+//!     .run();
+//! assert_eq!(report.runs.len(), 2);
+//! let agg = report.aggregate("smoke", PolicyKind::NotebookOs).unwrap();
+//! assert_eq!(agg.interactivity_p50_ms.n, 2);
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+use crossbeam::channel;
+use notebookos_cluster::ResourceBundle;
+use notebookos_metrics::{Cdf, MeanCi};
+use notebookos_trace::{generate_with_profile, SyntheticConfig, TraceProfile, WorkloadTrace};
+
+use crate::config::{PlatformConfig, PolicyKind};
+use crate::platform::Platform;
+use crate::results::RunMetrics;
+
+/// Worker count used when a spec asks for `0`: the
+/// `NOTEBOOKOS_SWEEP_WORKERS` environment variable if set to a positive
+/// integer, otherwise the machine's available parallelism.
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("NOTEBOOKOS_SWEEP_WORKERS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` over `items` on a pool of `workers` threads (0 = automatic,
+/// see [`default_workers`]), returning results in item order regardless of
+/// completion order. `on_done` fires on the coordinating thread as each
+/// item completes (in completion order) — progress reporting hooks in
+/// there.
+///
+/// Jobs flow through the vendored crossbeam-shim channels: an indexed job
+/// channel drained by the pool, and a result channel collected by index.
+pub fn parallel_map_indexed<T, R, F, C>(
+    items: Vec<T>,
+    workers: usize,
+    f: F,
+    mut on_done: C,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+    C: FnMut(usize, &R),
+{
+    let total = items.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let workers = if workers == 0 {
+        default_workers()
+    } else {
+        workers
+    }
+    .min(total)
+    .max(1);
+    if workers == 1 {
+        // Degenerate pool: run inline, sparing thread setup.
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(idx, item)| {
+                let r = f(idx, item);
+                on_done(idx, &r);
+                r
+            })
+            .collect();
+    }
+
+    let (job_tx, job_rx) = channel::unbounded::<(usize, T)>();
+    for pair in items.into_iter().enumerate() {
+        assert!(job_tx.send(pair).is_ok(), "job receiver alive");
+    }
+    drop(job_tx); // queue is fully loaded; workers stop when it drains
+    let job_rx = Mutex::new(job_rx);
+    let (result_tx, result_rx) = channel::unbounded::<(usize, R)>();
+
+    let mut out: Vec<Option<R>> = (0..total).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let result_tx = result_tx.clone();
+            let job_rx = &job_rx;
+            let f = &f;
+            scope.spawn(move || loop {
+                // All jobs were enqueued before the pool started and the
+                // sender is gone, so an empty queue means "done" — no
+                // blocking receive needed.
+                let job = job_rx.lock().expect("job queue lock").try_recv();
+                match job {
+                    Ok((idx, item)) => {
+                        let r = f(idx, item);
+                        if result_tx.send((idx, r)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            });
+        }
+        drop(result_tx);
+        for (idx, r) in result_rx.iter() {
+            on_done(idx, &r);
+            out[idx] = Some(r);
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every job produces a result"))
+        .collect()
+}
+
+/// One cell of a sweep matrix: a fully resolved `(config, trace)` pair
+/// plus the axis labels it came from.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Scenario label (for aggregation grouping).
+    pub scenario: String,
+    /// The scheduling policy under evaluation.
+    pub policy: PolicyKind,
+    /// The run's seed (both trace generation and platform RNG).
+    pub seed: u64,
+    /// The resolved platform configuration.
+    pub config: PlatformConfig,
+    /// The workload to replay, shared so a large job matrix holds one
+    /// copy per `(scenario, seed)` rather than one per job; the private
+    /// copy [`Platform::run`] needs is made inside the worker, capping
+    /// live copies at the pool size.
+    pub trace: Arc<WorkloadTrace>,
+}
+
+impl SweepJob {
+    /// Builds a job from an explicit `(config, trace)` pair, stamping
+    /// `policy` and `seed` into the config. Accepts a plain trace or an
+    /// `Arc` shared across jobs.
+    pub fn new(
+        policy: PolicyKind,
+        seed: u64,
+        mut config: PlatformConfig,
+        trace: impl Into<Arc<WorkloadTrace>>,
+    ) -> Self {
+        config.policy = policy;
+        config.seed = seed;
+        SweepJob {
+            scenario: "default".into(),
+            policy,
+            seed,
+            config,
+            trace: trace.into(),
+        }
+    }
+
+    /// Executes the job — exactly [`Platform::run`] on its inputs. The
+    /// trace is moved out when this job holds the last reference.
+    pub fn run(self) -> RunMetrics {
+        let trace = Arc::try_unwrap(self.trace).unwrap_or_else(|shared| (*shared).clone());
+        Platform::run(self.config, trace)
+    }
+}
+
+/// Runs explicit jobs on the pool (0 workers = automatic), returning
+/// metrics in job order. The building block the figure binaries use when
+/// they already hold a trace.
+pub fn run_jobs(jobs: Vec<SweepJob>, workers: usize) -> Vec<RunMetrics> {
+    parallel_map_indexed(jobs, workers, |_, job: SweepJob| job.run(), |_, _| {})
+}
+
+/// One workload scenario a sweep ranges over: a synthetic-workload shape,
+/// a trace profile, and optionally a heterogeneous host fleet.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario label used in reports and aggregation keys.
+    pub name: String,
+    /// Workload generator configuration.
+    pub workload: SyntheticConfig,
+    /// Duration/IAT profile events are drawn from.
+    pub profile: TraceProfile,
+    /// Heterogeneous initial fleet override; empty keeps the config's
+    /// homogeneous `initial_hosts × host_shape` fleet.
+    pub host_mix: Vec<(ResourceBundle, u32)>,
+}
+
+impl Scenario {
+    /// A scenario over the AdobeTrace profile with a homogeneous fleet.
+    pub fn new(name: impl Into<String>, workload: SyntheticConfig) -> Self {
+        Scenario {
+            name: name.into(),
+            workload,
+            profile: TraceProfile::adobe(),
+            host_mix: Vec::new(),
+        }
+    }
+
+    /// Replaces the trace profile.
+    pub fn with_profile(mut self, profile: TraceProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Overrides the initial fleet with a heterogeneous `(shape, count)`
+    /// mix.
+    pub fn with_host_mix(mut self, mix: Vec<(ResourceBundle, u32)>) -> Self {
+        self.host_mix = mix;
+        self
+    }
+
+    /// The 17.5-hour evaluation excerpt (§5.2) — the default scenario.
+    pub fn excerpt() -> Self {
+        Scenario::new("excerpt-17.5h", SyntheticConfig::excerpt_17_5h())
+    }
+
+    /// Flash-crowd arrivals: the excerpt's population compressed into
+    /// three bursts, stressing scale-out and pre-warm provisioning.
+    pub fn flash_crowd() -> Self {
+        Scenario::new("flash-crowd", SyntheticConfig::flash_crowd_17_5h())
+    }
+
+    /// The excerpt workload on a mixed-generation fleet: 8-GPU trainers
+    /// alongside half-size 4-GPU boxes (same CPU:GPU ratio).
+    pub fn heterogeneous_hosts() -> Self {
+        Scenario::new("heterogeneous-hosts", SyntheticConfig::excerpt_17_5h()).with_host_mix(vec![
+            (ResourceBundle::p3_16xlarge(), 5),
+            (ResourceBundle::new(32_000, 249_856, 4), 6),
+        ])
+    }
+
+    /// Generates this scenario's workload for `seed` (deterministic).
+    pub fn trace(&self, seed: u64) -> WorkloadTrace {
+        generate_with_profile(&self.workload, &self.profile, seed)
+    }
+
+    /// Applies the scenario's platform-side overrides to `config`.
+    pub fn apply(&self, config: &mut PlatformConfig) {
+        if !self.host_mix.is_empty() {
+            config.host_mix = self.host_mix.clone();
+        }
+    }
+}
+
+/// A matrix of policies × seeds × scenarios, executed by the worker pool.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Scheduling policies to evaluate.
+    pub policies: Vec<PolicyKind>,
+    /// Seeds each `(policy, scenario)` pair runs under.
+    pub seeds: Vec<u64>,
+    /// Workload scenarios to range over.
+    pub scenarios: Vec<Scenario>,
+    /// Maps a policy to its base configuration (seed and scenario
+    /// overrides are applied on top). Defaults to
+    /// [`PlatformConfig::evaluation`].
+    pub configure: fn(PolicyKind) -> PlatformConfig,
+    /// Worker threads; 0 picks [`default_workers`].
+    pub workers: usize,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec::new()
+    }
+}
+
+impl SweepSpec {
+    /// A single-policy, single-seed sweep over the evaluation excerpt.
+    pub fn new() -> Self {
+        SweepSpec {
+            policies: vec![PolicyKind::NotebookOs],
+            seeds: vec![PlatformConfig::evaluation(PolicyKind::NotebookOs).seed],
+            scenarios: vec![Scenario::excerpt()],
+            configure: PlatformConfig::evaluation,
+            workers: 0,
+        }
+    }
+
+    /// Sets the policy axis.
+    pub fn policies(mut self, policies: Vec<PolicyKind>) -> Self {
+        self.policies = policies;
+        self
+    }
+
+    /// Ranges over all four evaluated policies.
+    pub fn all_policies(self) -> Self {
+        self.policies(PolicyKind::ALL.to_vec())
+    }
+
+    /// Sets the seed axis.
+    pub fn seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Sets the scenario axis.
+    pub fn scenarios(mut self, scenarios: Vec<Scenario>) -> Self {
+        self.scenarios = scenarios;
+        self
+    }
+
+    /// Sets the per-policy base-configuration function.
+    pub fn configure(mut self, f: fn(PolicyKind) -> PlatformConfig) -> Self {
+        self.configure = f;
+        self
+    }
+
+    /// Sets the worker count (0 = automatic).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Expands the matrix into jobs: scenario-major, then seed, then
+    /// policy. All policies for a `(scenario, seed)` share one generated
+    /// trace.
+    pub fn jobs(&self) -> Vec<SweepJob> {
+        let mut jobs =
+            Vec::with_capacity(self.scenarios.len() * self.seeds.len() * self.policies.len());
+        for scenario in &self.scenarios {
+            for &seed in &self.seeds {
+                let trace = Arc::new(scenario.trace(seed));
+                for &policy in &self.policies {
+                    let mut config = (self.configure)(policy);
+                    config.policy = policy;
+                    config.seed = seed;
+                    scenario.apply(&mut config);
+                    jobs.push(SweepJob {
+                        scenario: scenario.name.clone(),
+                        policy,
+                        seed,
+                        config,
+                        trace: Arc::clone(&trace),
+                    });
+                }
+            }
+        }
+        jobs
+    }
+
+    /// Executes the matrix on the pool and collects a report.
+    pub fn run(&self) -> SweepReport {
+        self.run_with_progress(|_, _| {})
+    }
+
+    /// Executes the matrix, invoking `progress(done_so_far, total)` on the
+    /// coordinating thread as each run completes.
+    pub fn run_with_progress<P: FnMut(usize, usize)>(&self, mut progress: P) -> SweepReport {
+        let jobs = self.jobs();
+        let total = jobs.len();
+        let labels: Vec<(String, PolicyKind, u64)> = jobs
+            .iter()
+            .map(|j| (j.scenario.clone(), j.policy, j.seed))
+            .collect();
+        let mut done = 0usize;
+        let metrics = parallel_map_indexed(
+            jobs,
+            self.workers,
+            |_, job: SweepJob| job.run(),
+            |_, _| {
+                done += 1;
+                progress(done, total);
+            },
+        );
+        let runs = labels
+            .into_iter()
+            .zip(metrics)
+            .map(|((scenario, policy, seed), metrics)| SweepRun {
+                scenario,
+                policy,
+                seed,
+                metrics,
+            })
+            .collect();
+        SweepReport { runs }
+    }
+}
+
+/// One completed run inside a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRun {
+    /// Scenario label.
+    pub scenario: String,
+    /// Policy evaluated.
+    pub policy: PolicyKind,
+    /// Seed used for trace generation and platform RNG.
+    pub seed: u64,
+    /// The run's full measurement record.
+    pub metrics: RunMetrics,
+}
+
+/// The collected output of a sweep, in job order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Per-run records, in the deterministic job order of
+    /// [`SweepSpec::jobs`].
+    pub runs: Vec<SweepRun>,
+}
+
+impl SweepReport {
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether the sweep produced no runs.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Runs matching a `(scenario, policy)` cell, in seed order.
+    pub fn runs_for(&self, scenario: &str, policy: PolicyKind) -> Vec<&SweepRun> {
+        self.runs
+            .iter()
+            .filter(|r| r.scenario == scenario && r.policy == policy)
+            .collect()
+    }
+
+    /// Aggregates one `(scenario, policy)` cell across its seeds, or
+    /// `None` when the sweep holds no such runs.
+    pub fn aggregate(&self, scenario: &str, policy: PolicyKind) -> Option<SweepAggregate> {
+        let runs = self.runs_for(scenario, policy);
+        if runs.is_empty() {
+            return None;
+        }
+        Some(SweepAggregate::from_runs(scenario, policy, &runs))
+    }
+
+    /// Aggregates every `(scenario, policy)` cell, in first-appearance
+    /// order.
+    pub fn aggregates(&self) -> Vec<SweepAggregate> {
+        let mut seen: Vec<(String, PolicyKind)> = Vec::new();
+        for run in &self.runs {
+            let key = (run.scenario.clone(), run.policy);
+            if !seen.contains(&key) {
+                seen.push(key);
+            }
+        }
+        seen.into_iter()
+            .filter_map(|(scenario, policy)| self.aggregate(&scenario, policy))
+            .collect()
+    }
+}
+
+/// Cross-seed aggregate of one `(scenario, policy)` cell: pooled latency
+/// distributions plus mean ± 95 % CI of the headline scalars.
+#[derive(Debug, Clone)]
+pub struct SweepAggregate {
+    /// Scenario label.
+    pub scenario: String,
+    /// Policy evaluated.
+    pub policy: PolicyKind,
+    /// Seeds that contributed, in run order.
+    pub seeds: Vec<u64>,
+    /// All seeds' interactivity samples pooled into one distribution.
+    pub interactivity_ms: Cdf,
+    /// All seeds' task-completion-time samples pooled.
+    pub tct_ms: Cdf,
+    /// Per-seed median interactivity delay (ms).
+    pub interactivity_p50_ms: MeanCi,
+    /// Per-seed median task completion time (ms).
+    pub tct_p50_ms: MeanCi,
+    /// Per-seed GPU-hours saved vs Reservation.
+    pub gpu_hours_saved: MeanCi,
+    /// Per-seed immediate-GPU-commit rate, percent.
+    pub immediate_commit_pct: MeanCi,
+    /// Per-seed migration counts.
+    pub migrations: MeanCi,
+    /// Total executions completed across all seeds.
+    pub executions: u64,
+    /// Total executions aborted across all seeds.
+    pub aborted: u64,
+}
+
+impl SweepAggregate {
+    fn from_runs(scenario: &str, policy: PolicyKind, runs: &[&SweepRun]) -> Self {
+        // Only the CDFs queried for percentiles are cloned (`percentile`
+        // sorts in place); everything else reads the records directly.
+        let p50 = |cdf: &Cdf| {
+            if cdf.is_empty() {
+                0.0
+            } else {
+                cdf.clone().percentile(50.0)
+            }
+        };
+        let mut interactivity_p50 = Vec::with_capacity(runs.len());
+        let mut tct_p50 = Vec::with_capacity(runs.len());
+        let mut saved = Vec::with_capacity(runs.len());
+        let mut immediate = Vec::with_capacity(runs.len());
+        let mut migrations = Vec::with_capacity(runs.len());
+        for run in runs {
+            let m = &run.metrics;
+            interactivity_p50.push(p50(&m.interactivity_ms));
+            tct_p50.push(p50(&m.tct_ms));
+            saved.push(m.gpu_hours_saved_vs_reservation());
+            immediate.push(m.counters.immediate_commit_rate() * 100.0);
+            migrations.push(m.counters.migrations as f64);
+        }
+        SweepAggregate {
+            scenario: scenario.to_string(),
+            policy,
+            seeds: runs.iter().map(|r| r.seed).collect(),
+            interactivity_ms: Cdf::merged(
+                format!("{policy}/{scenario}/interactivity-ms"),
+                runs.iter().map(|r| &r.metrics.interactivity_ms),
+            ),
+            tct_ms: Cdf::merged(
+                format!("{policy}/{scenario}/tct-ms"),
+                runs.iter().map(|r| &r.metrics.tct_ms),
+            ),
+            interactivity_p50_ms: MeanCi::from_samples(&interactivity_p50),
+            tct_p50_ms: MeanCi::from_samples(&tct_p50),
+            gpu_hours_saved: MeanCi::from_samples(&saved),
+            immediate_commit_pct: MeanCi::from_samples(&immediate),
+            migrations: MeanCi::from_samples(&migrations),
+            executions: runs.iter().map(|r| r.metrics.counters.executions).sum(),
+            aborted: runs.iter().map(|r| r.metrics.counters.aborted).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let items: Vec<u64> = (0..40).collect();
+        let mut completions = 0usize;
+        let out = parallel_map_indexed(
+            items.clone(),
+            4,
+            |idx, v| {
+                assert_eq!(idx as u64, v);
+                v * v
+            },
+            |_, _| completions += 1,
+        );
+        assert_eq!(out, items.iter().map(|v| v * v).collect::<Vec<_>>());
+        assert_eq!(completions, 40);
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single_worker() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map_indexed(empty, 4, |_, v: u8| v, |_, _| {}).is_empty());
+        let out = parallel_map_indexed(vec![1, 2, 3], 1, |_, v| v + 1, |_, _| {});
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn spec_expands_scenario_seed_policy_matrix() {
+        let spec = SweepSpec::new()
+            .policies(vec![PolicyKind::Reservation, PolicyKind::NotebookOs])
+            .seeds(vec![7, 8])
+            .scenarios(vec![
+                Scenario::new("a", SyntheticConfig::smoke()),
+                Scenario::new("b", SyntheticConfig::smoke()),
+            ]);
+        let jobs = spec.jobs();
+        assert_eq!(jobs.len(), 8);
+        assert_eq!(jobs[0].scenario, "a");
+        assert_eq!(jobs[0].policy, PolicyKind::Reservation);
+        assert_eq!(jobs[0].seed, 7);
+        assert_eq!(jobs[1].policy, PolicyKind::NotebookOs);
+        // Policies of one (scenario, seed) share the same trace.
+        assert_eq!(jobs[0].trace, jobs[1].trace);
+        assert_eq!(jobs[7].scenario, "b");
+        assert_eq!(jobs[7].seed, 8);
+        // Seeds are stamped into both trace and config.
+        assert_eq!(jobs[2].config.seed, 8);
+    }
+
+    #[test]
+    fn heterogeneous_scenario_overrides_fleet() {
+        let scenario = Scenario::heterogeneous_hosts();
+        let mut config = PlatformConfig::evaluation(PolicyKind::NotebookOs);
+        scenario.apply(&mut config);
+        assert!(!config.host_mix.is_empty());
+        config.validate().expect("valid heterogeneous config");
+    }
+
+    #[test]
+    fn report_aggregates_across_seeds() {
+        let report = SweepSpec::new()
+            .policies(vec![PolicyKind::NotebookOs])
+            .seeds(vec![1, 2, 3])
+            .scenarios(vec![Scenario::new("smoke", SyntheticConfig::smoke())])
+            .workers(2)
+            .run();
+        assert_eq!(report.len(), 3);
+        assert!(!report.is_empty());
+        let agg = report
+            .aggregate("smoke", PolicyKind::NotebookOs)
+            .expect("cell exists");
+        assert_eq!(agg.seeds, vec![1, 2, 3]);
+        assert_eq!(agg.interactivity_p50_ms.n, 3);
+        let pooled: usize = report
+            .runs
+            .iter()
+            .map(|r| r.metrics.interactivity_ms.len())
+            .sum();
+        assert_eq!(agg.interactivity_ms.len(), pooled);
+        assert_eq!(
+            agg.executions,
+            report
+                .runs
+                .iter()
+                .map(|r| r.metrics.counters.executions)
+                .sum::<u64>()
+        );
+        assert!(report.aggregate("smoke", PolicyKind::Batch).is_none());
+        assert_eq!(report.aggregates().len(), 1);
+    }
+
+    #[test]
+    fn progress_callback_counts_to_total() {
+        let mut last = (0, 0);
+        SweepSpec::new()
+            .policies(vec![PolicyKind::Reservation])
+            .seeds(vec![1, 2])
+            .scenarios(vec![Scenario::new("smoke", SyntheticConfig::smoke())])
+            .workers(2)
+            .run_with_progress(|done, total| last = (done, total));
+        assert_eq!(last, (2, 2));
+    }
+}

@@ -1,0 +1,173 @@
+//! Cross-run aggregation: summary statistics with confidence intervals.
+//!
+//! Multi-seed sweeps reduce each scalar headline metric (GPU-hours saved,
+//! median interactivity, ...) to a per-seed sample set; [`MeanCi`] is the
+//! mean ± 95 % confidence interval every sweep table reports. Pooled
+//! latency distributions use [`crate::Cdf::merged`] instead.
+
+use std::fmt;
+
+/// Two-sided 0.975 Student-t quantiles for df = 1..=30; beyond that the
+/// normal approximation (1.96) is within ~2 %. Sweeps typically run a
+/// handful of seeds, where using z instead of t would understate the
+/// interval several-fold (t₀.₉₇₅,₂ = 4.30 vs 1.96).
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+fn t_critical(df: usize) -> f64 {
+    if df == 0 {
+        0.0
+    } else if df <= T_975.len() {
+        T_975[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Mean, sample standard deviation, and a Student-t 95 % confidence
+/// half-width over a sample set.
+///
+/// # Example
+///
+/// ```
+/// use notebookos_metrics::MeanCi;
+///
+/// let s = MeanCi::from_samples(&[10.0, 12.0, 14.0]);
+/// assert_eq!(s.n, 3);
+/// assert!((s.mean - 12.0).abs() < 1e-12);
+/// assert!((s.stddev - 2.0).abs() < 1e-12);
+/// assert!(s.lo() < 12.0 && 12.0 < s.hi());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanCi {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean (0 for an empty sample set).
+    pub mean: f64,
+    /// Sample (n − 1) standard deviation; 0 when fewer than two samples.
+    pub stddev: f64,
+    /// Half-width of the 95 % confidence interval on the mean
+    /// (`t₀.₉₇₅,ₙ₋₁ · stddev / √n`, Student-t for small n); 0 when fewer
+    /// than two samples.
+    pub ci95: f64,
+}
+
+impl MeanCi {
+    /// Summarizes `samples`. Non-finite samples are ignored, mirroring
+    /// [`crate::Cdf::record`].
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let finite: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        let n = finite.len();
+        if n == 0 {
+            return MeanCi {
+                n: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let mean = finite.iter().sum::<f64>() / n as f64;
+        let stddev = if n > 1 {
+            (finite.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        let ci95 = if n > 1 {
+            t_critical(n - 1) * stddev / (n as f64).sqrt()
+        } else {
+            0.0
+        };
+        MeanCi {
+            n,
+            mean,
+            stddev,
+            ci95,
+        }
+    }
+
+    /// Lower edge of the 95 % confidence interval.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.ci95
+    }
+
+    /// Upper edge of the 95 % confidence interval.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.ci95
+    }
+
+    /// Coefficient of variation as a percentage (0 for a ~zero mean).
+    pub fn cv_percent(&self) -> f64 {
+        if self.mean.abs() > 1e-9 {
+            self.stddev / self.mean.abs() * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for MeanCi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} ± {:.2}", self.mean, self.ci95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton_degenerate_gracefully() {
+        let e = MeanCi::from_samples(&[]);
+        assert_eq!(e.n, 0);
+        assert_eq!(e.mean, 0.0);
+        let s = MeanCi::from_samples(&[5.0]);
+        assert_eq!((s.n, s.mean, s.stddev, s.ci95), (1, 5.0, 0.0, 0.0));
+        assert_eq!(s.lo(), 5.0);
+        assert_eq!(s.hi(), 5.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = MeanCi::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample stddev of this classic set is ~2.138.
+        assert!((s.stddev - 2.138).abs() < 1e-3);
+        // n = 8 → t with 7 degrees of freedom, not the normal z.
+        assert!((s.ci95 - 2.365 * s.stddev / 8f64.sqrt()).abs() < 1e-12);
+        assert!((s.cv_percent() - s.stddev / 5.0 * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_samples_use_student_t() {
+        // n = 2 (df = 1): the z approximation (1.96) would understate the
+        // interval ~6.5×.
+        let s = MeanCi::from_samples(&[1.0, 3.0]);
+        assert!((s.ci95 - 12.706 * s.stddev / 2f64.sqrt()).abs() < 1e-9);
+        // Large n falls back to the normal quantile.
+        let many: Vec<f64> = (0..100).map(f64::from).collect();
+        let l = MeanCi::from_samples(&many);
+        assert!((l.ci95 - 1.96 * l.stddev / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_samples_ignored() {
+        let s = MeanCi::from_samples(&[1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(s.n, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_mean_cv_is_zero() {
+        let s = MeanCi::from_samples(&[-1.0, 1.0]);
+        assert_eq!(s.cv_percent(), 0.0);
+    }
+
+    #[test]
+    fn display_shows_ci() {
+        let s = MeanCi::from_samples(&[1.0, 3.0]);
+        assert!(format!("{s}").contains('±'));
+    }
+}

@@ -26,6 +26,22 @@ pub struct Cdf {
     sorted: bool,
 }
 
+/// Two collectors are equal when they carry the same label and the same
+/// multiset of samples (queries sort samples in place, so recording order
+/// is deliberately not part of equality).
+impl PartialEq for Cdf {
+    fn eq(&self, other: &Self) -> bool {
+        if self.name != other.name || self.samples.len() != other.samples.len() {
+            return false;
+        }
+        let mut a = self.samples.clone();
+        let mut b = other.samples.clone();
+        a.sort_by(f64::total_cmp);
+        b.sort_by(f64::total_cmp);
+        a == b
+    }
+}
+
 impl Cdf {
     /// Creates an empty collector labelled `name`.
     pub fn new(name: impl Into<String>) -> Self {
@@ -55,6 +71,41 @@ impl Cdf {
         for v in values {
             self.record(v);
         }
+    }
+
+    /// The recorded samples (order reflects queries: percentile and friends
+    /// sort in place).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Folds another collector's samples into this one — the aggregation
+    /// primitive multi-run sweeps use to build a pooled distribution.
+    pub fn merge(&mut self, other: &Cdf) {
+        self.record_all(other.samples.iter().copied());
+    }
+
+    /// Builds one pooled collector labelled `name` from many parts.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use notebookos_metrics::Cdf;
+    ///
+    /// let mut a = Cdf::new("a");
+    /// a.record(1.0);
+    /// let mut b = Cdf::new("b");
+    /// b.record(3.0);
+    /// let mut pooled = Cdf::merged("pooled", [&a, &b]);
+    /// assert_eq!(pooled.len(), 2);
+    /// assert_eq!(pooled.percentile(50.0), 2.0);
+    /// ```
+    pub fn merged<'a, I: IntoIterator<Item = &'a Cdf>>(name: impl Into<String>, parts: I) -> Cdf {
+        let mut out = Cdf::new(name);
+        for part in parts {
+            out.merge(part);
+        }
+        out
     }
 
     /// Number of recorded samples.

@@ -8,14 +8,20 @@
 //!   20) — [`Timeline`] and the area-under-gauge integrator
 //!   [`GaugeIntegrator`] used for GPU-hour accounting
 //! * Row-oriented summary tables rendered to the terminal — [`Table`]
+//!
+//! Multi-run sweeps additionally aggregate across seeds: [`MeanCi`]
+//! summarizes a scalar metric's per-seed samples with a 95 % confidence
+//! interval, and [`Cdf::merged`] pools latency distributions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod cdf;
 pub mod table;
 pub mod timeline;
 
+pub use aggregate::MeanCi;
 pub use cdf::Cdf;
 pub use table::{fmt_num, Table};
 pub use timeline::{GaugeIntegrator, Timeline};

@@ -25,7 +25,7 @@ pub type Seconds = f64;
 /// assert_eq!(gpus.value_at(1800.0), 8.0);
 /// assert_eq!(gpus.value_at(7200.0), 16.0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Timeline {
     name: String,
     /// `(time, value)` change points, non-decreasing in time.

@@ -107,6 +107,24 @@ impl TraceProfile {
     }
 }
 
+/// How session arrivals spread over the trace window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ArrivalPattern {
+    /// Arrivals spread over the window with front-loading (uniform^1.5)
+    /// so the Fig. 7 ramp starts immediately — the paper's trace shape.
+    #[default]
+    FrontLoaded,
+    /// Flash crowd: arrivals concentrate into `waves` evenly spaced bursts
+    /// of `wave_width_s` seconds each — the launch-day / lecture-start
+    /// pattern that stresses scale-out and the pre-warm pool.
+    FlashCrowd {
+        /// Number of bursts across the window (at least 1).
+        waves: u32,
+        /// Width of each burst in seconds.
+        wave_width_s: f64,
+    },
+}
+
 /// Configuration for synthesizing a platform workload.
 #[derive(Debug, Clone)]
 pub struct SyntheticConfig {
@@ -123,6 +141,8 @@ pub struct SyntheticConfig {
     pub long_lived_fraction: f64,
     /// Distribution of GPUs requested per session as `(gpus, weight)`.
     pub gpu_demand: Vec<(u32, f64)>,
+    /// How session arrivals spread over the window.
+    pub arrival: ArrivalPattern,
 }
 
 impl SyntheticConfig {
@@ -136,6 +156,7 @@ impl SyntheticConfig {
             gpu_active_fraction: 0.55,
             long_lived_fraction: 0.96,
             gpu_demand: default_gpu_demand(),
+            arrival: ArrivalPattern::FrontLoaded,
         }
     }
 
@@ -148,6 +169,7 @@ impl SyntheticConfig {
             gpu_active_fraction: 0.55,
             long_lived_fraction: 0.92,
             gpu_demand: default_gpu_demand(),
+            arrival: ArrivalPattern::FrontLoaded,
         }
     }
 
@@ -159,6 +181,20 @@ impl SyntheticConfig {
             gpu_active_fraction: 0.6,
             long_lived_fraction: 0.9,
             gpu_demand: default_gpu_demand(),
+            arrival: ArrivalPattern::FrontLoaded,
+        }
+    }
+
+    /// An excerpt-scale workload whose sessions arrive in three tight
+    /// bursts — the flash-crowd scenario the sweep engine ranges over to
+    /// stress scale-out and pre-warm provisioning.
+    pub fn flash_crowd_17_5h() -> Self {
+        SyntheticConfig {
+            arrival: ArrivalPattern::FlashCrowd {
+                waves: 3,
+                wave_width_s: 900.0,
+            },
+            ..SyntheticConfig::excerpt_17_5h()
         }
     }
 }
@@ -203,10 +239,22 @@ pub fn generate_with_profile(
     let mut sessions = Vec::with_capacity(config.sessions);
     for i in 0..config.sessions {
         let mut rng = root.fork(i as u64);
-        // Arrivals spread over the window with front-loading so the Fig. 7
-        // ramp starts immediately (uniform^1.5 biases arrivals early while
-        // keeping the count increasing all the way to the window's end).
-        let start_s = config.span_s * rng.next_f64().powf(1.5) * 0.98;
+        // Arrivals follow the configured pattern; FrontLoaded biases
+        // arrivals early (uniform^1.5) while keeping the count increasing
+        // all the way to the window's end, so the Fig. 7 ramp starts
+        // immediately.
+        let start_s = match config.arrival {
+            ArrivalPattern::FrontLoaded => config.span_s * rng.next_f64().powf(1.5) * 0.98,
+            ArrivalPattern::FlashCrowd {
+                waves,
+                wave_width_s,
+            } => {
+                let waves = waves.max(1);
+                let wave = rng.index(waves as usize) as f64;
+                let base = wave / f64::from(waves) * config.span_s * 0.9;
+                (base + rng.next_f64() * wave_width_s.max(0.0)).min(config.span_s * 0.98)
+            }
+        };
         let end_s = if rng.chance(config.long_lived_fraction) {
             config.span_s
         } else {
@@ -310,6 +358,47 @@ mod tests {
             "max trainings {}",
             trainings.max_value()
         );
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_arrivals() {
+        let cfg = SyntheticConfig::flash_crowd_17_5h();
+        let trace = generate(&cfg, 11);
+        trace.validate().expect("valid trace");
+        let ArrivalPattern::FlashCrowd {
+            waves,
+            wave_width_s,
+        } = cfg.arrival
+        else {
+            panic!("flash-crowd config");
+        };
+        // Every arrival sits inside one of the waves' windows.
+        for s in &trace.sessions {
+            let in_a_wave = (0..waves).any(|w| {
+                let base = f64::from(w) / f64::from(waves) * cfg.span_s * 0.9;
+                s.start_s >= base - 1e-9 && s.start_s <= base + wave_width_s + 1e-9
+            });
+            assert!(in_a_wave, "arrival {} outside every wave", s.start_s);
+        }
+        // And the bursts are real: each wave gets a meaningful share.
+        for w in 0..waves {
+            let base = f64::from(w) / f64::from(waves) * cfg.span_s * 0.9;
+            let n = trace
+                .sessions
+                .iter()
+                .filter(|s| s.start_s >= base && s.start_s <= base + wave_width_s)
+                .count();
+            assert!(n >= 15, "wave {w} holds only {n} of 90 sessions");
+        }
+        assert_eq!(generate(&cfg, 11), generate(&cfg, 11), "deterministic");
+    }
+
+    #[test]
+    fn front_loaded_default_is_unchanged() {
+        // The arrival-pattern field must not disturb the calibrated
+        // default: explicit FrontLoaded equals the named constructors.
+        let cfg = SyntheticConfig::excerpt_17_5h();
+        assert_eq!(cfg.arrival, ArrivalPattern::default());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use notebookos_trace::{from_csv, generate, to_csv, SyntheticConfig};
+use notebookos_trace::{from_csv, generate, to_csv, ArrivalPattern, SyntheticConfig};
 
 fn arb_config() -> impl Strategy<Value = SyntheticConfig> {
     (
@@ -18,6 +18,7 @@ fn arb_config() -> impl Strategy<Value = SyntheticConfig> {
                 gpu_active_fraction: gpu_active,
                 long_lived_fraction: long_lived,
                 gpu_demand: vec![(1, 0.5), (2, 0.3), (4, 0.15), (8, 0.05)],
+                arrival: ArrivalPattern::FrontLoaded,
             },
         )
 }

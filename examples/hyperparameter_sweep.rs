@@ -7,7 +7,8 @@
 //! cargo run --release --example hyperparameter_sweep
 //! ```
 
-use notebookos::core::{Platform, PlatformConfig, PolicyKind};
+use notebookos::core::sweep::{run_jobs, SweepJob};
+use notebookos::core::{PlatformConfig, PolicyKind};
 use notebookos::des::SimRng;
 use notebookos::trace::{assign_profile, SessionTrace, TrainingEvent, WorkloadTrace};
 
@@ -56,8 +57,19 @@ fn main() {
         "\n{:>16} | {:>14} | {:>14} | {:>12} | {:>10}",
         "policy", "delay p50 (s)", "delay p99 (s)", "TCT p50 (s)", "GPU-hours"
     );
-    for policy in PolicyKind::ALL {
-        let mut m = Platform::run(PlatformConfig::evaluation(policy), trace.clone());
+    // All four policies replay the scenario concurrently on the sweep
+    // engine's worker pool; each result is identical to a sequential
+    // `Platform::run` with the same inputs.
+    let shared = std::sync::Arc::new(trace);
+    let jobs: Vec<SweepJob> = PolicyKind::ALL
+        .iter()
+        .map(|&policy| {
+            let config = PlatformConfig::evaluation(policy);
+            let seed = config.seed;
+            SweepJob::new(policy, seed, config, std::sync::Arc::clone(&shared))
+        })
+        .collect();
+    for (policy, mut m) in PolicyKind::ALL.into_iter().zip(run_jobs(jobs, 0)) {
         println!(
             "{:>16} | {:>14.2} | {:>14.2} | {:>12.1} | {:>10.1}",
             policy.to_string(),

@@ -3,7 +3,7 @@
 //! structure.
 
 use notebookos::core::{Platform, PlatformConfig, PolicyKind, Step};
-use notebookos::trace::{generate, SyntheticConfig};
+use notebookos::trace::{generate, ArrivalPattern, SyntheticConfig};
 
 fn run(policy: PolicyKind) -> notebookos::core::RunMetrics {
     let config = SyntheticConfig {
@@ -12,6 +12,7 @@ fn run(policy: PolicyKind) -> notebookos::core::RunMetrics {
         gpu_active_fraction: 0.6,
         long_lived_fraction: 0.95,
         gpu_demand: vec![(1, 0.6), (2, 0.4)],
+        arrival: ArrivalPattern::FrontLoaded,
     };
     Platform::run(PlatformConfig::evaluation(policy), generate(&config, 909))
 }

@@ -2,7 +2,7 @@
 //! workloads, checking the paper's qualitative results end to end.
 
 use notebookos::core::{Platform, PlatformConfig, PolicyKind};
-use notebookos::trace::{generate, SyntheticConfig, WorkloadTrace};
+use notebookos::trace::{generate, ArrivalPattern, SyntheticConfig, WorkloadTrace};
 
 /// A quarter-scale evaluation workload that keeps debug-mode test time low
 /// while preserving the excerpt's shape.
@@ -13,6 +13,7 @@ fn eval_trace() -> WorkloadTrace {
         gpu_active_fraction: 0.55,
         long_lived_fraction: 0.96,
         gpu_demand: vec![(1, 0.60), (2, 0.20), (4, 0.12), (8, 0.08)],
+        arrival: ArrivalPattern::FrontLoaded,
     };
     generate(&config, 1234)
 }
@@ -185,6 +186,7 @@ fn cpu_only_sessions_execute_without_gpus() {
         gpu_active_fraction: 1.0,
         long_lived_fraction: 1.0,
         gpu_demand: vec![(0, 1.0)],
+        arrival: ArrivalPattern::FrontLoaded,
     };
     let trace = generate(&config, 21);
     let expected = trace.total_events() as u64;

@@ -3,10 +3,16 @@
 
 use proptest::prelude::*;
 
-use notebookos::cluster::{Host, ResourceBundle, ResourceRequest};
+use notebookos::cluster::{Cluster, Host, ResourceBundle, ResourceRequest};
+use notebookos::core::sweep::{Scenario, SweepSpec};
+use notebookos::core::{
+    BinPacking, LeastLoaded, PlacementContext, PlacementPolicy, Platform, PlatformConfig,
+    PolicyKind, RandomPlacement, RoundRobin,
+};
 use notebookos::des::{Distribution, Empirical, SimRng};
 use notebookos::jupyter::{wire, Json, JupyterMessage};
 use notebookos::raft::harness::Network;
+use notebookos::trace::SyntheticConfig;
 
 // ---------------------------------------------------------------------
 // Raft safety: state-machine prefix agreement under lossy networks.
@@ -143,6 +149,176 @@ proptest! {
         prop_assert_eq!(sum - b, a);
         prop_assert_eq!(sum.saturating_sub(&a), b);
     }
+}
+
+// ---------------------------------------------------------------------
+// Placement policies: shared viability screen and determinism.
+// ---------------------------------------------------------------------
+
+/// A randomized cluster: per-host (drain die, subscriptions, commits);
+/// `drain == 0` (1 in 4) marks the host draining.
+fn arb_cluster_ops() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::vec((0u8..4, 0u8..16, 0u8..3), 2..10)
+}
+
+fn build_cluster(ops: &[(u8, u8, u8)]) -> Cluster {
+    let mut c = Cluster::with_hosts(ops.len(), ResourceBundle::p3_16xlarge());
+    for (i, &(drain_die, subs, commits)) in ops.iter().enumerate() {
+        let draining = drain_die == 0;
+        let host = c.host_mut(i as u64).expect("host exists");
+        for _ in 0..subs {
+            host.subscribe(&ResourceRequest::one_gpu());
+        }
+        for k in 0..commits {
+            host.commit(u64::from(k) + 1, &ResourceRequest::one_gpu())
+                .expect("commit fits");
+        }
+        host.set_draining(draining);
+    }
+    c
+}
+
+fn all_policies(seed: u64) -> Vec<Box<dyn PlacementPolicy>> {
+    vec![
+        Box::new(LeastLoaded),
+        Box::new(RoundRobin::default()),
+        Box::new(BinPacking),
+        Box::new(RandomPlacement::new(seed)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No policy ever ranks a draining host, whatever the cluster state,
+    /// and rankings never repeat a host.
+    #[test]
+    fn policies_never_rank_draining_hosts(ops in arb_cluster_ops(), seed in 0u64..1000) {
+        let cluster = build_cluster(&ops);
+        let request = ResourceRequest::one_gpu();
+        let ctx = PlacementContext {
+            cluster: &cluster,
+            request: &request,
+            replication_factor: 3,
+        };
+        for policy in &mut all_policies(seed) {
+            // Repeated calls (stateful policies rotate) stay clean too.
+            for _ in 0..3 {
+                let ranked = policy.rank(&ctx);
+                let mut unique = ranked.clone();
+                unique.sort_unstable();
+                unique.dedup();
+                prop_assert_eq!(unique.len(), ranked.len(), "{} repeated a host", policy.name());
+                for id in ranked {
+                    prop_assert!(
+                        !cluster.host(id).expect("ranked host exists").is_draining(),
+                        "{} ranked draining host {}",
+                        policy.name(),
+                        id
+                    );
+                }
+            }
+        }
+    }
+
+    /// For a fixed seed, every policy's ranking sequence is a pure function
+    /// of the context sequence it has seen.
+    #[test]
+    fn policies_are_deterministic_for_a_fixed_seed(ops in arb_cluster_ops(), seed in 0u64..1000) {
+        let cluster = build_cluster(&ops);
+        let request = ResourceRequest::one_gpu();
+        let ctx = PlacementContext {
+            cluster: &cluster,
+            request: &request,
+            replication_factor: 3,
+        };
+        let mut a = all_policies(seed);
+        let mut b = all_policies(seed);
+        for (pa, pb) in a.iter_mut().zip(b.iter_mut()) {
+            for _ in 0..4 {
+                prop_assert_eq!(pa.rank(&ctx), pb.rank(&ctx), "{} diverged", pa.name());
+            }
+        }
+    }
+
+    /// Whenever the SR cap still admits some host, no policy puts a
+    /// cap-forbidden host ahead of an admitted one (the unified-viability
+    /// bugfix: baselines used to rank on total capacity alone).
+    #[test]
+    fn policies_rank_sr_capped_hosts_behind_admitted_ones(ops in arb_cluster_ops(), seed in 0u64..1000) {
+        let cluster = build_cluster(&ops);
+        let request = ResourceRequest::one_gpu();
+        let ctx = PlacementContext {
+            cluster: &cluster,
+            request: &request,
+            replication_factor: 3,
+        };
+        let viable = ctx.viable();
+        for policy in &mut all_policies(seed) {
+            let ranked = policy.rank(&ctx);
+            prop_assert_eq!(ranked.len(), viable.len(), "{} changed the viable set", policy.name());
+            // All within-cap hosts precede all over-cap hosts.
+            let first_over = ranked
+                .iter()
+                .position(|id| viable.over_cap.contains(id))
+                .unwrap_or(ranked.len());
+            for (i, id) in ranked.iter().enumerate() {
+                if viable.within_cap.contains(id) {
+                    prop_assert!(
+                        i < first_over,
+                        "{} ranked admitted host {} behind a cap-forbidden one",
+                        policy.name(),
+                        id
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sweep engine: parallel execution is observationally sequential.
+// ---------------------------------------------------------------------
+
+#[test]
+fn sweep_runs_equal_sequential_runs() {
+    let scenario = Scenario::new("smoke", SyntheticConfig::smoke());
+    let spec = SweepSpec::new()
+        .policies(vec![PolicyKind::Reservation, PolicyKind::NotebookOs])
+        .seeds(vec![41, 42])
+        .scenarios(vec![scenario.clone()])
+        .workers(3);
+    let report = spec.run();
+    assert_eq!(report.len(), 4);
+    for run in &report.runs {
+        let mut config = PlatformConfig::evaluation(run.policy);
+        config.seed = run.seed;
+        let sequential = Platform::run(config, scenario.trace(run.seed));
+        assert_eq!(
+            run.metrics, sequential,
+            "{} seed {}: sweep metrics must be bit-identical to a sequential run",
+            run.policy, run.seed
+        );
+    }
+    // Aggregation is pure over the per-run records: pooled sample counts
+    // and totals match hand-computed sums.
+    let agg = report
+        .aggregate("smoke", PolicyKind::NotebookOs)
+        .expect("cell exists");
+    let runs = report.runs_for("smoke", PolicyKind::NotebookOs);
+    assert_eq!(agg.seeds, vec![41, 42]);
+    assert_eq!(
+        agg.interactivity_ms.len(),
+        runs.iter()
+            .map(|r| r.metrics.interactivity_ms.len())
+            .sum::<usize>()
+    );
+    assert_eq!(
+        agg.executions,
+        runs.iter()
+            .map(|r| r.metrics.counters.executions)
+            .sum::<u64>()
+    );
 }
 
 // ---------------------------------------------------------------------

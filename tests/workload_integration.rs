@@ -2,7 +2,7 @@
 //! plus the Fig. 13 reclamation analysis at scale.
 
 use notebookos::core::{analyze_reclamation, fig13_sweep, Platform, PlatformConfig, PolicyKind};
-use notebookos::trace::{from_csv, generate, to_csv, SyntheticConfig};
+use notebookos::trace::{from_csv, generate, to_csv, ArrivalPattern, SyntheticConfig};
 
 #[test]
 fn csv_round_trip_preserves_simulation_results() {
@@ -69,6 +69,7 @@ fn oracle_curve_lower_bounds_every_policy() {
         gpu_active_fraction: 0.6,
         long_lived_fraction: 0.95,
         gpu_demand: vec![(1, 0.7), (2, 0.3)],
+        arrival: ArrivalPattern::FrontLoaded,
     };
     let trace = generate(&config, 11);
     let span = trace.span_s();
