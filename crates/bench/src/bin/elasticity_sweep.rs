@@ -1,0 +1,204 @@
+//! Elasticity control-plane comparison: runs NotebookOS under all three
+//! elasticity policies (threshold / shape-aware / hysteresis) across the
+//! three stress scenarios they were built for — flash-crowd arrivals,
+//! diurnal arrivals, and a heterogeneous host fleet — and reports
+//! per-policy cost/latency aggregates with 95 % CIs. Per-run records are
+//! persisted as CSV + JSON so figures re-render without re-running.
+//!
+//! ```text
+//! cargo run --release -p notebookos-bench --bin elasticity_sweep -- \
+//!     [--smoke] [--workers N] [--out DIR]
+//! ```
+
+use notebookos_core::sweep::{Scenario, SweepSpec};
+use notebookos_core::{ElasticityKind, PlatformConfig, PolicyKind};
+use notebookos_metrics::Table;
+use notebookos_trace::{ArrivalPattern, SyntheticConfig};
+
+/// Base configuration for every run: the NotebookOS evaluation setup with
+/// the pre-warm reconcile loop enabled (the control plane under test).
+fn elastic_config(policy: PolicyKind) -> PlatformConfig {
+    let mut config = PlatformConfig::evaluation(policy);
+    config.autoscale.prewarm_reconcile_interval_s = Some(120.0);
+    config
+}
+
+/// The full-scale scenario axis: the three stress patterns at excerpt
+/// scale (§5.2's 17.5-hour window).
+fn full_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::flash_crowd(),
+        Scenario::diurnal(),
+        Scenario::heterogeneous_hosts(),
+    ]
+}
+
+/// Smoke mode shrinks the fleet floor so quarter-scale workloads still
+/// exercise scale-out and scale-in.
+fn smoke_config(policy: PolicyKind) -> PlatformConfig {
+    let mut config = elastic_config(policy);
+    config.initial_hosts = 3;
+    config.autoscale.min_hosts = 2;
+    config.autoscale.scaling_buffer_hosts = 0;
+    config
+}
+
+/// CI-speed variants: same stress shapes, quarter-scale populations and
+/// windows, tuned so each scenario still trips its control-plane path
+/// (scale-out bursts, diurnal troughs, mixed-shape demand).
+fn smoke_scenarios() -> Vec<Scenario> {
+    let flash = SyntheticConfig {
+        sessions: 18,
+        span_s: 3.0 * 3600.0,
+        ..SyntheticConfig::flash_crowd_17_5h()
+    };
+    let diurnal = SyntheticConfig {
+        sessions: 24,
+        span_s: 3.0 * 3600.0,
+        long_lived_fraction: 0.4,
+        arrival: ArrivalPattern::Diurnal {
+            period_s: 3600.0,
+            peak_to_trough: 4.0,
+        },
+        ..SyntheticConfig::excerpt_17_5h()
+    };
+    // Mostly-small kernels with an 8-GPU tail on a tiny mixed fleet: the
+    // workload the shape-aware regression test uses, where tick deficits
+    // spill into 4-GPU boxes while 8-GPU shortfalls pull full trainers.
+    let hetero = SyntheticConfig {
+        sessions: 40,
+        span_s: 3.0 * 3600.0,
+        gpu_active_fraction: 0.7,
+        long_lived_fraction: 0.9,
+        gpu_demand: vec![(1, 0.6), (2, 0.25), (8, 0.15)],
+        arrival: ArrivalPattern::FlashCrowd {
+            waves: 2,
+            wave_width_s: 600.0,
+        },
+    };
+    vec![
+        Scenario::new("flash-crowd", flash),
+        Scenario::new("diurnal", diurnal),
+        Scenario::new("heterogeneous-hosts", hetero).with_host_mix(vec![
+            (notebookos_cluster::ResourceBundle::p3_16xlarge(), 2),
+            (
+                notebookos_cluster::ResourceBundle::new(32_000, 249_856, 4),
+                2,
+            ),
+        ]),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let workers: usize = flag_value("--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let out_dir = flag_value("--out").unwrap_or_else(|| "results/elasticity".to_string());
+
+    let scenarios = if smoke {
+        smoke_scenarios()
+    } else {
+        full_scenarios()
+    };
+    let seeds: Vec<u64> = if smoke {
+        vec![1, 2]
+    } else {
+        (0..5).map(|i| 2026 + i).collect()
+    };
+    let spec = SweepSpec::new()
+        .policies(vec![PolicyKind::NotebookOs])
+        .all_elasticities()
+        .seeds(seeds)
+        .scenarios(scenarios.clone())
+        .configure(if smoke { smoke_config } else { elastic_config })
+        .workers(workers);
+    let total_jobs = spec.jobs().len();
+    eprintln!(
+        "elasticity_sweep: {} runs ({} scenarios x {} elasticities x {} seeds)",
+        total_jobs,
+        scenarios.len(),
+        ElasticityKind::ALL.len(),
+        spec.seeds.len()
+    );
+    let report = spec.run_with_progress(|done, total| {
+        eprintln!("  [{done}/{total}] runs complete");
+    });
+
+    for scenario in &scenarios {
+        let mut table = Table::new(
+            format!("NotebookOS elasticity policies — {}", scenario.name),
+            &[
+                "elasticity",
+                "interactivity p50 (ms)",
+                "provider cost ($)",
+                "GPU-h saved",
+                "scale-outs",
+                "scale-ins",
+                "shapes",
+            ],
+        );
+        for kind in ElasticityKind::ALL {
+            let Some(agg) = report.aggregate_cell(&scenario.name, PolicyKind::NotebookOs, kind)
+            else {
+                continue;
+            };
+            let shapes = report
+                .runs_for_cell(&scenario.name, PolicyKind::NotebookOs, kind)
+                .iter()
+                .map(|r| r.metrics.distinct_shapes_provisioned())
+                .max()
+                .unwrap_or(0);
+            table.row_owned(vec![
+                kind.to_string(),
+                format!(
+                    "{:.1} ± {:.1}",
+                    agg.interactivity_p50_ms.mean,
+                    agg.interactivity_p50_ms.hi() - agg.interactivity_p50_ms.mean
+                ),
+                format!("{:.2}", agg.provider_cost_usd.mean),
+                format!("{:.1}", agg.gpu_hours_saved.mean),
+                format!("{:.1}", agg.scale_outs.mean),
+                format!("{:.1}", agg.scale_ins.mean),
+                format!("{shapes}"),
+            ]);
+        }
+        println!("{table}");
+    }
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let csv = format!("{out_dir}/elasticity_sweep.csv");
+    let json = format!("{out_dir}/elasticity_sweep.json");
+    report.write_csv(&csv).expect("write CSV");
+    report.write_json(&json).expect("write JSON");
+    println!("per-run records: {csv} and {json} ({} runs)", report.len());
+
+    // Control-plane sanity the CI smoke run enforces: the shape-aware
+    // policy must actually diversify on the heterogeneous fleet.
+    let diversified = report
+        .runs_for_cell(
+            "heterogeneous-hosts",
+            PolicyKind::NotebookOs,
+            ElasticityKind::ShapeAware,
+        )
+        .iter()
+        .any(|r| r.metrics.distinct_shapes_provisioned() >= 2);
+    let reconciled = report
+        .runs
+        .iter()
+        .any(|r| r.metrics.counters.prewarms_reconciled > 0);
+    assert!(
+        reconciled,
+        "prewarm reconcile loop never fired across the sweep"
+    );
+    assert!(
+        diversified,
+        "shape-aware stayed monoculture on the heterogeneous fleet"
+    );
+}

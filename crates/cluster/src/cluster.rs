@@ -226,6 +226,23 @@ impl Cluster {
         viable
     }
 
+    /// The fleet's shape census: distinct host shapes with their counts,
+    /// ascending by `(gpus, millicpus, memory_mb)` — the catalog the
+    /// platform hands a shape-aware elasticity policy, so "first covering
+    /// shape" means "cheapest covering shape".
+    pub fn shape_census(&self) -> Vec<(ResourceBundle, u32)> {
+        let mut census: Vec<(ResourceBundle, u32)> = Vec::new();
+        for h in &self.hosts {
+            let shape = h.capacity();
+            match census.iter_mut().find(|(s, _)| *s == shape) {
+                Some(slot) => slot.1 += 1,
+                None => census.push((shape, 1)),
+            }
+        }
+        census.sort_by_key(|(s, _)| (s.gpus, s.millicpus, s.memory_mb));
+        census
+    }
+
     /// Hosts with zero replicas and zero commitments — candidates for
     /// scale-in (§3.4.2: "idle servers are those with no active training
     /// kernel replicas").
@@ -351,6 +368,23 @@ mod tests {
         assert_eq!(c.total_gpus(), 2 * 8 + 3 * 4);
         assert_eq!(c.host(0).unwrap().capacity().gpus, 8);
         assert_eq!(c.host(4).unwrap().capacity().gpus, 4);
+    }
+
+    #[test]
+    fn shape_census_counts_distinct_shapes() {
+        let small = ResourceBundle::new(32_000, 249_856, 4);
+        let mut c = Cluster::with_host_mix(&[(ResourceBundle::p3_16xlarge(), 2), (small, 3)]);
+        assert_eq!(
+            c.shape_census(),
+            vec![(small, 3), (ResourceBundle::p3_16xlarge(), 2)],
+            "ascending by gpus"
+        );
+        c.remove_host(0);
+        assert_eq!(
+            c.shape_census(),
+            vec![(small, 3), (ResourceBundle::p3_16xlarge(), 1)]
+        );
+        assert!(Cluster::new().shape_census().is_empty());
     }
 
     #[test]

@@ -107,6 +107,11 @@ impl PrewarmPool {
         self.in_flight.get(&host).copied().unwrap_or(0)
     }
 
+    /// Total provisions in flight across the cluster.
+    pub fn total_in_flight(&self) -> u32 {
+        self.in_flight.values().sum()
+    }
+
     /// Registers `count` container provisions as started for `host`. Each
     /// must be resolved later with [`PrewarmPool::provision_complete`].
     pub fn begin_provision(&mut self, host: HostId, count: u32) {
@@ -212,6 +217,7 @@ mod tests {
         pool.begin_provision(1, 2);
         pool.begin_provision(2, 1);
         assert_eq!(pool.in_flight_on(1), 2);
+        assert_eq!(pool.total_in_flight(), 3);
         // One completes normally and lands in the pool.
         assert!(pool.provision_complete(1));
         assert_eq!(pool.warm_on(1), 1);

@@ -68,6 +68,70 @@ impl std::fmt::Display for PlacementKind {
     }
 }
 
+/// Which elasticity (auto-scaling) policy drives scale-out, scale-in, and
+/// pre-warm reconciliation decisions. The decision logic itself lives in
+/// [`crate::elasticity`]; this enum is the sweepable configuration axis,
+/// exactly like [`PlacementKind`] is for replica placement.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ElasticityKind {
+    /// The paper's §3.4.2 threshold controller: targets
+    /// `ΣG' = f · ΣC` in host-equivalents and always provisions
+    /// `host_shape` hosts. Bit-identical to the pre-elasticity platform on
+    /// homogeneous fleets.
+    #[default]
+    Threshold,
+    /// Shape-aware scaling for heterogeneous fleets: provisions the
+    /// cheapest shape in the fleet's catalog that satisfies the queued
+    /// GPU/VRAM demand, with targets billed in host-equivalents.
+    ShapeAware,
+    /// Threshold targets wrapped in hysteresis: scale-out is rate-limited
+    /// by a cooldown and scale-in only fires after a sustained surplus,
+    /// damping the provision/release churn diurnal workloads induce.
+    Hysteresis {
+        /// Minimum seconds between two tick-driven scale-outs.
+        cooldown_s: f64,
+        /// Consecutive surplus ticks required before any host is released.
+        surplus_ticks: u32,
+    },
+}
+
+impl ElasticityKind {
+    /// The three bundled policies with default parameters, in sweep order.
+    pub const ALL: [ElasticityKind; 3] = [
+        ElasticityKind::Threshold,
+        ElasticityKind::ShapeAware,
+        ElasticityKind::hysteresis(),
+    ];
+
+    /// Hysteresis with the default damping parameters (2-minute cooldown,
+    /// 4 surplus ticks ≈ 2 minutes at the default 30 s interval).
+    pub const fn hysteresis() -> Self {
+        ElasticityKind::Hysteresis {
+            cooldown_s: 120.0,
+            surplus_ticks: 4,
+        }
+    }
+}
+
+impl std::fmt::Display for ElasticityKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElasticityKind::Threshold => write!(f, "threshold"),
+            ElasticityKind::ShapeAware => write!(f, "shape-aware"),
+            // Parameters are part of the label: a sweep ranging over
+            // differently-tuned hysteresis cells must keep them apart in
+            // tables and persisted CSV/JSON records.
+            ElasticityKind::Hysteresis {
+                cooldown_s,
+                surplus_ticks,
+            } => write!(
+                f,
+                "hysteresis(cooldown={cooldown_s}s,surplus={surplus_ticks})"
+            ),
+        }
+    }
+}
+
 /// Billing parameters (§5.5.1).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BillingConfig {
@@ -112,6 +176,17 @@ pub struct AutoscaleConfig {
     /// committed-GPU signal alone cannot see (§3.4.1/§3.4.2). `None`
     /// disables the term (LCP has no standing subscriptions).
     pub sr_target: Option<f64>,
+    /// Which elasticity policy turns these parameters into scaling
+    /// decisions (see [`crate::elasticity`]).
+    pub elasticity: ElasticityKind,
+    /// When set, a periodic tick re-evaluates [`PrewarmPool::deficits`]
+    /// and provisions the missing warm containers, so pools self-heal
+    /// after a flash crowd drains them. `None` keeps the pre-elasticity
+    /// behavior (pools refill only at host-ready), preserving bit-exact
+    /// reproduction of earlier results.
+    ///
+    /// [`PrewarmPool::deficits`]: notebookos_cluster::PrewarmPool::deficits
+    pub prewarm_reconcile_interval_s: Option<f64>,
 }
 
 impl Default for AutoscaleConfig {
@@ -124,6 +199,8 @@ impl Default for AutoscaleConfig {
             max_release_per_step: 2,
             min_hosts: 4,
             sr_target: None,
+            elasticity: ElasticityKind::Threshold,
+            prewarm_reconcile_interval_s: None,
         }
     }
 }
@@ -245,6 +322,23 @@ impl PlatformConfig {
         if !(1.0..10.0).contains(&self.billing.user_multiplier) {
             return Err("user multiplier out of range".into());
         }
+        if let Some(interval) = self.autoscale.prewarm_reconcile_interval_s {
+            if !interval.is_finite() || interval <= 0.0 {
+                return Err("prewarm reconcile interval must be positive".into());
+            }
+        }
+        if let ElasticityKind::Hysteresis {
+            cooldown_s,
+            surplus_ticks,
+        } = self.autoscale.elasticity
+        {
+            if !cooldown_s.is_finite() || cooldown_s < 0.0 {
+                return Err("hysteresis cooldown must be non-negative".into());
+            }
+            if surplus_ticks == 0 {
+                return Err("hysteresis needs at least one surplus tick".into());
+            }
+        }
         Ok(())
     }
 }
@@ -315,5 +409,55 @@ mod tests {
     #[test]
     fn policy_display() {
         assert_eq!(PolicyKind::NotebookOsLcp.to_string(), "NotebookOS (LCP)");
+    }
+
+    #[test]
+    fn elasticity_defaults_and_display() {
+        assert_eq!(ElasticityKind::default(), ElasticityKind::Threshold);
+        assert_eq!(
+            AutoscaleConfig::default().elasticity,
+            ElasticityKind::Threshold
+        );
+        assert_eq!(
+            AutoscaleConfig::default().prewarm_reconcile_interval_s,
+            None
+        );
+        assert_eq!(ElasticityKind::Threshold.to_string(), "threshold");
+        assert_eq!(ElasticityKind::ShapeAware.to_string(), "shape-aware");
+        assert_eq!(
+            ElasticityKind::hysteresis().to_string(),
+            "hysteresis(cooldown=120s,surplus=4)",
+            "differently-tuned cells must label distinctly"
+        );
+        assert_ne!(
+            ElasticityKind::Hysteresis {
+                cooldown_s: 60.0,
+                surplus_ticks: 2
+            }
+            .to_string(),
+            ElasticityKind::hysteresis().to_string()
+        );
+        assert_eq!(ElasticityKind::ALL.len(), 3);
+    }
+
+    #[test]
+    fn elasticity_validation() {
+        let mut cfg = PlatformConfig::evaluation(PolicyKind::NotebookOs);
+        cfg.autoscale.prewarm_reconcile_interval_s = Some(0.0);
+        assert!(cfg.validate().is_err(), "zero reconcile interval rejected");
+        cfg.autoscale.prewarm_reconcile_interval_s = Some(60.0);
+        cfg.validate().expect("positive interval is valid");
+        cfg.autoscale.elasticity = ElasticityKind::Hysteresis {
+            cooldown_s: -1.0,
+            surplus_ticks: 4,
+        };
+        assert!(cfg.validate().is_err(), "negative cooldown rejected");
+        cfg.autoscale.elasticity = ElasticityKind::Hysteresis {
+            cooldown_s: 60.0,
+            surplus_ticks: 0,
+        };
+        assert!(cfg.validate().is_err(), "zero surplus ticks rejected");
+        cfg.autoscale.elasticity = ElasticityKind::hysteresis();
+        cfg.validate().expect("default hysteresis is valid");
     }
 }

@@ -161,6 +161,9 @@ impl<P: PlacementPolicy> KernelProvisioner for GatewayProvisioner<P> {
             .into_iter()
             .take(self.replication_factor as usize)
             .collect();
+        // Report the consumed hosts so stateful policies (RoundRobin)
+        // rotate past the whole placement — rank() itself is pure.
+        self.policy.placed(&chosen);
         let mut endpoints = Vec::with_capacity(chosen.len());
         for (index, &host) in chosen.iter().enumerate() {
             let replica = ReplicaId::new(kernel_seq, index as u32);
@@ -305,6 +308,28 @@ mod tests {
         for host in g.cluster().hosts() {
             assert!(host.replica_count() > 0, "host {} unused", host.id());
         }
+    }
+
+    #[test]
+    fn round_robin_rotates_across_launches() {
+        // Regression: rank() is pure since the placed() feedback change,
+        // so the gateway must report consumed hosts or every launch would
+        // re-rank from the same rotation point and pile kernels onto
+        // hosts {0, 1, 2} forever.
+        let cluster = Cluster::with_hosts(5, ResourceBundle::p3_16xlarge());
+        let mut g = GatewayProvisioner::new(cluster, crate::policy::RoundRobin::default(), 3);
+        g.launch("k1", spec()).expect("launches");
+        g.launch("k2", spec()).expect("launches");
+        assert_eq!(
+            g.placement("k1").unwrap().replica_hosts,
+            vec![0, 1, 2],
+            "first placement takes the rotation head"
+        );
+        assert_eq!(
+            g.placement("k2").unwrap().replica_hosts,
+            vec![3, 4, 0],
+            "second placement resumes after the last consumed host"
+        );
     }
 
     #[test]

@@ -11,13 +11,18 @@
 
 use std::collections::VecDeque;
 
-use notebookos_cluster::{Cluster, HostId, PrewarmPool, ProvisioningModel, ResourceRequest};
+use notebookos_cluster::{
+    Cluster, HostId, MinPerHost, PrewarmPool, ProvisioningModel, ResourceBundle, ResourceRequest,
+};
 use notebookos_datastore::DataStore;
 use notebookos_des::{EventQueue, SimRng, SimTime, Simulation, World};
 use notebookos_trace::WorkloadTrace;
 
 use crate::billing::BillingMeter;
 use crate::config::{PlacementKind, PlatformConfig, PolicyKind};
+use crate::elasticity::{
+    self, DemandShortfall, ElasticityAction, ElasticityContext, ElasticityPolicy,
+};
 use crate::election::{Designation, ElectionModel};
 use crate::latency_breakdown::Step;
 use crate::policy::{
@@ -47,10 +52,15 @@ pub enum Ev {
     },
     /// Retry a failed migration (§3.2.3).
     MigrationRetry { s: usize, e: usize, submit_us: u64 },
-    /// A scale-out completes: one new host joins.
-    HostReady,
+    /// A scale-out completes: one new host of the carried shape joins.
+    HostReady(ResourceBundle),
     /// Periodic auto-scaler evaluation (§3.4.2).
     AutoscaleTick,
+    /// Periodic pre-warm deficit reconciliation (opt-in via
+    /// [`crate::config::AutoscaleConfig::prewarm_reconcile_interval_s`]):
+    /// pools self-heal after a flash crowd drains them instead of waiting
+    /// for the next host arrival.
+    PrewarmReconcileTick,
     /// Periodic billing/metrics snapshot.
     MetricsTick,
     /// An injected fail-stop failure of one kernel replica (§3.2.5).
@@ -106,6 +116,14 @@ pub struct Platform {
     pending_kernels: VecDeque<usize>,
     /// Hosts currently being provisioned by scale-out.
     hosts_in_flight: u32,
+    /// GPUs aboard the in-flight hosts (shape-aware fleets provision
+    /// mixed shapes, so a host count alone no longer measures capacity).
+    gpus_in_flight: u64,
+    /// The elasticity policy deciding scale-out/scale-in/reconciliation
+    /// (`None` only transiently while the policy is consulted).
+    elasticity: Option<Box<dyn ElasticityPolicy + Send>>,
+    /// Shapes scale-out may provision, ascending by GPU count.
+    shape_catalog: Vec<ResourceBundle>,
     placement: Box<dyn PlacementPolicy + Send>,
     billing: BillingMeter,
     standby_replicas: i64,
@@ -160,6 +178,19 @@ impl Platform {
             PlacementKind::BinPacking => Box::new(BinPacking),
             PlacementKind::Random => Box::new(RandomPlacement::new(config.seed ^ 0xFACE)),
         };
+        // Distinct shapes scale-out may provision: the initial fleet's
+        // census for heterogeneous fleets (ascending by GPU count, so
+        // "first covering" is "cheapest covering"), or just `host_shape`.
+        let shape_catalog: Vec<ResourceBundle> = if config.host_mix.is_empty() {
+            vec![config.host_shape]
+        } else {
+            cluster
+                .shape_census()
+                .into_iter()
+                .map(|(shape, _)| shape)
+                .collect()
+        };
+        let elasticity = Some(elasticity::build(config.autoscale.elasticity));
         let mut platform = Platform {
             placement,
             pool: PrewarmPool::new(),
@@ -171,6 +202,9 @@ impl Platform {
             batch_queue: VecDeque::new(),
             pending_kernels: VecDeque::new(),
             hosts_in_flight: 0,
+            gpus_in_flight: 0,
+            elasticity,
+            shape_catalog,
             billing,
             standby_replicas: 0,
             training_gpus: 0,
@@ -182,12 +216,25 @@ impl Platform {
         };
         platform.refresh_fleet_billing(0.0);
         platform.refresh_provisioned_gauge(0.0);
-        platform.seed_prewarm_pool();
+        elasticity::seed_prewarm_pool(
+            &mut platform.pool,
+            &platform.cluster,
+            platform.config.prewarm_min_per_host,
+        );
         platform
     }
 
     /// Runs the full trace and returns the collected metrics.
     pub fn run(config: PlatformConfig, trace: WorkloadTrace) -> RunMetrics {
+        let world = Platform::run_for_inspection(config, trace);
+        world.metrics
+    }
+
+    /// Runs the full trace but returns the whole sealed world, so tests
+    /// and tools can inspect end-of-run state ([`Platform::cluster`],
+    /// [`Platform::pool`]) alongside [`Platform::metrics`] — the metrics
+    /// are identical to what [`Platform::run`] returns.
+    pub fn run_for_inspection(config: PlatformConfig, trace: WorkloadTrace) -> Platform {
         let mut platform = Platform::new(config, trace);
         let mut queue = EventQueue::new();
         platform.schedule_initial(&mut queue);
@@ -196,8 +243,9 @@ impl Platform {
         std::mem::swap(sim.queue_mut(), &mut queue);
         sim.run_until(horizon);
         let end = sim.now();
-        let world = sim.into_world();
-        world.finish(end)
+        let mut world = sim.into_world();
+        world.seal(end);
+        world
     }
 
     fn schedule_initial(&mut self, queue: &mut EventQueue<Ev>) {
@@ -220,6 +268,11 @@ impl Platform {
                 SimTime::from_secs_f64(self.config.autoscale.interval_s),
                 Ev::AutoscaleTick,
             );
+        }
+        if let Some(interval_s) = self.config.autoscale.prewarm_reconcile_interval_s {
+            if self.config.prewarm_min_per_host > 0 {
+                queue.schedule(SimTime::from_secs_f64(interval_s), Ev::PrewarmReconcileTick);
+            }
         }
         queue.schedule(SimTime::from_secs(3600), Ev::MetricsTick);
         if self.config.replica_mtbf_hours.is_some() {
@@ -282,12 +335,12 @@ impl Platform {
         }
     }
 
-    fn finish(mut self, end: SimTime) -> RunMetrics {
+    /// Stamps the final time and billing sample into the metrics.
+    fn seal(&mut self, end: SimTime) {
         let end_s = end.as_secs_f64();
         self.metrics.end_s = end_s;
         let (cost, revenue) = self.billing.totals(end_s);
         self.metrics.billing_samples.push((end_s, cost, revenue));
-        self.metrics
     }
 
     // ------------------------------------------------------------------
@@ -360,15 +413,6 @@ impl Platform {
         self.standby_replicas = (self.standby_replicas + delta).max(0);
         self.billing
             .set_standby_replicas(now_s, self.standby_replicas as u32);
-    }
-
-    fn seed_prewarm_pool(&mut self) {
-        let hosts: Vec<HostId> = self.cluster.hosts().iter().map(|h| h.id()).collect();
-        for host in hosts {
-            for _ in 0..self.config.prewarm_min_per_host {
-                self.pool.put(host);
-            }
-        }
     }
 
     fn route_hops(&mut self, hops: u32) -> SimTime {
@@ -486,10 +530,13 @@ impl Platform {
             if !self.pending_kernels.contains(&s) {
                 self.pending_kernels.push_back(s);
             }
-            self.trigger_scale_out(now, shortfall, queue);
+            self.trigger_scale_out(now, shortfall, req, queue);
             return;
         }
         let chosen: Vec<HostId> = candidates.into_iter().take(r as usize).collect();
+        // Report the consumed hosts back so stateful policies (RoundRobin)
+        // advance past the whole placement, not one ranked host.
+        self.placement.placed(&chosen);
         for &host in &chosen {
             self.cluster
                 .host_mut(host)
@@ -829,7 +876,7 @@ impl Platform {
                 return;
             }
             // Placement failure triggers scale-out (§3.4.2).
-            self.trigger_scale_out(now, 1, queue);
+            self.trigger_scale_out(now, 1, req, queue);
             queue.schedule_in(
                 now,
                 SimTime::from_secs_f64(self.config.migration_retry_interval_s),
@@ -930,7 +977,7 @@ impl Platform {
             .map(|(_, _, id)| id);
         let Some(host) = host else {
             // No capacity: queue like a batch system and trigger scale-out.
-            self.trigger_scale_out(now, 1, queue);
+            self.trigger_scale_out(now, 1, req, queue);
             self.sessions[s].busy = false;
             queue.schedule_in(
                 now,
@@ -1120,26 +1167,151 @@ impl Platform {
     }
 
     // ------------------------------------------------------------------
-    // Scaling
+    // Elasticity: the platform routes fleet events to the configured
+    // policy (crate::elasticity) and applies the actions it returns.
     // ------------------------------------------------------------------
 
-    fn trigger_scale_out(&mut self, now: SimTime, hosts: u32, queue: &mut EventQueue<Ev>) {
-        if !self.config.autoscale.enabled {
-            return;
+    /// Consults the elasticity policy with a read-only fleet snapshot.
+    /// `with_queued` controls whether the snapshot carries the parked
+    /// kernels' resource requests: scaling decisions (ticks, shortfalls)
+    /// need them, while host-ready/removed notifications fire once per
+    /// fleet event and skip the per-consult collection.
+    fn consult_elasticity<F>(
+        &mut self,
+        now: SimTime,
+        with_queued: bool,
+        consult: F,
+    ) -> Vec<ElasticityAction>
+    where
+        F: FnOnce(&mut dyn ElasticityPolicy, &ElasticityContext<'_>) -> Vec<ElasticityAction>,
+    {
+        let mut policy = self.elasticity.take().expect("elasticity policy present");
+        let queued_demand: Vec<ResourceRequest> = if with_queued {
+            self.pending_kernels
+                .iter()
+                .map(|&s| self.sessions[s].req)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let ctx = ElasticityContext {
+            cluster: &self.cluster,
+            pool: &self.pool,
+            autoscale: &self.config.autoscale,
+            host_shape: self.config.host_shape,
+            shape_catalog: &self.shape_catalog,
+            replication_factor: self.config.replication_factor,
+            hosts_in_flight: self.hosts_in_flight,
+            gpus_in_flight: self.gpus_in_flight,
+            queued_demand: &queued_demand,
+            now_s: now.as_secs_f64(),
+        };
+        let actions = consult(policy.as_mut(), &ctx);
+        self.elasticity = Some(policy);
+        actions
+    }
+
+    /// Applies elasticity actions: charges provisioning latencies,
+    /// retires idle hosts, reconciles the pre-warm pool, and refreshes the
+    /// fleet gauges — all the mechanics the policies are forbidden to
+    /// touch. Follow-up actions a policy emits from its host-ready/removed
+    /// notifications join the same worklist.
+    fn apply_elasticity(
+        &mut self,
+        now: SimTime,
+        actions: Vec<ElasticityAction>,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        let now_s = now.as_secs_f64();
+        let mut worklist: VecDeque<ElasticityAction> = actions.into();
+        let mut retired_any = false;
+        let mut provisioned_any = false;
+        while let Some(action) = worklist.pop_front() {
+            match action {
+                ElasticityAction::ProvisionHosts { shape, count } => {
+                    if count == 0 {
+                        continue;
+                    }
+                    // One scaling *decision* counts once, however many
+                    // shapes it spans — a shape-aware tick that plans two
+                    // shapes must compare 1:1 against a threshold tick.
+                    if !provisioned_any {
+                        provisioned_any = true;
+                        self.metrics.counters.scale_outs += 1;
+                        self.metrics.scale_out_times_s.push(now_s);
+                    }
+                    self.metrics
+                        .record_hosts_provisioned(shape, u64::from(count));
+                    for _ in 0..count {
+                        self.hosts_in_flight += 1;
+                        self.gpus_in_flight += u64::from(shape.gpus);
+                        let latency = self.provisioning.vm_scale_out_for(
+                            &mut self.rng,
+                            shape.gpus,
+                            self.config.host_shape.gpus,
+                        );
+                        queue.schedule_in(now, latency, Ev::HostReady(shape));
+                    }
+                }
+                ElasticityAction::RetireHost { host } => {
+                    // §3.4.2 releases *idle* servers only (no kernel
+                    // replicas at all): draining hosts that still hold
+                    // replica subscriptions would block placements and
+                    // ratchet the fleet upward. The policy decided on a
+                    // snapshot, so re-check before removing.
+                    let Some(h) = self.cluster.host(host) else {
+                        continue;
+                    };
+                    if h.replica_count() != 0 || h.active_commitments() != 0 {
+                        continue;
+                    }
+                    let shape = h.capacity();
+                    // Reconcile the pool: warm containers vanish with the
+                    // host and in-flight provisions are discarded on
+                    // arrival.
+                    let dropped = self.pool.forget_host(host);
+                    self.metrics.counters.prewarms_discarded += u64::from(dropped.total());
+                    self.cluster.remove_host(host);
+                    self.metrics.counters.scale_ins += 1;
+                    self.metrics.record_host_retired(shape);
+                    retired_any = true;
+                    let follow =
+                        self.consult_elasticity(now, false, |p, ctx| p.on_host_removed(ctx, host));
+                    worklist.extend(follow);
+                }
+                ElasticityAction::ReconcilePrewarm => self.reconcile_prewarm(now, queue),
+            }
         }
-        self.metrics.counters.scale_outs += 1;
-        self.metrics.scale_out_times_s.push(now.as_secs_f64());
-        for _ in 0..hosts {
-            self.hosts_in_flight += 1;
-            let latency = self.provisioning.vm_scale_out(&mut self.rng);
-            queue.schedule_in(now, latency, Ev::HostReady);
+        if retired_any {
+            self.refresh_fleet_billing(now_s);
+            self.refresh_provisioned_gauge(now_s);
+            self.refresh_sr_gauge(now_s);
         }
     }
 
-    fn on_host_ready(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
+    /// Demand found no viable host: route the shortfall to the policy
+    /// (§3.4.2's scale-out trigger).
+    fn trigger_scale_out(
+        &mut self,
+        now: SimTime,
+        replicas: u32,
+        request: ResourceRequest,
+        queue: &mut EventQueue<Ev>,
+    ) {
+        if !self.config.autoscale.enabled {
+            return;
+        }
+        let shortfall = DemandShortfall { replicas, request };
+        let actions =
+            self.consult_elasticity(now, true, |p, ctx| p.on_demand_shortfall(ctx, shortfall));
+        self.apply_elasticity(now, actions, queue);
+    }
+
+    fn on_host_ready(&mut self, now: SimTime, shape: ResourceBundle, queue: &mut EventQueue<Ev>) {
         let now_s = now.as_secs_f64();
         self.hosts_in_flight = self.hosts_in_flight.saturating_sub(1);
-        let id = self.cluster.add_host(self.config.host_shape);
+        self.gpus_in_flight = self.gpus_in_flight.saturating_sub(u64::from(shape.gpus));
+        let id = self.cluster.add_host(shape);
         // Pre-warm containers provision asynchronously (§3.2.3): the pool
         // tracks them as in flight until each start completes, so a host
         // scaled back in before then reconciles instead of leaking counts.
@@ -1152,6 +1324,8 @@ impl Platform {
         self.refresh_fleet_billing(now_s);
         self.refresh_provisioned_gauge(now_s);
         self.refresh_sr_gauge(now_s);
+        let follow = self.consult_elasticity(now, false, |p, ctx| p.on_host_ready(ctx, id));
+        self.apply_elasticity(now, follow, queue);
         // Resume parked kernel creations (§3.4.2: "resources are
         // immediately reserved for the paused kernel replicas").
         let parked: Vec<usize> = self.pending_kernels.drain(..).collect();
@@ -1163,60 +1337,45 @@ impl Platform {
     }
 
     fn on_autoscale_tick(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
-        let now_s = now.as_secs_f64();
-        let cfg = self.config.autoscale;
-        let committed = self.cluster.total_committed_gpus() as f64;
-        let per_host = f64::from(self.config.host_shape.gpus.max(1));
-        let mut target_hosts = ((cfg.multiplier * committed / per_host).ceil() as u32
-            + cfg.scaling_buffer_hosts)
-            .max(cfg.min_hosts);
-        if let Some(sr_target) = cfg.sr_target {
-            // Keep enough hosts to back the standing replica subscriptions
-            // at the configured SR.
-            let subscribed = self.cluster.total_subscribed_gpus() as f64;
-            let r = f64::from(self.config.replication_factor.max(1));
-            let sr_hosts = (subscribed / (per_host * r * sr_target)).ceil() as u32;
-            target_hosts = target_hosts.max(sr_hosts);
-        }
-        // Targets are in units of `host_shape` (scale-out only adds that
-        // shape), so measure the fleet in the same host-equivalents; for
-        // homogeneous fleets this is exactly the host count.
-        let current = self.host_equivalents() + f64::from(self.hosts_in_flight);
-        let target = f64::from(target_hosts);
-
-        if current + 1e-9 < target {
-            self.trigger_scale_out(now, (target - current).ceil() as u32, queue);
-        } else if current > target + 1e-9 {
-            let surplus = (current - target).floor() as u32;
-            let idle = self.cluster.idle_hosts();
-            let releasable = surplus
-                .min(cfg.max_release_per_step)
-                .min(idle.len() as u32)
-                .min((self.cluster.len() as u32).saturating_sub(cfg.min_hosts));
-            for &host in idle.iter().take(releasable as usize) {
-                // Reconcile the pool: warm containers vanish with the host
-                // and in-flight provisions are discarded on arrival.
-                let dropped = self.pool.forget_host(host);
-                self.metrics.counters.prewarms_discarded += u64::from(dropped.total());
-                self.cluster.remove_host(host);
-                self.metrics.counters.scale_ins += 1;
-            }
-            if releasable > 0 {
-                self.refresh_fleet_billing(now_s);
-                self.refresh_provisioned_gauge(now_s);
-                self.refresh_sr_gauge(now_s);
-            }
-            // §3.4.2 releases *idle* servers only (no kernel replicas at
-            // all): draining hosts that still hold replica subscriptions
-            // would block placements and ratchet the fleet upward, since
-            // subscriptions live as long as their notebook sessions.
-        }
+        let actions = self.consult_elasticity(now, true, |p, ctx| p.on_tick(ctx));
+        self.apply_elasticity(now, actions, queue);
         if now.as_micros() < self.horizon_us {
             queue.schedule_in(
                 now,
-                SimTime::from_secs_f64(cfg.interval_s),
+                SimTime::from_secs_f64(self.config.autoscale.interval_s),
                 Ev::AutoscaleTick,
             );
+        }
+    }
+
+    /// Provisions whatever the pre-warm pool is missing under the
+    /// configured per-host minimum. Driven by the periodic
+    /// [`Ev::PrewarmReconcileTick`] (and by policies emitting
+    /// [`ElasticityAction::ReconcilePrewarm`]), so pools recover after a
+    /// flash crowd instead of waiting for the next host arrival.
+    fn reconcile_prewarm(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
+        let hosts: Vec<HostId> = self.cluster.hosts().iter().map(|h| h.id()).collect();
+        let minimum = MinPerHost(self.config.prewarm_min_per_host);
+        for (host, missing) in self.pool.deficits(&hosts, &minimum) {
+            self.pool.begin_provision(host, missing);
+            self.metrics.counters.prewarms_reconciled += u64::from(missing);
+            for _ in 0..missing {
+                let warm = self.provisioning.warm_container_start(&mut self.rng);
+                queue.schedule_in(now, warm, Ev::PrewarmReady(host));
+            }
+        }
+    }
+
+    fn on_prewarm_reconcile_tick(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
+        self.reconcile_prewarm(now, queue);
+        if let Some(interval_s) = self.config.autoscale.prewarm_reconcile_interval_s {
+            if now.as_micros() < self.horizon_us {
+                queue.schedule_in(
+                    now,
+                    SimTime::from_secs_f64(interval_s),
+                    Ev::PrewarmReconcileTick,
+                );
+            }
         }
     }
 
@@ -1237,6 +1396,16 @@ impl Platform {
     /// Read access to the cluster.
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
+    }
+
+    /// Read access to the pre-warm container pool.
+    pub fn pool(&self) -> &PrewarmPool {
+        &self.pool
+    }
+
+    /// Hosts currently being provisioned by scale-out.
+    pub fn hosts_in_flight(&self) -> u32 {
+        self.hosts_in_flight
     }
 }
 
@@ -1270,8 +1439,9 @@ impl World for Platform {
                     self.start_migration(now, s, e, submit_us, queue)
                 }
             }
-            Ev::HostReady => self.on_host_ready(now, queue),
+            Ev::HostReady(shape) => self.on_host_ready(now, shape, queue),
             Ev::AutoscaleTick => self.on_autoscale_tick(now, queue),
+            Ev::PrewarmReconcileTick => self.on_prewarm_reconcile_tick(now, queue),
             Ev::MetricsTick => self.on_metrics_tick(now, queue),
             Ev::ReplicaFailure => self.on_replica_failure(now, queue),
             Ev::PrewarmReady(host) => {

@@ -39,7 +39,8 @@ impl PlacementContext<'_> {
 }
 
 /// A replica-placement policy: ranks candidate hosts for one replica
-/// subscription. The scheduler takes the first `R` distinct hosts.
+/// subscription. The scheduler takes the first `R` distinct hosts and
+/// reports them back via [`PlacementPolicy::placed`].
 pub trait PlacementPolicy: std::fmt::Debug {
     /// Human-readable policy name.
     fn name(&self) -> &'static str;
@@ -48,8 +49,18 @@ pub trait PlacementPolicy: std::fmt::Debug {
     /// must rank from the shared viability screen
     /// ([`PlacementContext::viable`]): capacity covers the request, host
     /// not draining, and SR-cap-forbidden hosts never ahead of allowed
-    /// ones.
+    /// ones. Ranking must not consume rotation state — fairness feedback
+    /// arrives through [`PlacementPolicy::placed`].
     fn rank(&mut self, ctx: &PlacementContext<'_>) -> Vec<HostId>;
+
+    /// The scheduler consumed these hosts (in ranking order) for one
+    /// placement of `R` replicas. Stateful policies advance their rotation
+    /// past the *last consumed* host here; ranking alone must not rotate,
+    /// or an `R`-replica placement would advance the cursor by one host
+    /// and re-offer the other `R - 1` to the next kernel.
+    fn placed(&mut self, consumed: &[HostId]) {
+        let _ = consumed;
+    }
 }
 
 /// The paper's default: most idle GPUs first, dynamic cluster-wide SR cap
@@ -69,13 +80,16 @@ impl PlacementPolicy for LeastLoaded {
 }
 
 /// Round-robin over host ids, skipping hosts the shared viability screen
-/// rejects. The rotation point is the *last host id the policy started a
-/// placement at*, not a raw call counter, so it survives hosts joining,
-/// draining, or filling up without jumping arbitrarily.
+/// rejects. The rotation point is the *last host id the scheduler
+/// actually consumed* (reported via [`PlacementPolicy::placed`]), not a
+/// raw call counter and not merely the first ranked host: an `R`-replica
+/// placement consumes `R` hosts, so the next kernel starts after all of
+/// them. Anchoring on a host id (rather than an index) survives hosts
+/// joining, draining, or filling up without jumping arbitrarily.
 #[derive(Debug, Default)]
 pub struct RoundRobin {
-    /// The host id the previous ranking started at; the next ranking
-    /// resumes at the first viable id after it (wrapping).
+    /// The last host id a placement consumed; the next ranking resumes at
+    /// the first viable id after it (wrapping).
     last: Option<HostId>,
 }
 
@@ -102,10 +116,16 @@ impl PlacementPolicy for RoundRobin {
         let viable = ctx.viable();
         let mut out = Self::resume_after(viable.within_cap, self.last);
         out.extend(Self::resume_after(viable.over_cap, self.last));
-        if let Some(&first) = out.first() {
-            self.last = Some(first);
-        }
         out
+    }
+
+    fn placed(&mut self, consumed: &[HostId]) {
+        // The consumed prefix is in rotated ranking order, so its last
+        // element — not its maximum — is where the rotation stopped
+        // (a wrapped placement like [3, 4, 0] resumes after 0, not 4).
+        if let Some(&host) = consumed.last() {
+            self.last = Some(host);
+        }
     }
 }
 
@@ -225,18 +245,29 @@ mod tests {
         assert_eq!(ranked.len(), 4);
     }
 
+    /// Ranks, then reports the first `r` hosts as consumed — what the
+    /// scheduler does for one `R`-replica placement.
+    fn place(rr: &mut RoundRobin, c: &Cluster, req: &ResourceRequest, r: usize) -> Vec<HostId> {
+        let ranked = rr.rank(&ctx(c, req));
+        let consumed: Vec<HostId> = ranked.into_iter().take(r).collect();
+        rr.placed(&consumed);
+        consumed
+    }
+
     #[test]
     fn round_robin_rotates() {
         let c = cluster();
         let req = ResourceRequest::one_gpu();
         let mut rr = RoundRobin::default();
-        let first = rr.rank(&ctx(&c, &req))[0];
-        let second = rr.rank(&ctx(&c, &req))[0];
+        let first = place(&mut rr, &c, &req, 1)[0];
+        let second = place(&mut rr, &c, &req, 1)[0];
         assert_ne!(first, second, "cursor advances");
-        // Four calls cycle back.
-        rr.rank(&ctx(&c, &req));
-        let fourth_start = rr.rank(&ctx(&c, &req))[0];
-        let fifth_start = rr.rank(&ctx(&c, &req))[0];
+        // Ranking alone does not rotate — only consumption does.
+        assert_eq!(rr.rank(&ctx(&c, &req))[0], rr.rank(&ctx(&c, &req))[0]);
+        // Four single-host placements cycle back to the start.
+        place(&mut rr, &c, &req, 1);
+        let fourth_start = place(&mut rr, &c, &req, 1)[0];
+        let fifth_start = place(&mut rr, &c, &req, 1)[0];
         assert_eq!(first, fifth_start);
         assert_ne!(fourth_start, fifth_start);
     }
@@ -246,23 +277,59 @@ mod tests {
         let mut c = Cluster::with_hosts(4, ResourceBundle::p3_16xlarge());
         let req = ResourceRequest::one_gpu();
         let mut rr = RoundRobin::default();
-        assert_eq!(rr.rank(&ctx(&c, &req))[0], 0);
+        assert_eq!(place(&mut rr, &c, &req, 1)[0], 0);
         // Host 0 leaves: the rotation resumes at 1. (The old raw-cursor
         // implementation computed `1 % 3` over [1, 2, 3] and jumped to 2,
         // starving host 1.)
         c.remove_host(0);
-        assert_eq!(rr.rank(&ctx(&c, &req))[0], 1);
+        assert_eq!(place(&mut rr, &c, &req, 1)[0], 1);
         // A host joins mid-rotation: id order continues unperturbed.
         c.add_host(ResourceBundle::p3_16xlarge()); // id 4
-        assert_eq!(rr.rank(&ctx(&c, &req))[0], 2);
+        assert_eq!(place(&mut rr, &c, &req, 1)[0], 2);
         // A draining host is skipped but remembered ground is kept.
         c.host_mut(3).unwrap().set_draining(true);
-        assert_eq!(rr.rank(&ctx(&c, &req))[0], 4);
+        assert_eq!(place(&mut rr, &c, &req, 1)[0], 4);
         c.host_mut(3).unwrap().set_draining(false);
         // Wraps to the lowest id after the highest.
-        assert_eq!(rr.rank(&ctx(&c, &req))[0], 1);
-        assert_eq!(rr.rank(&ctx(&c, &req))[0], 2);
-        assert_eq!(rr.rank(&ctx(&c, &req))[0], 3);
+        assert_eq!(place(&mut rr, &c, &req, 1)[0], 1);
+        assert_eq!(place(&mut rr, &c, &req, 1)[0], 2);
+        assert_eq!(place(&mut rr, &c, &req, 1)[0], 3);
+    }
+
+    #[test]
+    fn round_robin_advances_past_all_consumed_replicas() {
+        // Regression: with R = 3 the scheduler consumes three ranked
+        // hosts, but the old implementation advanced the rotation by only
+        // one, so consecutive kernels piled replicas onto overlapping host
+        // sets (kernel 1 → {0,1,2}, kernel 2 → {1,2,3}, …) and high-id
+        // hosts starved.
+        let mut c = Cluster::with_hosts(5, ResourceBundle::p3_16xlarge());
+        let req = ResourceRequest::one_gpu();
+        let mut rr = RoundRobin::default();
+        assert_eq!(place(&mut rr, &c, &req, 3), vec![0, 1, 2]);
+        // The next kernel starts after the whole consumed prefix.
+        assert_eq!(place(&mut rr, &c, &req, 3), vec![3, 4, 0]);
+        // A wrapped placement resumes after its *last* host (0), not its
+        // maximum (4).
+        assert_eq!(place(&mut rr, &c, &req, 3), vec![1, 2, 3]);
+        // Churn between placements: the last-consumed host itself leaves,
+        // and the rotation still resumes at the next surviving id.
+        c.remove_host(3);
+        c.add_host(ResourceBundle::p3_16xlarge()); // id 5
+        assert_eq!(place(&mut rr, &c, &req, 3), vec![4, 5, 0]);
+        // Two full passes over 5 hosts with R = 3 touch every host the
+        // same number of times (15 consumptions / 5 hosts = 3 each).
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..5 {
+            for h in place(&mut rr, &c, &req, 3) {
+                *counts.entry(h).or_insert(0u32) += 1;
+            }
+        }
+        assert_eq!(counts.len(), 5, "every host served");
+        assert!(
+            counts.values().all(|&n| n == 3),
+            "fair rotation: {counts:?}"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Aggregated measurements from one platform run — everything the
 //! evaluation figures consume.
 
+use notebookos_cluster::ResourceBundle;
 use notebookos_metrics::{Cdf, Timeline};
 
 use crate::latency_breakdown::BreakdownRecorder;
@@ -35,6 +36,10 @@ pub struct RunCounters {
     /// Pre-warm containers discarded because their host left the cluster
     /// while they were warm or still provisioning (§3.2.3 reconciliation).
     pub prewarms_discarded: u64,
+    /// Warm containers provisioned by the periodic deficit-reconciliation
+    /// loop (the `PrewarmReconcileTick` the elasticity control plane
+    /// drives), as opposed to host-arrival seeding.
+    pub prewarms_reconciled: u64,
 }
 
 impl RunCounters {
@@ -96,8 +101,25 @@ pub struct RunMetrics {
     pub billing_samples: Vec<(f64, f64, f64)>,
     /// Event counters.
     pub counters: RunCounters,
+    /// Hosts provisioned by scale-out, per shape — the signal the
+    /// shape-aware elasticity policy is judged on (a heterogeneous fleet
+    /// should grow along its mix, not as `host_shape` monoculture).
+    /// Sorted by `(gpus, millicpus, memory_mb)`.
+    pub hosts_provisioned_by_shape: Vec<(ResourceBundle, u64)>,
+    /// Hosts retired by scale-in, per shape; same order as
+    /// [`RunMetrics::hosts_provisioned_by_shape`].
+    pub hosts_retired_by_shape: Vec<(ResourceBundle, u64)>,
     /// Virtual end time of the run, seconds.
     pub end_s: f64,
+}
+
+/// Folds `count` hosts of `shape` into a sorted per-shape counter list.
+fn bump_shape(counters: &mut Vec<(ResourceBundle, u64)>, shape: ResourceBundle, count: u64) {
+    let key = |b: &ResourceBundle| (b.gpus, b.millicpus, b.memory_mb);
+    match counters.binary_search_by_key(&key(&shape), |(s, _)| key(s)) {
+        Ok(i) => counters[i].1 += count,
+        Err(i) => counters.insert(i, (shape, count)),
+    }
 }
 
 impl RunMetrics {
@@ -119,8 +141,25 @@ impl RunMetrics {
             breakdown: BreakdownRecorder::new(policy),
             billing_samples: Vec::new(),
             counters: RunCounters::default(),
+            hosts_provisioned_by_shape: Vec::new(),
+            hosts_retired_by_shape: Vec::new(),
             end_s: 0.0,
         }
+    }
+
+    /// Records `count` hosts of `shape` provisioned by scale-out.
+    pub fn record_hosts_provisioned(&mut self, shape: ResourceBundle, count: u64) {
+        bump_shape(&mut self.hosts_provisioned_by_shape, shape, count);
+    }
+
+    /// Records one host of `shape` retired by scale-in.
+    pub fn record_host_retired(&mut self, shape: ResourceBundle) {
+        bump_shape(&mut self.hosts_retired_by_shape, shape, 1);
+    }
+
+    /// Distinct host shapes scale-out provisioned during the run.
+    pub fn distinct_shapes_provisioned(&self) -> usize {
+        self.hosts_provisioned_by_shape.len()
     }
 
     /// GPU-hours provisioned over the run (area under the provisioned
@@ -165,6 +204,25 @@ mod tests {
         assert!((m.provisioned_gpu_hours() - 16.0).abs() < 1e-9);
         assert!((m.reserved_gpu_hours() - 48.0).abs() < 1e-9);
         assert!((m.gpu_hours_saved_vs_reservation() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shape_counters_accumulate_sorted() {
+        let mut m = RunMetrics::new("test");
+        let big = ResourceBundle::p3_16xlarge();
+        let small = ResourceBundle::new(32_000, 249_856, 4);
+        m.record_hosts_provisioned(big, 2);
+        m.record_hosts_provisioned(small, 1);
+        m.record_hosts_provisioned(big, 3);
+        assert_eq!(
+            m.hosts_provisioned_by_shape,
+            vec![(small, 1), (big, 5)],
+            "sorted by gpus, counts folded"
+        );
+        assert_eq!(m.distinct_shapes_provisioned(), 2);
+        m.record_host_retired(small);
+        m.record_host_retired(small);
+        assert_eq!(m.hosts_retired_by_shape, vec![(small, 2)]);
     }
 
     #[test]

@@ -8,11 +8,14 @@
 //!   executor: a pool of worker threads drains a job channel and results
 //!   are collected by index, so the output order never depends on thread
 //!   scheduling.
-//! * [`SweepSpec`] — a matrix of policies × seeds × scenario variants,
-//!   expanded into [`SweepJob`]s and executed by the pool.
-//! * [`SweepReport`] — per-run [`RunMetrics`] plus cross-seed aggregation:
-//!   pooled CDFs, means, and 95 % confidence intervals
-//!   ([`SweepAggregate`]).
+//! * [`SweepSpec`] — a matrix of policies × elasticities × seeds ×
+//!   scenario variants, expanded into [`SweepJob`]s and executed by the
+//!   pool.
+//! * [`SweepReport`] — per-run [`RunMetrics`] plus cross-seed aggregation
+//!   (pooled CDFs, means, and 95 % confidence intervals —
+//!   [`SweepAggregate`]) and persistence ([`SweepReport::write_csv`],
+//!   [`SweepReport::write_json`]) so long sweeps re-render figures from
+//!   disk instead of re-running.
 //!
 //! # Determinism
 //!
@@ -41,6 +44,7 @@
 //! assert_eq!(agg.interactivity_p50_ms.n, 2);
 //! ```
 
+use std::io::Write;
 use std::sync::{Arc, Mutex};
 
 use crossbeam::channel;
@@ -48,7 +52,7 @@ use notebookos_cluster::ResourceBundle;
 use notebookos_metrics::{Cdf, MeanCi};
 use notebookos_trace::{generate_with_profile, SyntheticConfig, TraceProfile, WorkloadTrace};
 
-use crate::config::{PlatformConfig, PolicyKind};
+use crate::config::{ElasticityKind, PlatformConfig, PolicyKind};
 use crate::platform::Platform;
 use crate::results::RunMetrics;
 
@@ -161,6 +165,8 @@ pub struct SweepJob {
     pub scenario: String,
     /// The scheduling policy under evaluation.
     pub policy: PolicyKind,
+    /// The elasticity policy driving scale-out/scale-in for this run.
+    pub elasticity: ElasticityKind,
     /// The run's seed (both trace generation and platform RNG).
     pub seed: u64,
     /// The resolved platform configuration.
@@ -187,6 +193,7 @@ impl SweepJob {
         SweepJob {
             scenario: "default".into(),
             policy,
+            elasticity: config.autoscale.elasticity,
             seed,
             config,
             trace: trace.into(),
@@ -258,6 +265,14 @@ impl Scenario {
         Scenario::new("flash-crowd", SyntheticConfig::flash_crowd_17_5h())
     }
 
+    /// Diurnal arrivals at excerpt scale: ~3 day/night cycles with 4×
+    /// peak-to-trough contrast and half the sessions short-lived, so the
+    /// fleet repeatedly grows and shrinks — the scenario that separates
+    /// hysteresis elasticity from plain threshold scaling.
+    pub fn diurnal() -> Self {
+        Scenario::new("diurnal", SyntheticConfig::diurnal_17_5h())
+    }
+
     /// The excerpt workload on a mixed-generation fleet: 8-GPU trainers
     /// alongside half-size 4-GPU boxes (same CPU:GPU ratio).
     pub fn heterogeneous_hosts() -> Self {
@@ -280,11 +295,16 @@ impl Scenario {
     }
 }
 
-/// A matrix of policies × seeds × scenarios, executed by the worker pool.
+/// A matrix of policies × elasticities × seeds × scenarios, executed by
+/// the worker pool.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
     /// Scheduling policies to evaluate.
     pub policies: Vec<PolicyKind>,
+    /// Elasticity policies to range over (the control-plane axis). The
+    /// default single-element `[Threshold]` reproduces pre-elasticity
+    /// sweeps exactly.
+    pub elasticities: Vec<ElasticityKind>,
     /// Seeds each `(policy, scenario)` pair runs under.
     pub seeds: Vec<u64>,
     /// Workload scenarios to range over.
@@ -308,6 +328,7 @@ impl SweepSpec {
     pub fn new() -> Self {
         SweepSpec {
             policies: vec![PolicyKind::NotebookOs],
+            elasticities: vec![ElasticityKind::Threshold],
             seeds: vec![PlatformConfig::evaluation(PolicyKind::NotebookOs).seed],
             scenarios: vec![Scenario::excerpt()],
             configure: PlatformConfig::evaluation,
@@ -324,6 +345,17 @@ impl SweepSpec {
     /// Ranges over all four evaluated policies.
     pub fn all_policies(self) -> Self {
         self.policies(PolicyKind::ALL.to_vec())
+    }
+
+    /// Sets the elasticity axis.
+    pub fn elasticities(mut self, elasticities: Vec<ElasticityKind>) -> Self {
+        self.elasticities = elasticities;
+        self
+    }
+
+    /// Ranges over all three bundled elasticity policies.
+    pub fn all_elasticities(self) -> Self {
+        self.elasticities(ElasticityKind::ALL.to_vec())
     }
 
     /// Sets the seed axis.
@@ -351,26 +383,31 @@ impl SweepSpec {
     }
 
     /// Expands the matrix into jobs: scenario-major, then seed, then
-    /// policy. All policies for a `(scenario, seed)` share one generated
-    /// trace.
+    /// policy, then elasticity. All runs of a `(scenario, seed)` share one
+    /// generated trace.
     pub fn jobs(&self) -> Vec<SweepJob> {
-        let mut jobs =
-            Vec::with_capacity(self.scenarios.len() * self.seeds.len() * self.policies.len());
+        let mut jobs = Vec::with_capacity(
+            self.scenarios.len() * self.seeds.len() * self.policies.len() * self.elasticities.len(),
+        );
         for scenario in &self.scenarios {
             for &seed in &self.seeds {
                 let trace = Arc::new(scenario.trace(seed));
                 for &policy in &self.policies {
-                    let mut config = (self.configure)(policy);
-                    config.policy = policy;
-                    config.seed = seed;
-                    scenario.apply(&mut config);
-                    jobs.push(SweepJob {
-                        scenario: scenario.name.clone(),
-                        policy,
-                        seed,
-                        config,
-                        trace: Arc::clone(&trace),
-                    });
+                    for &elasticity in &self.elasticities {
+                        let mut config = (self.configure)(policy);
+                        config.policy = policy;
+                        config.seed = seed;
+                        config.autoscale.elasticity = elasticity;
+                        scenario.apply(&mut config);
+                        jobs.push(SweepJob {
+                            scenario: scenario.name.clone(),
+                            policy,
+                            elasticity,
+                            seed,
+                            config,
+                            trace: Arc::clone(&trace),
+                        });
+                    }
                 }
             }
         }
@@ -387,9 +424,9 @@ impl SweepSpec {
     pub fn run_with_progress<P: FnMut(usize, usize)>(&self, mut progress: P) -> SweepReport {
         let jobs = self.jobs();
         let total = jobs.len();
-        let labels: Vec<(String, PolicyKind, u64)> = jobs
+        let labels: Vec<(String, PolicyKind, ElasticityKind, u64)> = jobs
             .iter()
-            .map(|j| (j.scenario.clone(), j.policy, j.seed))
+            .map(|j| (j.scenario.clone(), j.policy, j.elasticity, j.seed))
             .collect();
         let mut done = 0usize;
         let metrics = parallel_map_indexed(
@@ -404,9 +441,10 @@ impl SweepSpec {
         let runs = labels
             .into_iter()
             .zip(metrics)
-            .map(|((scenario, policy, seed), metrics)| SweepRun {
+            .map(|((scenario, policy, elasticity, seed), metrics)| SweepRun {
                 scenario,
                 policy,
+                elasticity,
                 seed,
                 metrics,
             })
@@ -422,6 +460,8 @@ pub struct SweepRun {
     pub scenario: String,
     /// Policy evaluated.
     pub policy: PolicyKind,
+    /// Elasticity policy the run scaled under.
+    pub elasticity: ElasticityKind,
     /// Seed used for trace generation and platform RNG.
     pub seed: u64,
     /// The run's full measurement record.
@@ -447,7 +487,8 @@ impl SweepReport {
         self.runs.is_empty()
     }
 
-    /// Runs matching a `(scenario, policy)` cell, in seed order.
+    /// Runs matching a `(scenario, policy)` cell (any elasticity), in job
+    /// order.
     pub fn runs_for(&self, scenario: &str, policy: PolicyKind) -> Vec<&SweepRun> {
         self.runs
             .iter()
@@ -455,8 +496,23 @@ impl SweepReport {
             .collect()
     }
 
-    /// Aggregates one `(scenario, policy)` cell across its seeds, or
-    /// `None` when the sweep holds no such runs.
+    /// Runs matching a full `(scenario, policy, elasticity)` cell, in
+    /// seed order.
+    pub fn runs_for_cell(
+        &self,
+        scenario: &str,
+        policy: PolicyKind,
+        elasticity: ElasticityKind,
+    ) -> Vec<&SweepRun> {
+        self.runs
+            .iter()
+            .filter(|r| r.scenario == scenario && r.policy == policy && r.elasticity == elasticity)
+            .collect()
+    }
+
+    /// Aggregates one `(scenario, policy)` cell across its seeds (pooling
+    /// all elasticities — on single-elasticity sweeps this is the cell
+    /// itself), or `None` when the sweep holds no such runs.
     pub fn aggregate(&self, scenario: &str, policy: PolicyKind) -> Option<SweepAggregate> {
         let runs = self.runs_for(scenario, policy);
         if runs.is_empty() {
@@ -465,20 +521,308 @@ impl SweepReport {
         Some(SweepAggregate::from_runs(scenario, policy, &runs))
     }
 
-    /// Aggregates every `(scenario, policy)` cell, in first-appearance
-    /// order.
+    /// Aggregates one `(scenario, policy, elasticity)` cell across its
+    /// seeds, or `None` when the sweep holds no such runs.
+    pub fn aggregate_cell(
+        &self,
+        scenario: &str,
+        policy: PolicyKind,
+        elasticity: ElasticityKind,
+    ) -> Option<SweepAggregate> {
+        let runs = self.runs_for_cell(scenario, policy, elasticity);
+        if runs.is_empty() {
+            return None;
+        }
+        Some(SweepAggregate::from_runs(scenario, policy, &runs))
+    }
+
+    /// Aggregates every `(scenario, policy, elasticity)` cell, in
+    /// first-appearance order.
     pub fn aggregates(&self) -> Vec<SweepAggregate> {
-        let mut seen: Vec<(String, PolicyKind)> = Vec::new();
+        let mut seen: Vec<(String, PolicyKind, ElasticityKind)> = Vec::new();
         for run in &self.runs {
-            let key = (run.scenario.clone(), run.policy);
+            let key = (run.scenario.clone(), run.policy, run.elasticity);
             if !seen.contains(&key) {
                 seen.push(key);
             }
         }
         seen.into_iter()
-            .filter_map(|(scenario, policy)| self.aggregate(&scenario, policy))
+            .filter_map(|(scenario, policy, elasticity)| {
+                self.aggregate_cell(&scenario, policy, elasticity)
+            })
             .collect()
     }
+
+    // ------------------------------------------------------------------
+    // Persistence: long sweeps serialize per-run records so figures can
+    // re-render without re-running (ROADMAP: sweep-level resumability).
+    // ------------------------------------------------------------------
+
+    /// Writes one CSV row of headline scalars per run. Re-rendering a
+    /// summary table or cost/latency comparison needs only this file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing `path`.
+    pub fn write_csv(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(
+            out,
+            "scenario,policy,elasticity,seed,executions,aborted,kernel_creations,migrations,\
+             scale_outs,scale_ins,cold_starts,warm_hits,prewarms_discarded,prewarms_reconciled,\
+             distinct_shapes_provisioned,interactivity_p50_ms,tct_p50_ms,provisioned_gpu_hours,\
+             gpu_hours_saved,provider_cost_usd,revenue_usd,end_s"
+        )?;
+        for run in &self.runs {
+            let m = &run.metrics;
+            let (cost, revenue) = m.final_billing().unwrap_or((0.0, 0.0));
+            writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:?},{:?},{:?},{:?},{:?},{:?},{:?}",
+                csv_field(&run.scenario),
+                csv_field(&run.policy.to_string()),
+                csv_field(&run.elasticity.to_string()),
+                run.seed,
+                m.counters.executions,
+                m.counters.aborted,
+                m.counters.kernel_creations,
+                m.counters.migrations,
+                m.counters.scale_outs,
+                m.counters.scale_ins,
+                m.counters.cold_starts,
+                m.counters.warm_hits,
+                m.counters.prewarms_discarded,
+                m.counters.prewarms_reconciled,
+                m.distinct_shapes_provisioned(),
+                p50(&m.interactivity_ms),
+                p50(&m.tct_ms),
+                m.provisioned_gpu_hours(),
+                m.gpu_hours_saved_vs_reservation(),
+                cost,
+                revenue,
+                m.end_s,
+            )?;
+        }
+        out.flush()
+    }
+
+    /// Writes the full per-run records — every CDF sample, timeline point,
+    /// breakdown step, and counter — as JSON, so any figure can re-render
+    /// from disk without re-running the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing `path`.
+    pub fn write_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(out, "{{")?;
+        writeln!(out, "  \"runs\": [")?;
+        for (i, run) in self.runs.iter().enumerate() {
+            let comma = if i + 1 < self.runs.len() { "," } else { "" };
+            write_run_json(&mut out, run)?;
+            writeln!(out, "{comma}")?;
+        }
+        writeln!(out, "  ]")?;
+        writeln!(out, "}}")?;
+        out.flush()
+    }
+}
+
+/// Median of a CDF without mutating it (`percentile` sorts in place, so
+/// a clone is queried); empty CDFs report `0.0`. Shared by the CSV writer
+/// and [`SweepAggregate`] so the two can never drift.
+fn p50(cdf: &Cdf) -> f64 {
+    if cdf.is_empty() {
+        0.0
+    } else {
+        cdf.clone().percentile(50.0)
+    }
+}
+
+/// Escapes a CSV field (labels are plain, but stay robust to commas).
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Escapes a JSON string (labels here are ASCII, control chars excepted).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A JSON number: f64 `{:?}` is shortest-round-trip and always parses
+/// back bit-identically; non-finite values (never produced by a run)
+/// degrade to null.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_f64_array(values: impl IntoIterator<Item = f64>) -> String {
+    let items: Vec<String> = values.into_iter().map(json_num).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn json_pairs_array<'a>(points: impl IntoIterator<Item = &'a (f64, f64)>) -> String {
+    let items: Vec<String> = points
+        .into_iter()
+        .map(|&(a, b)| format!("[{},{}]", json_num(a), json_num(b)))
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+fn write_run_json<W: Write>(out: &mut W, run: &SweepRun) -> std::io::Result<()> {
+    use crate::latency_breakdown::Step;
+    let m = &run.metrics;
+    writeln!(out, "    {{")?;
+    writeln!(out, "      \"scenario\": {},", json_string(&run.scenario))?;
+    writeln!(
+        out,
+        "      \"policy\": {},",
+        json_string(&run.policy.to_string())
+    )?;
+    writeln!(
+        out,
+        "      \"elasticity\": {},",
+        json_string(&run.elasticity.to_string())
+    )?;
+    writeln!(out, "      \"seed\": {},", run.seed)?;
+    writeln!(out, "      \"end_s\": {},", json_num(m.end_s))?;
+    let c = &m.counters;
+    writeln!(
+        out,
+        "      \"counters\": {{\"executions\": {}, \"aborted\": {}, \"immediate_commits\": {}, \
+         \"executor_reuse\": {}, \"kernel_creations\": {}, \"migrations\": {}, \
+         \"scale_outs\": {}, \"scale_ins\": {}, \"cold_starts\": {}, \"warm_hits\": {}, \
+         \"replica_failures\": {}, \"prewarms_discarded\": {}, \"prewarms_reconciled\": {}}},",
+        c.executions,
+        c.aborted,
+        c.immediate_commits,
+        c.executor_reuse,
+        c.kernel_creations,
+        c.migrations,
+        c.scale_outs,
+        c.scale_ins,
+        c.cold_starts,
+        c.warm_hits,
+        c.replica_failures,
+        c.prewarms_discarded,
+        c.prewarms_reconciled,
+    )?;
+    let shapes = |counters: &[(ResourceBundle, u64)]| {
+        let items: Vec<String> = counters
+            .iter()
+            .map(|(s, n)| {
+                format!(
+                    "{{\"gpus\": {}, \"millicpus\": {}, \"memory_mb\": {}, \"hosts\": {}}}",
+                    s.gpus, s.millicpus, s.memory_mb, n
+                )
+            })
+            .collect();
+        format!("[{}]", items.join(","))
+    };
+    writeln!(
+        out,
+        "      \"hosts_provisioned_by_shape\": {},",
+        shapes(&m.hosts_provisioned_by_shape)
+    )?;
+    writeln!(
+        out,
+        "      \"hosts_retired_by_shape\": {},",
+        shapes(&m.hosts_retired_by_shape)
+    )?;
+    writeln!(out, "      \"cdfs\": {{")?;
+    let cdfs = [
+        ("interactivity_ms", &m.interactivity_ms),
+        ("tct_ms", &m.tct_ms),
+        ("sync_ms", &m.sync_ms),
+        ("read_ms", &m.read_ms),
+        ("write_ms", &m.write_ms),
+    ];
+    for (i, (name, cdf)) in cdfs.iter().enumerate() {
+        let comma = if i + 1 < cdfs.len() { "," } else { "" };
+        writeln!(
+            out,
+            "        {}: {}{comma}",
+            json_string(name),
+            json_f64_array(cdf.samples().iter().copied())
+        )?;
+    }
+    writeln!(out, "      }},")?;
+    writeln!(out, "      \"timelines\": {{")?;
+    let timelines = [
+        ("provisioned_gpus", &m.provisioned_gpus),
+        ("committed_gpus", &m.committed_gpus),
+        ("reserved_gpus", &m.reserved_gpus),
+        ("subscription_ratio", &m.subscription_ratio),
+    ];
+    for (i, (name, tl)) in timelines.iter().enumerate() {
+        let comma = if i + 1 < timelines.len() { "," } else { "" };
+        writeln!(
+            out,
+            "        {}: {}{comma}",
+            json_string(name),
+            json_pairs_array(tl.points())
+        )?;
+    }
+    writeln!(out, "      }},")?;
+    writeln!(
+        out,
+        "      \"kernel_creation_times_s\": {},",
+        json_f64_array(m.kernel_creation_times_s.iter().copied())
+    )?;
+    writeln!(
+        out,
+        "      \"migration_times_s\": {},",
+        json_f64_array(m.migration_times_s.iter().copied())
+    )?;
+    writeln!(
+        out,
+        "      \"scale_out_times_s\": {},",
+        json_f64_array(m.scale_out_times_s.iter().copied())
+    )?;
+    let billing: Vec<String> = m
+        .billing_samples
+        .iter()
+        .map(|&(t, cost, revenue)| {
+            format!("[{},{},{}]", json_num(t), json_num(cost), json_num(revenue))
+        })
+        .collect();
+    writeln!(out, "      \"billing_samples\": [{}],", billing.join(","))?;
+    writeln!(out, "      \"breakdown\": {{")?;
+    for step in Step::ALL {
+        writeln!(
+            out,
+            "        {}: {},",
+            json_string(step.label()),
+            json_f64_array(m.breakdown.step_cdf(step).samples().iter().copied())
+        )?;
+    }
+    writeln!(
+        out,
+        "        \"end_to_end_ms\": {}",
+        json_f64_array(m.breakdown.end_to_end_cdf().samples().iter().copied())
+    )?;
+    writeln!(out, "      }}")?;
+    write!(out, "    }}")?;
+    Ok(())
 }
 
 /// Cross-seed aggregate of one `(scenario, policy)` cell: pooled latency
@@ -489,6 +833,9 @@ pub struct SweepAggregate {
     pub scenario: String,
     /// Policy evaluated.
     pub policy: PolicyKind,
+    /// The elasticity policy all contributing runs share, or `None` when
+    /// the aggregate pools runs across elasticities.
+    pub elasticity: Option<ElasticityKind>,
     /// Seeds that contributed, in run order.
     pub seeds: Vec<u64>,
     /// All seeds' interactivity samples pooled into one distribution.
@@ -505,6 +852,13 @@ pub struct SweepAggregate {
     pub immediate_commit_pct: MeanCi,
     /// Per-seed migration counts.
     pub migrations: MeanCi,
+    /// Per-seed final provider cost, USD (the elasticity policies trade
+    /// this against interactivity).
+    pub provider_cost_usd: MeanCi,
+    /// Per-seed scale-out operation counts.
+    pub scale_outs: MeanCi,
+    /// Per-seed scale-in operation counts.
+    pub scale_ins: MeanCi,
     /// Total executions completed across all seeds.
     pub executions: u64,
     /// Total executions aborted across all seeds.
@@ -513,20 +867,14 @@ pub struct SweepAggregate {
 
 impl SweepAggregate {
     fn from_runs(scenario: &str, policy: PolicyKind, runs: &[&SweepRun]) -> Self {
-        // Only the CDFs queried for percentiles are cloned (`percentile`
-        // sorts in place); everything else reads the records directly.
-        let p50 = |cdf: &Cdf| {
-            if cdf.is_empty() {
-                0.0
-            } else {
-                cdf.clone().percentile(50.0)
-            }
-        };
         let mut interactivity_p50 = Vec::with_capacity(runs.len());
         let mut tct_p50 = Vec::with_capacity(runs.len());
         let mut saved = Vec::with_capacity(runs.len());
         let mut immediate = Vec::with_capacity(runs.len());
         let mut migrations = Vec::with_capacity(runs.len());
+        let mut costs = Vec::with_capacity(runs.len());
+        let mut scale_outs = Vec::with_capacity(runs.len());
+        let mut scale_ins = Vec::with_capacity(runs.len());
         for run in runs {
             let m = &run.metrics;
             interactivity_p50.push(p50(&m.interactivity_ms));
@@ -534,10 +882,20 @@ impl SweepAggregate {
             saved.push(m.gpu_hours_saved_vs_reservation());
             immediate.push(m.counters.immediate_commit_rate() * 100.0);
             migrations.push(m.counters.migrations as f64);
+            costs.push(m.final_billing().map_or(0.0, |(cost, _)| cost));
+            scale_outs.push(m.counters.scale_outs as f64);
+            scale_ins.push(m.counters.scale_ins as f64);
         }
+        let elasticity = match runs.split_first() {
+            Some((first, rest)) if rest.iter().all(|r| r.elasticity == first.elasticity) => {
+                Some(first.elasticity)
+            }
+            _ => None,
+        };
         SweepAggregate {
             scenario: scenario.to_string(),
             policy,
+            elasticity,
             seeds: runs.iter().map(|r| r.seed).collect(),
             interactivity_ms: Cdf::merged(
                 format!("{policy}/{scenario}/interactivity-ms"),
@@ -552,6 +910,9 @@ impl SweepAggregate {
             gpu_hours_saved: MeanCi::from_samples(&saved),
             immediate_commit_pct: MeanCi::from_samples(&immediate),
             migrations: MeanCi::from_samples(&migrations),
+            provider_cost_usd: MeanCi::from_samples(&costs),
+            scale_outs: MeanCi::from_samples(&scale_outs),
+            scale_ins: MeanCi::from_samples(&scale_ins),
             executions: runs.iter().map(|r| r.metrics.counters.executions).sum(),
             aborted: runs.iter().map(|r| r.metrics.counters.aborted).sum(),
         }
@@ -650,6 +1011,101 @@ mod tests {
         );
         assert!(report.aggregate("smoke", PolicyKind::Batch).is_none());
         assert_eq!(report.aggregates().len(), 1);
+    }
+
+    #[test]
+    fn elasticity_axis_expands_and_aggregates_per_cell() {
+        let spec = SweepSpec::new()
+            .policies(vec![PolicyKind::NotebookOs])
+            .all_elasticities()
+            .seeds(vec![1])
+            .scenarios(vec![Scenario::new("smoke", SyntheticConfig::smoke())])
+            .workers(2);
+        let jobs = spec.jobs();
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].elasticity, ElasticityKind::Threshold);
+        assert_eq!(
+            jobs[0].config.autoscale.elasticity,
+            ElasticityKind::Threshold
+        );
+        assert_eq!(jobs[1].elasticity, ElasticityKind::ShapeAware);
+        assert_eq!(
+            jobs[1].config.autoscale.elasticity,
+            ElasticityKind::ShapeAware
+        );
+        let report = spec.run();
+        assert_eq!(report.aggregates().len(), 3, "one aggregate per cell");
+        let cell = report
+            .aggregate_cell("smoke", PolicyKind::NotebookOs, ElasticityKind::ShapeAware)
+            .expect("cell exists");
+        assert_eq!(cell.elasticity, Some(ElasticityKind::ShapeAware));
+        assert_eq!(cell.seeds, vec![1]);
+        // The legacy (scenario, policy) aggregate pools across the axis.
+        let pooled = report
+            .aggregate("smoke", PolicyKind::NotebookOs)
+            .expect("pooled cell");
+        assert_eq!(pooled.elasticity, None);
+        assert_eq!(pooled.seeds.len(), 3);
+    }
+
+    #[test]
+    fn report_persists_csv_and_json() {
+        let report = SweepSpec::new()
+            .policies(vec![PolicyKind::NotebookOs])
+            .seeds(vec![1, 2])
+            .scenarios(vec![Scenario::new("smoke", SyntheticConfig::smoke())])
+            .workers(2)
+            .run();
+        let dir = std::env::temp_dir().join(format!("notebookos-sweep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let csv_path = dir.join("report.csv");
+        let json_path = dir.join("report.json");
+        report.write_csv(&csv_path).expect("csv written");
+        report.write_json(&json_path).expect("json written");
+
+        let csv = std::fs::read_to_string(&csv_path).expect("csv readable");
+        assert_eq!(csv.lines().count(), 3, "header + one row per run");
+        let header = csv.lines().next().unwrap();
+        assert!(header.starts_with("scenario,policy,elasticity,seed"));
+        let columns = header.split(',').count();
+        for row in csv.lines().skip(1) {
+            assert_eq!(row.split(',').count(), columns, "row width: {row}");
+            assert!(row.starts_with("smoke,NotebookOS,threshold,"));
+        }
+
+        let json = std::fs::read_to_string(&json_path).expect("json readable");
+        assert_eq!(json.matches("\"seed\":").count(), 2, "one object per run");
+        for key in [
+            "\"interactivity_ms\"",
+            "\"provisioned_gpus\"",
+            "\"billing_samples\"",
+            "\"end_to_end_ms\"",
+            "\"counters\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        // Structural sanity: brackets and braces balance.
+        let balance = |open: char, close: char| {
+            json.matches(open).count() as i64 - json.matches(close).count() as i64
+        };
+        assert_eq!(balance('{', '}'), 0);
+        assert_eq!(balance('[', ']'), 0);
+        // Every recorded interactivity sample survives serialization.
+        let total_samples: usize = report
+            .runs
+            .iter()
+            .map(|r| r.metrics.interactivity_ms.len())
+            .sum();
+        let serialized: usize = json
+            .lines()
+            .filter(|l| l.contains("\"interactivity_ms\""))
+            .map(|l| l.matches(',').count() + 1)
+            .sum();
+        assert!(
+            serialized >= total_samples,
+            "{serialized} < {total_samples}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -123,6 +123,15 @@ pub enum ArrivalPattern {
         /// Width of each burst in seconds.
         wave_width_s: f64,
     },
+    /// Diurnal arrivals: a sinusoidal rate with the given period, peaking
+    /// every cycle — the day/night pattern that makes a fleet repeatedly
+    /// grow and shrink, exercising scale-in damping (hysteresis).
+    Diurnal {
+        /// Oscillation period in seconds (e.g. `86_400.0` for daily).
+        period_s: f64,
+        /// Peak-hour arrival rate divided by trough-hour rate (≥ 1).
+        peak_to_trough: f64,
+    },
 }
 
 /// Configuration for synthesizing a platform workload.
@@ -197,6 +206,22 @@ impl SyntheticConfig {
             ..SyntheticConfig::excerpt_17_5h()
         }
     }
+
+    /// An excerpt-scale workload with diurnal arrivals: roughly three
+    /// day/night cycles across the window with 4× more arrivals at peak
+    /// than at trough, plus enough short-lived sessions that troughs
+    /// actually idle the fleet — the scenario that separates hysteresis
+    /// from plain threshold scaling.
+    pub fn diurnal_17_5h() -> Self {
+        SyntheticConfig {
+            arrival: ArrivalPattern::Diurnal {
+                period_s: 6.0 * 3600.0,
+                peak_to_trough: 4.0,
+            },
+            long_lived_fraction: 0.5,
+            ..SyntheticConfig::excerpt_17_5h()
+        }
+    }
 }
 
 /// Probability that a user takes a long break after an iteration completes.
@@ -253,6 +278,26 @@ pub fn generate_with_profile(
                 let wave = rng.index(waves as usize) as f64;
                 let base = wave / f64::from(waves) * config.span_s * 0.9;
                 (base + rng.next_f64() * wave_width_s.max(0.0)).min(config.span_s * 0.98)
+            }
+            ArrivalPattern::Diurnal {
+                period_s,
+                peak_to_trough,
+            } => {
+                // Rejection-sample an inhomogeneous Poisson-style rate
+                // λ(t) ∝ 1 + a·sin(2πt/T) with a = (ρ−1)/(ρ+1), which
+                // makes peak/trough rate exactly ρ. Deterministic: the
+                // loop only consumes this session's forked stream.
+                let period = period_s.max(1.0);
+                let amp = ((peak_to_trough.max(1.0) - 1.0) / (peak_to_trough.max(1.0) + 1.0))
+                    .clamp(0.0, 0.999);
+                let window = config.span_s * 0.98;
+                loop {
+                    let t = rng.next_f64() * window;
+                    let rate = 1.0 + amp * (std::f64::consts::TAU * t / period).sin();
+                    if rng.next_f64() * (1.0 + amp) < rate {
+                        break t;
+                    }
+                }
             }
         };
         let end_s = if rng.chance(config.long_lived_fraction) {
@@ -391,6 +436,37 @@ mod tests {
             assert!(n >= 15, "wave {w} holds only {n} of 90 sessions");
         }
         assert_eq!(generate(&cfg, 11), generate(&cfg, 11), "deterministic");
+    }
+
+    #[test]
+    fn diurnal_concentrates_arrivals_at_peaks() {
+        let cfg = SyntheticConfig {
+            sessions: 600,
+            ..SyntheticConfig::diurnal_17_5h()
+        };
+        let trace = generate(&cfg, 9);
+        trace.validate().expect("valid trace");
+        let ArrivalPattern::Diurnal { period_s, .. } = cfg.arrival else {
+            panic!("diurnal config");
+        };
+        // The rate peaks in the first half of every cycle (sin > 0) and
+        // troughs in the second; with ρ = 4 the halves' mean rates are
+        // 1 ± 2a/π ≈ 1.38 vs 0.62, so peak halves collect over twice the
+        // arrivals of trough halves.
+        let (mut peak, mut trough) = (0u32, 0u32);
+        for s in &trace.sessions {
+            let phase = (s.start_s.rem_euclid(period_s)) / period_s;
+            if phase < 0.5 {
+                peak += 1;
+            } else {
+                trough += 1;
+            }
+        }
+        assert!(
+            peak * 2 > trough * 3,
+            "peak halves {peak} vs trough halves {trough}"
+        );
+        assert_eq!(generate(&cfg, 9), generate(&cfg, 9), "deterministic");
     }
 
     #[test]
