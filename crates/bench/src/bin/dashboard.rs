@@ -1,5 +1,5 @@
 //! A text analogue of the NotebookOS administrative dashboard (§5.1.2,
-//! artifact [77]): replays the 17.5-hour evaluation workload through the
+//! artifact \[77\]): replays the 17.5-hour evaluation workload through the
 //! sweep engine and prints the full run report.
 //!
 //! ```text

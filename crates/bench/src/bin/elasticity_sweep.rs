@@ -3,25 +3,34 @@
 //! three stress scenarios they were built for — flash-crowd arrivals,
 //! diurnal arrivals, and a heterogeneous host fleet — and reports
 //! per-policy cost/latency aggregates with 95 % CIs. Per-run records are
-//! persisted as CSV + JSON so figures re-render without re-running.
+//! persisted as JSON + CSV so figures re-render without re-running, and
+//! the sweep shards, resumes, and merges like any other:
 //!
 //! ```text
 //! cargo run --release -p notebookos-bench --bin elasticity_sweep -- \
-//!     [--smoke] [--workers N] [--out DIR]
+//!     [--smoke] [--workers N] [--shard I/M] [--out FILE] \
+//!     [--resume FILE] [--merge FILES...]
 //! ```
+//!
+//! `--out FILE` names the JSON report (default
+//! `results/elasticity/elasticity_sweep.json` for unsharded runs; a
+//! `--shard` run must name its own `--out` or `--resume` file so a
+//! partial report can never clobber the default complete one); the
+//! headline CSV is written next to it. Summary tables and the
+//! control-plane sanity assertions only run when the report covers the
+//! full matrix (partial shards just persist their cells).
 
+use notebookos_bench::sweep_cli::SweepCli;
+use notebookos_bench::{
+    elastic_config, elastic_smoke_config, smoke_diurnal, smoke_flash_crowd, smoke_heterogeneous,
+};
 use notebookos_core::sweep::{Scenario, SweepSpec};
-use notebookos_core::{ElasticityKind, PlatformConfig, PolicyKind};
+use notebookos_core::{ElasticityKind, PolicyKind};
 use notebookos_metrics::Table;
-use notebookos_trace::{ArrivalPattern, SyntheticConfig};
 
-/// Base configuration for every run: the NotebookOS evaluation setup with
-/// the pre-warm reconcile loop enabled (the control plane under test).
-fn elastic_config(policy: PolicyKind) -> PlatformConfig {
-    let mut config = PlatformConfig::evaluation(policy);
-    config.autoscale.prewarm_reconcile_interval_s = Some(120.0);
-    config
-}
+const USAGE: &str =
+    "elasticity_sweep [--smoke] [--workers N] [--shard I/M] [--out FILE] [--resume FILE] \
+     [--merge FILES...]";
 
 /// The full-scale scenario axis: the three stress patterns at excerpt
 /// scale (§5.2's 17.5-hour window).
@@ -33,81 +42,36 @@ fn full_scenarios() -> Vec<Scenario> {
     ]
 }
 
-/// Smoke mode shrinks the fleet floor so quarter-scale workloads still
-/// exercise scale-out and scale-in.
-fn smoke_config(policy: PolicyKind) -> PlatformConfig {
-    let mut config = elastic_config(policy);
-    config.initial_hosts = 3;
-    config.autoscale.min_hosts = 2;
-    config.autoscale.scaling_buffer_hosts = 0;
-    config
-}
-
 /// CI-speed variants: same stress shapes, quarter-scale populations and
-/// windows, tuned so each scenario still trips its control-plane path
-/// (scale-out bursts, diurnal troughs, mixed-shape demand).
+/// windows, tuned so each scenario still trips its control-plane path.
 fn smoke_scenarios() -> Vec<Scenario> {
-    let flash = SyntheticConfig {
-        sessions: 18,
-        span_s: 3.0 * 3600.0,
-        ..SyntheticConfig::flash_crowd_17_5h()
-    };
-    let diurnal = SyntheticConfig {
-        sessions: 24,
-        span_s: 3.0 * 3600.0,
-        long_lived_fraction: 0.4,
-        arrival: ArrivalPattern::Diurnal {
-            period_s: 3600.0,
-            peak_to_trough: 4.0,
-        },
-        ..SyntheticConfig::excerpt_17_5h()
-    };
-    // Mostly-small kernels with an 8-GPU tail on a tiny mixed fleet: the
-    // workload the shape-aware regression test uses, where tick deficits
-    // spill into 4-GPU boxes while 8-GPU shortfalls pull full trainers.
-    let hetero = SyntheticConfig {
-        sessions: 40,
-        span_s: 3.0 * 3600.0,
-        gpu_active_fraction: 0.7,
-        long_lived_fraction: 0.9,
-        gpu_demand: vec![(1, 0.6), (2, 0.25), (8, 0.15)],
-        arrival: ArrivalPattern::FlashCrowd {
-            waves: 2,
-            wave_width_s: 600.0,
-        },
-    };
-    vec![
-        Scenario::new("flash-crowd", flash),
-        Scenario::new("diurnal", diurnal),
-        Scenario::new("heterogeneous-hosts", hetero).with_host_mix(vec![
-            (notebookos_cluster::ResourceBundle::p3_16xlarge(), 2),
-            (
-                notebookos_cluster::ResourceBundle::new(32_000, 249_856, 4),
-                2,
-            ),
-        ]),
-    ]
+    vec![smoke_flash_crowd(), smoke_diurnal(), smoke_heterogeneous()]
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let flag_value = |flag: &str| {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1).cloned())
-    };
-    let workers: usize = flag_value("--workers")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
-    let out_dir = flag_value("--out").unwrap_or_else(|| "results/elasticity".to_string());
+    let mut cli = SweepCli::parse(std::env::args().skip(1), USAGE).unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    });
+    // The default report path only applies to a plain full run — the
+    // one mode guaranteed to produce the *complete* report. A shard must
+    // name its own file (SweepCli::parse enforces --out/--resume), and a
+    // merge (which may cover only a subset of shards) only writes where
+    // explicitly told, so a partial report can never clobber a
+    // previously completed default one. Parent directories are created
+    // by the engine's atomic writer.
+    let out = cli.out.take().or_else(|| {
+        (cli.shard.is_none() && cli.merge.is_empty())
+            .then(|| std::path::PathBuf::from("results/elasticity/elasticity_sweep.json"))
+    });
+    cli.out = out.clone();
 
-    let scenarios = if smoke {
+    let scenarios = if cli.smoke {
         smoke_scenarios()
     } else {
         full_scenarios()
     };
-    let seeds: Vec<u64> = if smoke {
+    let seeds: Vec<u64> = if cli.smoke {
         vec![1, 2]
     } else {
         (0..5).map(|i| 2026 + i).collect()
@@ -117,19 +81,45 @@ fn main() {
         .all_elasticities()
         .seeds(seeds)
         .scenarios(scenarios.clone())
-        .configure(if smoke { smoke_config } else { elastic_config })
-        .workers(workers);
-    let total_jobs = spec.jobs().len();
+        .configure(if cli.smoke {
+            elastic_smoke_config
+        } else {
+            elastic_config
+        });
     eprintln!(
         "elasticity_sweep: {} runs ({} scenarios x {} elasticities x {} seeds)",
-        total_jobs,
+        spec.total_jobs(),
         scenarios.len(),
         ElasticityKind::ALL.len(),
         spec.seeds.len()
     );
-    let report = spec.run_with_progress(|done, total| {
-        eprintln!("  [{done}/{total}] runs complete");
-    });
+    let report = cli
+        .execute(&spec, "elasticity_sweep")
+        .unwrap_or_else(|err| {
+            eprintln!("elasticity_sweep: {err}");
+            std::process::exit(1);
+        });
+
+    if let Some(out) = &out {
+        let csv = out.with_extension("csv");
+        report.write_csv(&csv).expect("write CSV");
+        println!(
+            "per-run records: {} and {} ({} runs)",
+            out.display(),
+            csv.display(),
+            report.len()
+        );
+    }
+
+    if !SweepCli::is_complete(&spec, &report) {
+        println!(
+            "elasticity_sweep: partial report ({} of {} cells) — merge the shards or \
+             --resume to complete it",
+            report.len(),
+            spec.total_jobs()
+        );
+        return;
+    }
 
     for scenario in &scenarios {
         let mut table = Table::new(
@@ -171,13 +161,6 @@ fn main() {
         }
         println!("{table}");
     }
-
-    std::fs::create_dir_all(&out_dir).expect("create output directory");
-    let csv = format!("{out_dir}/elasticity_sweep.csv");
-    let json = format!("{out_dir}/elasticity_sweep.json");
-    report.write_csv(&csv).expect("write CSV");
-    report.write_json(&json).expect("write JSON");
-    println!("per-run records: {csv} and {json} ({} runs)", report.len());
 
     // Control-plane sanity the CI smoke run enforces: the shape-aware
     // policy must actually diversify on the heterogeneous fleet.

@@ -6,6 +6,12 @@
 //! cargo run --release -p notebookos-bench --bin repro_all
 //! cargo run --release -p notebookos-bench --bin repro_all -- --smoke
 //! cargo run --release -p notebookos-bench --bin repro_all -- --workers 2
+//! # Split across two machines, then stitch the transcript back together:
+//! cargo run ... --bin repro_all -- --smoke --shard 0/2 --out half-0.json
+//! cargo run ... --bin repro_all -- --smoke --shard 1/2 --out half-1.json
+//! cargo run ... --bin repro_all -- --merge half-0.json half-1.json
+//! # Re-run only the regenerators that failed or never ran:
+//! cargo run ... --bin repro_all -- --smoke --resume progress.json
 //! ```
 //!
 //! Each regenerator runs as a child process with captured output; sections
@@ -15,11 +21,23 @@
 //! `--smoke` skips the long-running regenerators (`fig12` and `fig14`,
 //! which sweep multi-policy 90-day simulations) so CI can exercise the
 //! whole pipeline quickly.
+//!
+//! `--shard I/M` runs only every `M`-th regenerator starting at `I`;
+//! `--out FILE` persists the captured transcripts as a JSON manifest
+//! (written atomically); `--resume FILE` skips regenerators the manifest
+//! already records as successful and folds new results back into it;
+//! `--merge FILES...` combines shard manifests and prints the full
+//! canonical transcript without running anything.
 
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
 use std::process::Command;
 use std::time::Instant;
 
+use notebookos_bench::sweep_cli::SweepCli;
 use notebookos_core::sweep;
+use notebookos_jupyter::Json;
 
 const ALL: &[&str] = &[
     "table1", "fig02", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
@@ -29,47 +47,230 @@ const ALL: &[&str] = &[
 /// Regenerators skipped under `--smoke`.
 const SLOW: &[&str] = &["fig12", "fig14"];
 
+const USAGE: &str = "repro_all [--smoke] [--workers N] [--shard I/M] [--out FILE] \
+     [--resume FILE] [--merge FILES...]";
+
 struct BinOutput {
     bin: &'static str,
-    stdout: Vec<u8>,
-    stderr: Vec<u8>,
+    stdout: String,
+    stderr: String,
     success: bool,
 }
 
-fn main() {
-    let mut smoke = false;
-    let mut workers = 0usize; // 0 = sweep::default_workers()
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--smoke" => smoke = true,
-            "--workers" => {
-                workers = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n| n > 0)
-                    .unwrap_or_else(|| {
-                        eprintln!("--workers takes a positive integer");
-                        std::process::exit(2);
-                    });
+/// The canonical name behind a manifest key, so merged manifests only
+/// ever hold known regenerators.
+fn canonical(bin: &str) -> Result<&'static str, String> {
+    ALL.iter()
+        .copied()
+        .find(|&b| b == bin)
+        .ok_or_else(|| format!("unknown regenerator `{bin}` in manifest"))
+}
+
+/// Serializes captured outputs as a manifest: `{"smoke": bool, "bins":
+/// {name: {"success": bool, "stdout": str, "stderr": str}}}`.
+fn manifest_json(smoke: bool, outputs: &[BinOutput]) -> String {
+    let mut bins = Json::object();
+    for out in outputs {
+        bins = bins.with(
+            out.bin,
+            Json::object()
+                .with("success", out.success)
+                .with("stdout", out.stdout.as_str())
+                .with("stderr", out.stderr.as_str()),
+        );
+    }
+    Json::object()
+        .with("smoke", smoke)
+        .with("bins", bins)
+        .encode()
+}
+
+/// Loads a manifest back into `(smoke, outputs)`.
+fn read_manifest(path: &Path) -> Result<(bool, Vec<BinOutput>), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("manifest {}: {e}", path.display()))?;
+    let root = Json::parse(&text).map_err(|e| {
+        format!(
+            "manifest {} is not valid JSON ({e}); delete it to start over",
+            path.display()
+        )
+    })?;
+    let context = |m: &str| format!("manifest {}: {m}", path.display());
+    let smoke = root
+        .get("smoke")
+        .and_then(Json::as_bool)
+        .ok_or_else(|| context("missing `smoke`"))?;
+    let bins = match root.get("bins") {
+        Some(Json::Obj(map)) => map,
+        _ => return Err(context("missing `bins` object")),
+    };
+    let mut outputs = Vec::with_capacity(bins.len());
+    for (name, entry) in bins {
+        let field = |key: &str| {
+            entry
+                .get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| context(&format!("bin `{name}` missing `{key}`")))
+        };
+        outputs.push(BinOutput {
+            bin: canonical(name).map_err(|e| context(&e))?,
+            success: entry
+                .get("success")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| context(&format!("bin `{name}` missing `success`")))?,
+            stdout: field("stdout")?,
+            stderr: field("stderr")?,
+        });
+    }
+    Ok((smoke, outputs))
+}
+
+/// Writes `text` to `path` via the sweep engine's `.tmp` + rename
+/// staging, so a killed run cannot leave a truncated manifest that
+/// poisons `--resume`.
+fn write_manifest_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    sweep::write_atomic(path, |out| out.write_all(text.as_bytes()))
+}
+
+/// Prints the canonical-order transcript for `selected` bins and returns
+/// whether every one of them is present and succeeded.
+fn print_transcript(selected: &[&'static str], smoke: bool, outputs: &[BinOutput]) -> bool {
+    let mut ok = true;
+    for &bin in ALL {
+        if smoke && SLOW.contains(&bin) {
+            println!("\n################ {bin} (skipped in --smoke) ################");
+            continue;
+        }
+        if !selected.contains(&bin) {
+            println!("\n################ {bin} (not in this shard) ################");
+            continue;
+        }
+        println!("\n################ {bin} ################\n");
+        match outputs.iter().find(|o| o.bin == bin) {
+            Some(out) => {
+                print!("{}", out.stdout);
+                if !out.success {
+                    eprintln!("{bin} failed:\n{}", out.stderr);
+                    ok = false;
+                }
             }
-            other => {
-                eprintln!("unknown argument {other:?}; usage: repro_all [--smoke] [--workers N]");
-                std::process::exit(2);
+            None => {
+                eprintln!("{bin} missing from the manifest(s)");
+                ok = false;
             }
         }
     }
+    ok
+}
 
-    let me = std::env::current_exe().expect("current exe path");
-    let dir = me.parent().expect("bin directory").to_path_buf();
-    let bins: Vec<&'static str> = ALL
+fn main() {
+    // The flag grammar is exactly the sweep binaries' shared one; only
+    // the execution side differs (child processes + manifests instead of
+    // a SweepSpec).
+    let cli = SweepCli::parse(std::env::args().skip(1), USAGE).unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    });
+    let (smoke, workers) = (cli.smoke, cli.workers);
+    // SweepCli::parse has already enforced that a --shard run names a
+    // persistence target (--out/--resume), so captured transcripts can
+    // always be merged or resumed.
+    let (shard, out_path, resume_path, merge_paths) = (cli.shard, cli.out, cli.resume, cli.merge);
+
+    // ------------------------------------------------------------------
+    // Merge mode: stitch shard manifests back into one transcript.
+    // ------------------------------------------------------------------
+    if !merge_paths.is_empty() {
+        let mut merged: BTreeMap<&'static str, BinOutput> = BTreeMap::new();
+        let mut merged_smoke: Option<bool> = None;
+        for path in &merge_paths {
+            let (smoke, outputs) = read_manifest(path).unwrap_or_else(|e| {
+                eprintln!("repro_all: {e}");
+                std::process::exit(1);
+            });
+            if *merged_smoke.get_or_insert(smoke) != smoke {
+                eprintln!("repro_all: cannot merge smoke and full manifests");
+                std::process::exit(1);
+            }
+            for out in outputs {
+                let name = out.bin;
+                if merged.insert(name, out).is_some() {
+                    eprintln!("repro_all: overlapping manifests — `{name}` appears twice");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let smoke = merged_smoke.unwrap_or(false);
+        let outputs: Vec<BinOutput> = merged.into_values().collect();
+        if let Some(path) = &out_path {
+            write_manifest_atomic(path, &manifest_json(smoke, &outputs)).unwrap_or_else(|e| {
+                eprintln!("repro_all: writing manifest {}: {e}", path.display());
+                std::process::exit(1);
+            });
+        }
+        // A merge must reconstruct the *complete* transcript: every
+        // non-skipped regenerator, from whichever shard ran it.
+        let selected: Vec<&'static str> = ALL
+            .iter()
+            .copied()
+            .filter(|bin| !(smoke && SLOW.contains(bin)))
+            .collect();
+        if !print_transcript(&selected, smoke, &outputs) {
+            std::process::exit(1);
+        }
+        println!("\nAll evaluation artifacts regenerated.");
+        return;
+    }
+
+    // ------------------------------------------------------------------
+    // Run mode (optionally sharded and/or resuming).
+    // ------------------------------------------------------------------
+    let selected: Vec<&'static str> = ALL
         .iter()
         .copied()
         .filter(|bin| !(smoke && SLOW.contains(bin)))
+        .enumerate()
+        .filter(|(i, _)| match shard {
+            None => true,
+            Some((index, total)) => i % total == index,
+        })
+        .map(|(_, bin)| bin)
         .collect();
 
+    // Under --resume, keep every prior record (a failure's captured
+    // stderr from another shard must survive this rewrite), skip
+    // launching only the bins already recorded as successful, and retry
+    // recorded failures that fall in this selection.
+    let mut prior: Vec<BinOutput> = Vec::new();
+    if let Some(path) = &resume_path {
+        if path.exists() {
+            let (prior_smoke, outputs) = read_manifest(path).unwrap_or_else(|e| {
+                eprintln!("repro_all: {e}");
+                std::process::exit(1);
+            });
+            if prior_smoke != smoke {
+                eprintln!(
+                    "repro_all: manifest {} was recorded with smoke={prior_smoke}, \
+                     refusing to resume with smoke={smoke}",
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+            prior = outputs;
+        }
+    }
+    let to_run: Vec<&'static str> = selected
+        .iter()
+        .copied()
+        .filter(|bin| !prior.iter().any(|o| &o.bin == bin && o.success))
+        .collect();
+    let resumed = selected.len() - to_run.len();
+
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("bin directory").to_path_buf();
     let started = Instant::now();
-    let total = bins.len();
+    let total = to_run.len();
     // `--workers N` is the overall concurrency budget (default: the
     // machine's cores). Children also parallelize internally
     // (run_all_policies), so the budget is divided between the process
@@ -80,11 +281,18 @@ fn main() {
     } else {
         workers
     };
-    let pool_workers = budget.min(total).max(1);
+    let pool_workers = budget.min(total.max(1)).max(1);
     let child_workers = (budget / pool_workers).max(1);
-    eprintln!("repro_all: {total} artifacts on {pool_workers} workers ({child_workers} per child)");
-    let outputs = sweep::parallel_map_indexed(
-        bins,
+    eprintln!(
+        "repro_all: {total} artifacts on {pool_workers} workers ({child_workers} per child{})",
+        if resumed == 0 {
+            String::new()
+        } else {
+            format!(", {resumed} resumed from manifest")
+        }
+    );
+    let mut outputs = sweep::parallel_map_indexed(
+        to_run,
         workers,
         |_, bin| {
             let path = dir.join(bin);
@@ -94,8 +302,8 @@ fn main() {
                 .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
             BinOutput {
                 bin,
-                stdout: out.stdout,
-                stderr: out.stderr,
+                stdout: String::from_utf8_lossy(&out.stdout).into_owned(),
+                stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
                 success: out.status.success(),
             }
         },
@@ -108,31 +316,37 @@ fn main() {
             );
         },
     );
+    // Fresh results supersede their prior entries (retried failures);
+    // everything else in the manifest — other shards' records included —
+    // is carried through untouched.
+    let fresh: std::collections::HashSet<&'static str> = outputs.iter().map(|o| o.bin).collect();
+    outputs.extend(prior.into_iter().filter(|old| !fresh.contains(old.bin)));
 
-    // Canonical-order transcript, independent of completion order.
-    let mut failed = false;
-    for &bin in ALL {
-        if smoke && SLOW.contains(&bin) {
-            println!("\n################ {bin} (skipped in --smoke) ################");
-            continue;
-        }
-        println!("\n################ {bin} ################\n");
-        let out = outputs
-            .iter()
-            .find(|o| o.bin == bin)
-            .expect("every bin ran");
-        print!("{}", String::from_utf8_lossy(&out.stdout));
-        if !out.success {
-            eprintln!("{bin} failed:\n{}", String::from_utf8_lossy(&out.stderr));
-            failed = true;
+    // Persist before printing: a transcript consumer killing the pipe
+    // must not cost us the recorded progress. A failed manifest write is
+    // a runtime error, not a usage error — report it, still print the
+    // captured transcript (hours of child runs must not vanish), and
+    // exit non-zero at the end.
+    let manifest = manifest_json(smoke, &outputs);
+    let mut manifest_failed = false;
+    for path in resume_path.iter().chain(out_path.iter()) {
+        if let Err(e) = write_manifest_atomic(path, &manifest) {
+            eprintln!("repro_all: writing manifest {}: {e}", path.display());
+            manifest_failed = true;
         }
     }
-    if failed {
+
+    // Canonical-order transcript, independent of completion order.
+    if !print_transcript(&selected, smoke, &outputs) || manifest_failed {
         std::process::exit(1);
+    }
+    if shard.is_some() {
+        println!("\nShard complete; merge the manifests for the full transcript.");
+    } else {
+        println!("\nAll evaluation artifacts regenerated.");
     }
     // Timing goes to stderr so the stdout transcript is bit-identical
     // whatever the worker count.
-    println!("\nAll evaluation artifacts regenerated.");
     eprintln!(
         "repro_all: finished in {:.1}s",
         started.elapsed().as_secs_f64()

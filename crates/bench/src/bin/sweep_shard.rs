@@ -1,0 +1,157 @@
+//! `placement × elasticity` interaction sweep — the flagship sharded
+//! workload (ROADMAP: "Elasticity × placement interaction study").
+//!
+//! Both axes are sweepable since PR 3; crossing all four placement
+//! policies with all three elasticity policies over the heterogeneous
+//! and diurnal stress scenarios shows which pairings compound — and at
+//! full scale (72 runs of 17.5-hour simulations) it is exactly the sweep
+//! that needs to be split across machines, killed, resumed, and merged:
+//!
+//! ```text
+//! # One process:
+//! cargo run --release -p notebookos-bench --bin sweep_shard
+//! # Two machines, then a merge with a bit-identity gate (CI does this):
+//! cargo run ... --bin sweep_shard -- --smoke --shard 0/2 --out shard-0.json
+//! cargo run ... --bin sweep_shard -- --smoke --shard 1/2 --out shard-1.json
+//! cargo run ... --bin sweep_shard -- --smoke --merge shard-0.json shard-1.json --out merged.json
+//! # Kill it, then pick up where it died:
+//! cargo run ... --bin sweep_shard -- --smoke --resume partial.json
+//! ```
+//!
+//! Flags: `[--smoke] [--workers N] [--shard I/M] [--out FILE]
+//! [--resume FILE] [--merge FILES...]`. Merged or resumed-to-completion
+//! reports render the interaction tables; partial (sharded) runs just
+//! persist their cells.
+
+use notebookos_bench::sweep_cli::SweepCli;
+use notebookos_bench::{elastic_config, elastic_smoke_config, smoke_heterogeneous};
+use notebookos_core::sweep::{Scenario, SweepSpec};
+use notebookos_core::{ElasticityKind, PlacementKind, PolicyKind};
+use notebookos_metrics::Table;
+
+const USAGE: &str =
+    "sweep_shard [--smoke] [--workers N] [--shard I/M] [--out FILE] [--resume FILE] \
+     [--merge FILES...]";
+
+/// The interaction matrix: NotebookOS under every placement × elasticity
+/// pairing, on the scenarios where the pairings differ most.
+fn interaction_spec(smoke: bool) -> SweepSpec {
+    let scenarios = if smoke {
+        vec![smoke_heterogeneous()]
+    } else {
+        vec![Scenario::heterogeneous_hosts(), Scenario::diurnal()]
+    };
+    let seeds: Vec<u64> = if smoke {
+        vec![1]
+    } else {
+        (0..3).map(|i| 2026 + i).collect()
+    };
+    SweepSpec::new()
+        .policies(vec![PolicyKind::NotebookOs])
+        .all_placements()
+        .all_elasticities()
+        .seeds(seeds)
+        .scenarios(scenarios)
+        .configure(if smoke {
+            elastic_smoke_config
+        } else {
+            elastic_config
+        })
+}
+
+fn main() {
+    let cli = SweepCli::parse(std::env::args().skip(1), USAGE).unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    });
+    let spec = interaction_spec(cli.smoke);
+    eprintln!(
+        "sweep_shard: {} interaction cells ({} scenarios x {} placements x {} elasticities x {} seeds)",
+        spec.total_jobs(),
+        spec.scenarios.len(),
+        PlacementKind::ALL.len(),
+        ElasticityKind::ALL.len(),
+        spec.seeds.len()
+    );
+    let report = cli.execute(&spec, "sweep_shard").unwrap_or_else(|err| {
+        eprintln!("sweep_shard: {err}");
+        std::process::exit(1);
+    });
+
+    // Partial shards persist their cells and stop; tables and invariant
+    // checks only make sense over the full matrix.
+    if !SweepCli::is_complete(&spec, &report) {
+        println!(
+            "sweep_shard: partial report ({} of {} cells) — merge the shards or \
+             --resume to complete it",
+            report.len(),
+            spec.total_jobs()
+        );
+        return;
+    }
+
+    for scenario in &spec.scenarios {
+        let mut header: Vec<String> = vec!["placement".into()];
+        header.extend(
+            ElasticityKind::ALL
+                .iter()
+                .map(|e| format!("{e} p50 (ms) / cost ($)")),
+        );
+        let mut table = Table::new(
+            format!("NotebookOS placement x elasticity — {}", scenario.name),
+            &header.iter().map(String::as_str).collect::<Vec<_>>(),
+        );
+        for placement in PlacementKind::ALL {
+            let mut row = vec![placement.to_string()];
+            for elasticity in ElasticityKind::ALL {
+                let agg = report
+                    .aggregate_interaction(
+                        &scenario.name,
+                        PolicyKind::NotebookOs,
+                        placement,
+                        elasticity,
+                    )
+                    .expect("complete report has every interaction cell");
+                row.push(format!(
+                    "{:.1} / {:.2}",
+                    agg.interactivity_p50_ms.mean, agg.provider_cost_usd.mean
+                ));
+            }
+            table.row_owned(row);
+        }
+        println!("{table}");
+    }
+
+    // Sanity the CI smoke run enforces: every cell executed work, and
+    // the interaction actually varies across pairings (a sweep that
+    // produced one flat surface would mean an axis is not being stamped
+    // through to the platform).
+    assert!(
+        report
+            .runs
+            .iter()
+            .all(|r| r.metrics.counters.executions > 0),
+        "an interaction cell completed no executions"
+    );
+    let distinct_migration_profiles: std::collections::BTreeSet<u64> = report
+        .runs
+        .iter()
+        .map(|r| r.metrics.counters.migrations)
+        .collect();
+    assert!(
+        distinct_migration_profiles.len() > 1
+            || report
+                .runs
+                .iter()
+                .map(|r| r.metrics.counters.scale_outs)
+                .collect::<std::collections::BTreeSet<u64>>()
+                .len()
+                > 1,
+        "placement x elasticity surface is completely flat — axis plumbing broke"
+    );
+    println!(
+        "sweep_shard: {} interaction cells complete (fingerprint {:#018x})",
+        report.len(),
+        report.fingerprint
+    );
+}

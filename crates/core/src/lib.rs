@@ -75,5 +75,7 @@ pub use policy::{
 pub use reclamation::{analyze as analyze_reclamation, fig13_sweep, ReclamationSavings};
 pub use results::{RunCounters, RunMetrics};
 pub use smr::{ElectionOutcome, ElectionTracker, KernelCommand, KernelProtocolHarness, Proposal};
-pub use sweep::{Scenario, SweepAggregate, SweepJob, SweepReport, SweepRun, SweepSpec};
+pub use sweep::{
+    Scenario, SweepAggregate, SweepCsvRow, SweepError, SweepJob, SweepReport, SweepRun, SweepSpec,
+};
 pub use types::{KernelId, ReplicaId};

@@ -8,14 +8,37 @@
 //!   executor: a pool of worker threads drains a job channel and results
 //!   are collected by index, so the output order never depends on thread
 //!   scheduling.
-//! * [`SweepSpec`] — a matrix of policies × elasticities × seeds ×
-//!   scenario variants, expanded into [`SweepJob`]s and executed by the
-//!   pool.
+//! * [`SweepSpec`] — a matrix of policies × placements × elasticities ×
+//!   seeds × scenario variants, expanded into [`SweepJob`]s and executed
+//!   by the pool.
 //! * [`SweepReport`] — per-run [`RunMetrics`] plus cross-seed aggregation
 //!   (pooled CDFs, means, and 95 % confidence intervals —
 //!   [`SweepAggregate`]) and persistence ([`SweepReport::write_csv`],
 //!   [`SweepReport::write_json`]) so long sweeps re-render figures from
 //!   disk instead of re-running.
+//!
+//! # Sharding, resuming, merging
+//!
+//! The job list is deterministic and indexable, which makes cross-process
+//! partitioning safe and merge-order irrelevant:
+//!
+//! * [`SweepSpec::shard`] restricts a spec to the jobs whose global index
+//!   is congruent to `index` modulo `total` — run shard `i/M` on `M`
+//!   machines and every job runs exactly once.
+//! * [`SweepReport::read_json`] loads a persisted report back into full
+//!   [`SweepRun`]s (round trip: `write_json → read_json` is
+//!   `PartialEq`-identity); [`SweepReport::read_csv`] loads the headline
+//!   scalars for spot checks.
+//! * [`SweepReport::merge`] combines shard reports after validating that
+//!   their [`SweepSpec::fingerprint`]s match and their job indices are
+//!   disjoint; runs are re-ordered by job index, so the merged report is
+//!   bit-identical to a single-process run of the unsharded spec.
+//! * [`SweepSpec::run_resuming`] skips cells already present in a
+//!   persisted report and appends only the missing ones — kill a sweep,
+//!   re-invoke it, and completed cells are never re-run.
+//!
+//! Writes go through a `.tmp` sibling plus rename, so a sweep killed
+//! mid-write cannot leave a truncated report that poisons a later resume.
 //!
 //! # Determinism
 //!
@@ -24,7 +47,8 @@
 //! identical to the record a sequential `Platform::run` with the same
 //! inputs produces, whatever the worker count — the
 //! `sweep_runs_equal_sequential_runs` property test in `tests/properties.rs`
-//! locks this in.
+//! locks this in, and `tests/sweep_sharding.rs` extends the guarantee
+//! across shard/resume/merge boundaries.
 //!
 //! # Example
 //!
@@ -44,17 +68,124 @@
 //! assert_eq!(agg.interactivity_p50_ms.n, 2);
 //! ```
 
+use std::collections::HashSet;
+use std::fmt;
 use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use crossbeam::channel;
 use notebookos_cluster::ResourceBundle;
-use notebookos_metrics::{Cdf, MeanCi};
+use notebookos_jupyter::Json;
+use notebookos_metrics::{Cdf, MeanCi, Timeline};
 use notebookos_trace::{generate_with_profile, SyntheticConfig, TraceProfile, WorkloadTrace};
 
-use crate::config::{ElasticityKind, PlatformConfig, PolicyKind};
+use crate::config::{ElasticityKind, PlacementKind, PlatformConfig, PolicyKind};
+use crate::latency_breakdown::Step;
 use crate::platform::Platform;
-use crate::results::RunMetrics;
+use crate::results::{RunCounters, RunMetrics};
+
+/// Failure loading, merging, or resuming persisted sweep reports. Every
+/// variant carries enough context to say *which* file or cell is bad —
+/// a truncated or hand-edited report must surface as a clear error, never
+/// a panic, because `--resume` feeds these files back into long runs.
+#[derive(Debug)]
+pub enum SweepError {
+    /// Reading or writing `path` failed at the I/O layer.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// `path` is not syntactically valid JSON (e.g. a write was killed
+    /// mid-stream before atomic persistence existed, or the file was
+    /// corrupted out-of-band).
+    Json {
+        /// The file involved.
+        path: PathBuf,
+        /// Parser diagnostic with byte offset.
+        message: String,
+    },
+    /// `path` parsed but does not have the shape of a sweep report.
+    Format {
+        /// The file involved.
+        path: PathBuf,
+        /// What was missing or malformed.
+        message: String,
+    },
+    /// Two reports (or a report and the resuming spec) were produced by
+    /// different sweep specifications and cannot be combined.
+    FingerprintMismatch {
+        /// Fingerprint of the spec or first report.
+        expected: u64,
+        /// Conflicting fingerprint.
+        found: u64,
+    },
+    /// Two merged reports both contain the run at this job index — the
+    /// shards were not disjoint.
+    OverlappingRuns {
+        /// The duplicated global job index.
+        job_index: usize,
+    },
+    /// [`SweepReport::merge`] was called with no reports.
+    NothingToMerge,
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Io { path, source } => {
+                write!(f, "sweep report {}: {source}", path.display())
+            }
+            SweepError::Json { path, message } => {
+                write!(
+                    f,
+                    "sweep report {} is not valid JSON ({message}); \
+                     the file is corrupt or truncated — delete it to start over",
+                    path.display()
+                )
+            }
+            SweepError::Format { path, message } => {
+                write!(f, "sweep report {} is malformed: {message}", path.display())
+            }
+            SweepError::FingerprintMismatch { expected, found } => {
+                write!(
+                    f,
+                    "sweep fingerprint mismatch: expected {expected:#018x}, found {found:#018x} \
+                     (the reports come from different sweep specifications)"
+                )
+            }
+            SweepError::OverlappingRuns { job_index } => {
+                write!(
+                    f,
+                    "overlapping shard reports: job index {job_index} appears more than once"
+                )
+            }
+            SweepError::NothingToMerge => write!(f, "no sweep reports to merge"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// 64-bit FNV-1a over `bytes` — the stable, dependency-free hash behind
+/// [`SweepSpec::fingerprint`].
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 /// Worker count used when a spec asks for `0`: the
 /// `NOTEBOOKOS_SWEEP_WORKERS` environment variable if set to a positive
@@ -161,10 +292,17 @@ where
 /// plus the axis labels it came from.
 #[derive(Debug, Clone)]
 pub struct SweepJob {
+    /// Global index of this job in the *unsharded* job order of its
+    /// [`SweepSpec`] — stable across shards, the key persisted reports
+    /// and [`SweepReport::merge`] identify cells by. Ad-hoc jobs built
+    /// with [`SweepJob::new`] carry index 0.
+    pub index: usize,
     /// Scenario label (for aggregation grouping).
     pub scenario: String,
     /// The scheduling policy under evaluation.
     pub policy: PolicyKind,
+    /// The replica-placement policy for this run.
+    pub placement: PlacementKind,
     /// The elasticity policy driving scale-out/scale-in for this run.
     pub elasticity: ElasticityKind,
     /// The run's seed (both trace generation and platform RNG).
@@ -191,8 +329,10 @@ impl SweepJob {
         config.policy = policy;
         config.seed = seed;
         SweepJob {
+            index: 0,
             scenario: "default".into(),
             policy,
+            placement: config.placement,
             elasticity: config.autoscale.elasticity,
             seed,
             config,
@@ -295,12 +435,18 @@ impl Scenario {
     }
 }
 
-/// A matrix of policies × elasticities × seeds × scenarios, executed by
-/// the worker pool.
+/// A matrix of policies × placements × elasticities × seeds × scenarios,
+/// executed by the worker pool — optionally restricted to one shard of
+/// the job list for cross-process partitioning.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
     /// Scheduling policies to evaluate.
     pub policies: Vec<PolicyKind>,
+    /// Replica-placement policies to range over. The default empty list
+    /// keeps whatever placement [`SweepSpec::configure`] chose (a single
+    /// implicit cell), reproducing pre-placement-axis sweeps exactly;
+    /// a non-empty list stamps each placement into the config.
+    pub placements: Vec<PlacementKind>,
     /// Elasticity policies to range over (the control-plane axis). The
     /// default single-element `[Threshold]` reproduces pre-elasticity
     /// sweeps exactly.
@@ -315,6 +461,9 @@ pub struct SweepSpec {
     pub configure: fn(PolicyKind) -> PlatformConfig,
     /// Worker threads; 0 picks [`default_workers`].
     pub workers: usize,
+    /// `(index, total)` shard restriction set by [`SweepSpec::shard`];
+    /// `None` runs every job.
+    shard: Option<(usize, usize)>,
 }
 
 impl Default for SweepSpec {
@@ -328,11 +477,13 @@ impl SweepSpec {
     pub fn new() -> Self {
         SweepSpec {
             policies: vec![PolicyKind::NotebookOs],
+            placements: Vec::new(),
             elasticities: vec![ElasticityKind::Threshold],
             seeds: vec![PlatformConfig::evaluation(PolicyKind::NotebookOs).seed],
             scenarios: vec![Scenario::excerpt()],
             configure: PlatformConfig::evaluation,
             workers: 0,
+            shard: None,
         }
     }
 
@@ -345,6 +496,18 @@ impl SweepSpec {
     /// Ranges over all four evaluated policies.
     pub fn all_policies(self) -> Self {
         self.policies(PolicyKind::ALL.to_vec())
+    }
+
+    /// Sets the placement axis.
+    pub fn placements(mut self, placements: Vec<PlacementKind>) -> Self {
+        self.placements = placements;
+        self
+    }
+
+    /// Ranges over all four bundled placement policies — the
+    /// `placement × elasticity` interaction study's row axis.
+    pub fn all_placements(self) -> Self {
+        self.placements(PlacementKind::ALL.to_vec())
     }
 
     /// Sets the elasticity axis.
@@ -382,31 +545,143 @@ impl SweepSpec {
         self
     }
 
+    /// Restricts the spec to shard `index` of `total`: only jobs whose
+    /// global index is congruent to `index` modulo `total` are expanded
+    /// and run. Round-robin assignment keeps the per-shard load balanced
+    /// whatever the axis ordering. `shard(0, 1)` is the full spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero or `index >= total`.
+    pub fn shard(mut self, index: usize, total: usize) -> Self {
+        assert!(total >= 1, "shard total must be at least 1");
+        assert!(index < total, "shard index {index} out of range 0..{total}");
+        self.shard = Some((index, total));
+        self
+    }
+
+    /// The shard restriction, if any, as `(index, total)`.
+    pub fn shard_of(&self) -> Option<(usize, usize)> {
+        self.shard
+    }
+
+    /// Whether global job `index` belongs to this spec's shard.
+    fn shard_selects(&self, index: usize) -> bool {
+        match self.shard {
+            None => true,
+            Some((shard_index, total)) => index % total == shard_index,
+        }
+    }
+
+    /// Number of jobs in the *unsharded* matrix.
+    pub fn total_jobs(&self) -> usize {
+        let placements = self.placements.len().max(1);
+        self.scenarios.len()
+            * self.seeds.len()
+            * self.policies.len()
+            * placements
+            * self.elasticities.len()
+    }
+
+    /// Global indices of the jobs this spec (respecting any shard
+    /// restriction) would run, in job order — the partition arithmetic
+    /// without trace generation, so invariants over large matrices stay
+    /// cheap to test.
+    pub fn job_indices(&self) -> Vec<usize> {
+        (0..self.total_jobs())
+            .filter(|&i| self.shard_selects(i))
+            .collect()
+    }
+
+    /// A stable 64-bit fingerprint of the sweep matrix — policies,
+    /// placements, elasticities, seeds, and scenarios (name, workload
+    /// shape, trace profile, host mix). Two specs share a fingerprint iff
+    /// they expand to the same job list, so shard reports and resume
+    /// files can refuse to combine records from different studies.
+    ///
+    /// Deliberately *excluded*: `workers` and the shard restriction
+    /// (shards of one spec must agree) and the `configure` hook (function
+    /// pointers have no stable identity; specs differing only in
+    /// `configure` are indistinguishable — document the base config in
+    /// the scenario name when that matters).
+    pub fn fingerprint(&self) -> u64 {
+        let mut desc = String::from("sweep-v1;policies=[");
+        for p in &self.policies {
+            desc.push_str(&p.to_string());
+            desc.push(',');
+        }
+        desc.push_str("];placements=[");
+        for p in &self.placements {
+            desc.push_str(&p.to_string());
+            desc.push(',');
+        }
+        desc.push_str("];elasticities=[");
+        for e in &self.elasticities {
+            desc.push_str(&e.to_string());
+            desc.push(',');
+        }
+        desc.push_str("];seeds=[");
+        for s in &self.seeds {
+            desc.push_str(&s.to_string());
+            desc.push(',');
+        }
+        desc.push_str("];scenarios=[");
+        for scenario in &self.scenarios {
+            // Debug formatting covers the full workload shape: arrival
+            // pattern, populations, profile quantiles, host mix.
+            desc.push_str(&format!(
+                "{{name={};workload={:?};profile={:?};host_mix={:?}}}",
+                scenario.name, scenario.workload, scenario.profile, scenario.host_mix
+            ));
+            desc.push(',');
+        }
+        desc.push(']');
+        fnv1a(desc.as_bytes())
+    }
+
     /// Expands the matrix into jobs: scenario-major, then seed, then
-    /// policy, then elasticity. All runs of a `(scenario, seed)` share one
-    /// generated trace.
+    /// policy, then placement, then elasticity. All runs of a
+    /// `(scenario, seed)` share one generated trace; under a shard
+    /// restriction, traces are only generated for `(scenario, seed)`
+    /// blocks that contribute at least one selected job.
     pub fn jobs(&self) -> Vec<SweepJob> {
-        let mut jobs = Vec::with_capacity(
-            self.scenarios.len() * self.seeds.len() * self.policies.len() * self.elasticities.len(),
-        );
+        let placements: Vec<Option<PlacementKind>> = if self.placements.is_empty() {
+            vec![None]
+        } else {
+            self.placements.iter().copied().map(Some).collect()
+        };
+        let mut jobs = Vec::new();
+        let mut index = 0usize;
         for scenario in &self.scenarios {
             for &seed in &self.seeds {
-                let trace = Arc::new(scenario.trace(seed));
+                let mut trace: Option<Arc<WorkloadTrace>> = None;
                 for &policy in &self.policies {
-                    for &elasticity in &self.elasticities {
-                        let mut config = (self.configure)(policy);
-                        config.policy = policy;
-                        config.seed = seed;
-                        config.autoscale.elasticity = elasticity;
-                        scenario.apply(&mut config);
-                        jobs.push(SweepJob {
-                            scenario: scenario.name.clone(),
-                            policy,
-                            elasticity,
-                            seed,
-                            config,
-                            trace: Arc::clone(&trace),
-                        });
+                    for &placement in &placements {
+                        for &elasticity in &self.elasticities {
+                            if self.shard_selects(index) {
+                                let trace =
+                                    trace.get_or_insert_with(|| Arc::new(scenario.trace(seed)));
+                                let mut config = (self.configure)(policy);
+                                config.policy = policy;
+                                config.seed = seed;
+                                config.autoscale.elasticity = elasticity;
+                                if let Some(placement) = placement {
+                                    config.placement = placement;
+                                }
+                                scenario.apply(&mut config);
+                                jobs.push(SweepJob {
+                                    index,
+                                    scenario: scenario.name.clone(),
+                                    policy,
+                                    placement: config.placement,
+                                    elasticity,
+                                    seed,
+                                    config,
+                                    trace: Arc::clone(trace),
+                                });
+                            }
+                            index += 1;
+                        }
                     }
                 }
             }
@@ -414,52 +689,203 @@ impl SweepSpec {
         jobs
     }
 
-    /// Executes the matrix on the pool and collects a report.
+    /// Executes the matrix (or the selected shard) on the pool and
+    /// collects a report stamped with this spec's fingerprint.
     pub fn run(&self) -> SweepReport {
         self.run_with_progress(|_, _| {})
     }
 
     /// Executes the matrix, invoking `progress(done_so_far, total)` on the
     /// coordinating thread as each run completes.
-    pub fn run_with_progress<P: FnMut(usize, usize)>(&self, mut progress: P) -> SweepReport {
-        let jobs = self.jobs();
-        let total = jobs.len();
-        let labels: Vec<(String, PolicyKind, ElasticityKind, u64)> = jobs
-            .iter()
-            .map(|j| (j.scenario.clone(), j.policy, j.elasticity, j.seed))
+    pub fn run_with_progress<P: FnMut(usize, usize)>(&self, progress: P) -> SweepReport {
+        SweepReport {
+            fingerprint: self.fingerprint(),
+            runs: execute_jobs(self.jobs(), self.workers, progress),
+        }
+    }
+
+    /// Executes the matrix *resuming* from the report persisted at
+    /// `path`: cells whose [`RunMetrics`] already exist there are skipped,
+    /// only the missing ones run, and the combined report (existing runs
+    /// plus new ones, in job order) is written back to `path` atomically
+    /// and returned.
+    ///
+    /// The persisted report must carry this spec's
+    /// [`SweepSpec::fingerprint`]; a report from a different spec is
+    /// rejected rather than silently mixed. A missing file resumes from
+    /// nothing — `run_resuming` on a fresh path is `run` plus
+    /// `write_json`. Runs from other shards already in the file are
+    /// preserved untouched, so shards running *sequentially* may share
+    /// one resume file. There is no file locking: two shard processes
+    /// resuming the same file *concurrently* race on the final
+    /// read-modify-write and the last rename wins, dropping the other's
+    /// runs — concurrent shards must write one file each and
+    /// [`SweepReport::merge`] afterwards.
+    ///
+    /// Progress is checkpointed: after every completed cell the combined
+    /// report is atomically rewritten to `path`, so killing the process
+    /// at any point loses only the cells still in flight. Checkpoint
+    /// write failures are deliberately swallowed mid-sweep (a transient
+    /// full disk must not abort hours of simulation); the final write is
+    /// authoritative and error-checked.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unreadable/corrupt reports (including duplicate job
+    /// indices in the file), fingerprint mismatches, and I/O errors
+    /// writing the combined report back.
+    pub fn run_resuming(&self, path: impl AsRef<Path>) -> Result<SweepReport, SweepError> {
+        self.run_resuming_with_progress(path, |_, _| {})
+    }
+
+    /// [`SweepSpec::run_resuming`] with a `progress(done, missing_total)`
+    /// callback counting only the cells that actually run — a fully
+    /// persisted sweep reports `missing_total == 0` and never invokes it.
+    pub fn run_resuming_with_progress<P: FnMut(usize, usize)>(
+        &self,
+        path: impl AsRef<Path>,
+        mut progress: P,
+    ) -> Result<SweepReport, SweepError> {
+        let path = path.as_ref();
+        let fingerprint = self.fingerprint();
+        let existing = if path.exists() {
+            let report = SweepReport::read_json(path)?;
+            if report.fingerprint != fingerprint {
+                return Err(SweepError::FingerprintMismatch {
+                    expected: fingerprint,
+                    found: report.fingerprint,
+                });
+            }
+            report.runs
+        } else {
+            Vec::new()
+        };
+        // A hand-assembled file with the same cell twice would silently
+        // satisfy completeness checks and double-count aggregates.
+        let mut have_sorted: Vec<usize> = existing.iter().map(|r| r.job_index).collect();
+        have_sorted.sort_unstable();
+        if let Some(pair) = have_sorted.windows(2).find(|w| w[0] == w[1]) {
+            return Err(SweepError::OverlappingRuns { job_index: pair[0] });
+        }
+        let have: HashSet<usize> = have_sorted.into_iter().collect();
+        let missing: Vec<SweepJob> = self
+            .jobs()
+            .into_iter()
+            .filter(|job| !have.contains(&job.index))
             .collect();
+        let missing_total = missing.len();
+        let labels: Vec<RunLabels> = missing.iter().map(RunLabels::of).collect();
+        let mut report = SweepReport {
+            fingerprint,
+            runs: existing,
+        };
         let mut done = 0usize;
-        let metrics = parallel_map_indexed(
-            jobs,
+        parallel_map_indexed(
+            missing,
             self.workers,
             |_, job: SweepJob| job.run(),
-            |_, _| {
+            |idx, metrics: &RunMetrics| {
+                report
+                    .runs
+                    .push(labels[idx].clone().into_run(metrics.clone()));
+                report.runs.sort_by_key(|r| r.job_index);
+                // Checkpoint — kill-anywhere durability; failures are
+                // tolerated here (a transient full disk must not abort
+                // hours of simulation) and caught by the authoritative
+                // final write below.
+                report.write_json(path).ok();
                 done += 1;
-                progress(done, total);
+                progress(done, missing_total);
             },
         );
-        let runs = labels
-            .into_iter()
-            .zip(metrics)
-            .map(|((scenario, policy, elasticity, seed), metrics)| SweepRun {
-                scenario,
-                policy,
-                elasticity,
-                seed,
-                metrics,
-            })
-            .collect();
-        SweepReport { runs }
+        report.runs.sort_by_key(|r| r.job_index);
+        report.write_json(path).map_err(|source| SweepError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        Ok(report)
     }
+}
+
+/// The axis labels of one job, captured before the job (and its shared
+/// trace) moves onto the worker pool; [`RunLabels::into_run`] re-attaches
+/// them to the produced metrics. One definition serves both the plain-run
+/// and the resume path, so a future axis (as `placement` was in this
+/// revision) threads through exactly one place.
+#[derive(Clone)]
+struct RunLabels {
+    job_index: usize,
+    scenario: String,
+    policy: PolicyKind,
+    placement: PlacementKind,
+    elasticity: ElasticityKind,
+    seed: u64,
+}
+
+impl RunLabels {
+    fn of(job: &SweepJob) -> RunLabels {
+        RunLabels {
+            job_index: job.index,
+            scenario: job.scenario.clone(),
+            policy: job.policy,
+            placement: job.placement,
+            elasticity: job.elasticity,
+            seed: job.seed,
+        }
+    }
+
+    fn into_run(self, metrics: RunMetrics) -> SweepRun {
+        SweepRun {
+            job_index: self.job_index,
+            scenario: self.scenario,
+            policy: self.policy,
+            placement: self.placement,
+            elasticity: self.elasticity,
+            seed: self.seed,
+            metrics,
+        }
+    }
+}
+
+/// Runs labelled jobs on the pool and pairs each result with its labels,
+/// in job order — shared by [`SweepSpec::run_with_progress`] and the
+/// resume path.
+fn execute_jobs<P: FnMut(usize, usize)>(
+    jobs: Vec<SweepJob>,
+    workers: usize,
+    mut progress: P,
+) -> Vec<SweepRun> {
+    let total = jobs.len();
+    let labels: Vec<RunLabels> = jobs.iter().map(RunLabels::of).collect();
+    let mut done = 0usize;
+    let metrics = parallel_map_indexed(
+        jobs,
+        workers,
+        |_, job: SweepJob| job.run(),
+        |_, _| {
+            done += 1;
+            progress(done, total);
+        },
+    );
+    labels
+        .into_iter()
+        .zip(metrics)
+        .map(|(labels, metrics)| labels.into_run(metrics))
+        .collect()
 }
 
 /// One completed run inside a sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepRun {
+    /// Global index of the run's job in the unsharded job order — the
+    /// identity [`SweepReport::merge`] and resume deduplicate by.
+    pub job_index: usize,
     /// Scenario label.
     pub scenario: String,
     /// Policy evaluated.
     pub policy: PolicyKind,
+    /// Replica-placement policy the run placed under.
+    pub placement: PlacementKind,
     /// Elasticity policy the run scaled under.
     pub elasticity: ElasticityKind,
     /// Seed used for trace generation and platform RNG.
@@ -471,6 +897,9 @@ pub struct SweepRun {
 /// The collected output of a sweep, in job order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
+    /// [`SweepSpec::fingerprint`] of the spec that produced the runs —
+    /// the compatibility check for merging shards and resuming.
+    pub fingerprint: u64,
     /// Per-run records, in the deterministic job order of
     /// [`SweepSpec::jobs`].
     pub runs: Vec<SweepRun>,
@@ -485,6 +914,44 @@ impl SweepReport {
     /// Whether the sweep produced no runs.
     pub fn is_empty(&self) -> bool {
         self.runs.is_empty()
+    }
+
+    /// Combines shard reports into one, validating that every report
+    /// carries the same spec fingerprint and that no job index appears
+    /// twice, then re-ordering runs by job index. Merging the complete
+    /// shard set of a spec therefore yields a report `PartialEq`-equal
+    /// (bit-identical metrics included) to running the unsharded spec in
+    /// one process — merge order never matters.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::NothingToMerge`] on an empty input,
+    /// [`SweepError::FingerprintMismatch`] when reports come from
+    /// different specs, [`SweepError::OverlappingRuns`] when shards
+    /// overlap.
+    pub fn merge(
+        reports: impl IntoIterator<Item = SweepReport>,
+    ) -> Result<SweepReport, SweepError> {
+        let mut reports = reports.into_iter();
+        let mut merged = reports.next().ok_or(SweepError::NothingToMerge)?;
+        for report in reports {
+            if report.fingerprint != merged.fingerprint {
+                return Err(SweepError::FingerprintMismatch {
+                    expected: merged.fingerprint,
+                    found: report.fingerprint,
+                });
+            }
+            merged.runs.extend(report.runs);
+        }
+        merged.runs.sort_by_key(|r| r.job_index);
+        for pair in merged.runs.windows(2) {
+            if pair[0].job_index == pair[1].job_index {
+                return Err(SweepError::OverlappingRuns {
+                    job_index: pair[0].job_index,
+                });
+            }
+        }
+        Ok(merged)
     }
 
     /// Runs matching a `(scenario, policy)` cell (any elasticity), in job
@@ -536,6 +1003,43 @@ impl SweepReport {
         Some(SweepAggregate::from_runs(scenario, policy, &runs))
     }
 
+    /// Runs matching a full `(scenario, policy, placement, elasticity)`
+    /// interaction cell, in seed order.
+    pub fn runs_for_interaction(
+        &self,
+        scenario: &str,
+        policy: PolicyKind,
+        placement: PlacementKind,
+        elasticity: ElasticityKind,
+    ) -> Vec<&SweepRun> {
+        self.runs
+            .iter()
+            .filter(|r| {
+                r.scenario == scenario
+                    && r.policy == policy
+                    && r.placement == placement
+                    && r.elasticity == elasticity
+            })
+            .collect()
+    }
+
+    /// Aggregates one `(scenario, policy, placement, elasticity)`
+    /// interaction cell across its seeds — the `placement × elasticity`
+    /// study's unit — or `None` when the sweep holds no such runs.
+    pub fn aggregate_interaction(
+        &self,
+        scenario: &str,
+        policy: PolicyKind,
+        placement: PlacementKind,
+        elasticity: ElasticityKind,
+    ) -> Option<SweepAggregate> {
+        let runs = self.runs_for_interaction(scenario, policy, placement, elasticity);
+        if runs.is_empty() {
+            return None;
+        }
+        Some(SweepAggregate::from_runs(scenario, policy, &runs))
+    }
+
     /// Aggregates every `(scenario, policy, elasticity)` cell, in
     /// first-appearance order.
     pub fn aggregates(&self) -> Vec<SweepAggregate> {
@@ -555,7 +1059,10 @@ impl SweepReport {
 
     // ------------------------------------------------------------------
     // Persistence: long sweeps serialize per-run records so figures can
-    // re-render without re-running (ROADMAP: sweep-level resumability).
+    // re-render without re-running, shards can merge, and interrupted
+    // sweeps can resume (ROADMAP: sweep-level resumability + sharding).
+    // Both writers stage into a `.tmp` sibling and rename, so a killed
+    // sweep never leaves a truncated file behind.
     // ------------------------------------------------------------------
 
     /// Writes one CSV row of headline scalars per run. Re-rendering a
@@ -564,11 +1071,15 @@ impl SweepReport {
     /// # Errors
     ///
     /// Propagates I/O errors from creating or writing `path`.
-    pub fn write_csv(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        write_atomic(path.as_ref(), |out| self.emit_csv(out))
+    }
+
+    fn emit_csv<W: Write>(&self, out: &mut W) -> std::io::Result<()> {
         writeln!(
             out,
-            "scenario,policy,elasticity,seed,executions,aborted,kernel_creations,migrations,\
+            "scenario,policy,elasticity,placement,seed,job_index,executions,aborted,\
+             kernel_creations,migrations,\
              scale_outs,scale_ins,cold_starts,warm_hits,prewarms_discarded,prewarms_reconciled,\
              distinct_shapes_provisioned,interactivity_p50_ms,tct_p50_ms,provisioned_gpu_hours,\
              gpu_hours_saved,provider_cost_usd,revenue_usd,end_s"
@@ -578,11 +1089,13 @@ impl SweepReport {
             let (cost, revenue) = m.final_billing().unwrap_or((0.0, 0.0));
             writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:?},{:?},{:?},{:?},{:?},{:?},{:?}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:?},{:?},{:?},{:?},{:?},{:?},{:?}",
                 csv_field(&run.scenario),
                 csv_field(&run.policy.to_string()),
                 csv_field(&run.elasticity.to_string()),
+                csv_field(&run.placement.to_string()),
                 run.seed,
+                run.job_index,
                 m.counters.executions,
                 m.counters.aborted,
                 m.counters.kernel_creations,
@@ -603,29 +1116,260 @@ impl SweepReport {
                 m.end_s,
             )?;
         }
-        out.flush()
+        Ok(())
     }
 
     /// Writes the full per-run records — every CDF sample, timeline point,
     /// breakdown step, and counter — as JSON, so any figure can re-render
-    /// from disk without re-running the sweep.
+    /// from disk without re-running the sweep. [`SweepReport::read_json`]
+    /// inverts this exactly; the serialization is deterministic, so equal
+    /// reports produce byte-identical files (the property the CI shard
+    /// determinism gate compares with `cmp`).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from creating or writing `path`.
-    pub fn write_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        write_atomic(path.as_ref(), |out| self.emit_json(out))
+    }
+
+    fn emit_json<W: Write>(&self, out: &mut W) -> std::io::Result<()> {
         writeln!(out, "{{")?;
+        writeln!(out, "  \"fingerprint\": \"{:#018x}\",", self.fingerprint)?;
         writeln!(out, "  \"runs\": [")?;
         for (i, run) in self.runs.iter().enumerate() {
             let comma = if i + 1 < self.runs.len() { "," } else { "" };
-            write_run_json(&mut out, run)?;
+            write_run_json(out, run)?;
             writeln!(out, "{comma}")?;
         }
         writeln!(out, "  ]")?;
-        writeln!(out, "}}")?;
-        out.flush()
+        writeln!(out, "}}")
     }
+
+    /// Loads a report persisted by [`SweepReport::write_json`] back into
+    /// full [`SweepRun`]s — every CDF sample, timeline point, breakdown
+    /// step, and counter — so figures re-render and sweeps resume without
+    /// re-running. `write_json → read_json` is `PartialEq`-identity.
+    ///
+    /// Integers above 2⁵³ (never produced by the platform's counters or
+    /// the bundled seeds) would lose precision through the JSON number
+    /// representation.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Io`] when the file cannot be read,
+    /// [`SweepError::Json`] when it is not valid JSON (e.g. truncated),
+    /// and [`SweepError::Format`] when it parses but is not a sweep
+    /// report.
+    pub fn read_json(path: impl AsRef<Path>) -> Result<SweepReport, SweepError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|source| SweepError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        let root = Json::parse(&text).map_err(|e| SweepError::Json {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        let format_err = |message: String| SweepError::Format {
+            path: path.to_path_buf(),
+            message,
+        };
+        let fingerprint = root
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format_err("missing `fingerprint` string".into()))?;
+        let fingerprint = fingerprint
+            .strip_prefix("0x")
+            .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+            .ok_or_else(|| format_err(format!("bad fingerprint `{fingerprint}`")))?;
+        let runs_json = root
+            .get("runs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format_err("missing `runs` array".into()))?;
+        let mut runs = Vec::with_capacity(runs_json.len());
+        for (i, run) in runs_json.iter().enumerate() {
+            runs.push(decode_run(run).map_err(|m| format_err(format!("run {i}: {m}")))?);
+        }
+        Ok(SweepReport { fingerprint, runs })
+    }
+
+    /// Loads the headline scalars persisted by [`SweepReport::write_csv`]
+    /// — one [`SweepCsvRow`] per run, fields resolved by header name so
+    /// future column additions stay compatible. The full measurement
+    /// records live only in the JSON report; this is the spot-check path.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Io`] when the file cannot be read and
+    /// [`SweepError::Format`] when the header or a row is malformed.
+    pub fn read_csv(path: impl AsRef<Path>) -> Result<Vec<SweepCsvRow>, SweepError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|source| SweepError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        let format_err = |message: String| SweepError::Format {
+            path: path.to_path_buf(),
+            message,
+        };
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| format_err("empty CSV".into()))?;
+        let columns: Vec<String> = split_csv_row(header);
+        let column = |name: &str| {
+            columns
+                .iter()
+                .position(|c| c == name)
+                .ok_or_else(|| format_err(format!("missing column `{name}`")))
+        };
+        let idx_scenario = column("scenario")?;
+        let idx_policy = column("policy")?;
+        let idx_elasticity = column("elasticity")?;
+        let idx_placement = column("placement")?;
+        let idx_seed = column("seed")?;
+        let idx_job_index = column("job_index")?;
+        let idx_executions = column("executions")?;
+        let idx_aborted = column("aborted")?;
+        let idx_interactivity = column("interactivity_p50_ms")?;
+        let idx_tct = column("tct_p50_ms")?;
+        let idx_cost = column("provider_cost_usd")?;
+        let idx_end = column("end_s")?;
+        let mut rows = Vec::new();
+        for (lineno, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let fields = split_csv_row(line);
+            if fields.len() != columns.len() {
+                return Err(format_err(format!(
+                    "row {}: {} fields, header has {}",
+                    lineno + 2,
+                    fields.len(),
+                    columns.len()
+                )));
+            }
+            let cell_err =
+                |name: &str| format_err(format!("row {}: bad `{name}` field", lineno + 2));
+            rows.push(SweepCsvRow {
+                scenario: fields[idx_scenario].clone(),
+                policy: fields[idx_policy].clone(),
+                elasticity: fields[idx_elasticity].clone(),
+                placement: fields[idx_placement].clone(),
+                seed: fields[idx_seed].parse().map_err(|_| cell_err("seed"))?,
+                job_index: fields[idx_job_index]
+                    .parse()
+                    .map_err(|_| cell_err("job_index"))?,
+                executions: fields[idx_executions]
+                    .parse()
+                    .map_err(|_| cell_err("executions"))?,
+                aborted: fields[idx_aborted]
+                    .parse()
+                    .map_err(|_| cell_err("aborted"))?,
+                interactivity_p50_ms: fields[idx_interactivity]
+                    .parse()
+                    .map_err(|_| cell_err("interactivity_p50_ms"))?,
+                tct_p50_ms: fields[idx_tct]
+                    .parse()
+                    .map_err(|_| cell_err("tct_p50_ms"))?,
+                provider_cost_usd: fields[idx_cost]
+                    .parse()
+                    .map_err(|_| cell_err("provider_cost_usd"))?,
+                end_s: fields[idx_end].parse().map_err(|_| cell_err("end_s"))?,
+            });
+        }
+        Ok(rows)
+    }
+}
+
+/// Headline scalars of one persisted run, parsed back from the CSV report
+/// by [`SweepReport::read_csv`] for spot checks and external tooling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCsvRow {
+    /// Scenario label.
+    pub scenario: String,
+    /// Policy label (the [`PolicyKind`] `Display` form).
+    pub policy: String,
+    /// Elasticity label (the [`ElasticityKind`] `Display` form).
+    pub elasticity: String,
+    /// Placement label (the [`PlacementKind`] `Display` form).
+    pub placement: String,
+    /// The run's seed.
+    pub seed: u64,
+    /// Global job index of the run.
+    pub job_index: usize,
+    /// Executions completed.
+    pub executions: u64,
+    /// Executions aborted.
+    pub aborted: u64,
+    /// Median interactivity delay, milliseconds.
+    pub interactivity_p50_ms: f64,
+    /// Median task completion time, milliseconds.
+    pub tct_p50_ms: f64,
+    /// Final provider cost, USD.
+    pub provider_cost_usd: f64,
+    /// Virtual end time of the run, seconds.
+    pub end_s: f64,
+}
+
+/// Writes a file atomically: `emit` streams into a buffered `.tmp`
+/// sibling in the same directory, which is then renamed over the target
+/// (and removed when staging fails). Missing parent directories are
+/// created — an `--out results/study/s0.json` into a directory that
+/// does not exist yet must not fail *after* hours of sweep have run. A
+/// process killed mid-write leaves at worst a stale `.tmp`, never a
+/// truncated file, and full-scale reports never buffer whole in memory.
+/// Public because every artifact feeding a `--resume`-style loop (sweep
+/// reports, `repro_all` manifests) needs the same guarantees.
+pub fn write_atomic(
+    path: &Path,
+    emit: impl FnOnce(&mut std::io::BufWriter<std::fs::File>) -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("report path {} has no file name", path.display()),
+        )
+    })?;
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)?;
+    }
+    let tmp = path.with_file_name(format!("{}.tmp", file_name.to_string_lossy()));
+    let staged = (|| {
+        let mut out = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        emit(&mut out)?;
+        out.flush()
+    })();
+    if let Err(e) = staged {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e);
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Splits one CSV row honoring the quoting [`csv_field`] emits (labels
+/// like `hysteresis(cooldown=120s,surplus=4)` contain commas).
+fn split_csv_row(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => fields.push(std::mem::take(&mut field)),
+            c => field.push(c),
+        }
+    }
+    fields.push(field);
+    fields
 }
 
 /// Median of a CDF without mutating it (`percentile` sorts in place, so
@@ -689,14 +1433,19 @@ fn json_pairs_array<'a>(points: impl IntoIterator<Item = &'a (f64, f64)>) -> Str
 }
 
 fn write_run_json<W: Write>(out: &mut W, run: &SweepRun) -> std::io::Result<()> {
-    use crate::latency_breakdown::Step;
     let m = &run.metrics;
     writeln!(out, "    {{")?;
+    writeln!(out, "      \"job_index\": {},", run.job_index)?;
     writeln!(out, "      \"scenario\": {},", json_string(&run.scenario))?;
     writeln!(
         out,
         "      \"policy\": {},",
         json_string(&run.policy.to_string())
+    )?;
+    writeln!(
+        out,
+        "      \"placement\": {},",
+        json_string(&run.placement.to_string())
     )?;
     writeln!(
         out,
@@ -823,6 +1572,179 @@ fn write_run_json<W: Write>(out: &mut W, run: &SweepRun) -> std::io::Result<()> 
     writeln!(out, "      }}")?;
     write!(out, "    }}")?;
     Ok(())
+}
+
+// ----------------------------------------------------------------------
+// JSON decode helpers — the inverse of `write_run_json`. All return
+// `Result<_, String>`; `read_json` wraps the message with the run index
+// and file path.
+// ----------------------------------------------------------------------
+
+fn req<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
+    obj.get(key).ok_or_else(|| format!("missing `{key}`"))
+}
+
+fn req_str<'a>(obj: &'a Json, key: &str) -> Result<&'a str, String> {
+    req(obj, key)?
+        .as_str()
+        .ok_or_else(|| format!("`{key}` is not a string"))
+}
+
+fn req_f64(obj: &Json, key: &str) -> Result<f64, String> {
+    req(obj, key)?
+        .as_f64()
+        .ok_or_else(|| format!("`{key}` is not a number"))
+}
+
+fn req_u64(obj: &Json, key: &str) -> Result<u64, String> {
+    req(obj, key)?
+        .as_u64()
+        .ok_or_else(|| format!("`{key}` is not a non-negative integer"))
+}
+
+fn req_arr<'a>(obj: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    req(obj, key)?
+        .as_arr()
+        .ok_or_else(|| format!("`{key}` is not an array"))
+}
+
+fn req_f64_array(obj: &Json, key: &str) -> Result<Vec<f64>, String> {
+    req_arr(obj, key)?
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| format!("`{key}` holds a non-number"))
+        })
+        .collect()
+}
+
+/// Decodes an array of fixed-width number tuples (timeline points,
+/// billing samples).
+fn req_tuple_array<const N: usize>(obj: &Json, key: &str) -> Result<Vec<[f64; N]>, String> {
+    req_arr(obj, key)?
+        .iter()
+        .map(|entry| {
+            let items = entry
+                .as_arr()
+                .ok_or_else(|| format!("`{key}` holds a non-array entry"))?;
+            if items.len() != N {
+                return Err(format!("`{key}` entry is not a {N}-tuple"));
+            }
+            let mut tuple = [0.0; N];
+            for (slot, item) in tuple.iter_mut().zip(items) {
+                *slot = item
+                    .as_f64()
+                    .ok_or_else(|| format!("`{key}` tuple holds a non-number"))?;
+            }
+            Ok(tuple)
+        })
+        .collect()
+}
+
+fn decode_shapes(obj: &Json, key: &str) -> Result<Vec<(ResourceBundle, u64)>, String> {
+    req_arr(obj, key)?
+        .iter()
+        .map(|entry| {
+            let gpus = req_u64(entry, "gpus")?;
+            let gpus = u32::try_from(gpus).map_err(|_| format!("`{key}` gpus out of range"))?;
+            let shape = ResourceBundle::new(
+                req_u64(entry, "millicpus")?,
+                req_u64(entry, "memory_mb")?,
+                gpus,
+            );
+            Ok((shape, req_u64(entry, "hosts")?))
+        })
+        .collect()
+}
+
+/// Replaces a freshly-constructed timeline's points with persisted ones,
+/// preserving the label [`RunMetrics::new`] assigned.
+fn restore_timeline(timeline: &mut Timeline, obj: &Json, key: &str) -> Result<(), String> {
+    let points = req_tuple_array::<2>(obj, key)?
+        .into_iter()
+        .map(|[t, v]| (t, v))
+        .collect();
+    *timeline = Timeline::from_points(timeline.name().to_string(), points)?;
+    Ok(())
+}
+
+/// Replaces a freshly-constructed collector's samples with persisted
+/// ones, preserving the label [`RunMetrics::new`] assigned.
+fn restore_cdf(cdf: &mut Cdf, obj: &Json, key: &str) -> Result<(), String> {
+    *cdf = Cdf::from_samples(cdf.name().to_string(), req_f64_array(obj, key)?);
+    Ok(())
+}
+
+/// Rebuilds one [`SweepRun`] from its persisted JSON object. Labels are
+/// reconstructed through [`RunMetrics::new`] with the parsed policy —
+/// exactly how [`Platform::run`] builds them — so the decoded record is
+/// `PartialEq`-equal to the original, collector names included.
+fn decode_run(run: &Json) -> Result<SweepRun, String> {
+    let policy: PolicyKind = req_str(run, "policy")?.parse()?;
+    let placement: PlacementKind = req_str(run, "placement")?.parse()?;
+    let elasticity: ElasticityKind = req_str(run, "elasticity")?.parse()?;
+    let mut m = RunMetrics::new(&policy.to_string());
+    m.end_s = req_f64(run, "end_s")?;
+
+    let counters = req(run, "counters")?;
+    m.counters = RunCounters {
+        executions: req_u64(counters, "executions")?,
+        aborted: req_u64(counters, "aborted")?,
+        immediate_commits: req_u64(counters, "immediate_commits")?,
+        executor_reuse: req_u64(counters, "executor_reuse")?,
+        kernel_creations: req_u64(counters, "kernel_creations")?,
+        migrations: req_u64(counters, "migrations")?,
+        scale_outs: req_u64(counters, "scale_outs")?,
+        scale_ins: req_u64(counters, "scale_ins")?,
+        cold_starts: req_u64(counters, "cold_starts")?,
+        warm_hits: req_u64(counters, "warm_hits")?,
+        replica_failures: req_u64(counters, "replica_failures")?,
+        prewarms_discarded: req_u64(counters, "prewarms_discarded")?,
+        prewarms_reconciled: req_u64(counters, "prewarms_reconciled")?,
+    };
+    m.hosts_provisioned_by_shape = decode_shapes(run, "hosts_provisioned_by_shape")?;
+    m.hosts_retired_by_shape = decode_shapes(run, "hosts_retired_by_shape")?;
+
+    let cdfs = req(run, "cdfs")?;
+    restore_cdf(&mut m.interactivity_ms, cdfs, "interactivity_ms")?;
+    restore_cdf(&mut m.tct_ms, cdfs, "tct_ms")?;
+    restore_cdf(&mut m.sync_ms, cdfs, "sync_ms")?;
+    restore_cdf(&mut m.read_ms, cdfs, "read_ms")?;
+    restore_cdf(&mut m.write_ms, cdfs, "write_ms")?;
+
+    let timelines = req(run, "timelines")?;
+    restore_timeline(&mut m.provisioned_gpus, timelines, "provisioned_gpus")?;
+    restore_timeline(&mut m.committed_gpus, timelines, "committed_gpus")?;
+    restore_timeline(&mut m.reserved_gpus, timelines, "reserved_gpus")?;
+    restore_timeline(&mut m.subscription_ratio, timelines, "subscription_ratio")?;
+
+    m.kernel_creation_times_s = req_f64_array(run, "kernel_creation_times_s")?;
+    m.migration_times_s = req_f64_array(run, "migration_times_s")?;
+    m.scale_out_times_s = req_f64_array(run, "scale_out_times_s")?;
+    m.billing_samples = req_tuple_array::<3>(run, "billing_samples")?
+        .into_iter()
+        .map(|[t, cost, revenue]| (t, cost, revenue))
+        .collect();
+
+    let breakdown = req(run, "breakdown")?;
+    for step in Step::ALL {
+        for sample in req_f64_array(breakdown, step.label())? {
+            m.breakdown.record_step(step, sample);
+        }
+    }
+    for sample in req_f64_array(breakdown, "end_to_end_ms")? {
+        m.breakdown.record_end_to_end(sample);
+    }
+
+    Ok(SweepRun {
+        job_index: req_u64(run, "job_index")? as usize,
+        scenario: req_str(run, "scenario")?.to_string(),
+        policy,
+        placement,
+        elasticity,
+        seed: req_u64(run, "seed")?,
+        metrics: m,
+    })
 }
 
 /// Cross-seed aggregate of one `(scenario, policy)` cell: pooled latency
@@ -1066,15 +1988,28 @@ mod tests {
         let csv = std::fs::read_to_string(&csv_path).expect("csv readable");
         assert_eq!(csv.lines().count(), 3, "header + one row per run");
         let header = csv.lines().next().unwrap();
-        assert!(header.starts_with("scenario,policy,elasticity,seed"));
+        assert!(header.starts_with("scenario,policy,elasticity,placement,seed,job_index"));
         let columns = header.split(',').count();
         for row in csv.lines().skip(1) {
             assert_eq!(row.split(',').count(), columns, "row width: {row}");
-            assert!(row.starts_with("smoke,NotebookOS,threshold,"));
+            assert!(row.starts_with("smoke,NotebookOS,threshold,least-loaded,"));
         }
+        let rows = SweepReport::read_csv(&csv_path).expect("csv parses back");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].seed, 1);
+        assert_eq!(rows[1].seed, 2);
+        assert_eq!(rows[0].job_index, 0);
+        assert_eq!(
+            rows[0].executions,
+            report.runs[0].metrics.counters.executions
+        );
+        // No staging file may survive an atomic write.
+        assert!(!dir.join("report.csv.tmp").exists());
+        assert!(!dir.join("report.json.tmp").exists());
 
         let json = std::fs::read_to_string(&json_path).expect("json readable");
         assert_eq!(json.matches("\"seed\":").count(), 2, "one object per run");
+        assert!(json.contains("\"fingerprint\""));
         for key in [
             "\"interactivity_ms\"",
             "\"provisioned_gpus\"",
@@ -1106,6 +2041,106 @@ mod tests {
             "{serialized} < {total_samples}"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_partitions_by_global_index() {
+        let spec = SweepSpec::new()
+            .policies(vec![PolicyKind::Reservation, PolicyKind::NotebookOs])
+            .all_elasticities()
+            .seeds(vec![7, 8])
+            .scenarios(vec![Scenario::new("a", SyntheticConfig::smoke())]);
+        assert_eq!(spec.total_jobs(), 12);
+        assert_eq!(spec.job_indices().len(), 12);
+        let shard0 = spec.clone().shard(0, 3);
+        let shard1 = spec.clone().shard(1, 3);
+        let shard2 = spec.clone().shard(2, 3);
+        let mut union: Vec<usize> = Vec::new();
+        for shard in [&shard0, &shard1, &shard2] {
+            let indices = shard.job_indices();
+            // The arithmetic (trace-free) index list matches the
+            // expanded job list exactly.
+            assert_eq!(
+                indices,
+                shard.jobs().iter().map(|j| j.index).collect::<Vec<_>>()
+            );
+            union.extend(indices);
+        }
+        union.sort_unstable();
+        assert_eq!(union, (0..12).collect::<Vec<_>>(), "no loss, no dupes");
+        assert_eq!(shard0.fingerprint(), spec.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_axis() {
+        let base = SweepSpec::new();
+        let fp = base.fingerprint();
+        assert_eq!(
+            fp,
+            base.clone().workers(7).fingerprint(),
+            "workers excluded"
+        );
+        assert_ne!(fp, base.clone().seeds(vec![9]).fingerprint());
+        assert_ne!(fp, base.clone().all_policies().fingerprint());
+        assert_ne!(fp, base.clone().all_elasticities().fingerprint());
+        assert_ne!(fp, base.clone().all_placements().fingerprint());
+        assert_ne!(
+            fp,
+            base.clone()
+                .scenarios(vec![Scenario::new("other", SyntheticConfig::smoke())])
+                .fingerprint()
+        );
+    }
+
+    #[test]
+    fn placement_axis_expands_and_stamps_configs() {
+        let spec = SweepSpec::new()
+            .policies(vec![PolicyKind::NotebookOs])
+            .all_placements()
+            .seeds(vec![1])
+            .scenarios(vec![Scenario::new("smoke", SyntheticConfig::smoke())]);
+        let jobs = spec.jobs();
+        assert_eq!(jobs.len(), 4);
+        for (job, kind) in jobs.iter().zip(PlacementKind::ALL) {
+            assert_eq!(job.placement, kind);
+            assert_eq!(job.config.placement, kind);
+        }
+        // The default (empty) axis keeps the configure hook's placement.
+        let default_jobs = SweepSpec::new()
+            .policies(vec![PolicyKind::NotebookOs])
+            .seeds(vec![1])
+            .scenarios(vec![Scenario::new("smoke", SyntheticConfig::smoke())])
+            .jobs();
+        assert_eq!(default_jobs.len(), 1);
+        assert_eq!(default_jobs[0].placement, PlacementKind::LeastLoaded);
+    }
+
+    #[test]
+    fn merge_validates_fingerprints_and_disjointness() {
+        let spec = SweepSpec::new()
+            .policies(vec![PolicyKind::Reservation])
+            .seeds(vec![1, 2])
+            .scenarios(vec![Scenario::new("smoke", SyntheticConfig::smoke())])
+            .workers(1);
+        let full = spec.run();
+        let half0 = spec.clone().shard(0, 2).run();
+        let half1 = spec.clone().shard(1, 2).run();
+        let merged = SweepReport::merge([half1, half0.clone()]).expect("disjoint shards merge");
+        assert_eq!(merged, full, "merge order must not matter");
+        assert!(matches!(
+            SweepReport::merge([half0.clone(), half0.clone()]),
+            Err(SweepError::OverlappingRuns { job_index: 0 })
+        ));
+        let mut foreign = half0.clone();
+        foreign.fingerprint ^= 1;
+        assert!(matches!(
+            SweepReport::merge([half0, foreign]),
+            Err(SweepError::FingerprintMismatch { .. })
+        ));
+        assert!(matches!(
+            SweepReport::merge(Vec::new()),
+            Err(SweepError::NothingToMerge)
+        ));
     }
 
     #[test]

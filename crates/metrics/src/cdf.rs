@@ -57,6 +57,16 @@ impl Cdf {
         &self.name
     }
 
+    /// Reconstructs a collector from persisted samples — the inverse of
+    /// [`Cdf::samples`], used when a sweep report is loaded back from
+    /// disk. Non-finite samples are dropped exactly as [`Cdf::record`]
+    /// drops them.
+    pub fn from_samples(name: impl Into<String>, samples: impl IntoIterator<Item = f64>) -> Cdf {
+        let mut cdf = Cdf::new(name);
+        cdf.record_all(samples);
+        cdf
+    }
+
     /// Records one sample. Non-finite samples are ignored (they would poison
     /// every percentile).
     pub fn record(&mut self, value: f64) {
@@ -314,6 +324,13 @@ mod tests {
         assert!(format!("{c}").contains("empty"));
         let f = filled();
         assert!(format!("{f}").contains("n=100"));
+    }
+
+    #[test]
+    fn from_samples_round_trips() {
+        let c = filled();
+        assert_eq!(Cdf::from_samples("t", c.samples().iter().copied()), c);
+        assert_eq!(Cdf::from_samples("t", [f64::NAN, 1.0]).len(), 1);
     }
 
     #[test]

@@ -46,6 +46,33 @@ impl Timeline {
         &self.name
     }
 
+    /// Reconstructs a timeline from persisted change points — the inverse
+    /// of [`Timeline::points`], used when a sweep report is loaded back
+    /// from disk. Points must be non-decreasing in time; a violation is
+    /// reported as an error (persisted data may be corrupt) rather than
+    /// the panic [`Timeline::set`] reserves for programming mistakes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-order point.
+    pub fn from_points(
+        name: impl Into<String>,
+        points: Vec<(Seconds, f64)>,
+    ) -> Result<Timeline, String> {
+        let name = name.into();
+        for (i, w) in points.windows(2).enumerate() {
+            if w[1].0 < w[0].0 {
+                return Err(format!(
+                    "timeline `{name}`: point {} at t={} precedes t={}",
+                    i + 1,
+                    w[1].0,
+                    w[0].0
+                ));
+            }
+        }
+        Ok(Timeline { name, points })
+    }
+
     /// Records that the gauge changed to `value` at time `at`.
     ///
     /// # Panics
@@ -315,6 +342,21 @@ mod tests {
     #[test]
     fn hours_conversion() {
         assert_eq!(seconds_to_hours(7200.0), 2.0);
+    }
+
+    #[test]
+    fn from_points_round_trips() {
+        let mut t = Timeline::new("g");
+        t.set(0.0, 2.0);
+        t.set(10.0, 4.0);
+        let back = Timeline::from_points("g", t.points().to_vec()).expect("valid points");
+        assert_eq!(back, t);
+        assert_eq!(
+            Timeline::from_points("g", Vec::new()).expect("empty ok"),
+            Timeline::new("g")
+        );
+        let err = Timeline::from_points("g", vec![(10.0, 1.0), (5.0, 2.0)]).unwrap_err();
+        assert!(err.contains("precedes"), "{err}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! A threaded, wall-clock harness: one OS thread per Raft node, crossbeam
 //! channels as the transport.
 //!
-//! This exists to demonstrate that [`RaftNode`](crate::RaftNode) is genuinely
+//! This exists to demonstrate that [`RaftNode`] is genuinely
 //! transport-agnostic: the same state machine that runs under the
 //! deterministic simulator also runs live. The `raft_cluster` example and a
 //! handful of integration tests use it.

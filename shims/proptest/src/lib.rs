@@ -2,7 +2,7 @@
 //!
 //! The build environment has no registry access, so this workspace vendors
 //! a small, API-compatible re-implementation of the proptest surface its
-//! tests use: the [`Strategy`] trait (`prop_map`, `prop_recursive`,
+//! tests use: the [`Strategy`](strategy::Strategy) trait (`prop_map`, `prop_recursive`,
 //! `boxed`), range/tuple/collection/string strategies, `any::<T>()`,
 //! [`prelude`], and the `proptest!` / `prop_assert*` / `prop_assume!` /
 //! `prop_oneof!` macros.
