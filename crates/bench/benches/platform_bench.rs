@@ -1,8 +1,14 @@
 //! Criterion benches for the platform simulation: full-policy runs over a
-//! compact workload, and the placement hot path.
+//! compact workload, the placement hot path at several fleet sizes, and
+//! end-to-end event throughput. The committed `BENCH_pr5.json` records
+//! the before/after numbers of the hot-path optimization; `perf_bench`
+//! (the bin) produces the same measurements without criterion for CI's
+//! perf-smoke log line.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use notebookos_cluster::{Cluster, ResourceBundle, ResourceRequest};
+use notebookos_bench::loaded_cluster;
+use notebookos_cluster::{RankScratch, ResourceRequest, Viability};
+use notebookos_core::policy::{LeastLoaded, PlacementContext, PlacementPolicy};
 use notebookos_core::{Platform, PlatformConfig, PolicyKind};
 use notebookos_trace::{generate, SyntheticConfig};
 
@@ -22,24 +28,80 @@ fn bench_policy_runs(c: &mut Criterion) {
     group.finish();
 }
 
+/// The placement decision at several fleet sizes: the scratch-buffer
+/// ranking the platform's kernel-creation path uses (allocation-free in
+/// steady state), the legacy allocating form, and the raw viability
+/// screen — so a regression in any layer of the fast path shows up here.
 fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement");
+    let req = ResourceRequest::one_gpu();
+    for hosts in [16usize, 64, 256, 1024] {
+        let cluster = loaded_cluster(hosts);
+        let ctx = PlacementContext {
+            cluster: &cluster,
+            request: &req,
+            replication_factor: 3,
+        };
+        group.bench_function(format!("rank_into_{hosts}_hosts"), |b| {
+            let mut policy = LeastLoaded::default();
+            let mut out = Vec::new();
+            b.iter(|| {
+                policy.rank_into(&ctx, &mut out);
+                assert_eq!(out.len(), hosts);
+            });
+        });
+        group.bench_function(format!("rank_alloc_{hosts}_hosts"), |b| {
+            let mut policy = LeastLoaded::default();
+            b.iter(|| policy.rank(&ctx));
+        });
+        group.bench_function(format!("viable_hosts_into_{hosts}_hosts"), |b| {
+            let mut viable = Viability::default();
+            b.iter(|| cluster.viable_hosts_into(&req, 3, 1.0, &mut viable));
+        });
+        group.bench_function(format!("subscription_candidates_into_{hosts}_hosts"), |b| {
+            let mut scratch = RankScratch::default();
+            let mut out = Vec::new();
+            b.iter(|| cluster.subscription_candidates_into(&req, 3, 1.0, &mut scratch, &mut out));
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end event throughput on a pinned 256-host fleet: per-event
+/// cluster work (placement, commit/release, gauge refreshes) dominates,
+/// so this is the number the incremental host index moves.
+fn bench_events_per_sec(c: &mut Criterion) {
+    let workload = SyntheticConfig {
+        sessions: 400,
+        span_s: 4.0 * 3600.0,
+        ..SyntheticConfig::excerpt_17_5h()
+    };
+    let trace = generate(&workload, 99);
+    let mut config = PlatformConfig::evaluation(PolicyKind::NotebookOs);
+    config.initial_hosts = 256;
+    config.autoscale.min_hosts = 256;
     let mut group = c.benchmark_group("platform");
-    group.bench_function("subscription_candidates_128_hosts", |b| {
-        let mut cluster = Cluster::with_hosts(128, ResourceBundle::p3_16xlarge());
-        // Pre-load with uneven subscriptions.
-        for i in 0..128 {
-            for _ in 0..(i % 7) {
-                cluster
-                    .host_mut(i as u64)
-                    .expect("host")
-                    .subscribe(&ResourceRequest::one_gpu());
-            }
-        }
-        let req = ResourceRequest::one_gpu();
-        b.iter(|| cluster.subscription_candidates(&req, 3, 1.0));
+    group.sample_size(10);
+    // Report the event count once so ns/iter converts to events/sec.
+    let world = Platform::run_for_inspection(config.clone(), trace.clone());
+    eprintln!(
+        "[events_per_sec] fleet-256 dispatches {} events per run",
+        world.events_processed()
+    );
+    group.bench_function("fleet256_events", |b| {
+        b.iter_batched(
+            || (config.clone(), trace.clone()),
+            |(config, trace)| Platform::run(config, trace),
+            BatchSize::SmallInput,
+        );
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_policy_runs, bench_placement);
+criterion_group!(
+    benches,
+    bench_policy_runs,
+    bench_placement,
+    bench_events_per_sec
+);
 criterion_main!(benches);

@@ -1,0 +1,208 @@
+//! End-to-end performance measurement for the simulator hot path.
+//!
+//! Prints a JSON object with two families of numbers:
+//!
+//! * `placement_ns_per_op` — nanoseconds per placement ranking (the
+//!   Global Scheduler's per-kernel decision) at several fleet sizes, for
+//!   the least-loaded policy plus the raw viability screen.
+//! * `end_to_end` — wall-clock seconds per full platform run and the
+//!   derived events/sec (simulation events dispatched per wall second).
+//!
+//! The committed `BENCH_pr5.json` pairs one pre-optimization and one
+//! post-optimization invocation of this binary; CI runs `--smoke` on
+//! every push (non-gating) so the numbers stay visible in job logs.
+//!
+//! Usage: `perf_bench [--smoke] [--iters N] [--out FILE]`
+
+use std::time::Instant;
+
+use notebookos_bench::loaded_cluster;
+use notebookos_cluster::ResourceRequest;
+use notebookos_core::policy::{LeastLoaded, PlacementContext, PlacementPolicy};
+use notebookos_core::{Platform, PlatformConfig, PolicyKind};
+use notebookos_trace::{generate, SyntheticConfig};
+
+/// ns/op of the least-loaded placement ranking at `hosts` fleet size.
+fn bench_rank(hosts: usize, iters: u32) -> f64 {
+    let cluster = loaded_cluster(hosts);
+    let req = ResourceRequest::one_gpu();
+    let ctx = PlacementContext {
+        cluster: &cluster,
+        request: &req,
+        replication_factor: 3,
+    };
+    let mut policy = LeastLoaded::default();
+    let mut out = Vec::new();
+    // Warm up (and fault in the scratch buffers on the optimized path).
+    for _ in 0..iters / 10 + 1 {
+        policy.rank_into(&ctx, &mut out);
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        policy.rank_into(&ctx, &mut out);
+        assert_eq!(out.len(), hosts, "every host stays viable");
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+/// ns/op of the shared viability screen at `hosts` fleet size.
+fn bench_viable(hosts: usize, iters: u32) -> f64 {
+    let cluster = loaded_cluster(hosts);
+    let req = ResourceRequest::one_gpu();
+    let mut viable = notebookos_cluster::Viability::default();
+    for _ in 0..iters / 10 + 1 {
+        cluster.viable_hosts_into(&req, 3, 1.0, &mut viable);
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        cluster.viable_hosts_into(&req, 3, 1.0, &mut viable);
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+struct EndToEnd {
+    scenario: &'static str,
+    runs: u32,
+    wall_s_per_run: f64,
+    events_per_run: u64,
+    events_per_sec: f64,
+    executions_per_sec: f64,
+}
+
+impl EndToEnd {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"scenario\": \"{}\", \"runs\": {}, \"wall_s_per_run\": {:.4}, \
+             \"events_per_run\": {}, \"events_per_sec\": {:.1}, \"executions_per_sec\": {:.1}}}",
+            self.scenario,
+            self.runs,
+            self.wall_s_per_run,
+            self.events_per_run,
+            self.events_per_sec,
+            self.executions_per_sec,
+        )
+    }
+}
+
+/// Full NotebookOS platform runs over `workload`; events/sec is the
+/// number of simulation events dispatched divided by wall time. A
+/// non-zero `initial_hosts` pins the fleet floor there, so placement and
+/// commit/release run against a large cluster every event.
+fn bench_end_to_end(
+    scenario: &'static str,
+    workload: &SyntheticConfig,
+    runs: u32,
+    initial_hosts: u32,
+) -> EndToEnd {
+    let trace = generate(workload, 99);
+    let mut config = PlatformConfig::evaluation(PolicyKind::NotebookOs);
+    if initial_hosts > 0 {
+        config.initial_hosts = initial_hosts;
+        config.autoscale.min_hosts = initial_hosts;
+    }
+    // Warm-up run (page in the trace, allocator, branch predictors).
+    let _ = Platform::run(config.clone(), trace.clone());
+    let mut events = 0u64;
+    let mut executions = 0u64;
+    let start = Instant::now();
+    for _ in 0..runs {
+        let world = Platform::run_for_inspection(config.clone(), trace.clone());
+        events += world.events_processed();
+        executions += world.metrics().counters.executions;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    EndToEnd {
+        scenario,
+        runs,
+        wall_s_per_run: wall / f64::from(runs),
+        events_per_run: events / u64::from(runs),
+        events_per_sec: events as f64 / wall,
+        executions_per_sec: executions as f64 / wall,
+    }
+}
+
+fn json_map(pairs: &[(usize, f64)]) -> String {
+    let items: Vec<String> = pairs
+        .iter()
+        .map(|(hosts, ns)| format!("\"{hosts}\": {ns:.1}"))
+        .collect();
+    format!("{{{}}}", items.join(", "))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut iters: u32 = 2_000;
+    let mut out: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--iters" => {
+                iters = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--iters takes a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                out = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--out takes a file path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; usage: perf_bench [--smoke] [--iters N] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let fleets: &[usize] = if smoke {
+        &[16, 64, 256]
+    } else {
+        &[16, 64, 256, 1024]
+    };
+    let rank: Vec<(usize, f64)> = fleets.iter().map(|&h| (h, bench_rank(h, iters))).collect();
+    let viable: Vec<(usize, f64)> = fleets
+        .iter()
+        .map(|&h| (h, bench_viable(h, iters)))
+        .collect();
+
+    // The fleet-scale scenario keeps 256 hosts alive for the whole run,
+    // so per-event cluster work dominates the wall time — the number the
+    // hot-path optimization moves most.
+    let fleet_workload = SyntheticConfig {
+        sessions: 400,
+        span_s: 4.0 * 3600.0,
+        ..SyntheticConfig::excerpt_17_5h()
+    };
+    let cases: Vec<EndToEnd> = if smoke {
+        vec![bench_end_to_end("smoke", &SyntheticConfig::smoke(), 10, 0)]
+    } else {
+        vec![
+            bench_end_to_end("excerpt-17.5h", &SyntheticConfig::excerpt_17_5h(), 30, 0),
+            bench_end_to_end("fleet-256", &fleet_workload, 20, 256),
+        ]
+    };
+    let e2e_json: Vec<String> = cases.iter().map(EndToEnd::to_json).collect();
+
+    let json = format!(
+        "{{\n  \"placement_rank_ns_per_op\": {},\n  \"viable_hosts_ns_per_op\": {},\n  \
+         \"end_to_end\": [{}]\n}}",
+        json_map(&rank),
+        json_map(&viable),
+        e2e_json.join(", "),
+    );
+    println!("{json}");
+    if let Some(path) = out {
+        std::fs::write(&path, format!("{json}\n")).unwrap_or_else(|e| {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("perf_bench: wrote {path}");
+    }
+}

@@ -41,8 +41,11 @@ fn interaction_spec(smoke: bool) -> SweepSpec {
     } else {
         vec![Scenario::heterogeneous_hosts(), Scenario::diurnal()]
     };
+    // Two smoke seeds so the matrix spans two (scenario, seed) trace
+    // blocks — the CI shard matrix partitions it with `--shard-by block`
+    // and both shards must receive work.
     let seeds: Vec<u64> = if smoke {
-        vec![1]
+        vec![1, 2]
     } else {
         (0..3).map(|i| 2026 + i).collect()
     };

@@ -105,6 +105,33 @@ pub fn smoke_heterogeneous() -> Scenario {
     ])
 }
 
+/// A fleet of `hosts` 8-GPU servers with uneven subscriptions (skewed by
+/// `i % 7`) and commitments (every third host), so placement rankings do
+/// real sorting work — the shared fixture behind the `platform_bench`
+/// placement benches and the `perf_bench` bin (the two must measure the
+/// same fleet for the committed `BENCH_pr5.json` numbers to stay
+/// comparable).
+pub fn loaded_cluster(hosts: usize) -> notebookos_cluster::Cluster {
+    use notebookos_cluster::{Cluster, ResourceRequest};
+    let mut cluster = Cluster::with_hosts(hosts, ResourceBundle::p3_16xlarge());
+    for i in 0..hosts {
+        for _ in 0..(i % 7) {
+            cluster
+                .host_mut(i as u64)
+                .expect("host exists")
+                .subscribe(&ResourceRequest::one_gpu());
+        }
+        if i % 3 == 0 {
+            cluster
+                .host_mut(i as u64)
+                .expect("host exists")
+                .commit(1_000_000 + i as u64, &ResourceRequest::one_gpu())
+                .expect("commit fits");
+        }
+    }
+    cluster
+}
+
 /// The 17.5-hour AdobeTrace excerpt (§5.2's prototype workload).
 pub fn excerpt_trace() -> WorkloadTrace {
     generate(&SyntheticConfig::excerpt_17_5h(), EVAL_SEED)

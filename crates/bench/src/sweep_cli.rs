@@ -4,6 +4,9 @@
 //! `elasticity_sweep`) speaks the same four sharding/persistence flags:
 //!
 //! * `--shard I/M` — run only shard `I` of `M` ([`SweepSpec::shard`])
+//! * `--shard-by job|block` — partition single jobs round-robin (the
+//!   default) or whole `(scenario, seed)` trace blocks
+//!   ([`SweepSpec::shard_by`], so a shard only generates its own traces)
 //! * `--out FILE` — persist the report as JSON ([`SweepReport::write_json`])
 //! * `--resume FILE` — skip cells already persisted in `FILE` and append
 //!   the missing ones ([`SweepSpec::run_resuming`])
@@ -16,7 +19,7 @@
 
 use std::path::PathBuf;
 
-use notebookos_core::sweep::{SweepError, SweepReport, SweepSpec};
+use notebookos_core::sweep::{ShardStrategy, SweepError, SweepReport, SweepSpec};
 
 /// Parsed sharding/persistence flags shared by the sweep binaries.
 #[derive(Debug, Clone, Default)]
@@ -27,6 +30,10 @@ pub struct SweepCli {
     pub workers: usize,
     /// `--shard I/M`.
     pub shard: Option<(usize, usize)>,
+    /// `--shard-by job|block` (default `job`): whether shards partition
+    /// single jobs round-robin or whole `(scenario, seed)` trace blocks
+    /// (so a shard only generates the traces it runs).
+    pub shard_by: ShardStrategy,
     /// `--out FILE`.
     pub out: Option<PathBuf>,
     /// `--resume FILE`.
@@ -81,6 +88,17 @@ impl SweepCli {
                         })?;
                 }
                 "--shard" => cli.shard = Some(parse_shard(&value("--shard")?)?),
+                "--shard-by" => {
+                    cli.shard_by = match value("--shard-by")?.as_str() {
+                        "job" => ShardStrategy::JobRoundRobin,
+                        "block" => ShardStrategy::TraceBlock,
+                        other => {
+                            return Err(format!(
+                                "--shard-by takes `job` or `block`, got `{other}`; usage: {usage}"
+                            ))
+                        }
+                    };
+                }
                 "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
                 "--resume" => cli.resume = Some(PathBuf::from(value("--resume")?)),
                 "--merge" => {
@@ -133,7 +151,9 @@ impl SweepCli {
         let report = if !self.merge.is_empty() {
             let mut reports = Vec::with_capacity(self.merge.len());
             for path in &self.merge {
-                reports.push(SweepReport::read_json(path)?);
+                // Journal-aware: a shard killed before its final
+                // compaction still contributes every completed cell.
+                reports.push(SweepReport::read_json_with_journal(path)?);
             }
             let merged = SweepReport::merge(reports)?;
             // The shard files must agree with each other *and* with the
@@ -154,12 +174,14 @@ impl SweepCli {
         } else {
             let spec = match self.shard {
                 Some((index, total)) => {
+                    let sharded = spec.clone().shard(index, total).shard_by(self.shard_by);
                     eprintln!(
-                        "{label}: shard {index}/{total} — {} of {} jobs",
-                        spec.clone().shard(index, total).job_indices().len(),
+                        "{label}: shard {index}/{total} (by {}) — {} of {} jobs",
+                        self.shard_by,
+                        sharded.job_indices().len(),
                         spec.total_jobs()
                     );
-                    spec.clone().shard(index, total)
+                    sharded
                 }
                 None => spec.clone(),
             };
@@ -234,6 +256,23 @@ mod tests {
         let err = parse(&["--frob"]).unwrap_err();
         assert!(err.contains("test-usage"));
         assert!(parse(&["--workers", "0"]).is_err());
+    }
+
+    #[test]
+    fn parses_shard_strategy() {
+        assert_eq!(parse(&[]).unwrap().shard_by, ShardStrategy::JobRoundRobin);
+        assert_eq!(
+            parse(&["--shard", "0/2", "--shard-by", "block", "--out", "s.json"])
+                .unwrap()
+                .shard_by,
+            ShardStrategy::TraceBlock
+        );
+        assert_eq!(
+            parse(&["--shard-by", "job"]).unwrap().shard_by,
+            ShardStrategy::JobRoundRobin
+        );
+        assert!(parse(&["--shard-by", "frob"]).is_err());
+        assert!(parse(&["--shard-by"]).is_err());
     }
 
     #[test]

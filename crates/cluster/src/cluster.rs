@@ -1,7 +1,27 @@
 //! The cluster: a collection of hosts plus the cluster-wide accounting the
 //! scheduler and autoscaler read.
+//!
+//! # The incremental host index
+//!
+//! Placement runs once per kernel creation and commit/release once per
+//! cell, so everything the scheduler reads on that path is served from
+//! state maintained *incrementally* instead of being re-derived per query:
+//!
+//! * the host slab is ascending by id (ids are never reused), so host
+//!   lookup is a binary search instead of a linear scan;
+//! * `ΣG`/`ΣS`/`ΣC` fleet totals are cached and updated in place by the
+//!   cluster-level mutators ([`Cluster::subscribe`], [`Cluster::try_commit`],
+//!   [`Cluster::release`], …);
+//! * the shape census is a persistent sorted index updated on host
+//!   add/remove, not an O(hosts × shapes) scan per query.
+//!
+//! [`Cluster::host_mut`] still hands out raw `&mut Host` access (tests and
+//! ad-hoc tooling mutate accounting directly through it); doing so marks
+//! the cached totals dirty and they are transparently recomputed on the
+//! next read or typed mutation, so the fast path stays exact without
+//! constraining the slow one.
 
-use crate::host::{Host, HostId};
+use crate::host::{Host, HostId, OwnerId};
 use crate::resources::{ResourceBundle, ResourceRequest};
 
 /// Placement candidates screened by one shared viability rule (capacity
@@ -10,6 +30,10 @@ use crate::resources::{ResourceBundle, ResourceRequest};
 /// as a last resort — "the server is rejected in favor of another" — so
 /// every placement policy ranks `within_cap` hosts ahead of `over_cap`
 /// hosts and orders *within* each segment by its own criterion.
+///
+/// The buffers are reusable: [`Cluster::viable_hosts_into`] clears and
+/// refills them, so a caller that owns one `Viability` screens every
+/// placement without allocating.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Viability {
     /// Hosts whose post-placement SR stays at or below the cap, ascending
@@ -37,19 +61,69 @@ impl Viability {
         out.extend(self.over_cap);
         out
     }
+
+    /// Empties both segments (keeping their capacity for reuse).
+    pub fn clear(&mut self) {
+        self.within_cap.clear();
+        self.over_cap.clear();
+    }
+}
+
+/// Reusable scratch for the least-loaded ranking
+/// ([`Cluster::subscription_candidates_into`]): decorated `(idle GPUs,
+/// SR, id)` keys per SR-cap segment, captured in the same pass as the
+/// viability screen so ranking performs no per-host lookups at all.
+#[derive(Debug, Clone, Default)]
+pub struct RankScratch {
+    within: Vec<(u32, f64, HostId)>,
+    over: Vec<(u32, f64, HostId)>,
+}
+
+/// The sort key of one census entry; covers every [`ResourceBundle`]
+/// field, so it totally orders shapes.
+fn census_key(shape: &ResourceBundle) -> (u32, u64, u64) {
+    (shape.gpus, shape.millicpus, shape.memory_mb)
 }
 
 /// The fleet of GPU servers.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Cluster {
+    /// Hosts ascending by id (ids grow monotonically and are never
+    /// reused), so lookups binary-search.
     hosts: Vec<Host>,
     next_host_id: HostId,
+    /// Persistent shape census, ascending by
+    /// `(gpus, millicpus, memory_mb)`; maintained on add/remove.
+    census: Vec<(ResourceBundle, u32)>,
+    /// Total GPUs across all hosts (`ΣG`). A host's capacity never
+    /// changes after creation, so this is always exact.
+    total_gpus: u64,
+    /// Cached `ΣS` / `ΣC`; exact while `totals_valid`.
+    total_subscribed: u64,
+    total_committed: u64,
+    /// Cleared by [`Cluster::host_mut`] (raw access may change per-host
+    /// accounting behind the cluster's back); re-established lazily.
+    totals_valid: bool,
+}
+
+impl Default for Cluster {
+    fn default() -> Self {
+        Cluster::new()
+    }
 }
 
 impl Cluster {
     /// Creates an empty cluster.
     pub fn new() -> Self {
-        Cluster::default()
+        Cluster {
+            hosts: Vec::new(),
+            next_host_id: 0,
+            census: Vec::new(),
+            total_gpus: 0,
+            total_subscribed: 0,
+            total_committed: 0,
+            totals_valid: true,
+        }
     }
 
     /// Creates a cluster of `n` identical hosts.
@@ -79,29 +153,63 @@ impl Cluster {
         let id = self.next_host_id;
         self.next_host_id += 1;
         self.hosts.push(Host::new(id, capacity));
+        self.total_gpus += u64::from(capacity.gpus);
+        match self
+            .census
+            .binary_search_by_key(&census_key(&capacity), |(s, _)| census_key(s))
+        {
+            Ok(i) => self.census[i].1 += 1,
+            Err(i) => self.census.insert(i, (capacity, 1)),
+        }
         id
     }
 
     /// Removes a host (only sensible when it is idle; the autoscaler drains
     /// first). Returns the host if it existed.
     pub fn remove_host(&mut self, id: HostId) -> Option<Host> {
-        let idx = self.hosts.iter().position(|h| h.id() == id)?;
-        Some(self.hosts.remove(idx))
+        let idx = self.host_position(id)?;
+        let host = self.hosts.remove(idx);
+        let shape = host.capacity();
+        self.total_gpus -= u64::from(shape.gpus);
+        if self.totals_valid {
+            self.total_subscribed -= host.subscribed_gpus();
+            self.total_committed -= u64::from(host.committed_gpus());
+        }
+        let slot = self
+            .census
+            .binary_search_by_key(&census_key(&shape), |(s, _)| census_key(s))
+            .expect("every host's shape is in the census");
+        self.census[slot].1 -= 1;
+        if self.census[slot].1 == 0 {
+            self.census.remove(slot);
+        }
+        Some(host)
     }
 
-    /// All hosts.
+    /// Slab position of host `id` (binary search — the slab is ascending
+    /// by id).
+    fn host_position(&self, id: HostId) -> Option<usize> {
+        self.hosts.binary_search_by_key(&id, Host::id).ok()
+    }
+
+    /// All hosts, ascending by id.
     pub fn hosts(&self) -> &[Host] {
         &self.hosts
     }
 
-    /// Mutable host lookup.
+    /// Mutable host lookup. Raw access can change per-host accounting the
+    /// cluster cannot see, so the cached fleet totals are marked dirty and
+    /// recomputed on the next read — prefer the typed mutators
+    /// ([`Cluster::subscribe`], [`Cluster::try_commit`], …) on hot paths.
     pub fn host_mut(&mut self, id: HostId) -> Option<&mut Host> {
-        self.hosts.iter_mut().find(|h| h.id() == id)
+        let idx = self.host_position(id)?;
+        self.totals_valid = false;
+        Some(&mut self.hosts[idx])
     }
 
     /// Shared host lookup.
     pub fn host(&self, id: HostId) -> Option<&Host> {
-        self.hosts.iter().find(|h| h.id() == id)
+        self.host_position(id).map(|idx| &self.hosts[idx])
     }
 
     /// Number of hosts.
@@ -114,26 +222,134 @@ impl Cluster {
         self.hosts.is_empty()
     }
 
+    /// Recomputes the cached `ΣS`/`ΣC` totals after raw
+    /// [`Cluster::host_mut`] access invalidated them.
+    fn revalidate_totals(&mut self) {
+        if !self.totals_valid {
+            self.total_subscribed = self.hosts.iter().map(Host::subscribed_gpus).sum();
+            self.total_committed = self
+                .hosts
+                .iter()
+                .map(|h| u64::from(h.committed_gpus()))
+                .sum();
+            self.totals_valid = true;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Typed mutators: the scheduler's hot path. Each applies the per-host
+    // change and the fleet-total delta in O(log hosts), keeping every
+    // cluster-wide read O(1).
+    // ------------------------------------------------------------------
+
+    /// Registers a replica subscription on `host`. Returns `false` when
+    /// the host does not exist.
+    pub fn subscribe(&mut self, host: HostId, request: &ResourceRequest) -> bool {
+        self.revalidate_totals();
+        let Some(idx) = self.host_position(host) else {
+            return false;
+        };
+        self.hosts[idx].subscribe(request);
+        self.total_subscribed += u64::from(request.gpus);
+        true
+    }
+
+    /// Removes a replica subscription from `host`. Returns `false` when
+    /// the host does not exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics (like [`Host::unsubscribe`]) if the host exists but holds no
+    /// matching subscription — that is an accounting bug.
+    pub fn unsubscribe(&mut self, host: HostId, request: &ResourceRequest) -> bool {
+        self.revalidate_totals();
+        let Some(idx) = self.host_position(host) else {
+            return false;
+        };
+        self.hosts[idx].unsubscribe(request);
+        self.total_subscribed -= u64::from(request.gpus);
+        true
+    }
+
+    /// Exclusively binds `request` on `host` for `owner`, writing the
+    /// bound GPU device ids into `devices` (cleared first; the buffer is
+    /// reusable across calls). Returns `false` — changing nothing — when
+    /// the host does not exist or the commit fails.
+    pub fn try_commit(
+        &mut self,
+        host: HostId,
+        owner: OwnerId,
+        request: &ResourceRequest,
+        devices: &mut Vec<u32>,
+    ) -> bool {
+        self.revalidate_totals();
+        let Some(idx) = self.host_position(host) else {
+            return false;
+        };
+        if self.hosts[idx]
+            .commit_into(owner, request, devices)
+            .is_err()
+        {
+            return false;
+        }
+        self.total_committed += u64::from(request.gpus);
+        true
+    }
+
+    /// Releases `owner`'s commitment on `host`, if any. Returns `false`
+    /// when the host does not exist or the owner holds no commitment.
+    pub fn release(&mut self, host: HostId, owner: OwnerId) -> bool {
+        self.revalidate_totals();
+        let Some(idx) = self.host_position(host) else {
+            return false;
+        };
+        if !self.hosts[idx].has_commitment(owner) {
+            return false;
+        }
+        let freed = self.hosts[idx].release(owner);
+        self.total_committed -= u64::from(freed.gpus);
+        true
+    }
+
+    /// Marks/unmarks `host` as draining. Returns `false` when the host
+    /// does not exist.
+    pub fn set_draining(&mut self, host: HostId, draining: bool) -> bool {
+        let Some(idx) = self.host_position(host) else {
+            return false;
+        };
+        self.hosts[idx].set_draining(draining);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Fleet-wide reads
+    // ------------------------------------------------------------------
+
     /// Total GPUs across all hosts (`ΣG`).
     pub fn total_gpus(&self) -> u64 {
-        self.hosts
-            .iter()
-            .map(|h| u64::from(h.capacity().gpus))
-            .sum()
+        self.total_gpus
     }
 
     /// Total subscribed GPUs across all hosts (`ΣS`).
     pub fn total_subscribed_gpus(&self) -> u64 {
-        self.hosts.iter().map(Host::subscribed_gpus).sum()
+        if self.totals_valid {
+            self.total_subscribed
+        } else {
+            self.hosts.iter().map(Host::subscribed_gpus).sum()
+        }
     }
 
     /// Total GPUs exclusively committed to actively-executing replicas
     /// (`ΣC` in the autoscaler, §3.4.2).
     pub fn total_committed_gpus(&self) -> u64 {
-        self.hosts
-            .iter()
-            .map(|h| u64::from(h.committed_gpus()))
-            .sum()
+        if self.totals_valid {
+            self.total_committed
+        } else {
+            self.hosts
+                .iter()
+                .map(|h| u64::from(h.committed_gpus()))
+                .sum()
+        }
     }
 
     /// The dynamic cluster-wide SR limit `ΣS / (ΣG · R)` (§3.4.1).
@@ -165,33 +381,61 @@ impl Cluster {
         replication_factor: u32,
         sr_cap: f64,
     ) -> Vec<HostId> {
-        let viable = self.viable_hosts(request, replication_factor, sr_cap);
-        // Decorate each segment with its sort key via a one-pass index
-        // (linear host lookups inside the sort would be quadratic).
-        let by_id: std::collections::HashMap<HostId, &Host> =
-            self.hosts.iter().map(|h| (h.id(), h)).collect();
-        let least_loaded_first = |ids: Vec<HostId>| {
-            let mut keyed: Vec<(u32, f64, HostId)> = ids
-                .into_iter()
-                .map(|id| {
-                    let h = by_id[&id];
-                    (h.idle_gpus(), h.subscription_ratio(replication_factor), id)
-                })
-                .collect();
+        let mut scratch = RankScratch::default();
+        let mut out = Vec::new();
+        self.subscription_candidates_into(
+            request,
+            replication_factor,
+            sr_cap,
+            &mut scratch,
+            &mut out,
+        );
+        out
+    }
+
+    /// Allocation-free form of [`Cluster::subscription_candidates`]: the
+    /// screen and the sort keys are captured in one pass over the slab
+    /// into `scratch`, and the ranking is written to `out` (cleared
+    /// first). A caller that reuses `scratch` and `out` ranks every
+    /// placement without allocating.
+    pub fn subscription_candidates_into(
+        &self,
+        request: &ResourceRequest,
+        replication_factor: u32,
+        sr_cap: f64,
+        scratch: &mut RankScratch,
+        out: &mut Vec<HostId>,
+    ) {
+        scratch.within.clear();
+        scratch.over.clear();
+        out.clear();
+        let capacity_needed = ResourceBundle::from_request(request);
+        for h in &self.hosts {
+            if h.is_draining() || !h.capacity().covers(&capacity_needed) {
+                continue;
+            }
+            let keyed = (
+                h.idle_gpus(),
+                h.subscription_ratio(replication_factor),
+                h.id(),
+            );
+            if request.gpus > 0 && post_sr(h, request, replication_factor) > sr_cap {
+                scratch.over.push(keyed);
+            } else {
+                scratch.within.push(keyed);
+            }
+        }
+        let least_loaded_first = |keyed: &mut Vec<(u32, f64, HostId)>| {
             keyed.sort_by(|a, b| {
                 b.0.cmp(&a.0)
                     .then(a.1.partial_cmp(&b.1).expect("SR is finite"))
                     .then(a.2.cmp(&b.2))
             });
-            keyed.into_iter().map(|(_, _, id)| id)
         };
-        let Viability {
-            within_cap,
-            over_cap,
-        } = viable;
-        let mut out: Vec<HostId> = least_loaded_first(within_cap).collect();
-        out.extend(least_loaded_first(over_cap));
-        out
+        least_loaded_first(&mut scratch.within);
+        least_loaded_first(&mut scratch.over);
+        out.extend(scratch.within.iter().map(|&(_, _, id)| id));
+        out.extend(scratch.over.iter().map(|&(_, _, id)| id));
     }
 
     /// The single viability rule every placement policy shares: hosts whose
@@ -205,42 +449,44 @@ impl Cluster {
         replication_factor: u32,
         sr_cap: f64,
     ) -> Viability {
-        let post_sr = |h: &Host| {
-            (h.subscribed_gpus() + u64::from(request.gpus)) as f64
-                / (u64::from(h.capacity().gpus.max(1)) * u64::from(replication_factor.max(1)))
-                    as f64
-        };
         let mut viable = Viability::default();
+        self.viable_hosts_into(request, replication_factor, sr_cap, &mut viable);
+        viable
+    }
+
+    /// Allocation-free form of [`Cluster::viable_hosts`]: clears and
+    /// refills `out`, so a caller that owns the buffer screens every
+    /// placement without allocating.
+    pub fn viable_hosts_into(
+        &self,
+        request: &ResourceRequest,
+        replication_factor: u32,
+        sr_cap: f64,
+        out: &mut Viability,
+    ) {
+        out.clear();
+        let capacity_needed = ResourceBundle::from_request(request);
         for h in &self.hosts {
-            if h.is_draining() || !h.capacity().covers(&ResourceBundle::from_request(request)) {
+            if h.is_draining() || !h.capacity().covers(&capacity_needed) {
                 continue;
             }
-            if request.gpus > 0 && post_sr(h) > sr_cap {
-                viable.over_cap.push(h.id());
+            if request.gpus > 0 && post_sr(h, request, replication_factor) > sr_cap {
+                out.over_cap.push(h.id());
             } else {
-                viable.within_cap.push(h.id());
+                out.within_cap.push(h.id());
             }
         }
         // `hosts` is ascending by id (ids are never reused and grow
         // monotonically), so the segments inherit that order.
-        viable
     }
 
     /// The fleet's shape census: distinct host shapes with their counts,
     /// ascending by `(gpus, millicpus, memory_mb)` — the catalog the
     /// platform hands a shape-aware elasticity policy, so "first covering
-    /// shape" means "cheapest covering shape".
+    /// shape" means "cheapest covering shape". Served from the persistent
+    /// census index (maintained on add/remove), not a fleet scan.
     pub fn shape_census(&self) -> Vec<(ResourceBundle, u32)> {
-        let mut census: Vec<(ResourceBundle, u32)> = Vec::new();
-        for h in &self.hosts {
-            let shape = h.capacity();
-            match census.iter_mut().find(|(s, _)| *s == shape) {
-                Some(slot) => slot.1 += 1,
-                None => census.push((shape, 1)),
-            }
-        }
-        census.sort_by_key(|(s, _)| (s.gpus, s.millicpus, s.memory_mb));
-        census
+        self.census.clone()
     }
 
     /// Hosts with zero replicas and zero commitments — candidates for
@@ -255,9 +501,16 @@ impl Cluster {
     }
 }
 
+/// The SR `host` would have after accepting `request` (§3.4.1).
+fn post_sr(h: &Host, request: &ResourceRequest, replication_factor: u32) -> f64 {
+    (h.subscribed_gpus() + u64::from(request.gpus)) as f64
+        / (u64::from(h.capacity().gpus.max(1)) * u64::from(replication_factor.max(1))) as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::host::CommitError;
 
     fn gpu_req(gpus: u32) -> ResourceRequest {
         ResourceRequest::new(4000, 16_384, gpus, 16)
@@ -287,6 +540,62 @@ mod tests {
         assert_eq!(c.total_committed_gpus(), 4);
         // SR limit: 6 / (16 * 3).
         assert!((c.sr_limit(3) - 6.0 / 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn typed_mutators_keep_totals_incremental() {
+        let mut c = Cluster::with_hosts(2, ResourceBundle::p3_16xlarge());
+        assert!(c.subscribe(0, &gpu_req(4)));
+        assert!(c.subscribe(1, &gpu_req(2)));
+        assert!(!c.subscribe(99, &gpu_req(1)), "missing host refused");
+        assert_eq!(c.total_subscribed_gpus(), 6);
+
+        let mut devices = Vec::new();
+        assert!(c.try_commit(0, 7, &gpu_req(4), &mut devices));
+        assert_eq!(devices, vec![0, 1, 2, 3]);
+        assert!(
+            !c.try_commit(0, 7, &gpu_req(1), &mut devices),
+            "double commit refused"
+        );
+        assert!(
+            !c.try_commit(99, 8, &gpu_req(1), &mut devices),
+            "missing host refused"
+        );
+        assert_eq!(c.total_committed_gpus(), 4);
+
+        assert!(c.release(0, 7));
+        assert!(!c.release(0, 7), "second release refused");
+        assert!(!c.release(99, 7));
+        assert_eq!(c.total_committed_gpus(), 0);
+
+        assert!(c.unsubscribe(0, &gpu_req(4)));
+        assert!(!c.unsubscribe(99, &gpu_req(1)));
+        assert_eq!(c.total_subscribed_gpus(), 2);
+
+        assert!(c.set_draining(1, true));
+        assert!(c.host(1).unwrap().is_draining());
+        assert!(!c.set_draining(99, true));
+    }
+
+    #[test]
+    fn raw_host_mut_access_self_heals_the_totals() {
+        let mut c = Cluster::with_hosts(2, ResourceBundle::p3_16xlarge());
+        assert!(c.subscribe(0, &gpu_req(4)));
+        // Raw mutation the cluster cannot observe…
+        c.host_mut(1).unwrap().subscribe(&gpu_req(2));
+        c.host_mut(1).unwrap().commit(9, &gpu_req(2)).unwrap();
+        // …is still reflected exactly in the fleet totals…
+        assert_eq!(c.total_subscribed_gpus(), 6);
+        assert_eq!(c.total_committed_gpus(), 2);
+        // …and typed mutations afterwards stay exact too.
+        assert!(c.subscribe(0, &gpu_req(1)));
+        assert!(c.release(1, 9));
+        assert_eq!(c.total_subscribed_gpus(), 7);
+        assert_eq!(c.total_committed_gpus(), 0);
+        // Removing a host while dirty keeps totals exact as well.
+        c.host_mut(0).unwrap().subscribe(&gpu_req(1));
+        c.remove_host(0);
+        assert_eq!(c.total_subscribed_gpus(), 2);
     }
 
     #[test]
@@ -325,6 +634,24 @@ mod tests {
     }
 
     #[test]
+    fn candidates_into_reuses_buffers_and_matches_allocating_form() {
+        let mut c = Cluster::with_hosts(6, ResourceBundle::p3_16xlarge());
+        for i in 0..6u64 {
+            for _ in 0..i {
+                c.host_mut(i).unwrap().subscribe(&gpu_req(2));
+            }
+        }
+        c.host_mut(3).unwrap().commit(5, &gpu_req(5)).unwrap();
+        let mut scratch = RankScratch::default();
+        let mut out = Vec::new();
+        for req_gpus in [1, 4] {
+            let req = gpu_req(req_gpus);
+            c.subscription_candidates_into(&req, 3, 1.0, &mut scratch, &mut out);
+            assert_eq!(out, c.subscription_candidates(&req, 3, 1.0));
+        }
+    }
+
+    #[test]
     fn draining_hosts_excluded() {
         let mut c = Cluster::with_hosts(2, ResourceBundle::p3_16xlarge());
         c.host_mut(0).unwrap().set_draining(true);
@@ -358,6 +685,12 @@ mod tests {
         let v = c.viable_hosts(&cpu, 3, 1.0);
         assert_eq!(v.within_cap, vec![0, 1]);
         assert!(v.over_cap.is_empty());
+        // The scratch form refills (not appends) reused buffers.
+        let mut buf = Viability::default();
+        c.viable_hosts_into(&gpu_req(4), 3, 1.0, &mut buf);
+        let first = buf.clone();
+        c.viable_hosts_into(&gpu_req(4), 3, 1.0, &mut buf);
+        assert_eq!(buf, first);
     }
 
     #[test]
@@ -384,6 +717,12 @@ mod tests {
             c.shape_census(),
             vec![(small, 3), (ResourceBundle::p3_16xlarge(), 1)]
         );
+        c.remove_host(1);
+        assert_eq!(
+            c.shape_census(),
+            vec![(small, 3)],
+            "exhausted shapes drop out of the census"
+        );
         assert!(Cluster::new().shape_census().is_empty());
     }
 
@@ -392,5 +731,15 @@ mod tests {
         let mut c = Cluster::with_hosts(2, ResourceBundle::p3_16xlarge());
         c.host_mut(0).unwrap().subscribe(&gpu_req(1));
         assert_eq!(c.idle_hosts(), vec![1]);
+    }
+
+    #[test]
+    fn oversized_commit_still_errors_through_the_host() {
+        let mut c = Cluster::with_hosts(1, ResourceBundle::p3_16xlarge());
+        let err = c.host_mut(0).unwrap().commit(1, &gpu_req(99)).unwrap_err();
+        assert!(matches!(err, CommitError::Insufficient { .. }));
+        let mut devices = vec![7u32];
+        assert!(!c.try_commit(0, 1, &gpu_req(99), &mut devices));
+        assert!(devices.is_empty(), "failed commit clears the scratch");
     }
 }

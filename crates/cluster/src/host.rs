@@ -196,6 +196,27 @@ impl Host {
         owner: OwnerId,
         request: &ResourceRequest,
     ) -> Result<Vec<u32>, CommitError> {
+        let mut devices = Vec::with_capacity(request.gpus as usize);
+        self.commit_into(owner, request, &mut devices)?;
+        Ok(devices)
+    }
+
+    /// Allocation-free form of [`Host::commit`]: the bound GPU device ids
+    /// are written into `devices` (cleared first), so a caller that
+    /// reuses the buffer commits on every cell execution without
+    /// allocating.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Host::commit`]'s; on error `devices` is left empty and
+    /// nothing is bound.
+    pub fn commit_into(
+        &mut self,
+        owner: OwnerId,
+        request: &ResourceRequest,
+        devices: &mut Vec<u32>,
+    ) -> Result<(), CommitError> {
+        devices.clear();
         if self.commitments.contains_key(&owner) {
             return Err(CommitError::AlreadyCommitted(owner));
         }
@@ -206,7 +227,6 @@ impl Host {
                 available: self.available(),
             });
         }
-        let mut devices = Vec::with_capacity(request.gpus as usize);
         for (device, slot) in self.gpu_owner.iter_mut().enumerate() {
             if devices.len() == request.gpus as usize {
                 break;
@@ -223,7 +243,7 @@ impl Host {
         );
         self.committed += bundle;
         self.commitments.insert(owner, bundle);
-        Ok(devices)
+        Ok(())
     }
 
     /// Releases `owner`'s commitment, returning the freed bundle.

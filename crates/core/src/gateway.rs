@@ -76,6 +76,9 @@ pub struct GatewayProvisioner<P: PlacementPolicy> {
     /// Every control RPC issued, in order (Fig. 4's arrows).
     rpc_log: Vec<ControlRpc>,
     signing_key: Vec<u8>,
+    /// Reusable placement-ranking buffer (the ranking is truncated to the
+    /// consumed prefix and copied into the kernel's placement record).
+    rank_buf: Vec<HostId>,
 }
 
 impl<P: PlacementPolicy> GatewayProvisioner<P> {
@@ -89,6 +92,7 @@ impl<P: PlacementPolicy> GatewayProvisioner<P> {
             next_seq: 0,
             rpc_log: Vec::new(),
             signing_key: b"notebookos-gateway".to_vec(),
+            rank_buf: Vec::new(),
         }
     }
 
@@ -139,40 +143,40 @@ impl<P: PlacementPolicy> KernelProvisioner for GatewayProvisioner<P> {
         });
 
         let request = Self::request_of(&spec);
-        let ranked = self.policy.rank(&PlacementContext {
-            cluster: &self.cluster,
-            request: &request,
-            replication_factor: self.replication_factor,
-        });
-        if (ranked.len() as u32) < self.replication_factor {
+        let mut rank_buf = std::mem::take(&mut self.rank_buf);
+        self.policy.rank_into(
+            &PlacementContext {
+                cluster: &self.cluster,
+                request: &request,
+                replication_factor: self.replication_factor,
+            },
+            &mut rank_buf,
+        );
+        if (rank_buf.len() as u32) < self.replication_factor {
             // §3.2.1: without R viable candidates the Global Scheduler
             // invokes the scale-out handler; at this API layer the caller
             // owns scale-out, so report the shortfall.
+            let found = rank_buf.len();
+            self.rank_buf = rank_buf;
             return Err(ProvisionError::InsufficientResources(format!(
-                "need {} candidate hosts, found {}",
+                "need {} candidate hosts, found {found}",
                 self.replication_factor,
-                ranked.len()
             )));
         }
 
         let kernel_seq = self.next_seq;
         self.next_seq += 1;
-        let chosen: Vec<HostId> = ranked
-            .into_iter()
-            .take(self.replication_factor as usize)
-            .collect();
+        rank_buf.truncate(self.replication_factor as usize);
         // Report the consumed hosts so stateful policies (RoundRobin)
-        // rotate past the whole placement — rank() itself is pure.
-        self.policy.placed(&chosen);
-        let mut endpoints = Vec::with_capacity(chosen.len());
-        for (index, &host) in chosen.iter().enumerate() {
+        // rotate past the whole placement — ranking itself is pure.
+        self.policy.placed(&rank_buf);
+        let mut endpoints = Vec::with_capacity(rank_buf.len());
+        for (index, &host) in rank_buf.iter().enumerate() {
             let replica = ReplicaId::new(kernel_seq, index as u32);
             self.rpc_log
                 .push(ControlRpc::StartKernelReplica { replica, host });
-            self.cluster
-                .host_mut(host)
-                .expect("ranked host exists")
-                .subscribe(&request);
+            let subscribed = self.cluster.subscribe(host, &request);
+            assert!(subscribed, "ranked host exists");
             let endpoint = format!("host-{host}:59{index}1");
             self.rpc_log.push(ControlRpc::ReplicaRegistered {
                 replica,
@@ -184,10 +188,11 @@ impl<P: PlacementPolicy> KernelProvisioner for GatewayProvisioner<P> {
             kernel_id.to_string(),
             KernelPlacement {
                 kernel_seq,
-                replica_hosts: chosen,
+                replica_hosts: rank_buf.clone(),
                 request,
             },
         );
+        self.rank_buf = rank_buf;
         self.rpc_log.push(ControlRpc::KernelReady {
             kernel_id: kernel_id.to_string(),
         });
@@ -204,9 +209,8 @@ impl<P: PlacementPolicy> KernelProvisioner for GatewayProvisioner<P> {
             .remove(kernel_id)
             .ok_or_else(|| ProvisionError::UnknownKernel(kernel_id.to_string()))?;
         for host in placement.replica_hosts {
-            if let Some(h) = self.cluster.host_mut(host) {
-                h.unsubscribe(&placement.request);
-            }
+            // A no-op for hosts that already left the cluster.
+            self.cluster.unsubscribe(host, &placement.request);
         }
         Ok(())
     }
@@ -233,7 +237,7 @@ mod tests {
 
     fn gateway() -> GatewayProvisioner<LeastLoaded> {
         let cluster = Cluster::with_hosts(4, ResourceBundle::p3_16xlarge());
-        GatewayProvisioner::new(cluster, LeastLoaded, 3)
+        GatewayProvisioner::new(cluster, LeastLoaded::default(), 3)
     }
 
     #[test]
@@ -284,7 +288,7 @@ mod tests {
     #[test]
     fn shortfall_reports_insufficient_resources() {
         let cluster = Cluster::with_hosts(2, ResourceBundle::p3_16xlarge());
-        let mut g = GatewayProvisioner::new(cluster, LeastLoaded, 3);
+        let mut g = GatewayProvisioner::new(cluster, LeastLoaded::default(), 3);
         // Only 2 candidate hosts for R = 3.
         let err = g.launch("kernel-1", spec()).unwrap_err();
         assert!(matches!(err, ProvisionError::InsufficientResources(_)));
@@ -335,7 +339,7 @@ mod tests {
     #[test]
     fn works_with_alternative_policies() {
         let cluster = Cluster::with_hosts(4, ResourceBundle::p3_16xlarge());
-        let mut g = GatewayProvisioner::new(cluster, BinPacking, 3);
+        let mut g = GatewayProvisioner::new(cluster, BinPacking::default(), 3);
         g.launch("kernel-1", spec())
             .expect("launches under bin-packing");
         assert_eq!(g.placement("kernel-1").unwrap().replica_hosts.len(), 3);

@@ -75,6 +75,11 @@ struct SessionRt {
     req: ResourceRequest,
     checkpoint_bytes: u64,
     dataset_bytes: u64,
+    /// Data-store key of this session's checkpointed state, prebuilt so
+    /// the per-cell persist path never formats a key.
+    state_key: String,
+    /// Data-store key of this session's inputs (parameters + dataset).
+    inputs_key: String,
     active: bool,
     /// Reservation baseline: the host exclusively holding this session's
     /// resources for its whole lifetime.
@@ -134,6 +139,24 @@ pub struct Platform {
     training_gpus: i64,
     metrics: RunMetrics,
     horizon_us: u64,
+    /// Simulation events dispatched by the completed run (stamped by
+    /// [`Platform::run_for_inspection`]); the numerator of the events/sec
+    /// throughput benchmarks.
+    events_processed: u64,
+    // ------------------------------------------------------------------
+    // Reusable scratch buffers: the per-event steady state ranks, commits,
+    // and releases without heap allocation (ROADMAP: "as fast as the
+    // hardware allows").
+    // ------------------------------------------------------------------
+    /// Placement ranking output, refilled per kernel creation.
+    rank_buf: Vec<HostId>,
+    /// GPU device ids bound by the latest commit.
+    devices_buf: Vec<u32>,
+    /// Executor preference order: `(reuse bonus, idle GPUs, replica
+    /// index, host)` per replica, refilled per cell submission.
+    exec_rank: Vec<(u32, u32, usize, HostId)>,
+    /// Copy of a kernel's replica hosts for the migration target scan.
+    replica_scratch: Vec<HostId>,
 }
 
 impl Platform {
@@ -154,10 +177,13 @@ impl Platform {
         let sessions = trace
             .sessions
             .iter()
-            .map(|s| SessionRt {
+            .enumerate()
+            .map(|(i, s)| SessionRt {
                 req: ResourceRequest::new(s.millicpus, s.memory_mb, s.gpus, s.vram_gb),
                 checkpoint_bytes: s.profile.checkpoint_bytes(),
                 dataset_bytes: s.profile.dataset.size_bytes,
+                state_key: format!("kernel-{i}/state"),
+                inputs_key: format!("kernel-{i}/inputs"),
                 active: false,
                 reserved_host: None,
                 replica_hosts: Vec::new(),
@@ -173,9 +199,9 @@ impl Platform {
         let horizon_us = (trace.span_s() * 1e6) as u64;
         let billing = BillingMeter::new(config.billing, config.host_shape.gpus);
         let placement: Box<dyn PlacementPolicy + Send> = match config.placement {
-            PlacementKind::LeastLoaded => Box::new(LeastLoaded),
+            PlacementKind::LeastLoaded => Box::new(LeastLoaded::default()),
             PlacementKind::RoundRobin => Box::new(RoundRobin::default()),
-            PlacementKind::BinPacking => Box::new(BinPacking),
+            PlacementKind::BinPacking => Box::new(BinPacking::default()),
             PlacementKind::Random => Box::new(RandomPlacement::new(config.seed ^ 0xFACE)),
         };
         // Distinct shapes scale-out may provision: the initial fleet's
@@ -210,6 +236,11 @@ impl Platform {
             training_gpus: 0,
             metrics: RunMetrics::new(&policy_name),
             horizon_us,
+            events_processed: 0,
+            rank_buf: Vec::new(),
+            devices_buf: Vec::new(),
+            exec_rank: Vec::new(),
+            replica_scratch: Vec::new(),
             cluster,
             config,
             trace,
@@ -243,7 +274,9 @@ impl Platform {
         std::mem::swap(sim.queue_mut(), &mut queue);
         sim.run_until(horizon);
         let end = sim.now();
+        let steps = sim.steps();
         let mut world = sim.into_world();
+        world.events_processed = steps;
         world.seal(end);
         world
     }
@@ -423,12 +456,13 @@ impl Platform {
         total
     }
 
-    /// Commits `req` on `host` for `owner`, updating gauges.
+    /// Commits `req` on `host` for `owner`, updating gauges. The bound
+    /// device ids land in the reusable `devices_buf` scratch.
     fn commit_on(&mut self, now_s: f64, host: HostId, owner: u64, req: &ResourceRequest) -> bool {
-        let Some(h) = self.cluster.host_mut(host) else {
-            return false;
-        };
-        if h.commit(owner, req).is_err() {
+        if !self
+            .cluster
+            .try_commit(host, owner, req, &mut self.devices_buf)
+        {
             return false;
         }
         self.refresh_committed_gauge(now_s);
@@ -436,11 +470,7 @@ impl Platform {
     }
 
     fn release_on(&mut self, now_s: f64, host: HostId, owner: u64) {
-        if let Some(h) = self.cluster.host_mut(host) {
-            if h.has_commitment(owner) {
-                h.release(owner);
-            }
-        }
+        self.cluster.release(host, owner);
         self.refresh_committed_gauge(now_s);
     }
 
@@ -475,9 +505,8 @@ impl Platform {
         if !replica_hosts.is_empty() {
             let req = self.sessions[s].req;
             for host in replica_hosts {
-                if let Some(h) = self.cluster.host_mut(host) {
-                    h.unsubscribe(&req);
-                }
+                // `unsubscribe` is a no-op for hosts that already left.
+                self.cluster.unsubscribe(host, &req);
             }
             let executing = self.sessions[s].busy;
             let r = i64::from(self.config.replication_factor);
@@ -519,13 +548,21 @@ impl Platform {
         let now_s = now.as_secs_f64();
         let req = self.sessions[s].req;
         let r = self.config.replication_factor;
-        let candidates = self.placement.rank(&PlacementContext {
-            cluster: &self.cluster,
-            request: &req,
-            replication_factor: r,
-        });
-        if (candidates.len() as u32) < r {
-            let shortfall = r - candidates.len() as u32;
+        // Rank into the reusable buffer: the ranking, the consumed prefix,
+        // and the replica-host record below all reuse it, so a kernel
+        // creation performs no transient allocation.
+        let mut rank_buf = std::mem::take(&mut self.rank_buf);
+        self.placement.rank_into(
+            &PlacementContext {
+                cluster: &self.cluster,
+                request: &req,
+                replication_factor: r,
+            },
+            &mut rank_buf,
+        );
+        if (rank_buf.len() as u32) < r {
+            let shortfall = r - rank_buf.len() as u32;
+            self.rank_buf = rank_buf;
             self.sessions[s].kernel_pending = true;
             if !self.pending_kernels.contains(&s) {
                 self.pending_kernels.push_back(s);
@@ -533,15 +570,14 @@ impl Platform {
             self.trigger_scale_out(now, shortfall, req, queue);
             return;
         }
-        let chosen: Vec<HostId> = candidates.into_iter().take(r as usize).collect();
+        rank_buf.truncate(r as usize);
+        let chosen = rank_buf;
         // Report the consumed hosts back so stateful policies (RoundRobin)
         // advance past the whole placement, not one ranked host.
         self.placement.placed(&chosen);
         for &host in &chosen {
-            self.cluster
-                .host_mut(host)
-                .expect("candidate exists")
-                .subscribe(&req);
+            let subscribed = self.cluster.subscribe(host, &req);
+            assert!(subscribed, "candidate exists");
         }
         // Kernel bootstrap: container provisioning (prefer pre-warmed) +
         // registration + Raft cluster establishment — off the critical path
@@ -560,7 +596,10 @@ impl Platform {
         boot += self.provisioning.registration(&mut self.rng);
         boot += self.election.sync_latency(&mut self.rng); // Raft group formation
         let session = &mut self.sessions[s];
-        session.replica_hosts = chosen;
+        session.replica_hosts.clear();
+        session.replica_hosts.extend_from_slice(&chosen);
+        self.rank_buf = chosen;
+        let session = &mut self.sessions[s];
         session.kernel_ready_us = now.as_micros() + boot.as_micros();
         session.kernel_pending = false;
         self.metrics.counters.kernel_creations += 1;
@@ -752,33 +791,31 @@ impl Platform {
 
         let req = self.sessions[s].req;
         // Preference order: last executor first (§5.3.2 reports 89.45 %
-        // executor reuse), then replicas on the most-idle hosts.
-        let hosts = self.sessions[s].replica_hosts.clone();
-        let mut order: Vec<usize> = (0..hosts.len()).collect();
-        order.sort_by_key(|&i| {
-            let idle = self
-                .cluster
-                .host(hosts[i])
-                .map(|h| h.idle_gpus())
-                .unwrap_or(0);
-            let reuse_bonus = if Some(i) == self.sessions[s].last_executor {
-                1
-            } else {
-                0
-            };
-            std::cmp::Reverse((reuse_bonus, idle))
-        });
+        // executor reuse), then replicas on the most-idle hosts. The
+        // decorated order lives in a reusable scratch buffer, so a cell
+        // submission allocates nothing.
+        self.exec_rank.clear();
+        for (i, &host) in self.sessions[s].replica_hosts.iter().enumerate() {
+            let idle = self.cluster.host(host).map(|h| h.idle_gpus()).unwrap_or(0);
+            let reuse_bonus = u32::from(Some(i) == self.sessions[s].last_executor);
+            self.exec_rank.push((reuse_bonus, idle, i, host));
+        }
+        self.exec_rank
+            .sort_by_key(|&(reuse_bonus, idle, _, _)| std::cmp::Reverse((reuse_bonus, idle)));
         let now_s = now.as_secs_f64();
-        let chosen = order.into_iter().find(|&i| {
-            self.cluster
-                .host(hosts[i])
-                .map(|h| h.can_commit(&req))
-                .unwrap_or(false)
-        });
+        let chosen = self
+            .exec_rank
+            .iter()
+            .find(|&&(_, _, _, host)| {
+                self.cluster
+                    .host(host)
+                    .map(|h| h.can_commit(&req))
+                    .unwrap_or(false)
+            })
+            .map(|&(_, _, i, host)| (i, host));
 
         match chosen {
-            Some(replica_idx) => {
-                let host = hosts[replica_idx];
+            Some((replica_idx, host)) => {
                 let owner = ReplicaId::new(s as u64, replica_idx as u32).owner_token();
                 let ok = self.commit_on(now_s, host, owner, &req);
                 debug_assert!(ok, "can_commit checked above");
@@ -855,17 +892,23 @@ impl Platform {
     ) {
         let now_s = now.as_secs_f64();
         let req = self.sessions[s].req;
-        let hosts = self.sessions[s].replica_hosts.clone();
+        // Reusable copy of the kernel's replica hosts (the target scan
+        // needs it while iterating the cluster).
+        self.replica_scratch.clear();
+        self.replica_scratch
+            .extend_from_slice(&self.sessions[s].replica_hosts);
         // Target: any host (not already hosting a replica of this kernel)
         // that can immediately and exclusively bind the required GPUs.
-        let target = self
-            .cluster
-            .hosts()
-            .iter()
-            .filter(|h| !hosts.contains(&h.id()) && !h.is_draining() && h.can_commit(&req))
-            .map(|h| (h.idle_gpus(), h.id()))
-            .max()
-            .map(|(_, id)| id);
+        let target = {
+            let hosts = &self.replica_scratch;
+            self.cluster
+                .hosts()
+                .iter()
+                .filter(|h| !hosts.contains(&h.id()) && !h.is_draining() && h.can_commit(&req))
+                .map(|h| (h.idle_gpus(), h.id()))
+                .max()
+                .map(|(_, id)| id)
+        };
 
         let Some(target) = target else {
             self.sessions[s].migration_retries += 1;
@@ -887,21 +930,24 @@ impl Platform {
 
         // Pick the replica to move: the one on the host with the fewest
         // idle GPUs (most contended).
-        let victim = (0..hosts.len())
-            .min_by_key(|&i| {
-                self.cluster
-                    .host(hosts[i])
-                    .map(|h| h.idle_gpus())
-                    .unwrap_or(u32::MAX)
-            })
-            .expect("kernel has replicas");
-        let old_host = hosts[victim];
+        let victim = {
+            let hosts = &self.replica_scratch;
+            (0..hosts.len())
+                .min_by_key(|&i| {
+                    self.cluster
+                        .host(hosts[i])
+                        .map(|h| h.idle_gpus())
+                        .unwrap_or(u32::MAX)
+                })
+                .expect("kernel has replicas")
+        };
+        let old_host = self.replica_scratch[victim];
 
         // Costs on this execution's critical path: persist state, start the
         // replacement container (pre-warmed if possible), reconfigure Raft,
         // replay the log / read state back, then re-submit.
-        let (_, persist) = self.store.write(
-            format!("kernel-{s}/state"),
+        let persist = self.store.write_keyed(
+            &self.sessions[s].state_key,
             self.sessions[s].checkpoint_bytes,
             &mut self.rng,
         );
@@ -918,14 +964,11 @@ impl Platform {
         let read_back = self.data_read(s, false);
         let resubmit = self.route_hops(2);
 
-        // Re-home the subscription.
-        if let Some(h) = self.cluster.host_mut(old_host) {
-            h.unsubscribe(&req);
-        }
-        self.cluster
-            .host_mut(target)
-            .expect("target exists")
-            .subscribe(&req);
+        // Re-home the subscription (`unsubscribe` is a no-op for hosts
+        // that already left).
+        self.cluster.unsubscribe(old_host, &req);
+        let subscribed = self.cluster.subscribe(target, &req);
+        assert!(subscribed, "target exists");
         self.sessions[s].replica_hosts[victim] = target;
         self.sessions[s].last_executor = Some(victim);
         self.metrics.counters.migrations += 1;
@@ -1009,7 +1052,9 @@ impl Platform {
     }
 
     /// Reads this session's inputs from the data store: parameters, plus
-    /// the dataset when `with_dataset`.
+    /// the dataset when `with_dataset`. Keys are prebuilt per session and
+    /// the keyed store entry points take them by reference, so the
+    /// per-cell read path performs no allocation.
     fn data_read(&mut self, s: usize, with_dataset: bool) -> SimTime {
         let bytes = self.sessions[s].checkpoint_bytes
             + if with_dataset {
@@ -1017,18 +1062,13 @@ impl Platform {
             } else {
                 0
             };
-        let key = format!("kernel-{s}/inputs");
-        if !self.store.contains(&key) {
-            let (_, _) = self.store.write(key.clone(), bytes, &mut self.rng);
+        let key = &self.sessions[s].inputs_key;
+        if !self.store.contains(key) {
+            let _ = self.store.write_keyed(key, bytes, &mut self.rng);
         }
-        let pointer = notebookos_datastore::ObjectPointer {
-            key,
-            size_bytes: bytes,
-            backend: self.store.backend(),
-        };
         let latency = self
             .store
-            .read(&pointer, &mut self.rng)
+            .read_keyed(key, &mut self.rng)
             .expect("just written");
         self.metrics.read_ms.record(latency.as_millis_f64());
         latency
@@ -1057,8 +1097,8 @@ impl Platform {
         match self.config.policy {
             PolicyKind::Reservation => {
                 // GPUs stay bound; persist state on the critical path.
-                let (_, persist) = self.store.write(
-                    format!("kernel-{s}/state"),
+                let persist = self.store.write_keyed(
+                    &self.sessions[s].state_key,
                     self.sessions[s].checkpoint_bytes,
                     &mut self.rng,
                 );
@@ -1075,8 +1115,8 @@ impl Platform {
             }
             PolicyKind::Batch => {
                 // Write results back, then tear the container down.
-                let (_, persist) = self.store.write(
-                    format!("kernel-{s}/state"),
+                let persist = self.store.write_keyed(
+                    &self.sessions[s].state_key,
                     self.sessions[s].checkpoint_bytes,
                     &mut self.rng,
                 );
@@ -1112,8 +1152,8 @@ impl Platform {
 
                 let sync = self.election.sync_latency(&mut self.rng);
                 self.metrics.sync_ms.record(sync.as_millis_f64());
-                let (_, write) = self.store.write(
-                    format!("kernel-{s}/state"),
+                let write = self.store.write_keyed(
+                    &self.sessions[s].state_key,
                     self.sessions[s].checkpoint_bytes,
                     &mut self.rng,
                 );
@@ -1128,8 +1168,8 @@ impl Platform {
                 self.metrics
                     .breakdown
                     .record_step(Step::ReplyToLocalScheduler, reply.as_millis_f64());
-                let (_, persist) = self.store.write(
-                    format!("kernel-{s}/state"),
+                let persist = self.store.write_keyed(
+                    &self.sessions[s].state_key,
                     self.sessions[s].checkpoint_bytes,
                     &mut self.rng,
                 );
@@ -1406,6 +1446,13 @@ impl Platform {
     /// Hosts currently being provisioned by scale-out.
     pub fn hosts_in_flight(&self) -> u32 {
         self.hosts_in_flight
+    }
+
+    /// Simulation events dispatched by the completed run — populated by
+    /// [`Platform::run_for_inspection`]; the numerator of the events/sec
+    /// throughput benches (`perf_bench`, CI perf-smoke).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 }
 

@@ -6,8 +6,15 @@
 //! that interface, plus four implementations: the paper's default
 //! (least-loaded with the dynamic SR cap), round-robin, bin-packing, and
 //! seeded-random.
+//!
+//! The ranking interface is scratch-buffer based
+//! ([`PlacementPolicy::rank_into`]): the caller owns the output buffer and
+//! each policy owns whatever decorated-key scratch its ordering needs, so
+//! the per-placement steady state performs no heap allocation. The
+//! allocating [`PlacementPolicy::rank`] wrapper remains for tests and
+//! one-shot callers.
 
-use notebookos_cluster::{Cluster, HostId, ResourceRequest, Viability};
+use notebookos_cluster::{Cluster, HostId, RankScratch, ResourceRequest, Viability};
 use notebookos_des::SimRng;
 
 /// Context handed to a placement decision.
@@ -36,6 +43,13 @@ impl PlacementContext<'_> {
         self.cluster
             .viable_hosts(self.request, self.replication_factor, self.sr_cap())
     }
+
+    /// Allocation-free form of [`PlacementContext::viable`]: refills a
+    /// caller-owned buffer ([`Cluster::viable_hosts_into`]).
+    pub fn viable_into(&self, out: &mut Viability) {
+        self.cluster
+            .viable_hosts_into(self.request, self.replication_factor, self.sr_cap(), out);
+    }
 }
 
 /// A replica-placement policy: ranks candidate hosts for one replica
@@ -45,13 +59,23 @@ pub trait PlacementPolicy: std::fmt::Debug {
     /// Human-readable policy name.
     fn name(&self) -> &'static str;
 
-    /// Hosts able to take the subscription, best first. Implementations
-    /// must rank from the shared viability screen
-    /// ([`PlacementContext::viable`]): capacity covers the request, host
-    /// not draining, and SR-cap-forbidden hosts never ahead of allowed
-    /// ones. Ranking must not consume rotation state — fairness feedback
-    /// arrives through [`PlacementPolicy::placed`].
-    fn rank(&mut self, ctx: &PlacementContext<'_>) -> Vec<HostId>;
+    /// Writes the hosts able to take the subscription into `out`
+    /// (cleared first), best first. Implementations must rank from the
+    /// shared viability screen ([`PlacementContext::viable_into`]):
+    /// capacity covers the request, host not draining, and
+    /// SR-cap-forbidden hosts never ahead of allowed ones. Ranking must
+    /// not consume rotation state — fairness feedback arrives through
+    /// [`PlacementPolicy::placed`]. Implementations keep their own sort
+    /// scratch, so a caller that reuses `out` ranks without allocating.
+    fn rank_into(&mut self, ctx: &PlacementContext<'_>, out: &mut Vec<HostId>);
+
+    /// Allocating convenience wrapper over
+    /// [`PlacementPolicy::rank_into`].
+    fn rank(&mut self, ctx: &PlacementContext<'_>) -> Vec<HostId> {
+        let mut out = Vec::new();
+        self.rank_into(ctx, &mut out);
+        out
+    }
 
     /// The scheduler consumed these hosts (in ranking order) for one
     /// placement of `R` replicas. Stateful policies advance their rotation
@@ -66,16 +90,25 @@ pub trait PlacementPolicy: std::fmt::Debug {
 /// The paper's default: most idle GPUs first, dynamic cluster-wide SR cap
 /// as a soft preference (§3.4.1).
 #[derive(Debug, Default)]
-pub struct LeastLoaded;
+pub struct LeastLoaded {
+    /// Decorated-key scratch reused across rankings
+    /// ([`Cluster::subscription_candidates_into`]).
+    scratch: RankScratch,
+}
 
 impl PlacementPolicy for LeastLoaded {
     fn name(&self) -> &'static str {
         "least-loaded"
     }
 
-    fn rank(&mut self, ctx: &PlacementContext<'_>) -> Vec<HostId> {
-        ctx.cluster
-            .subscription_candidates(ctx.request, ctx.replication_factor, ctx.sr_cap())
+    fn rank_into(&mut self, ctx: &PlacementContext<'_>, out: &mut Vec<HostId>) {
+        ctx.cluster.subscription_candidates_into(
+            ctx.request,
+            ctx.replication_factor,
+            ctx.sr_cap(),
+            &mut self.scratch,
+            out,
+        );
     }
 }
 
@@ -91,19 +124,23 @@ pub struct RoundRobin {
     /// The last host id a placement consumed; the next ranking resumes at
     /// the first viable id after it (wrapping).
     last: Option<HostId>,
+    /// Viability scratch reused across rankings.
+    viable: Viability,
 }
 
 impl RoundRobin {
-    /// Rotates an ascending-id segment so it starts at the first id
-    /// strictly after `last` (wrapping to the lowest id).
-    fn resume_after(mut ids: Vec<HostId>, last: Option<HostId>) -> Vec<HostId> {
+    /// Appends an ascending-id segment to `out` rotated to start at the
+    /// first id strictly after `last` (wrapping to the lowest id).
+    fn extend_resumed(out: &mut Vec<HostId>, ids: &[HostId], last: Option<HostId>) {
         if let Some(last) = last {
             if !ids.is_empty() {
                 let pivot = ids.partition_point(|&h| h <= last) % ids.len();
-                ids.rotate_left(pivot);
+                out.extend_from_slice(&ids[pivot..]);
+                out.extend_from_slice(&ids[..pivot]);
+                return;
             }
         }
-        ids
+        out.extend_from_slice(ids);
     }
 }
 
@@ -112,11 +149,11 @@ impl PlacementPolicy for RoundRobin {
         "round-robin"
     }
 
-    fn rank(&mut self, ctx: &PlacementContext<'_>) -> Vec<HostId> {
-        let viable = ctx.viable();
-        let mut out = Self::resume_after(viable.within_cap, self.last);
-        out.extend(Self::resume_after(viable.over_cap, self.last));
-        out
+    fn rank_into(&mut self, ctx: &PlacementContext<'_>, out: &mut Vec<HostId>) {
+        ctx.viable_into(&mut self.viable);
+        out.clear();
+        Self::extend_resumed(out, &self.viable.within_cap, self.last);
+        Self::extend_resumed(out, &self.viable.over_cap, self.last);
     }
 
     fn placed(&mut self, consumed: &[HostId]) {
@@ -133,37 +170,31 @@ impl PlacementPolicy for RoundRobin {
 /// onto few servers (frees whole hosts for scale-in, at the cost of
 /// contention). SR-cap-forbidden hosts still rank last.
 #[derive(Debug, Default)]
-pub struct BinPacking;
+pub struct BinPacking {
+    /// Viability scratch reused across rankings.
+    viable: Viability,
+    /// Decorated `(subscribed, committed, id)` sort keys, reused.
+    keyed: Vec<(u64, u64, HostId)>,
+}
 
 impl PlacementPolicy for BinPacking {
     fn name(&self) -> &'static str {
         "bin-packing"
     }
 
-    fn rank(&mut self, ctx: &PlacementContext<'_>) -> Vec<HostId> {
-        let viable = ctx.viable();
-        // One-pass key index; linear host lookups per id would be
-        // quadratic on large fleets.
-        let keys: std::collections::HashMap<HostId, (u64, u64)> = ctx
-            .cluster
-            .hosts()
-            .iter()
-            .map(|h| (h.id(), (h.subscribed_gpus(), u64::from(h.committed_gpus()))))
-            .collect();
-        let most_subscribed_first = |ids: Vec<HostId>| {
-            let mut keyed: Vec<(u64, u64, HostId)> = ids
-                .into_iter()
-                .map(|id| {
-                    let (subscribed, committed) = keys[&id];
-                    (subscribed, committed, id)
-                })
-                .collect();
-            keyed.sort_by(|a, b| b.cmp(a));
-            keyed.into_iter().map(|(_, _, id)| id)
-        };
-        let mut out: Vec<HostId> = most_subscribed_first(viable.within_cap).collect();
-        out.extend(most_subscribed_first(viable.over_cap));
-        out
+    fn rank_into(&mut self, ctx: &PlacementContext<'_>, out: &mut Vec<HostId>) {
+        ctx.viable_into(&mut self.viable);
+        out.clear();
+        for segment in [&self.viable.within_cap, &self.viable.over_cap] {
+            self.keyed.clear();
+            for &id in segment {
+                let h = ctx.cluster.host(id).expect("viable host exists");
+                self.keyed
+                    .push((h.subscribed_gpus(), u64::from(h.committed_gpus()), id));
+            }
+            self.keyed.sort_by(|a, b| b.cmp(a));
+            out.extend(self.keyed.iter().map(|&(_, _, id)| id));
+        }
     }
 }
 
@@ -171,6 +202,8 @@ impl PlacementPolicy for BinPacking {
 #[derive(Debug)]
 pub struct RandomPlacement {
     rng: SimRng,
+    /// Viability scratch reused across rankings.
+    viable: Viability,
 }
 
 impl RandomPlacement {
@@ -178,6 +211,15 @@ impl RandomPlacement {
     pub fn new(seed: u64) -> Self {
         RandomPlacement {
             rng: SimRng::seed(seed),
+            viable: Viability::default(),
+        }
+    }
+
+    /// Fisher–Yates over one segment with the policy's own stream.
+    fn shuffle(rng: &mut SimRng, ids: &mut [HostId]) {
+        for i in (1..ids.len()).rev() {
+            let j = rng.index(i + 1);
+            ids.swap(i, j);
         }
     }
 }
@@ -187,20 +229,17 @@ impl PlacementPolicy for RandomPlacement {
         "random"
     }
 
-    fn rank(&mut self, ctx: &PlacementContext<'_>) -> Vec<HostId> {
-        let viable = ctx.viable();
-        // Fisher–Yates per segment with the policy's own stream, keeping
-        // SR-cap-forbidden hosts behind allowed ones.
-        let mut shuffle = |mut ids: Vec<HostId>| {
-            for i in (1..ids.len()).rev() {
-                let j = self.rng.index(i + 1);
-                ids.swap(i, j);
-            }
-            ids
-        };
-        let mut out = shuffle(viable.within_cap);
-        out.extend(shuffle(viable.over_cap));
-        out
+    fn rank_into(&mut self, ctx: &PlacementContext<'_>, out: &mut Vec<HostId>) {
+        ctx.viable_into(&mut self.viable);
+        out.clear();
+        // Shuffle per segment, keeping SR-cap-forbidden hosts behind
+        // allowed ones — the same RNG draw sequence as shuffling two
+        // standalone vectors.
+        out.extend_from_slice(&self.viable.within_cap);
+        let within = out.len();
+        out.extend_from_slice(&self.viable.over_cap);
+        Self::shuffle(&mut self.rng, &mut out[..within]);
+        Self::shuffle(&mut self.rng, &mut out[within..]);
     }
 }
 
@@ -239,10 +278,35 @@ mod tests {
     fn least_loaded_prefers_idle_hosts() {
         let c = cluster();
         let req = ResourceRequest::one_gpu();
-        let ranked = LeastLoaded.rank(&ctx(&c, &req));
+        let ranked = LeastLoaded::default().rank(&ctx(&c, &req));
         // Hosts 0, 1, 3 all have 8 idle GPUs; host 2 has 4 committed.
         assert_eq!(*ranked.last().unwrap(), 2);
         assert_eq!(ranked.len(), 4);
+    }
+
+    #[test]
+    fn rank_into_refills_a_reused_buffer() {
+        let c = cluster();
+        let req = ResourceRequest::one_gpu();
+        let mut out = vec![99, 99, 99, 99, 99, 99];
+        let mut policies: Vec<Box<dyn PlacementPolicy>> = vec![
+            Box::new(LeastLoaded::default()),
+            Box::new(RoundRobin::default()),
+            Box::new(BinPacking::default()),
+            Box::new(RandomPlacement::new(3)),
+        ];
+        for policy in &mut policies {
+            policy.rank_into(&ctx(&c, &req), &mut out);
+            assert_eq!(
+                out.len(),
+                4,
+                "{}: buffer refilled, not appended",
+                policy.name()
+            );
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "{}", policy.name());
+        }
     }
 
     /// Ranks, then reports the first `r` hosts as consumed — what the
@@ -348,9 +412,9 @@ mod tests {
         let forbidden = context.viable().over_cap;
         assert_eq!(forbidden, vec![0], "host 0 is over the cap");
         let mut policies: Vec<Box<dyn PlacementPolicy>> = vec![
-            Box::new(LeastLoaded),
+            Box::new(LeastLoaded::default()),
             Box::new(RoundRobin::default()),
-            Box::new(BinPacking),
+            Box::new(BinPacking::default()),
             Box::new(RandomPlacement::new(3)),
         ];
         for policy in &mut policies {
@@ -369,7 +433,7 @@ mod tests {
     fn bin_packing_prefers_most_subscribed() {
         let c = cluster();
         let req = ResourceRequest::one_gpu();
-        let ranked = BinPacking.rank(&ctx(&c, &req));
+        let ranked = BinPacking::default().rank(&ctx(&c, &req));
         assert_eq!(ranked[0], 0, "most subscribed host first");
     }
 
@@ -389,17 +453,17 @@ mod tests {
     fn oversized_requests_yield_no_hosts() {
         let c = cluster();
         let req = ResourceRequest::new(1000, 1024, 99, 16);
-        assert!(LeastLoaded.rank(&ctx(&c, &req)).is_empty());
+        assert!(LeastLoaded::default().rank(&ctx(&c, &req)).is_empty());
         assert!(RoundRobin::default().rank(&ctx(&c, &req)).is_empty());
-        assert!(BinPacking.rank(&ctx(&c, &req)).is_empty());
+        assert!(BinPacking::default().rank(&ctx(&c, &req)).is_empty());
         assert!(RandomPlacement::new(1).rank(&ctx(&c, &req)).is_empty());
     }
 
     #[test]
     fn policy_names() {
-        assert_eq!(LeastLoaded.name(), "least-loaded");
+        assert_eq!(LeastLoaded::default().name(), "least-loaded");
         assert_eq!(RoundRobin::default().name(), "round-robin");
-        assert_eq!(BinPacking.name(), "bin-packing");
+        assert_eq!(BinPacking::default().name(), "bin-packing");
         assert_eq!(RandomPlacement::new(0).name(), "random");
     }
 }

@@ -24,7 +24,10 @@
 //!
 //! * [`SweepSpec::shard`] restricts a spec to the jobs whose global index
 //!   is congruent to `index` modulo `total` — run shard `i/M` on `M`
-//!   machines and every job runs exactly once.
+//!   machines and every job runs exactly once. [`SweepSpec::shard_by`]
+//!   with [`ShardStrategy::TraceBlock`] partitions whole
+//!   `(scenario, seed)` trace blocks instead, so each shard only
+//!   generates the traces it actually runs.
 //! * [`SweepReport::read_json`] loads a persisted report back into full
 //!   [`SweepRun`]s (round trip: `write_json → read_json` is
 //!   `PartialEq`-identity); [`SweepReport::read_csv`] loads the headline
@@ -39,6 +42,12 @@
 //!
 //! Writes go through a `.tmp` sibling plus rename, so a sweep killed
 //! mid-write cannot leave a truncated report that poisons a later resume.
+//! Resume progress is checkpointed through an append-only
+//! `<report>.journal` sidecar (one fingerprint-stamped record per
+//! completed cell, compacted into the canonical report at the end and
+//! recovered by [`SweepReport::read_json_with_journal`]), so checkpoint
+//! I/O is O(cells) instead of the O(cells²) a whole-report rewrite per
+//! cell would cost.
 //!
 //! # Determinism
 //!
@@ -435,6 +444,32 @@ impl Scenario {
     }
 }
 
+/// How [`SweepSpec::shard`] assigns jobs to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardStrategy {
+    /// Jobs round-robin by global index (`index % total`). Balances load
+    /// to the single job whatever the axis shape, but every shard of a
+    /// wide matrix touches most `(scenario, seed)` blocks and therefore
+    /// regenerates most traces.
+    #[default]
+    JobRoundRobin,
+    /// Whole `(scenario, seed)` trace blocks round-robin
+    /// (`block % total`): a shard only generates the traces it actually
+    /// runs, cutting per-shard trace-generation from O(blocks) to
+    /// O(blocks / total). Block granularity — shards can differ by up to
+    /// one block's worth of jobs.
+    TraceBlock,
+}
+
+impl fmt::Display for ShardStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardStrategy::JobRoundRobin => write!(f, "job"),
+            ShardStrategy::TraceBlock => write!(f, "block"),
+        }
+    }
+}
+
 /// A matrix of policies × placements × elasticities × seeds × scenarios,
 /// executed by the worker pool — optionally restricted to one shard of
 /// the job list for cross-process partitioning.
@@ -464,6 +499,8 @@ pub struct SweepSpec {
     /// `(index, total)` shard restriction set by [`SweepSpec::shard`];
     /// `None` runs every job.
     shard: Option<(usize, usize)>,
+    /// How the shard restriction maps jobs to shards.
+    shard_strategy: ShardStrategy,
 }
 
 impl Default for SweepSpec {
@@ -484,6 +521,7 @@ impl SweepSpec {
             configure: PlatformConfig::evaluation,
             workers: 0,
             shard: None,
+            shard_strategy: ShardStrategy::default(),
         }
     }
 
@@ -560,16 +598,44 @@ impl SweepSpec {
         self
     }
 
+    /// Sets how [`SweepSpec::shard`] maps jobs to shards (the default is
+    /// [`ShardStrategy::JobRoundRobin`]). Block alignment
+    /// ([`ShardStrategy::TraceBlock`]) keeps every job of a
+    /// `(scenario, seed)` block on one shard, so a shard only generates
+    /// the traces it actually runs — the right choice when trace
+    /// generation is a visible fraction of shard runtime. The strategy
+    /// never changes *which* global indices exist, only their grouping,
+    /// so shards produced under different strategies still merge (though
+    /// a complete partition must of course use one strategy throughout).
+    pub fn shard_by(mut self, strategy: ShardStrategy) -> Self {
+        self.shard_strategy = strategy;
+        self
+    }
+
     /// The shard restriction, if any, as `(index, total)`.
     pub fn shard_of(&self) -> Option<(usize, usize)> {
         self.shard
+    }
+
+    /// The active shard-assignment strategy.
+    pub fn shard_strategy(&self) -> ShardStrategy {
+        self.shard_strategy
+    }
+
+    /// Jobs per `(scenario, seed)` trace block: consecutive global
+    /// indices sharing one generated trace.
+    fn jobs_per_block(&self) -> usize {
+        (self.policies.len() * self.placements.len().max(1) * self.elasticities.len()).max(1)
     }
 
     /// Whether global job `index` belongs to this spec's shard.
     fn shard_selects(&self, index: usize) -> bool {
         match self.shard {
             None => true,
-            Some((shard_index, total)) => index % total == shard_index,
+            Some((shard_index, total)) => match self.shard_strategy {
+                ShardStrategy::JobRoundRobin => index % total == shard_index,
+                ShardStrategy::TraceBlock => (index / self.jobs_per_block()) % total == shard_index,
+            },
         }
     }
 
@@ -594,18 +660,19 @@ impl SweepSpec {
     }
 
     /// A stable 64-bit fingerprint of the sweep matrix — policies,
-    /// placements, elasticities, seeds, and scenarios (name, workload
-    /// shape, trace profile, host mix). Two specs share a fingerprint iff
-    /// they expand to the same job list, so shard reports and resume
-    /// files can refuse to combine records from different studies.
+    /// placements, elasticities, seeds, scenarios (name, workload shape,
+    /// trace profile, host mix), and the `configure` hook's *output*:
+    /// the hook is a function pointer with no stable identity, so the
+    /// sample [`PlatformConfig`] it produces for each policy on the axis
+    /// is hashed instead. Two specs differing only in base configuration
+    /// (e.g. replication factor or autoscale tuning) therefore no longer
+    /// alias each other's resume files and shard reports.
     ///
-    /// Deliberately *excluded*: `workers` and the shard restriction
-    /// (shards of one spec must agree) and the `configure` hook (function
-    /// pointers have no stable identity; specs differing only in
-    /// `configure` are indistinguishable — document the base config in
-    /// the scenario name when that matters).
+    /// Two specs share a fingerprint iff they expand to the same job
+    /// list. Deliberately *excluded*: `workers` and the shard
+    /// restriction/strategy (shards of one spec must agree).
     pub fn fingerprint(&self) -> u64 {
-        let mut desc = String::from("sweep-v1;policies=[");
+        let mut desc = String::from("sweep-v2;policies=[");
         for p in &self.policies {
             desc.push_str(&p.to_string());
             desc.push(',');
@@ -633,6 +700,15 @@ impl SweepSpec {
                 "{{name={};workload={:?};profile={:?};host_mix={:?}}}",
                 scenario.name, scenario.workload, scenario.profile, scenario.host_mix
             ));
+            desc.push(',');
+        }
+        desc.push_str("];configs=[");
+        for &policy in &self.policies {
+            // Debug formatting covers every config field (autoscale,
+            // billing, fleet shape, placement, seed defaults, …), and the
+            // seed/scenario overrides applied at job expansion are hashed
+            // through their own axes above.
+            desc.push_str(&format!("{policy}=>{:?}", (self.configure)(policy)));
             desc.push(',');
         }
         desc.push(']');
@@ -741,6 +817,13 @@ impl SweepSpec {
     /// [`SweepSpec::run_resuming`] with a `progress(done, missing_total)`
     /// callback counting only the cells that actually run — a fully
     /// persisted sweep reports `missing_total == 0` and never invokes it.
+    ///
+    /// Checkpointing is O(cells), not O(cells²): each completed cell
+    /// appends exactly one record to the `<path>.journal` sidecar instead
+    /// of rewriting the whole report, and the journal is compacted into
+    /// the canonical report (then deleted) once the sweep finishes. A
+    /// kill at any point loses only the cells still in flight — the next
+    /// resume folds both the report and any surviving journal back in.
     pub fn run_resuming_with_progress<P: FnMut(usize, usize)>(
         &self,
         path: impl AsRef<Path>,
@@ -748,17 +831,17 @@ impl SweepSpec {
     ) -> Result<SweepReport, SweepError> {
         let path = path.as_ref();
         let fingerprint = self.fingerprint();
-        let existing = if path.exists() {
-            let report = SweepReport::read_json(path)?;
-            if report.fingerprint != fingerprint {
-                return Err(SweepError::FingerprintMismatch {
-                    expected: fingerprint,
-                    found: report.fingerprint,
-                });
+        let existing = match load_report_with_journal(path)? {
+            Some(report) => {
+                if report.fingerprint != fingerprint {
+                    return Err(SweepError::FingerprintMismatch {
+                        expected: fingerprint,
+                        found: report.fingerprint,
+                    });
+                }
+                report.runs
             }
-            report.runs
-        } else {
-            Vec::new()
+            None => Vec::new(),
         };
         // A hand-assembled file with the same cell twice would silently
         // satisfy completeness checks and double-count aggregates.
@@ -779,32 +862,196 @@ impl SweepSpec {
             fingerprint,
             runs: existing,
         };
+        // Checkpoint journal — kill-anywhere durability at one appended
+        // record per completed cell. Open/append failures are tolerated
+        // (a transient full disk must not abort hours of simulation) and
+        // caught by the authoritative final write below.
+        let mut journal = if missing_total > 0 {
+            SweepJournal::open(&journal_path(path), fingerprint).ok()
+        } else {
+            None
+        };
         let mut done = 0usize;
         parallel_map_indexed(
             missing,
             self.workers,
             |_, job: SweepJob| job.run(),
             |idx, metrics: &RunMetrics| {
-                report
-                    .runs
-                    .push(labels[idx].clone().into_run(metrics.clone()));
-                report.runs.sort_by_key(|r| r.job_index);
-                // Checkpoint — kill-anywhere durability; failures are
-                // tolerated here (a transient full disk must not abort
-                // hours of simulation) and caught by the authoritative
-                // final write below.
-                report.write_json(path).ok();
+                let run = labels[idx].clone().into_run(metrics.clone());
+                if let Some(journal) = journal.as_mut() {
+                    journal.append(&run).ok();
+                }
+                report.runs.push(run);
                 done += 1;
                 progress(done, missing_total);
             },
         );
+        drop(journal);
         report.runs.sort_by_key(|r| r.job_index);
         report.write_json(path).map_err(|source| SweepError::Io {
             path: path.to_path_buf(),
             source,
         })?;
+        // The canonical report now holds everything the journal did;
+        // removing it keeps a later resume from re-reading stale records
+        // (they would dedup away, but the file would linger forever).
+        std::fs::remove_file(journal_path(path)).ok();
         Ok(report)
     }
+}
+
+/// The append-only checkpoint sidecar of a resumable sweep at `path`:
+/// `<path>.journal` next to the report.
+pub fn journal_path(report: &Path) -> PathBuf {
+    match report.file_name() {
+        Some(name) => report.with_file_name(format!("{}.journal", name.to_string_lossy())),
+        None => report.with_file_name(".journal"),
+    }
+}
+
+/// One resumable sweep's append-only checkpoint file: a fingerprint
+/// header line followed by one single-line JSON run record per completed
+/// cell. Appends are newline-framed, so a record is durable iff its
+/// newline made it to disk — a kill mid-append loses at most that record.
+struct SweepJournal {
+    file: std::fs::File,
+}
+
+impl SweepJournal {
+    /// Opens (creating if needed) the journal, writing the fingerprint
+    /// header when the file is new or empty. Any torn trailing partial
+    /// line (a previous process killed mid-append) is truncated away
+    /// first — appending straight after the fragment would glue the next
+    /// record onto it and turn a tolerated interruption into a malformed
+    /// *complete* line that every later read rejects as corruption.
+    fn open(path: &Path, fingerprint: u64) -> std::io::Result<SweepJournal> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if len > 0 {
+            let content = std::fs::read(path)?;
+            let durable = content
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .map(|i| i as u64 + 1)
+                .unwrap_or(0);
+            if durable < len {
+                file.set_len(durable)?;
+            }
+        }
+        if file.metadata()?.len() == 0 {
+            file.write_all(format!("{{\"fingerprint\": \"{fingerprint:#018x}\"}}\n").as_bytes())?;
+        }
+        Ok(SweepJournal { file })
+    }
+
+    /// Appends one run record as a single newline-terminated line (the
+    /// record and its terminator go down in one write).
+    fn append(&mut self, run: &SweepRun) -> std::io::Result<()> {
+        let mut buf = Vec::new();
+        write_run_json(&mut buf, run)?;
+        // `write_run_json` pretty-prints; JSON is whitespace-insensitive,
+        // so flattening the newlines (string values escape control
+        // characters) turns it into one JSONL-framed line.
+        for b in &mut buf {
+            if *b == b'\n' {
+                *b = b' ';
+            }
+        }
+        buf.push(b'\n');
+        self.file.write_all(&buf)
+    }
+}
+
+/// Reads a checkpoint journal back: `Ok(None)` when the file does not
+/// exist or holds no complete header line (a kill before the header's
+/// newline), otherwise the header fingerprint plus every durable
+/// (newline-terminated) record. A partial trailing line — the signature
+/// of a kill mid-append — is ignored; a malformed *complete* line is an
+/// error, because that means corruption rather than interruption.
+fn read_journal(path: &Path) -> Result<Option<(u64, Vec<SweepRun>)>, SweepError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(source) => {
+            return Err(SweepError::Io {
+                path: path.to_path_buf(),
+                source,
+            })
+        }
+    };
+    // Only newline-terminated lines are durable records.
+    let durable = match text.rfind('\n') {
+        Some(end) => &text[..end],
+        None => return Ok(None),
+    };
+    let mut lines = durable.lines();
+    let Some(header) = lines.next() else {
+        return Ok(None);
+    };
+    let json_err = |message: String| SweepError::Json {
+        path: path.to_path_buf(),
+        message,
+    };
+    let format_err = |message: String| SweepError::Format {
+        path: path.to_path_buf(),
+        message,
+    };
+    let header = Json::parse(header).map_err(|e| json_err(format!("journal header: {e}")))?;
+    let fingerprint = header
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .and_then(|s| s.strip_prefix("0x"))
+        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+        .ok_or_else(|| format_err("journal header has no valid `fingerprint`".into()))?;
+    let mut runs = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = Json::parse(line).map_err(|e| json_err(format!("journal record {i}: {e}")))?;
+        runs.push(decode_run(&record).map_err(|m| format_err(format!("journal record {i}: {m}")))?);
+    }
+    Ok(Some((fingerprint, runs)))
+}
+
+/// Loads the report at `path` together with any surviving checkpoint
+/// journal: journal records whose cells the report already holds are
+/// skipped (the signature of a kill between compaction and journal
+/// deletion), the rest are folded in by job index. `Ok(None)` when
+/// neither file exists.
+fn load_report_with_journal(path: &Path) -> Result<Option<SweepReport>, SweepError> {
+    let journal = read_journal(&journal_path(path))?;
+    let mut report = if path.exists() {
+        Some(SweepReport::read_json(path)?)
+    } else {
+        None
+    };
+    if let Some((journal_fingerprint, journal_runs)) = journal {
+        let report = report.get_or_insert_with(|| SweepReport {
+            fingerprint: journal_fingerprint,
+            runs: Vec::new(),
+        });
+        if report.fingerprint != journal_fingerprint {
+            return Err(SweepError::FingerprintMismatch {
+                expected: report.fingerprint,
+                found: journal_fingerprint,
+            });
+        }
+        let mut have: HashSet<usize> = report.runs.iter().map(|r| r.job_index).collect();
+        for run in journal_runs {
+            if have.insert(run.job_index) {
+                report.runs.push(run);
+            }
+        }
+        report.runs.sort_by_key(|r| r.job_index);
+    }
+    Ok(report)
 }
 
 /// The axis labels of one job, captured before the job (and its shared
@@ -1144,6 +1391,29 @@ impl SweepReport {
         }
         writeln!(out, "  ]")?;
         writeln!(out, "}}")
+    }
+
+    /// [`SweepReport::read_json`] plus recovery of any surviving
+    /// `<path>.journal` checkpoint sidecar: cells a killed
+    /// [`SweepSpec::run_resuming`] completed but never compacted are
+    /// folded in by job index (records the report already holds are
+    /// skipped). Works even when only the journal exists — the file a
+    /// sweep killed before its first compaction leaves behind — so
+    /// `--merge` can stitch partial shard work together.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SweepReport::read_json`] raises, plus
+    /// [`SweepError::FingerprintMismatch`] when the journal belongs to a
+    /// different spec than the report, and [`SweepError::Io`] when
+    /// neither file exists.
+    pub fn read_json_with_journal(path: impl AsRef<Path>) -> Result<SweepReport, SweepError> {
+        let path = path.as_ref();
+        match load_report_with_journal(path)? {
+            Some(report) => Ok(report),
+            // Neither file exists: surface the report's NotFound.
+            None => SweepReport::read_json(path),
+        }
     }
 
     /// Loads a report persisted by [`SweepReport::write_json`] back into
@@ -2090,6 +2360,20 @@ mod tests {
                 .scenarios(vec![Scenario::new("other", SyntheticConfig::smoke())])
                 .fingerprint()
         );
+        // The configure hook's *output* is hashed (the PR 4 gap): two
+        // specs differing only in base config no longer alias under
+        // --resume / --merge.
+        fn tuned(policy: PolicyKind) -> PlatformConfig {
+            let mut config = PlatformConfig::evaluation(policy);
+            config.replication_factor = 5;
+            config
+        }
+        assert_ne!(fp, base.clone().configure(tuned).fingerprint());
+        // Same hook, same fingerprint — shards still agree.
+        assert_eq!(
+            base.clone().configure(tuned).fingerprint(),
+            base.clone().configure(tuned).shard(0, 2).fingerprint()
+        );
     }
 
     #[test]
@@ -2141,6 +2425,237 @@ mod tests {
             SweepReport::merge(Vec::new()),
             Err(SweepError::NothingToMerge)
         ));
+    }
+
+    #[test]
+    fn block_shards_partition_whole_trace_blocks() {
+        let spec = SweepSpec::new()
+            .policies(vec![PolicyKind::Reservation, PolicyKind::NotebookOs])
+            .all_elasticities()
+            .seeds(vec![7, 8])
+            .scenarios(vec![
+                Scenario::new("a", SyntheticConfig::smoke()),
+                Scenario::new("b", SyntheticConfig::smoke()),
+            ]);
+        // 2 scenarios × 2 seeds = 4 blocks of 2 policies × 3 elasticities.
+        assert_eq!(spec.total_jobs(), 24);
+        let mut union: Vec<usize> = Vec::new();
+        for i in 0..2 {
+            let shard = spec.clone().shard(i, 2).shard_by(ShardStrategy::TraceBlock);
+            let jobs = shard.jobs();
+            assert_eq!(
+                shard.job_indices(),
+                jobs.iter().map(|j| j.index).collect::<Vec<_>>()
+            );
+            // Every selected job's block belongs to this shard, so the
+            // shard generates exactly half the traces…
+            let blocks: HashSet<(String, u64)> =
+                jobs.iter().map(|j| (j.scenario.clone(), j.seed)).collect();
+            assert_eq!(blocks.len(), 2, "2 of 4 (scenario, seed) blocks");
+            // …whereas a job-round-robin shard of the same spec touches
+            // all of them (regenerating every trace).
+            let rr_blocks: HashSet<(String, u64)> = spec
+                .clone()
+                .shard(i, 2)
+                .jobs()
+                .iter()
+                .map(|j| (j.scenario.clone(), j.seed))
+                .collect();
+            assert_eq!(rr_blocks.len(), 4);
+            union.extend(shard.job_indices());
+        }
+        union.sort_unstable();
+        assert_eq!(union, (0..24).collect::<Vec<_>>(), "no loss, no dupes");
+        // Strategy does not perturb the fingerprint.
+        assert_eq!(
+            spec.clone()
+                .shard_by(ShardStrategy::TraceBlock)
+                .fingerprint(),
+            spec.fingerprint()
+        );
+    }
+
+    #[test]
+    fn merged_block_shards_equal_the_unsharded_run() {
+        let spec = SweepSpec::new()
+            .policies(vec![PolicyKind::Reservation, PolicyKind::NotebookOs])
+            .seeds(vec![1, 2])
+            .scenarios(vec![Scenario::new("smoke", SyntheticConfig::smoke())])
+            .workers(1);
+        let full = spec.run();
+        let shards: Vec<SweepReport> = (0..2)
+            .map(|i| {
+                spec.clone()
+                    .shard(i, 2)
+                    .shard_by(ShardStrategy::TraceBlock)
+                    .run()
+            })
+            .collect();
+        let merged = SweepReport::merge(shards).expect("block shards merge");
+        assert_eq!(merged, full, "block-aligned sharding is bit-identical");
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("notebookos-sweep-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    fn journal_spec() -> SweepSpec {
+        SweepSpec::new()
+            .policies(vec![PolicyKind::Reservation, PolicyKind::NotebookOs])
+            .seeds(vec![1, 2])
+            .scenarios(vec![Scenario::new("smoke", SyntheticConfig::smoke())])
+            .workers(1)
+    }
+
+    #[test]
+    fn resume_checkpoint_volume_is_one_journal_record_per_cell() {
+        let dir = tmp_dir("journal-growth");
+        let path = dir.join("report.json");
+        let spec = journal_spec();
+        let mut checkpoints = 0usize;
+        let report = spec
+            .run_resuming_with_progress(&path, |done, total| {
+                assert_eq!(total, 4);
+                // The journal appends exactly one record per completed
+                // cell (plus the fingerprint header line)…
+                let journal = std::fs::read_to_string(journal_path(&path)).expect("journal exists");
+                assert_eq!(
+                    journal.lines().count(),
+                    done + 1,
+                    "header + one record per completed cell"
+                );
+                assert!(journal.ends_with('\n'), "records are newline-framed");
+                // …and the canonical report is *not* rewritten per cell —
+                // that was the O(cells²) behavior this replaces.
+                assert!(!path.exists(), "report only written at compaction");
+                checkpoints += 1;
+            })
+            .expect("resumes");
+        assert_eq!(checkpoints, 4);
+        assert_eq!(report.len(), 4);
+        assert!(path.exists(), "compacted report written");
+        assert!(
+            !journal_path(&path).exists(),
+            "journal deleted after compaction"
+        );
+        // The compacted report is exactly what a plain run produces.
+        assert_eq!(report, spec.run());
+        assert_eq!(SweepReport::read_json(&path).expect("readable"), report);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_recovers_cells_from_a_surviving_journal() {
+        let dir = tmp_dir("journal-recovery");
+        let path = dir.join("report.json");
+        let spec = journal_spec();
+        let full = spec.run();
+        // Shard 0 completed and compacted normally.
+        spec.clone()
+            .shard(0, 2)
+            .run_resuming(&path)
+            .expect("shard 0");
+        // Simulate a killed second shard: its cells reached the journal
+        // but were never compacted into the report.
+        let mut journal =
+            SweepJournal::open(&journal_path(&path), spec.fingerprint()).expect("journal opens");
+        for run in &spec.clone().shard(1, 2).run().runs {
+            journal.append(run).expect("journal append");
+        }
+        drop(journal);
+        // The journal-aware loader sees every cell…
+        let recovered = SweepReport::read_json_with_journal(&path).expect("recovered");
+        assert_eq!(recovered, full, "journal cells folded in by job index");
+        // …and a resume re-runs nothing.
+        let mut ran = 0usize;
+        let report = spec
+            .run_resuming_with_progress(&path, |_, _| ran += 1)
+            .expect("resumes");
+        assert_eq!(ran, 0, "no cell re-ran");
+        assert_eq!(report, full);
+        assert!(!journal_path(&path).exists(), "journal compacted away");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_tolerates_a_partial_trailing_record() {
+        let dir = tmp_dir("journal-partial");
+        let path = dir.join("report.json");
+        let spec = journal_spec();
+        let full = spec.run();
+        // A journal killed mid-append: one durable record, then a torn
+        // line with no terminating newline.
+        let mut journal =
+            SweepJournal::open(&journal_path(&path), spec.fingerprint()).expect("journal opens");
+        journal.append(&full.runs[0]).expect("append");
+        drop(journal);
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(journal_path(&path))
+            .expect("reopen");
+        file.write_all(b"{\"job_index\": 1, \"scenario\": \"smo")
+            .expect("torn write");
+        drop(file);
+        // A later resume must not glue its first append onto the torn
+        // fragment (the double-kill case): reopening truncates the
+        // fragment away, so the journal stays parseable afterwards.
+        let mut journal =
+            SweepJournal::open(&journal_path(&path), spec.fingerprint()).expect("reopens");
+        journal
+            .append(&full.runs[1])
+            .expect("append after torn line");
+        drop(journal);
+        let (_, recovered) = read_journal(&journal_path(&path))
+            .expect("journal parseable after torn-line reopen")
+            .expect("journal has durable content");
+        assert_eq!(recovered.len(), 2, "both durable records readable");
+        // Only the durable records are recovered; the torn cell re-runs.
+        let mut ran = 0usize;
+        let report = spec
+            .run_resuming_with_progress(&path, |_, total| {
+                ran += 1;
+                assert_eq!(total, 2);
+            })
+            .expect("resumes");
+        assert_eq!(ran, 2);
+        assert_eq!(report, full);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_corruption_and_mismatch_error_clearly() {
+        let dir = tmp_dir("journal-corrupt");
+        let path = dir.join("report.json");
+        let spec = journal_spec();
+        // A malformed *complete* line is corruption, not interruption.
+        std::fs::write(
+            journal_path(&path),
+            format!(
+                "{{\"fingerprint\": \"{:#018x}\"}}\nnot json at all\n",
+                spec.fingerprint()
+            ),
+        )
+        .expect("write journal");
+        assert!(matches!(
+            spec.run_resuming(&path),
+            Err(SweepError::Json { .. })
+        ));
+        // A journal from a different spec is refused.
+        std::fs::write(
+            journal_path(&path),
+            "{\"fingerprint\": \"0x0000000000000001\"}\n",
+        )
+        .expect("write journal");
+        assert!(matches!(
+            spec.run_resuming(&path),
+            Err(SweepError::FingerprintMismatch { .. })
+        ));
+        std::fs::remove_file(journal_path(&path)).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -100,6 +100,25 @@ impl DataStore {
         )
     }
 
+    /// Allocation-free twin of [`DataStore::write`] for hot paths that
+    /// re-checkpoint the same key every cell: no [`ObjectPointer`] is
+    /// built and the key is only copied on first insertion. Samples the
+    /// same latency distribution in the same RNG order as
+    /// [`DataStore::write`], so the two are interchangeable without
+    /// perturbing a seeded simulation.
+    pub fn write_keyed(&mut self, key: &str, size_bytes: u64, rng: &mut SimRng) -> SimTime {
+        let latency = self.model.write_latency(size_bytes, rng);
+        match self.objects.get_mut(key) {
+            Some(size) => *size = size_bytes,
+            None => {
+                self.objects.insert(key.to_string(), size_bytes);
+            }
+        }
+        self.stats.writes += 1;
+        self.stats.bytes_written += size_bytes;
+        latency
+    }
+
     /// Reads an object by pointer, returning the sampled latency.
     ///
     /// # Errors
@@ -110,10 +129,20 @@ impl DataStore {
         pointer: &ObjectPointer,
         rng: &mut SimRng,
     ) -> Result<SimTime, StoreError> {
+        self.read_keyed(&pointer.key, rng)
+    }
+
+    /// Reads an object by key — [`DataStore::read`] without constructing
+    /// an [`ObjectPointer`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::NotFound`] for unknown keys.
+    pub fn read_keyed(&mut self, key: &str, rng: &mut SimRng) -> Result<SimTime, StoreError> {
         let size = *self
             .objects
-            .get(&pointer.key)
-            .ok_or_else(|| StoreError::NotFound(pointer.key.clone()))?;
+            .get(key)
+            .ok_or_else(|| StoreError::NotFound(key.to_string()))?;
         self.stats.reads += 1;
         self.stats.bytes_read += size;
         Ok(self.model.read_latency(size, rng))

@@ -25,6 +25,38 @@ proptest! {
         prop_assert!(cdf.fraction_at_most(p50) >= 0.5 - 1.0 / samples.len() as f64);
     }
 
+    /// The sorted-run fast path of `Cdf::merge` (both sides queried →
+    /// O(n) two-run merge that stays sorted) is indistinguishable from
+    /// the naive append-then-resort path: same multiset, same
+    /// percentiles, and the result needs no further sort.
+    #[test]
+    fn cdf_sorted_merge_equals_naive_merge(
+        a in proptest::collection::vec(-1.0e6f64..1.0e6, 0..200),
+        b in proptest::collection::vec(-1.0e6f64..1.0e6, 0..200),
+    ) {
+        // Sorted path: query both sides first so their caches are sorted.
+        let mut left = Cdf::from_samples("prop", a.iter().copied());
+        let mut right = Cdf::from_samples("prop-b", b.iter().copied());
+        if !left.is_empty() { left.percentile(50.0); }
+        if !right.is_empty() { right.percentile(50.0); }
+        let mut fast = left.clone();
+        fast.merge(&right);
+
+        // Naive path: unsorted append (at least one side unsorted).
+        let mut naive = Cdf::from_samples("prop", a.iter().copied());
+        naive.merge(&Cdf::from_samples("prop-b", b.iter().copied()));
+
+        prop_assert_eq!(&fast, &naive, "same label and multiset");
+        // The fast path's samples are already in ascending order.
+        prop_assert!(fast.samples().windows(2).all(|w| w[0] <= w[1]));
+        if !fast.is_empty() {
+            let mut naive_q = naive.clone();
+            for p in [0.0, 25.0, 50.0, 90.0, 100.0] {
+                prop_assert_eq!(fast.percentile(p), naive_q.percentile(p));
+            }
+        }
+    }
+
     /// A timeline's integral is additive over adjacent windows.
     #[test]
     fn timeline_integral_additive(points in proptest::collection::vec((0u32..10_000, 0.0f64..100.0), 1..60), split in 0u32..10_000) {

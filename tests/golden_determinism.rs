@@ -1,0 +1,114 @@
+//! Golden determinism gate for the hot-path optimization work (PR 5).
+//!
+//! The committed reports under `tests/golden/` hold the full
+//! [`RunMetrics`] record (every CDF sample, timeline point, counter) of a
+//! small placement × elasticity matrix plus one run per scheduling
+//! policy, captured at the pre-optimization commit. The tests re-run the
+//! same specs through today's code and assert the records are
+//! bit-identical (`PartialEq` on `RunMetrics` compares every sample), so
+//! no cluster-index, scratch-buffer, or checkpointing refactor can
+//! silently change simulation results.
+//!
+//! Regenerate (only when an *intentional* behavior change lands) with:
+//!
+//! ```sh
+//! NOTEBOOKOS_UPDATE_GOLDEN=1 cargo test --test golden_determinism
+//! ```
+
+use std::path::PathBuf;
+
+use notebookos::core::sweep::{Scenario, SweepReport, SweepSpec};
+use notebookos::core::PolicyKind;
+use notebookos::trace::SyntheticConfig;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// A compact workload that still exercises placement pressure,
+/// migrations, and scale-out: fewer sessions than the evaluation excerpt
+/// but the same generator shape.
+fn golden_workload() -> SyntheticConfig {
+    SyntheticConfig {
+        sessions: 8,
+        span_s: 2.0 * 3600.0,
+        ..SyntheticConfig::smoke()
+    }
+}
+
+/// One run per placement × elasticity policy (the interaction matrix the
+/// placement fast path must reproduce), on a heterogeneous fleet so the
+/// shape census and shape-aware provisioning paths are covered too.
+fn placement_matrix_spec() -> SweepSpec {
+    SweepSpec::new()
+        .policies(vec![PolicyKind::NotebookOs])
+        .all_placements()
+        .all_elasticities()
+        .seeds(vec![11])
+        .scenarios(vec![Scenario::new("golden", golden_workload())
+            .with_host_mix(vec![
+                (notebookos::cluster::ResourceBundle::p3_16xlarge(), 3),
+                (
+                    notebookos::cluster::ResourceBundle::new(32_000, 249_856, 4),
+                    3,
+                ),
+            ])])
+        .workers(2)
+}
+
+/// One run per scheduling policy (Reservation / Batch / NotebookOS /
+/// LCP), covering the baseline submit paths the commit/release fast path
+/// also touches.
+fn policy_spec() -> SweepSpec {
+    SweepSpec::new()
+        .policies(PolicyKind::ALL.to_vec())
+        .seeds(vec![23])
+        .scenarios(vec![Scenario::new("golden", golden_workload())])
+        .workers(2)
+}
+
+/// Runs `spec` and compares every run against the committed golden
+/// report, regenerating the file when `NOTEBOOKOS_UPDATE_GOLDEN` is set.
+fn assert_matches_golden(spec: &SweepSpec, file: &str) {
+    let path = golden_dir().join(file);
+    let report = spec.run();
+    if std::env::var("NOTEBOOKOS_UPDATE_GOLDEN").is_ok() {
+        report.write_json(&path).expect("golden report written");
+    }
+    let golden = SweepReport::read_json(&path).unwrap_or_else(|e| {
+        panic!(
+            "golden report {} unreadable ({e}); regenerate with \
+             NOTEBOOKOS_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        report.runs.len(),
+        golden.runs.len(),
+        "{file}: run count drifted from the golden matrix"
+    );
+    // The spec fingerprint may legitimately evolve (new axes get hashed
+    // in); the bit-identity contract is on the measurement records.
+    for (run, golden_run) in report.runs.iter().zip(&golden.runs) {
+        assert_eq!(
+            run.metrics.counters, golden_run.metrics.counters,
+            "{file}: counters drifted for {}/{}/{}/seed {}",
+            run.policy, run.placement, run.elasticity, run.seed
+        );
+        assert_eq!(
+            run, golden_run,
+            "{file}: full record drifted for {}/{}/{}/seed {}",
+            run.policy, run.placement, run.elasticity, run.seed
+        );
+    }
+}
+
+#[test]
+fn placement_by_elasticity_matrix_is_bit_identical_to_golden() {
+    assert_matches_golden(&placement_matrix_spec(), "pr5_placement_matrix.json");
+}
+
+#[test]
+fn per_policy_runs_are_bit_identical_to_golden() {
+    assert_matches_golden(&policy_spec(), "pr5_policies.json");
+}

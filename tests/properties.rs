@@ -180,9 +180,9 @@ fn build_cluster(ops: &[(u8, u8, u8)]) -> Cluster {
 
 fn all_policies(seed: u64) -> Vec<Box<dyn PlacementPolicy>> {
     vec![
-        Box::new(LeastLoaded),
+        Box::new(LeastLoaded::default()),
         Box::new(RoundRobin::default()),
-        Box::new(BinPacking),
+        Box::new(BinPacking::default()),
         Box::new(RandomPlacement::new(seed)),
     ]
 }

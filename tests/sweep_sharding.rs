@@ -9,7 +9,7 @@ use std::path::PathBuf;
 
 use proptest::prelude::*;
 
-use notebookos::core::sweep::{Scenario, SweepError, SweepReport, SweepSpec};
+use notebookos::core::sweep::{journal_path, Scenario, SweepError, SweepReport, SweepSpec};
 use notebookos::core::{ElasticityKind, PlacementKind, PolicyKind};
 use notebookos::trace::SyntheticConfig;
 
@@ -182,16 +182,21 @@ fn resume_checkpoints_after_every_completed_cell() {
     let spec = interaction_spec().workers(1);
     let dir = temp_dir();
     let path = dir.join("checkpoint.json");
-    // After each completion the file on disk must already hold exactly
+    // After each completion the durable state on disk (the append-only
+    // journal sidecar — O(cells) checkpoint volume, one record per cell,
+    // recovered by the journal-aware loader) must already hold exactly
     // the finished cells — killing the process at any point loses only
     // in-flight work (the README's kill-anywhere guarantee).
     let mut observed = Vec::new();
     spec.run_resuming_with_progress(&path, |done, _| {
-        let on_disk = SweepReport::read_json(&path).expect("checkpoint readable");
+        let on_disk = SweepReport::read_json_with_journal(&path).expect("checkpoint readable");
         observed.push((done, on_disk.len()));
     })
     .expect("resume");
     assert_eq!(observed, vec![(1, 1), (2, 2), (3, 3), (4, 4)]);
+    // Compaction replaced the journal with the canonical report.
+    assert!(!journal_path(&path).exists());
+    assert_eq!(SweepReport::read_json(&path).expect("report").len(), 4);
     std::fs::remove_file(&path).ok();
 }
 
