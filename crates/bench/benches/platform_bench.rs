@@ -1,9 +1,10 @@
 //! Criterion benches for the platform simulation: full-policy runs over a
 //! compact workload, the placement hot path at several fleet sizes, and
 //! end-to-end event throughput. The committed `BENCH_pr5.json` records
-//! the before/after numbers of the hot-path optimization; `perf_bench`
-//! (the bin) produces the same measurements without criterion for CI's
-//! perf-smoke log line.
+//! the before/after numbers of the hot-path optimization and
+//! `BENCH_pr6.json` the scan-vs-indexed placement curve up to 100k
+//! hosts; `perf_bench` (the bin) produces the same measurements without
+//! criterion for CI's gated perf-smoke job.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use notebookos_bench::loaded_cluster;
@@ -67,6 +68,39 @@ fn bench_placement(c: &mut Criterion) {
     group.finish();
 }
 
+/// The indexed placement queries at fleet sizes up to 100k hosts — the
+/// curve `BENCH_pr6.json` commits. The scan benches above stop at 1024
+/// because O(n) work per op makes criterion runs slow; the indexed ops
+/// are near-flat so the big fleets cost nothing extra per iteration.
+fn bench_indexed_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_indexed");
+    let req = ResourceRequest::one_gpu();
+    for hosts in [256usize, 1024, 10_000, 100_000] {
+        let cluster = loaded_cluster(hosts);
+        let ctx = PlacementContext {
+            cluster: &cluster,
+            request: &req,
+            replication_factor: 3,
+        };
+        group.bench_function(format!("rank_top3_{hosts}_hosts"), |b| {
+            let mut policy = LeastLoaded::default();
+            let mut out = Vec::new();
+            // First query pays the one-time index build for the
+            // host_mut-built fixture; keep it out of the samples.
+            policy.rank_top_into(&ctx, 3, &mut out);
+            b.iter(|| {
+                let total = policy.rank_top_into(&ctx, 3, &mut out);
+                assert!(total >= out.len());
+            });
+        });
+        group.bench_function(format!("best_commit_{hosts}_hosts"), |b| {
+            cluster.best_commit_host(&req);
+            b.iter(|| cluster.best_commit_host(&req));
+        });
+    }
+    group.finish();
+}
+
 /// End-to-end event throughput on a pinned 256-host fleet: per-event
 /// cluster work (placement, commit/release, gauge refreshes) dominates,
 /// so this is the number the incremental host index moves.
@@ -102,6 +136,7 @@ criterion_group!(
     benches,
     bench_policy_runs,
     bench_placement,
+    bench_indexed_placement,
     bench_events_per_sec
 );
 criterion_main!(benches);

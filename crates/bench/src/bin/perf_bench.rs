@@ -1,19 +1,25 @@
 //! End-to-end performance measurement for the simulator hot path.
 //!
-//! Prints a JSON object with two families of numbers:
+//! Prints a JSON object with three families of numbers:
 //!
-//! * `placement_ns_per_op` — nanoseconds per placement ranking (the
-//!   Global Scheduler's per-kernel decision) at several fleet sizes, for
-//!   the least-loaded policy plus the raw viability screen.
+//! * `placement_*_ns_per_op` — nanoseconds per placement decision (the
+//!   Global Scheduler's per-kernel work) at several fleet sizes: the full
+//!   scan ranking, the indexed top-3 ranking the platform now uses, the
+//!   raw viability screen, and the indexed commit-host pick.
+//! * `roofline` — a compute-vs-memory decomposition of the scan path:
+//!   `stream_ns` is a single sequential pass over the host slab (the
+//!   memory floor), `compute_ns` is what the scan spends on top of it
+//!   (key extraction + sort), and `bound` names the dominant side.
 //! * `end_to_end` — wall-clock seconds per full platform run and the
-//!   derived events/sec (simulation events dispatched per wall second).
+//!   derived events/sec.
 //!
-//! The committed `BENCH_pr5.json` pairs one pre-optimization and one
-//! post-optimization invocation of this binary; CI runs `--smoke` on
-//! every push (non-gating) so the numbers stay visible in job logs.
+//! The committed `BENCH_pr6.json` pairs the scan and indexed columns of
+//! one full invocation; CI runs `--smoke` on every push and gates on the
+//! result via the `perf_gate` bin (see `.github/workflows/ci.yml`).
 //!
-//! Usage: `perf_bench [--smoke] [--iters N] [--out FILE]`
+//! Usage: `perf_bench [--smoke] [--iters N] [--out FILE] [--curve-out FILE]`
 
+use std::hint::black_box;
 use std::time::Instant;
 
 use notebookos_bench::loaded_cluster;
@@ -22,8 +28,41 @@ use notebookos_core::policy::{LeastLoaded, PlacementContext, PlacementPolicy};
 use notebookos_core::{Platform, PlatformConfig, PolicyKind};
 use notebookos_trace::{generate, SyntheticConfig};
 
-/// ns/op of the least-loaded placement ranking at `hosts` fleet size.
-fn bench_rank(hosts: usize, iters: u32) -> f64 {
+/// Every placement-path number for one fleet size, measured against a
+/// single shared cluster so the scan and indexed columns see identical
+/// load shapes.
+struct FleetNumbers {
+    hosts: usize,
+    /// Full least-loaded scan ranking (screen + key capture + sort).
+    rank_scan_ns: f64,
+    /// Indexed top-3 ranking — the platform's steady-state decision.
+    rank_top3_ns: f64,
+    /// The shared SR-cap viability screen alone.
+    viable_ns: f64,
+    /// Indexed best-commit pick (reservation/batch/migration path).
+    best_commit_ns: f64,
+    /// Memory floor: one sequential pass over the host slab.
+    stream_ns: f64,
+}
+
+/// Times `op` over `iters` iterations after `iters / 10 + 1` warm-up
+/// calls, returning mean ns/op.
+fn time_ns(iters: u32, mut op: impl FnMut()) -> f64 {
+    for _ in 0..iters / 10 + 1 {
+        op();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+/// Measures every placement family on one `hosts`-sized fleet. The scan
+/// families down-scale their iteration count with fleet size (the op is
+/// O(n)); the indexed families keep the full count — that contrast is
+/// the point of the committed curve.
+fn bench_fleet(hosts: usize, iters: u32) -> FleetNumbers {
     let cluster = loaded_cluster(hosts);
     let req = ResourceRequest::one_gpu();
     let ctx = PlacementContext {
@@ -31,33 +70,45 @@ fn bench_rank(hosts: usize, iters: u32) -> f64 {
         request: &req,
         replication_factor: 3,
     };
+    let scan_iters = (iters / u32::try_from(hosts / 256).unwrap_or(u32::MAX).max(1)).max(50);
+
     let mut policy = LeastLoaded::default();
     let mut out = Vec::new();
-    // Warm up (and fault in the scratch buffers on the optimized path).
-    for _ in 0..iters / 10 + 1 {
-        policy.rank_into(&ctx, &mut out);
-    }
-    let start = Instant::now();
-    for _ in 0..iters {
-        policy.rank_into(&ctx, &mut out);
-        assert_eq!(out.len(), hosts, "every host stays viable");
-    }
-    start.elapsed().as_nanos() as f64 / f64::from(iters)
-}
+    // The fixture builds through `host_mut`, so the first indexed query
+    // pays the one-time rebuild; the warm-up inside `time_ns` absorbs it.
+    let rank_top3_ns = time_ns(iters, || {
+        let total = policy.rank_top_into(&ctx, 3, &mut out);
+        assert!(total >= out.len(), "total counts the whole viable set");
+    });
+    let best_commit_ns = time_ns(iters, || {
+        black_box(cluster.best_commit_host(&req));
+    });
 
-/// ns/op of the shared viability screen at `hosts` fleet size.
-fn bench_viable(hosts: usize, iters: u32) -> f64 {
-    let cluster = loaded_cluster(hosts);
-    let req = ResourceRequest::one_gpu();
+    let mut scan_policy = LeastLoaded::default();
+    let rank_scan_ns = time_ns(scan_iters, || {
+        scan_policy.rank_into(&ctx, &mut out);
+        assert_eq!(out.len(), hosts, "every host stays viable");
+    });
     let mut viable = notebookos_cluster::Viability::default();
-    for _ in 0..iters / 10 + 1 {
+    let viable_ns = time_ns(scan_iters, || {
         cluster.viable_hosts_into(&req, 3, 1.0, &mut viable);
+    });
+    let stream_ns = time_ns(scan_iters, || {
+        let sum: u64 = cluster
+            .hosts()
+            .iter()
+            .map(|h| u64::from(h.idle_gpus()))
+            .sum();
+        black_box(sum);
+    });
+    FleetNumbers {
+        hosts,
+        rank_scan_ns,
+        rank_top3_ns,
+        viable_ns,
+        best_commit_ns,
+        stream_ns,
     }
-    let start = Instant::now();
-    for _ in 0..iters {
-        cluster.viable_hosts_into(&req, 3, 1.0, &mut viable);
-    }
-    start.elapsed().as_nanos() as f64 / f64::from(iters)
 }
 
 struct EndToEnd {
@@ -121,12 +172,34 @@ fn bench_end_to_end(
     }
 }
 
-fn json_map(pairs: &[(usize, f64)]) -> String {
+fn json_map(pairs: impl IntoIterator<Item = (usize, f64)>) -> String {
     let items: Vec<String> = pairs
-        .iter()
+        .into_iter()
         .map(|(hosts, ns)| format!("\"{hosts}\": {ns:.1}"))
         .collect();
     format!("{{{}}}", items.join(", "))
+}
+
+fn roofline_json(n: &FleetNumbers) -> String {
+    let compute_ns = (n.rank_scan_ns - n.stream_ns).max(0.0);
+    let bound = if n.stream_ns * 2.0 >= n.rank_scan_ns {
+        "memory"
+    } else {
+        "compute"
+    };
+    format!(
+        "{{\"hosts\": {}, \"scan_ns\": {:.1}, \"stream_ns\": {:.1}, \
+         \"compute_ns\": {:.1}, \"bound\": \"{bound}\"}}",
+        n.hosts, n.rank_scan_ns, n.stream_ns, compute_ns,
+    )
+}
+
+fn write_file(path: &str, contents: &str) {
+    std::fs::write(path, contents).unwrap_or_else(|e| {
+        eprintln!("writing {path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("perf_bench: wrote {path}");
 }
 
 fn main() {
@@ -134,6 +207,7 @@ fn main() {
     let mut smoke = false;
     let mut iters: u32 = 2_000;
     let mut out: Option<String> = None;
+    let mut curve_out: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -154,8 +228,17 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--curve-out" => {
+                curve_out = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--curve-out takes a file path");
+                    std::process::exit(2);
+                }));
+            }
             other => {
-                eprintln!("unknown argument {other:?}; usage: perf_bench [--smoke] [--iters N] [--out FILE]");
+                eprintln!(
+                    "unknown argument {other:?}; usage: \
+                     perf_bench [--smoke] [--iters N] [--out FILE] [--curve-out FILE]"
+                );
                 std::process::exit(2);
             }
         }
@@ -164,13 +247,9 @@ fn main() {
     let fleets: &[usize] = if smoke {
         &[16, 64, 256]
     } else {
-        &[16, 64, 256, 1024]
+        &[16, 64, 256, 1024, 10_000, 100_000]
     };
-    let rank: Vec<(usize, f64)> = fleets.iter().map(|&h| (h, bench_rank(h, iters))).collect();
-    let viable: Vec<(usize, f64)> = fleets
-        .iter()
-        .map(|&h| (h, bench_viable(h, iters)))
-        .collect();
+    let numbers: Vec<FleetNumbers> = fleets.iter().map(|&h| bench_fleet(h, iters)).collect();
 
     // The fleet-scale scenario keeps 256 hosts alive for the whole run,
     // so per-event cluster work dominates the wall time — the number the
@@ -189,20 +268,34 @@ fn main() {
         ]
     };
     let e2e_json: Vec<String> = cases.iter().map(EndToEnd::to_json).collect();
+    let roofline: Vec<String> = numbers.iter().map(roofline_json).collect();
 
     let json = format!(
-        "{{\n  \"placement_rank_ns_per_op\": {},\n  \"viable_hosts_ns_per_op\": {},\n  \
+        "{{\n  \"placement_rank_ns_per_op\": {},\n  \
+         \"placement_rank_top3_ns_per_op\": {},\n  \
+         \"viable_hosts_ns_per_op\": {},\n  \
+         \"best_commit_ns_per_op\": {},\n  \
+         \"roofline\": [{}],\n  \
          \"end_to_end\": [{}]\n}}",
-        json_map(&rank),
-        json_map(&viable),
+        json_map(numbers.iter().map(|n| (n.hosts, n.rank_scan_ns))),
+        json_map(numbers.iter().map(|n| (n.hosts, n.rank_top3_ns))),
+        json_map(numbers.iter().map(|n| (n.hosts, n.viable_ns))),
+        json_map(numbers.iter().map(|n| (n.hosts, n.best_commit_ns))),
+        roofline.join(", "),
         e2e_json.join(", "),
     );
     println!("{json}");
     if let Some(path) = out {
-        std::fs::write(&path, format!("{json}\n")).unwrap_or_else(|e| {
-            eprintln!("writing {path}: {e}");
-            std::process::exit(1);
-        });
-        eprintln!("perf_bench: wrote {path}");
+        write_file(&path, &format!("{json}\n"));
+    }
+    if let Some(path) = curve_out {
+        // The scaling-curve artifact CI uploads next to BENCH_pr6.json:
+        // scan vs indexed ns/op per fleet size, nothing else.
+        let curve = format!(
+            "{{\n  \"scan_rank_ns_per_op\": {},\n  \"indexed_rank_top3_ns_per_op\": {}\n}}\n",
+            json_map(numbers.iter().map(|n| (n.hosts, n.rank_scan_ns))),
+            json_map(numbers.iter().map(|n| (n.hosts, n.rank_top3_ns))),
+        );
+        write_file(&path, &curve);
     }
 }

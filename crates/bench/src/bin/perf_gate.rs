@@ -1,0 +1,159 @@
+//! CI perf regression gate.
+//!
+//! Compares freshly measured `perf_bench` reports (the CI job's
+//! `perf-smoke-*.json`) against the committed baseline
+//! (`BENCH_pr6.json`'s `after` block) and fails — nonzero exit — when
+//! any ns/op family regresses by more than the tolerance at any fleet
+//! size both files cover. The comparison is per fleet size, so a flat
+//! curve that tilts upward at one end is caught even when the
+//! small-fleet numbers hold.
+//!
+//! `--current` repeats: with several reports the gate takes the
+//! per-cell **minimum** across runs. Sub-microsecond cells on a shared
+//! runner jitter far past 25% run to run; the min of a few runs is the
+//! standard estimator for the true cost and keeps the tight tolerance
+//! honest instead of flaky.
+//!
+//! PRs that intentionally trade placement latency for something else set
+//! the `perf-regression-allowed` label; the workflow skips this gate
+//! when the label is present (see `.github/workflows/ci.yml` and the
+//! README's "Performance" section).
+//!
+//! Usage: `perf_gate --current FILE [--current FILE ...] --baseline FILE [--tolerance 0.25]`
+
+use std::process::ExitCode;
+
+use notebookos_jupyter::Json;
+
+/// The ns/op maps the gate checks. Families absent from either file are
+/// skipped with a note — an older baseline must not fail a newer bench.
+const FAMILIES: &[&str] = &[
+    "placement_rank_ns_per_op",
+    "placement_rank_top3_ns_per_op",
+    "viable_hosts_ns_per_op",
+    "best_commit_ns_per_op",
+];
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perf_gate: reading {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("perf_gate: parsing {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Pulls one ns/op family as `(fleet, ns)` pairs sorted by fleet size.
+fn family(report: &Json, name: &str) -> Option<Vec<(u64, f64)>> {
+    let Json::Obj(map) = report.get(name)? else {
+        return None;
+    };
+    let mut pairs: Vec<(u64, f64)> = map
+        .iter()
+        .filter_map(|(k, v)| Some((k.parse().ok()?, v.as_f64()?)))
+        .collect();
+    pairs.sort_unstable_by_key(|&(hosts, _)| hosts);
+    Some(pairs)
+}
+
+/// Per-cell minimum across several reports of one family; `None` when
+/// the family is absent from every report.
+fn min_family(reports: &[Json], name: &str) -> Option<Vec<(u64, f64)>> {
+    let mut merged: Vec<(u64, f64)> = Vec::new();
+    for report in reports {
+        for (hosts, ns) in family(report, name)? {
+            match merged.iter_mut().find(|(h, _)| *h == hosts) {
+                Some((_, best)) => *best = best.min(ns),
+                None => merged.push((hosts, ns)),
+            }
+        }
+    }
+    merged.sort_unstable_by_key(|&(hosts, _)| hosts);
+    (!merged.is_empty()).then_some(merged)
+}
+
+fn main() -> ExitCode {
+    let mut current_paths = Vec::new();
+    let mut baseline_path = None;
+    let mut tolerance = 0.25f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("perf_gate: {flag} takes a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--current" => current_paths.push(value("--current")),
+            "--baseline" => baseline_path = Some(value("--baseline")),
+            "--tolerance" => {
+                tolerance = value("--tolerance").parse().unwrap_or_else(|_| {
+                    eprintln!("perf_gate: --tolerance takes a fraction like 0.25");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!(
+                    "perf_gate: unknown argument {other:?}; usage: \
+                     perf_gate --current FILE [--current FILE ...] --baseline FILE \
+                     [--tolerance 0.25]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(baseline_path) = baseline_path else {
+        eprintln!("perf_gate: --baseline is required");
+        return ExitCode::from(2);
+    };
+    if current_paths.is_empty() {
+        eprintln!("perf_gate: at least one --current is required");
+        return ExitCode::from(2);
+    }
+
+    let currents: Vec<Json> = current_paths.iter().map(|p| load(p)).collect();
+    let baseline_root = load(&baseline_path);
+    // Committed BENCH files nest the gate numbers under "after"; a raw
+    // perf_bench report keeps them at the top level. Accept both.
+    let baseline = baseline_root.get("after").unwrap_or(&baseline_root);
+
+    let mut regressions = 0u32;
+    for name in FAMILIES {
+        let (Some(base), Some(cur)) = (family(baseline, name), min_family(&currents, name)) else {
+            eprintln!("perf_gate: {name}: absent from one side, skipped");
+            continue;
+        };
+        for &(hosts, base_ns) in &base {
+            let Some(&(_, cur_ns)) = cur.iter().find(|&&(h, _)| h == hosts) else {
+                continue;
+            };
+            let ratio = cur_ns / base_ns;
+            let verdict = if ratio > 1.0 + tolerance {
+                regressions += 1;
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            println!(
+                "{name} @ {hosts} hosts: {cur_ns:.1} ns vs baseline {base_ns:.1} ns \
+                 ({ratio:.2}x) {verdict}"
+            );
+        }
+    }
+    if regressions > 0 {
+        eprintln!(
+            "perf_gate: {regressions} fleet-size(s) regressed more than {:.0}% — \
+             failing. Apply the `perf-regression-allowed` label if intentional.",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "perf_gate: all families within {:.0}% of baseline",
+        tolerance * 100.0
+    );
+    ExitCode::SUCCESS
+}

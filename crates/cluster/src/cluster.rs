@@ -13,13 +13,22 @@
 //!   cluster-level mutators ([`Cluster::subscribe`], [`Cluster::try_commit`],
 //!   [`Cluster::release`], …);
 //! * the shape census is a persistent sorted index updated on host
-//!   add/remove, not an O(hosts × shapes) scan per query.
+//!   add/remove, not an O(hosts × shapes) scan per query;
+//! * a capacity-bucketed placement index ([`HostIndex`], private) keeps
+//!   every host ordered by the exact keys the placement policies and the
+//!   commit-side scans sort by, so top-k host selection is O(log hosts +
+//!   k) instead of an O(hosts) slab rescan per decision (see
+//!   [`Cluster::rank_least_loaded_top`] and friends).
 //!
 //! [`Cluster::host_mut`] still hands out raw `&mut Host` access (tests and
 //! ad-hoc tooling mutate accounting directly through it); doing so marks
-//! the cached totals dirty and they are transparently recomputed on the
-//! next read or typed mutation, so the fast path stays exact without
-//! constraining the slow one.
+//! the cached totals *and the placement index* dirty and they are
+//! transparently recomputed on the next read or typed mutation, so the
+//! fast path stays exact without constraining the slow one.
+
+use std::cell::{Cell, Ref, RefCell};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
 
 use crate::host::{Host, HostId, OwnerId};
 use crate::resources::{ResourceBundle, ResourceRequest};
@@ -85,6 +94,255 @@ fn census_key(shape: &ResourceBundle) -> (u32, u64, u64) {
     (shape.gpus, shape.millicpus, shape.memory_mb)
 }
 
+/// Per-shape slice of the placement index. All hosts in a class share one
+/// capacity [`ResourceBundle`], hence one viability verdict per request
+/// and one SR denominator — which is what makes the integer BTree keys
+/// below order-equivalent to the float sort keys the scan path computes.
+#[derive(Debug, Clone)]
+struct ShapeClass {
+    shape: ResourceBundle,
+    /// idle GPUs → `(subscribed, id)`: walking buckets in descending idle
+    /// order and each bucket ascending yields exactly the least-loaded
+    /// order `(idle desc, SR asc, id asc)` within the class.
+    by_idle_sub: BTreeMap<u32, BTreeSet<(u64, HostId)>>,
+    /// `(subscribed, committed, id)`: reverse iteration yields exactly
+    /// the bin-packing order `(S desc, C desc, id desc)` within the class.
+    by_sub: BTreeSet<(u64, u64, HostId)>,
+    /// Live (non-draining) hosts in this class.
+    len: usize,
+}
+
+impl ShapeClass {
+    fn new(shape: ResourceBundle) -> Self {
+        ShapeClass {
+            shape,
+            by_idle_sub: BTreeMap::new(),
+            by_sub: BTreeSet::new(),
+            len: 0,
+        }
+    }
+}
+
+/// Capacity-bucketed placement index: the ordered structures behind the
+/// sub-linear `rank_*_top` / `best_commit_host*` queries. Maintained
+/// incrementally by the typed cluster mutators (unlink → apply → link);
+/// raw [`Cluster::host_mut`] access marks it dirty and the next query
+/// rebuilds it from the slab.
+#[derive(Debug, Clone, Default)]
+struct HostIndex {
+    /// Per-shape structures over *non-draining* hosts (the placement
+    /// viability screen excludes draining), ascending by `census_key`.
+    classes: Vec<ShapeClass>,
+    /// Every host — draining included — keyed by `(idle GPUs, id)`; the
+    /// commit-side baseline scans (reservation/batch/LCP) do not filter
+    /// on draining, and migration filters it inline.
+    by_idle: BTreeSet<(u32, HostId)>,
+    /// Set by raw [`Cluster::host_mut`] access; rebuilt lazily.
+    dirty: bool,
+}
+
+impl HostIndex {
+    /// Re-derives every structure from the slab (the self-heal after raw
+    /// `host_mut` access).
+    fn rebuild(&mut self, hosts: &[Host]) {
+        self.classes.clear();
+        self.by_idle.clear();
+        for h in hosts {
+            self.link(h);
+        }
+        self.dirty = false;
+    }
+
+    fn class_position(&self, shape: &ResourceBundle) -> Result<usize, usize> {
+        self.classes
+            .binary_search_by_key(&census_key(shape), |c| census_key(&c.shape))
+    }
+
+    /// Inserts `h` (in its current state) into every structure.
+    fn link(&mut self, h: &Host) {
+        self.by_idle.insert((h.idle_gpus(), h.id()));
+        if h.is_draining() {
+            return;
+        }
+        let shape = h.capacity();
+        let slot = match self.class_position(&shape) {
+            Ok(i) => i,
+            Err(i) => {
+                self.classes.insert(i, ShapeClass::new(shape));
+                i
+            }
+        };
+        let class = &mut self.classes[slot];
+        class
+            .by_idle_sub
+            .entry(h.idle_gpus())
+            .or_default()
+            .insert((h.subscribed_gpus(), h.id()));
+        class
+            .by_sub
+            .insert((h.subscribed_gpus(), u64::from(h.committed_gpus()), h.id()));
+        class.len += 1;
+    }
+
+    /// Removes `h` (in its current state) from every structure; the exact
+    /// inverse of [`HostIndex::link`].
+    fn unlink(&mut self, h: &Host) {
+        self.by_idle.remove(&(h.idle_gpus(), h.id()));
+        if h.is_draining() {
+            return;
+        }
+        let slot = self
+            .class_position(&h.capacity())
+            .expect("indexed host's shape class exists");
+        let class = &mut self.classes[slot];
+        let bucket = class
+            .by_idle_sub
+            .get_mut(&h.idle_gpus())
+            .expect("indexed host's idle bucket exists");
+        bucket.remove(&(h.subscribed_gpus(), h.id()));
+        if bucket.is_empty() {
+            class.by_idle_sub.remove(&h.idle_gpus());
+        }
+        class
+            .by_sub
+            .remove(&(h.subscribed_gpus(), u64::from(h.committed_gpus()), h.id()));
+        class.len -= 1;
+        if class.len == 0 {
+            self.classes.remove(slot);
+        }
+    }
+}
+
+/// The subscription ratio a host of `shape` with `subscribed` GPUs
+/// reports — [`Host::subscription_ratio`] reproduced bit for bit from the
+/// index keys.
+fn class_sr(shape: ResourceBundle, replication_factor: u32, subscribed: u64) -> f64 {
+    let denom = u64::from(shape.gpus) * u64::from(replication_factor.max(1));
+    if denom == 0 {
+        return 0.0;
+    }
+    subscribed as f64 / denom as f64
+}
+
+/// Largest subscribed-GPU count that keeps a host of `shape` within
+/// `sr_cap` after accepting `request` — the scan path's
+/// `post_sr(h) > sr_cap` predicate, which is monotone in `S`, so the
+/// within-cap hosts of a class form a contiguous `(S, …)` prefix in the
+/// BTree keys. `Some(u64::MAX)` when no subscription level is over the
+/// cap (always the case for CPU-only requests, which are exempt), `None`
+/// when even `S = 0` is over.
+fn class_cap(
+    request: &ResourceRequest,
+    shape: ResourceBundle,
+    replication_factor: u32,
+    sr_cap: f64,
+) -> Option<u64> {
+    if request.gpus == 0 {
+        return Some(u64::MAX);
+    }
+    let denom = (u64::from(shape.gpus.max(1)) * u64::from(replication_factor.max(1))) as f64;
+    let g = u128::from(request.gpus);
+    // u128 keeps the probe addition overflow-free; for any subscription
+    // level a real host can hold the sum fits u64 and the f64 conversion
+    // is identical to the scan's.
+    let within = |s: u64| ((u128::from(s) + g) as f64) / denom <= sr_cap;
+    if !within(0) {
+        return None;
+    }
+    if within(u64::MAX) {
+        return Some(u64::MAX);
+    }
+    let (mut lo, mut hi) = (0u64, u64::MAX); // invariant: within(lo), !within(hi)
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if within(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// Inclusive-range bounds over one idle bucket's `(subscribed, id)` set.
+type SubRange = (Bound<(u64, HostId)>, Bound<(u64, HostId)>);
+/// Inclusive-range bounds over a class's `(subscribed, committed, id)` set.
+type SubCommitRange = (Bound<(u64, u64, HostId)>, Bound<(u64, u64, HostId)>);
+
+/// Appends up to `take` least-loaded keys `(idle, SR, id)` from one shape
+/// class — the `over` flag selects the over-cap side of the `cap` split.
+fn gather_least_loaded(
+    class: &ShapeClass,
+    cap: Option<u64>,
+    over: bool,
+    replication_factor: u32,
+    take: usize,
+    out: &mut Vec<(u32, f64, HostId)>,
+) {
+    let range: SubRange = if over {
+        match cap {
+            Some(u64::MAX) => return,
+            Some(t) => (Bound::Excluded((t, HostId::MAX)), Bound::Unbounded),
+            None => (Bound::Unbounded, Bound::Unbounded),
+        }
+    } else {
+        match cap {
+            Some(t) => (Bound::Unbounded, Bound::Included((t, HostId::MAX))),
+            None => return,
+        }
+    };
+    let mut taken = 0;
+    for (&idle, bucket) in class.by_idle_sub.iter().rev() {
+        for &(s, id) in bucket.range(range) {
+            out.push((idle, class_sr(class.shape, replication_factor, s), id));
+            taken += 1;
+            if taken >= take {
+                return;
+            }
+        }
+    }
+}
+
+/// Appends up to `take` bin-packing keys `(S, C, id)` — descending — from
+/// one shape class; `over` selects the over-cap side of the `cap` split.
+fn gather_bin_packing(
+    class: &ShapeClass,
+    cap: Option<u64>,
+    over: bool,
+    take: usize,
+    out: &mut Vec<(u64, u64, HostId)>,
+) {
+    let range: SubCommitRange = if over {
+        match cap {
+            Some(u64::MAX) => return,
+            Some(t) => (
+                Bound::Excluded((t, u64::MAX, HostId::MAX)),
+                Bound::Unbounded,
+            ),
+            None => (Bound::Unbounded, Bound::Unbounded),
+        }
+    } else {
+        match cap {
+            Some(t) => (
+                Bound::Unbounded,
+                Bound::Included((t, u64::MAX, HostId::MAX)),
+            ),
+            None => return,
+        }
+    };
+    out.extend(class.by_sub.range(range).rev().take(take));
+}
+
+/// The exact comparator [`Cluster::subscription_candidates_into`] sorts
+/// with: most idle GPUs first, then lowest SR, then lowest id.
+fn least_loaded_first(keyed: &mut [(u32, f64, HostId)]) {
+    keyed.sort_by(|a, b| {
+        b.0.cmp(&a.0)
+            .then(a.1.partial_cmp(&b.1).expect("SR is finite"))
+            .then(a.2.cmp(&b.2))
+    });
+}
+
 /// The fleet of GPU servers.
 #[derive(Debug, Clone)]
 pub struct Cluster {
@@ -98,12 +356,19 @@ pub struct Cluster {
     /// Total GPUs across all hosts (`ΣG`). A host's capacity never
     /// changes after creation, so this is always exact.
     total_gpus: u64,
-    /// Cached `ΣS` / `ΣC`; exact while `totals_valid`.
-    total_subscribed: u64,
-    total_committed: u64,
+    /// Cached `ΣS` / `ΣC`; exact while `totals_valid`. `Cell`s so a
+    /// `&self` read can repair the cache once after raw access instead
+    /// of rescanning the slab on every read.
+    total_subscribed: Cell<u64>,
+    total_committed: Cell<u64>,
     /// Cleared by [`Cluster::host_mut`] (raw access may change per-host
     /// accounting behind the cluster's back); re-established lazily.
-    totals_valid: bool,
+    totals_valid: Cell<bool>,
+    /// The capacity-bucketed placement index. Interior mutability lets
+    /// `&self` queries perform the lazy post-`host_mut` rebuild; the
+    /// cluster is never shared across threads (sweeps build one platform
+    /// per worker), so a `RefCell` suffices.
+    index: RefCell<HostIndex>,
 }
 
 impl Default for Cluster {
@@ -120,9 +385,10 @@ impl Cluster {
             next_host_id: 0,
             census: Vec::new(),
             total_gpus: 0,
-            total_subscribed: 0,
-            total_committed: 0,
-            totals_valid: true,
+            total_subscribed: Cell::new(0),
+            total_committed: Cell::new(0),
+            totals_valid: Cell::new(true),
+            index: RefCell::new(HostIndex::default()),
         }
     }
 
@@ -161,6 +427,10 @@ impl Cluster {
             Ok(i) => self.census[i].1 += 1,
             Err(i) => self.census.insert(i, (capacity, 1)),
         }
+        let index = self.index.get_mut();
+        if !index.dirty {
+            index.link(self.hosts.last().expect("host just pushed"));
+        }
         id
     }
 
@@ -168,12 +438,18 @@ impl Cluster {
     /// first). Returns the host if it existed.
     pub fn remove_host(&mut self, id: HostId) -> Option<Host> {
         let idx = self.host_position(id)?;
+        let index = self.index.get_mut();
+        if !index.dirty {
+            index.unlink(&self.hosts[idx]);
+        }
         let host = self.hosts.remove(idx);
         let shape = host.capacity();
         self.total_gpus -= u64::from(shape.gpus);
-        if self.totals_valid {
-            self.total_subscribed -= host.subscribed_gpus();
-            self.total_committed -= u64::from(host.committed_gpus());
+        if self.totals_valid.get() {
+            self.total_subscribed
+                .set(self.total_subscribed.get() - host.subscribed_gpus());
+            self.total_committed
+                .set(self.total_committed.get() - u64::from(host.committed_gpus()));
         }
         let slot = self
             .census
@@ -203,7 +479,8 @@ impl Cluster {
     /// ([`Cluster::subscribe`], [`Cluster::try_commit`], …) on hot paths.
     pub fn host_mut(&mut self, id: HostId) -> Option<&mut Host> {
         let idx = self.host_position(id)?;
-        self.totals_valid = false;
+        self.totals_valid.set(false);
+        self.index.get_mut().dirty = true;
         Some(&mut self.hosts[idx])
     }
 
@@ -223,24 +500,42 @@ impl Cluster {
     }
 
     /// Recomputes the cached `ΣS`/`ΣC` totals after raw
-    /// [`Cluster::host_mut`] access invalidated them.
-    fn revalidate_totals(&mut self) {
-        if !self.totals_valid {
-            self.total_subscribed = self.hosts.iter().map(Host::subscribed_gpus).sum();
-            self.total_committed = self
-                .hosts
-                .iter()
-                .map(|h| u64::from(h.committed_gpus()))
-                .sum();
-            self.totals_valid = true;
+    /// [`Cluster::host_mut`] access invalidated them. Shared access:
+    /// total readers repair the cache on first use (the `Cell` fields),
+    /// so one raw mutation costs one rescan, not one per read.
+    fn revalidate_totals(&self) {
+        if !self.totals_valid.get() {
+            self.total_subscribed
+                .set(self.hosts.iter().map(Host::subscribed_gpus).sum());
+            self.total_committed.set(
+                self.hosts
+                    .iter()
+                    .map(|h| u64::from(h.committed_gpus()))
+                    .sum(),
+            );
+            self.totals_valid.set(true);
         }
     }
 
     // ------------------------------------------------------------------
     // Typed mutators: the scheduler's hot path. Each applies the per-host
-    // change and the fleet-total delta in O(log hosts), keeping every
-    // cluster-wide read O(1).
+    // change, the fleet-total delta, and the placement-index relink in
+    // O(log hosts), keeping every cluster-wide read O(1) and every top-k
+    // placement query O(log hosts + k).
     // ------------------------------------------------------------------
+
+    /// Unlink → `apply` → relink `self.hosts[idx]` so the placement index
+    /// tracks the mutation; while the index is dirty (raw `host_mut`
+    /// access happened) the relink is skipped and the next query rebuilds.
+    fn apply_indexed<T>(&mut self, idx: usize, apply: impl FnOnce(&mut Host) -> T) -> T {
+        if self.index.get_mut().dirty {
+            return apply(&mut self.hosts[idx]);
+        }
+        self.index.get_mut().unlink(&self.hosts[idx]);
+        let result = apply(&mut self.hosts[idx]);
+        self.index.get_mut().link(&self.hosts[idx]);
+        result
+    }
 
     /// Registers a replica subscription on `host`. Returns `false` when
     /// the host does not exist.
@@ -249,8 +544,9 @@ impl Cluster {
         let Some(idx) = self.host_position(host) else {
             return false;
         };
-        self.hosts[idx].subscribe(request);
-        self.total_subscribed += u64::from(request.gpus);
+        self.apply_indexed(idx, |h| h.subscribe(request));
+        self.total_subscribed
+            .set(self.total_subscribed.get() + u64::from(request.gpus));
         true
     }
 
@@ -266,8 +562,9 @@ impl Cluster {
         let Some(idx) = self.host_position(host) else {
             return false;
         };
-        self.hosts[idx].unsubscribe(request);
-        self.total_subscribed -= u64::from(request.gpus);
+        self.apply_indexed(idx, |h| h.unsubscribe(request));
+        self.total_subscribed
+            .set(self.total_subscribed.get() - u64::from(request.gpus));
         true
     }
 
@@ -286,13 +583,14 @@ impl Cluster {
         let Some(idx) = self.host_position(host) else {
             return false;
         };
-        if self.hosts[idx]
-            .commit_into(owner, request, devices)
+        if self
+            .apply_indexed(idx, |h| h.commit_into(owner, request, devices))
             .is_err()
         {
             return false;
         }
-        self.total_committed += u64::from(request.gpus);
+        self.total_committed
+            .set(self.total_committed.get() + u64::from(request.gpus));
         true
     }
 
@@ -306,8 +604,9 @@ impl Cluster {
         if !self.hosts[idx].has_commitment(owner) {
             return false;
         }
-        let freed = self.hosts[idx].release(owner);
-        self.total_committed -= u64::from(freed.gpus);
+        let freed = self.apply_indexed(idx, |h| h.release(owner));
+        self.total_committed
+            .set(self.total_committed.get() - u64::from(freed.gpus));
         true
     }
 
@@ -317,7 +616,10 @@ impl Cluster {
         let Some(idx) = self.host_position(host) else {
             return false;
         };
-        self.hosts[idx].set_draining(draining);
+        // unlink sees the old flag, link the new one, so the host moves
+        // in/out of the per-shape class structures exactly when the
+        // viability screen starts/stops seeing it.
+        self.apply_indexed(idx, |h| h.set_draining(draining));
         true
     }
 
@@ -332,24 +634,15 @@ impl Cluster {
 
     /// Total subscribed GPUs across all hosts (`ΣS`).
     pub fn total_subscribed_gpus(&self) -> u64 {
-        if self.totals_valid {
-            self.total_subscribed
-        } else {
-            self.hosts.iter().map(Host::subscribed_gpus).sum()
-        }
+        self.revalidate_totals();
+        self.total_subscribed.get()
     }
 
     /// Total GPUs exclusively committed to actively-executing replicas
     /// (`ΣC` in the autoscaler, §3.4.2).
     pub fn total_committed_gpus(&self) -> u64 {
-        if self.totals_valid {
-            self.total_committed
-        } else {
-            self.hosts
-                .iter()
-                .map(|h| u64::from(h.committed_gpus()))
-                .sum()
-        }
+        self.revalidate_totals();
+        self.total_committed.get()
     }
 
     /// The dynamic cluster-wide SR limit `ΣS / (ΣG · R)` (§3.4.1).
@@ -425,13 +718,6 @@ impl Cluster {
                 scratch.within.push(keyed);
             }
         }
-        let least_loaded_first = |keyed: &mut Vec<(u32, f64, HostId)>| {
-            keyed.sort_by(|a, b| {
-                b.0.cmp(&a.0)
-                    .then(a.1.partial_cmp(&b.1).expect("SR is finite"))
-                    .then(a.2.cmp(&b.2))
-            });
-        };
         least_loaded_first(&mut scratch.within);
         least_loaded_first(&mut scratch.over);
         out.extend(scratch.within.iter().map(|&(_, _, id)| id));
@@ -498,6 +784,265 @@ impl Cluster {
             .filter(|h| h.replica_count() == 0 && h.active_commitments() == 0)
             .map(Host::id)
             .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Indexed placement queries: sub-linear replacements for the slab
+    // scans. Each reproduces its scan counterpart's ordering bit for bit
+    // (the golden determinism suite and the index-equivalence proptests
+    // pin this), it just stops touching every host per decision.
+    // ------------------------------------------------------------------
+
+    /// The placement index, rebuilt first if raw [`Cluster::host_mut`]
+    /// access dirtied it.
+    fn sync_index(&self) -> Ref<'_, HostIndex> {
+        {
+            let mut index = self.index.borrow_mut();
+            if index.dirty {
+                index.rebuild(&self.hosts);
+            }
+        }
+        self.index.borrow()
+    }
+
+    /// Number of viable hosts for `request` (capacity covers, not
+    /// draining) — [`Cluster::viable_hosts`]' `len()` without the scan:
+    /// O(shape classes) via the per-class live counts.
+    pub fn viable_count(&self, request: &ResourceRequest) -> usize {
+        let needed = ResourceBundle::from_request(request);
+        self.sync_index()
+            .classes
+            .iter()
+            .filter(|c| c.shape.covers(&needed))
+            .map(|c| c.len)
+            .sum()
+    }
+
+    /// The first `limit` hosts of [`Cluster::subscription_candidates`]
+    /// (the least-loaded ranking) without scanning the slab, plus the
+    /// total viable count as the return value. Within each covering shape
+    /// class the BTree order *is* the least-loaded order, so this gathers
+    /// ≤ `limit` candidates per class and merges the handful with the
+    /// scan's exact comparator: O(classes · (log hosts + limit)).
+    pub fn rank_least_loaded_top(
+        &self,
+        request: &ResourceRequest,
+        replication_factor: u32,
+        sr_cap: f64,
+        limit: usize,
+        scratch: &mut RankScratch,
+        out: &mut Vec<HostId>,
+    ) -> usize {
+        scratch.within.clear();
+        scratch.over.clear();
+        out.clear();
+        let needed = ResourceBundle::from_request(request);
+        let index = self.sync_index();
+        let covering = || index.classes.iter().filter(|c| c.shape.covers(&needed));
+        let total: usize = covering().map(|c| c.len).sum();
+        if limit == 0 || total == 0 {
+            return total;
+        }
+        for class in covering() {
+            let cap = class_cap(request, class.shape, replication_factor, sr_cap);
+            gather_least_loaded(
+                class,
+                cap,
+                false,
+                replication_factor,
+                limit,
+                &mut scratch.within,
+            );
+        }
+        least_loaded_first(&mut scratch.within);
+        scratch.within.truncate(limit);
+        out.extend(scratch.within.iter().map(|&(_, _, id)| id));
+        if out.len() < limit {
+            let rest = limit - out.len();
+            for class in covering() {
+                let cap = class_cap(request, class.shape, replication_factor, sr_cap);
+                gather_least_loaded(
+                    class,
+                    cap,
+                    true,
+                    replication_factor,
+                    rest,
+                    &mut scratch.over,
+                );
+            }
+            least_loaded_first(&mut scratch.over);
+            scratch.over.truncate(rest);
+            out.extend(scratch.over.iter().map(|&(_, _, id)| id));
+        }
+        total
+    }
+
+    /// The first `limit` hosts of the bin-packing ranking (most
+    /// subscribed, then most committed, then highest id, within-cap
+    /// segment first) without scanning the slab; returns the total viable
+    /// count. Same per-class gather-and-merge shape as
+    /// [`Cluster::rank_least_loaded_top`].
+    pub fn rank_bin_packing_top(
+        &self,
+        request: &ResourceRequest,
+        replication_factor: u32,
+        sr_cap: f64,
+        limit: usize,
+        keyed: &mut Vec<(u64, u64, HostId)>,
+        out: &mut Vec<HostId>,
+    ) -> usize {
+        keyed.clear();
+        out.clear();
+        let needed = ResourceBundle::from_request(request);
+        let index = self.sync_index();
+        let covering = || index.classes.iter().filter(|c| c.shape.covers(&needed));
+        let total: usize = covering().map(|c| c.len).sum();
+        if limit == 0 || total == 0 {
+            return total;
+        }
+        for class in covering() {
+            let cap = class_cap(request, class.shape, replication_factor, sr_cap);
+            gather_bin_packing(class, cap, false, limit, keyed);
+        }
+        keyed.sort_by(|a, b| b.cmp(a));
+        keyed.truncate(limit);
+        out.extend(keyed.iter().map(|&(_, _, id)| id));
+        if out.len() < limit {
+            let rest = limit - out.len();
+            keyed.clear();
+            for class in covering() {
+                let cap = class_cap(request, class.shape, replication_factor, sr_cap);
+                gather_bin_packing(class, cap, true, rest, keyed);
+            }
+            keyed.sort_by(|a, b| b.cmp(a));
+            keyed.truncate(rest);
+            out.extend(keyed.iter().map(|&(_, _, id)| id));
+        }
+        total
+    }
+
+    /// The first `limit` hosts of the round-robin ranking (ids rotated
+    /// past `last`, within-cap segment first) and the total viable count.
+    /// Walks the slab circularly from the rotation point and stops as
+    /// soon as `limit` within-cap hosts are found — O(limit) on a healthy
+    /// fleet, degrading to the scan's O(hosts) only when nearly every
+    /// host is draining, too small, or over-cap.
+    // Mirrors the scan-path signature (request/RF/cap/cursor) plus the
+    // two caller-owned scratch buffers the allocation-free API requires.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rank_round_robin_top(
+        &self,
+        request: &ResourceRequest,
+        replication_factor: u32,
+        sr_cap: f64,
+        last: Option<HostId>,
+        limit: usize,
+        over_scratch: &mut Vec<HostId>,
+        out: &mut Vec<HostId>,
+    ) -> usize {
+        out.clear();
+        over_scratch.clear();
+        let total = self.viable_count(request);
+        if limit == 0 || total == 0 {
+            return total;
+        }
+        let needed = ResourceBundle::from_request(request);
+        let n = self.hosts.len();
+        let start = match last {
+            Some(last) => self.hosts.partition_point(|h| h.id() <= last) % n,
+            None => 0,
+        };
+        for k in 0..n {
+            let h = &self.hosts[(start + k) % n];
+            if h.is_draining() || !h.capacity().covers(&needed) {
+                continue;
+            }
+            if request.gpus > 0 && post_sr(h, request, replication_factor) > sr_cap {
+                if over_scratch.len() < limit {
+                    over_scratch.push(h.id());
+                }
+            } else {
+                out.push(h.id());
+                if out.len() == limit {
+                    return total;
+                }
+            }
+        }
+        let rest = limit - out.len();
+        out.extend(over_scratch.iter().take(rest));
+        total
+    }
+
+    /// The host the commit-side baseline scans pick: maximum
+    /// `(idle GPUs, id)` among hosts that can commit `request` right now.
+    /// Served by a reverse walk of the global idle-GPU index — O(log
+    /// hosts) when the most-idle host accepts, which is the common case.
+    pub fn best_commit_host(&self, request: &ResourceRequest) -> Option<HostId> {
+        let index = self.sync_index();
+        for &(idle, id) in index.by_idle.iter().rev() {
+            if request.gpus > 0 && idle < request.gpus {
+                break;
+            }
+            let h = self.host(id).expect("indexed host exists");
+            if h.can_commit(request) {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// [`Cluster::best_commit_host`] with the migration target scan's
+    /// extra filters: skips draining hosts and everything in `exclude`
+    /// (the kernel's current replica hosts).
+    pub fn best_commit_host_excluding(
+        &self,
+        request: &ResourceRequest,
+        exclude: &[HostId],
+    ) -> Option<HostId> {
+        let index = self.sync_index();
+        for &(idle, id) in index.by_idle.iter().rev() {
+            if request.gpus > 0 && idle < request.gpus {
+                break;
+            }
+            if exclude.contains(&id) {
+                continue;
+            }
+            let h = self.host(id).expect("indexed host exists");
+            if !h.is_draining() && h.can_commit(request) {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// The host the LCP submit scan picks: maximum `(has warm container,
+    /// idle GPUs, id)` among hosts that can commit `request`, where
+    /// `warm_on` reports a host's warm-container count. The first warm
+    /// host on the reverse idle walk wins; otherwise the first host at
+    /// all (the plain best-commit choice).
+    pub fn best_warm_commit_host(
+        &self,
+        request: &ResourceRequest,
+        warm_on: impl Fn(HostId) -> u32,
+    ) -> Option<HostId> {
+        let index = self.sync_index();
+        let mut cold_best = None;
+        for &(idle, id) in index.by_idle.iter().rev() {
+            if request.gpus > 0 && idle < request.gpus {
+                break;
+            }
+            let h = self.host(id).expect("indexed host exists");
+            if !h.can_commit(request) {
+                continue;
+            }
+            if warm_on(id) > 0 {
+                return Some(id);
+            }
+            if cold_best.is_none() {
+                cold_best = Some(id);
+            }
+        }
+        cold_best
     }
 }
 
@@ -731,6 +1276,194 @@ mod tests {
         let mut c = Cluster::with_hosts(2, ResourceBundle::p3_16xlarge());
         c.host_mut(0).unwrap().subscribe(&gpu_req(1));
         assert_eq!(c.idle_hosts(), vec![1]);
+    }
+
+    /// Scan-path reference for [`Cluster::best_commit_host`].
+    fn scan_best_commit(c: &Cluster, req: &ResourceRequest) -> Option<HostId> {
+        c.hosts()
+            .iter()
+            .filter(|h| h.can_commit(req))
+            .map(|h| (h.idle_gpus(), h.id()))
+            .max()
+            .map(|(_, id)| id)
+    }
+
+    #[test]
+    fn indexed_least_loaded_matches_scan_prefix() {
+        let small = ResourceBundle::new(32_000, 249_856, 4);
+        let mut c = Cluster::with_host_mix(&[(ResourceBundle::p3_16xlarge(), 4), (small, 3)]);
+        for i in 0..7u64 {
+            for _ in 0..i % 4 {
+                assert!(c.subscribe(i, &gpu_req(2)));
+            }
+        }
+        let mut devices = Vec::new();
+        assert!(c.try_commit(1, 50, &gpu_req(5), &mut devices));
+        assert!(c.try_commit(4, 51, &gpu_req(2), &mut devices));
+        assert!(c.set_draining(2, true));
+        let mut scratch = RankScratch::default();
+        let mut top = Vec::new();
+        for req_gpus in [0, 1, 4] {
+            let req = gpu_req(req_gpus);
+            let full = c.subscription_candidates(&req, 3, 1.0);
+            for limit in [0, 1, 3, full.len(), full.len() + 2] {
+                let total = c.rank_least_loaded_top(&req, 3, 1.0, limit, &mut scratch, &mut top);
+                assert_eq!(total, full.len(), "viable total for limit {limit}");
+                assert_eq!(
+                    top,
+                    full[..limit.min(full.len())],
+                    "prefix for limit {limit}"
+                );
+            }
+            assert_eq!(c.viable_count(&req), full.len());
+        }
+    }
+
+    #[test]
+    fn indexed_bin_packing_matches_scan_prefix() {
+        let mut c = Cluster::with_hosts(6, ResourceBundle::p3_16xlarge());
+        for i in 0..6u64 {
+            for _ in 0..(6 - i) % 5 {
+                assert!(c.subscribe(i, &gpu_req(3)));
+            }
+        }
+        let mut devices = Vec::new();
+        assert!(c.try_commit(3, 60, &gpu_req(4), &mut devices));
+        let req = gpu_req(2);
+        // Scan reference: the policy's (S, C, id)-descending order per
+        // SR-cap segment.
+        let v = c.viable_hosts(&req, 3, 1.0);
+        let keyed = |ids: &[HostId]| {
+            let mut k: Vec<_> = ids
+                .iter()
+                .map(|&id| {
+                    let h = c.host(id).unwrap();
+                    (h.subscribed_gpus(), u64::from(h.committed_gpus()), id)
+                })
+                .collect();
+            k.sort_by(|a, b| b.cmp(a));
+            k.into_iter().map(|(_, _, id)| id).collect::<Vec<_>>()
+        };
+        let mut full = keyed(&v.within_cap);
+        full.extend(keyed(&v.over_cap));
+        let mut scratch = Vec::new();
+        let mut top = Vec::new();
+        for limit in [1, 2, full.len(), full.len() + 1] {
+            let total = c.rank_bin_packing_top(&req, 3, 1.0, limit, &mut scratch, &mut top);
+            assert_eq!(total, full.len());
+            assert_eq!(
+                top,
+                full[..limit.min(full.len())],
+                "prefix for limit {limit}"
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_round_robin_rotates_like_the_scan() {
+        let mut c = Cluster::with_hosts(5, ResourceBundle::p3_16xlarge());
+        assert!(c.set_draining(1, true));
+        for _ in 0..7 {
+            assert!(c.subscribe(3, &gpu_req(4)));
+        }
+        let req = gpu_req(4);
+        // Scan reference: rotate each viability segment past `last`.
+        let rotate = |ids: &[HostId], last: Option<HostId>| {
+            let pivot = match last {
+                Some(l) => ids.partition_point(|&h| h <= l) % ids.len().max(1),
+                None => 0,
+            };
+            let mut r = ids[pivot..].to_vec();
+            r.extend(&ids[..pivot]);
+            r
+        };
+        let mut over = Vec::new();
+        let mut top = Vec::new();
+        for last in [None, Some(0), Some(2), Some(4), Some(9)] {
+            let v = c.viable_hosts(&req, 3, 1.0);
+            let mut full = rotate(&v.within_cap, last);
+            full.extend(rotate(&v.over_cap, last));
+            for limit in [1, 2, full.len() + 1] {
+                let total = c.rank_round_robin_top(&req, 3, 1.0, last, limit, &mut over, &mut top);
+                assert_eq!(total, full.len());
+                assert_eq!(
+                    top,
+                    full[..limit.min(full.len())],
+                    "prefix for last {last:?} limit {limit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_best_commit_matches_scan_and_tracks_mutation() {
+        let mut c = Cluster::with_hosts(4, ResourceBundle::p3_16xlarge());
+        let mut devices = Vec::new();
+        assert!(c.try_commit(2, 70, &gpu_req(6), &mut devices));
+        assert!(c.try_commit(3, 71, &gpu_req(2), &mut devices));
+        for req_gpus in [0, 1, 7] {
+            let req = gpu_req(req_gpus);
+            assert_eq!(c.best_commit_host(&req), scan_best_commit(&c, &req));
+        }
+        // Release moves host 2 back to the front (highest idle wins, ties
+        // break towards the higher id).
+        assert!(c.release(2, 70));
+        assert_eq!(c.best_commit_host(&gpu_req(1)), Some(2));
+        assert!(c.release(3, 71));
+        assert_eq!(c.best_commit_host(&gpu_req(1)), Some(3));
+        // Exclusion + draining filters (the migration target scan).
+        assert!(c.set_draining(3, true));
+        assert_eq!(
+            c.best_commit_host_excluding(&gpu_req(1), &[2, 1]),
+            Some(0),
+            "draining host 3 and excluded hosts 2/1 skipped"
+        );
+        // Warm preference (the LCP submit scan): host 1 wins despite host
+        // 2 being equally idle with a higher id.
+        assert_eq!(
+            c.best_warm_commit_host(&gpu_req(1), |id| u32::from(id == 1)),
+            Some(1)
+        );
+        assert_eq!(
+            c.best_warm_commit_host(&gpu_req(1), |_| 0),
+            c.best_commit_host(&gpu_req(1))
+        );
+    }
+
+    #[test]
+    fn index_self_heals_after_raw_host_mut_churn() {
+        let mut c = Cluster::with_hosts(3, ResourceBundle::p3_16xlarge());
+        let mut scratch = RankScratch::default();
+        let mut top = Vec::new();
+        let req = gpu_req(1);
+        c.rank_least_loaded_top(&req, 3, 1.0, 3, &mut scratch, &mut top);
+        assert_eq!(top, vec![0, 1, 2]);
+        // Raw mutation the index cannot observe…
+        c.host_mut(2).unwrap().commit(80, &gpu_req(8)).unwrap();
+        c.host_mut(0).unwrap().subscribe(&gpu_req(4));
+        // …is reflected exactly on the next query (lazy rebuild)…
+        let total = c.rank_least_loaded_top(&req, 3, 1.0, 3, &mut scratch, &mut top);
+        assert_eq!(
+            (total, top.clone()),
+            (3, c.subscription_candidates(&req, 3, 1.0))
+        );
+        assert_eq!(c.best_commit_host(&gpu_req(8)), Some(1));
+        // …and typed mutations afterwards keep it incremental and exact.
+        assert!(c.release(2, 80));
+        assert_eq!(c.best_commit_host(&gpu_req(8)), Some(2));
+        // add/remove while dirty stays consistent too.
+        c.host_mut(1).unwrap().subscribe(&gpu_req(2));
+        let id = c.add_host(ResourceBundle::p3_16xlarge());
+        c.remove_host(0);
+        assert_eq!(
+            c.subscription_candidates(&req, 3, 1.0),
+            {
+                let mut out = Vec::new();
+                c.rank_least_loaded_top(&req, 3, 1.0, 8, &mut scratch, &mut out);
+                out
+            },
+            "index equals scan after dirty add/remove (new host {id})"
+        );
     }
 
     #[test]

@@ -95,46 +95,55 @@ impl Host {
     }
 
     /// The host id.
+    #[inline]
     pub fn id(&self) -> HostId {
         self.id
     }
 
     /// Total capacity.
+    #[inline]
     pub fn capacity(&self) -> ResourceBundle {
         self.capacity
     }
 
     /// Currently committed (exclusively bound) resources.
+    #[inline]
     pub fn committed(&self) -> ResourceBundle {
         self.committed
     }
 
     /// Capacity minus committed.
+    #[inline]
     pub fn available(&self) -> ResourceBundle {
         self.capacity.saturating_sub(&self.committed)
     }
 
     /// Number of GPUs not exclusively bound right now.
+    #[inline]
     pub fn idle_gpus(&self) -> u32 {
         self.capacity.gpus - self.committed.gpus
     }
 
     /// Number of GPUs exclusively bound right now (the `C` of §3.4.2).
+    #[inline]
     pub fn committed_gpus(&self) -> u32 {
         self.committed.gpus
     }
 
     /// Sum of GPU requests subscribed by replicas on this host (`S`).
+    #[inline]
     pub fn subscribed_gpus(&self) -> u64 {
         self.subscribed_gpus
     }
 
     /// Number of replica containers scheduled here.
+    #[inline]
     pub fn replica_count(&self) -> u32 {
         self.replica_count
     }
 
     /// Whether the host is being drained for scale-in.
+    #[inline]
     pub fn is_draining(&self) -> bool {
         self.draining
     }
@@ -146,6 +155,7 @@ impl Host {
 
     /// The subscription ratio `S / (G · R)` (§3.4.1), where `R` is the
     /// replication factor. Returns 0 for GPU-less hosts.
+    #[inline]
     pub fn subscription_ratio(&self, replication_factor: u32) -> f64 {
         let denom = u64::from(self.capacity.gpus) * u64::from(replication_factor.max(1));
         if denom == 0 {
@@ -177,6 +187,7 @@ impl Host {
     }
 
     /// Whether `request` could be committed right now.
+    #[inline]
     pub fn can_commit(&self, request: &ResourceRequest) -> bool {
         self.available()
             .covers(&ResourceBundle::from_request(request))

@@ -144,19 +144,21 @@ impl<P: PlacementPolicy> KernelProvisioner for GatewayProvisioner<P> {
 
         let request = Self::request_of(&spec);
         let mut rank_buf = std::mem::take(&mut self.rank_buf);
-        self.policy.rank_into(
+        // Top-R only: indexed policies answer without rescanning the
+        // fleet, and the returned viable total covers the shortfall path.
+        let found = self.policy.rank_top_into(
             &PlacementContext {
                 cluster: &self.cluster,
                 request: &request,
                 replication_factor: self.replication_factor,
             },
+            self.replication_factor as usize,
             &mut rank_buf,
         );
-        if (rank_buf.len() as u32) < self.replication_factor {
+        if (found as u32) < self.replication_factor {
             // §3.2.1: without R viable candidates the Global Scheduler
             // invokes the scale-out handler; at this API layer the caller
             // owns scale-out, so report the shortfall.
-            let found = rank_buf.len();
             self.rank_buf = rank_buf;
             return Err(ProvisionError::InsufficientResources(format!(
                 "need {} candidate hosts, found {found}",
@@ -166,7 +168,6 @@ impl<P: PlacementPolicy> KernelProvisioner for GatewayProvisioner<P> {
 
         let kernel_seq = self.next_seq;
         self.next_seq += 1;
-        rank_buf.truncate(self.replication_factor as usize);
         // Report the consumed hosts so stateful policies (RoundRobin)
         // rotate past the whole placement — ranking itself is pure.
         self.policy.placed(&rank_buf);

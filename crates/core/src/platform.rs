@@ -524,19 +524,11 @@ impl Platform {
         let now_s = now.as_secs_f64();
         let req = self.sessions[s].req;
         let owner = reservation_owner(s);
-        let host = self
-            .cluster
-            .hosts()
-            .iter()
-            .filter(|h| h.can_commit(&req))
-            .map(|h| (h.idle_gpus(), h.id()))
-            .max()
-            .map(|(_, id)| id)
-            .unwrap_or_else(|| {
-                let id = self.cluster.add_host(self.config.host_shape);
-                self.refresh_fleet_billing(now_s);
-                id
-            });
+        let host = self.cluster.best_commit_host(&req).unwrap_or_else(|| {
+            let id = self.cluster.add_host(self.config.host_shape);
+            self.refresh_fleet_billing(now_s);
+            id
+        });
         let committed = self.commit_on(now_s, host, owner, &req);
         debug_assert!(committed, "fresh host must fit a session reservation");
         self.sessions[s].reserved_host = Some(host);
@@ -548,20 +540,24 @@ impl Platform {
         let now_s = now.as_secs_f64();
         let req = self.sessions[s].req;
         let r = self.config.replication_factor;
-        // Rank into the reusable buffer: the ranking, the consumed prefix,
-        // and the replica-host record below all reuse it, so a kernel
-        // creation performs no transient allocation.
+        // Top-R ranking into the reusable buffer: the scheduler only ever
+        // consumes `R` hosts (plus the viable total for the shortfall
+        // math), so the indexed policies answer in O(log hosts + R)
+        // without rescanning the fleet, and the ranking, the consumed
+        // prefix, and the replica-host record below all reuse the buffer
+        // — a kernel creation performs no transient allocation.
         let mut rank_buf = std::mem::take(&mut self.rank_buf);
-        self.placement.rank_into(
+        let total = self.placement.rank_top_into(
             &PlacementContext {
                 cluster: &self.cluster,
                 request: &req,
                 replication_factor: r,
             },
+            r as usize,
             &mut rank_buf,
         );
-        if (rank_buf.len() as u32) < r {
-            let shortfall = r - rank_buf.len() as u32;
+        if (total as u32) < r {
+            let shortfall = r - total as u32;
             self.rank_buf = rank_buf;
             self.sessions[s].kernel_pending = true;
             if !self.pending_kernels.contains(&s) {
@@ -570,8 +566,8 @@ impl Platform {
             self.trigger_scale_out(now, shortfall, req, queue);
             return;
         }
-        rank_buf.truncate(r as usize);
         let chosen = rank_buf;
+        debug_assert_eq!(chosen.len(), r as usize, "top-R ranking is exact");
         // Report the consumed hosts back so stateful policies (RoundRobin)
         // advance past the whole placement, not one ranked host.
         self.placement.placed(&chosen);
@@ -713,15 +709,9 @@ impl Platform {
         while let Some(&(s, e, submit_us)) = self.batch_queue.front() {
             let req = self.sessions[s].req;
             let owner = batch_owner(s);
-            let host = self
-                .cluster
-                .hosts()
-                .iter()
-                .filter(|h| h.can_commit(&req))
-                .map(|h| (h.idle_gpus(), h.id()))
-                .max()
-                .map(|(_, id)| id);
-            let Some(host) = host else { break };
+            let Some(host) = self.cluster.best_commit_host(&req) else {
+                break;
+            };
             if !self.commit_on(now_s, host, owner, &req) {
                 break;
             }
@@ -899,16 +889,9 @@ impl Platform {
             .extend_from_slice(&self.sessions[s].replica_hosts);
         // Target: any host (not already hosting a replica of this kernel)
         // that can immediately and exclusively bind the required GPUs.
-        let target = {
-            let hosts = &self.replica_scratch;
-            self.cluster
-                .hosts()
-                .iter()
-                .filter(|h| !hosts.contains(&h.id()) && !h.is_draining() && h.can_commit(&req))
-                .map(|h| (h.idle_gpus(), h.id()))
-                .max()
-                .map(|(_, id)| id)
-        };
+        let target = self
+            .cluster
+            .best_commit_host_excluding(&req, &self.replica_scratch);
 
         let Some(target) = target else {
             self.sessions[s].migration_retries += 1;
@@ -1012,12 +995,7 @@ impl Platform {
         let owner = batch_owner(s);
         let host = self
             .cluster
-            .hosts()
-            .iter()
-            .filter(|h| h.can_commit(&req))
-            .map(|h| (self.pool.warm_on(h.id()).min(1), h.idle_gpus(), h.id()))
-            .max()
-            .map(|(_, _, id)| id);
+            .best_warm_commit_host(&req, |id| self.pool.warm_on(id));
         let Some(host) = host else {
             // No capacity: queue like a batch system and trigger scale-out.
             self.trigger_scale_out(now, 1, req, queue);
@@ -1450,7 +1428,7 @@ impl Platform {
 
     /// Simulation events dispatched by the completed run — populated by
     /// [`Platform::run_for_inspection`]; the numerator of the events/sec
-    /// throughput benches (`perf_bench`, CI perf-smoke).
+    /// throughput benches (`perf_bench`, the CI perf gate).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
     }

@@ -77,6 +77,29 @@ pub trait PlacementPolicy: std::fmt::Debug {
         out
     }
 
+    /// Writes the first `limit` hosts of the full
+    /// [`PlacementPolicy::rank_into`] ordering into `out` (cleared first)
+    /// and returns the *total* number of viable hosts — everything the
+    /// scheduler consumes per placement (`R` hosts plus the shortfall
+    /// count when fewer exist).
+    ///
+    /// The default ranks everything and truncates; indexed policies
+    /// override it to answer from the cluster's placement index in
+    /// O(log hosts + limit) instead of rescanning the fleet. Overrides
+    /// must produce exactly `rank_into`'s prefix — the golden determinism
+    /// suite pins this.
+    fn rank_top_into(
+        &mut self,
+        ctx: &PlacementContext<'_>,
+        limit: usize,
+        out: &mut Vec<HostId>,
+    ) -> usize {
+        self.rank_into(ctx, out);
+        let total = out.len();
+        out.truncate(limit);
+        total
+    }
+
     /// The scheduler consumed these hosts (in ranking order) for one
     /// placement of `R` replicas. Stateful policies advance their rotation
     /// past the *last consumed* host here; ranking alone must not rotate,
@@ -110,6 +133,22 @@ impl PlacementPolicy for LeastLoaded {
             out,
         );
     }
+
+    fn rank_top_into(
+        &mut self,
+        ctx: &PlacementContext<'_>,
+        limit: usize,
+        out: &mut Vec<HostId>,
+    ) -> usize {
+        ctx.cluster.rank_least_loaded_top(
+            ctx.request,
+            ctx.replication_factor,
+            ctx.sr_cap(),
+            limit,
+            &mut self.scratch,
+            out,
+        )
+    }
 }
 
 /// Round-robin over host ids, skipping hosts the shared viability screen
@@ -126,6 +165,8 @@ pub struct RoundRobin {
     last: Option<HostId>,
     /// Viability scratch reused across rankings.
     viable: Viability,
+    /// Over-cap candidates gathered by the indexed top-k walk, reused.
+    over_scratch: Vec<HostId>,
 }
 
 impl RoundRobin {
@@ -154,6 +195,23 @@ impl PlacementPolicy for RoundRobin {
         out.clear();
         Self::extend_resumed(out, &self.viable.within_cap, self.last);
         Self::extend_resumed(out, &self.viable.over_cap, self.last);
+    }
+
+    fn rank_top_into(
+        &mut self,
+        ctx: &PlacementContext<'_>,
+        limit: usize,
+        out: &mut Vec<HostId>,
+    ) -> usize {
+        ctx.cluster.rank_round_robin_top(
+            ctx.request,
+            ctx.replication_factor,
+            ctx.sr_cap(),
+            self.last,
+            limit,
+            &mut self.over_scratch,
+            out,
+        )
     }
 
     fn placed(&mut self, consumed: &[HostId]) {
@@ -196,9 +254,30 @@ impl PlacementPolicy for BinPacking {
             out.extend(self.keyed.iter().map(|&(_, _, id)| id));
         }
     }
+
+    fn rank_top_into(
+        &mut self,
+        ctx: &PlacementContext<'_>,
+        limit: usize,
+        out: &mut Vec<HostId>,
+    ) -> usize {
+        ctx.cluster.rank_bin_packing_top(
+            ctx.request,
+            ctx.replication_factor,
+            ctx.sr_cap(),
+            limit,
+            &mut self.keyed,
+            out,
+        )
+    }
 }
 
 /// Uniformly random viable host order (a sanity baseline for ablations).
+///
+/// Deliberately keeps the default [`PlacementPolicy::rank_top_into`]
+/// (full shuffle, then truncate): a Fisher–Yates over only the top `k`
+/// would consume a different RNG draw sequence than the full shuffle and
+/// change every seeded simulation downstream.
 #[derive(Debug)]
 pub struct RandomPlacement {
     rng: SimRng,
@@ -457,6 +536,60 @@ mod tests {
         assert!(RoundRobin::default().rank(&ctx(&c, &req)).is_empty());
         assert!(BinPacking::default().rank(&ctx(&c, &req)).is_empty());
         assert!(RandomPlacement::new(1).rank(&ctx(&c, &req)).is_empty());
+    }
+
+    #[test]
+    fn rank_top_into_is_the_rank_prefix_for_every_policy() {
+        let mut c = cluster();
+        c.add_host(ResourceBundle::new(32_000, 249_856, 4)); // id 4, smaller shape
+        for _ in 0..20 {
+            c.host_mut(1)
+                .unwrap()
+                .subscribe(&ResourceRequest::one_gpu()); // push host 1 over the cap
+        }
+        let req = ResourceRequest::one_gpu();
+        let mut policies: Vec<Box<dyn PlacementPolicy>> = vec![
+            Box::new(LeastLoaded::default()),
+            Box::new(RoundRobin::default()),
+            Box::new(BinPacking::default()),
+            Box::new(RandomPlacement::new(3)),
+        ];
+        for policy in &mut policies {
+            for limit in [0usize, 1, 3, 5, 8] {
+                // Random draws from its RNG per ranking; clone the stream
+                // state by re-seeding so both paths see the same draws.
+                let (full, mut top) = if policy.name() == "random" {
+                    let full = RandomPlacement::new(7).rank(&ctx(&c, &req));
+                    let mut rng_twin = RandomPlacement::new(7);
+                    let mut top = Vec::new();
+                    let total = rng_twin.rank_top_into(&ctx(&c, &req), limit, &mut top);
+                    assert_eq!(total, full.len(), "random: total viable");
+                    (full, top)
+                } else {
+                    let full = policy.rank(&ctx(&c, &req));
+                    let mut top = Vec::new();
+                    let total = policy.rank_top_into(&ctx(&c, &req), limit, &mut top);
+                    assert_eq!(total, full.len(), "{}: total viable", policy.name());
+                    (full, top)
+                };
+                assert_eq!(
+                    top,
+                    full[..limit.min(full.len())],
+                    "{}: top-{limit} equals the rank prefix",
+                    policy.name()
+                );
+                top.clear();
+            }
+        }
+        // RoundRobin's indexed path must honor rotation state too.
+        let mut rr = RoundRobin::default();
+        let mut top = Vec::new();
+        rr.rank_top_into(&ctx(&c, &req), 2, &mut top);
+        rr.placed(&top);
+        let resumed_full = rr.rank(&ctx(&c, &req));
+        let mut resumed_top = Vec::new();
+        rr.rank_top_into(&ctx(&c, &req), 3, &mut resumed_top);
+        assert_eq!(resumed_top, resumed_full[..3]);
     }
 
     #[test]

@@ -1775,13 +1775,17 @@ fn write_run_json<W: Write>(out: &mut W, run: &SweepRun) -> std::io::Result<()> 
         ("read_ms", &m.read_ms),
         ("write_ms", &m.write_ms),
     ];
+    // CDF samples persist in canonical ascending order: the same multiset
+    // always serializes to the same bytes (merged shard reports stay
+    // byte-identical to single-process runs), and loading reconstructs an
+    // already-sorted collector so pooled aggregation never re-sorts.
     for (i, (name, cdf)) in cdfs.iter().enumerate() {
         let comma = if i + 1 < cdfs.len() { "," } else { "" };
         writeln!(
             out,
             "        {}: {}{comma}",
             json_string(name),
-            json_f64_array(cdf.samples().iter().copied())
+            json_f64_array(cdf.canonical_samples())
         )?;
     }
     writeln!(out, "      }},")?;
@@ -1831,13 +1835,13 @@ fn write_run_json<W: Write>(out: &mut W, run: &SweepRun) -> std::io::Result<()> 
             out,
             "        {}: {},",
             json_string(step.label()),
-            json_f64_array(m.breakdown.step_cdf(step).samples().iter().copied())
+            json_f64_array(m.breakdown.step_cdf(step).canonical_samples())
         )?;
     }
     writeln!(
         out,
         "        \"end_to_end_ms\": {}",
-        json_f64_array(m.breakdown.end_to_end_cdf().samples().iter().copied())
+        json_f64_array(m.breakdown.end_to_end_cdf().canonical_samples())
     )?;
     writeln!(out, "      }}")?;
     write!(out, "    }}")?;

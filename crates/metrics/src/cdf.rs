@@ -61,6 +61,12 @@ impl Cdf {
     /// [`Cdf::samples`], used when a sweep report is loaded back from
     /// disk. Non-finite samples are dropped exactly as [`Cdf::record`]
     /// drops them.
+    ///
+    /// Reports persist samples in canonical ascending order
+    /// ([`Cdf::canonical_samples`]), and [`Cdf::record`] notices in-order
+    /// inserts, so a loaded collector arrives already sorted: pooling k
+    /// loaded runs ([`Cdf::merged`]) stays O(total) end to end and the
+    /// first percentile query pays no O(n log n) sort.
     pub fn from_samples(name: impl Into<String>, samples: impl IntoIterator<Item = f64>) -> Cdf {
         let mut cdf = Cdf::new(name);
         cdf.record_all(samples);
@@ -68,11 +74,13 @@ impl Cdf {
     }
 
     /// Records one sample. Non-finite samples are ignored (they would poison
-    /// every percentile).
+    /// every percentile). An insert that keeps the samples ascending —
+    /// the only case in a load from a canonically-ordered report — keeps
+    /// the collector sorted, so later queries and merges skip the sort.
     pub fn record(&mut self, value: f64) {
         if value.is_finite() {
+            self.sorted = self.sorted && self.samples.last().map_or(true, |&last| last <= value);
             self.samples.push(value);
-            self.sorted = false;
         }
     }
 
@@ -87,6 +95,24 @@ impl Cdf {
     /// sort in place).
     pub fn samples(&self) -> &[f64] {
         &self.samples
+    }
+
+    /// Whether the samples are currently in ascending order (so queries
+    /// and [`Cdf::merge`] take their linear paths).
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// The samples in canonical ascending (`total_cmp`) order, without
+    /// mutating the collector — the order reports persist, chosen so the
+    /// same multiset always serializes to the same bytes no matter how
+    /// the run recorded or merged it (the sharded-sweep byte-identity
+    /// gate depends on this), and so [`Cdf::from_samples`] reconstructs
+    /// an already-sorted collector.
+    pub fn canonical_samples(&self) -> Vec<f64> {
+        let mut out = self.samples.clone();
+        out.sort_by(f64::total_cmp);
+        out
     }
 
     /// Folds another collector's samples into this one — the aggregation
@@ -386,6 +412,88 @@ mod tests {
         let c = filled();
         assert_eq!(Cdf::from_samples("t", c.samples().iter().copied()), c);
         assert_eq!(Cdf::from_samples("t", [f64::NAN, 1.0]).len(), 1);
+    }
+
+    #[test]
+    fn in_order_loads_arrive_sorted() {
+        // Ascending inserts (what loading canonical samples does) keep the
+        // collector sorted; the first out-of-order insert clears the flag.
+        let mut c = Cdf::from_samples("t", [1.0, 2.0, 2.0, 9.0]);
+        assert!(c.is_sorted());
+        c.record(3.0);
+        assert!(!c.is_sorted());
+        assert!(!Cdf::from_samples("t", [5.0, 1.0]).is_sorted());
+        assert!(Cdf::new("e").is_sorted());
+    }
+
+    #[test]
+    fn canonical_samples_are_order_independent() {
+        let a = Cdf::from_samples("t", [3.0, 1.0, 2.0]);
+        let b = Cdf::from_samples("t", [2.0, 3.0, 1.0]);
+        assert_eq!(a.canonical_samples(), b.canonical_samples());
+        assert_eq!(a.canonical_samples(), vec![1.0, 2.0, 3.0]);
+        // Non-mutating: the collector's own sample order is untouched.
+        assert_eq!(a.samples(), &[3.0, 1.0, 2.0]);
+        // Round trip: canonical samples load back as a sorted collector
+        // equal (as a multiset) to the original.
+        let reloaded = Cdf::from_samples("t", a.canonical_samples());
+        assert!(reloaded.is_sorted());
+        assert_eq!(reloaded, a);
+    }
+
+    /// Property test (seeded xorshift cases): pooling collectors loaded
+    /// from canonical order never sorts again and answers every query
+    /// identically to pooling the raw unsorted recordings.
+    #[test]
+    fn pooled_canonical_loads_match_unsorted_pooling() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for case in 0..50 {
+            let runs: Vec<Vec<f64>> = (0..1 + case % 5)
+                .map(|_| {
+                    let n = (next() * 40.0) as usize;
+                    (0..n).map(|_| (next() * 1e3).round() / 10.0).collect()
+                })
+                .collect();
+            let raw: Vec<Cdf> = runs
+                .iter()
+                .map(|r| Cdf::from_samples("part", r.iter().copied()))
+                .collect();
+            let loaded: Vec<Cdf> = raw
+                .iter()
+                .map(|c| Cdf::from_samples("part", c.canonical_samples()))
+                .collect();
+            assert!(
+                loaded.iter().all(Cdf::is_sorted),
+                "case {case}: loads sorted"
+            );
+            let mut pooled_loaded = Cdf::merged("pooled", &loaded);
+            let mut pooled_raw = Cdf::merged("pooled", &raw);
+            assert!(
+                pooled_loaded.is_sorted(),
+                "case {case}: sorted merge never degrades to append"
+            );
+            assert_eq!(pooled_loaded, pooled_raw, "case {case}: same multiset");
+            assert_eq!(
+                pooled_loaded.canonical_samples(),
+                pooled_raw.canonical_samples(),
+                "case {case}: same bytes when persisted"
+            );
+            if !pooled_loaded.is_empty() {
+                for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+                    assert_eq!(
+                        pooled_loaded.percentile(p),
+                        pooled_raw.percentile(p),
+                        "case {case}: percentile {p}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! Index ↔ scan equivalence (PR 6).
+//!
+//! The capacity-bucketed placement index must reproduce the scan path's
+//! ranking order bit for bit — otherwise seeded simulations diverge the
+//! moment the platform consults the index. These properties drive random
+//! typed-mutation sequences (add/remove/subscribe/unsubscribe/commit/
+//! release/drain) interleaved with raw `host_mut` dirtying, and after
+//! every step compare each indexed query against its scan-based
+//! reference:
+//!
+//! * `rank_top_into` for all four placement policies vs the full
+//!   `rank_into` prefix (plus the viable total),
+//! * `best_commit_host` / `best_commit_host_excluding` /
+//!   `best_warm_commit_host` vs the reservation/batch, migration, and
+//!   LCP baseline scans they replaced.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+use notebookos::cluster::{Cluster, HostId, ResourceBundle, ResourceRequest};
+use notebookos::core::{
+    BinPacking, LeastLoaded, PlacementContext, PlacementPolicy, RandomPlacement, RoundRobin,
+};
+
+fn req(gpus: u32) -> ResourceRequest {
+    ResourceRequest::new(2000, 8_192, gpus, 16)
+}
+
+fn small_shape() -> ResourceBundle {
+    ResourceBundle::new(32_000, 249_856, 4)
+}
+
+/// One random mutation step: `(op die, host selector, argument)`.
+fn arb_ops() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::vec((0u8..16, any::<u8>(), any::<u8>()), 5..50)
+}
+
+/// Applies `ops` through the typed mutators (plus occasional raw
+/// `host_mut` access), tracking live subscriptions/commitments so every
+/// inverse operation is legal.
+fn churned_cluster(ops: &[(u8, u8, u8)]) -> Cluster {
+    let mut c = Cluster::with_host_mix(&[(ResourceBundle::p3_16xlarge(), 3), (small_shape(), 2)]);
+    let mut subs: Vec<(HostId, u32)> = Vec::new();
+    let mut commits: Vec<(HostId, u64)> = Vec::new();
+    let mut next_owner = 1u64;
+    let mut devices = Vec::new();
+    for &(op, hsel, arg) in ops {
+        let ids: Vec<HostId> = c.hosts().iter().map(|h| h.id()).collect();
+        let host = ids[usize::from(hsel) % ids.len()];
+        let gpus = u32::from(arg) % 5; // 0 covers CPU-only subscriptions
+        match op % 10 {
+            0 => {
+                let shape = if arg % 2 == 0 {
+                    ResourceBundle::p3_16xlarge()
+                } else {
+                    small_shape()
+                };
+                c.add_host(shape);
+            }
+            1 => {
+                if c.len() > 1 {
+                    subs.retain(|&(h, _)| h != host);
+                    commits.retain(|&(h, _)| h != host);
+                    c.remove_host(host);
+                }
+            }
+            2 | 3 => {
+                assert!(c.subscribe(host, &req(gpus)));
+                subs.push((host, gpus));
+            }
+            4 => {
+                if let Some(pos) = subs.iter().position(|&(h, _)| h == host) {
+                    let (h, g) = subs.remove(pos);
+                    assert!(c.unsubscribe(h, &req(g)));
+                }
+            }
+            5 | 6 => {
+                let owner = next_owner;
+                next_owner += 1;
+                if c.try_commit(host, owner, &req(gpus.max(1)), &mut devices) {
+                    commits.push((host, owner));
+                }
+            }
+            7 => {
+                if let Some(pos) = commits.iter().position(|&(h, _)| h == host) {
+                    let (h, owner) = commits.remove(pos);
+                    assert!(c.release(h, owner));
+                }
+            }
+            8 => {
+                let draining = c.host(host).expect("host exists").is_draining();
+                assert!(c.set_draining(host, !draining));
+            }
+            _ => {
+                // Raw access the index cannot observe: the next query must
+                // self-heal via the lazy rebuild.
+                let h = c.host_mut(host).expect("host exists");
+                if arg % 2 == 0 {
+                    h.subscribe(&req(gpus));
+                    subs.push((host, gpus));
+                } else {
+                    let flag = h.is_draining();
+                    h.set_draining(!flag);
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Scan reference for [`Cluster::best_commit_host`] (the reservation and
+/// batch baselines' host pick).
+fn scan_best_commit(c: &Cluster, request: &ResourceRequest) -> Option<HostId> {
+    c.hosts()
+        .iter()
+        .filter(|h| h.can_commit(request))
+        .map(|h| (h.idle_gpus(), h.id()))
+        .max()
+        .map(|(_, id)| id)
+}
+
+/// Scan reference for the migration target pick.
+fn scan_migration_target(
+    c: &Cluster,
+    request: &ResourceRequest,
+    exclude: &[HostId],
+) -> Option<HostId> {
+    c.hosts()
+        .iter()
+        .filter(|h| !exclude.contains(&h.id()) && !h.is_draining() && h.can_commit(request))
+        .map(|h| (h.idle_gpus(), h.id()))
+        .max()
+        .map(|(_, id)| id)
+}
+
+/// Scan reference for the LCP submit pick (warm container preferred).
+fn scan_lcp_target(
+    c: &Cluster,
+    request: &ResourceRequest,
+    warm: impl Fn(HostId) -> u32,
+) -> Option<HostId> {
+    c.hosts()
+        .iter()
+        .filter(|h| h.can_commit(request))
+        .map(|h| (warm(h.id()).min(1), h.idle_gpus(), h.id()))
+        .max()
+        .map(|(_, _, id)| id)
+}
+
+/// Asserts every indexed query equals its scan reference on `c`.
+fn assert_index_matches_scan(c: &Cluster) -> Result<(), TestCaseError> {
+    for gpus in [0u32, 1, 4] {
+        let request = req(gpus);
+        let ctx = PlacementContext {
+            cluster: c,
+            request: &request,
+            replication_factor: 3,
+        };
+        let viable = ctx.viable();
+        prop_assert_eq!(c.viable_count(&request), viable.len(), "viable count");
+
+        let mut policies: Vec<Box<dyn PlacementPolicy>> = vec![
+            Box::new(LeastLoaded::default()),
+            Box::new(RoundRobin::default()),
+            Box::new(BinPacking::default()),
+        ];
+        for policy in &mut policies {
+            let full = policy.rank(&ctx);
+            for limit in [1usize, 3, full.len(), full.len() + 2] {
+                let mut top = Vec::new();
+                let total = policy.rank_top_into(&ctx, limit, &mut top);
+                prop_assert_eq!(total, full.len(), "{}: viable total", policy.name());
+                prop_assert_eq!(
+                    &top[..],
+                    &full[..limit.min(full.len())],
+                    "{}: top-{} ({} gpus)",
+                    policy.name(),
+                    limit,
+                    gpus
+                );
+            }
+        }
+        // RoundRobin rotation state feeds the indexed walk too.
+        let mut rr = RoundRobin::default();
+        let ranked = rr.rank(&ctx);
+        if !ranked.is_empty() {
+            rr.placed(&ranked[..1.max(ranked.len() / 2)]);
+            let resumed = rr.rank(&ctx);
+            let mut top = Vec::new();
+            rr.rank_top_into(&ctx, 3, &mut top);
+            prop_assert_eq!(&top[..], &resumed[..3.min(resumed.len())], "rotated top-3");
+        }
+        // Random shares the default truncating path; equality of the RNG
+        // stream needs twin instances.
+        let full = RandomPlacement::new(11).rank(&ctx);
+        let mut top = Vec::new();
+        let total = RandomPlacement::new(11).rank_top_into(&ctx, 3, &mut top);
+        prop_assert_eq!(total, full.len(), "random: viable total");
+        prop_assert_eq!(&top[..], &full[..3.min(full.len())], "random: top-3");
+
+        // Commit-side baseline scans.
+        prop_assert_eq!(
+            c.best_commit_host(&request),
+            scan_best_commit(c, &request),
+            "best commit ({} gpus)",
+            gpus
+        );
+        let exclude: Vec<HostId> = c.hosts().iter().map(|h| h.id()).take(2).collect();
+        prop_assert_eq!(
+            c.best_commit_host_excluding(&request, &exclude),
+            scan_migration_target(c, &request, &exclude),
+            "migration target ({} gpus)",
+            gpus
+        );
+        let warm = |id: HostId| u32::from(id % 3 == 0);
+        prop_assert_eq!(
+            c.best_warm_commit_host(&request, warm),
+            scan_lcp_target(c, &request, warm),
+            "LCP target ({} gpus)",
+            gpus
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After any random mutation sequence, every indexed query equals its
+    /// scan reference.
+    #[test]
+    fn index_equals_scan_after_random_mutations(ops in arb_ops()) {
+        let c = churned_cluster(&ops);
+        assert_index_matches_scan(&c)?;
+    }
+
+    /// Equivalence also holds at every intermediate state, so incremental
+    /// maintenance never drifts mid-sequence (not just at quiescence).
+    #[test]
+    fn index_equals_scan_at_every_step(ops in proptest::collection::vec((0u8..16, any::<u8>(), any::<u8>()), 1..12)) {
+        for prefix in 1..=ops.len() {
+            let c = churned_cluster(&ops[..prefix]);
+            assert_index_matches_scan(&c)?;
+        }
+    }
+}
+
+/// Deterministic churn: heavy raw `host_mut` dirtying between queries —
+/// the index must self-heal on every query after every dirtying, and
+/// typed mutations layered on top must stay exact.
+#[test]
+fn index_self_heals_under_host_mut_churn() {
+    let mut c = Cluster::with_host_mix(&[(ResourceBundle::p3_16xlarge(), 8), (small_shape(), 4)]);
+    let mut devices = Vec::new();
+    for round in 0..40u64 {
+        let ids: Vec<HostId> = c.hosts().iter().map(|h| h.id()).collect();
+        let id = ids[(round as usize * 7 + 3) % ids.len()];
+        // Raw dirtying the index cannot see.
+        let h = c.host_mut(id).expect("host exists");
+        match round % 4 {
+            0 => h.subscribe(&req(round as u32 % 4 + 1)),
+            1 => {
+                let flag = h.is_draining();
+                h.set_draining(!flag);
+            }
+            2 => {
+                let _ = h.commit(1_000 + round, &req(1));
+            }
+            _ => {
+                if h.has_commitment(1_000 + round - 2) {
+                    h.release(1_000 + round - 2);
+                }
+            }
+        }
+        // Typed mutation layered on the dirty state.
+        if round % 3 == 0 {
+            let target = ids[(round as usize + 5) % ids.len()];
+            c.subscribe(target, &req(1));
+            c.try_commit(target, 5_000 + round, &req(1), &mut devices);
+        }
+        assert_index_matches_scan(&c)
+            .unwrap_or_else(|e| panic!("round {round}: index drifted from scan: {e:?}"));
+    }
+}
