@@ -9,8 +9,13 @@
 //! ```text
 //! cargo run --release -p notebookos-bench --bin elasticity_sweep -- \
 //!     [--smoke] [--workers N] [--shard I/M] [--out FILE] \
-//!     [--resume FILE] [--merge FILES...]
+//!     [--resume FILE] [--fsync] [--merge FILES...]
 //! ```
+//!
+//! `--fsync` (with `--resume`) upgrades the checkpoint journal to
+//! per-record durability — each completed cell is fsynced, so it survives
+//! power loss, not just process death — and prints the measured
+//! µs/record cost of the upgrade before the sweep starts.
 //!
 //! `--out FILE` names the JSON report (default
 //! `results/elasticity/elasticity_sweep.json` for unsharded runs; a
@@ -30,7 +35,7 @@ use notebookos_metrics::Table;
 
 const USAGE: &str =
     "elasticity_sweep [--smoke] [--workers N] [--shard I/M] [--out FILE] [--resume FILE] \
-     [--merge FILES...]";
+     [--fsync] [--merge FILES...]";
 
 /// The full-scale scenario axis: the three stress patterns at excerpt
 /// scale (§5.2's 17.5-hour window).

@@ -172,6 +172,13 @@ fn main() {
         eprintln!("{msg}");
         std::process::exit(2);
     });
+    // `--fsync` hardens the sweep engine's cell journal; repro_all
+    // checkpoints through JSON manifests instead, so accepting the flag
+    // here would silently do nothing.
+    if cli.fsync {
+        eprintln!("repro_all: --fsync applies to sweep-journal binaries only; usage: {USAGE}");
+        std::process::exit(2);
+    }
     let (smoke, workers) = (cli.smoke, cli.workers);
     // SweepCli::parse has already enforced that a --shard run names a
     // persistence target (--out/--resume), so captured transcripts can

@@ -19,9 +19,11 @@
 //! ```
 //!
 //! Flags: `[--smoke] [--workers N] [--shard I/M] [--out FILE]
-//! [--resume FILE] [--merge FILES...]`. Merged or resumed-to-completion
-//! reports render the interaction tables; partial (sharded) runs just
-//! persist their cells.
+//! [--resume FILE] [--fsync] [--merge FILES...]`. Merged or
+//! resumed-to-completion reports render the interaction tables; partial
+//! (sharded) runs just persist their cells. `--fsync` hardens the
+//! `--resume` checkpoint journal to per-record durability and prints the
+//! measured throughput cost of doing so.
 
 use notebookos_bench::sweep_cli::SweepCli;
 use notebookos_bench::{elastic_config, elastic_smoke_config, smoke_heterogeneous};
@@ -31,7 +33,7 @@ use notebookos_metrics::Table;
 
 const USAGE: &str =
     "sweep_shard [--smoke] [--workers N] [--shard I/M] [--out FILE] [--resume FILE] \
-     [--merge FILES...]";
+     [--fsync] [--merge FILES...]";
 
 /// The interaction matrix: NotebookOS under every placement × elasticity
 /// pairing, on the scenarios where the pairings differ most.

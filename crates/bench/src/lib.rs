@@ -19,6 +19,7 @@ use notebookos_core::sweep::{self, Scenario, SweepJob};
 use notebookos_core::{Platform, PlatformConfig, PolicyKind, RunMetrics};
 use notebookos_trace::{generate, ArrivalPattern, SyntheticConfig, WorkloadTrace};
 
+pub mod serve;
 pub mod sweep_cli;
 
 /// The seed every figure uses, so artifacts are mutually consistent.

@@ -1,0 +1,522 @@
+//! The live-service load generator: replays a time-compressed synthetic
+//! trace against the [`LiveGateway`] through whichever
+//! [`Scheduler`] the caller supplies.
+//!
+//! The serving loop is scheduler-agnostic by construction: every session
+//! start/end and cell submission becomes a [`ServeEv`] with a deadline,
+//! and [`run_serve`] reacts to events as they pop. Under a
+//! [`DesScheduler`](notebookos_des::DesScheduler) the whole run completes
+//! in microseconds of wall time (how the tests drive it); under a
+//! [`RealTimeScheduler`](notebookos_des::RealTimeScheduler) the same loop
+//! serves actual wall-clock Jupyter wire traffic (how the `serve` bin
+//! drives it). The only difference is which scheduler the caller passes.
+//!
+//! Traffic comes from the calibrated [`notebookos_trace`] generators: an
+//! AdobeTrace-shaped workload for `--users` sessions is generated over
+//! its natural hour-scale window, then compressed onto the requested
+//! serving window, with per-cell running times capped so executions
+//! complete within the run.
+
+use std::collections::{HashMap, VecDeque};
+
+use notebookos_core::serve::{client_request, GatewayStats, LiveGateway};
+use notebookos_des::{Scheduler, SimTime};
+use notebookos_jupyter::{Json, KernelResourceSpec, MsgIdGen, WireEndpoint};
+use notebookos_metrics::Cdf;
+use notebookos_trace::{generate, SyntheticConfig, WorkloadTrace};
+
+/// Events of the serving loop. The trace pre-schedules session lifecycles
+/// and submissions; completions and gauge ticks are scheduled as the run
+/// unfolds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeEv {
+    /// A user's session begins (kernel launch through the control plane).
+    SessionStart(usize),
+    /// A user's session ends (deferred while a cell is still running).
+    SessionEnd(usize),
+    /// A user submits a cell with the given (compressed) running time.
+    Submit {
+        /// The submitting user.
+        user: usize,
+        /// Compressed cell running time.
+        duration: SimTime,
+    },
+    /// A fanned-out execution reaches its completion deadline.
+    ExecDone {
+        /// The user whose cell completes.
+        user: usize,
+        /// The request's message id ([`LiveGateway::finish_execution`]).
+        msg_id: String,
+    },
+    /// Periodic gauge sample (sessions, in-flight, viable hosts).
+    ProgressTick,
+}
+
+/// Configuration for one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeOpts {
+    /// Concurrent users (one session each).
+    pub users: usize,
+    /// Serving window the trace is compressed onto.
+    pub duration: SimTime,
+    /// GPU servers in the fleet.
+    pub hosts: usize,
+    /// Replicas per kernel.
+    pub replication_factor: u32,
+    /// Trace-generation seed.
+    pub seed: u64,
+    /// Cap on a compressed cell's running time, so executions finish
+    /// within the window.
+    pub max_cell: SimTime,
+    /// Gauge sampling interval.
+    pub tick: SimTime,
+}
+
+impl ServeOpts {
+    /// Defaults: 8 users over 10 s on 8 hosts, R = 3, 250 ms cell cap.
+    pub fn new(users: usize, duration: SimTime) -> Self {
+        ServeOpts {
+            users,
+            duration,
+            hosts: 8,
+            replication_factor: 3,
+            seed: crate::EVAL_SEED,
+            max_cell: SimTime::from_millis(250),
+            tick: SimTime::from_millis(500),
+        }
+    }
+
+    /// CI-speed smoke run: 4 users over 3 s on 6 hosts.
+    pub fn smoke() -> Self {
+        let mut opts = ServeOpts::new(4, SimTime::from_secs(3));
+        opts.hosts = 6;
+        opts
+    }
+}
+
+/// What a serving run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Configured users.
+    pub users: usize,
+    /// Sessions whose kernel launched.
+    pub sessions_started: u64,
+    /// Sessions ended (their kernels shut down).
+    pub sessions_ended: u64,
+    /// Peak concurrently live sessions.
+    pub peak_sessions: usize,
+    /// Cell executions completed (merged reply received).
+    pub executions: u64,
+    /// Completed executions per logical second.
+    pub execs_per_sec: f64,
+    /// p50 end-to-end request latency (submit → merged reply), ms.
+    pub latency_p50_ms: f64,
+    /// p99 end-to-end request latency, ms.
+    pub latency_p99_ms: f64,
+    /// Mean end-to-end request latency, ms.
+    pub latency_mean_ms: f64,
+    /// Session starts refused for lack of viable hosts.
+    pub shortfalls: u64,
+    /// Submissions dropped (inactive session or gateway rejection).
+    pub dropped: u64,
+    /// Logical time the run spanned (last event), seconds.
+    pub logical_secs: f64,
+    /// The gateway's wire counters.
+    pub gateway: GatewayStats,
+    /// Wire messages the client side sent / received.
+    pub client_sent: u64,
+    /// Wire messages the client side received and verified.
+    pub client_received: u64,
+    /// Smallest viable-host gauge sample observed (one-GPU request).
+    pub min_viable_hosts: usize,
+    /// Gauge samples taken.
+    pub gauge_samples: u64,
+}
+
+impl ServeReport {
+    /// Serializes the report for the `--out` artifact.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("users", self.users as u64)
+            .with("sessions_started", self.sessions_started)
+            .with("sessions_ended", self.sessions_ended)
+            .with("peak_sessions", self.peak_sessions as u64)
+            .with("executions", self.executions)
+            .with("execs_per_sec", self.execs_per_sec)
+            .with("latency_p50_ms", self.latency_p50_ms)
+            .with("latency_p99_ms", self.latency_p99_ms)
+            .with("latency_mean_ms", self.latency_mean_ms)
+            .with("shortfalls", self.shortfalls)
+            .with("dropped", self.dropped)
+            .with("logical_secs", self.logical_secs)
+            .with("wire_accepted", self.gateway.accepted)
+            .with("wire_rejected", self.gateway.rejected)
+            .with("wire_replies", self.gateway.replies)
+            .with("wire_fan_out_copies", self.gateway.fan_out_copies)
+            .with("client_sent", self.client_sent)
+            .with("client_received", self.client_received)
+            .with("min_viable_hosts", self.min_viable_hosts as u64)
+            .with("gauge_samples", self.gauge_samples)
+    }
+
+    /// Renders the human-readable summary the `serve` bin prints.
+    pub fn render(&self) -> String {
+        format!(
+            "sessions: {} started, {} ended, peak {} concurrent\n\
+             executions: {} completed ({:.1}/s over {:.2}s logical)\n\
+             latency: p50 {:.1} ms, p99 {:.1} ms, mean {:.1} ms\n\
+             wire: {} accepted, {} fan-out copies, {} replies, {} rejected\n\
+             capacity: min {} viable hosts across {} samples; \
+             {} shortfalls, {} dropped",
+            self.sessions_started,
+            self.sessions_ended,
+            self.peak_sessions,
+            self.executions,
+            self.execs_per_sec,
+            self.logical_secs,
+            self.latency_p50_ms,
+            self.latency_p99_ms,
+            self.latency_mean_ms,
+            self.gateway.accepted,
+            self.gateway.fan_out_copies,
+            self.gateway.replies,
+            self.gateway.rejected,
+            self.min_viable_hosts,
+            self.gauge_samples,
+            self.shortfalls,
+            self.dropped,
+        )
+    }
+}
+
+/// Per-user client state.
+#[derive(Debug, Default)]
+struct UserState {
+    kernel_id: String,
+    active: bool,
+    busy: bool,
+    queued: VecDeque<SimTime>,
+    end_requested: bool,
+}
+
+/// The compressed per-user workload plus the resource spec of each
+/// session, derived from one generated trace.
+#[derive(Debug)]
+struct CompressedTrace {
+    specs: Vec<KernelResourceSpec>,
+    /// `(deadline, event)` pairs to pre-schedule.
+    events: Vec<(SimTime, ServeEv)>,
+}
+
+fn compress(trace: &WorkloadTrace, opts: &ServeOpts) -> CompressedTrace {
+    let span_s = trace.span_s().max(1.0);
+    let factor = opts.duration.as_secs_f64() / span_s;
+    let mut specs = Vec::with_capacity(trace.sessions.len());
+    let mut events = Vec::new();
+    for (user, session) in trace.sessions.iter().enumerate() {
+        specs.push(KernelResourceSpec {
+            millicpus: session.millicpus as u32,
+            memory_mb: session.memory_mb as u32,
+            gpus: session.gpus,
+            vram_gb: session.vram_gb,
+        });
+        let start = SimTime::from_secs_f64(session.start_s * factor);
+        let end = SimTime::from_secs_f64(session.end_s * factor).max(start);
+        events.push((start, ServeEv::SessionStart(user)));
+        events.push((end, ServeEv::SessionEnd(user)));
+        for event in &session.events {
+            let submit = SimTime::from_secs_f64(event.submit_s * factor);
+            let duration = SimTime::from_secs_f64(event.duration_s * factor)
+                .min(opts.max_cell)
+                .max(SimTime::from_millis(1));
+            events.push((submit, ServeEv::Submit { user, duration }));
+        }
+    }
+    CompressedTrace { specs, events }
+}
+
+/// Runs the serving loop to completion under the supplied scheduler.
+///
+/// The run ends when the event queue drains: all sessions have started,
+/// every accepted execution has completed, and gauge ticks have stopped
+/// (they are not scheduled past the serving window). Identical inputs
+/// produce identical reports under any scheduler, because all timing
+/// flows through `sched`.
+pub fn run_serve(opts: &ServeOpts, sched: &mut dyn Scheduler<ServeEv>) -> ServeReport {
+    // One AdobeTrace-shaped hour, compressed onto the serving window.
+    // Every user submits (gpu_active_fraction 1.0): a load generator that
+    // mostly idles would make smoke runs flaky.
+    let config = SyntheticConfig {
+        sessions: opts.users,
+        span_s: 3_600.0,
+        gpu_active_fraction: 1.0,
+        long_lived_fraction: 0.9,
+        ..SyntheticConfig::smoke()
+    };
+    let trace = generate(&config, opts.seed);
+    let compressed = compress(&trace, opts);
+
+    let (mut gateway, mut client) = LiveGateway::new(
+        opts.hosts,
+        notebookos_cluster::ResourceBundle::p3_16xlarge(),
+        opts.replication_factor,
+    );
+    let mut users: Vec<UserState> = (0..opts.users).map(|_| UserState::default()).collect();
+    let mut ids = MsgIdGen::new("cell");
+    let mut in_flight: HashMap<String, (usize, SimTime)> = HashMap::new();
+    let mut latency = Cdf::new("request-latency-ms");
+
+    let mut report = ServeReport {
+        users: opts.users,
+        sessions_started: 0,
+        sessions_ended: 0,
+        peak_sessions: 0,
+        executions: 0,
+        execs_per_sec: 0.0,
+        latency_p50_ms: 0.0,
+        latency_p99_ms: 0.0,
+        latency_mean_ms: 0.0,
+        shortfalls: 0,
+        dropped: 0,
+        logical_secs: 0.0,
+        gateway: GatewayStats::default(),
+        client_sent: 0,
+        client_received: 0,
+        min_viable_hosts: usize::MAX,
+        gauge_samples: 0,
+    };
+    let gauge_spec = KernelResourceSpec {
+        millicpus: 4_000,
+        memory_mb: 16_384,
+        gpus: 1,
+        vram_gb: 16,
+    };
+
+    for (deadline, event) in compressed.events {
+        sched.schedule(deadline, event);
+    }
+    sched.schedule(SimTime::ZERO, ServeEv::ProgressTick);
+
+    while let Some((now, event)) = sched.pop_next() {
+        match event {
+            ServeEv::SessionStart(user) => {
+                let session_id = format!("user-{user}");
+                match gateway.start_session(&session_id, compressed.specs[user], now) {
+                    Ok(info) => {
+                        users[user].kernel_id = info.kernel_id;
+                        users[user].active = true;
+                        report.sessions_started += 1;
+                        report.peak_sessions = report.peak_sessions.max(gateway.session_count());
+                    }
+                    Err(_) => report.shortfalls += 1,
+                }
+            }
+            ServeEv::SessionEnd(user) => {
+                let state = &mut users[user];
+                if !state.active {
+                    continue;
+                }
+                if state.busy || !state.queued.is_empty() {
+                    state.end_requested = true;
+                } else {
+                    state.active = false;
+                    gateway.end_session(&format!("user-{user}"));
+                    report.sessions_ended += 1;
+                }
+            }
+            ServeEv::Submit { user, duration } => {
+                if !users[user].active {
+                    report.dropped += 1;
+                } else if users[user].busy {
+                    // §2.3.2: a user's cells never overlap — queue behind
+                    // the running one.
+                    users[user].queued.push_back(duration);
+                } else {
+                    submit_cell(
+                        user,
+                        duration,
+                        now,
+                        &mut users,
+                        &mut ids,
+                        &mut client,
+                        &mut gateway,
+                        &mut in_flight,
+                        &mut report,
+                        sched,
+                    );
+                }
+            }
+            ServeEv::ExecDone { user, msg_id } => {
+                gateway.finish_execution(&msg_id, now);
+                let (replies, bad) = client.drain();
+                report.dropped += bad as u64;
+                for (_, reply) in replies {
+                    let Some(parent) = reply.parent.as_ref() else {
+                        continue;
+                    };
+                    let Some((owner, submitted)) = in_flight.remove(&parent.msg_id) else {
+                        continue;
+                    };
+                    report.executions += 1;
+                    latency.record(now.saturating_sub(submitted).as_millis_f64());
+                    users[owner].busy = false;
+                }
+                // The user is free again: drain their queue, then honor a
+                // deferred session end.
+                if !users[user].busy {
+                    if let Some(duration) = users[user].queued.pop_front() {
+                        submit_cell(
+                            user,
+                            duration,
+                            now,
+                            &mut users,
+                            &mut ids,
+                            &mut client,
+                            &mut gateway,
+                            &mut in_flight,
+                            &mut report,
+                            sched,
+                        );
+                    } else if users[user].end_requested {
+                        users[user].active = false;
+                        gateway.end_session(&format!("user-{user}"));
+                        report.sessions_ended += 1;
+                    }
+                }
+            }
+            ServeEv::ProgressTick => {
+                report.gauge_samples += 1;
+                report.min_viable_hosts = report
+                    .min_viable_hosts
+                    .min(gateway.viable_count(gauge_spec));
+                report.peak_sessions = report.peak_sessions.max(gateway.session_count());
+                if now + opts.tick <= opts.duration {
+                    sched.schedule_in(opts.tick, ServeEv::ProgressTick);
+                }
+            }
+        }
+        report.logical_secs = now.as_secs_f64();
+    }
+
+    if report.min_viable_hosts == usize::MAX {
+        report.min_viable_hosts = 0;
+    }
+    if !latency.is_empty() {
+        report.latency_p50_ms = latency.percentile(50.0);
+        report.latency_p99_ms = latency.percentile(99.0);
+        report.latency_mean_ms = latency.mean();
+    }
+    if report.logical_secs > 0.0 {
+        report.execs_per_sec = report.executions as f64 / report.logical_secs;
+    }
+    report.gateway = gateway.stats();
+    report.client_sent = client.sent();
+    report.client_received = client.received();
+    report
+}
+
+/// Sends one cell over the wire and schedules its completion deadline.
+#[allow(clippy::too_many_arguments)]
+fn submit_cell(
+    user: usize,
+    duration: SimTime,
+    now: SimTime,
+    users: &mut [UserState],
+    ids: &mut MsgIdGen,
+    client: &mut WireEndpoint,
+    gateway: &mut LiveGateway,
+    in_flight: &mut HashMap<String, (usize, SimTime)>,
+    report: &mut ServeReport,
+    sched: &mut dyn Scheduler<ServeEv>,
+) {
+    let msg_id = ids.next_id();
+    let session_id = format!("user-{user}");
+    let request = client_request(
+        &msg_id,
+        &session_id,
+        &users[user].kernel_id,
+        "model.fit()",
+        duration,
+        now,
+    );
+    client.send(&[], &request);
+    in_flight.insert(msg_id.clone(), (user, now));
+    users[user].busy = true;
+    let accepted = gateway.pump(now);
+    let mut ours = false;
+    for execution in accepted {
+        sched.schedule_in(
+            execution.duration,
+            ServeEv::ExecDone {
+                user,
+                msg_id: execution.msg_id.clone(),
+            },
+        );
+        ours |= execution.msg_id == msg_id;
+    }
+    if !ours {
+        in_flight.remove(&msg_id);
+        users[user].busy = false;
+        report.dropped += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use notebookos_des::DesScheduler;
+
+    #[test]
+    fn smoke_run_completes_executions_under_virtual_time() {
+        let opts = ServeOpts::smoke();
+        let mut sched = DesScheduler::new();
+        let report = run_serve(&opts, &mut sched);
+        assert!(report.executions > 0, "smoke run must execute cells");
+        assert_eq!(report.sessions_started, opts.users as u64);
+        assert_eq!(report.shortfalls, 0);
+        assert_eq!(
+            report.gateway.replies, report.executions,
+            "one merged reply per completed execution"
+        );
+        assert_eq!(
+            report.gateway.fan_out_copies,
+            report.gateway.accepted * u64::from(opts.replication_factor)
+        );
+        assert_eq!(sched.pending(), 0, "clean shutdown drains the queue");
+        assert!(report.latency_p99_ms >= report.latency_p50_ms);
+        assert!(report.min_viable_hosts > 0, "fleet never exhausted");
+    }
+
+    #[test]
+    fn identical_inputs_give_identical_reports() {
+        let opts = ServeOpts::smoke();
+        let a = run_serve(&opts, &mut DesScheduler::new());
+        let b = run_serve(&opts, &mut DesScheduler::new());
+        assert_eq!(a, b, "serving loop is deterministic under DES");
+    }
+
+    #[test]
+    fn busy_sessions_queue_rather_than_overlap() {
+        // Compress hard enough that submissions outpace the cell cap:
+        // the queue must absorb them and every accepted execution still
+        // completes.
+        let mut opts = ServeOpts::new(3, SimTime::from_millis(800));
+        opts.hosts = 6;
+        opts.max_cell = SimTime::from_millis(200);
+        let report = run_serve(&opts, &mut DesScheduler::new());
+        assert_eq!(report.gateway.replies, report.executions);
+        assert_eq!(report.gateway.accepted, report.executions);
+        assert!(report.latency_p99_ms >= report.latency_p50_ms);
+    }
+
+    #[test]
+    fn shortfall_fleets_are_reported_not_fatal() {
+        let mut opts = ServeOpts::smoke();
+        opts.hosts = 2; // R = 3 cannot place
+        let report = run_serve(&opts, &mut DesScheduler::new());
+        assert_eq!(report.sessions_started, 0);
+        assert_eq!(report.shortfalls, opts.users as u64);
+        assert_eq!(report.executions, 0);
+        assert!(report.dropped > 0, "their submissions drop");
+    }
+}

@@ -10,6 +10,9 @@
 //! * `--out FILE` — persist the report as JSON ([`SweepReport::write_json`])
 //! * `--resume FILE` — skip cells already persisted in `FILE` and append
 //!   the missing ones ([`SweepSpec::run_resuming`])
+//! * `--fsync` — with `--resume`, fsync the checkpoint journal after
+//!   every record ([`SweepSpec::journal_fsync`]); the measured per-record
+//!   throughput cost is printed before the sweep starts
 //! * `--merge FILES...` — run nothing; merge previously persisted shard
 //!   reports ([`SweepReport::merge`])
 //!
@@ -17,9 +20,11 @@
 //! and [`SweepCli::execute`] drives the corresponding engine entry point,
 //! so the binaries only build their spec and render their tables.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-use notebookos_core::sweep::{ShardStrategy, SweepError, SweepReport, SweepSpec};
+use notebookos_core::sweep::{
+    measure_journal_fsync_cost, ShardStrategy, SweepError, SweepReport, SweepSpec,
+};
 
 /// Parsed sharding/persistence flags shared by the sweep binaries.
 #[derive(Debug, Clone, Default)]
@@ -38,6 +43,8 @@ pub struct SweepCli {
     pub out: Option<PathBuf>,
     /// `--resume FILE`.
     pub resume: Option<PathBuf>,
+    /// `--fsync`: per-record journal durability for resumable runs.
+    pub fsync: bool,
     /// `--merge FILES...` (every following argument up to the next
     /// `--flag`).
     pub merge: Vec<PathBuf>,
@@ -101,6 +108,7 @@ impl SweepCli {
                 }
                 "--out" => cli.out = Some(PathBuf::from(value("--out")?)),
                 "--resume" => cli.resume = Some(PathBuf::from(value("--resume")?)),
+                "--fsync" => cli.fsync = true,
                 "--merge" => {
                     // Shard report paths run up to the next `--flag`.
                     while args.peek().is_some_and(|a| !a.starts_with("--")) {
@@ -128,6 +136,14 @@ impl SweepCli {
             return Err(format!(
                 "--shard produces partial results; give it --out FILE or --resume FILE \
                  so the other shards can be merged in; usage: {usage}"
+            ));
+        }
+        // The checkpoint journal only exists on resumable runs, so
+        // `--fsync` without `--resume` would silently do nothing.
+        if cli.fsync && cli.resume.is_none() {
+            return Err(format!(
+                "--fsync hardens the --resume checkpoint journal; give it --resume FILE; \
+                 usage: {usage}"
             ));
         }
         Ok(cli)
@@ -185,7 +201,21 @@ impl SweepCli {
                 }
                 None => spec.clone(),
             };
-            let spec = spec.workers(self.workers);
+            let spec = spec.workers(self.workers).journal_fsync(self.fsync);
+            if self.fsync {
+                // Price the durability upgrade on the disk the journal
+                // will actually live on, and say so up front.
+                if let Some(path) = &self.resume {
+                    let dir = path
+                        .parent()
+                        .filter(|p| !p.as_os_str().is_empty())
+                        .unwrap_or(Path::new("."));
+                    match measure_journal_fsync_cost(dir, 64) {
+                        Ok(cost) => eprintln!("{label}: {}", cost.render()),
+                        Err(error) => eprintln!("{label}: fsync cost probe failed: {error}"),
+                    }
+                }
+            }
             let progress =
                 |done: usize, total: usize| eprintln!("  [{done}/{total}] runs complete");
             match &self.resume {
@@ -289,6 +319,16 @@ mod tests {
         assert!(err.contains("--out"), "{err}");
         assert!(parse(&["--shard", "0/2", "--out", "s.json"]).is_ok());
         assert!(parse(&["--shard", "0/2", "--resume", "r.json"]).is_ok());
+    }
+
+    #[test]
+    fn fsync_requires_a_resume_journal() {
+        let err = parse(&["--fsync"]).unwrap_err();
+        assert!(err.contains("--resume"), "{err}");
+        assert!(parse(&["--fsync", "--out", "r.json"]).is_err());
+        let cli = parse(&["--fsync", "--resume", "r.json"]).expect("valid");
+        assert!(cli.fsync);
+        assert!(!parse(&["--resume", "r.json"]).unwrap().fsync);
     }
 
     #[test]

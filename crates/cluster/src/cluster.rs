@@ -14,7 +14,7 @@
 //!   [`Cluster::release`], …);
 //! * the shape census is a persistent sorted index updated on host
 //!   add/remove, not an O(hosts × shapes) scan per query;
-//! * a capacity-bucketed placement index ([`HostIndex`], private) keeps
+//! * a capacity-bucketed placement index (`HostIndex`, private) keeps
 //!   every host ordered by the exact keys the placement policies and the
 //!   commit-side scans sort by, so top-k host selection is O(log hosts +
 //!   k) instead of an O(hosts) slab rescan per decision (see

@@ -52,6 +52,7 @@ pub mod platform;
 pub mod policy;
 pub mod reclamation;
 pub mod results;
+pub mod serve;
 pub mod smr;
 pub mod sweep;
 pub mod types;
@@ -74,8 +75,12 @@ pub use policy::{
 };
 pub use reclamation::{analyze as analyze_reclamation, fig13_sweep, ReclamationSavings};
 pub use results::{RunCounters, RunMetrics};
+pub use serve::{
+    client_request, AcceptedExecution, GatewayStats, LiveGateway, DURATION_KEY, GATEWAY_KEY,
+};
 pub use smr::{ElectionOutcome, ElectionTracker, KernelCommand, KernelProtocolHarness, Proposal};
 pub use sweep::{
-    Scenario, SweepAggregate, SweepCsvRow, SweepError, SweepJob, SweepReport, SweepRun, SweepSpec,
+    measure_journal_fsync_cost, JournalFsyncCost, Scenario, SweepAggregate, SweepCsvRow,
+    SweepError, SweepJob, SweepReport, SweepRun, SweepSpec,
 };
 pub use types::{KernelId, ReplicaId};

@@ -15,7 +15,7 @@ use notebookos_cluster::{
     Cluster, HostId, MinPerHost, PrewarmPool, ProvisioningModel, ResourceBundle, ResourceRequest,
 };
 use notebookos_datastore::DataStore;
-use notebookos_des::{EventQueue, SimRng, SimTime, Simulation, World};
+use notebookos_des::{DesScheduler, Scheduler, SimRng, SimTime};
 use notebookos_trace::WorkloadTrace;
 
 use crate::billing::BillingMeter;
@@ -266,27 +266,60 @@ impl Platform {
     /// [`Platform::pool`]) alongside [`Platform::metrics`] — the metrics
     /// are identical to what [`Platform::run`] returns.
     pub fn run_for_inspection(config: PlatformConfig, trace: WorkloadTrace) -> Platform {
-        let mut platform = Platform::new(config, trace);
-        let mut queue = EventQueue::new();
-        platform.schedule_initial(&mut queue);
-        let horizon = SimTime::from_micros(platform.horizon_us + 60_000_000);
-        let mut sim = Simulation::new(platform);
-        std::mem::swap(sim.queue_mut(), &mut queue);
-        sim.run_until(horizon);
-        let end = sim.now();
-        let steps = sim.steps();
-        let mut world = sim.into_world();
-        world.events_processed = steps;
-        world.seal(end);
-        world
+        let mut sched = DesScheduler::new();
+        Platform::run_with_scheduler(config, trace, &mut sched)
     }
 
-    fn schedule_initial(&mut self, queue: &mut EventQueue<Ev>) {
+    /// [`Platform::run_for_inspection`] with a caller-supplied scheduler:
+    /// seeds the trace into `sched`, drives every event through the
+    /// [`Scheduler`] trait, and seals the world at the scheduler's final
+    /// logical time.
+    ///
+    /// This is the seam the live service mode hangs off: a
+    /// [`DesScheduler`] makes it bit-identical to [`Platform::run`] (the
+    /// golden determinism tests pin this), while a
+    /// [`RealTimeScheduler`](notebookos_des::RealTimeScheduler) dispatches
+    /// the *same* events, in the same order, at their wall-clock
+    /// deadlines — under a manual clock that still finishes instantly,
+    /// which is how the trait-equivalence tests drive it.
+    pub fn run_with_scheduler(
+        config: PlatformConfig,
+        trace: WorkloadTrace,
+        sched: &mut dyn Scheduler<Ev>,
+    ) -> Platform {
+        let mut platform = Platform::new(config, trace);
+        platform.schedule_initial(sched);
+        let horizon = SimTime::from_micros(platform.horizon_us + 60_000_000);
+        let steps = platform.drive(sched, horizon);
+        platform.events_processed = steps;
+        let end = sched.now();
+        platform.seal(end);
+        platform
+    }
+
+    /// Dispatches events through `sched` until the queue drains or the
+    /// next deadline lies strictly beyond `horizon` (events exactly at
+    /// the horizon fire). Returns the number of events dispatched.
+    ///
+    /// This is the engine behind both execution modes: simulated studies
+    /// drive it with a [`DesScheduler`] (instant virtual time) and the
+    /// live service with a real-time scheduler — the same handlers, the
+    /// same RNG streams, the same event order either way.
+    pub fn drive(&mut self, sched: &mut dyn Scheduler<Ev>, horizon: SimTime) -> u64 {
+        let mut steps = 0;
+        while let Some((now, event)) = sched.pop_next_until(horizon) {
+            steps += 1;
+            self.handle_event(now, event, sched);
+        }
+        steps
+    }
+
+    fn schedule_initial(&mut self, sched: &mut dyn Scheduler<Ev>) {
         for (s, session) in self.trace.sessions.iter().enumerate() {
-            queue.schedule(SimTime::from_secs_f64(session.start_s), Ev::SessionStart(s));
-            queue.schedule(SimTime::from_secs_f64(session.end_s), Ev::SessionEnd(s));
+            sched.schedule(SimTime::from_secs_f64(session.start_s), Ev::SessionStart(s));
+            sched.schedule(SimTime::from_secs_f64(session.end_s), Ev::SessionEnd(s));
             for (e, event) in session.events.iter().enumerate() {
-                queue.schedule(
+                sched.schedule(
                     SimTime::from_secs_f64(event.submit_s),
                     Ev::CellSubmit {
                         s,
@@ -297,20 +330,20 @@ impl Platform {
             }
         }
         if self.config.autoscale.enabled {
-            queue.schedule(
+            sched.schedule(
                 SimTime::from_secs_f64(self.config.autoscale.interval_s),
                 Ev::AutoscaleTick,
             );
         }
         if let Some(interval_s) = self.config.autoscale.prewarm_reconcile_interval_s {
             if self.config.prewarm_min_per_host > 0 {
-                queue.schedule(SimTime::from_secs_f64(interval_s), Ev::PrewarmReconcileTick);
+                sched.schedule(SimTime::from_secs_f64(interval_s), Ev::PrewarmReconcileTick);
             }
         }
-        queue.schedule(SimTime::from_secs(3600), Ev::MetricsTick);
+        sched.schedule(SimTime::from_secs(3600), Ev::MetricsTick);
         if self.config.replica_mtbf_hours.is_some() {
             let delay = self.next_failure_delay();
-            queue.schedule(delay, Ev::ReplicaFailure);
+            sched.schedule(delay, Ev::ReplicaFailure);
         }
     }
 
@@ -327,7 +360,7 @@ impl Platform {
     /// Scheduler recreates the replica on the same host and it rejoins by
     /// replaying the Raft log from its peers — all off any execution's
     /// critical path, so the only observable cost is a container start.
-    fn on_replica_failure(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
+    fn on_replica_failure(&mut self, now: SimTime, sched: &mut dyn Scheduler<Ev>) {
         let candidates: Vec<usize> = self
             .sessions
             .iter()
@@ -364,7 +397,7 @@ impl Platform {
         }
         if now.as_micros() < self.horizon_us {
             let delay = self.next_failure_delay();
-            queue.schedule_in(now, delay, Ev::ReplicaFailure);
+            sched.schedule_in(delay, Ev::ReplicaFailure);
         }
     }
 
@@ -478,14 +511,14 @@ impl Platform {
     // Session lifecycle
     // ------------------------------------------------------------------
 
-    fn on_session_start(&mut self, now: SimTime, s: usize, queue: &mut EventQueue<Ev>) {
+    fn on_session_start(&mut self, now: SimTime, s: usize, sched: &mut dyn Scheduler<Ev>) {
         let now_s = now.as_secs_f64();
         self.sessions[s].active = true;
         self.refresh_reserved_gauge(now_s);
         match self.config.policy {
             PolicyKind::Reservation => self.reservation_reserve(now, s),
             PolicyKind::Batch | PolicyKind::NotebookOsLcp => {}
-            PolicyKind::NotebookOs => self.create_distributed_kernel(now, s, queue),
+            PolicyKind::NotebookOs => self.create_distributed_kernel(now, s, sched),
         }
         self.refresh_provisioned_gauge(now_s);
     }
@@ -536,7 +569,7 @@ impl Platform {
 
     /// NotebookOS: place R replica subscriptions (§3.2.1); on shortfall,
     /// trigger scale-out and park the creation (§3.4.2).
-    fn create_distributed_kernel(&mut self, now: SimTime, s: usize, queue: &mut EventQueue<Ev>) {
+    fn create_distributed_kernel(&mut self, now: SimTime, s: usize, sched: &mut dyn Scheduler<Ev>) {
         let now_s = now.as_secs_f64();
         let req = self.sessions[s].req;
         let r = self.config.replication_factor;
@@ -563,7 +596,7 @@ impl Platform {
             if !self.pending_kernels.contains(&s) {
                 self.pending_kernels.push_back(s);
             }
-            self.trigger_scale_out(now, shortfall, req, queue);
+            self.trigger_scale_out(now, shortfall, req, sched);
             return;
         }
         let chosen = rank_buf;
@@ -614,7 +647,7 @@ impl Platform {
         s: usize,
         e: usize,
         submit_us: u64,
-        queue: &mut EventQueue<Ev>,
+        sched: &mut dyn Scheduler<Ev>,
     ) {
         if !self.sessions[s].active {
             return; // session ended before the queued cell ran
@@ -626,7 +659,7 @@ impl Platform {
         // §3.2.4: requests during state replication wait for it to finish.
         let repl_until = self.sessions[s].replicating_until_us;
         if now.as_micros() < repl_until {
-            queue.schedule(
+            sched.schedule(
                 SimTime::from_micros(repl_until),
                 Ev::CellSubmit { s, e, submit_us },
             );
@@ -635,13 +668,13 @@ impl Platform {
         self.sessions[s].busy = true;
         self.sessions[s].migration_retries = 0;
         match self.config.policy {
-            PolicyKind::Reservation => self.submit_reservation(now, s, e, submit_us, queue),
+            PolicyKind::Reservation => self.submit_reservation(now, s, e, submit_us, sched),
             PolicyKind::Batch => {
                 self.batch_queue.push_back((s, e, submit_us));
-                self.serve_batch_queue(now, queue);
+                self.serve_batch_queue(now, sched);
             }
-            PolicyKind::NotebookOs => self.submit_notebookos(now, s, e, submit_us, queue),
-            PolicyKind::NotebookOsLcp => self.submit_lcp(now, s, e, submit_us, queue),
+            PolicyKind::NotebookOs => self.submit_notebookos(now, s, e, submit_us, sched),
+            PolicyKind::NotebookOsLcp => self.submit_lcp(now, s, e, submit_us, sched),
         }
     }
 
@@ -654,7 +687,7 @@ impl Platform {
         submit_us: u64,
         host: HostId,
         pre_exec_delay: SimTime,
-        queue: &mut EventQueue<Ev>,
+        sched: &mut dyn Scheduler<Ev>,
     ) {
         let start = now + pre_exec_delay;
         let interactivity_ms = (start.as_micros().saturating_sub(submit_us)) as f64 / 1e3;
@@ -662,7 +695,7 @@ impl Platform {
         self.training_gpus += i64::from(self.sessions[s].req.gpus);
         self.refresh_committed_gauge(now.as_secs_f64());
         let duration = SimTime::from_secs_f64(self.trace.sessions[s].events[e].duration_s);
-        queue.schedule(
+        sched.schedule(
             start + duration,
             Ev::ExecFinish {
                 s,
@@ -685,7 +718,7 @@ impl Platform {
         s: usize,
         e: usize,
         submit_us: u64,
-        queue: &mut EventQueue<Ev>,
+        sched: &mut dyn Scheduler<Ev>,
     ) {
         let host = self.sessions[s].reserved_host.expect("reserved at start");
         let gs = self.route_hops(2);
@@ -700,11 +733,11 @@ impl Platform {
         self.metrics
             .breakdown
             .record_step(Step::IntermediaryInterval, load.as_millis_f64());
-        self.schedule_exec(now, s, e, submit_us, host, gs + pre + load, queue);
+        self.schedule_exec(now, s, e, submit_us, host, gs + pre + load, sched);
     }
 
     /// Batch (FCFS): serve the queue head whenever capacity exists.
-    fn serve_batch_queue(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
+    fn serve_batch_queue(&mut self, now: SimTime, sched: &mut dyn Scheduler<Ev>) {
         let now_s = now.as_secs_f64();
         while let Some(&(s, e, submit_us)) = self.batch_queue.front() {
             let req = self.sessions[s].req;
@@ -734,7 +767,7 @@ impl Platform {
             self.metrics
                 .breakdown
                 .record_step(Step::IntermediaryInterval, (fetch + load).as_millis_f64());
-            self.schedule_exec(now, s, e, submit_us, host, pre + cold + fetch + load, queue);
+            self.schedule_exec(now, s, e, submit_us, host, pre + cold + fetch + load, sched);
         }
     }
 
@@ -747,23 +780,19 @@ impl Platform {
         s: usize,
         e: usize,
         submit_us: u64,
-        queue: &mut EventQueue<Ev>,
+        sched: &mut dyn Scheduler<Ev>,
     ) {
         // Wait for kernel bootstrap if the first cell beat it.
         let ready = self.sessions[s].kernel_ready_us;
         if self.sessions[s].kernel_pending || self.sessions[s].replica_hosts.is_empty() {
             // Kernel creation is waiting on scale-out; retry shortly.
             self.sessions[s].busy = false;
-            queue.schedule_in(
-                now,
-                SimTime::from_secs(5),
-                Ev::CellSubmit { s, e, submit_us },
-            );
+            sched.schedule_in(SimTime::from_secs(5), Ev::CellSubmit { s, e, submit_us });
             return;
         }
         if now.as_micros() < ready {
             self.sessions[s].busy = false;
-            queue.schedule(
+            sched.schedule(
                 SimTime::from_micros(ready),
                 Ev::CellSubmit { s, e, submit_us },
             );
@@ -850,7 +879,7 @@ impl Platform {
                     submit_us,
                     host,
                     gs + pre + election + load,
-                    queue,
+                    sched,
                 );
             }
             None => {
@@ -864,7 +893,7 @@ impl Platform {
                     .record_step(Step::PrimaryReplicaProtocol, yield_round.as_millis_f64());
                 // The migration starts once the all-yield round commits;
                 // route through the queue so virtual time stays monotone.
-                queue.schedule(now + yield_round, Ev::MigrationRetry { s, e, submit_us });
+                sched.schedule(now + yield_round, Ev::MigrationRetry { s, e, submit_us });
             }
         }
     }
@@ -878,7 +907,7 @@ impl Platform {
         s: usize,
         e: usize,
         submit_us: u64,
-        queue: &mut EventQueue<Ev>,
+        sched: &mut dyn Scheduler<Ev>,
     ) {
         let now_s = now.as_secs_f64();
         let req = self.sessions[s].req;
@@ -898,13 +927,12 @@ impl Platform {
             if self.sessions[s].migration_retries > self.config.migration_max_retries {
                 // Aborted: an execute_reply with an error goes back (§3.2.3).
                 self.metrics.counters.aborted += 1;
-                self.finish_cell(now, s, queue);
+                self.finish_cell(s, sched);
                 return;
             }
             // Placement failure triggers scale-out (§3.4.2).
-            self.trigger_scale_out(now, 1, req, queue);
-            queue.schedule_in(
-                now,
+            self.trigger_scale_out(now, 1, req, sched);
+            sched.schedule_in(
                 SimTime::from_secs_f64(self.config.migration_retry_interval_s),
                 Ev::MigrationRetry { s, e, submit_us },
             );
@@ -965,8 +993,7 @@ impl Platform {
         let ok = self.commit_on(now_s, target, owner, &req);
         if !ok {
             // The window closed while we migrated; retry.
-            queue.schedule_in(
-                now,
+            sched.schedule_in(
                 SimTime::from_secs_f64(self.config.migration_retry_interval_s),
                 Ev::MigrationRetry { s, e, submit_us },
             );
@@ -977,7 +1004,7 @@ impl Platform {
         self.metrics
             .breakdown
             .record_step(Step::IntermediaryInterval, (delay + load).as_millis_f64());
-        self.schedule_exec(now, s, e, submit_us, target, delay + load, queue);
+        self.schedule_exec(now, s, e, submit_us, target, delay + load, sched);
     }
 
     /// NotebookOS (LCP): a warm container from the pool serves the request
@@ -988,7 +1015,7 @@ impl Platform {
         s: usize,
         e: usize,
         submit_us: u64,
-        queue: &mut EventQueue<Ev>,
+        sched: &mut dyn Scheduler<Ev>,
     ) {
         let now_s = now.as_secs_f64();
         let req = self.sessions[s].req;
@@ -998,13 +1025,9 @@ impl Platform {
             .best_warm_commit_host(&req, |id| self.pool.warm_on(id));
         let Some(host) = host else {
             // No capacity: queue like a batch system and trigger scale-out.
-            self.trigger_scale_out(now, 1, req, queue);
+            self.trigger_scale_out(now, 1, req, sched);
             self.sessions[s].busy = false;
-            queue.schedule_in(
-                now,
-                SimTime::from_secs(10),
-                Ev::CellSubmit { s, e, submit_us },
-            );
+            sched.schedule_in(SimTime::from_secs(10), Ev::CellSubmit { s, e, submit_us });
             return;
         };
         let ok = self.commit_on(now_s, host, owner, &req);
@@ -1026,7 +1049,7 @@ impl Platform {
         self.metrics
             .breakdown
             .record_step(Step::IntermediaryInterval, (fetch + load).as_millis_f64());
-        self.schedule_exec(now, s, e, submit_us, host, container + fetch + load, queue);
+        self.schedule_exec(now, s, e, submit_us, host, container + fetch + load, sched);
     }
 
     /// Reads this session's inputs from the data store: parameters, plus
@@ -1065,7 +1088,7 @@ impl Platform {
         host: HostId,
         submit_us: u64,
         start_us: u64,
-        queue: &mut EventQueue<Ev>,
+        sched: &mut dyn Scheduler<Ev>,
     ) {
         let _ = start_us;
         let _ = e;
@@ -1109,7 +1132,7 @@ impl Platform {
                 let done = now + persist + reply;
                 self.record_tct(done, submit_us);
                 self.release_on(now_s, host, batch_owner(s));
-                self.serve_batch_queue(now, queue);
+                self.serve_batch_queue(now, sched);
             }
             PolicyKind::NotebookOs => {
                 // GPUs release immediately; state replication is
@@ -1163,7 +1186,7 @@ impl Platform {
             }
         }
         self.metrics.counters.executions += 1;
-        self.finish_cell(now, s, queue);
+        self.finish_cell(s, sched);
     }
 
     fn record_tct(&mut self, done: SimTime, submit_us: u64) {
@@ -1173,14 +1196,10 @@ impl Platform {
     }
 
     /// Marks the session idle and serves any queued submission.
-    fn finish_cell(&mut self, now: SimTime, s: usize, queue: &mut EventQueue<Ev>) {
+    fn finish_cell(&mut self, s: usize, sched: &mut dyn Scheduler<Ev>) {
         self.sessions[s].busy = false;
         if let Some((e, submit_us)) = self.sessions[s].waiting.pop_front() {
-            queue.schedule_in(
-                now,
-                SimTime::from_millis(1),
-                Ev::CellSubmit { s, e, submit_us },
-            );
+            sched.schedule_in(SimTime::from_millis(1), Ev::CellSubmit { s, e, submit_us });
         }
     }
 
@@ -1238,7 +1257,7 @@ impl Platform {
         &mut self,
         now: SimTime,
         actions: Vec<ElasticityAction>,
-        queue: &mut EventQueue<Ev>,
+        sched: &mut dyn Scheduler<Ev>,
     ) {
         let now_s = now.as_secs_f64();
         let mut worklist: VecDeque<ElasticityAction> = actions.into();
@@ -1268,7 +1287,7 @@ impl Platform {
                             shape.gpus,
                             self.config.host_shape.gpus,
                         );
-                        queue.schedule_in(now, latency, Ev::HostReady(shape));
+                        sched.schedule_in(latency, Ev::HostReady(shape));
                     }
                 }
                 ElasticityAction::RetireHost { host } => {
@@ -1297,7 +1316,7 @@ impl Platform {
                         self.consult_elasticity(now, false, |p, ctx| p.on_host_removed(ctx, host));
                     worklist.extend(follow);
                 }
-                ElasticityAction::ReconcilePrewarm => self.reconcile_prewarm(now, queue),
+                ElasticityAction::ReconcilePrewarm => self.reconcile_prewarm(sched),
             }
         }
         if retired_any {
@@ -1314,7 +1333,7 @@ impl Platform {
         now: SimTime,
         replicas: u32,
         request: ResourceRequest,
-        queue: &mut EventQueue<Ev>,
+        sched: &mut dyn Scheduler<Ev>,
     ) {
         if !self.config.autoscale.enabled {
             return;
@@ -1322,10 +1341,15 @@ impl Platform {
         let shortfall = DemandShortfall { replicas, request };
         let actions =
             self.consult_elasticity(now, true, |p, ctx| p.on_demand_shortfall(ctx, shortfall));
-        self.apply_elasticity(now, actions, queue);
+        self.apply_elasticity(now, actions, sched);
     }
 
-    fn on_host_ready(&mut self, now: SimTime, shape: ResourceBundle, queue: &mut EventQueue<Ev>) {
+    fn on_host_ready(
+        &mut self,
+        now: SimTime,
+        shape: ResourceBundle,
+        sched: &mut dyn Scheduler<Ev>,
+    ) {
         let now_s = now.as_secs_f64();
         self.hosts_in_flight = self.hosts_in_flight.saturating_sub(1);
         self.gpus_in_flight = self.gpus_in_flight.saturating_sub(u64::from(shape.gpus));
@@ -1337,29 +1361,28 @@ impl Platform {
         self.pool.begin_provision(id, deficit);
         for _ in 0..deficit {
             let warm = self.provisioning.warm_container_start(&mut self.rng);
-            queue.schedule_in(now, warm, Ev::PrewarmReady(id));
+            sched.schedule_in(warm, Ev::PrewarmReady(id));
         }
         self.refresh_fleet_billing(now_s);
         self.refresh_provisioned_gauge(now_s);
         self.refresh_sr_gauge(now_s);
         let follow = self.consult_elasticity(now, false, |p, ctx| p.on_host_ready(ctx, id));
-        self.apply_elasticity(now, follow, queue);
+        self.apply_elasticity(now, follow, sched);
         // Resume parked kernel creations (§3.4.2: "resources are
         // immediately reserved for the paused kernel replicas").
         let parked: Vec<usize> = self.pending_kernels.drain(..).collect();
         for s in parked {
             if self.sessions[s].active {
-                self.create_distributed_kernel(now, s, queue);
+                self.create_distributed_kernel(now, s, sched);
             }
         }
     }
 
-    fn on_autoscale_tick(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
+    fn on_autoscale_tick(&mut self, now: SimTime, sched: &mut dyn Scheduler<Ev>) {
         let actions = self.consult_elasticity(now, true, |p, ctx| p.on_tick(ctx));
-        self.apply_elasticity(now, actions, queue);
+        self.apply_elasticity(now, actions, sched);
         if now.as_micros() < self.horizon_us {
-            queue.schedule_in(
-                now,
+            sched.schedule_in(
                 SimTime::from_secs_f64(self.config.autoscale.interval_s),
                 Ev::AutoscaleTick,
             );
@@ -1371,7 +1394,7 @@ impl Platform {
     /// [`Ev::PrewarmReconcileTick`] (and by policies emitting
     /// [`ElasticityAction::ReconcilePrewarm`]), so pools recover after a
     /// flash crowd instead of waiting for the next host arrival.
-    fn reconcile_prewarm(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
+    fn reconcile_prewarm(&mut self, sched: &mut dyn Scheduler<Ev>) {
         let hosts: Vec<HostId> = self.cluster.hosts().iter().map(|h| h.id()).collect();
         let minimum = MinPerHost(self.config.prewarm_min_per_host);
         for (host, missing) in self.pool.deficits(&hosts, &minimum) {
@@ -1379,30 +1402,26 @@ impl Platform {
             self.metrics.counters.prewarms_reconciled += u64::from(missing);
             for _ in 0..missing {
                 let warm = self.provisioning.warm_container_start(&mut self.rng);
-                queue.schedule_in(now, warm, Ev::PrewarmReady(host));
+                sched.schedule_in(warm, Ev::PrewarmReady(host));
             }
         }
     }
 
-    fn on_prewarm_reconcile_tick(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
-        self.reconcile_prewarm(now, queue);
+    fn on_prewarm_reconcile_tick(&mut self, now: SimTime, sched: &mut dyn Scheduler<Ev>) {
+        self.reconcile_prewarm(sched);
         if let Some(interval_s) = self.config.autoscale.prewarm_reconcile_interval_s {
             if now.as_micros() < self.horizon_us {
-                queue.schedule_in(
-                    now,
-                    SimTime::from_secs_f64(interval_s),
-                    Ev::PrewarmReconcileTick,
-                );
+                sched.schedule_in(SimTime::from_secs_f64(interval_s), Ev::PrewarmReconcileTick);
             }
         }
     }
 
-    fn on_metrics_tick(&mut self, now: SimTime, queue: &mut EventQueue<Ev>) {
+    fn on_metrics_tick(&mut self, now: SimTime, sched: &mut dyn Scheduler<Ev>) {
         let now_s = now.as_secs_f64();
         let (cost, revenue) = self.billing.totals(now_s);
         self.metrics.billing_samples.push((now_s, cost, revenue));
         if now.as_micros() < self.horizon_us {
-            queue.schedule_in(now, SimTime::from_secs(3600), Ev::MetricsTick);
+            sched.schedule_in(SimTime::from_secs(3600), Ev::MetricsTick);
         }
     }
 
@@ -1444,31 +1463,33 @@ fn batch_owner(s: usize) -> u64 {
     0x2000_0000_0000_0000 + s as u64
 }
 
-impl World for Platform {
-    type Event = Ev;
-
-    fn handle(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {
+impl Platform {
+    /// Reacts to one event at `now`, scheduling any follow-ups through
+    /// `sched`. Public so external drivers (the live service, custom
+    /// harnesses) can dispatch events themselves; [`Platform::drive`] is
+    /// the standard loop.
+    pub fn handle_event(&mut self, now: SimTime, event: Ev, sched: &mut dyn Scheduler<Ev>) {
         match event {
-            Ev::SessionStart(s) => self.on_session_start(now, s, queue),
+            Ev::SessionStart(s) => self.on_session_start(now, s, sched),
             Ev::SessionEnd(s) => self.on_session_end(now, s),
-            Ev::CellSubmit { s, e, submit_us } => self.on_cell_submit(now, s, e, submit_us, queue),
+            Ev::CellSubmit { s, e, submit_us } => self.on_cell_submit(now, s, e, submit_us, sched),
             Ev::ExecFinish {
                 s,
                 e,
                 host,
                 submit_us,
                 start_us,
-            } => self.on_exec_finish(now, s, e, host, submit_us, start_us, queue),
+            } => self.on_exec_finish(now, s, e, host, submit_us, start_us, sched),
             Ev::MigrationRetry { s, e, submit_us } => {
                 if self.sessions[s].active {
-                    self.start_migration(now, s, e, submit_us, queue)
+                    self.start_migration(now, s, e, submit_us, sched)
                 }
             }
-            Ev::HostReady(shape) => self.on_host_ready(now, shape, queue),
-            Ev::AutoscaleTick => self.on_autoscale_tick(now, queue),
-            Ev::PrewarmReconcileTick => self.on_prewarm_reconcile_tick(now, queue),
-            Ev::MetricsTick => self.on_metrics_tick(now, queue),
-            Ev::ReplicaFailure => self.on_replica_failure(now, queue),
+            Ev::HostReady(shape) => self.on_host_ready(now, shape, sched),
+            Ev::AutoscaleTick => self.on_autoscale_tick(now, sched),
+            Ev::PrewarmReconcileTick => self.on_prewarm_reconcile_tick(now, sched),
+            Ev::MetricsTick => self.on_metrics_tick(now, sched),
+            Ev::ReplicaFailure => self.on_replica_failure(now, sched),
             Ev::PrewarmReady(host) => {
                 // A completion for a host that was scaled in mid-provision
                 // is dropped by the pool. The discard was already counted

@@ -50,6 +50,17 @@ impl PlacementContext<'_> {
         self.cluster
             .viable_hosts_into(self.request, self.replication_factor, self.sr_cap(), out);
     }
+
+    /// [`PlacementContext::viable`]'s total `len()` without materializing
+    /// the host lists — served from the placement index's per-class live
+    /// counts ([`Cluster::viable_count`], O(shape classes)). The SR cap
+    /// only splits the set into preference segments, so the total is
+    /// cap-independent; gauges and screen paths that only need "how many
+    /// hosts could take this kernel" should call this instead of paying
+    /// the O(hosts) scan.
+    pub fn viable_count(&self) -> usize {
+        self.cluster.viable_count(self.request)
+    }
 }
 
 /// A replica-placement policy: ranks candidate hosts for one replica
@@ -350,6 +361,35 @@ mod tests {
             cluster: c,
             request: req,
             replication_factor: 3,
+        }
+    }
+
+    #[test]
+    fn viable_count_matches_materialized_screen() {
+        // The indexed total must agree with `viable().len()` everywhere the
+        // screen's filters bite: mixed shapes, draining hosts, and hosts
+        // pushed over the SR cap (which moves them between segments but
+        // never out of the set).
+        let mut c = cluster();
+        c.add_host(ResourceBundle::new(8_000, 32_768, 0)); // CPU-only, id 4
+        for _ in 0..30 {
+            c.host_mut(1)
+                .unwrap()
+                .subscribe(&ResourceRequest::one_gpu()); // far over the cap
+        }
+        c.host_mut(3).unwrap().set_draining(true);
+        for req in [
+            ResourceRequest::one_gpu(),
+            ResourceRequest::new(4000, 16_384, 4, 16),
+            ResourceRequest::new(1000, 2_048, 0, 0),
+            ResourceRequest::new(1_000_000, 1, 0, 0), // nothing covers
+        ] {
+            let context = ctx(&c, &req);
+            assert_eq!(
+                context.viable_count(),
+                context.viable().len(),
+                "request {req:?}"
+            );
         }
     }
 

@@ -1,0 +1,481 @@
+//! Live service mode: the Jupyter-facing gateway serving wall-clock wire
+//! traffic.
+//!
+//! Everything below runs the *same* control plane the simulator models —
+//! [`GatewayProvisioner`] kernel creation (Fig. 4), [`Router`] fan-out and
+//! reply aggregation (Fig. 3/5), [`SessionManager`] bookkeeping — but fed
+//! by real, signed Jupyter wire messages arriving over a
+//! [`notebookos_jupyter::WireEndpoint`] instead of by trace
+//! events. A driver (the `serve` bin's load generator, or a test) owns the
+//! scheduler: it pumps the gateway, learns which executions were accepted
+//! and how long their cells run, and calls back at each completion
+//! deadline. Because all timing flows through the driver's
+//! [`Scheduler`](notebookos_des::Scheduler), the identical serving loop
+//! runs under virtual time in tests and under the real-time scheduler in
+//! the bin.
+//!
+//! Execution itself is simulated: the client embeds its cell's running
+//! time in request metadata under [`DURATION_KEY`], standing in for the
+//! actual user code a production kernel would run. The wire protocol, the
+//! fan-out to R replicas, and the one-merged-reply-per-request contract
+//! are all real.
+
+use std::collections::HashMap;
+
+use notebookos_cluster::{ResourceBundle, ResourceRequest};
+use notebookos_des::SimTime;
+use notebookos_jupyter::{
+    wire_pair, Bytes, ConnectionInfo, Json, JupyterMessage, KernelProvisioner, KernelResourceSpec,
+    KernelRoute, MsgIdGen, MsgType, ProvisionError, ReplyStatus, Router, SessionManager,
+    WireEndpoint,
+};
+
+use crate::gateway::GatewayProvisioner;
+use crate::policy::{LeastLoaded, PlacementContext};
+
+/// Metadata key carrying the simulated cell running time (µs) in an
+/// `execute_request` — the load generator's stand-in for user code.
+pub const DURATION_KEY: &str = "duration_us";
+
+/// The signing key shared by the gateway and its clients (matches the key
+/// [`GatewayProvisioner`] hands out in [`ConnectionInfo`]).
+pub const GATEWAY_KEY: &[u8] = b"notebookos-gateway";
+
+/// One execution the gateway accepted off the wire. The driver schedules
+/// the completion callback [`LiveGateway::finish_execution`] after
+/// `duration`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcceptedExecution {
+    /// The request's message id (the completion-callback handle).
+    pub msg_id: String,
+    /// The submitting session.
+    pub session_id: String,
+    /// The kernel that executes the cell.
+    pub kernel_id: String,
+    /// Simulated cell running time from the request metadata.
+    pub duration: SimTime,
+    /// Wire copies fanned out to replicas (1 `execute_request` +
+    /// R−1 `yield_request`s).
+    pub fan_out: usize,
+}
+
+/// Cumulative wire/serving counters, reported by the `serve` bin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Well-formed `execute_request`s accepted and fanned out.
+    pub accepted: u64,
+    /// Messages dropped: bad signature, wrong type, unknown session, or
+    /// missing duration metadata.
+    pub rejected: u64,
+    /// Merged `execute_reply`s returned to clients.
+    pub replies: u64,
+    /// Total replica copies produced by fan-out.
+    pub fan_out_copies: u64,
+}
+
+/// A fanned-out execution awaiting its completion deadline.
+#[derive(Debug)]
+struct PendingExecution {
+    request: JupyterMessage,
+    identities: Vec<Bytes>,
+    designated: u32,
+    execution_count: u64,
+    replicas: usize,
+}
+
+/// The live gateway: Fig. 4's control plane plus Fig. 3/5's data plane,
+/// behind one wire endpoint.
+///
+/// Time never advances inside the gateway — every method takes `now` from
+/// the driver, so the same instance serves virtual-time tests and
+/// wall-clock traffic unchanged.
+#[derive(Debug)]
+pub struct LiveGateway {
+    provisioner: GatewayProvisioner<LeastLoaded>,
+    router: Router,
+    sessions: SessionManager,
+    reply_ids: MsgIdGen,
+    endpoint: WireEndpoint,
+    replication_factor: u32,
+    pending: HashMap<String, PendingExecution>,
+    stats: GatewayStats,
+}
+
+impl LiveGateway {
+    /// Creates a gateway over a fresh cluster of `hosts` servers of the
+    /// given shape, returning the client's end of the wire.
+    pub fn new(
+        hosts: usize,
+        shape: ResourceBundle,
+        replication_factor: u32,
+    ) -> (LiveGateway, WireEndpoint) {
+        let cluster = notebookos_cluster::Cluster::with_hosts(hosts, shape);
+        let provisioner =
+            GatewayProvisioner::new(cluster, LeastLoaded::default(), replication_factor);
+        let (server, client) = wire_pair(GATEWAY_KEY);
+        (
+            LiveGateway {
+                provisioner,
+                router: Router::new(),
+                sessions: SessionManager::new(),
+                reply_ids: MsgIdGen::new("gw-reply"),
+                endpoint: server,
+                replication_factor,
+                pending: HashMap::new(),
+                stats: GatewayStats::default(),
+            },
+            client,
+        )
+    }
+
+    /// Starts a session: launches its distributed kernel through the
+    /// Fig. 4 control plane and registers the replica route.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the provisioner's placement shortfall when fewer than R
+    /// viable hosts exist.
+    pub fn start_session(
+        &mut self,
+        session_id: &str,
+        spec: KernelResourceSpec,
+        now: SimTime,
+    ) -> Result<ConnectionInfo, ProvisionError> {
+        let kernel_id = format!("kernel-{session_id}");
+        let info = self.provisioner.launch(&kernel_id, spec)?;
+        let placement = self
+            .provisioner
+            .placement(&kernel_id)
+            .expect("just launched");
+        self.router.register(
+            &kernel_id,
+            KernelRoute {
+                // `HostId` doubles as the Local Scheduler id (one per
+                // GPU server).
+                replicas: placement.replica_hosts.clone(),
+            },
+        );
+        self.sessions
+            .create(session_id, &kernel_id, now.as_micros());
+        Ok(info)
+    }
+
+    /// Ends a session: deregisters the route and releases the kernel's
+    /// subscriptions. Unknown sessions are a no-op (`false`).
+    pub fn end_session(&mut self, session_id: &str) -> bool {
+        let Some(session) = self.sessions.remove(session_id) else {
+            return false;
+        };
+        self.router.deregister(&session.kernel_id);
+        self.provisioner
+            .shutdown(&session.kernel_id)
+            .expect("session kernels are registered");
+        true
+    }
+
+    /// Drains the wire and fans out every well-formed `execute_request`
+    /// (Fig. 3 steps 2–3), returning the accepted executions so the driver
+    /// can schedule their completion deadlines. Malformed traffic — bad
+    /// signatures, non-request types, unknown sessions, missing
+    /// [`DURATION_KEY`] — is counted in [`GatewayStats::rejected`].
+    pub fn pump(&mut self, now: SimTime) -> Vec<AcceptedExecution> {
+        let mut accepted = Vec::new();
+        while let Some(decoded) = self.endpoint.try_recv() {
+            let Ok((identities, message)) = decoded else {
+                self.stats.rejected += 1;
+                continue;
+            };
+            match self.accept(identities, message, now) {
+                Some(execution) => {
+                    self.stats.accepted += 1;
+                    self.stats.fan_out_copies += execution.fan_out as u64;
+                    accepted.push(execution);
+                }
+                None => self.stats.rejected += 1,
+            }
+        }
+        accepted
+    }
+
+    fn accept(
+        &mut self,
+        identities: Vec<Bytes>,
+        message: JupyterMessage,
+        now: SimTime,
+    ) -> Option<AcceptedExecution> {
+        if message.header.msg_type != MsgType::ExecuteRequest {
+            return None;
+        }
+        let duration =
+            SimTime::from_micros(message.metadata.get(DURATION_KEY).and_then(Json::as_u64)?);
+        let session_id = message.header.session.clone();
+        let kernel_id = message.destination()?.to_string();
+        let execution_count = self
+            .sessions
+            .record_execution(&session_id, now.as_micros())?;
+        // Rotate the designated executor across replicas — the live
+        // stand-in for the §3.2.2 election the DES models in detail.
+        let designated = ((execution_count - 1) % u64::from(self.replication_factor)) as u32;
+        let copies = self.router.route_execute(&message, Some(designated)).ok()?;
+        let fan_out = copies.len();
+        let msg_id = message.header.msg_id.clone();
+        self.pending.insert(
+            msg_id.clone(),
+            PendingExecution {
+                request: message,
+                identities,
+                designated,
+                execution_count,
+                replicas: fan_out,
+            },
+        );
+        Some(AcceptedExecution {
+            msg_id,
+            session_id,
+            kernel_id,
+            duration,
+            fan_out,
+        })
+    }
+
+    /// Completes an accepted execution: every replica answers (Fig. 5
+    /// step 8, executor `ok` + followers' yields), the router merges, and
+    /// the merged reply goes back over the wire. Returns `false` for an
+    /// unknown or already-completed `msg_id`.
+    pub fn finish_execution(&mut self, msg_id: &str, now: SimTime) -> bool {
+        let Some(pending) = self.pending.remove(msg_id) else {
+            return false;
+        };
+        let mut merged = None;
+        for replica in 0..pending.replicas as u32 {
+            let reply = pending.request.execute_reply(
+                self.reply_ids.next_id(),
+                ReplyStatus::Ok,
+                pending.execution_count,
+                replica == pending.designated,
+                now.as_micros(),
+            );
+            match self.router.accept_reply(reply) {
+                Ok(Some(m)) => merged = Some(m),
+                Ok(None) => {}
+                Err(_) => return false,
+            }
+        }
+        let Some(merged) = merged else {
+            return false;
+        };
+        self.stats.replies += 1;
+        self.endpoint.send(&pending.identities, &merged)
+    }
+
+    /// How many hosts could currently take a kernel of `spec` — the
+    /// capacity gauge the `serve` bin samples. Served from the placement
+    /// index's per-class counts ([`PlacementContext::viable_count`]), so
+    /// sampling it per tick never scans the fleet.
+    pub fn viable_count(&self, spec: KernelResourceSpec) -> usize {
+        let request = ResourceRequest::new(
+            u64::from(spec.millicpus),
+            u64::from(spec.memory_mb),
+            spec.gpus,
+            spec.vram_gb,
+        );
+        PlacementContext {
+            cluster: self.provisioner.cluster(),
+            request: &request,
+            replication_factor: self.replication_factor,
+        }
+        .viable_count()
+    }
+
+    /// Live session count.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Live kernel count.
+    pub fn kernel_count(&self) -> usize {
+        self.provisioner.kernel_count()
+    }
+
+    /// Executions fanned out but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Cumulative serving counters.
+    pub fn stats(&self) -> GatewayStats {
+        self.stats
+    }
+}
+
+/// Builds a client-side `execute_request` for the live gateway: code plus
+/// the [`DURATION_KEY`] metadata the driver uses to schedule completion.
+pub fn client_request(
+    msg_id: impl Into<String>,
+    session_id: &str,
+    kernel_id: &str,
+    code: impl Into<String>,
+    duration: SimTime,
+    now: SimTime,
+) -> JupyterMessage {
+    let mut message = JupyterMessage::execute_request(msg_id, session_id, code, now.as_micros())
+        .with_destination(kernel_id);
+    message.metadata = message.metadata.with(DURATION_KEY, duration.as_micros());
+    message
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> KernelResourceSpec {
+        KernelResourceSpec {
+            millicpus: 4000,
+            memory_mb: 16_384,
+            gpus: 1,
+            vram_gb: 16,
+        }
+    }
+
+    fn gateway() -> (LiveGateway, WireEndpoint) {
+        LiveGateway::new(4, ResourceBundle::p3_16xlarge(), 3)
+    }
+
+    #[test]
+    fn full_execute_round_trip_over_the_wire() {
+        let (mut gw, mut client) = gateway();
+        gw.start_session("s1", spec(), SimTime::ZERO)
+            .expect("starts");
+        assert_eq!(gw.session_count(), 1);
+        assert_eq!(gw.kernel_count(), 1);
+
+        let req = client_request(
+            "m1",
+            "s1",
+            "kernel-s1",
+            "model.fit()",
+            SimTime::from_secs(2),
+            SimTime::from_secs(1),
+        );
+        assert!(client.send(&[], &req));
+        let accepted = gw.pump(SimTime::from_secs(1));
+        assert_eq!(accepted.len(), 1);
+        assert_eq!(accepted[0].msg_id, "m1");
+        assert_eq!(accepted[0].duration, SimTime::from_secs(2));
+        assert_eq!(accepted[0].fan_out, 3, "one copy per replica");
+        assert_eq!(gw.in_flight(), 1);
+
+        assert!(gw.finish_execution("m1", SimTime::from_secs(3)));
+        assert_eq!(gw.in_flight(), 0);
+        let (_, reply) = client.try_recv().expect("reply pending").expect("verifies");
+        assert!(reply.is_ok_reply());
+        assert_eq!(reply.parent.as_ref().unwrap().msg_id, "m1");
+        assert_eq!(gw.stats().replies, 1);
+        // Completing twice is a no-op.
+        assert!(!gw.finish_execution("m1", SimTime::from_secs(4)));
+    }
+
+    #[test]
+    fn executor_designation_rotates_across_executions() {
+        let (mut gw, mut client) = gateway();
+        gw.start_session("s1", spec(), SimTime::ZERO)
+            .expect("starts");
+        for i in 0..4 {
+            let req = client_request(
+                format!("m{i}"),
+                "s1",
+                "kernel-s1",
+                "x",
+                SimTime::from_millis(1),
+                SimTime::from_secs(i),
+            );
+            client.send(&[], &req);
+        }
+        gw.pump(SimTime::from_secs(4));
+        for i in 0..4 {
+            assert!(gw.finish_execution(&format!("m{i}"), SimTime::from_secs(5)));
+        }
+        // The four merged replies came from executors 0, 1, 2, 0.
+        let (replies, rejected) = client.drain();
+        assert_eq!(rejected, 0);
+        assert_eq!(replies.len(), 4);
+    }
+
+    #[test]
+    fn malformed_traffic_is_rejected_not_fatal() {
+        let (mut gw, mut client) = gateway();
+        gw.start_session("s1", spec(), SimTime::ZERO)
+            .expect("starts");
+        // No duration metadata.
+        let bare =
+            JupyterMessage::execute_request("m1", "s1", "x", 0).with_destination("kernel-s1");
+        client.send(&[], &bare);
+        // Unknown session.
+        client.send(
+            &[],
+            &client_request(
+                "m2",
+                "ghost",
+                "kernel-s1",
+                "x",
+                SimTime::from_secs(1),
+                SimTime::ZERO,
+            ),
+        );
+        // Unknown kernel.
+        client.send(
+            &[],
+            &client_request(
+                "m3",
+                "s1",
+                "kernel-ghost",
+                "x",
+                SimTime::from_secs(1),
+                SimTime::ZERO,
+            ),
+        );
+        assert!(gw.pump(SimTime::ZERO).is_empty());
+        assert_eq!(gw.stats().rejected, 3);
+        assert_eq!(gw.stats().accepted, 0);
+    }
+
+    #[test]
+    fn end_session_releases_kernel_resources() {
+        let (mut gw, _client) = gateway();
+        gw.start_session("s1", spec(), SimTime::ZERO)
+            .expect("starts");
+        let before = gw.viable_count(spec());
+        assert!(gw.end_session("s1"));
+        assert!(!gw.end_session("s1"), "second end is a no-op");
+        assert_eq!(gw.session_count(), 0);
+        assert_eq!(gw.kernel_count(), 0);
+        assert!(gw.viable_count(spec()) >= before);
+    }
+
+    #[test]
+    fn viable_count_gauge_matches_materialized_screen() {
+        let (mut gw, _client) = gateway();
+        for i in 0..6 {
+            gw.start_session(&format!("s{i}"), spec(), SimTime::ZERO)
+                .expect("starts");
+        }
+        let request = ResourceRequest::new(4000, 16_384, 1, 16);
+        let ctx = PlacementContext {
+            cluster: gw.provisioner.cluster(),
+            request: &request,
+            replication_factor: 3,
+        };
+        assert_eq!(gw.viable_count(spec()), ctx.viable().len());
+    }
+
+    #[test]
+    fn shortfall_propagates_to_caller() {
+        // 2 hosts cannot place R = 3 replicas.
+        let (mut gw, _client) = LiveGateway::new(2, ResourceBundle::p3_16xlarge(), 3);
+        assert!(matches!(
+            gw.start_session("s1", spec(), SimTime::ZERO),
+            Err(ProvisionError::InsufficientResources(_))
+        ));
+        assert_eq!(gw.session_count(), 0);
+    }
+}

@@ -501,6 +501,9 @@ pub struct SweepSpec {
     shard: Option<(usize, usize)>,
     /// How the shard restriction maps jobs to shards.
     shard_strategy: ShardStrategy,
+    /// Whether resumable runs fsync the checkpoint journal after every
+    /// appended record (see [`SweepSpec::journal_fsync`]).
+    journal_fsync: bool,
 }
 
 impl Default for SweepSpec {
@@ -522,6 +525,7 @@ impl SweepSpec {
             workers: 0,
             shard: None,
             shard_strategy: ShardStrategy::default(),
+            journal_fsync: false,
         }
     }
 
@@ -612,6 +616,28 @@ impl SweepSpec {
         self
     }
 
+    /// Opts resumable runs into per-record durability: every journal
+    /// append is followed by `fsync` (`File::sync_data`), so a completed
+    /// cell survives power loss, not just process death. The default
+    /// (`false`) leaves appends buffered in the page cache — a kill still
+    /// loses at most the cells in flight, but an OS crash can lose
+    /// recently completed ones.
+    ///
+    /// This is an execution-durability knob, not part of the sweep's
+    /// identity: like `workers` and the shard restriction, it is
+    /// deliberately excluded from [`SweepSpec::fingerprint`], so fsync
+    /// and buffered shards of one spec resume and merge freely. Measure
+    /// the throughput cost with [`measure_journal_fsync_cost`].
+    pub fn journal_fsync(mut self, fsync: bool) -> Self {
+        self.journal_fsync = fsync;
+        self
+    }
+
+    /// Whether resumable runs fsync the journal after every record.
+    pub fn journal_fsync_enabled(&self) -> bool {
+        self.journal_fsync
+    }
+
     /// The shard restriction, if any, as `(index, total)`.
     pub fn shard_of(&self) -> Option<(usize, usize)> {
         self.shard
@@ -669,8 +695,10 @@ impl SweepSpec {
     /// alias each other's resume files and shard reports.
     ///
     /// Two specs share a fingerprint iff they expand to the same job
-    /// list. Deliberately *excluded*: `workers` and the shard
-    /// restriction/strategy (shards of one spec must agree).
+    /// list. Deliberately *excluded*: `workers`, the shard
+    /// restriction/strategy (shards of one spec must agree), and the
+    /// [`SweepSpec::journal_fsync`] durability knob (it changes how
+    /// checkpoints hit disk, never which cells exist).
     pub fn fingerprint(&self) -> u64 {
         let mut desc = String::from("sweep-v2;policies=[");
         for p in &self.policies {
@@ -867,7 +895,7 @@ impl SweepSpec {
         // (a transient full disk must not abort hours of simulation) and
         // caught by the authoritative final write below.
         let mut journal = if missing_total > 0 {
-            SweepJournal::open(&journal_path(path), fingerprint).ok()
+            SweepJournal::open(&journal_path(path), fingerprint, self.journal_fsync).ok()
         } else {
             None
         };
@@ -915,6 +943,9 @@ pub fn journal_path(report: &Path) -> PathBuf {
 /// newline made it to disk — a kill mid-append loses at most that record.
 struct SweepJournal {
     file: std::fs::File,
+    /// Fsync after every append ([`SweepSpec::journal_fsync`]): records
+    /// survive power loss, at a measurable per-record cost.
+    fsync: bool,
 }
 
 impl SweepJournal {
@@ -924,7 +955,7 @@ impl SweepJournal {
     /// first — appending straight after the fragment would glue the next
     /// record onto it and turn a tolerated interruption into a malformed
     /// *complete* line that every later read rejects as corruption.
-    fn open(path: &Path, fingerprint: u64) -> std::io::Result<SweepJournal> {
+    fn open(path: &Path, fingerprint: u64, fsync: bool) -> std::io::Result<SweepJournal> {
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
             std::fs::create_dir_all(parent)?;
         }
@@ -946,12 +977,16 @@ impl SweepJournal {
         }
         if file.metadata()?.len() == 0 {
             file.write_all(format!("{{\"fingerprint\": \"{fingerprint:#018x}\"}}\n").as_bytes())?;
+            if fsync {
+                file.sync_data()?;
+            }
         }
-        Ok(SweepJournal { file })
+        Ok(SweepJournal { file, fsync })
     }
 
     /// Appends one run record as a single newline-terminated line (the
-    /// record and its terminator go down in one write).
+    /// record and its terminator go down in one write), followed by
+    /// `sync_data` when the journal is in fsync mode.
     fn append(&mut self, run: &SweepRun) -> std::io::Result<()> {
         let mut buf = Vec::new();
         write_run_json(&mut buf, run)?;
@@ -964,8 +999,92 @@ impl SweepJournal {
             }
         }
         buf.push(b'\n');
-        self.file.write_all(&buf)
+        self.file.write_all(&buf)?;
+        if self.fsync {
+            self.file.sync_data()?;
+        }
+        Ok(())
     }
+}
+
+/// Measured per-record append cost of the sweep checkpoint journal with
+/// buffered (default) and per-record-fsync durability — the number the
+/// sweep binaries print when `--fsync` is requested, so the trade is
+/// visible rather than folklore.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JournalFsyncCost {
+    /// Mean buffered append cost, microseconds per record.
+    pub buffered_us_per_record: f64,
+    /// Mean fsync-mode append cost (`write` + `sync_data`), microseconds
+    /// per record.
+    pub fsync_us_per_record: f64,
+    /// Records appended in each mode.
+    pub records: usize,
+}
+
+impl JournalFsyncCost {
+    /// Multiplicative slowdown of fsync mode over buffered appends.
+    pub fn slowdown(&self) -> f64 {
+        if self.buffered_us_per_record <= 0.0 {
+            1.0
+        } else {
+            self.fsync_us_per_record / self.buffered_us_per_record
+        }
+    }
+
+    /// One-line human rendering, e.g. for sweep-binary output.
+    pub fn render(&self) -> String {
+        format!(
+            "journal fsync cost: {:.1} µs/record buffered vs {:.1} µs/record fsynced \
+             ({:.1}x, {} records measured)",
+            self.buffered_us_per_record,
+            self.fsync_us_per_record,
+            self.slowdown(),
+            self.records,
+        )
+    }
+}
+
+/// Measures what [`SweepSpec::journal_fsync`] actually costs on the disk
+/// under `dir`: appends `records` synthetic run records to a throwaway
+/// journal in each mode and reports the mean per-record append time. The
+/// probe files are created inside `dir` and removed before returning.
+///
+/// # Errors
+///
+/// Fails on I/O errors creating, appending to, or removing the probe
+/// journals.
+pub fn measure_journal_fsync_cost(dir: &Path, records: usize) -> std::io::Result<JournalFsyncCost> {
+    let probe = SweepRun {
+        job_index: 0,
+        scenario: "fsync-probe".to_string(),
+        policy: PolicyKind::NotebookOs,
+        placement: PlacementKind::LeastLoaded,
+        elasticity: ElasticityKind::Threshold,
+        seed: 0,
+        metrics: RunMetrics::new("fsync-probe"),
+    };
+    let measure = |fsync: bool| -> std::io::Result<f64> {
+        let path = dir.join(if fsync {
+            "fsync-probe-synced.journal"
+        } else {
+            "fsync-probe-buffered.journal"
+        });
+        let mut journal = SweepJournal::open(&path, 0, fsync)?;
+        let started = std::time::Instant::now();
+        for _ in 0..records {
+            journal.append(&probe)?;
+        }
+        let elapsed = started.elapsed();
+        drop(journal);
+        std::fs::remove_file(&path)?;
+        Ok(elapsed.as_secs_f64() * 1e6 / records.max(1) as f64)
+    };
+    Ok(JournalFsyncCost {
+        buffered_us_per_record: measure(false)?,
+        fsync_us_per_record: measure(true)?,
+        records,
+    })
 }
 
 /// Reads a checkpoint journal back: `Ok(None)` when the file does not
@@ -2564,8 +2683,8 @@ mod tests {
             .expect("shard 0");
         // Simulate a killed second shard: its cells reached the journal
         // but were never compacted into the report.
-        let mut journal =
-            SweepJournal::open(&journal_path(&path), spec.fingerprint()).expect("journal opens");
+        let mut journal = SweepJournal::open(&journal_path(&path), spec.fingerprint(), false)
+            .expect("journal opens");
         for run in &spec.clone().shard(1, 2).run().runs {
             journal.append(run).expect("journal append");
         }
@@ -2592,8 +2711,8 @@ mod tests {
         let full = spec.run();
         // A journal killed mid-append: one durable record, then a torn
         // line with no terminating newline.
-        let mut journal =
-            SweepJournal::open(&journal_path(&path), spec.fingerprint()).expect("journal opens");
+        let mut journal = SweepJournal::open(&journal_path(&path), spec.fingerprint(), false)
+            .expect("journal opens");
         journal.append(&full.runs[0]).expect("append");
         drop(journal);
         use std::io::Write as _;
@@ -2608,7 +2727,7 @@ mod tests {
         // fragment (the double-kill case): reopening truncates the
         // fragment away, so the journal stays parseable afterwards.
         let mut journal =
-            SweepJournal::open(&journal_path(&path), spec.fingerprint()).expect("reopens");
+            SweepJournal::open(&journal_path(&path), spec.fingerprint(), false).expect("reopens");
         journal
             .append(&full.runs[1])
             .expect("append after torn line");
@@ -2659,6 +2778,62 @@ mod tests {
             Err(SweepError::FingerprintMismatch { .. })
         ));
         std::fs::remove_file(journal_path(&path)).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsync_mode_changes_durability_not_results_or_identity() {
+        let dir = tmp_dir("journal-fsync");
+        let path = dir.join("report.json");
+        let spec = journal_spec();
+        let synced = spec.clone().journal_fsync(true);
+        // The durability knob is execution-only: fingerprints agree, so
+        // fsync and buffered shards of one spec resume and merge freely.
+        assert_eq!(spec.fingerprint(), synced.fingerprint());
+        assert!(synced.journal_fsync_enabled());
+        assert!(!spec.journal_fsync_enabled());
+        // A resumable run under fsync produces the bit-identical report
+        // (and still compacts its journal away).
+        let report = synced.run_resuming(&path).expect("fsync resume");
+        assert_eq!(report, spec.run());
+        assert!(!journal_path(&path).exists(), "journal compacted away");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsynced_journal_is_readable_midway() {
+        let dir = tmp_dir("journal-fsync-read");
+        let path = dir.join("report.json");
+        let spec = journal_spec();
+        let full = spec.run();
+        // An fsynced journal frames records exactly like a buffered one:
+        // a kill after any append leaves a parseable file.
+        let mut journal = SweepJournal::open(&journal_path(&path), spec.fingerprint(), true)
+            .expect("journal opens");
+        journal.append(&full.runs[0]).expect("append");
+        journal.append(&full.runs[1]).expect("append");
+        drop(journal);
+        let (fingerprint, recovered) = read_journal(&journal_path(&path))
+            .expect("parseable")
+            .expect("has content");
+        assert_eq!(fingerprint, spec.fingerprint());
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[0], full.runs[0]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsync_cost_measurement_returns_sane_values() {
+        let dir = tmp_dir("journal-fsync-cost");
+        let cost = measure_journal_fsync_cost(&dir, 32).expect("measures");
+        assert_eq!(cost.records, 32);
+        assert!(cost.buffered_us_per_record > 0.0);
+        assert!(cost.fsync_us_per_record > 0.0);
+        assert!(cost.slowdown() > 0.0);
+        let line = cost.render();
+        assert!(line.contains("µs/record"), "render names the unit: {line}");
+        // The probe journals are cleaned up.
+        assert!(std::fs::read_dir(&dir).expect("dir").next().is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -40,11 +40,15 @@
 pub mod dist;
 pub mod queue;
 pub mod rng;
+pub mod scheduler;
 pub mod sim;
 pub mod time;
 
 pub use dist::{Distribution, Empirical, Exponential, LogNormal, Normal, Uniform};
 pub use queue::EventQueue;
 pub use rng::SimRng;
+pub use scheduler::{
+    Clock, DesScheduler, ManualClock, MonotonicClock, RealTimeScheduler, Scheduler,
+};
 pub use sim::{Simulation, World};
 pub use time::SimTime;

@@ -1,4 +1,11 @@
 //! The pending-event queue.
+//!
+//! [`EventQueue`] is the ordering backbone for both execution modes: the
+//! [`Simulation`](crate::sim::Simulation) driver and the
+//! [`DesScheduler`](crate::scheduler::DesScheduler) /
+//! [`RealTimeScheduler`](crate::scheduler::RealTimeScheduler) pair all pop
+//! from it, so `(time, seq)` tie-breaking — and therefore determinism — is
+//! identical no matter which front end drives the events.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;

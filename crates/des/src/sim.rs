@@ -1,4 +1,10 @@
 //! The simulation driver: pops events and dispatches them to a [`World`].
+//!
+//! This is the closed-loop driver: it owns the queue and runs the world to
+//! completion in virtual time. Code that needs to own the loop itself — or
+//! swap virtual time for the wall clock — should drive a
+//! [`Scheduler`](crate::scheduler::Scheduler) instead; the two share the
+//! same [`EventQueue`] ordering guarantees.
 
 use crate::queue::EventQueue;
 use crate::time::SimTime;

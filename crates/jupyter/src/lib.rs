@@ -11,6 +11,7 @@
 //! * [`router`] — the Global Scheduler's fan-out/fan-in routing table,
 //! * [`channels`] — the five-socket channel taxonomy and status broadcasts,
 //! * [`session`] — persistent notebook sessions and idle detection,
+//! * [`transport`] — an in-process duplex transport carrying signed frames,
 //! * [`provisioner`] — the kernel-provisioner extension point the Global
 //!   Scheduler plugs into.
 //!
@@ -38,11 +39,14 @@ pub mod message;
 pub mod provisioner;
 pub mod router;
 pub mod session;
+pub mod transport;
 pub mod wire;
 
+pub use bytes::Bytes;
 pub use channels::{status_message, status_of, Channel, KernelStatus};
 pub use json::Json;
 pub use message::{merge_replies, Header, JupyterMessage, MsgType, ReplyStatus};
 pub use provisioner::{ConnectionInfo, KernelProvisioner, KernelResourceSpec, ProvisionError};
 pub use router::{KernelRoute, LocalSchedulerId, RouteError, RoutedCopy, Router};
 pub use session::{MsgIdGen, Session, SessionManager};
+pub use transport::{wire_pair, WireEndpoint};

@@ -1,4 +1,5 @@
-//! Golden determinism gate for the hot-path optimization work (PR 5).
+//! Golden determinism gate for the hot-path optimization work (PR 5)
+//! and the scheduler-trait refactor (live service mode).
 //!
 //! The committed reports under `tests/golden/` hold the full
 //! [`RunMetrics`] record (every CDF sample, timeline point, counter) of a
@@ -9,6 +10,14 @@
 //! no cluster-index, scratch-buffer, or checkpointing refactor can
 //! silently change simulation results.
 //!
+//! Since the platform dispatches through `&mut dyn Scheduler<Ev>`, every
+//! golden comparison also pins the trait path: `Platform::run` *is* the
+//! trait-dispatched DES run. The `trait_*` tests below make the seam
+//! explicit — an externally supplied [`DesScheduler`] and a
+//! [`RealTimeScheduler`] on a manual clock must both reproduce the
+//! direct run bit-for-bit, so live service mode can never drift from the
+//! simulated studies.
+//!
 //! Regenerate (only when an *intentional* behavior change lands) with:
 //!
 //! ```sh
@@ -18,8 +27,9 @@
 use std::path::PathBuf;
 
 use notebookos::core::sweep::{Scenario, SweepReport, SweepSpec};
-use notebookos::core::PolicyKind;
-use notebookos::trace::SyntheticConfig;
+use notebookos::core::{Platform, PlatformConfig, PolicyKind};
+use notebookos::des::{DesScheduler, ManualClock, RealTimeScheduler, Scheduler};
+use notebookos::trace::{generate, SyntheticConfig};
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
@@ -111,4 +121,44 @@ fn placement_by_elasticity_matrix_is_bit_identical_to_golden() {
 #[test]
 fn per_policy_runs_are_bit_identical_to_golden() {
     assert_matches_golden(&policy_spec(), "pr5_policies.json");
+}
+
+#[test]
+fn externally_supplied_des_scheduler_matches_the_direct_run() {
+    let trace = generate(&golden_workload(), 11);
+    let config = PlatformConfig::evaluation(PolicyKind::NotebookOs);
+    let direct = Platform::run(config.clone(), trace.clone());
+    let mut sched = DesScheduler::new();
+    let via_trait = Platform::run_with_scheduler(config, trace, &mut sched);
+    assert_eq!(
+        &direct,
+        via_trait.metrics(),
+        "a caller-owned DesScheduler must reproduce Platform::run bit-for-bit"
+    );
+    assert_eq!(sched.pending(), 0, "the run drains its own event queue");
+}
+
+#[test]
+fn realtime_scheduler_on_a_manual_clock_matches_the_des_run() {
+    // The live-service scheduler, with its sleeps short-circuited by a
+    // hand-advanced clock: identical event order, identical handler
+    // timestamps, so the full RunMetrics record — every CDF sample —
+    // must equal the DES run's. This is the guarantee that lets the
+    // serve loop be tested in virtual time and deployed on the wall
+    // clock without a behavioral seam between the two.
+    let trace = generate(&golden_workload(), 11);
+    let config = PlatformConfig::evaluation(PolicyKind::NotebookOs);
+    let des = Platform::run(config.clone(), trace.clone());
+    let mut sched = RealTimeScheduler::with_clock(Box::new(ManualClock::new()));
+    let live = Platform::run_with_scheduler(config, trace, &mut sched);
+    assert_eq!(
+        &des,
+        live.metrics(),
+        "wall-clock dispatch must not change simulation results"
+    );
+    assert_eq!(
+        sched.max_lateness(),
+        notebookos::des::SimTime::ZERO,
+        "a manual clock sleeps exactly to each deadline"
+    );
 }
