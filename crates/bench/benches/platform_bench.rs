@@ -8,9 +8,11 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use notebookos_bench::loaded_cluster;
+use notebookos_bench::serve::{run_serve_sharded, ServeEv, ServeOpts};
 use notebookos_cluster::{RankScratch, ResourceRequest, Viability};
 use notebookos_core::policy::{LeastLoaded, PlacementContext, PlacementPolicy};
 use notebookos_core::{Platform, PlatformConfig, PolicyKind};
+use notebookos_des::{DesScheduler, Scheduler, SimTime};
 use notebookos_trace::{generate, SyntheticConfig};
 
 fn bench_policy_runs(c: &mut Criterion) {
@@ -132,11 +134,36 @@ fn bench_events_per_sec(c: &mut Criterion) {
     group.finish();
 }
 
+/// The sharded serving loop under virtual time at 1/2/4 shards — the
+/// criterion twin of `serve --scale-out` (which produces the committed
+/// `BENCH_pr8.json` curve). Virtual time means the whole run is pure
+/// event processing, so ns/iter across shard counts exposes the
+/// coordination overhead (placement channel + merge) directly.
+fn bench_sharded_serve(c: &mut Criterion) {
+    let mut opts = ServeOpts::new(16, SimTime::from_secs(10));
+    opts.hosts = 8;
+    let mut group = c.benchmark_group("serve_sharded");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4] {
+        group.bench_function(format!("virtual_{shards}_shards"), |b| {
+            b.iter(|| {
+                let run = run_serve_sharded(&opts, shards, &|_| {
+                    Box::new(DesScheduler::new()) as Box<dyn Scheduler<ServeEv>>
+                });
+                assert!(run.report.executions > 0);
+                run
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_policy_runs,
     bench_placement,
     bench_indexed_placement,
-    bench_events_per_sec
+    bench_events_per_sec,
+    bench_sharded_serve
 );
 criterion_main!(benches);

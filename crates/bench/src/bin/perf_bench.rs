@@ -23,8 +23,8 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use notebookos_bench::loaded_cluster;
-use notebookos_cluster::ResourceRequest;
-use notebookos_core::policy::{LeastLoaded, PlacementContext, PlacementPolicy};
+use notebookos_cluster::{Cluster, ResourceBundle, ResourceRequest};
+use notebookos_core::policy::{LeastLoaded, PlacementContext, PlacementPolicy, RoundRobin};
 use notebookos_core::{Platform, PlatformConfig, PolicyKind};
 use notebookos_trace::{generate, SyntheticConfig};
 
@@ -109,6 +109,39 @@ fn bench_fleet(hosts: usize, iters: u32) -> FleetNumbers {
         best_commit_ns,
         stream_ns,
     }
+}
+
+/// Worst-case RoundRobin fleet: every host subscribed past the SR cap,
+/// so the within-cap pass finds nothing and the over-cap rotation serves
+/// the whole answer — the shape that used to degrade the indexed walk
+/// back to O(n). The committed curve must stay flat across fleet sizes.
+fn over_cap_cluster(hosts: usize) -> Cluster {
+    let mut cluster = Cluster::with_hosts(hosts, ResourceBundle::p3_16xlarge());
+    let sub = ResourceRequest::new(4_000, 16_384, 4, 16);
+    for host in 0..hosts as u64 {
+        for _ in 0..7 {
+            assert!(cluster.subscribe(host, &sub), "host covers the request");
+        }
+    }
+    cluster
+}
+
+/// RoundRobin top-3 against the all-over-cap fleet, ns/op.
+fn bench_round_robin_worst(hosts: usize, iters: u32) -> f64 {
+    let cluster = over_cap_cluster(hosts);
+    let req = ResourceRequest::one_gpu();
+    let ctx = PlacementContext {
+        cluster: &cluster,
+        request: &req,
+        replication_factor: 3,
+    };
+    let mut policy = RoundRobin::default();
+    let mut out = Vec::new();
+    time_ns(iters, || {
+        let total = policy.rank_top_into(&ctx, 3, &mut out);
+        assert_eq!(total, hosts, "every over-cap host stays viable");
+        assert_eq!(out.len(), 3.min(hosts), "the rotation fills the pick");
+    })
 }
 
 struct EndToEnd {
@@ -250,6 +283,10 @@ fn main() {
         &[16, 64, 256, 1024, 10_000, 100_000]
     };
     let numbers: Vec<FleetNumbers> = fleets.iter().map(|&h| bench_fleet(h, iters)).collect();
+    let rr_worst: Vec<(usize, f64)> = fleets
+        .iter()
+        .map(|&h| (h, bench_round_robin_worst(h, iters)))
+        .collect();
 
     // The fleet-scale scenario keeps 256 hosts alive for the whole run,
     // so per-event cluster work dominates the wall time — the number the
@@ -275,12 +312,14 @@ fn main() {
          \"placement_rank_top3_ns_per_op\": {},\n  \
          \"viable_hosts_ns_per_op\": {},\n  \
          \"best_commit_ns_per_op\": {},\n  \
+         \"round_robin_worst_ns_per_op\": {},\n  \
          \"roofline\": [{}],\n  \
          \"end_to_end\": [{}]\n}}",
         json_map(numbers.iter().map(|n| (n.hosts, n.rank_scan_ns))),
         json_map(numbers.iter().map(|n| (n.hosts, n.rank_top3_ns))),
         json_map(numbers.iter().map(|n| (n.hosts, n.viable_ns))),
         json_map(numbers.iter().map(|n| (n.hosts, n.best_commit_ns))),
+        json_map(rr_worst.iter().copied()),
         roofline.join(", "),
         e2e_json.join(", "),
     );

@@ -32,6 +32,8 @@ const FAMILIES: &[&str] = &[
     "placement_rank_top3_ns_per_op",
     "viable_hosts_ns_per_op",
     "best_commit_ns_per_op",
+    "round_robin_worst_ns_per_op",
+    "serve_ns_per_exec",
 ];
 
 fn load(path: &str) -> Json {

@@ -18,7 +18,9 @@
 //! complete within the run.
 
 use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
 
+use notebookos_core::placement_service::{PlacementService, PlacementServiceStats};
 use notebookos_core::serve::{client_request, GatewayStats, LiveGateway};
 use notebookos_des::{Scheduler, SimTime};
 use notebookos_jupyter::{Json, KernelResourceSpec, MsgIdGen, WireEndpoint};
@@ -131,6 +133,11 @@ pub struct ServeReport {
     pub min_viable_hosts: usize,
     /// Gauge samples taken.
     pub gauge_samples: u64,
+    /// Every end-to-end request latency, ms. Percentile fields above are
+    /// derived from this; keeping the full distribution lets sharded runs
+    /// merge per-shard reports losslessly via [`Cdf::merge`] and lets the
+    /// determinism tests compare latency *multisets*, not just summaries.
+    pub latency: Cdf,
 }
 
 impl ServeReport {
@@ -157,6 +164,26 @@ impl ServeReport {
             .with("client_received", self.client_received)
             .with("min_viable_hosts", self.min_viable_hosts as u64)
             .with("gauge_samples", self.gauge_samples)
+            .with(
+                "latency_ms",
+                self.latency
+                    .canonical_samples()
+                    .into_iter()
+                    .map(Json::from)
+                    .collect::<Vec<Json>>(),
+            )
+    }
+
+    /// The fields the determinism contract says must be invariant under
+    /// the shard count: everything except `peak_sessions` (per-shard
+    /// peaks sum to an upper bound, not the true global peak) and
+    /// `gauge_samples` (each shard runs its own tick chain), which are
+    /// zeroed. Compare these views to prove `--shards N` ≡ `--shards 1`.
+    pub fn shard_invariant_view(&self) -> ServeReport {
+        let mut view = self.clone();
+        view.peak_sessions = 0;
+        view.gauge_samples = 0;
+        view
     }
 
     /// Renders the human-readable summary the `serve` bin prints.
@@ -235,17 +262,10 @@ fn compress(trace: &WorkloadTrace, opts: &ServeOpts) -> CompressedTrace {
     CompressedTrace { specs, events }
 }
 
-/// Runs the serving loop to completion under the supplied scheduler.
-///
-/// The run ends when the event queue drains: all sessions have started,
-/// every accepted execution has completed, and gauge ticks have stopped
-/// (they are not scheduled past the serving window). Identical inputs
-/// produce identical reports under any scheduler, because all timing
-/// flows through `sched`.
-pub fn run_serve(opts: &ServeOpts, sched: &mut dyn Scheduler<ServeEv>) -> ServeReport {
-    // One AdobeTrace-shaped hour, compressed onto the serving window.
-    // Every user submits (gpu_active_fraction 1.0): a load generator that
-    // mostly idles would make smoke runs flaky.
+/// Generates the workload once: one AdobeTrace-shaped hour, compressed
+/// onto the serving window. Every user submits (gpu_active_fraction 1.0):
+/// a load generator that mostly idles would make smoke runs flaky.
+fn compressed_trace(opts: &ServeOpts) -> CompressedTrace {
     let config = SyntheticConfig {
         sessions: opts.users,
         span_s: 3_600.0,
@@ -254,20 +274,57 @@ pub fn run_serve(opts: &ServeOpts, sched: &mut dyn Scheduler<ServeEv>) -> ServeR
         ..SyntheticConfig::smoke()
     };
     let trace = generate(&config, opts.seed);
-    let compressed = compress(&trace, opts);
+    compress(&trace, opts)
+}
 
+/// Runs the serving loop to completion under the supplied scheduler.
+///
+/// The run ends when the event queue drains: all sessions have started,
+/// every accepted execution has completed, and gauge ticks have stopped
+/// (they are not scheduled past the serving window). Identical inputs
+/// produce identical reports under any scheduler, because all timing
+/// flows through `sched`.
+pub fn run_serve(opts: &ServeOpts, sched: &mut dyn Scheduler<ServeEv>) -> ServeReport {
+    let compressed = compressed_trace(opts);
     let (mut gateway, mut client) = LiveGateway::new(
         opts.hosts,
         notebookos_cluster::ResourceBundle::p3_16xlarge(),
         opts.replication_factor,
     );
+    run_loop(
+        opts,
+        &compressed.specs,
+        compressed.events,
+        opts.users,
+        &mut gateway,
+        &mut client,
+        sched,
+    )
+}
+
+/// One gateway's serving loop: the single-threaded core that both
+/// [`run_serve`] (one gateway over everything) and [`run_serve_sharded`]
+/// (one gateway per shard, each over its own session partition) drive.
+/// `events` are this gateway's pre-scheduled trace events; `owned_users`
+/// is how many of the trace's users they cover (reported as `users`).
+/// No locks anywhere: the loop owns its gateway, wire, scheduler, and
+/// latency accumulator outright.
+fn run_loop(
+    opts: &ServeOpts,
+    specs: &[KernelResourceSpec],
+    events: Vec<(SimTime, ServeEv)>,
+    owned_users: usize,
+    gateway: &mut LiveGateway,
+    client: &mut WireEndpoint,
+    sched: &mut dyn Scheduler<ServeEv>,
+) -> ServeReport {
+    // Indexed by global user id, so shard partitions need no remapping.
     let mut users: Vec<UserState> = (0..opts.users).map(|_| UserState::default()).collect();
     let mut ids = MsgIdGen::new("cell");
     let mut in_flight: HashMap<String, (usize, SimTime)> = HashMap::new();
-    let mut latency = Cdf::new("request-latency-ms");
 
     let mut report = ServeReport {
-        users: opts.users,
+        users: owned_users,
         sessions_started: 0,
         sessions_ended: 0,
         peak_sessions: 0,
@@ -284,6 +341,7 @@ pub fn run_serve(opts: &ServeOpts, sched: &mut dyn Scheduler<ServeEv>) -> ServeR
         client_received: 0,
         min_viable_hosts: usize::MAX,
         gauge_samples: 0,
+        latency: Cdf::new("request-latency-ms"),
     };
     let gauge_spec = KernelResourceSpec {
         millicpus: 4_000,
@@ -292,7 +350,7 @@ pub fn run_serve(opts: &ServeOpts, sched: &mut dyn Scheduler<ServeEv>) -> ServeR
         vram_gb: 16,
     };
 
-    for (deadline, event) in compressed.events {
+    for (deadline, event) in events {
         sched.schedule(deadline, event);
     }
     sched.schedule(SimTime::ZERO, ServeEv::ProgressTick);
@@ -301,7 +359,7 @@ pub fn run_serve(opts: &ServeOpts, sched: &mut dyn Scheduler<ServeEv>) -> ServeR
         match event {
             ServeEv::SessionStart(user) => {
                 let session_id = format!("user-{user}");
-                match gateway.start_session(&session_id, compressed.specs[user], now) {
+                match gateway.start_session(&session_id, specs[user], now) {
                     Ok(info) => {
                         users[user].kernel_id = info.kernel_id;
                         users[user].active = true;
@@ -338,8 +396,8 @@ pub fn run_serve(opts: &ServeOpts, sched: &mut dyn Scheduler<ServeEv>) -> ServeR
                         now,
                         &mut users,
                         &mut ids,
-                        &mut client,
-                        &mut gateway,
+                        client,
+                        gateway,
                         &mut in_flight,
                         &mut report,
                         sched,
@@ -358,7 +416,9 @@ pub fn run_serve(opts: &ServeOpts, sched: &mut dyn Scheduler<ServeEv>) -> ServeR
                         continue;
                     };
                     report.executions += 1;
-                    latency.record(now.saturating_sub(submitted).as_millis_f64());
+                    report
+                        .latency
+                        .record(now.saturating_sub(submitted).as_millis_f64());
                     users[owner].busy = false;
                 }
                 // The user is free again: drain their queue, then honor a
@@ -371,8 +431,8 @@ pub fn run_serve(opts: &ServeOpts, sched: &mut dyn Scheduler<ServeEv>) -> ServeR
                             now,
                             &mut users,
                             &mut ids,
-                            &mut client,
-                            &mut gateway,
+                            client,
+                            gateway,
                             &mut in_flight,
                             &mut report,
                             sched,
@@ -401,10 +461,10 @@ pub fn run_serve(opts: &ServeOpts, sched: &mut dyn Scheduler<ServeEv>) -> ServeR
     if report.min_viable_hosts == usize::MAX {
         report.min_viable_hosts = 0;
     }
-    if !latency.is_empty() {
-        report.latency_p50_ms = latency.percentile(50.0);
-        report.latency_p99_ms = latency.percentile(99.0);
-        report.latency_mean_ms = latency.mean();
+    if !report.latency.is_empty() {
+        report.latency_p50_ms = report.latency.percentile(50.0);
+        report.latency_p99_ms = report.latency.percentile(99.0);
+        report.latency_mean_ms = report.latency.mean();
     }
     if report.logical_secs > 0.0 {
         report.execs_per_sec = report.executions as f64 / report.logical_secs;
@@ -459,6 +519,279 @@ fn submit_cell(
         users[user].busy = false;
         report.dropped += 1;
     }
+}
+
+/// Maps a kernel id onto one of `shards` gateway shards (FNV-1a 64-bit).
+/// Stable across processes and platforms, so a router in front of the
+/// shards and the shards themselves always agree — and deterministic, so
+/// the same trace partitions identically on every run.
+pub fn shard_of(kernel_id: &str, shards: usize) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in kernel_id.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+    (hash % shards as u64) as usize
+}
+
+/// The user a pre-scheduled trace event belongs to. Only session/submit
+/// events are partitioned (`ExecDone`/`ProgressTick` are scheduled inside
+/// a shard's own loop and never cross shards).
+fn owner_of(event: &ServeEv) -> usize {
+    match event {
+        ServeEv::SessionStart(user) | ServeEv::SessionEnd(user) => *user,
+        ServeEv::Submit { user, .. } | ServeEv::ExecDone { user, .. } => *user,
+        ServeEv::ProgressTick => 0,
+    }
+}
+
+/// One shard's coordination footprint in a sharded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardCoordination {
+    /// Shard index.
+    pub shard: usize,
+    /// Users (sessions) partitioned onto this shard.
+    pub sessions: usize,
+    /// Wall time this shard spent blocked on the placement channel.
+    pub placement_wait: Duration,
+    /// Placement round trips awaited (launches + gauge queries).
+    pub placement_calls: u64,
+    /// Wall time of the shard thread, end to end.
+    pub wall: Duration,
+}
+
+/// Where a sharded run's wall time went — the roofline-style
+/// decomposition the scaling curve is read against: compute (per-shard
+/// loops), coordination (placement channel + owner busy time), and the
+/// sequential merge tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoordinationStats {
+    /// Wall time of the parallel serving phase (spawn → last shard join).
+    pub wall: Duration,
+    /// Wall time of the sequential report merge.
+    pub merge: Duration,
+    /// Per-shard footprints, in shard order.
+    pub shards: Vec<ShardCoordination>,
+    /// The placement owner's side of the story.
+    pub service: PlacementServiceStats,
+}
+
+impl CoordinationStats {
+    /// Total wall time all shards spent blocked on the placement channel.
+    pub fn placement_wait(&self) -> Duration {
+        self.shards.iter().map(|s| s.placement_wait).sum()
+    }
+
+    /// Total placement round trips across shards.
+    pub fn placement_calls(&self) -> u64 {
+        self.shards.iter().map(|s| s.placement_calls).sum()
+    }
+}
+
+/// A sharded run: the merged deterministic [`ServeReport`] plus the
+/// per-shard reports and the coordination breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedServeReport {
+    /// Gateway shards the run used.
+    pub shards: usize,
+    /// The merged report (counters summed, latency CDFs merged in shard
+    /// order, percentiles recomputed over the union).
+    pub report: ServeReport,
+    /// Each shard's own report, in shard order.
+    pub per_shard: Vec<ServeReport>,
+    /// The wall-clock decomposition.
+    pub coordination: CoordinationStats,
+}
+
+impl ShardedServeReport {
+    /// Serializes the merged report plus the sharding decomposition.
+    pub fn to_json(&self) -> Json {
+        let per_shard: Vec<Json> = self
+            .coordination
+            .shards
+            .iter()
+            .map(|s| {
+                Json::object()
+                    .with("shard", s.shard as u64)
+                    .with("sessions", s.sessions as u64)
+                    .with("placement_wait_s", s.placement_wait.as_secs_f64())
+                    .with("placement_calls", s.placement_calls)
+                    .with("wall_s", s.wall.as_secs_f64())
+            })
+            .collect();
+        self.report
+            .to_json()
+            .with("shards", self.shards as u64)
+            .with(
+                "coordination",
+                Json::object()
+                    .with("wall_s", self.coordination.wall.as_secs_f64())
+                    .with("merge_s", self.coordination.merge.as_secs_f64())
+                    .with(
+                        "placement_wait_s",
+                        self.coordination.placement_wait().as_secs_f64(),
+                    )
+                    .with("placement_calls", self.coordination.placement_calls())
+                    .with(
+                        "service_busy_s",
+                        self.coordination.service.busy.as_secs_f64(),
+                    )
+                    .with("service_launches", self.coordination.service.launches)
+                    .with("per_shard", per_shard),
+            )
+    }
+}
+
+/// Runs the serving loop across `shards` gateway shards, one OS thread
+/// each.
+///
+/// Sessions are partitioned by [`shard_of`] over their kernel id; each
+/// shard owns its own scheduler (built by `make_sched`, called *on* the
+/// shard thread so non-`Send` schedulers work), [`LiveGateway`], wire
+/// endpoints, and latency accumulator — no locks on the per-execution
+/// hot path. The one shared resource is placement: every shard's gateway
+/// provisions through a [`PlacementClient`] into the single
+/// [`PlacementService`] owner thread, keeping the capacity-bucketed host
+/// index single-writer. Per-shard reports merge at shutdown in shard
+/// order via [`Cdf::merge`].
+///
+/// Determinism contract: because viability is capacity-based (a fleet
+/// that can place R replicas does so regardless of load order) and each
+/// user's submit/queue/complete dynamics involve only their own session,
+/// the merged report's [`ServeReport::shard_invariant_view`] is identical
+/// for every shard count — and with one shard it equals [`run_serve`]'s
+/// report exactly.
+///
+/// [`PlacementClient`]: notebookos_core::placement_service::PlacementClient
+pub fn run_serve_sharded(
+    opts: &ServeOpts,
+    shards: usize,
+    make_sched: &(dyn Fn(usize) -> Box<dyn Scheduler<ServeEv>> + Sync),
+) -> ShardedServeReport {
+    assert!(shards > 0, "at least one shard");
+    let compressed = compressed_trace(opts);
+    let mut shard_events: Vec<Vec<(SimTime, ServeEv)>> = vec![Vec::new(); shards];
+    let mut shard_users = vec![0usize; shards];
+    for user in 0..opts.users {
+        shard_users[shard_of(&format!("kernel-user-{user}"), shards)] += 1;
+    }
+    // Stable partition: within a shard, events keep global trace order,
+    // so a one-shard run schedules exactly what `run_serve` schedules.
+    for (deadline, event) in compressed.events {
+        let shard = shard_of(&format!("kernel-user-{}", owner_of(&event)), shards);
+        shard_events[shard].push((deadline, event));
+    }
+
+    let service = PlacementService::spawn(
+        opts.hosts,
+        notebookos_cluster::ResourceBundle::p3_16xlarge(),
+        opts.replication_factor,
+    );
+    let specs = &compressed.specs;
+    let start = Instant::now();
+    let results: Vec<(ServeReport, ShardCoordination)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shard_events
+            .into_iter()
+            .enumerate()
+            .map(|(shard, events)| {
+                let backend = service.client();
+                let sessions = shard_users[shard];
+                scope.spawn(move || {
+                    let shard_start = Instant::now();
+                    let (mut gateway, mut wire) =
+                        LiveGateway::with_backend(Box::new(backend), opts.replication_factor);
+                    let mut sched = make_sched(shard);
+                    let report = run_loop(
+                        opts,
+                        specs,
+                        events,
+                        sessions,
+                        &mut gateway,
+                        &mut wire,
+                        sched.as_mut(),
+                    );
+                    let (placement_wait, placement_calls) = gateway.coordination_wait();
+                    (
+                        report,
+                        ShardCoordination {
+                            shard,
+                            sessions,
+                            placement_wait,
+                            placement_calls,
+                            wall: shard_start.elapsed(),
+                        },
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("shard thread panicked"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    // All clients dropped with their gateways; the owner loop has exited.
+    let service_stats = service.join();
+
+    let merge_start = Instant::now();
+    let (per_shard, coord): (Vec<ServeReport>, Vec<ShardCoordination>) =
+        results.into_iter().unzip();
+    let report = merge_reports(&per_shard);
+    let merge = merge_start.elapsed();
+
+    ShardedServeReport {
+        shards,
+        report,
+        per_shard,
+        coordination: CoordinationStats {
+            wall,
+            merge,
+            shards: coord,
+            service: service_stats,
+        },
+    }
+}
+
+/// Merges per-shard reports into one deterministic report: counters sum,
+/// `min_viable_hosts` takes the min, `logical_secs` the max (the global
+/// last event), and the latency distributions merge in shard order with
+/// percentiles recomputed over the union — so the merged report depends
+/// only on the partition contents, not on thread interleaving.
+fn merge_reports(parts: &[ServeReport]) -> ServeReport {
+    let mut report = ServeReport {
+        users: parts.iter().map(|p| p.users).sum(),
+        sessions_started: parts.iter().map(|p| p.sessions_started).sum(),
+        sessions_ended: parts.iter().map(|p| p.sessions_ended).sum(),
+        peak_sessions: parts.iter().map(|p| p.peak_sessions).sum(),
+        executions: parts.iter().map(|p| p.executions).sum(),
+        execs_per_sec: 0.0,
+        latency_p50_ms: 0.0,
+        latency_p99_ms: 0.0,
+        latency_mean_ms: 0.0,
+        shortfalls: parts.iter().map(|p| p.shortfalls).sum(),
+        dropped: parts.iter().map(|p| p.dropped).sum(),
+        logical_secs: parts.iter().map(|p| p.logical_secs).fold(0.0, f64::max),
+        gateway: GatewayStats {
+            accepted: parts.iter().map(|p| p.gateway.accepted).sum(),
+            rejected: parts.iter().map(|p| p.gateway.rejected).sum(),
+            replies: parts.iter().map(|p| p.gateway.replies).sum(),
+            fan_out_copies: parts.iter().map(|p| p.gateway.fan_out_copies).sum(),
+        },
+        client_sent: parts.iter().map(|p| p.client_sent).sum(),
+        client_received: parts.iter().map(|p| p.client_received).sum(),
+        min_viable_hosts: parts.iter().map(|p| p.min_viable_hosts).min().unwrap_or(0),
+        gauge_samples: parts.iter().map(|p| p.gauge_samples).sum(),
+        latency: Cdf::merged("request-latency-ms", parts.iter().map(|p| &p.latency)),
+    };
+    if !report.latency.is_empty() {
+        report.latency_p50_ms = report.latency.percentile(50.0);
+        report.latency_p99_ms = report.latency.percentile(99.0);
+        report.latency_mean_ms = report.latency.mean();
+    }
+    if report.logical_secs > 0.0 {
+        report.execs_per_sec = report.executions as f64 / report.logical_secs;
+    }
+    report
 }
 
 #[cfg(test)]
@@ -518,5 +851,99 @@ mod tests {
         assert_eq!(report.shortfalls, opts.users as u64);
         assert_eq!(report.executions, 0);
         assert!(report.dropped > 0, "their submissions drop");
+    }
+
+    #[test]
+    fn one_shard_equals_the_unsharded_loop_exactly() {
+        let opts = ServeOpts::smoke();
+        let unsharded = run_serve(&opts, &mut DesScheduler::new());
+        let sharded = run_serve_sharded(&opts, 1, &|_| Box::new(DesScheduler::new()));
+        assert_eq!(sharded.per_shard.len(), 1);
+        assert_eq!(
+            sharded.report, unsharded,
+            "every field, including the latency multiset, matches"
+        );
+    }
+
+    #[test]
+    fn merged_report_is_invariant_under_shard_count() {
+        let mut opts = ServeOpts::smoke();
+        opts.users = 8; // enough sessions to spread across shards
+        let baseline = run_serve_sharded(&opts, 1, &|_| Box::new(DesScheduler::new()))
+            .report
+            .shard_invariant_view();
+        assert!(baseline.executions > 0);
+        for shards in [2usize, 3, 5] {
+            let run = run_serve_sharded(&opts, shards, &|_| Box::new(DesScheduler::new()));
+            assert_eq!(run.per_shard.len(), shards);
+            assert_eq!(
+                run.report.shard_invariant_view(),
+                baseline,
+                "{shards} shards must serve the same latencies as one"
+            );
+        }
+    }
+
+    #[test]
+    fn coordination_stats_account_for_every_placement_round_trip() {
+        let opts = ServeOpts::smoke();
+        let run = run_serve_sharded(&opts, 2, &|_| Box::new(DesScheduler::new()));
+        let coord = &run.coordination;
+        assert_eq!(coord.shards.len(), 2);
+        assert_eq!(
+            coord.service.launches,
+            run.report.sessions_started + run.report.shortfalls,
+            "every session start hit the placement owner exactly once"
+        );
+        assert_eq!(
+            coord.placement_calls(),
+            coord.service.launches + coord.service.gauge_queries,
+            "client round trips are launches plus gauge queries"
+        );
+        assert!(coord.placement_wait() > Duration::ZERO);
+        assert_eq!(
+            coord.shards.iter().map(|s| s.sessions).sum::<usize>(),
+            opts.users,
+            "the session partition is an exact cover"
+        );
+    }
+
+    #[test]
+    fn manual_clock_shards_match_des_with_zero_wall_sleeps() {
+        use notebookos_des::{ManualClock, RealTimeScheduler};
+        let opts = ServeOpts::smoke(); // 3 s serving window
+        let started = Instant::now();
+        let real_time = run_serve_sharded(&opts, 3, &|_| {
+            Box::new(RealTimeScheduler::with_clock(Box::new(ManualClock::new())))
+        });
+        let wall = started.elapsed();
+        let des = run_serve_sharded(&opts, 3, &|_| Box::new(DesScheduler::new()));
+        assert_eq!(
+            real_time.report.shard_invariant_view(),
+            des.report.shard_invariant_view(),
+            "real-time shards on a manual clock replay the DES run"
+        );
+        assert!(
+            wall < Duration::from_secs(3),
+            "a manual clock must not wall-sleep the 3 s serving window (took {wall:?})"
+        );
+    }
+
+    #[test]
+    fn shard_of_is_a_total_stable_partition() {
+        for shards in 1..=8usize {
+            for user in 0..64 {
+                let id = format!("kernel-user-{user}");
+                let a = shard_of(&id, shards);
+                assert!(a < shards);
+                assert_eq!(a, shard_of(&id, shards), "stable");
+            }
+        }
+        // The hash actually spreads: 64 users over 4 shards leave none empty.
+        let mut counts = [0usize; 4];
+        for user in 0..64 {
+            counts[shard_of(&format!("kernel-user-{user}"), 4)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
     }
 }

@@ -108,6 +108,10 @@ struct ShapeClass {
     /// `(subscribed, committed, id)`: reverse iteration yields exactly
     /// the bin-packing order `(S desc, C desc, id desc)` within the class.
     by_sub: BTreeSet<(u64, u64, HostId)>,
+    /// id → subscribed GPUs: in-order iteration is exactly the
+    /// round-robin rotation order within the class, with the subscription
+    /// level at hand for the SR-cap check.
+    by_id: BTreeMap<HostId, u64>,
     /// Live (non-draining) hosts in this class.
     len: usize,
 }
@@ -118,6 +122,7 @@ impl ShapeClass {
             shape,
             by_idle_sub: BTreeMap::new(),
             by_sub: BTreeSet::new(),
+            by_id: BTreeMap::new(),
             len: 0,
         }
     }
@@ -181,6 +186,7 @@ impl HostIndex {
         class
             .by_sub
             .insert((h.subscribed_gpus(), u64::from(h.committed_gpus()), h.id()));
+        class.by_id.insert(h.id(), h.subscribed_gpus());
         class.len += 1;
     }
 
@@ -206,6 +212,7 @@ impl HostIndex {
         class
             .by_sub
             .remove(&(h.subscribed_gpus(), u64::from(h.committed_gpus()), h.id()));
+        class.by_id.remove(&h.id());
         class.len -= 1;
         if class.len == 0 {
             self.classes.remove(slot);
@@ -262,6 +269,63 @@ fn class_cap(
         }
     }
     Some(lo)
+}
+
+/// How one shape class's members fall against the SR cap for a request:
+/// entirely within, entirely over, or genuinely split at a subscribed-GPU
+/// threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CapSplit {
+    /// Every member's post-placement SR stays at or below the cap.
+    AllWithin,
+    /// Every member is over the cap.
+    AllOver,
+    /// Members at or below the threshold are within; the rest are over.
+    Mixed(u64),
+}
+
+/// Classifies `class` against the [`class_cap`] threshold using only the
+/// BTree boundary keys — O(log) for the homogeneous verdicts every
+/// same-load fleet hits, which is what keeps the round-robin walk and the
+/// viability split flat when *all* hosts are over the cap.
+fn cap_split(class: &ShapeClass, cap: Option<u64>) -> CapSplit {
+    match cap {
+        Some(u64::MAX) => CapSplit::AllWithin,
+        None => CapSplit::AllOver,
+        Some(t) => match (class.by_sub.first(), class.by_sub.last()) {
+            (_, Some(&(max_s, _, _))) if max_s <= t => CapSplit::AllWithin,
+            (Some(&(min_s, _, _)), _) if min_s > t => CapSplit::AllOver,
+            _ => CapSplit::Mixed(t),
+        },
+    }
+}
+
+/// Appends up to `take` host ids from `class` in ascending-id order over
+/// `range` (one rotation phase), keeping only hosts on the requested side
+/// of the cap split. Homogeneous classes answer in O(log + take); only a
+/// genuinely `Mixed` class walks members past the threshold check.
+fn gather_round_robin(
+    class: &ShapeClass,
+    split: CapSplit,
+    over: bool,
+    range: (Bound<HostId>, Bound<HostId>),
+    take: usize,
+    out: &mut Vec<HostId>,
+) {
+    match (split, over) {
+        (CapSplit::AllWithin, true) | (CapSplit::AllOver, false) => {}
+        (CapSplit::AllWithin, false) | (CapSplit::AllOver, true) => {
+            out.extend(class.by_id.range(range).map(|(&id, _)| id).take(take));
+        }
+        (CapSplit::Mixed(t), _) => out.extend(
+            class
+                .by_id
+                .range(range)
+                .filter(|&(_, &s)| (s > t) == over)
+                .map(|(&id, _)| id)
+                .take(take),
+        ),
+    }
 }
 
 /// Inclusive-range bounds over one idle bucket's `(subscribed, id)` set.
@@ -818,6 +882,40 @@ impl Cluster {
             .sum()
     }
 
+    /// The viability *split* — [`Cluster::viable_hosts`]' segment lengths
+    /// `(within_cap, over_cap)` — without materializing the host lists.
+    /// Per covering class the `class_cap` threshold plus the BTree
+    /// boundary keys resolve homogeneous classes in O(log); only a class
+    /// the cap genuinely splits counts its (over-cap) range, so no host
+    /// in the slab is ever dereferenced.
+    pub fn viable_counts(
+        &self,
+        request: &ResourceRequest,
+        replication_factor: u32,
+        sr_cap: f64,
+    ) -> (usize, usize) {
+        let needed = ResourceBundle::from_request(request);
+        let (mut within, mut over) = (0usize, 0usize);
+        let index = self.sync_index();
+        for class in index.classes.iter().filter(|c| c.shape.covers(&needed)) {
+            let cap = class_cap(request, class.shape, replication_factor, sr_cap);
+            match cap_split(class, cap) {
+                CapSplit::AllWithin => within += class.len,
+                CapSplit::AllOver => over += class.len,
+                CapSplit::Mixed(t) => {
+                    let range: SubCommitRange = (
+                        Bound::Excluded((t, u64::MAX, HostId::MAX)),
+                        Bound::Unbounded,
+                    );
+                    let o = class.by_sub.range(range).count();
+                    over += o;
+                    within += class.len - o;
+                }
+            }
+        }
+        (within, over)
+    }
+
     /// The first `limit` hosts of [`Cluster::subscription_candidates`]
     /// (the least-loaded ranking) without scanning the slab, plus the
     /// total viable count as the return value. Within each covering shape
@@ -923,10 +1021,19 @@ impl Cluster {
 
     /// The first `limit` hosts of the round-robin ranking (ids rotated
     /// past `last`, within-cap segment first) and the total viable count.
-    /// Walks the slab circularly from the rotation point and stops as
-    /// soon as `limit` within-cap hosts are found — O(limit) on a healthy
-    /// fleet, degrading to the scan's O(hosts) only when nearly every
-    /// host is draining, too small, or over-cap.
+    ///
+    /// Served from the per-class rotation-ordered BTrees rather than a
+    /// circular slab walk: each rotation phase (ids after `last`, then
+    /// the wrap back to `last`) range-scans every covering class in
+    /// ascending-id order — which *is* the global rotation order within a
+    /// phase — takes at most `limit` qualifying ids per class, and keeps
+    /// the smallest across classes. Draining hosts are not in the class
+    /// structures at all, and a class whose members are uniformly over
+    /// (or under) the SR cap is classified from its BTree boundary keys,
+    /// so the all-over-cap and mostly-draining fleets that degraded the
+    /// slab walk to O(hosts) now answer in O(classes · (log hosts +
+    /// limit)). Only a class the cap genuinely splits walks members past
+    /// the threshold check.
     // Mirrors the scan-path signature (request/RF/cap/cursor) plus the
     // two caller-owned scratch buffers the allocation-free API requires.
     #[allow(clippy::too_many_arguments)]
@@ -942,34 +1049,54 @@ impl Cluster {
     ) -> usize {
         out.clear();
         over_scratch.clear();
-        let total = self.viable_count(request);
+        let needed = ResourceBundle::from_request(request);
+        let index = self.sync_index();
+        let covering = || index.classes.iter().filter(|c| c.shape.covers(&needed));
+        let total: usize = covering().map(|c| c.len).sum();
         if limit == 0 || total == 0 {
             return total;
         }
-        let needed = ResourceBundle::from_request(request);
-        let n = self.hosts.len();
-        let start = match last {
-            Some(last) => self.hosts.partition_point(|h| h.id() <= last) % n,
-            None => 0,
+        // Rotation phases: ids strictly after `last`, then the wrap back
+        // to (and including) `last`. With no cursor the single unbounded
+        // phase is the plain ascending order.
+        let phases: [Option<(Bound<HostId>, Bound<HostId>)>; 2] = match last {
+            Some(last) => [
+                Some((Bound::Excluded(last), Bound::Unbounded)),
+                Some((Bound::Unbounded, Bound::Included(last))),
+            ],
+            None => [Some((Bound::Unbounded, Bound::Unbounded)), None],
         };
-        for k in 0..n {
-            let h = &self.hosts[(start + k) % n];
-            if h.is_draining() || !h.capacity().covers(&needed) {
-                continue;
-            }
-            if request.gpus > 0 && post_sr(h, request, replication_factor) > sr_cap {
-                if over_scratch.len() < limit {
-                    over_scratch.push(h.id());
+        let fill = |over: bool, want: usize, dest: &mut Vec<HostId>| {
+            for phase in phases.iter().flatten() {
+                if dest.len() >= want {
+                    break;
                 }
-            } else {
-                out.push(h.id());
-                if out.len() == limit {
-                    return total;
+                let before = dest.len();
+                for class in covering() {
+                    let cap = class_cap(request, class.shape, replication_factor, sr_cap);
+                    gather_round_robin(
+                        class,
+                        cap_split(class, cap),
+                        over,
+                        *phase,
+                        want - before,
+                        dest,
+                    );
                 }
+                // Within a phase every class range is ascending by id, so
+                // the globally-first `want` ids are the smallest gathered.
+                dest[before..].sort_unstable();
+                dest.truncate(want.max(before));
             }
+        };
+        // Within-cap segment first, then — only if short — the over-cap
+        // segment, exactly the scan path's preference order.
+        fill(false, limit, out);
+        if out.len() < limit {
+            let rest = limit - out.len();
+            fill(true, rest, over_scratch);
+            out.extend(over_scratch.iter());
         }
-        let rest = limit - out.len();
-        out.extend(over_scratch.iter().take(rest));
         total
     }
 
@@ -1464,6 +1591,94 @@ mod tests {
             },
             "index equals scan after dirty add/remove (new host {id})"
         );
+    }
+
+    #[test]
+    fn viable_counts_split_matches_materialized_screen() {
+        // Every way the split can fall: mixed shapes, a draining host, a
+        // CPU-only (cap-exempt) request, classes entirely over the cap,
+        // and classes the cap genuinely splits.
+        let small = ResourceBundle::new(32_000, 249_856, 4);
+        let mut c = Cluster::with_host_mix(&[(ResourceBundle::p3_16xlarge(), 4), (small, 3)]);
+        for _ in 0..7 {
+            assert!(c.subscribe(0, &gpu_req(4))); // push host 0 over the cap
+        }
+        for i in 4..7u64 {
+            for _ in 0..4 {
+                assert!(c.subscribe(i, &gpu_req(4))); // whole small class over
+            }
+        }
+        assert!(c.set_draining(2, true));
+        for req in [
+            ResourceRequest::new(4000, 16_384, 1, 16),
+            ResourceRequest::new(4000, 16_384, 4, 16),
+            ResourceRequest::new(4000, 16_384, 6, 16), // only the big shape covers
+            ResourceRequest::new(1000, 2_048, 0, 0),   // cap-exempt
+            ResourceRequest::new(1_000_000, 1, 0, 0),  // nothing covers
+        ] {
+            let v = c.viable_hosts(&req, 3, 1.0);
+            assert_eq!(
+                c.viable_counts(&req, 3, 1.0),
+                (v.within_cap.len(), v.over_cap.len()),
+                "split for {req:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_robin_worst_cases_match_the_scan_reference() {
+        // The degradation cases the rotation-ordered BTrees exist for:
+        // (a) every host over the SR cap, (b) most of the fleet draining.
+        let mut c = Cluster::with_hosts(12, ResourceBundle::p3_16xlarge());
+        for i in 0..12u64 {
+            for _ in 0..7 {
+                assert!(c.subscribe(i, &gpu_req(4)));
+            }
+        }
+        for i in 0..9u64 {
+            assert!(c.set_draining(i, true));
+        }
+        let req = gpu_req(4);
+        let rotate = |ids: &[HostId], last: Option<HostId>| {
+            let pivot = match last {
+                Some(l) => ids.partition_point(|&h| h <= l) % ids.len().max(1),
+                None => 0,
+            };
+            let mut r = ids[pivot..].to_vec();
+            r.extend(&ids[..pivot]);
+            r
+        };
+        let mut over = Vec::new();
+        let mut top = Vec::new();
+        for last in [None, Some(9), Some(10), Some(11), Some(99)] {
+            let v = c.viable_hosts(&req, 3, 1.0);
+            assert!(v.within_cap.is_empty(), "every live host is over the cap");
+            let full = rotate(&v.over_cap, last);
+            for limit in [1, 2, 3, 5] {
+                let total = c.rank_round_robin_top(&req, 3, 1.0, last, limit, &mut over, &mut top);
+                assert_eq!(total, full.len());
+                assert_eq!(
+                    top,
+                    full[..limit.min(full.len())],
+                    "prefix for last {last:?} limit {limit}"
+                );
+            }
+        }
+        // Un-drain one mid-fleet host and relieve its load: a genuinely
+        // mixed class (one within-cap member among over-cap ones).
+        assert!(c.set_draining(5, false));
+        for _ in 0..7 {
+            assert!(c.unsubscribe(5, &gpu_req(4)));
+        }
+        let v = c.viable_hosts(&req, 3, 1.0);
+        assert_eq!(v.within_cap, vec![5]);
+        for last in [None, Some(5), Some(11)] {
+            let mut full = rotate(&v.within_cap, last);
+            full.extend(rotate(&v.over_cap, last));
+            let total = c.rank_round_robin_top(&req, 3, 1.0, last, 3, &mut over, &mut top);
+            assert_eq!(total, full.len());
+            assert_eq!(top, full[..3.min(full.len())], "mixed class, last {last:?}");
+        }
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod election;
 pub mod failure;
 pub mod gateway;
 pub mod latency_breakdown;
+pub mod placement_service;
 pub mod platform;
 pub mod policy;
 pub mod reclamation;
@@ -69,6 +70,7 @@ pub use election::{Designation, ElectionModel};
 pub use failure::{recovery_action, FailureDetector, RecoveryAction};
 pub use gateway::{ControlRpc, GatewayProvisioner, KernelPlacement};
 pub use latency_breakdown::{BreakdownRecorder, Step};
+pub use placement_service::{PlacementClient, PlacementService, PlacementServiceStats};
 pub use platform::Platform;
 pub use policy::{
     BinPacking, LeastLoaded, PlacementContext, PlacementPolicy, RandomPlacement, RoundRobin,
@@ -76,7 +78,8 @@ pub use policy::{
 pub use reclamation::{analyze as analyze_reclamation, fig13_sweep, ReclamationSavings};
 pub use results::{RunCounters, RunMetrics};
 pub use serve::{
-    client_request, AcceptedExecution, GatewayStats, LiveGateway, DURATION_KEY, GATEWAY_KEY,
+    client_request, AcceptedExecution, GatewayStats, LiveGateway, LocalBackend,
+    ProvisioningBackend, DURATION_KEY, GATEWAY_KEY,
 };
 pub use smr::{ElectionOutcome, ElectionTracker, KernelCommand, KernelProtocolHarness, Proposal};
 pub use sweep::{

@@ -61,6 +61,17 @@ impl PlacementContext<'_> {
     pub fn viable_count(&self) -> usize {
         self.cluster.viable_count(self.request)
     }
+
+    /// The `(within_cap, over_cap)` segment lengths of
+    /// [`PlacementContext::viable`] without materializing the host lists
+    /// ([`Cluster::viable_counts`]): homogeneous shape classes resolve
+    /// from BTree boundary keys, so screen users that only need the split
+    /// — SR-pressure gauges, shortfall diagnostics — skip the O(hosts)
+    /// scan entirely.
+    pub fn viable_counts(&self) -> (usize, usize) {
+        self.cluster
+            .viable_counts(self.request, self.replication_factor, self.sr_cap())
+    }
 }
 
 /// A replica-placement policy: ranks candidate hosts for one replica
@@ -389,6 +400,12 @@ mod tests {
                 context.viable_count(),
                 context.viable().len(),
                 "request {req:?}"
+            );
+            let v = context.viable();
+            assert_eq!(
+                context.viable_counts(),
+                (v.within_cap.len(), v.over_cap.len()),
+                "split for request {req:?}"
             );
         }
     }

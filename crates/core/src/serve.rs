@@ -22,7 +22,7 @@
 
 use std::collections::HashMap;
 
-use notebookos_cluster::{ResourceBundle, ResourceRequest};
+use notebookos_cluster::{Cluster, HostId, ResourceBundle, ResourceRequest};
 use notebookos_des::SimTime;
 use notebookos_jupyter::{
     wire_pair, Bytes, ConnectionInfo, Json, JupyterMessage, KernelProvisioner, KernelResourceSpec,
@@ -73,6 +73,129 @@ pub struct GatewayStats {
     pub fan_out_copies: u64,
 }
 
+/// The provisioning seam between a gateway (shard) and the fleet: kernel
+/// launch/shutdown plus the capacity gauge.
+///
+/// [`LocalBackend`] owns a private cluster — the single-gateway wiring
+/// [`LiveGateway::new`] builds. The sharded serve path instead hands every
+/// shard a [`PlacementClient`](crate::placement_service::PlacementClient),
+/// which forwards these calls over the placement service's command channel
+/// so N shards share one single-writer fleet index. `Send` because shards
+/// move their backend onto their own thread.
+pub trait ProvisioningBackend: std::fmt::Debug + Send {
+    /// Launches `kernel_id`'s R-replica kernel, returning its connection
+    /// info plus the replica hosts (the shard's route-table entry).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the placement shortfall when fewer than R viable hosts
+    /// exist.
+    fn launch(
+        &mut self,
+        kernel_id: &str,
+        spec: KernelResourceSpec,
+    ) -> Result<(ConnectionInfo, Vec<HostId>), ProvisionError>;
+
+    /// Shuts `kernel_id` down, releasing its replica subscriptions.
+    fn shutdown(&mut self, kernel_id: &str);
+
+    /// The `(within_cap, over_cap)` viable-host split for `spec` — the
+    /// capacity gauge, served from the fleet index without a scan.
+    fn viable_counts(&self, spec: KernelResourceSpec) -> (usize, usize);
+
+    /// Kernels this backend has provisioned and not yet shut down.
+    fn kernel_count(&self) -> usize;
+
+    /// The backend's in-process cluster view, when it has one
+    /// ([`LocalBackend`]); channel-backed clients return `None`.
+    fn cluster(&self) -> Option<&Cluster> {
+        None
+    }
+
+    /// Cumulative wall time this backend spent blocked on a shared
+    /// placement plane, with the call count — zero for in-process
+    /// backends. Feeds the sharded serve bench's coordination breakdown.
+    fn coordination_wait(&self) -> (std::time::Duration, u64) {
+        (std::time::Duration::ZERO, 0)
+    }
+}
+
+/// Converts a Jupyter-facing resource spec to the cluster's request type.
+pub(crate) fn request_of(spec: KernelResourceSpec) -> ResourceRequest {
+    ResourceRequest::new(
+        u64::from(spec.millicpus),
+        u64::from(spec.memory_mb),
+        spec.gpus,
+        spec.vram_gb,
+    )
+}
+
+/// In-process [`ProvisioningBackend`]: a [`GatewayProvisioner`] over its
+/// own private cluster, used by the single-gateway wiring
+/// ([`LiveGateway::new`]).
+#[derive(Debug)]
+pub struct LocalBackend {
+    provisioner: GatewayProvisioner<LeastLoaded>,
+    replication_factor: u32,
+}
+
+impl LocalBackend {
+    /// Creates a backend over a fresh cluster of `hosts` servers of the
+    /// given shape.
+    pub fn new(hosts: usize, shape: ResourceBundle, replication_factor: u32) -> Self {
+        let cluster = notebookos_cluster::Cluster::with_hosts(hosts, shape);
+        LocalBackend {
+            provisioner: GatewayProvisioner::new(
+                cluster,
+                LeastLoaded::default(),
+                replication_factor,
+            ),
+            replication_factor,
+        }
+    }
+}
+
+impl ProvisioningBackend for LocalBackend {
+    fn launch(
+        &mut self,
+        kernel_id: &str,
+        spec: KernelResourceSpec,
+    ) -> Result<(ConnectionInfo, Vec<HostId>), ProvisionError> {
+        let info = self.provisioner.launch(kernel_id, spec)?;
+        let hosts = self
+            .provisioner
+            .placement(kernel_id)
+            .expect("just launched")
+            .replica_hosts
+            .clone();
+        Ok((info, hosts))
+    }
+
+    fn shutdown(&mut self, kernel_id: &str) {
+        self.provisioner
+            .shutdown(kernel_id)
+            .expect("session kernels are registered");
+    }
+
+    fn viable_counts(&self, spec: KernelResourceSpec) -> (usize, usize) {
+        let request = request_of(spec);
+        PlacementContext {
+            cluster: self.provisioner.cluster(),
+            request: &request,
+            replication_factor: self.replication_factor,
+        }
+        .viable_counts()
+    }
+
+    fn kernel_count(&self) -> usize {
+        self.provisioner.kernel_count()
+    }
+
+    fn cluster(&self) -> Option<&Cluster> {
+        Some(self.provisioner.cluster())
+    }
+}
+
 /// A fanned-out execution awaiting its completion deadline.
 #[derive(Debug)]
 struct PendingExecution {
@@ -91,7 +214,7 @@ struct PendingExecution {
 /// wall-clock traffic unchanged.
 #[derive(Debug)]
 pub struct LiveGateway {
-    provisioner: GatewayProvisioner<LeastLoaded>,
+    backend: Box<dyn ProvisioningBackend>,
     router: Router,
     sessions: SessionManager,
     reply_ids: MsgIdGen,
@@ -109,13 +232,23 @@ impl LiveGateway {
         shape: ResourceBundle,
         replication_factor: u32,
     ) -> (LiveGateway, WireEndpoint) {
-        let cluster = notebookos_cluster::Cluster::with_hosts(hosts, shape);
-        let provisioner =
-            GatewayProvisioner::new(cluster, LeastLoaded::default(), replication_factor);
+        Self::with_backend(
+            Box::new(LocalBackend::new(hosts, shape, replication_factor)),
+            replication_factor,
+        )
+    }
+
+    /// Creates a gateway over an existing provisioning backend — how the
+    /// sharded serve path points N gateways at one shared placement
+    /// service. Returns the client's end of the wire.
+    pub fn with_backend(
+        backend: Box<dyn ProvisioningBackend>,
+        replication_factor: u32,
+    ) -> (LiveGateway, WireEndpoint) {
         let (server, client) = wire_pair(GATEWAY_KEY);
         (
             LiveGateway {
-                provisioner,
+                backend,
                 router: Router::new(),
                 sessions: SessionManager::new(),
                 reply_ids: MsgIdGen::new("gw-reply"),
@@ -126,6 +259,11 @@ impl LiveGateway {
             },
             client,
         )
+    }
+
+    /// The gateway's provisioning backend (gauge and test access).
+    pub fn backend(&self) -> &dyn ProvisioningBackend {
+        &*self.backend
     }
 
     /// Starts a session: launches its distributed kernel through the
@@ -142,17 +280,13 @@ impl LiveGateway {
         now: SimTime,
     ) -> Result<ConnectionInfo, ProvisionError> {
         let kernel_id = format!("kernel-{session_id}");
-        let info = self.provisioner.launch(&kernel_id, spec)?;
-        let placement = self
-            .provisioner
-            .placement(&kernel_id)
-            .expect("just launched");
+        let (info, replica_hosts) = self.backend.launch(&kernel_id, spec)?;
         self.router.register(
             &kernel_id,
             KernelRoute {
                 // `HostId` doubles as the Local Scheduler id (one per
                 // GPU server).
-                replicas: placement.replica_hosts.clone(),
+                replicas: replica_hosts,
             },
         );
         self.sessions
@@ -167,9 +301,7 @@ impl LiveGateway {
             return false;
         };
         self.router.deregister(&session.kernel_id);
-        self.provisioner
-            .shutdown(&session.kernel_id)
-            .expect("session kernels are registered");
+        self.backend.shutdown(&session.kernel_id);
         true
     }
 
@@ -270,21 +402,23 @@ impl LiveGateway {
 
     /// How many hosts could currently take a kernel of `spec` — the
     /// capacity gauge the `serve` bin samples. Served from the placement
-    /// index's per-class counts ([`PlacementContext::viable_count`]), so
-    /// sampling it per tick never scans the fleet.
+    /// index's per-class counts (never a fleet scan), via the backend so
+    /// sharded gateways gauge the *shared* fleet.
     pub fn viable_count(&self, spec: KernelResourceSpec) -> usize {
-        let request = ResourceRequest::new(
-            u64::from(spec.millicpus),
-            u64::from(spec.memory_mb),
-            spec.gpus,
-            spec.vram_gb,
-        );
-        PlacementContext {
-            cluster: self.provisioner.cluster(),
-            request: &request,
-            replication_factor: self.replication_factor,
-        }
-        .viable_count()
+        let (within, over) = self.backend.viable_counts(spec);
+        within + over
+    }
+
+    /// The `(within_cap, over_cap)` viable-host split for `spec` — the
+    /// SR-pressure gauge ([`ProvisioningBackend::viable_counts`]).
+    pub fn viable_counts(&self, spec: KernelResourceSpec) -> (usize, usize) {
+        self.backend.viable_counts(spec)
+    }
+
+    /// Cumulative wall time (and call count) spent blocked on a shared
+    /// placement plane ([`ProvisioningBackend::coordination_wait`]).
+    pub fn coordination_wait(&self) -> (std::time::Duration, u64) {
+        self.backend.coordination_wait()
     }
 
     /// Live session count.
@@ -294,7 +428,7 @@ impl LiveGateway {
 
     /// Live kernel count.
     pub fn kernel_count(&self) -> usize {
-        self.provisioner.kernel_count()
+        self.backend.kernel_count()
     }
 
     /// Executions fanned out but not yet completed.
@@ -461,11 +595,17 @@ mod tests {
         }
         let request = ResourceRequest::new(4000, 16_384, 1, 16);
         let ctx = PlacementContext {
-            cluster: gw.provisioner.cluster(),
+            cluster: gw.backend().cluster().expect("local backend"),
             request: &request,
             replication_factor: 3,
         };
         assert_eq!(gw.viable_count(spec()), ctx.viable().len());
+        let v = ctx.viable();
+        assert_eq!(
+            gw.viable_counts(spec()),
+            (v.within_cap.len(), v.over_cap.len()),
+            "gauge split matches the materialized screen"
+        );
     }
 
     #[test]
