@@ -205,7 +205,12 @@ fn scale_out(opts: &ServeOpts, cores: usize) -> (Json, Vec<(usize, f64)>) {
                 .with("placement_wait_s", coord.placement_wait().as_secs_f64())
                 .with("placement_calls", coord.placement_calls())
                 .with("merge_s", coord.merge.as_secs_f64())
-                .with("service_busy_s", coord.service.busy.as_secs_f64()),
+                .with("service_busy_s", coord.service.busy.as_secs_f64())
+                .with("service_wakeups", coord.service.wakeups)
+                .with(
+                    "service_mean_drained_per_wakeup",
+                    coord.service.mean_drained_per_wakeup(),
+                ),
         );
         eprintln!(
             "serve: scale-out {shards} shard(s): {:.1} ns/exec over {} executions \

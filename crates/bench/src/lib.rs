@@ -19,6 +19,7 @@ use notebookos_core::sweep::{self, Scenario, SweepJob};
 use notebookos_core::{Platform, PlatformConfig, PolicyKind, RunMetrics};
 use notebookos_trace::{generate, ArrivalPattern, SyntheticConfig, WorkloadTrace};
 
+pub mod chaos;
 pub mod serve;
 pub mod sweep_cli;
 
@@ -113,23 +114,29 @@ pub fn smoke_heterogeneous() -> Scenario {
 /// same fleet for the committed `BENCH_pr5.json` numbers to stay
 /// comparable).
 pub fn loaded_cluster(hosts: usize) -> notebookos_cluster::Cluster {
-    use notebookos_cluster::{Cluster, ResourceRequest};
+    use notebookos_cluster::{Cluster, HostMutation, ResourceRequest};
     let mut cluster = Cluster::with_hosts(hosts, ResourceBundle::p3_16xlarge());
+    // Batch-applied typed mutations keep the placement index incremental —
+    // raw `host_mut` churn here would dirty it and make the first measured
+    // query pay the O(n log n) rebuild instead of steady-state cost.
+    let mut batch = Vec::new();
     for i in 0..hosts {
         for _ in 0..(i % 7) {
-            cluster
-                .host_mut(i as u64)
-                .expect("host exists")
-                .subscribe(&ResourceRequest::one_gpu());
+            batch.push(HostMutation::Subscribe {
+                host: i as u64,
+                request: ResourceRequest::one_gpu(),
+            });
         }
         if i % 3 == 0 {
-            cluster
-                .host_mut(i as u64)
-                .expect("host exists")
-                .commit(1_000_000 + i as u64, &ResourceRequest::one_gpu())
-                .expect("commit fits");
+            batch.push(HostMutation::Commit {
+                host: i as u64,
+                owner: 1_000_000 + i as u64,
+                request: ResourceRequest::one_gpu(),
+            });
         }
     }
+    let applied = cluster.apply_batch(batch);
+    assert!(applied > 0 || hosts <= 1, "fixture mutations all applied");
     cluster
 }
 

@@ -20,7 +20,9 @@
 use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
-use notebookos_core::placement_service::{PlacementService, PlacementServiceStats};
+use notebookos_core::placement_service::{
+    drain_bucket_label, PlacementService, PlacementServiceStats,
+};
 use notebookos_core::serve::{client_request, GatewayStats, LiveGateway};
 use notebookos_des::{Scheduler, SimTime};
 use notebookos_jupyter::{Json, KernelResourceSpec, MsgIdGen, WireEndpoint};
@@ -637,6 +639,26 @@ impl ShardedServeReport {
                         self.coordination.service.busy.as_secs_f64(),
                     )
                     .with("service_launches", self.coordination.service.launches)
+                    .with("service_wakeups", self.coordination.service.wakeups)
+                    .with(
+                        "service_mean_drained_per_wakeup",
+                        self.coordination.service.mean_drained_per_wakeup(),
+                    )
+                    .with("service_drained_per_wakeup", {
+                        let hist: Vec<Json> = self
+                            .coordination
+                            .service
+                            .drained_per_wakeup
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &wakeups)| {
+                                Json::object()
+                                    .with("batch", drain_bucket_label(i))
+                                    .with("wakeups", wakeups)
+                            })
+                            .collect();
+                        hist
+                    })
                     .with("per_shard", per_shard),
             )
     }

@@ -441,6 +441,54 @@ impl Default for Cluster {
     }
 }
 
+/// One typed fleet mutation, batch-applied through
+/// [`Cluster::apply_batch`]. Each variant routes to the matching typed
+/// mutator ([`Cluster::subscribe`], [`Cluster::try_commit`], …), so a
+/// batch keeps the fleet totals and the placement index incremental —
+/// unlike raw [`Cluster::host_mut`] churn, which dirties both and makes
+/// the next placement query pay an O(n log n) rebuild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostMutation {
+    /// Register a replica subscription ([`Cluster::subscribe`]).
+    Subscribe {
+        /// Target host.
+        host: HostId,
+        /// Shape being subscribed.
+        request: ResourceRequest,
+    },
+    /// Remove a replica subscription ([`Cluster::unsubscribe`]).
+    Unsubscribe {
+        /// Target host.
+        host: HostId,
+        /// Shape being unsubscribed.
+        request: ResourceRequest,
+    },
+    /// Exclusively bind resources for an executing replica
+    /// ([`Cluster::try_commit`]; bound device ids are discarded).
+    Commit {
+        /// Target host.
+        host: HostId,
+        /// Committing replica.
+        owner: OwnerId,
+        /// Shape being bound.
+        request: ResourceRequest,
+    },
+    /// Release an owner's commitment ([`Cluster::release`]).
+    Release {
+        /// Target host.
+        host: HostId,
+        /// Releasing replica.
+        owner: OwnerId,
+    },
+    /// Mark or unmark a host as draining ([`Cluster::set_draining`]).
+    SetDraining {
+        /// Target host.
+        host: HostId,
+        /// New draining flag.
+        draining: bool,
+    },
+}
+
 impl Cluster {
     /// Creates an empty cluster.
     pub fn new() -> Self {
@@ -685,6 +733,36 @@ impl Cluster {
         // viability screen starts/stops seeing it.
         self.apply_indexed(idx, |h| h.set_draining(draining));
         true
+    }
+
+    /// Applies a batch of typed mutations in order, returning how many
+    /// applied (a mutation naming a missing host, a failing commit, or a
+    /// release with no matching commitment is skipped, exactly like its
+    /// single-shot form). Equivalent to calling the typed mutators
+    /// one-by-one but with one reusable device buffer across the whole
+    /// batch — the way bench fixtures build loaded fleets without ever
+    /// dirtying the placement index.
+    pub fn apply_batch<I>(&mut self, mutations: I) -> usize
+    where
+        I: IntoIterator<Item = HostMutation>,
+    {
+        let mut devices = Vec::new();
+        let mut applied = 0;
+        for mutation in mutations {
+            let ok = match mutation {
+                HostMutation::Subscribe { host, request } => self.subscribe(host, &request),
+                HostMutation::Unsubscribe { host, request } => self.unsubscribe(host, &request),
+                HostMutation::Commit {
+                    host,
+                    owner,
+                    request,
+                } => self.try_commit(host, owner, &request, &mut devices),
+                HostMutation::Release { host, owner } => self.release(host, owner),
+                HostMutation::SetDraining { host, draining } => self.set_draining(host, draining),
+            };
+            applied += usize::from(ok);
+        }
+        applied
     }
 
     // ------------------------------------------------------------------
@@ -1247,6 +1325,101 @@ mod tests {
         assert!(c.set_draining(1, true));
         assert!(c.host(1).unwrap().is_draining());
         assert!(!c.set_draining(99, true));
+    }
+
+    /// The batch covering every variant (plus skipped mutations) against
+    /// the same stream applied through raw `host_mut` one at a time.
+    fn equivalence_batch() -> Vec<HostMutation> {
+        vec![
+            HostMutation::Subscribe {
+                host: 0,
+                request: gpu_req(4),
+            },
+            HostMutation::Subscribe {
+                host: 1,
+                request: gpu_req(2),
+            },
+            HostMutation::Subscribe {
+                host: 2,
+                request: gpu_req(1),
+            },
+            HostMutation::Commit {
+                host: 0,
+                owner: 7,
+                request: gpu_req(4),
+            },
+            HostMutation::Commit {
+                host: 1,
+                owner: 8,
+                request: gpu_req(2),
+            },
+            HostMutation::Unsubscribe {
+                host: 2,
+                request: gpu_req(1),
+            },
+            HostMutation::Release { host: 1, owner: 8 },
+            HostMutation::SetDraining {
+                host: 3,
+                draining: true,
+            },
+            // Skipped: missing host, double commit, release w/o commitment.
+            HostMutation::Subscribe {
+                host: 99,
+                request: gpu_req(1),
+            },
+            HostMutation::Commit {
+                host: 0,
+                owner: 7,
+                request: gpu_req(1),
+            },
+            HostMutation::Release { host: 2, owner: 42 },
+        ]
+    }
+
+    #[test]
+    fn apply_batch_matches_one_at_a_time_host_mut() {
+        let mut batched = Cluster::with_hosts(4, ResourceBundle::p3_16xlarge());
+        let applied = batched.apply_batch(equivalence_batch());
+        assert_eq!(applied, 8, "three mutations are skipped");
+
+        // Same stream through raw host access, one call at a time.
+        let mut raw = Cluster::with_hosts(4, ResourceBundle::p3_16xlarge());
+        raw.host_mut(0).unwrap().subscribe(&gpu_req(4));
+        raw.host_mut(1).unwrap().subscribe(&gpu_req(2));
+        raw.host_mut(2).unwrap().subscribe(&gpu_req(1));
+        raw.host_mut(0).unwrap().commit(7, &gpu_req(4)).unwrap();
+        raw.host_mut(1).unwrap().commit(8, &gpu_req(2)).unwrap();
+        raw.host_mut(2).unwrap().unsubscribe(&gpu_req(1));
+        raw.host_mut(1).unwrap().release(8);
+        raw.host_mut(3).unwrap().set_draining(true);
+        assert_eq!(
+            raw.host_mut(0).unwrap().commit(7, &gpu_req(1)),
+            Err(CommitError::AlreadyCommitted(7))
+        );
+
+        // Identical per-host accounting and fleet totals…
+        for (b, r) in batched.hosts().iter().zip(raw.hosts()) {
+            assert_eq!(b.id(), r.id());
+            assert_eq!(b.subscribed_gpus(), r.subscribed_gpus(), "host {}", b.id());
+            assert_eq!(b.committed_gpus(), r.committed_gpus(), "host {}", b.id());
+            assert_eq!(b.is_draining(), r.is_draining(), "host {}", b.id());
+        }
+        assert_eq!(batched.total_subscribed_gpus(), raw.total_subscribed_gpus());
+        assert_eq!(batched.total_committed_gpus(), raw.total_committed_gpus());
+
+        // …and identical placement answers.
+        assert_eq!(
+            batched.viable_hosts(&gpu_req(2), 3, 1.5),
+            raw.viable_hosts(&gpu_req(2), 3, 1.5)
+        );
+        assert_eq!(
+            batched.subscription_candidates(&gpu_req(2), 3, 1.5),
+            raw.subscription_candidates(&gpu_req(2), 3, 1.5)
+        );
+
+        // The batch path never dirtied the placement index; the raw path
+        // pays a rebuild on its next query.
+        assert!(!batched.index.borrow().dirty, "batch stays incremental");
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod pool;
 pub mod provisioning;
 pub mod resources;
 
-pub use cluster::{Cluster, RankScratch, Viability};
+pub use cluster::{Cluster, HostMutation, RankScratch, Viability};
 pub use container::{Container, ContainerState, TransitionError};
 pub use host::{CommitError, Host, HostId, OwnerId};
 pub use pool::{ForgottenContainers, MinPerHost, PrewarmPolicy, PrewarmPool};

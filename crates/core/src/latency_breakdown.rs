@@ -150,6 +150,142 @@ impl BreakdownRecorder {
     }
 }
 
+/// The phases of one kill→recover cycle in a chaos drill, decomposed the
+/// same way [`Step`] decomposes an execution request (§3.2.5 recovery on
+/// the availability path instead of the request path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryPhase {
+    /// Silence → declared failed (heartbeat timeout window).
+    Detect,
+    /// Declared failed → surviving quorum has a (new) leader accepting
+    /// proposals again.
+    Failover,
+    /// Restart → WAL replayed, log and hard state rebuilt.
+    Replay,
+    /// Replay done → replica has re-applied every committed entry.
+    CatchUp,
+}
+
+impl RecoveryPhase {
+    /// All phases in cycle order.
+    pub const ALL: [RecoveryPhase; 4] = [
+        RecoveryPhase::Detect,
+        RecoveryPhase::Failover,
+        RecoveryPhase::Replay,
+        RecoveryPhase::CatchUp,
+    ];
+
+    /// Report label for this phase.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryPhase::Detect => "detect",
+            RecoveryPhase::Failover => "failover",
+            RecoveryPhase::Replay => "wal-replay",
+            RecoveryPhase::CatchUp => "catch-up",
+        }
+    }
+}
+
+/// Collects per-phase recovery latency CDFs across kill/restart cycles —
+/// the [`BreakdownRecorder`] pattern applied to the chaos drill.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryBreakdown {
+    label: String,
+    total: Cdf,
+    phases: Vec<(RecoveryPhase, Cdf)>,
+}
+
+impl RecoveryBreakdown {
+    /// Creates a recorder labelled with the drill name.
+    pub fn new(label: impl Into<String>) -> Self {
+        let label = label.into();
+        RecoveryBreakdown {
+            total: Cdf::new(format!("{label}/total")),
+            phases: RecoveryPhase::ALL
+                .iter()
+                .map(|&p| (p, Cdf::new(format!("{label}/{}", p.label()))))
+                .collect(),
+            label,
+        }
+    }
+
+    /// Records one phase's latency (milliseconds) for one cycle.
+    pub fn record_phase(&mut self, phase: RecoveryPhase, millis: f64) {
+        let (_, cdf) = self
+            .phases
+            .iter_mut()
+            .find(|(p, _)| *p == phase)
+            .expect("all phases pre-registered");
+        cdf.record(millis);
+    }
+
+    /// Records a cycle's total kill→recovered latency (milliseconds).
+    pub fn record_total(&mut self, millis: f64) {
+        self.total.record(millis);
+    }
+
+    /// The drill label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Completed cycles recorded.
+    pub fn cycles(&self) -> usize {
+        self.total.len()
+    }
+
+    /// Read access to a phase's CDF.
+    pub fn phase_cdf(&self, phase: RecoveryPhase) -> &Cdf {
+        &self
+            .phases
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .expect("all phases pre-registered")
+            .1
+    }
+
+    /// Read access to the total CDF.
+    pub fn total_cdf(&self) -> &Cdf {
+        &self.total
+    }
+
+    /// One row per phase plus the total, percentile spread in ms.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            format!("Recovery breakdown — {}", self.label),
+            &["phase", "n", "p50 (ms)", "p90 (ms)", "p99 (ms)", "max (ms)"],
+        );
+        let mut rows: Vec<(String, Cdf)> = vec![("total".to_string(), self.total.clone())];
+        rows.extend(
+            self.phases
+                .iter()
+                .map(|(p, c)| (p.label().to_string(), c.clone())),
+        );
+        for (label, mut cdf) in rows {
+            if cdf.is_empty() {
+                table.row_owned(vec![
+                    label,
+                    "0".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            } else {
+                table.row_owned(vec![
+                    label,
+                    cdf.len().to_string(),
+                    format!("{:.2}", cdf.percentile(50.0)),
+                    format!("{:.2}", cdf.percentile(90.0)),
+                    format!("{:.2}", cdf.percentile(99.0)),
+                    format!("{:.2}", cdf.max()),
+                ]);
+            }
+        }
+        table
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,5 +317,21 @@ mod tests {
     fn labels_match_figures() {
         assert_eq!(Step::Execute.label(), "K Exec (8)");
         assert_eq!(Step::ALL.len(), 7);
+    }
+
+    #[test]
+    fn recovery_breakdown_records_phases_and_totals() {
+        let mut r = RecoveryBreakdown::new("drill");
+        r.record_phase(RecoveryPhase::Detect, 12.0);
+        r.record_phase(RecoveryPhase::Replay, 0.4);
+        r.record_total(40.0);
+        assert_eq!(r.cycles(), 1);
+        assert_eq!(r.phase_cdf(RecoveryPhase::Detect).len(), 1);
+        assert_eq!(r.phase_cdf(RecoveryPhase::Failover).len(), 0);
+        assert_eq!(r.total_cdf().len(), 1);
+        let rendered = r.to_table().to_string();
+        assert!(rendered.contains("wal-replay"));
+        assert!(rendered.contains("drill"));
+        assert_eq!(r.to_table().len(), RecoveryPhase::ALL.len() + 1);
     }
 }

@@ -69,7 +69,7 @@ pub use elasticity::{
 pub use election::{Designation, ElectionModel};
 pub use failure::{recovery_action, FailureDetector, RecoveryAction};
 pub use gateway::{ControlRpc, GatewayProvisioner, KernelPlacement};
-pub use latency_breakdown::{BreakdownRecorder, Step};
+pub use latency_breakdown::{BreakdownRecorder, RecoveryBreakdown, RecoveryPhase, Step};
 pub use placement_service::{PlacementClient, PlacementService, PlacementServiceStats};
 pub use platform::Platform;
 pub use policy::{

@@ -47,6 +47,36 @@ enum PlacementCmd {
     },
 }
 
+/// Buckets of the drained-per-wakeup histogram: batch sizes 1, 2, 3, 4,
+/// 5–8, 9–16, 17–32, and 33+.
+pub const DRAIN_BUCKETS: usize = 8;
+
+/// Upper bound (inclusive) of each drained-per-wakeup bucket; the last
+/// bucket is open-ended.
+const DRAIN_BUCKET_CAPS: [u64; DRAIN_BUCKETS - 1] = [1, 2, 3, 4, 8, 16, 32];
+
+/// Histogram bucket for a wakeup that drained `n` commands.
+fn drain_bucket(n: u64) -> usize {
+    DRAIN_BUCKET_CAPS
+        .iter()
+        .position(|&cap| n <= cap)
+        .unwrap_or(DRAIN_BUCKETS - 1)
+}
+
+/// Human label for drained-per-wakeup bucket `i` (`"5-8"`, `"33+"`, …).
+pub fn drain_bucket_label(i: usize) -> String {
+    let floor = if i == 0 {
+        1
+    } else {
+        DRAIN_BUCKET_CAPS[i - 1] + 1
+    };
+    match DRAIN_BUCKET_CAPS.get(i) {
+        Some(&cap) if cap == floor => format!("{cap}"),
+        Some(&cap) => format!("{floor}-{cap}"),
+        None => format!("{floor}+"),
+    }
+}
+
 /// What the owner thread did over its lifetime, returned by
 /// [`PlacementService::join`] — the owner side of the serve bench's
 /// coordination breakdown.
@@ -61,6 +91,30 @@ pub struct PlacementServiceStats {
     /// Wall time spent actually executing commands (excludes waiting on
     /// the channel): the placement plane's busy time.
     pub busy: Duration,
+    /// Times the owner's blocking `recv` returned a command. Each wakeup
+    /// then drains everything already queued before blocking again, so
+    /// `wakeups < commands()` means shards were arriving faster than the
+    /// owner served — the batch-drain path was doing work.
+    pub wakeups: u64,
+    /// Histogram of commands drained per wakeup; bucket `i` spans
+    /// [`drain_bucket_label`]`(i)`. Sums to [`Self::wakeups`].
+    pub drained_per_wakeup: [u64; DRAIN_BUCKETS],
+}
+
+impl PlacementServiceStats {
+    /// Total commands served across all wakeups.
+    pub fn commands(&self) -> u64 {
+        self.launches + self.shutdowns + self.gauge_queries
+    }
+
+    /// Mean commands drained per wakeup (0 when the owner never woke).
+    pub fn mean_drained_per_wakeup(&self) -> f64 {
+        if self.wakeups == 0 {
+            0.0
+        } else {
+            self.commands() as f64 / self.wakeups as f64
+        }
+    }
 }
 
 /// The placement owner: spawns a thread that exclusively owns the fleet's
@@ -100,47 +154,69 @@ impl PlacementService {
         let mut provisioner =
             GatewayProvisioner::new(cluster, LeastLoaded::default(), replication_factor);
         let mut stats = PlacementServiceStats::default();
-        while let Ok(cmd) = rx.recv() {
+        // Batch drain: one blocking recv per wakeup, then serve everything
+        // already queued before sleeping again. Under contention (many
+        // shards, one owner) this amortizes the park/unpark cost across
+        // the whole backlog instead of paying it per command.
+        while let Ok(first) = rx.recv() {
             let start = Instant::now();
-            match cmd {
-                PlacementCmd::Launch {
-                    kernel_id,
-                    spec,
-                    reply,
-                } => {
-                    stats.launches += 1;
-                    let result = provisioner.launch(&kernel_id, spec).map(|info| {
-                        let hosts = provisioner
-                            .placement(&kernel_id)
-                            .expect("just launched")
-                            .replica_hosts
-                            .clone();
-                        (info, hosts)
-                    });
-                    // A dropped client is not an owner error.
-                    let _ = reply.send(result);
-                }
-                PlacementCmd::Shutdown { kernel_id } => {
-                    stats.shutdowns += 1;
-                    provisioner
-                        .shutdown(&kernel_id)
-                        .expect("shards shut down only kernels they launched");
-                }
-                PlacementCmd::ViableCounts { spec, reply } => {
-                    stats.gauge_queries += 1;
-                    let request = request_of(spec);
-                    let counts = PlacementContext {
-                        cluster: provisioner.cluster(),
-                        request: &request,
-                        replication_factor,
-                    }
-                    .viable_counts();
-                    let _ = reply.send(counts);
-                }
+            stats.wakeups += 1;
+            let mut drained = 0u64;
+            let mut next = Some(first);
+            while let Some(cmd) = next {
+                drained += 1;
+                Self::apply(&mut provisioner, replication_factor, &mut stats, cmd);
+                next = rx.try_recv().ok();
             }
+            stats.drained_per_wakeup[drain_bucket(drained)] += 1;
             stats.busy += start.elapsed();
         }
         stats
+    }
+
+    /// Serves one command against the owned provisioner.
+    fn apply(
+        provisioner: &mut GatewayProvisioner<LeastLoaded>,
+        replication_factor: u32,
+        stats: &mut PlacementServiceStats,
+        cmd: PlacementCmd,
+    ) {
+        match cmd {
+            PlacementCmd::Launch {
+                kernel_id,
+                spec,
+                reply,
+            } => {
+                stats.launches += 1;
+                let result = provisioner.launch(&kernel_id, spec).map(|info| {
+                    let hosts = provisioner
+                        .placement(&kernel_id)
+                        .expect("just launched")
+                        .replica_hosts
+                        .clone();
+                    (info, hosts)
+                });
+                // A dropped client is not an owner error.
+                let _ = reply.send(result);
+            }
+            PlacementCmd::Shutdown { kernel_id } => {
+                stats.shutdowns += 1;
+                provisioner
+                    .shutdown(&kernel_id)
+                    .expect("shards shut down only kernels they launched");
+            }
+            PlacementCmd::ViableCounts { spec, reply } => {
+                stats.gauge_queries += 1;
+                let request = request_of(spec);
+                let counts = PlacementContext {
+                    cluster: provisioner.cluster(),
+                    request: &request,
+                    replication_factor,
+                }
+                .viable_counts();
+                let _ = reply.send(counts);
+            }
+        }
     }
 
     /// A new client of this service — one per gateway shard. Clients are
@@ -284,6 +360,73 @@ mod tests {
         assert_eq!(stats.launches, 3, "two placements + one rejected dup");
         assert_eq!(stats.shutdowns, 2);
         assert!(stats.gauge_queries >= 2);
+        // Drain accounting invariants hold regardless of batching luck.
+        assert_eq!(stats.commands(), stats.launches + 2 + stats.gauge_queries);
+        assert!(stats.wakeups >= 1 && stats.wakeups <= stats.commands());
+        assert_eq!(
+            stats.drained_per_wakeup.iter().sum::<u64>(),
+            stats.wakeups,
+            "histogram sums to wakeups"
+        );
+    }
+
+    #[test]
+    fn drain_buckets_partition_batch_sizes() {
+        assert_eq!(drain_bucket(1), 0);
+        assert_eq!(drain_bucket(2), 1);
+        assert_eq!(drain_bucket(4), 3);
+        assert_eq!(drain_bucket(5), 4);
+        assert_eq!(drain_bucket(8), 4);
+        assert_eq!(drain_bucket(9), 5);
+        assert_eq!(drain_bucket(32), 6);
+        assert_eq!(drain_bucket(33), 7);
+        assert_eq!(drain_bucket(1_000), 7);
+        assert_eq!(drain_bucket_label(0), "1");
+        assert_eq!(drain_bucket_label(4), "5-8");
+        assert_eq!(drain_bucket_label(DRAIN_BUCKETS - 1), "33+");
+    }
+
+    #[test]
+    fn owner_drains_a_preloaded_backlog_in_one_wakeup() {
+        // Queue a backlog before the owner loop ever runs, then drive the
+        // loop directly on this thread: the first blocking recv must
+        // drain everything in a single wakeup.
+        let (tx, rx) = channel();
+        let (launch_reply, launch_rx) = channel();
+        tx.send(PlacementCmd::Launch {
+            kernel_id: "kernel-a".into(),
+            spec: spec(),
+            reply: launch_reply,
+        })
+        .unwrap();
+        let mut gauge_rxs = Vec::new();
+        for _ in 0..8 {
+            let (reply, rx) = channel();
+            tx.send(PlacementCmd::ViableCounts {
+                spec: spec(),
+                reply,
+            })
+            .unwrap();
+            gauge_rxs.push(rx);
+        }
+        tx.send(PlacementCmd::Shutdown {
+            kernel_id: "kernel-a".into(),
+        })
+        .unwrap();
+        drop(tx);
+
+        let stats = PlacementService::serve(rx, 6, ResourceBundle::p3_16xlarge(), 3);
+        assert!(launch_rx.recv().unwrap().is_ok());
+        for rx in gauge_rxs {
+            let (within, over) = rx.recv().unwrap();
+            assert_eq!(within + over, 6);
+        }
+        assert_eq!(stats.commands(), 10);
+        assert_eq!(stats.wakeups, 1, "whole backlog drained in one wakeup");
+        let mut expected = [0u64; DRAIN_BUCKETS];
+        expected[drain_bucket(10)] += 1;
+        assert_eq!(stats.drained_per_wakeup, expected);
+        assert!((stats.mean_drained_per_wakeup() - 10.0).abs() < 1e-9);
     }
 
     #[test]

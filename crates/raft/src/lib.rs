@@ -48,10 +48,15 @@ pub mod live;
 pub mod log;
 pub mod message;
 pub mod node;
+pub mod storage;
 pub mod types;
 
 pub use config::RaftConfig;
-pub use log::RaftLog;
+pub use log::{MergeOutcome, RaftLog};
 pub use message::Message;
 pub use node::{Output, ProposeError, RaftNode, Role};
+pub use storage::{
+    encode_commands, measure_wal_fsync_cost, MemStorage, RaftStorage, RecoveredState, WalCodec,
+    WalFsyncCost, WalOptions, WalStats, WalStorage,
+};
 pub use types::{Entry, EntryPayload, LogIndex, Membership, NodeId, Term};

@@ -3,9 +3,26 @@
 //!
 //! This exists to demonstrate that [`RaftNode`] is genuinely
 //! transport-agnostic: the same state machine that runs under the
-//! deterministic simulator also runs live. The `raft_cluster` example and a
-//! handful of integration tests use it.
+//! deterministic simulator also runs live. The `raft_cluster` example, a
+//! handful of integration tests, and the chaos-drill bench use it.
+//!
+//! # Kill and restart
+//!
+//! Nodes are routed through a shared map of input channels rather than
+//! per-thread peer lists, so a node can be [killed](LiveCluster::kill) —
+//! fail-stop: its queued inputs are discarded, peers' sends to it start
+//! dropping — and later [restarted](LiveCluster::restart) with a fresh
+//! channel. On restart the node rebuilds itself from whatever its
+//! [`RaftStorage`] replays: with the default in-memory storage it comes
+//! back amnesiac (rejoining as an empty follower), while
+//! [`LiveCluster::start_durable`] gives every node a WAL so a restarted
+//! replica resumes with its acked log — the paper's §3.2.5 recovery path,
+//! exercised at scale by the `chaos_drill` bench.
 
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -13,18 +30,24 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 
 use crate::config::RaftConfig;
 use crate::message::Message;
-use crate::node::{Output, ProposeError, RaftNode};
-use crate::types::{LogIndex, Membership, NodeId};
+use crate::node::{Output, ProposeError, RaftNode, Role};
+use crate::storage::{MemStorage, RaftStorage, WalCodec, WalOptions, WalStorage};
+use crate::types::{LogIndex, Membership, NodeId, Term};
 
 /// Inputs accepted by a node thread.
 enum Input<C> {
     Peer(NodeId, Message<C>),
     Propose(C, Sender<Result<LogIndex, ProposeError>>),
+    Inspect(Sender<NodeSnapshot<C>>),
     Shutdown,
 }
 
-/// One node's id plus both halves of its input channel.
-type NodeChannel<C> = (NodeId, Sender<Input<C>>, Receiver<Input<C>>);
+/// Builds (or re-opens) a node's storage; called once per start/restart.
+type StorageFactory<C> = Arc<dyn Fn(NodeId) -> Box<dyn RaftStorage<C>> + Send + Sync>;
+
+/// The shared routing plane: node id → live input channel. Killed nodes
+/// are absent, so sends to them drop — the network's view of fail-stop.
+type Router<C> = Arc<Mutex<HashMap<NodeId, Sender<Input<C>>>>>;
 
 /// A committed command observed by some node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +58,27 @@ pub struct Applied<C> {
     pub index: LogIndex,
     /// The command.
     pub command: C,
+}
+
+/// Point-in-time observable state of one live node, taken on its own
+/// thread (so it is internally consistent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSnapshot<C> {
+    /// The node's id.
+    pub id: NodeId,
+    /// Current term.
+    pub term: Term,
+    /// Current role.
+    pub role: Role,
+    /// Highest committed index.
+    pub commit_index: LogIndex,
+    /// Last log index (committed or not).
+    pub last_log_index: LogIndex,
+    /// Highest index the node's storage reports durable.
+    pub durable_index: LogIndex,
+    /// Every command this node has applied since it (last) started, in
+    /// application order — the byte-comparable committed state.
+    pub applied: Vec<C>,
 }
 
 /// A live, threaded Raft cluster.
@@ -49,56 +93,135 @@ pub struct Applied<C> {
 /// assert!(idx >= 1);
 /// cluster.shutdown();
 /// ```
-#[derive(Debug)]
 pub struct LiveCluster<C: Clone + Eq + Send + 'static> {
-    inputs: Vec<(NodeId, Sender<Input<C>>)>,
+    membership: Membership,
+    config: RaftConfig,
+    router: Router<C>,
+    applied_tx: Sender<Applied<C>>,
     applied_rx: Receiver<Applied<C>>,
-    handles: Vec<JoinHandle<()>>,
+    handles: HashMap<NodeId, JoinHandle<()>>,
+    kill_flags: HashMap<NodeId, Arc<AtomicBool>>,
+    /// Restarts per node, folded into the reseed so a restarted node's
+    /// election jitter differs from its previous life.
+    generations: HashMap<NodeId, u64>,
+    storage_factory: StorageFactory<C>,
+    epoch: Instant,
+}
+
+impl<C: Clone + Eq + Send + 'static> std::fmt::Debug for LiveCluster<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveCluster")
+            .field("membership", &self.membership)
+            .field("running", &self.handles.keys().collect::<Vec<_>>())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<C: Clone + Eq + Send + 'static> LiveCluster<C> {
-    /// Starts `n` node threads with fast timeouts.
+    /// Starts `n` node threads with fast timeouts and in-memory storage.
     ///
     /// # Panics
     ///
     /// Panics if `n` is zero.
     pub fn start(n: usize) -> Self {
+        Self::start_with_storage(n, Arc::new(|_| Box::new(MemStorage::new())))
+    }
+
+    /// Starts `n` node threads whose storage comes from `factory` — the
+    /// factory is re-invoked on every [`LiveCluster::restart`], which is
+    /// how a WAL-backed node reopens its log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn start_with_storage(n: usize, factory: StorageFactory<C>) -> Self {
         assert!(n > 0);
         let ids: Vec<NodeId> = (1..=n as NodeId).collect();
         let membership = Membership::new(ids.clone());
         let config = RaftConfig::fast();
-
-        let channels: Vec<NodeChannel<C>> = ids
-            .iter()
-            .map(|&id| {
-                let (tx, rx) = unbounded();
-                (id, tx, rx)
-            })
-            .collect();
-        let senders: Vec<(NodeId, Sender<Input<C>>)> = channels
-            .iter()
-            .map(|(id, tx, _)| (*id, tx.clone()))
-            .collect();
         let (applied_tx, applied_rx) = unbounded();
-
-        let epoch = Instant::now();
-        let mut handles = Vec::new();
-        for (id, _, rx) in channels {
-            let peers = senders.clone();
-            let applied_tx = applied_tx.clone();
-            let membership = membership.clone();
-            let handle = thread::Builder::new()
-                .name(format!("raft-node-{id}"))
-                .spawn(move || node_loop(id, membership, config, rx, peers, applied_tx, epoch))
-                .expect("spawn raft node thread");
-            handles.push(handle);
-        }
-
-        LiveCluster {
-            inputs: senders,
+        let mut cluster = LiveCluster {
+            membership,
+            config,
+            router: Arc::new(Mutex::new(HashMap::new())),
+            applied_tx,
             applied_rx,
-            handles,
+            handles: HashMap::new(),
+            kill_flags: HashMap::new(),
+            generations: HashMap::new(),
+            storage_factory: factory,
+            epoch: Instant::now(),
+        };
+        for id in ids {
+            cluster.spawn_node(id);
         }
+        cluster
+    }
+
+    /// Ids of all cluster members (running or killed).
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.membership.voters().to_vec()
+    }
+
+    /// Whether `id`'s node thread is currently running.
+    pub fn is_running(&self, id: NodeId) -> bool {
+        self.handles.contains_key(&id)
+    }
+
+    /// Fail-stops node `id`: discards its queued inputs, unroutes it so
+    /// peer sends drop, and joins its thread. Anything the node had not
+    /// pushed through its storage is lost — that is the point.
+    ///
+    /// Returns `false` if the node was not running.
+    pub fn kill(&mut self, id: NodeId) -> bool {
+        let Some(handle) = self.handles.remove(&id) else {
+            return false;
+        };
+        if let Some(flag) = self.kill_flags.get(&id) {
+            flag.store(true, Ordering::SeqCst);
+        }
+        // Dropping the router entry drops the thread's last sender: its
+        // blocking recv wakes with Disconnected even if the kill flag
+        // races past the current wait.
+        self.router.lock().expect("router lock").remove(&id);
+        let _ = handle.join();
+        true
+    }
+
+    /// Restarts a killed node with storage rebuilt by the factory (a WAL
+    /// factory re-opens the node's log; the in-memory factory yields an
+    /// amnesiac replica). Returns `false` if the node is already running.
+    pub fn restart(&mut self, id: NodeId) -> bool {
+        if self.handles.contains_key(&id) || !self.membership.contains(id) {
+            return false;
+        }
+        *self.generations.entry(id).or_insert(0) += 1;
+        self.spawn_node(id);
+        true
+    }
+
+    fn spawn_node(&mut self, id: NodeId) {
+        let (tx, rx) = unbounded();
+        self.router.lock().expect("router lock").insert(id, tx);
+        let kill = Arc::new(AtomicBool::new(false));
+        self.kill_flags.insert(id, kill.clone());
+        let generation = self.generations.get(&id).copied().unwrap_or(0);
+        let seed = (id.wrapping_mul(0xA5A5) + 1).wrapping_add(generation.wrapping_mul(0x9E37));
+        let storage = (self.storage_factory)(id);
+        let membership = self.membership.clone();
+        let config = self.config;
+        let router = self.router.clone();
+        let applied_tx = self.applied_tx.clone();
+        let epoch = self.epoch;
+        let handle = thread::Builder::new()
+            .name(format!("raft-node-{id}"))
+            .spawn(move || {
+                node_loop(
+                    id, membership, config, seed, storage, rx, router, applied_tx, kill, epoch,
+                )
+            })
+            .expect("spawn raft node thread");
+        self.handles.insert(id, handle);
     }
 
     /// Proposes `command`, retrying across nodes until the leader accepts or
@@ -118,7 +241,17 @@ impl<C: Clone + Eq + Send + 'static> LiveCluster<C> {
             if Instant::now() >= deadline {
                 return Err(ProposeError { leader_hint: None });
             }
-            let (_, tx) = &self.inputs[target % self.inputs.len()];
+            let inputs: Vec<(NodeId, Sender<Input<C>>)> = {
+                let router = self.router.lock().expect("router lock");
+                let mut live: Vec<_> = router.iter().map(|(id, tx)| (*id, tx.clone())).collect();
+                live.sort_by_key(|(id, _)| *id);
+                live
+            };
+            if inputs.is_empty() {
+                thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+            let (_, tx) = &inputs[target % inputs.len()];
             let (reply_tx, reply_rx) = bounded(1);
             if tx.send(Input::Propose(command.clone(), reply_tx)).is_err() {
                 target += 1;
@@ -129,7 +262,7 @@ impl<C: Clone + Eq + Send + 'static> LiveCluster<C> {
                 Ok(Err(e)) => {
                     // Follow the leader hint if we have one.
                     if let Some(hint) = e.leader_hint {
-                        if let Some(pos) = self.inputs.iter().position(|(id, _)| *id == hint) {
+                        if let Some(pos) = inputs.iter().position(|(id, _)| *id == hint) {
                             target = pos;
                             thread::sleep(Duration::from_millis(5));
                             continue;
@@ -143,6 +276,15 @@ impl<C: Clone + Eq + Send + 'static> LiveCluster<C> {
                 }
             }
         }
+    }
+
+    /// Snapshots node `id` on its own thread; `None` if the node is not
+    /// running or does not respond within `timeout`.
+    pub fn inspect(&self, id: NodeId, timeout: Duration) -> Option<NodeSnapshot<C>> {
+        let tx = self.router.lock().expect("router lock").get(&id).cloned()?;
+        let (reply_tx, reply_rx) = bounded(1);
+        tx.send(Input::Inspect(reply_tx)).ok()?;
+        reply_rx.recv_timeout(timeout).ok()
     }
 
     /// Blocks until `count` applications (across all nodes) are observed or
@@ -164,50 +306,95 @@ impl<C: Clone + Eq + Send + 'static> LiveCluster<C> {
     }
 
     /// Stops all node threads and waits for them to exit.
-    pub fn shutdown(self) {
-        for (_, tx) in &self.inputs {
-            let _ = tx.send(Input::Shutdown);
+    pub fn shutdown(mut self) {
+        {
+            let router = self.router.lock().expect("router lock");
+            for tx in router.values() {
+                let _ = tx.send(Input::Shutdown);
+            }
         }
-        for handle in self.handles {
+        for (_, handle) in self.handles.drain() {
             let _ = handle.join();
         }
     }
 }
 
+impl<C: Clone + Eq + Send + WalCodec + 'static> LiveCluster<C> {
+    /// Starts `n` WAL-backed nodes, one log file per node under `dir`
+    /// (`node-<id>.wal`, created or re-opened). Killed nodes restarted via
+    /// [`LiveCluster::restart`] replay their WAL and resume with every
+    /// entry they acked before dying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or the directory cannot be created.
+    pub fn start_durable(n: usize, dir: impl Into<PathBuf>, options: WalOptions) -> Self {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).expect("create WAL directory");
+        Self::start_with_storage(
+            n,
+            Arc::new(move |id| {
+                let path = dir.join(format!("node-{id}.wal"));
+                Box::new(WalStorage::<C>::open_with(&path, options).expect("open node WAL"))
+            }),
+        )
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn node_loop<C: Clone + Eq + Send + 'static>(
     id: NodeId,
     membership: Membership,
     config: RaftConfig,
+    seed: u64,
+    storage: Box<dyn RaftStorage<C>>,
     rx: Receiver<Input<C>>,
-    peers: Vec<(NodeId, Sender<Input<C>>)>,
+    router: Router<C>,
     applied_tx: Sender<Applied<C>>,
+    kill: Arc<AtomicBool>,
     epoch: Instant,
 ) {
     let now_us = |e: Instant| e.elapsed().as_micros() as u64;
-    let mut node: RaftNode<C> = RaftNode::new(
-        id,
-        membership,
-        config,
-        id.wrapping_mul(0xA5A5) + 1,
-        now_us(epoch),
-    );
+    let mut node: RaftNode<C> =
+        RaftNode::with_storage(id, membership, config, seed, now_us(epoch), storage);
     let mut out: Vec<Output<C>> = Vec::new();
+    let mut applied_log: Vec<C> = Vec::new();
     loop {
+        if kill.load(Ordering::SeqCst) {
+            return;
+        }
         let now = now_us(epoch);
         node.tick(now, &mut out);
-        flush(&mut out, id, &peers, &applied_tx);
+        flush(&mut out, id, &router, &applied_tx, &mut applied_log);
 
         let deadline = node.next_deadline_us();
         let wait = Duration::from_micros(deadline.saturating_sub(now_us(epoch)).min(50_000));
-        match rx.recv_timeout(wait) {
+        let input = rx.recv_timeout(wait);
+        // Fail-stop point: a killed node processes nothing more, even
+        // inputs already queued.
+        if kill.load(Ordering::SeqCst) {
+            return;
+        }
+        match input {
             Ok(Input::Peer(from, msg)) => {
                 node.receive(now_us(epoch), from, msg, &mut out);
-                flush(&mut out, id, &peers, &applied_tx);
+                flush(&mut out, id, &router, &applied_tx, &mut applied_log);
             }
             Ok(Input::Propose(cmd, reply)) => {
                 let result = node.propose(cmd, &mut out);
                 let _ = reply.send(result);
-                flush(&mut out, id, &peers, &applied_tx);
+                flush(&mut out, id, &router, &applied_tx, &mut applied_log);
+            }
+            Ok(Input::Inspect(reply)) => {
+                let _ = reply.send(NodeSnapshot {
+                    id,
+                    term: node.term(),
+                    role: node.role(),
+                    commit_index: node.commit_index(),
+                    last_log_index: node.log().last_index(),
+                    durable_index: node.durable_index(),
+                    applied: applied_log.clone(),
+                });
             }
             Ok(Input::Shutdown) => return,
             Err(RecvTimeoutError::Timeout) => {}
@@ -219,18 +406,23 @@ fn node_loop<C: Clone + Eq + Send + 'static>(
 fn flush<C: Clone + Eq + Send>(
     out: &mut Vec<Output<C>>,
     id: NodeId,
-    peers: &[(NodeId, Sender<Input<C>>)],
+    router: &Router<C>,
     applied_tx: &Sender<Applied<C>>,
+    applied_log: &mut Vec<C>,
 ) {
     for output in out.drain(..) {
         match output {
             Output::Send { to, message } => {
-                if let Some((_, tx)) = peers.iter().find(|(pid, _)| *pid == to) {
+                // A missing route is a killed peer: drop, like the network
+                // would.
+                let tx = router.lock().expect("router lock").get(&to).cloned();
+                if let Some(tx) = tx {
                     let _ = tx.send(Input::Peer(id, message));
                 }
             }
             Output::Apply(entry) => {
                 if let Some(c) = entry.command() {
+                    applied_log.push(c.clone());
                     let _ = applied_tx.send(Applied {
                         node: id,
                         index: entry.index,
@@ -281,5 +473,81 @@ mod tests {
             assert_eq!(mine, vec![0, 1, 2, 3, 4], "node {node} order");
         }
         cluster.shutdown();
+    }
+
+    #[test]
+    fn cluster_survives_kill_and_restart_of_a_minority() {
+        let mut cluster = LiveCluster::<u32>::start(3);
+        cluster
+            .propose_blocking(1, Duration::from_secs(10))
+            .expect("proposal accepted");
+        assert!(cluster.kill(2));
+        assert!(!cluster.kill(2), "double kill is a no-op");
+        assert!(!cluster.is_running(2));
+        // Two of three still form a quorum.
+        cluster
+            .propose_blocking(2, Duration::from_secs(10))
+            .expect("quorum holds");
+        assert!(cluster.restart(2));
+        assert!(!cluster.restart(2), "double restart is a no-op");
+        cluster
+            .propose_blocking(3, Duration::from_secs(10))
+            .expect("restarted cluster accepts");
+        // The restarted (amnesiac, MemStorage) node catches back up from
+        // the leader's log.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let snap = cluster.inspect(2, Duration::from_secs(1)).expect("runs");
+            if snap.applied == vec![1, 2, 3] {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "node 2 never caught up: {snap:?}"
+            );
+            thread::sleep(Duration::from_millis(20));
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn durable_cluster_recovers_acked_entries_across_restart() {
+        let dir = std::env::temp_dir().join(format!("notebookos-live-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cluster = LiveCluster::<String>::start_durable(3, &dir, WalOptions::default());
+        for i in 0..3 {
+            cluster
+                .propose_blocking(format!("delta-{i}"), Duration::from_secs(10))
+                .expect("proposal accepted");
+        }
+        // Wait until node 3 has applied everything, then kill it.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let snap = cluster.inspect(3, Duration::from_secs(1)).expect("runs");
+            if snap.applied.len() == 3 {
+                assert!(snap.durable_index >= snap.commit_index);
+                break;
+            }
+            assert!(Instant::now() < deadline, "node 3 never applied");
+            thread::sleep(Duration::from_millis(20));
+        }
+        assert!(cluster.kill(3));
+        assert!(cluster.restart(3));
+        // The restarted node replays its WAL: its log is intact before any
+        // leader contact, and it re-applies the same committed commands.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let snap = cluster.inspect(3, Duration::from_secs(1)).expect("runs");
+            if snap.applied.len() == 3 {
+                let want: Vec<String> = (0..3).map(|i| format!("delta-{i}")).collect();
+                assert_eq!(snap.applied, want, "recovered state diverged");
+                assert!(snap.last_log_index >= 3, "WAL replay restored the log");
+                break;
+            }
+            assert!(Instant::now() < deadline, "node 3 never recovered");
+            thread::sleep(Duration::from_millis(20));
+        }
+        cluster.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

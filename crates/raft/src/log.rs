@@ -2,6 +2,17 @@
 
 use crate::types::{Entry, EntryPayload, LogIndex, Membership, Term};
 
+/// What [`RaftLog::merge`] did to the log, in storage-mirroring terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// Index of the last entry covered by the merge (matched or written).
+    pub last: LogIndex,
+    /// Index of the first entry physically written, when the merge changed
+    /// the log. Everything after `first_written - 1` was truncated (if
+    /// conflicting) and rewritten; `None` means the log is unchanged.
+    pub first_written: Option<LogIndex>,
+}
+
 /// An in-memory Raft log with 1-based indexing.
 ///
 /// Kernel-replica logs in NotebookOS are short-lived (one per notebook
@@ -82,10 +93,14 @@ impl<C: Clone> RaftLog<C> {
     ///
     /// Assumes the `prev_log` consistency check already passed. Entries that
     /// match (same index and term) are kept; on the first conflict the local
-    /// suffix is truncated and the remote suffix appended. Returns the index
-    /// of the last entry covered by the merge.
-    pub fn merge(&mut self, incoming: &[Entry<C>]) -> LogIndex {
+    /// suffix is truncated and the remote suffix appended. The returned
+    /// [`MergeOutcome`] reports both the last covered index and where the
+    /// log physically changed, so a caller holding durable storage can
+    /// mirror the truncation + appends exactly — without it, a
+    /// conflicting-leader overwrite would silently diverge from the WAL.
+    pub fn merge(&mut self, incoming: &[Entry<C>]) -> MergeOutcome {
         let mut last = incoming.first().map_or(self.last_index(), |e| e.index - 1);
+        let mut first_written = None;
         for entry in incoming {
             match self.term_at(entry.index) {
                 Some(t) if t == entry.term => {
@@ -94,11 +109,15 @@ impl<C: Clone> RaftLog<C> {
                 _ => {
                     self.truncate_to(entry.index - 1);
                     self.entries.push(entry.clone());
+                    first_written.get_or_insert(entry.index);
                     last = entry.index;
                 }
             }
         }
-        last
+        MergeOutcome {
+            last,
+            first_written,
+        }
     }
 
     /// The latest membership recorded in the log up to and including
@@ -200,8 +219,9 @@ mod tests {
             },
         ];
         // Entry 3 matches by (index, term) so it is kept as-is.
-        let last = log.merge(&incoming);
-        assert_eq!(last, 4);
+        let outcome = log.merge(&incoming);
+        assert_eq!(outcome.last, 4);
+        assert_eq!(outcome.first_written, Some(4), "only entry 4 was written");
         assert_eq!(log.len(), 4);
         assert_eq!(log.get(3).unwrap().command(), Some(&2));
         assert_eq!(log.get(4).unwrap().command(), Some(&100));
@@ -215,7 +235,11 @@ mod tests {
             index: 3,
             payload: EntryPayload::Command(42u32),
         }];
-        log.merge(&incoming);
+        let outcome = log.merge(&incoming);
+        // The outcome pinpoints the conflict so storage can truncate to
+        // index 2 and rewrite from 3 — the silent-divergence fix.
+        assert_eq!(outcome.first_written, Some(3));
+        assert_eq!(outcome.last, 3);
         assert_eq!(log.last_index(), 3);
         assert_eq!(log.get(3).unwrap().term, 2);
     }
@@ -223,8 +247,19 @@ mod tests {
     #[test]
     fn empty_merge_is_noop() {
         let mut log = log_with(&[1, 2]);
-        let last = log.merge(&[]);
-        assert_eq!(last, 2);
+        let outcome = log.merge(&[]);
+        assert_eq!(outcome.last, 2);
+        assert_eq!(outcome.first_written, None);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_merge_writes_nothing() {
+        let mut log = log_with(&[1, 1]);
+        let dup: Vec<Entry<u32>> = log.iter().cloned().collect();
+        let outcome = log.merge(&dup);
+        assert_eq!(outcome.last, 2);
+        assert_eq!(outcome.first_written, None, "retransmits must not rewrite");
         assert_eq!(log.len(), 2);
     }
 

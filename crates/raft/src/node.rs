@@ -5,6 +5,7 @@ use std::collections::{HashMap, HashSet};
 use crate::config::RaftConfig;
 use crate::log::RaftLog;
 use crate::message::Message;
+use crate::storage::{MemStorage, RaftStorage};
 use crate::types::{Entry, EntryPayload, LogIndex, Membership, NodeId, Term};
 
 /// The three Raft roles.
@@ -73,7 +74,17 @@ impl std::error::Error for ProposeError {}
 /// See the crate-level docs for the sans-io contract. All time parameters
 /// are microseconds on whatever clock the driver uses (virtual time in the
 /// simulator, `Instant`-derived in the live harness).
-#[derive(Debug, Clone)]
+///
+/// # Durability
+///
+/// Every node writes its hard state (term, vote) and log mutations through
+/// a [`RaftStorage`] before the driver gets a chance to flush the outputs
+/// those mutations imply — the ordering Raft's safety proof needs. Nodes
+/// built with [`RaftNode::new`] use [`MemStorage`] (no durability, zero
+/// cost, bit-identical to the pre-seam behavior); [`RaftNode::with_storage`]
+/// accepts any implementation and recovers the node's persistent state
+/// from it, which is how a killed replica comes back with its acked log.
+#[derive(Debug)]
 pub struct RaftNode<C: Clone> {
     id: NodeId,
     config: RaftConfig,
@@ -81,6 +92,7 @@ pub struct RaftNode<C: Clone> {
     term: Term,
     voted_for: Option<NodeId>,
     log: RaftLog<C>,
+    storage: Box<dyn RaftStorage<C>>,
     commit_index: LogIndex,
     last_applied: LogIndex,
     role: Role,
@@ -94,7 +106,8 @@ pub struct RaftNode<C: Clone> {
 }
 
 impl<C: Clone> RaftNode<C> {
-    /// Creates a follower at time `now_us`.
+    /// Creates a follower at time `now_us` with in-memory (non-durable)
+    /// storage — the pre-seam behavior, bit-for-bit.
     ///
     /// # Panics
     ///
@@ -106,15 +119,50 @@ impl<C: Clone> RaftNode<C> {
         seed: u64,
         now_us: u64,
     ) -> Self {
+        Self::with_storage(
+            id,
+            membership,
+            config,
+            seed,
+            now_us,
+            Box::new(MemStorage::new()),
+        )
+    }
+
+    /// Creates a follower at time `now_us` backed by `storage`, recovering
+    /// whatever hard state and log entries the storage replays — a node
+    /// restarting over its WAL resumes as the follower it crashed as
+    /// (`commit_index` restarts at 0 and re-advances from leader contact,
+    /// the standard Raft recovery rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `id` is not a member of
+    /// the bootstrap membership.
+    pub fn with_storage(
+        id: NodeId,
+        membership: Membership,
+        config: RaftConfig,
+        seed: u64,
+        now_us: u64,
+        mut storage: Box<dyn RaftStorage<C>>,
+    ) -> Self {
         config.validate().expect("invalid raft config");
         assert!(membership.contains(id), "node {id} not in membership");
+        let recovered = storage.replay();
+        let mut log = RaftLog::new();
+        for entry in recovered.entries {
+            let index = log.append(entry.term, entry.payload);
+            debug_assert_eq!(index, entry.index, "recovered log must be contiguous");
+        }
         let mut node = RaftNode {
             id,
             config,
             initial_membership: membership,
-            term: 0,
-            voted_for: None,
-            log: RaftLog::new(),
+            term: recovered.term,
+            voted_for: recovered.voted_for,
+            log,
+            storage,
             commit_index: 0,
             last_applied: 0,
             role: Role::Follower,
@@ -178,6 +226,17 @@ impl<C: Clone> RaftNode<C> {
             .unwrap_or_else(|| self.initial_membership.clone())
     }
 
+    /// Highest log index the node's storage reports durable (0 for
+    /// [`MemStorage`], which durably holds nothing).
+    pub fn durable_index(&self) -> LogIndex {
+        self.storage.durable_index()
+    }
+
+    /// The node's persistence backend (read-only).
+    pub fn storage(&self) -> &dyn RaftStorage<C> {
+        self.storage.as_ref()
+    }
+
     /// The next instant at which the driver must call [`RaftNode::tick`].
     pub fn next_deadline_us(&self) -> u64 {
         match self.role {
@@ -206,6 +265,10 @@ impl<C: Clone> RaftNode<C> {
                 }
             }
         }
+        // Group commit: one durability point per processed input, always
+        // before the driver flushes `out` (it only sees `out` after we
+        // return) — so nothing leaves this node that isn't persisted.
+        self.storage.sync();
     }
 
     /// Handles a message from peer `from` arriving at `now_us`.
@@ -252,6 +315,8 @@ impl<C: Clone> RaftNode<C> {
                 match_index,
             } => self.on_append_response(from, term, success, match_index, out),
         }
+        // Persist-before-send: see `tick`.
+        self.storage.sync();
     }
 
     /// Proposes a command. Only the leader accepts proposals.
@@ -297,9 +362,13 @@ impl<C: Clone> RaftNode<C> {
             });
         }
         let index = self.log.append(self.term, payload);
+        self.storage
+            .append_entries(&self.log.slice(index, index, 1));
         self.match_index.insert(self.id, index);
         self.broadcast_appends(out);
         self.try_advance_commit(out);
+        // Persist-before-send: see `tick`.
+        self.storage.sync();
         Ok(index)
     }
 
@@ -318,6 +387,7 @@ impl<C: Clone> RaftNode<C> {
         self.term += 1;
         self.role = Role::Candidate;
         self.voted_for = Some(self.id);
+        self.storage.persist_hard_state(self.term, self.voted_for);
         self.leader_hint = None;
         self.votes.clear();
         self.votes.insert(self.id);
@@ -364,6 +434,7 @@ impl<C: Clone> RaftNode<C> {
                 .candidate_is_up_to_date(last_log_term, last_log_index);
         if grant {
             self.voted_for = Some(candidate);
+            self.storage.persist_hard_state(self.term, self.voted_for);
             self.reset_election_deadline(now_us);
         }
         out.push(Output::Send {
@@ -409,6 +480,8 @@ impl<C: Clone> RaftNode<C> {
         // Leader-completeness no-op: lets the new leader commit entries
         // from prior terms.
         let index = self.log.append(self.term, EntryPayload::Noop);
+        self.storage
+            .append_entries(&self.log.slice(index, index, 1));
         self.match_index.insert(self.id, index);
         self.heartbeat_deadline_us = now_us + self.config.heartbeat_interval_us;
         self.broadcast_appends(out);
@@ -417,9 +490,13 @@ impl<C: Clone> RaftNode<C> {
 
     fn become_follower(&mut self, term: Term, now_us: u64, out: &mut Vec<Output<C>>) {
         let was = self.role;
+        let term_changed = term != self.term;
         self.term = term;
         self.role = Role::Follower;
         self.voted_for = None;
+        if term_changed {
+            self.storage.persist_hard_state(self.term, self.voted_for);
+        }
         self.votes.clear();
         self.heartbeat_deadline_us = u64::MAX;
         self.reset_election_deadline(now_us);
@@ -514,7 +591,16 @@ impl<C: Clone> RaftNode<C> {
         let last_new = if entries.is_empty() {
             prev_log_index
         } else {
-            self.log.merge(&entries)
+            let outcome = self.log.merge(&entries);
+            if let Some(first) = outcome.first_written {
+                // Mirror the merge into storage exactly: drop the
+                // conflicting durable suffix (a no-op for pure appends),
+                // then persist what the merge wrote.
+                self.storage.truncate_suffix(first - 1);
+                self.storage
+                    .append_entries(&self.log.slice(first, outcome.last, usize::MAX));
+            }
+            outcome.last
         };
         if leader_commit > self.commit_index {
             self.commit_index = leader_commit.min(last_new);
@@ -873,6 +959,69 @@ mod tests {
         n.tick(n.next_deadline_us(), &mut out);
         assert_eq!(n.role(), Role::Follower);
         assert!(sends(&out).is_empty());
+    }
+
+    #[test]
+    fn conflicting_leader_overwrite_is_mirrored_into_storage() {
+        use crate::storage::WalStorage;
+        let dir = std::env::temp_dir().join(format!("notebookos-node-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("follower.wal");
+        let _ = std::fs::remove_file(&path);
+        let entry = |term, index, cmd: &str| Entry {
+            term,
+            index,
+            payload: EntryPayload::Command(cmd.to_string()),
+        };
+        let m = Membership::new(vec![1, 2, 3]);
+        {
+            let wal: WalStorage<String> = WalStorage::open(&path).unwrap();
+            let mut n: Node =
+                RaftNode::with_storage(2, m.clone(), RaftConfig::fast(), 7, 0, Box::new(wal));
+            let mut out = Vec::new();
+            // Leader 1 (term 1) replicates three entries...
+            n.receive(
+                0,
+                1,
+                Message::AppendEntries {
+                    term: 1,
+                    leader: 1,
+                    prev_log_index: 0,
+                    prev_log_term: 0,
+                    entries: vec![entry(1, 1, "a"), entry(1, 2, "b"), entry(1, 3, "c")],
+                    leader_commit: 0,
+                },
+                &mut out,
+            );
+            assert_eq!(n.durable_index(), 3);
+            // ...then a new leader (term 2) overwrites from index 2.
+            n.receive(
+                10,
+                3,
+                Message::AppendEntries {
+                    term: 2,
+                    leader: 3,
+                    prev_log_index: 1,
+                    prev_log_term: 1,
+                    entries: vec![entry(2, 2, "B")],
+                    leader_commit: 0,
+                },
+                &mut out,
+            );
+            assert_eq!(n.log().last_index(), 2);
+            assert_eq!(n.durable_index(), 2, "truncation reached storage");
+        }
+        // Crash + restart: the WAL replays exactly the overwritten log —
+        // without the merge-outcome mirroring, the stale "b"/"c" suffix
+        // would resurface here.
+        let wal: WalStorage<String> = WalStorage::open(&path).unwrap();
+        let n: Node = RaftNode::with_storage(2, m, RaftConfig::fast(), 7, 0, Box::new(wal));
+        assert_eq!(n.term(), 2);
+        assert_eq!(n.log().last_index(), 2);
+        assert_eq!(n.log().get(1).unwrap().command(), Some(&"a".to_string()));
+        let e2 = n.log().get(2).unwrap();
+        assert_eq!((e2.term, e2.command()), (2, Some(&"B".to_string())));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -52,8 +52,8 @@ proptest! {
         }
         let start = (offset.min(local.len()) + 1) as u64;
         let batch = entries_from(&remote, start);
-        let last = log.merge(&batch);
-        prop_assert_eq!(last, start + remote.len() as u64 - 1);
+        let outcome = log.merge(&batch);
+        prop_assert_eq!(outcome.last, start + remote.len() as u64 - 1);
         for e in &batch {
             let stored = log.get(e.index).expect("merged entry present");
             prop_assert_eq!(stored.term, e.term);

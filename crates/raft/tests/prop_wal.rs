@@ -1,0 +1,283 @@
+//! Property tests for WAL recovery: kill the writer at a random point,
+//! tear a random number of trailing bytes off the file (optionally
+//! splicing garbage where the torn write would have landed), and check
+//! that reopening recovers exactly a durable prefix of what was written —
+//! never less than what was fsynced, never anything byte-different.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use notebookos_raft::{
+    encode_commands, Entry, EntryPayload, RaftStorage, RecoveredState, WalOptions, WalStorage,
+};
+
+/// A fresh WAL path per proptest case (cases run concurrently).
+fn temp_wal_path() -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "notebookos-prop-wal-{}-{n}.wal",
+        std::process::id()
+    ))
+}
+
+/// One operation of the random write stream.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Append `n` entries in `term` at the next contiguous indices.
+    Append { n: usize, term: u64 },
+    /// Persist hard state.
+    Hard { term: u64, vote: Option<u64> },
+    /// Truncate the log suffix down to at most `keep` entries.
+    Truncate { keep: u64 },
+    /// One `sync()` call (fsyncs every `fsync_batch`-th dirty call).
+    Sync,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1usize..4, 1u64..6).prop_map(|(n, term)| Op::Append { n, term }),
+        1 => (1u64..6, 0u64..4)
+            .prop_map(|(term, vote)| Op::Hard { term, vote: (vote > 0).then_some(vote) }),
+        1 => (0u64..12u64).prop_map(|keep| Op::Truncate { keep }),
+        2 => Just(Op::Sync),
+    ]
+}
+
+/// The shadow of one durable WAL record, in write order.
+#[derive(Debug, Clone)]
+enum Rec {
+    Hard(u64, Option<u64>),
+    Entry(u64, u64, u32),
+    Trunc(u64),
+}
+
+/// Reference replay: the same semantics `WalStorage::open_with` applies
+/// to its valid record prefix (entries rewind-truncate, truncate records
+/// drop the suffix).
+fn replay_model(recs: &[Rec]) -> RecoveredState<u32> {
+    let mut s = RecoveredState::default();
+    for r in recs {
+        match *r {
+            Rec::Hard(term, vote) => {
+                s.term = term;
+                s.voted_for = vote;
+            }
+            Rec::Entry(term, index, value) => {
+                s.entries.truncate(index.saturating_sub(1) as usize);
+                s.entries.push(Entry {
+                    term,
+                    index,
+                    payload: EntryPayload::Command(value),
+                });
+            }
+            Rec::Trunc(to) => s.entries.truncate(to as usize),
+        }
+    }
+    s
+}
+
+/// Deterministic payload so byte-equality checks have real content.
+fn payload_of(index: u64, term: u64) -> u32 {
+    (index * 7 + term) as u32
+}
+
+fn commands_of(state: &RecoveredState<u32>) -> Vec<u32> {
+    state
+        .entries
+        .iter()
+        .filter_map(|e| match e.payload {
+            EntryPayload::Command(c) => Some(c),
+            _ => None,
+        })
+        .collect()
+}
+
+/// What the write stream left on disk at the kill point.
+struct WriteOutcome {
+    /// Every record written, in order.
+    recs: Vec<Rec>,
+    /// Records covered by the last actual fsync.
+    synced_recs: usize,
+    /// File length at the last actual fsync — bytes below this survive
+    /// any torn tail.
+    synced_offset: u64,
+    /// File length at the kill point.
+    file_len: u64,
+}
+
+fn drive_wal(path: &PathBuf, ops: &[Op], fsync_batch: usize) -> WriteOutcome {
+    let _ = std::fs::remove_file(path);
+    let mut wal =
+        WalStorage::<u32>::open_with(path, WalOptions { fsync_batch }).expect("open fresh WAL");
+    let mut recs = Vec::new();
+    let mut synced_recs = 0usize;
+    let mut synced_offset = 0u64;
+    let mut written_index = 0u64;
+    for op in ops {
+        match *op {
+            Op::Append { n, term } => {
+                let entries: Vec<Entry<u32>> = (1..=n as u64)
+                    .map(|i| {
+                        let index = written_index + i;
+                        Entry {
+                            term,
+                            index,
+                            payload: EntryPayload::Command(payload_of(index, term)),
+                        }
+                    })
+                    .collect();
+                RaftStorage::append_entries(&mut wal, &entries);
+                for e in &entries {
+                    recs.push(Rec::Entry(e.term, e.index, payload_of(e.index, e.term)));
+                }
+                written_index += n as u64;
+            }
+            Op::Hard { term, vote } => {
+                wal.persist_hard_state(term, vote);
+                recs.push(Rec::Hard(term, vote));
+            }
+            Op::Truncate { keep } => {
+                let to = keep.min(written_index);
+                wal.truncate_suffix(to);
+                // The WAL skips pure no-op truncations entirely.
+                if to < written_index {
+                    recs.push(Rec::Trunc(to));
+                    written_index = to;
+                }
+            }
+            Op::Sync => {
+                let before = wal.stats().fsyncs;
+                wal.sync();
+                if wal.stats().fsyncs > before {
+                    synced_offset = std::fs::metadata(path).expect("wal exists").len();
+                    synced_recs = recs.len();
+                }
+            }
+        }
+    }
+    drop(wal); // the kill: no final sync
+    let file_len = std::fs::metadata(path).expect("wal exists").len();
+    WriteOutcome {
+        recs,
+        synced_recs,
+        synced_offset,
+        file_len,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Kill anywhere, tear anything past the last fsync: recovery yields
+    /// exactly the replay of some record prefix that covers at least the
+    /// fsynced records, byte-for-byte.
+    #[test]
+    fn torn_tail_recovery_yields_a_durable_prefix(
+        ops in proptest::collection::vec(op_strategy(), 0..30),
+        fsync_batch in 1usize..5,
+        cut_pct in 0u64..=100,
+        garbage_len in 0usize..16,
+    ) {
+        let path = temp_wal_path();
+        let outcome = drive_wal(&path, &ops, fsync_batch);
+
+        // Tear the tail: cut to a random point at or past the fsynced
+        // prefix, then splice in garbage where the torn write landed.
+        let unsynced = outcome.file_len - outcome.synced_offset;
+        let cut = outcome.synced_offset + unsynced * cut_pct / 100;
+        {
+            use std::io::Write;
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .expect("reopen for tearing");
+            file.set_len(cut).expect("tear tail");
+            if garbage_len > 0 {
+                let mut file = std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(&path)
+                    .expect("reopen for garbage");
+                // 0xFF..: reads as a record length of ~4 GiB, so replay
+                // can never mistake the torn write for a valid record.
+                file.write_all(&vec![0xFF; garbage_len]).expect("splice garbage");
+            }
+        }
+
+        let mut wal = WalStorage::<u32>::open_with(&path, WalOptions { fsync_batch })
+            .expect("recovery open");
+        let replayed = wal.stats().replayed_records as usize;
+
+        // Recovery replays a prefix: everything fsynced, nothing invented.
+        prop_assert!(replayed >= outcome.synced_recs,
+                     "lost fsynced records: replayed {replayed} < synced {}",
+                     outcome.synced_recs);
+        prop_assert!(replayed <= outcome.recs.len());
+        if garbage_len > 0 {
+            prop_assert!(wal.stats().torn_bytes_dropped >= garbage_len as u64);
+        }
+
+        // The recovered state is exactly the model replay of that prefix…
+        let expected = replay_model(&outcome.recs[..replayed]);
+        let recovered = wal.replay();
+        prop_assert_eq!(&recovered, &expected);
+        // …and byte-for-byte equal on the command payloads.
+        prop_assert_eq!(
+            encode_commands(&commands_of(&recovered)),
+            encode_commands(&commands_of(&expected))
+        );
+        // The recovered log index is durable again from the reopen.
+        prop_assert_eq!(
+            wal.durable_index(),
+            recovered.entries.last().map_or(0, |e| e.index)
+        );
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A WAL that survived a torn-tail recovery keeps working: appends
+    /// after the reopen are recovered intact by the next clean open.
+    #[test]
+    fn recovery_then_resume_is_clean(
+        ops in proptest::collection::vec(op_strategy(), 0..20),
+        fsync_batch in 1usize..4,
+        cut_pct in 0u64..=100,
+    ) {
+        let path = temp_wal_path();
+        let outcome = drive_wal(&path, &ops, fsync_batch);
+        let unsynced = outcome.file_len - outcome.synced_offset;
+        let cut = outcome.synced_offset + unsynced * cut_pct / 100;
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .expect("reopen for tearing")
+            .set_len(cut)
+            .expect("tear tail");
+
+        // First recovery, then write one more entry and fsync it.
+        let mut wal =
+            WalStorage::<u32>::open_with(&path, WalOptions::default()).expect("recovery open");
+        let recovered = wal.replay();
+        let next = recovered.entries.last().map_or(0, |e| e.index) + 1;
+        RaftStorage::append_entries(&mut wal, &[Entry {
+            term: 9,
+            index: next,
+            payload: EntryPayload::Command(payload_of(next, 9)),
+        }]);
+        wal.sync();
+        drop(wal);
+
+        // The clean reopen sees the recovered prefix plus the new entry.
+        let mut again =
+            WalStorage::<u32>::open_with(&path, WalOptions::default()).expect("clean reopen");
+        prop_assert_eq!(again.stats().torn_bytes_dropped, 0);
+        let state = again.replay();
+        prop_assert_eq!(state.entries.len(), recovered.entries.len() + 1);
+        prop_assert_eq!(&state.entries[..recovered.entries.len()], &recovered.entries[..]);
+        prop_assert_eq!(state.entries.last().map(|e| e.index), Some(next));
+
+        let _ = std::fs::remove_file(&path);
+    }
+}
