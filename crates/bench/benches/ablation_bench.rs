@@ -18,6 +18,7 @@ fn ablation_trace() -> WorkloadTrace {
         long_lived_fraction: 0.95,
         gpu_demand: vec![(1, 0.5), (2, 0.3), (4, 0.2)],
         arrival: ArrivalPattern::FrontLoaded,
+        popularity: Default::default(),
     };
     generate(&config, 7)
 }

@@ -1,0 +1,914 @@
+//! Skew-aware balanced serving: the load-aware counterpart to the
+//! static partition in [`crate::serve::run_serve_sharded`].
+//!
+//! The static path hashes each user onto a fixed shard, so a Zipfian
+//! tenant distribution lands the hot users wherever the hash happens to
+//! put them — one shard saturates while its siblings idle. Balanced mode
+//! layers three skew defenses, each cheap enough to leave the
+//! per-execution hot path untouched:
+//!
+//! 1. **Rendezvous affinity** — every user's *home* shard is the winner
+//!    of highest-random-weight hashing over their numeric id
+//!    ([`notebookos_core::rendezvous_shard`]), so growing the shard
+//!    count moves only ~`1/(N+1)` of sessions (property-tested in
+//!    `tests/serve_balance.rs`).
+//! 2. **Power-of-two admission** — when a session's first event pops,
+//!    the owning shard consults the lock-free
+//!    [`ShardLoadBoard`] and admits the
+//!    session on the less-loaded of its top-2 rendezvous candidates,
+//!    forwarding the whole event bundle if the runner-up wins. The board
+//!    is read at admission and steal points only — never per execution.
+//! 3. **Quiescent-point work stealing** — at each gauge tick a lightly
+//!    loaded shard asks the most-loaded shard (occupancy margin ≥ 2) for
+//!    one *idle* session: not busy, nothing queued, no deferred end. The
+//!    victim exports the gateway session state
+//!    ([`LiveGateway::export_session`]) and the thief imports it, so the
+//!    kernel keeps running and the execution count keeps advancing.
+//!
+//! Sessions move *between* executions, never during one, which keeps
+//! every counter (sessions, executions, drops, wire traffic) identical
+//! to the static partition — `tests/serve_balance.rs` proves counter
+//! equality by property. Latencies are *not* bit-identical: migrating a
+//! bundle re-times its remaining events at `max(local_now, deadline)` on
+//! the receiving shard. Cross-shard clamp warp is bounded by a
+//! conservative pacing gate: a shard only dispatches an event whose
+//! deadline is within one gauge tick of the globally slowest shard's
+//! next deadline, and the slowest shard is always eligible, so the gate
+//! can never deadlock.
+//!
+//! Two drivers share one shard core: [`run_serve_balanced`] (one OS
+//! thread per shard, mpsc message passing — what the `serve` bin runs)
+//! and [`run_serve_balanced_cooperative`] (single-threaded round-robin
+//! with deterministic message queues — what the steal tests drive, with
+//! zero wall sleeps).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use notebookos_core::placement_service::PlacementService;
+use notebookos_core::serve::{client_request, LiveGateway, SessionExport};
+use notebookos_core::{rendezvous_shard, rendezvous_top2, ShardLoadBoard};
+use notebookos_des::{Scheduler, SimTime};
+use notebookos_jupyter::{KernelResourceSpec, MsgIdGen, WireEndpoint};
+
+use crate::serve::{
+    compressed_trace, gauge_probe_spec, merge_reports, owner_of, shard_key_of_user,
+    CoordinationStats, OccupancyMeter, ServeEv, ServeOpts, ServeReport, ShardCoordination,
+    ShardedServeReport, UserState,
+};
+
+/// A thief only asks for work when the victim is ahead by at least this
+/// much occupancy — stealing across a margin of one would thrash.
+const STEAL_MARGIN: u64 = 2;
+
+/// Events of a balanced shard's scheduler. Trace events live in per-user
+/// session bundles; the scheduler only carries *cursors* into them, so
+/// a bundle can migrate shards without unpicking a scheduler queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BalEv {
+    /// Dispatch the head event of `user`'s bundle. Stale generations
+    /// (the bundle migrated away since this cursor was scheduled) are
+    /// no-ops.
+    Next {
+        /// The bundle's user.
+        user: usize,
+        /// Cursor generation at scheduling time.
+        gen: u64,
+    },
+    /// A fanned-out execution reaches its completion deadline.
+    ExecDone {
+        /// The user whose cell completes.
+        user: usize,
+        /// The request's message id.
+        msg_id: String,
+    },
+    /// Periodic gauge sample; also the steal decision point.
+    Tick,
+}
+
+/// A user's remaining trace events, in dispatch order (stable-sorted by
+/// deadline, preserving the generator's push order on ties — exactly the
+/// order the static path's `(time, seq)` queue dispatches them).
+#[derive(Debug)]
+struct SessionBundle {
+    events: VecDeque<(SimTime, ServeEv)>,
+    /// Pinned bundles (forwarded at admission, or stolen) skip the
+    /// power-of-two admission check — the anti-ping-pong rule.
+    pinned: bool,
+}
+
+/// A session migrating between shards: its remaining events, plus the
+/// live gateway state when the session already started.
+#[derive(Debug)]
+struct BundleXfer {
+    user: usize,
+    bundle: SessionBundle,
+    session: Option<SessionExport>,
+}
+
+/// Cross-shard messages.
+#[derive(Debug)]
+enum ShardMsg {
+    /// An admission forward: install this bundle and run it here.
+    Bundle(BundleXfer),
+    /// `thief` asks for one idle session.
+    StealRequest { thief: usize },
+    /// The victim's answer; `None` means nothing idle to give.
+    StealReply(Option<BundleXfer>),
+}
+
+/// What one scheduler step did.
+enum Step {
+    /// Dispatched an event.
+    Event,
+    /// Next event lies beyond the pacing horizon; try again after peers
+    /// advance.
+    Gated,
+    /// Scheduler empty.
+    Idle,
+}
+
+/// One balanced gateway shard: the same per-shard state as the static
+/// loop (gateway, wire, scheduler, latency accumulator) plus the bundle
+/// table and steal bookkeeping. Both drivers own one of these per shard
+/// and differ only in how messages move.
+struct BalancedShard<'a> {
+    me: usize,
+    shards: usize,
+    opts: &'a ServeOpts,
+    specs: &'a [KernelResourceSpec],
+    gateway: LiveGateway,
+    client: WireEndpoint,
+    sched: Box<dyn Scheduler<BalEv>>,
+    users: Vec<UserState>,
+    ids: MsgIdGen,
+    in_flight: HashMap<String, (usize, SimTime)>,
+    bundles: HashMap<usize, SessionBundle>,
+    /// Per-user cursor generation; bumped whenever a bundle migrates so
+    /// cursors scheduled for the old residency dispatch as no-ops.
+    gens: Vec<u64>,
+    meter: OccupancyMeter,
+    report: ServeReport,
+    board: Arc<ShardLoadBoard>,
+    remaining: Arc<AtomicU64>,
+    steal_pending: bool,
+    steals: u64,
+    moved_in: u64,
+    moved_out: u64,
+    outbox: Vec<(usize, ShardMsg)>,
+}
+
+impl<'a> BalancedShard<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        me: usize,
+        shards: usize,
+        opts: &'a ServeOpts,
+        specs: &'a [KernelResourceSpec],
+        gateway: LiveGateway,
+        client: WireEndpoint,
+        sched: Box<dyn Scheduler<BalEv>>,
+        board: Arc<ShardLoadBoard>,
+        remaining: Arc<AtomicU64>,
+    ) -> Self {
+        BalancedShard {
+            me,
+            shards,
+            opts,
+            specs,
+            gateway,
+            client,
+            sched,
+            users: (0..opts.users).map(|_| UserState::default()).collect(),
+            ids: MsgIdGen::new("cell"),
+            in_flight: HashMap::new(),
+            bundles: HashMap::new(),
+            gens: vec![0; opts.users],
+            meter: OccupancyMeter::default(),
+            report: ServeReport::empty(0),
+            board,
+            remaining,
+            steal_pending: false,
+            steals: 0,
+            moved_in: 0,
+            moved_out: 0,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Occupancy changes go to the local meter and the shared board in
+    /// one step, so admission and steal decisions elsewhere see them.
+    fn occ_add(&mut self, delta: i64) {
+        self.meter.add(delta);
+        self.board.set(self.me, self.meter.current);
+    }
+
+    /// Installs a bundle and schedules its cursor. Deadlines in the past
+    /// of this shard's clock dispatch now — migration warps an event's
+    /// local time forward, never backward.
+    fn install_bundle(&mut self, user: usize, bundle: SessionBundle) {
+        let head = bundle.events.front().expect("bundles are never empty").0;
+        self.gens[user] += 1;
+        let gen = self.gens[user];
+        self.bundles.insert(user, bundle);
+        self.sched
+            .schedule(head.max(self.sched.now()), BalEv::Next { user, gen });
+    }
+
+    /// One scheduler step under the pacing gate: publish our next
+    /// deadline on the intent board, and only dispatch if it is within
+    /// one gauge tick of the globally slowest shard's intent. The
+    /// slowest shard sees `intent == min`, so it is always eligible and
+    /// the gate cannot deadlock. Once the trace is fully consumed the
+    /// gate lifts and the shard free-runs its drain.
+    fn step(&mut self, intents: &ShardLoadBoard) -> Step {
+        let Some(head) = self.sched.peek_deadline() else {
+            intents.set(self.me, u64::MAX);
+            return Step::Idle;
+        };
+        let head_us = head.as_micros();
+        intents.set(self.me, head_us);
+        if self.remaining.load(Ordering::Relaxed) > 0 {
+            let min = intents
+                .snapshot()
+                .into_iter()
+                .min()
+                .expect("intent board is never empty");
+            if head_us > min.saturating_add(self.opts.tick.as_micros()) {
+                return Step::Gated;
+            }
+        }
+        let (now, event) = self.sched.pop_next().expect("peeked deadline");
+        self.handle(now, event);
+        Step::Event
+    }
+
+    fn handle(&mut self, now: SimTime, event: BalEv) {
+        match event {
+            BalEv::Next { user, gen } => self.on_next(now, user, gen),
+            BalEv::ExecDone { user, msg_id } => self.on_exec_done(now, user, &msg_id),
+            BalEv::Tick => self.on_tick(now),
+        }
+        self.report.logical_secs = self.report.logical_secs.max(now.as_secs_f64());
+    }
+
+    fn on_next(&mut self, now: SimTime, user: usize, gen: u64) {
+        if self.gens[user] != gen {
+            return; // The bundle migrated; its new residency has a cursor.
+        }
+        let bundle = self.bundles.get(&user).expect("live cursor has a bundle");
+        // Admission: an unpinned bundle's first event is its
+        // SessionStart — the one point where the session may still be
+        // placed elsewhere. Power-of-two: admit on the less-loaded of
+        // the top-2 rendezvous candidates (ties keep affinity).
+        if !bundle.pinned {
+            if let Some((_, ServeEv::SessionStart(_))) = bundle.events.front() {
+                let (best, second) = rendezvous_top2(shard_key_of_user(user), self.shards);
+                let target = if self.board.occupancy(second) < self.board.occupancy(best) {
+                    second
+                } else {
+                    best
+                };
+                if target != self.me {
+                    let mut bundle = self.bundles.remove(&user).expect("checked above");
+                    bundle.pinned = true;
+                    self.gens[user] += 1;
+                    self.outbox.push((
+                        target,
+                        ShardMsg::Bundle(BundleXfer {
+                            user,
+                            bundle,
+                            session: None,
+                        }),
+                    ));
+                    return;
+                }
+            }
+        }
+        self.consume(now, user);
+    }
+
+    /// Consumes the head event of `user`'s bundle: reschedule the cursor
+    /// first (so an equal-deadline `ExecDone` scheduled by this event
+    /// sorts after it, exactly like the static queue's seq order), then
+    /// apply the event.
+    fn consume(&mut self, now: SimTime, user: usize) {
+        let bundle = self.bundles.get_mut(&user).expect("cursor target");
+        let (_, event) = bundle.events.pop_front().expect("non-empty bundle");
+        match bundle.events.front() {
+            Some(&(deadline, _)) => {
+                let gen = self.gens[user];
+                self.sched
+                    .schedule(deadline.max(now), BalEv::Next { user, gen });
+            }
+            None => {
+                self.bundles.remove(&user);
+            }
+        }
+        self.remaining.fetch_sub(1, Ordering::Relaxed);
+        self.apply(now, event);
+    }
+
+    /// The static loop's trace-event arms, verbatim — same gateway
+    /// calls, same counter updates, same queue-not-overlap rule.
+    fn apply(&mut self, now: SimTime, event: ServeEv) {
+        match event {
+            ServeEv::SessionStart(user) => {
+                self.report.users += 1;
+                let session_id = format!("user-{user}");
+                match self
+                    .gateway
+                    .start_session(&session_id, self.specs[user], now)
+                {
+                    Ok(info) => {
+                        self.users[user].kernel_id = info.kernel_id;
+                        self.users[user].active = true;
+                        self.report.sessions_started += 1;
+                        self.report.peak_sessions =
+                            self.report.peak_sessions.max(self.gateway.session_count());
+                        self.occ_add(1);
+                    }
+                    Err(_) => self.report.shortfalls += 1,
+                }
+            }
+            ServeEv::SessionEnd(user) => {
+                let state = &mut self.users[user];
+                if !state.active {
+                    return;
+                }
+                if state.busy || !state.queued.is_empty() {
+                    state.end_requested = true;
+                } else {
+                    state.active = false;
+                    self.gateway.end_session(&format!("user-{user}"));
+                    self.report.sessions_ended += 1;
+                    self.occ_add(-1);
+                }
+            }
+            ServeEv::Submit { user, duration } => {
+                if !self.users[user].active {
+                    self.report.dropped += 1;
+                } else if self.users[user].busy {
+                    self.users[user].queued.push_back(duration);
+                    self.occ_add(1);
+                } else {
+                    self.occ_add(1);
+                    self.submit(user, duration, now);
+                }
+            }
+            ServeEv::ExecDone { .. } | ServeEv::ProgressTick => {
+                unreachable!("bundles hold only session/submit trace events")
+            }
+        }
+    }
+
+    /// Sends one cell over the wire and schedules its completion
+    /// deadline — the balanced twin of the static `submit_cell`. The
+    /// caller has already metered the execution; a gateway drop
+    /// un-meters it here.
+    fn submit(&mut self, user: usize, duration: SimTime, now: SimTime) {
+        let msg_id = self.ids.next_id();
+        let session_id = format!("user-{user}");
+        let request = client_request(
+            &msg_id,
+            &session_id,
+            &self.users[user].kernel_id,
+            "model.fit()",
+            duration,
+            now,
+        );
+        self.client.send(&[], &request);
+        self.in_flight.insert(msg_id.clone(), (user, now));
+        self.users[user].busy = true;
+        let accepted = self.gateway.pump(now);
+        let mut ours = false;
+        for execution in accepted {
+            self.sched.schedule_in(
+                execution.duration,
+                BalEv::ExecDone {
+                    user,
+                    msg_id: execution.msg_id.clone(),
+                },
+            );
+            ours |= execution.msg_id == msg_id;
+        }
+        if !ours {
+            self.in_flight.remove(&msg_id);
+            self.users[user].busy = false;
+            self.report.dropped += 1;
+            self.occ_add(-1);
+        }
+    }
+
+    fn on_exec_done(&mut self, now: SimTime, user: usize, msg_id: &str) {
+        self.gateway.finish_execution(msg_id, now);
+        let (replies, bad) = self.client.drain();
+        self.report.dropped += bad as u64;
+        for (_, reply) in replies {
+            let Some(parent) = reply.parent.as_ref() else {
+                continue;
+            };
+            let Some((owner, submitted)) = self.in_flight.remove(&parent.msg_id) else {
+                continue;
+            };
+            self.report.executions += 1;
+            self.report
+                .latency
+                .record(now.saturating_sub(submitted).as_millis_f64());
+            self.users[owner].busy = false;
+            self.occ_add(-1);
+        }
+        if !self.users[user].busy {
+            if let Some(duration) = self.users[user].queued.pop_front() {
+                // Already metered when it queued; `submit` un-meters it
+                // if the gateway drops it.
+                self.submit(user, duration, now);
+            } else if self.users[user].end_requested {
+                self.users[user].active = false;
+                self.gateway.end_session(&format!("user-{user}"));
+                self.report.sessions_ended += 1;
+                self.occ_add(-1);
+            }
+        }
+    }
+
+    /// Gauge tick: sample the meters, then decide whether to steal.
+    /// Steal requests are issued here (not when the scheduler drains)
+    /// because tick chains keep every shard's queue non-empty until the
+    /// window ends — the signal for "this shard is light" is occupancy,
+    /// not queue emptiness.
+    fn on_tick(&mut self, now: SimTime) {
+        self.report.gauge_samples += 1;
+        self.report.min_viable_hosts = self
+            .report
+            .min_viable_hosts
+            .min(self.gateway.viable_count(gauge_probe_spec()));
+        self.report.peak_sessions = self.report.peak_sessions.max(self.gateway.session_count());
+        self.meter.sample(now);
+        self.board.set(self.me, self.meter.current);
+        if !self.steal_pending && self.shards > 1 && self.remaining.load(Ordering::Relaxed) > 0 {
+            if let Some((victim, occupancy)) = self.board.most_loaded_excluding(self.me) {
+                if occupancy >= self.meter.current + STEAL_MARGIN {
+                    self.steal_pending = true;
+                    self.outbox
+                        .push((victim, ShardMsg::StealRequest { thief: self.me }));
+                }
+            }
+        }
+        if now + self.opts.tick <= self.opts.duration {
+            self.sched.schedule_in(self.opts.tick, BalEv::Tick);
+        }
+    }
+
+    fn handle_msg(&mut self, msg: ShardMsg) {
+        match msg {
+            ShardMsg::Bundle(xfer) => self.adopt(xfer),
+            ShardMsg::StealRequest { thief } => self.on_steal_request(thief),
+            ShardMsg::StealReply(None) => self.steal_pending = false,
+            ShardMsg::StealReply(Some(xfer)) => {
+                self.steal_pending = false;
+                self.steals += 1;
+                self.moved_in += 1;
+                self.adopt(xfer);
+            }
+        }
+    }
+
+    /// Installs an incoming bundle, taking over the session's lifecycle
+    /// when it is already live (the victim exported without shutting the
+    /// kernel down — both gateways share the placement backend, so the
+    /// kernel's resources stay owned throughout).
+    fn adopt(&mut self, xfer: BundleXfer) {
+        if let Some(export) = xfer.session {
+            self.users[xfer.user].kernel_id = export.session.kernel_id.clone();
+            self.users[xfer.user].active = true;
+            self.gateway.import_session(export);
+            self.occ_add(1);
+        }
+        self.install_bundle(xfer.user, xfer.bundle);
+    }
+
+    /// The victim half of a steal: hand over the idle session with the
+    /// most remaining events (ties toward the lowest user id, so the
+    /// cooperative driver is deterministic). Idle means quiescent — not
+    /// executing, nothing queued, no deferred end — so no in-flight
+    /// message or reply can dangle across the migration.
+    fn on_steal_request(&mut self, thief: usize) {
+        let candidate = self
+            .bundles
+            .iter()
+            .filter(|&(&user, bundle)| {
+                let state = &self.users[user];
+                !bundle.events.is_empty()
+                    && !state.busy
+                    && state.queued.is_empty()
+                    && !state.end_requested
+            })
+            .map(|(&user, bundle)| (user, bundle.events.len()))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(user, _)| user);
+        let reply = candidate.map(|user| {
+            let mut bundle = self.bundles.remove(&user).expect("candidate exists");
+            bundle.pinned = true;
+            self.gens[user] += 1;
+            let session = if self.users[user].active {
+                let export = self
+                    .gateway
+                    .export_session(&format!("user-{user}"))
+                    .expect("idle session exports cleanly");
+                self.users[user] = UserState::default();
+                self.occ_add(-1);
+                Some(export)
+            } else {
+                None
+            };
+            self.moved_out += 1;
+            BundleXfer {
+                user,
+                bundle,
+                session,
+            }
+        });
+        self.outbox.push((thief, ShardMsg::StealReply(reply)));
+    }
+
+    fn into_result(mut self, wall: Duration) -> (ServeReport, ShardCoordination) {
+        self.report.finish();
+        self.report.gateway = self.gateway.stats();
+        self.report.client_sent = self.client.sent();
+        self.report.client_received = self.client.received();
+        let (placement_wait, placement_calls) = self.gateway.coordination_wait();
+        let coordination = ShardCoordination {
+            shard: self.me,
+            sessions: self.report.users + self.moved_in as usize,
+            placement_wait,
+            placement_calls,
+            wall,
+            max_occupancy: self.meter.max,
+            occupancy: self.meter.timeline,
+            steals: self.steals,
+            moved_in: self.moved_in,
+            moved_out: self.moved_out,
+        };
+        (self.report, coordination)
+    }
+}
+
+/// Splits the compressed trace into per-user bundles placed at each
+/// user's rendezvous home shard, and counts the total trace events (the
+/// global termination counter). Within a bundle, events are
+/// stable-sorted by deadline, preserving generator push order on ties —
+/// the exact dispatch order of the static path's `(time, seq)` queue.
+fn partition_bundles(
+    events: Vec<(SimTime, ServeEv)>,
+    users: usize,
+    shards: usize,
+) -> (Vec<Vec<(usize, SessionBundle)>>, u64) {
+    let total = events.len() as u64;
+    let mut per_user: Vec<Vec<(SimTime, ServeEv)>> = vec![Vec::new(); users];
+    for (deadline, event) in events {
+        per_user[owner_of(&event)].push((deadline, event));
+    }
+    let mut homes: Vec<Vec<(usize, SessionBundle)>> = (0..shards).map(|_| Vec::new()).collect();
+    for (user, mut events) in per_user.into_iter().enumerate() {
+        if events.is_empty() {
+            continue;
+        }
+        events.sort_by_key(|&(deadline, _)| deadline);
+        let home = rendezvous_shard(shard_key_of_user(user), shards);
+        homes[home].push((
+            user,
+            SessionBundle {
+                events: events.into(),
+                pinned: false,
+            },
+        ));
+    }
+    (homes, total)
+}
+
+/// Sends everything a shard queued for its peers. Bundles and stolen
+/// sessions carry unconsumed trace events, so their receiver cannot have
+/// exited (shards exit only once the global event counter hits zero);
+/// pure control messages tolerate a peer that drained and left.
+fn flush(core: &mut BalancedShard<'_>, senders: &[Option<Sender<ShardMsg>>]) {
+    for (target, msg) in core.outbox.drain(..) {
+        let sender = senders[target].as_ref().expect("no messages to self");
+        match &msg {
+            ShardMsg::Bundle(_) | ShardMsg::StealReply(Some(_)) => sender
+                .send(msg)
+                .expect("peer holds unconsumed events, so it is still running"),
+            ShardMsg::StealRequest { .. } | ShardMsg::StealReply(None) => {
+                let _ = sender.send(msg);
+            }
+        }
+    }
+}
+
+/// One shard's thread loop: deliver messages, step the scheduler under
+/// the pacing gate, and exit once every trace event everywhere has been
+/// consumed and the local queue has drained.
+fn shard_loop(
+    core: &mut BalancedShard<'_>,
+    rx: &Receiver<ShardMsg>,
+    senders: &[Option<Sender<ShardMsg>>],
+    intents: &ShardLoadBoard,
+) {
+    loop {
+        while let Ok(msg) = rx.try_recv() {
+            core.handle_msg(msg);
+        }
+        flush(core, senders);
+        match core.step(intents) {
+            Step::Event => flush(core, senders),
+            Step::Gated => {
+                flush(core, senders);
+                std::thread::yield_now();
+            }
+            Step::Idle => {
+                flush(core, senders);
+                if core.remaining.load(Ordering::Relaxed) == 0 {
+                    break;
+                }
+                // Events remain elsewhere: wait briefly for a bundle or
+                // steal reply. Short timeout, not a blocking recv — the
+                // wake-up signal for "all done" is the counter, not a
+                // message.
+                match rx.recv_timeout(Duration::from_micros(200)) {
+                    Ok(msg) => core.handle_msg(msg),
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {}
+                }
+            }
+        }
+    }
+}
+
+/// Shared tail of both drivers: merge per-shard reports and assemble the
+/// coordination decomposition.
+fn assemble(
+    shards: usize,
+    results: Vec<(ServeReport, ShardCoordination)>,
+    wall: Duration,
+    service: PlacementService,
+) -> ShardedServeReport {
+    let service_stats = service.join();
+    let merge_start = Instant::now();
+    let (per_shard, coord): (Vec<ServeReport>, Vec<ShardCoordination>) =
+        results.into_iter().unzip();
+    let report = merge_reports(&per_shard);
+    let merge = merge_start.elapsed();
+    ShardedServeReport {
+        shards,
+        report,
+        per_shard,
+        coordination: CoordinationStats {
+            wall,
+            merge,
+            shards: coord,
+            service: service_stats,
+        },
+    }
+}
+
+/// Runs the balanced serving loop across `shards` gateway shards, one OS
+/// thread each — the skew-aware counterpart of
+/// [`run_serve_sharded`](crate::serve::run_serve_sharded).
+///
+/// Counters (sessions, executions, drops, wire traffic) are identical to
+/// the static partition for the same [`ServeOpts`]; the latency
+/// distribution and occupancy telemetry reflect the balanced placement.
+/// Steal and migration counts land in the per-shard
+/// [`ShardCoordination`] entries.
+pub fn run_serve_balanced(
+    opts: &ServeOpts,
+    shards: usize,
+    make_sched: &(dyn Fn(usize) -> Box<dyn Scheduler<BalEv>> + Sync),
+) -> ShardedServeReport {
+    assert!(shards > 0, "at least one shard");
+    let compressed = compressed_trace(opts);
+    let (mut homes, total) = partition_bundles(compressed.events, opts.users, shards);
+    let service = PlacementService::spawn(
+        opts.hosts,
+        notebookos_cluster::ResourceBundle::p3_16xlarge(),
+        opts.replication_factor,
+    );
+    let board = Arc::new(ShardLoadBoard::new(shards));
+    let intents = Arc::new(ShardLoadBoard::new(shards));
+    let remaining = Arc::new(AtomicU64::new(total));
+    let specs = &compressed.specs;
+
+    let mut txs = Vec::with_capacity(shards);
+    let mut rxs = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = channel::<ShardMsg>();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+
+    let start = Instant::now();
+    let results: Vec<(ServeReport, ShardCoordination)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(shard, rx)| {
+                let initial = std::mem::take(&mut homes[shard]);
+                let senders: Vec<Option<Sender<ShardMsg>>> = txs
+                    .iter()
+                    .enumerate()
+                    .map(|(peer, tx)| (peer != shard).then(|| tx.clone()))
+                    .collect();
+                let backend = service.client();
+                let board = Arc::clone(&board);
+                let intents = Arc::clone(&intents);
+                let remaining = Arc::clone(&remaining);
+                scope.spawn(move || {
+                    let shard_start = Instant::now();
+                    let (gateway, wire) =
+                        LiveGateway::with_backend(Box::new(backend), opts.replication_factor);
+                    let mut core = BalancedShard::new(
+                        shard,
+                        shards,
+                        opts,
+                        specs,
+                        gateway,
+                        wire,
+                        make_sched(shard),
+                        board,
+                        remaining,
+                    );
+                    for (user, bundle) in initial {
+                        core.install_bundle(user, bundle);
+                    }
+                    core.sched.schedule(SimTime::ZERO, BalEv::Tick);
+                    shard_loop(&mut core, &rx, &senders, &intents);
+                    core.into_result(shard_start.elapsed())
+                })
+            })
+            .collect();
+        // The spawner's senders must drop before join, or no receiver
+        // ever disconnects.
+        drop(txs);
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("balanced shard thread panicked"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    assemble(shards, results, wall, service)
+}
+
+/// Single-threaded, fully deterministic balanced driver: shards run
+/// round-robin (one dispatched event per shard per round) with plain
+/// message queues instead of channels, under the same pacing gate. Used
+/// by the steal tests — identical inputs give identical steals, moves,
+/// and counters, with zero wall sleeps under a [`notebookos_des::DesScheduler`].
+pub fn run_serve_balanced_cooperative(
+    opts: &ServeOpts,
+    shards: usize,
+    make_sched: &dyn Fn(usize) -> Box<dyn Scheduler<BalEv>>,
+) -> ShardedServeReport {
+    assert!(shards > 0, "at least one shard");
+    let compressed = compressed_trace(opts);
+    let (homes, total) = partition_bundles(compressed.events, opts.users, shards);
+    let service = PlacementService::spawn(
+        opts.hosts,
+        notebookos_cluster::ResourceBundle::p3_16xlarge(),
+        opts.replication_factor,
+    );
+    let board = Arc::new(ShardLoadBoard::new(shards));
+    let intents = ShardLoadBoard::new(shards);
+    let remaining = Arc::new(AtomicU64::new(total));
+    let specs = &compressed.specs;
+
+    let start = Instant::now();
+    let mut cores: Vec<BalancedShard<'_>> = homes
+        .into_iter()
+        .enumerate()
+        .map(|(shard, initial)| {
+            let (gateway, wire) =
+                LiveGateway::with_backend(Box::new(service.client()), opts.replication_factor);
+            let mut core = BalancedShard::new(
+                shard,
+                shards,
+                opts,
+                specs,
+                gateway,
+                wire,
+                make_sched(shard),
+                Arc::clone(&board),
+                Arc::clone(&remaining),
+            );
+            for (user, bundle) in initial {
+                core.install_bundle(user, bundle);
+            }
+            core.sched.schedule(SimTime::ZERO, BalEv::Tick);
+            core
+        })
+        .collect();
+
+    let mut queues: Vec<VecDeque<ShardMsg>> = (0..shards).map(|_| VecDeque::new()).collect();
+    let mut stalled = 0u32;
+    loop {
+        let mut progressed = false;
+        for shard in 0..shards {
+            while let Some(msg) = queues[shard].pop_front() {
+                cores[shard].handle_msg(msg);
+                progressed = true;
+            }
+            if matches!(cores[shard].step(&intents), Step::Event) {
+                progressed = true;
+            }
+            for (target, msg) in cores[shard].outbox.drain(..) {
+                queues[target].push_back(msg);
+            }
+        }
+        if progressed {
+            stalled = 0;
+        } else {
+            if remaining.load(Ordering::Relaxed) == 0 {
+                break;
+            }
+            stalled += 1;
+            assert!(
+                stalled < 10_000,
+                "cooperative balanced driver stalled with {} events unconsumed",
+                remaining.load(Ordering::Relaxed)
+            );
+        }
+    }
+    let wall = start.elapsed();
+    let results: Vec<(ServeReport, ShardCoordination)> = cores
+        .into_iter()
+        .map(|core| core.into_result(wall))
+        .collect();
+    assemble(shards, results, wall, service)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::run_serve_sharded;
+    use notebookos_des::DesScheduler;
+
+    fn counters(report: &ServeReport) -> [u64; 12] {
+        [
+            report.users as u64,
+            report.sessions_started,
+            report.sessions_ended,
+            report.executions,
+            report.shortfalls,
+            report.dropped,
+            report.gateway.accepted,
+            report.gateway.rejected,
+            report.gateway.replies,
+            report.gateway.fan_out_copies,
+            report.client_sent,
+            report.client_received,
+        ]
+    }
+
+    #[test]
+    fn balanced_smoke_matches_static_counters() {
+        let opts = ServeOpts::smoke();
+        let balanced = run_serve_balanced(&opts, 2, &|_| Box::new(DesScheduler::new()));
+        let fixed = run_serve_sharded(&opts, 2, &|_| Box::new(DesScheduler::new()));
+        assert!(balanced.report.executions > 0);
+        assert_eq!(counters(&balanced.report), counters(&fixed.report));
+        assert_eq!(
+            balanced.report.gateway.replies, balanced.report.executions,
+            "clean shutdown: one merged reply per completed execution"
+        );
+    }
+
+    #[test]
+    fn cooperative_driver_is_deterministic() {
+        let mut opts = ServeOpts::smoke();
+        opts.users = 12;
+        opts.skew = Some(1.3);
+        let a = run_serve_balanced_cooperative(&opts, 3, &|_| Box::new(DesScheduler::new()));
+        let b = run_serve_balanced_cooperative(&opts, 3, &|_| Box::new(DesScheduler::new()));
+        assert_eq!(a.report, b.report);
+        assert_eq!(
+            a.coordination.steals(),
+            b.coordination.steals(),
+            "same inputs, same steals"
+        );
+        assert_eq!(
+            a.coordination.sessions_moved(),
+            b.coordination.sessions_moved()
+        );
+    }
+
+    #[test]
+    fn one_balanced_shard_matches_static_counters_exactly() {
+        let opts = ServeOpts::smoke();
+        let balanced = run_serve_balanced_cooperative(&opts, 1, &|_| Box::new(DesScheduler::new()));
+        let fixed = run_serve_sharded(&opts, 1, &|_| Box::new(DesScheduler::new()));
+        assert_eq!(counters(&balanced.report), counters(&fixed.report));
+        assert_eq!(balanced.coordination.steals(), 0);
+        assert_eq!(balanced.coordination.sessions_moved(), 0);
+    }
+}

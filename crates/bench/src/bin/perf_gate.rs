@@ -25,8 +25,10 @@ use std::process::ExitCode;
 
 use notebookos_jupyter::Json;
 
-/// The ns/op maps the gate checks. Families absent from either file are
-/// skipped with a note — an older baseline must not fail a newer bench.
+/// The metric maps the gate checks (ns/op curves keyed by fleet size,
+/// plus the balanced serving p99 curve keyed by shard count). Families
+/// absent from either file are skipped with a note — an older baseline
+/// must not fail a newer bench.
 const FAMILIES: &[&str] = &[
     "placement_rank_ns_per_op",
     "placement_rank_top3_ns_per_op",
@@ -34,6 +36,7 @@ const FAMILIES: &[&str] = &[
     "best_commit_ns_per_op",
     "round_robin_worst_ns_per_op",
     "serve_ns_per_exec",
+    "balanced_p99_under_skew",
 ];
 
 fn load(path: &str) -> Json {
@@ -139,8 +142,11 @@ fn main() -> ExitCode {
             } else {
                 "ok"
             };
+            // Most families are ns/op keyed by fleet size;
+            // `balanced_p99_under_skew` is logical p99 ms keyed by shard
+            // count. The ratio check is unit-agnostic.
             println!(
-                "{name} @ {hosts} hosts: {cur_ns:.1} ns vs baseline {base_ns:.1} ns \
+                "{name} @ {hosts}: {cur_ns:.1} vs baseline {base_ns:.1} \
                  ({ratio:.2}x) {verdict}"
             );
         }

@@ -19,6 +19,7 @@ use notebookos_core::sweep::{self, Scenario, SweepJob};
 use notebookos_core::{Platform, PlatformConfig, PolicyKind, RunMetrics};
 use notebookos_trace::{generate, ArrivalPattern, SyntheticConfig, WorkloadTrace};
 
+pub mod balance;
 pub mod chaos;
 pub mod serve;
 pub mod sweep_cli;
@@ -99,6 +100,7 @@ pub fn smoke_heterogeneous() -> Scenario {
                 waves: 2,
                 wave_width_s: 600.0,
             },
+            popularity: Default::default(),
         },
     )
     .with_host_mix(vec![

@@ -27,7 +27,7 @@ use notebookos_core::serve::{client_request, GatewayStats, LiveGateway};
 use notebookos_des::{Scheduler, SimTime};
 use notebookos_jupyter::{Json, KernelResourceSpec, MsgIdGen, WireEndpoint};
 use notebookos_metrics::Cdf;
-use notebookos_trace::{generate, SyntheticConfig, WorkloadTrace};
+use notebookos_trace::{generate, Popularity, SyntheticConfig, WorkloadTrace};
 
 /// Events of the serving loop. The trace pre-schedules session lifecycles
 /// and submissions; completions and gauge ticks are scheduled as the run
@@ -74,6 +74,9 @@ pub struct ServeOpts {
     pub max_cell: SimTime,
     /// Gauge sampling interval.
     pub tick: SimTime,
+    /// Zipf exponent for per-user popularity skew (`None` = uniform, the
+    /// calibrated default; `Some(theta)` makes low-rank users hot).
+    pub skew: Option<f64>,
 }
 
 impl ServeOpts {
@@ -87,6 +90,7 @@ impl ServeOpts {
             seed: crate::EVAL_SEED,
             max_cell: SimTime::from_millis(250),
             tick: SimTime::from_millis(500),
+            skew: None,
         }
     }
 
@@ -188,6 +192,48 @@ impl ServeReport {
         view
     }
 
+    /// A zeroed report covering `owned_users` users — the accumulator
+    /// both the static loop and the balanced shard cores start from.
+    pub(crate) fn empty(owned_users: usize) -> ServeReport {
+        ServeReport {
+            users: owned_users,
+            sessions_started: 0,
+            sessions_ended: 0,
+            peak_sessions: 0,
+            executions: 0,
+            execs_per_sec: 0.0,
+            latency_p50_ms: 0.0,
+            latency_p99_ms: 0.0,
+            latency_mean_ms: 0.0,
+            shortfalls: 0,
+            dropped: 0,
+            logical_secs: 0.0,
+            gateway: GatewayStats::default(),
+            client_sent: 0,
+            client_received: 0,
+            min_viable_hosts: usize::MAX,
+            gauge_samples: 0,
+            latency: Cdf::new("request-latency-ms"),
+        }
+    }
+
+    /// Finalizes derived fields: resolves the never-sampled gauge
+    /// sentinel, computes percentiles from the latency multiset, and the
+    /// throughput rate from the logical span.
+    pub(crate) fn finish(&mut self) {
+        if self.min_viable_hosts == usize::MAX {
+            self.min_viable_hosts = 0;
+        }
+        if !self.latency.is_empty() {
+            self.latency_p50_ms = self.latency.percentile(50.0);
+            self.latency_p99_ms = self.latency.percentile(99.0);
+            self.latency_mean_ms = self.latency.mean();
+        }
+        if self.logical_secs > 0.0 {
+            self.execs_per_sec = self.executions as f64 / self.logical_secs;
+        }
+    }
+
     /// Renders the human-readable summary the `serve` bin prints.
     pub fn render(&self) -> String {
         format!(
@@ -220,21 +266,48 @@ impl ServeReport {
 
 /// Per-user client state.
 #[derive(Debug, Default)]
-struct UserState {
-    kernel_id: String,
-    active: bool,
-    busy: bool,
-    queued: VecDeque<SimTime>,
-    end_requested: bool,
+pub(crate) struct UserState {
+    pub(crate) kernel_id: String,
+    pub(crate) active: bool,
+    pub(crate) busy: bool,
+    pub(crate) queued: VecDeque<SimTime>,
+    pub(crate) end_requested: bool,
+}
+
+/// A shard's occupancy gauge: live sessions plus queued and in-flight
+/// executions — the load signal the balanced mode equalizes. The static
+/// path meters it too (purely local bookkeeping, so the static loop stays
+/// bit-identical) so balanced-vs-static occupancy is an apples-to-apples
+/// comparison in the coordination decomposition.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct OccupancyMeter {
+    /// Current occupancy.
+    pub(crate) current: u64,
+    /// High-water mark.
+    pub(crate) max: u64,
+    /// `(logical_secs, occupancy)` samples, taken at gauge ticks.
+    pub(crate) timeline: Vec<(f64, u64)>,
+}
+
+impl OccupancyMeter {
+    #[inline]
+    pub(crate) fn add(&mut self, delta: i64) {
+        self.current = self.current.saturating_add_signed(delta);
+        self.max = self.max.max(self.current);
+    }
+
+    pub(crate) fn sample(&mut self, now: SimTime) {
+        self.timeline.push((now.as_secs_f64(), self.current));
+    }
 }
 
 /// The compressed per-user workload plus the resource spec of each
 /// session, derived from one generated trace.
 #[derive(Debug)]
-struct CompressedTrace {
-    specs: Vec<KernelResourceSpec>,
+pub(crate) struct CompressedTrace {
+    pub(crate) specs: Vec<KernelResourceSpec>,
     /// `(deadline, event)` pairs to pre-schedule.
-    events: Vec<(SimTime, ServeEv)>,
+    pub(crate) events: Vec<(SimTime, ServeEv)>,
 }
 
 fn compress(trace: &WorkloadTrace, opts: &ServeOpts) -> CompressedTrace {
@@ -267,12 +340,16 @@ fn compress(trace: &WorkloadTrace, opts: &ServeOpts) -> CompressedTrace {
 /// Generates the workload once: one AdobeTrace-shaped hour, compressed
 /// onto the serving window. Every user submits (gpu_active_fraction 1.0):
 /// a load generator that mostly idles would make smoke runs flaky.
-fn compressed_trace(opts: &ServeOpts) -> CompressedTrace {
+pub(crate) fn compressed_trace(opts: &ServeOpts) -> CompressedTrace {
     let config = SyntheticConfig {
         sessions: opts.users,
         span_s: 3_600.0,
         gpu_active_fraction: 1.0,
         long_lived_fraction: 0.9,
+        popularity: match opts.skew {
+            Some(theta) => Popularity::Zipf { theta },
+            None => Popularity::Uniform,
+        },
         ..SyntheticConfig::smoke()
     };
     let trace = generate(&config, opts.seed);
@@ -293,6 +370,7 @@ pub fn run_serve(opts: &ServeOpts, sched: &mut dyn Scheduler<ServeEv>) -> ServeR
         notebookos_cluster::ResourceBundle::p3_16xlarge(),
         opts.replication_factor,
     );
+    let mut meter = OccupancyMeter::default();
     run_loop(
         opts,
         &compressed.specs,
@@ -301,6 +379,7 @@ pub fn run_serve(opts: &ServeOpts, sched: &mut dyn Scheduler<ServeEv>) -> ServeR
         &mut gateway,
         &mut client,
         sched,
+        &mut meter,
     )
 }
 
@@ -311,6 +390,7 @@ pub fn run_serve(opts: &ServeOpts, sched: &mut dyn Scheduler<ServeEv>) -> ServeR
 /// is how many of the trace's users they cover (reported as `users`).
 /// No locks anywhere: the loop owns its gateway, wire, scheduler, and
 /// latency accumulator outright.
+#[allow(clippy::too_many_arguments)]
 fn run_loop(
     opts: &ServeOpts,
     specs: &[KernelResourceSpec],
@@ -319,38 +399,15 @@ fn run_loop(
     gateway: &mut LiveGateway,
     client: &mut WireEndpoint,
     sched: &mut dyn Scheduler<ServeEv>,
+    meter: &mut OccupancyMeter,
 ) -> ServeReport {
     // Indexed by global user id, so shard partitions need no remapping.
     let mut users: Vec<UserState> = (0..opts.users).map(|_| UserState::default()).collect();
     let mut ids = MsgIdGen::new("cell");
     let mut in_flight: HashMap<String, (usize, SimTime)> = HashMap::new();
 
-    let mut report = ServeReport {
-        users: owned_users,
-        sessions_started: 0,
-        sessions_ended: 0,
-        peak_sessions: 0,
-        executions: 0,
-        execs_per_sec: 0.0,
-        latency_p50_ms: 0.0,
-        latency_p99_ms: 0.0,
-        latency_mean_ms: 0.0,
-        shortfalls: 0,
-        dropped: 0,
-        logical_secs: 0.0,
-        gateway: GatewayStats::default(),
-        client_sent: 0,
-        client_received: 0,
-        min_viable_hosts: usize::MAX,
-        gauge_samples: 0,
-        latency: Cdf::new("request-latency-ms"),
-    };
-    let gauge_spec = KernelResourceSpec {
-        millicpus: 4_000,
-        memory_mb: 16_384,
-        gpus: 1,
-        vram_gb: 16,
-    };
+    let mut report = ServeReport::empty(owned_users);
+    let gauge_spec = gauge_probe_spec();
 
     for (deadline, event) in events {
         sched.schedule(deadline, event);
@@ -367,6 +424,7 @@ fn run_loop(
                         users[user].active = true;
                         report.sessions_started += 1;
                         report.peak_sessions = report.peak_sessions.max(gateway.session_count());
+                        meter.add(1);
                     }
                     Err(_) => report.shortfalls += 1,
                 }
@@ -382,6 +440,7 @@ fn run_loop(
                     state.active = false;
                     gateway.end_session(&format!("user-{user}"));
                     report.sessions_ended += 1;
+                    meter.add(-1);
                 }
             }
             ServeEv::Submit { user, duration } => {
@@ -391,7 +450,9 @@ fn run_loop(
                     // §2.3.2: a user's cells never overlap — queue behind
                     // the running one.
                     users[user].queued.push_back(duration);
+                    meter.add(1);
                 } else {
+                    meter.add(1);
                     submit_cell(
                         user,
                         duration,
@@ -403,6 +464,7 @@ fn run_loop(
                         &mut in_flight,
                         &mut report,
                         sched,
+                        meter,
                     );
                 }
             }
@@ -422,11 +484,14 @@ fn run_loop(
                         .latency
                         .record(now.saturating_sub(submitted).as_millis_f64());
                     users[owner].busy = false;
+                    meter.add(-1);
                 }
                 // The user is free again: drain their queue, then honor a
                 // deferred session end.
                 if !users[user].busy {
                     if let Some(duration) = users[user].queued.pop_front() {
+                        // Already metered when it queued; `submit_cell`
+                        // un-meters it if the gateway drops it.
                         submit_cell(
                             user,
                             duration,
@@ -438,11 +503,13 @@ fn run_loop(
                             &mut in_flight,
                             &mut report,
                             sched,
+                            meter,
                         );
                     } else if users[user].end_requested {
                         users[user].active = false;
                         gateway.end_session(&format!("user-{user}"));
                         report.sessions_ended += 1;
+                        meter.add(-1);
                     }
                 }
             }
@@ -452,6 +519,7 @@ fn run_loop(
                     .min_viable_hosts
                     .min(gateway.viable_count(gauge_spec));
                 report.peak_sessions = report.peak_sessions.max(gateway.session_count());
+                meter.sample(now);
                 if now + opts.tick <= opts.duration {
                     sched.schedule_in(opts.tick, ServeEv::ProgressTick);
                 }
@@ -460,24 +528,26 @@ fn run_loop(
         report.logical_secs = now.as_secs_f64();
     }
 
-    if report.min_viable_hosts == usize::MAX {
-        report.min_viable_hosts = 0;
-    }
-    if !report.latency.is_empty() {
-        report.latency_p50_ms = report.latency.percentile(50.0);
-        report.latency_p99_ms = report.latency.percentile(99.0);
-        report.latency_mean_ms = report.latency.mean();
-    }
-    if report.logical_secs > 0.0 {
-        report.execs_per_sec = report.executions as f64 / report.logical_secs;
-    }
+    report.finish();
     report.gateway = gateway.stats();
     report.client_sent = client.sent();
     report.client_received = client.received();
     report
 }
 
+/// The one-GPU probe request the viable-host gauge samples.
+pub(crate) fn gauge_probe_spec() -> KernelResourceSpec {
+    KernelResourceSpec {
+        millicpus: 4_000,
+        memory_mb: 16_384,
+        gpus: 1,
+        vram_gb: 16,
+    }
+}
+
 /// Sends one cell over the wire and schedules its completion deadline.
+/// The caller has already metered this execution; a gateway drop
+/// un-meters it here.
 #[allow(clippy::too_many_arguments)]
 fn submit_cell(
     user: usize,
@@ -490,6 +560,7 @@ fn submit_cell(
     in_flight: &mut HashMap<String, (usize, SimTime)>,
     report: &mut ServeReport,
     sched: &mut dyn Scheduler<ServeEv>,
+    meter: &mut OccupancyMeter,
 ) {
     let msg_id = ids.next_id();
     let session_id = format!("user-{user}");
@@ -520,6 +591,7 @@ fn submit_cell(
         in_flight.remove(&msg_id);
         users[user].busy = false;
         report.dropped += 1;
+        meter.add(-1);
     }
 }
 
@@ -536,10 +608,29 @@ pub fn shard_of(kernel_id: &str, shards: usize) -> usize {
     (hash % shards as u64) as usize
 }
 
+/// FNV-1a over a user id's little-endian bytes — the numeric partition
+/// key. The sharded loops hash the integer id directly instead of
+/// formatting `"kernel-user-{user}"` per event (the string render +
+/// 16-plus-digit hash dominated partitioning cost in >1M-event scale-out
+/// runs); the rendezvous layer reuses the same key.
+pub fn shard_key_of_user(user: usize) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in (user as u64).to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+    hash
+}
+
+/// Maps a numeric user id onto one of `shards` shards (static partition).
+pub fn shard_of_user(user: usize, shards: usize) -> usize {
+    (shard_key_of_user(user) % shards as u64) as usize
+}
+
 /// The user a pre-scheduled trace event belongs to. Only session/submit
 /// events are partitioned (`ExecDone`/`ProgressTick` are scheduled inside
 /// a shard's own loop and never cross shards).
-fn owner_of(event: &ServeEv) -> usize {
+pub(crate) fn owner_of(event: &ServeEv) -> usize {
     match event {
         ServeEv::SessionStart(user) | ServeEv::SessionEnd(user) => *user,
         ServeEv::Submit { user, .. } | ServeEv::ExecDone { user, .. } => *user,
@@ -548,11 +639,12 @@ fn owner_of(event: &ServeEv) -> usize {
 }
 
 /// One shard's coordination footprint in a sharded run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardCoordination {
     /// Shard index.
     pub shard: usize,
-    /// Users (sessions) partitioned onto this shard.
+    /// Users (sessions) partitioned onto this shard (static) or admitted
+    /// plus stolen into it (balanced).
     pub sessions: usize,
     /// Wall time this shard spent blocked on the placement channel.
     pub placement_wait: Duration,
@@ -560,13 +652,23 @@ pub struct ShardCoordination {
     pub placement_calls: u64,
     /// Wall time of the shard thread, end to end.
     pub wall: Duration,
+    /// High-water occupancy (live sessions + queued/in-flight cells).
+    pub max_occupancy: u64,
+    /// `(logical_secs, occupancy)` timeline sampled at gauge ticks.
+    pub occupancy: Vec<(f64, u64)>,
+    /// Steals this shard initiated that landed a session (balanced only).
+    pub steals: u64,
+    /// Sessions migrated into this shard by steals (balanced only).
+    pub moved_in: u64,
+    /// Sessions migrated out of this shard by steals (balanced only).
+    pub moved_out: u64,
 }
 
 /// Where a sharded run's wall time went — the roofline-style
 /// decomposition the scaling curve is read against: compute (per-shard
 /// loops), coordination (placement channel + owner busy time), and the
 /// sequential merge tail.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoordinationStats {
     /// Wall time of the parallel serving phase (spawn → last shard join).
     pub wall: Duration,
@@ -587,6 +689,26 @@ impl CoordinationStats {
     /// Total placement round trips across shards.
     pub fn placement_calls(&self) -> u64 {
         self.shards.iter().map(|s| s.placement_calls).sum()
+    }
+
+    /// Total sessions landed by work stealing (zero on the static path).
+    pub fn steals(&self) -> u64 {
+        self.shards.iter().map(|s| s.steals).sum()
+    }
+
+    /// Total sessions migrated between shards (zero on the static path).
+    pub fn sessions_moved(&self) -> u64 {
+        self.shards.iter().map(|s| s.moved_in).sum()
+    }
+
+    /// The hottest shard's high-water occupancy — the skew metric the
+    /// balanced mode exists to cut.
+    pub fn max_shard_occupancy(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.max_occupancy)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -613,12 +735,22 @@ impl ShardedServeReport {
             .shards
             .iter()
             .map(|s| {
+                let occupancy: Vec<Json> = s
+                    .occupancy
+                    .iter()
+                    .map(|&(t, occ)| Json::object().with("t_s", t).with("occupancy", occ))
+                    .collect();
                 Json::object()
                     .with("shard", s.shard as u64)
                     .with("sessions", s.sessions as u64)
                     .with("placement_wait_s", s.placement_wait.as_secs_f64())
                     .with("placement_calls", s.placement_calls)
                     .with("wall_s", s.wall.as_secs_f64())
+                    .with("max_occupancy", s.max_occupancy)
+                    .with("steals", s.steals)
+                    .with("moved_in", s.moved_in)
+                    .with("moved_out", s.moved_out)
+                    .with("occupancy", occupancy)
             })
             .collect();
         self.report
@@ -634,6 +766,12 @@ impl ShardedServeReport {
                         self.coordination.placement_wait().as_secs_f64(),
                     )
                     .with("placement_calls", self.coordination.placement_calls())
+                    .with("steals", self.coordination.steals())
+                    .with("sessions_moved", self.coordination.sessions_moved())
+                    .with(
+                        "max_shard_occupancy",
+                        self.coordination.max_shard_occupancy(),
+                    )
                     .with(
                         "service_busy_s",
                         self.coordination.service.busy.as_secs_f64(),
@@ -693,15 +831,20 @@ pub fn run_serve_sharded(
     assert!(shards > 0, "at least one shard");
     let compressed = compressed_trace(opts);
     let mut shard_events: Vec<Vec<(SimTime, ServeEv)>> = vec![Vec::new(); shards];
+    // Hash each numeric user id once and reuse the table per event —
+    // formatting and hashing `"kernel-user-{user}"` per event dominated
+    // partitioning cost in >1M-event scale-out runs.
+    let user_shard: Vec<usize> = (0..opts.users)
+        .map(|user| shard_of_user(user, shards))
+        .collect();
     let mut shard_users = vec![0usize; shards];
-    for user in 0..opts.users {
-        shard_users[shard_of(&format!("kernel-user-{user}"), shards)] += 1;
+    for &shard in &user_shard {
+        shard_users[shard] += 1;
     }
     // Stable partition: within a shard, events keep global trace order,
     // so a one-shard run schedules exactly what `run_serve` schedules.
     for (deadline, event) in compressed.events {
-        let shard = shard_of(&format!("kernel-user-{}", owner_of(&event)), shards);
-        shard_events[shard].push((deadline, event));
+        shard_events[user_shard[owner_of(&event)]].push((deadline, event));
     }
 
     let service = PlacementService::spawn(
@@ -723,6 +866,7 @@ pub fn run_serve_sharded(
                     let (mut gateway, mut wire) =
                         LiveGateway::with_backend(Box::new(backend), opts.replication_factor);
                     let mut sched = make_sched(shard);
+                    let mut meter = OccupancyMeter::default();
                     let report = run_loop(
                         opts,
                         specs,
@@ -731,6 +875,7 @@ pub fn run_serve_sharded(
                         &mut gateway,
                         &mut wire,
                         sched.as_mut(),
+                        &mut meter,
                     );
                     let (placement_wait, placement_calls) = gateway.coordination_wait();
                     (
@@ -741,6 +886,11 @@ pub fn run_serve_sharded(
                             placement_wait,
                             placement_calls,
                             wall: shard_start.elapsed(),
+                            max_occupancy: meter.max,
+                            occupancy: meter.timeline,
+                            steals: 0,
+                            moved_in: 0,
+                            moved_out: 0,
                         },
                     )
                 })
@@ -779,7 +929,7 @@ pub fn run_serve_sharded(
 /// last event), and the latency distributions merge in shard order with
 /// percentiles recomputed over the union — so the merged report depends
 /// only on the partition contents, not on thread interleaving.
-fn merge_reports(parts: &[ServeReport]) -> ServeReport {
+pub(crate) fn merge_reports(parts: &[ServeReport]) -> ServeReport {
     let mut report = ServeReport {
         users: parts.iter().map(|p| p.users).sum(),
         sessions_started: parts.iter().map(|p| p.sessions_started).sum(),

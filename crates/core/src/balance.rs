@@ -1,0 +1,186 @@
+//! Skew-defense primitives for the sharded serving loop.
+//!
+//! PR 8's sharded gateway partitions sessions by a static hash, so a
+//! skewed per-tenant load lands whole hot users on one shard while
+//! siblings idle. This module holds the two load-aware building blocks
+//! the balanced mode composes:
+//!
+//! * **Rendezvous (highest-random-weight) hashing** — a session's shard
+//!   affinity is the shard with the largest keyed weight. Unlike raw
+//!   modulo, growing the shard count from `N` to `N + 1` moves only the
+//!   sessions whose new shard wins the weight race, ~`1/(N+1)` of the
+//!   population (property-tested in `tests/serve_balance.rs`).
+//! * **[`ShardLoadBoard`]** — a lock-free occupancy gauge (one padded
+//!   atomic per shard). Writers publish their occupancy with relaxed
+//!   stores on session/queue transitions; readers consult it only at
+//!   session admission (power-of-two choice between the top-2 rendezvous
+//!   candidates) and at steal points, so the per-execution hot path
+//!   never touches shared state.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Mixes a key and a shard index into a rendezvous weight.
+///
+/// SplitMix64 finalizer over `key ^ φ·shard` — full 64-bit avalanche, so
+/// weights for different shards are decorrelated even for adjacent keys.
+#[inline]
+pub fn rendezvous_weight(key: u64, shard: usize) -> u64 {
+    let mut z = key ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The shard with the highest rendezvous weight for `key`.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn rendezvous_shard(key: u64, shards: usize) -> usize {
+    rendezvous_top2(key, shards).0
+}
+
+/// The two highest-weight shards for `key`, best first.
+///
+/// With a single shard both candidates are shard 0. Ties break toward
+/// the lower shard index so the choice is a pure function of the key.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn rendezvous_top2(key: u64, shards: usize) -> (usize, usize) {
+    assert!(shards > 0, "rendezvous over an empty shard set");
+    let (mut best, mut second) = (0usize, 0usize);
+    let (mut best_w, mut second_w) = (rendezvous_weight(key, 0), 0u64);
+    for shard in 1..shards {
+        let w = rendezvous_weight(key, shard);
+        if w > best_w {
+            second = best;
+            second_w = best_w;
+            best = shard;
+            best_w = w;
+        } else if shards > 1 && (w > second_w || second == best) {
+            second = shard;
+            second_w = w;
+        }
+    }
+    (best, second)
+}
+
+/// Cache-line-padded atomic so per-shard gauges never false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedGauge(AtomicU64);
+
+/// Lock-free per-shard occupancy board.
+///
+/// Occupancy counts a shard's live sessions plus queued/in-flight
+/// executions — the quantity the balanced serving loop equalizes.
+/// All accesses are relaxed: the board is an advisory load signal, not
+/// a synchronization point, and a slightly stale read only costs one
+/// admission a marginally worse choice.
+#[derive(Debug)]
+pub struct ShardLoadBoard {
+    slots: Vec<PaddedGauge>,
+}
+
+impl ShardLoadBoard {
+    /// A board for `shards` gauges, all starting at zero.
+    pub fn new(shards: usize) -> Self {
+        ShardLoadBoard {
+            slots: (0..shards).map(|_| PaddedGauge::default()).collect(),
+        }
+    }
+
+    /// Number of shards tracked.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the board tracks no shards.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Publishes `shard`'s current occupancy.
+    #[inline]
+    pub fn set(&self, shard: usize, occupancy: u64) {
+        self.slots[shard].0.store(occupancy, Ordering::Relaxed);
+    }
+
+    /// Reads `shard`'s last published occupancy.
+    #[inline]
+    pub fn occupancy(&self, shard: usize) -> u64 {
+        self.slots[shard].0.load(Ordering::Relaxed)
+    }
+
+    /// The most-loaded shard other than `me`, with its occupancy.
+    /// Returns `None` when the board tracks at most one shard. Ties
+    /// break toward the lower shard index.
+    pub fn most_loaded_excluding(&self, me: usize) -> Option<(usize, u64)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(shard, _)| *shard != me)
+            .map(|(shard, slot)| (shard, slot.0.load(Ordering::Relaxed)))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+    }
+
+    /// A point-in-time copy of every gauge.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .map(|slot| slot.0.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top2_are_distinct_in_range_and_ordered() {
+        for shards in 2..10usize {
+            for key in 0..500u64 {
+                let (a, b) = rendezvous_top2(key, shards);
+                assert!(a < shards && b < shards);
+                assert_ne!(a, b, "key {key} shards {shards}");
+                assert!(
+                    rendezvous_weight(key, a) >= rendezvous_weight(key, b),
+                    "best not best for key {key}"
+                );
+                for s in 0..shards {
+                    if s != a {
+                        assert!(
+                            rendezvous_weight(key, a) >= rendezvous_weight(key, s),
+                            "shard {s} beats winner for key {key}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_zero() {
+        assert_eq!(rendezvous_top2(7, 1), (0, 0));
+        assert_eq!(rendezvous_shard(7, 1), 0);
+    }
+
+    #[test]
+    fn board_tracks_loads_and_finds_max() {
+        let board = ShardLoadBoard::new(4);
+        assert_eq!(board.len(), 4);
+        board.set(0, 5);
+        board.set(1, 9);
+        board.set(2, 9);
+        board.set(3, 1);
+        assert_eq!(board.occupancy(1), 9);
+        // Ties break toward the lower shard index.
+        assert_eq!(board.most_loaded_excluding(3), Some((1, 9)));
+        assert_eq!(board.most_loaded_excluding(1), Some((2, 9)));
+        assert_eq!(board.snapshot(), vec![5, 9, 9, 1]);
+        assert!(ShardLoadBoard::new(1).most_loaded_excluding(0).is_none());
+    }
+}

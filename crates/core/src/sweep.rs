@@ -422,6 +422,21 @@ impl Scenario {
         Scenario::new("diurnal", SyntheticConfig::diurnal_17_5h())
     }
 
+    /// The excerpt workload under Zipfian per-user popularity: the
+    /// session at arrival rank `r` submits at a rate ∝ `(r + 1)^-theta`,
+    /// so a handful of hot tenants dominate execution volume — the
+    /// skewed-load scenario behind the balanced-serving benchmarks.
+    pub fn skewed(theta: f64) -> Self {
+        Scenario::new(
+            format!("skewed-zipf{theta}"),
+            SyntheticConfig {
+                popularity: notebookos_trace::Popularity::Zipf { theta },
+                gpu_active_fraction: 1.0,
+                ..SyntheticConfig::excerpt_17_5h()
+            },
+        )
+    }
+
     /// The excerpt workload on a mixed-generation fleet: 8-GPU trainers
     /// alongside half-size 4-GPU boxes (same CPU:GPU ratio).
     pub fn heterogeneous_hosts() -> Self {

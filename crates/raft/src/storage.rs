@@ -4,7 +4,8 @@
 //! Raft's safety argument requires three things to survive a crash: the
 //! current term, the vote cast in that term, and every log entry the node
 //! has acknowledged (§5.1 of the Raft paper — a node that forgets an
-//! acked entry can vote a conflicting leader into power). [`RaftNode`]
+//! acked entry can vote a conflicting leader into power).
+//! [`RaftNode`](crate::RaftNode)
 //! therefore writes all three through this trait *before* its driver is
 //! allowed to flush outgoing messages, and the trait is object-safe so
 //! the node can hold any implementation behind one `Box`:

@@ -1,0 +1,191 @@
+//! Skew-aware balanced serving (PR 10): rendezvous placement, load-aware
+//! admission, and quiescent-point work stealing.
+//!
+//! Four properties make the balanced mode safe to rely on:
+//!
+//! * rendezvous hashing is a **disjoint exact cover** for any shard
+//!   count, like the static hash;
+//! * growing the shard count from `N` to `N + 1` causes **minimal
+//!   disruption** — only ~`1/(N+1)` of sessions change home;
+//! * the balanced run's **counters equal the static partition's** for
+//!   the same options — balancing moves *where* sessions run, never
+//!   *what* runs;
+//! * under a skewed tenant distribution the work-stealing layer
+//!   actually fires, deterministically, with zero wall sleeps.
+
+use proptest::prelude::*;
+
+use notebookos_bench::balance::{run_serve_balanced_cooperative, BalEv};
+use notebookos_bench::serve::{run_serve_sharded, shard_key_of_user, ServeEv, ServeOpts};
+use notebookos_core::{rendezvous_shard, rendezvous_top2};
+use notebookos_des::{DesScheduler, Scheduler, SimTime};
+
+/// The merged counters that must not depend on placement: what happened,
+/// not where or when it happened. (`logical_secs`, latency, and the
+/// gauge-derived fields legitimately shift when sessions migrate.)
+fn counters(report: &notebookos_bench::serve::ServeReport) -> [u64; 12] {
+    [
+        report.users as u64,
+        report.sessions_started,
+        report.sessions_ended,
+        report.executions,
+        report.shortfalls,
+        report.dropped,
+        report.gateway.accepted,
+        report.gateway.rejected,
+        report.gateway.replies,
+        report.gateway.fan_out_copies,
+        report.client_sent,
+        report.client_received,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rendezvous hashing is a disjoint exact cover: every user maps to
+    /// exactly one in-range shard, stably, and the top-2 candidates are
+    /// distinct whenever two shards exist.
+    #[test]
+    fn rendezvous_is_a_disjoint_exact_cover(
+        shards in 1usize..12,
+        users in 1usize..300,
+    ) {
+        let mut counts = vec![0usize; shards];
+        for user in 0..users {
+            let key = shard_key_of_user(user);
+            let (best, second) = rendezvous_top2(key, shards);
+            prop_assert!(best < shards && second < shards);
+            prop_assert_eq!(best, rendezvous_shard(key, shards), "stable");
+            if shards > 1 {
+                prop_assert_ne!(best, second, "top-2 must be distinct candidates");
+            }
+            counts[best] += 1;
+        }
+        prop_assert_eq!(counts.iter().sum::<usize>(), users, "exact cover");
+    }
+
+    /// Minimal disruption: growing the shard set from N to N + 1 moves
+    /// only the sessions the new shard wins — ~1/(N+1) of the population
+    /// in expectation, bounded here at four standard deviations plus
+    /// slack. (A modulo partition would move ~N/(N+1), nearly all.)
+    #[test]
+    fn rendezvous_growth_causes_minimal_disruption(
+        shards in 1usize..9,
+        users in 50usize..2_000,
+    ) {
+        let mut moved = 0usize;
+        for user in 0..users {
+            let key = shard_key_of_user(user);
+            let before = rendezvous_shard(key, shards);
+            let after = rendezvous_shard(key, shards + 1);
+            if after != before {
+                // Every move must be *to* the new shard: existing
+                // shards' relative weights are untouched.
+                prop_assert_eq!(after, shards, "user {} moved sideways", user);
+                moved += 1;
+            }
+        }
+        let expected = users as f64 / (shards + 1) as f64;
+        let bound = expected + 4.0 * expected.sqrt() + 8.0;
+        prop_assert!(
+            (moved as f64) <= bound,
+            "{moved} of {users} users moved growing {shards}->{} (bound {bound:.1})",
+            shards + 1
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Balancing never changes what the cluster did — sessions,
+    /// executions, drops, and wire traffic all equal the static
+    /// partition's, across workload sizes, fleets, shard counts, seeds,
+    /// and skews. Only placement (and therefore latency/occupancy)
+    /// differs.
+    #[test]
+    fn balanced_counters_equal_static_partition(
+        users in 1usize..10,
+        hosts in 3usize..10,
+        shards in 2usize..5,
+        seed in 0u64..1_000,
+        skewed in any::<bool>(),
+    ) {
+        let mut opts = ServeOpts::new(users, SimTime::from_secs(2));
+        opts.hosts = hosts;
+        opts.seed = seed;
+        opts.skew = skewed.then_some(1.1);
+        let fixed = run_serve_sharded(&opts, shards, &|_| {
+            Box::new(DesScheduler::new()) as Box<dyn Scheduler<ServeEv>>
+        });
+        let balanced = run_serve_balanced_cooperative(&opts, shards, &|_| {
+            Box::new(DesScheduler::new()) as Box<dyn Scheduler<BalEv>>
+        });
+        prop_assert_eq!(
+            counters(&balanced.report),
+            counters(&fixed.report),
+            "balanced diverged from static (users {}, hosts {}, shards {}, seed {})",
+            users, hosts, shards, seed
+        );
+    }
+}
+
+/// Under a Zipfian tenant distribution the stealing layer fires: the
+/// lightly loaded shard absorbs idle sessions from the hot shard,
+/// deterministically, without a single wall sleep — and still serves
+/// exactly the static partition's counters.
+#[test]
+fn drained_shard_steals_idle_sessions_from_the_hot_shard() {
+    let started = std::time::Instant::now();
+    let mut opts = ServeOpts::new(16, SimTime::from_secs(2));
+    opts.hosts = 24;
+    opts.skew = Some(1.5);
+    opts.tick = SimTime::from_millis(100);
+    let balanced = run_serve_balanced_cooperative(&opts, 2, &|_| {
+        Box::new(DesScheduler::new()) as Box<dyn Scheduler<BalEv>>
+    });
+    let coord = &balanced.coordination;
+    assert!(
+        coord.steals() >= 1,
+        "skewed load must trigger at least one steal (got {})",
+        coord.steals()
+    );
+    assert!(
+        coord.sessions_moved() >= 1,
+        "steals must migrate sessions (moved {})",
+        coord.sessions_moved()
+    );
+    assert_eq!(
+        coord.shards.iter().map(|s| s.moved_in).sum::<u64>(),
+        coord.shards.iter().map(|s| s.moved_out).sum::<u64>(),
+        "every migration has a sender and a receiver"
+    );
+    assert!(
+        coord.max_shard_occupancy() > 0,
+        "occupancy telemetry must be populated"
+    );
+    assert!(
+        coord.shards.iter().all(|s| !s.occupancy.is_empty()),
+        "every shard samples its occupancy timeline"
+    );
+
+    let fixed = run_serve_sharded(&opts, 2, &|_| {
+        Box::new(DesScheduler::new()) as Box<dyn Scheduler<ServeEv>>
+    });
+    assert_eq!(counters(&balanced.report), counters(&fixed.report));
+
+    // Determinism: same inputs, same steals, same migrations.
+    let again = run_serve_balanced_cooperative(&opts, 2, &|_| {
+        Box::new(DesScheduler::new()) as Box<dyn Scheduler<BalEv>>
+    });
+    assert_eq!(again.report, balanced.report);
+    assert_eq!(again.coordination.steals(), coord.steals());
+    assert_eq!(again.coordination.sessions_moved(), coord.sessions_moved());
+
+    let wall = started.elapsed();
+    assert!(
+        wall < std::time::Duration::from_secs(3),
+        "virtual-time steal drill must not wall-sleep (took {wall:?})"
+    );
+}
